@@ -1,0 +1,66 @@
+// E11 (extension) — the IR-side pruning techniques the paper's State of the
+// Art builds on (Brown [Bro95] over INQUERY; Moffat–Zobel accumulator
+// strategies): term-at-a-time max-score pruning, quit mode, and the
+// accumulator-budget sweep. Safe `continue` must match exact quality;
+// `quit` and tight budgets trade quality for work.
+#include <benchmark/benchmark.h>
+
+#include "bench_util.h"
+#include "ir/metrics.h"
+#include "topn/maxscore.h"
+
+namespace moa {
+namespace {
+
+void RunMaxScore(benchmark::State& state, const MaxScoreOptions& opts) {
+  MmDatabase& db = benchutil::Db();
+  double work = 0.0;
+  int64_t accumulators = 0;
+  std::vector<QualityReport> reports;
+  for (auto _ : state) {
+    work = 0.0;
+    accumulators = 0;
+    reports.clear();
+    for (const Query& q : benchutil::Workload()) {
+      auto r = MaxScoreTopN(db.file(), db.model(), q, 10, opts);
+      work += r.ValueOrDie().stats.cost.Scalar();
+      accumulators += r.ValueOrDie().stats.candidates;
+      auto truth = db.GroundTruth(q, 10);
+      auto scores = db.GroundTruthScores(q);
+      reports.push_back(
+          EvaluateQuality(r.ValueOrDie().items, truth, scores));
+    }
+  }
+  state.counters["work"] = work;
+  state.counters["accumulators"] = static_cast<double>(accumulators);
+  state.counters["overlap_pct"] = 100.0 * MeanOverlap(reports);
+}
+
+void BM_MaxScoreContinue(benchmark::State& state) {
+  MaxScoreOptions opts;
+  opts.mode = PruneMode::kContinue;
+  RunMaxScore(state, opts);
+}
+BENCHMARK(BM_MaxScoreContinue)->Unit(benchmark::kMillisecond);
+
+void BM_MaxScoreQuit(benchmark::State& state) {
+  MaxScoreOptions opts;
+  opts.mode = PruneMode::kQuit;
+  RunMaxScore(state, opts);
+}
+BENCHMARK(BM_MaxScoreQuit)->Unit(benchmark::kMillisecond);
+
+void BM_AccumulatorBudget(benchmark::State& state) {
+  MaxScoreOptions opts;
+  opts.accumulator_budget = static_cast<size_t>(state.range(0));
+  RunMaxScore(state, opts);
+  state.counters["budget"] = static_cast<double>(state.range(0));
+}
+BENCHMARK(BM_AccumulatorBudget)
+    ->Arg(100)->Arg(400)->Arg(1600)->Arg(6400)->Arg(0 + 25600)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace moa
+
+BENCHMARK_MAIN();

@@ -1,0 +1,78 @@
+// E1 — Step-1 headline claim: "processing only a small portion of the data
+// of approximately 5% of the unfragmented size, containing the 95% most
+// interesting terms, I was able to speed up query processing ... with at
+// least 60%".
+//
+// Sweeps the small-fragment volume cutoff and reports, per cutoff:
+//   small_volume_pct — actual postings volume share of the small fragment
+//   term_pct         — share of distinct terms it covers
+//   work_ratio_pct   — small-fragment work / unfragmented work (scalar cost)
+//   speedup_pct      — 100 * (1 - work_ratio); the paper expects >= 60 at
+//                      the ~5% cutoff
+#include <benchmark/benchmark.h>
+
+#include "bench_util.h"
+#include "topn/baselines.h"
+#include "topn/fragment_topn.h"
+
+namespace moa {
+namespace {
+
+void BM_FragmentationSpeedup(benchmark::State& state) {
+  const double cutoff = static_cast<double>(state.range(0)) / 100.0;
+  MmDatabase& db = benchutil::Db();
+  FragmentationPolicy policy;
+  policy.small_volume_fraction = cutoff;
+  Fragmentation frag = Fragmentation::Build(db.file(), policy);
+
+  double small_work = 0.0, full_work = 0.0;
+  for (auto _ : state) {
+    small_work = full_work = 0.0;
+    for (const Query& q : benchutil::Workload()) {
+      TopNResult small =
+          SmallFragmentTopN(db.file(), frag, db.model(), q, 10);
+      TopNResult full = FullSortTopN(db.file(), db.model(), q, 10);
+      small_work += small.stats.cost.Scalar();
+      full_work += full.stats.cost.Scalar();
+      benchmark::DoNotOptimize(small.items.data());
+      benchmark::DoNotOptimize(full.items.data());
+    }
+  }
+  state.counters["small_volume_pct"] = 100.0 * frag.small_volume_fraction();
+  state.counters["term_pct"] = 100.0 * frag.small_term_fraction();
+  state.counters["work_ratio_pct"] = 100.0 * small_work / full_work;
+  state.counters["speedup_pct"] = 100.0 * (1.0 - small_work / full_work);
+}
+BENCHMARK(BM_FragmentationSpeedup)
+    ->Arg(1)->Arg(2)->Arg(5)->Arg(10)->Arg(20)
+    ->Unit(benchmark::kMillisecond);
+
+/// Wall-clock companion: latency of small-fragment vs unfragmented
+/// execution at the paper's 5% cutoff.
+void BM_UnfragmentedLatency(benchmark::State& state) {
+  MmDatabase& db = benchutil::Db();
+  size_t i = 0;
+  for (auto _ : state) {
+    const Query& q = benchutil::Workload()[i++ % benchutil::Workload().size()];
+    TopNResult r = FullSortTopN(db.file(), db.model(), q, 10);
+    benchmark::DoNotOptimize(r.items.data());
+  }
+}
+BENCHMARK(BM_UnfragmentedLatency)->Unit(benchmark::kMicrosecond);
+
+void BM_SmallFragmentLatency(benchmark::State& state) {
+  MmDatabase& db = benchutil::Db();
+  size_t i = 0;
+  for (auto _ : state) {
+    const Query& q = benchutil::Workload()[i++ % benchutil::Workload().size()];
+    TopNResult r =
+        SmallFragmentTopN(db.file(), db.fragmentation(), db.model(), q, 10);
+    benchmark::DoNotOptimize(r.items.data());
+  }
+}
+BENCHMARK(BM_SmallFragmentLatency)->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+}  // namespace moa
+
+BENCHMARK_MAIN();

@@ -1,0 +1,47 @@
+// E2 — Step-1 quality claim: "The answer quality dropped more than 30% due
+// to the unsafe nature of this technique."
+//
+// Measures, per fragment cutoff, the quality of unsafe small-fragment-only
+// answers against the exact top-10:
+//   overlap_pct       — mean precision@10 vs the exact top-10
+//   quality_drop_pct  — 100 - overlap_pct (paper: > 30 at the ~5% cutoff)
+//   score_ratio_pct   — retained exact-score mass
+#include <benchmark/benchmark.h>
+
+#include "bench_util.h"
+#include "ir/metrics.h"
+#include "topn/fragment_topn.h"
+
+namespace moa {
+namespace {
+
+void BM_UnsafeQuality(benchmark::State& state) {
+  const double cutoff = static_cast<double>(state.range(0)) / 100.0;
+  MmDatabase& db = benchutil::Db();
+  FragmentationPolicy policy;
+  policy.small_volume_fraction = cutoff;
+  Fragmentation frag = Fragmentation::Build(db.file(), policy);
+
+  std::vector<QualityReport> reports;
+  for (auto _ : state) {
+    reports.clear();
+    for (const Query& q : benchutil::Workload()) {
+      TopNResult small =
+          SmallFragmentTopN(db.file(), frag, db.model(), q, 10);
+      auto truth = db.GroundTruth(q, 10);
+      auto scores = db.GroundTruthScores(q);
+      reports.push_back(EvaluateQuality(small.items, truth, scores));
+    }
+  }
+  state.counters["overlap_pct"] = 100.0 * MeanOverlap(reports);
+  state.counters["quality_drop_pct"] = 100.0 * (1.0 - MeanOverlap(reports));
+  state.counters["score_ratio_pct"] = 100.0 * MeanScoreRatio(reports);
+}
+BENCHMARK(BM_UnsafeQuality)
+    ->Arg(1)->Arg(2)->Arg(5)->Arg(10)->Arg(20)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace moa
+
+BENCHMARK_MAIN();

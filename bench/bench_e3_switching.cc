@@ -1,0 +1,63 @@
+// E3 — the paper's safe variant: "I inserted a check early in the query
+// plan that is able to detect when the answer quality would be better when
+// the other fragment would be used. This allows query processing to switch
+// accordingly in time. This improved the answer quality significantly but
+// lowered the speed also quite a lot."
+//
+// Sweeps the switch threshold (0 = always switch when the large fragment
+// could matter; large = rarely switch):
+//   overlap_pct    — answer quality (should be ~100 at threshold 0)
+//   work_ratio_pct — work vs unfragmented (should sit between the unsafe
+//                    small-fragment ratio and 100%)
+//   switch_pct     — fraction of queries that processed the large fragment
+#include <benchmark/benchmark.h>
+
+#include "bench_util.h"
+#include "ir/metrics.h"
+#include "topn/baselines.h"
+#include "topn/fragment_topn.h"
+
+namespace moa {
+namespace {
+
+void BM_QualitySwitch(benchmark::State& state) {
+  const double threshold = static_cast<double>(state.range(0)) / 100.0;
+  MmDatabase& db = benchutil::Db();
+  const Fragmentation& frag = db.fragmentation();
+  QualitySwitchOptions opts;
+  opts.switch_threshold = threshold;
+  opts.mode = LargeFragmentMode::kFullScan;
+
+  std::vector<QualityReport> reports;
+  double work = 0.0, full_work = 0.0;
+  int switched = 0;
+  for (auto _ : state) {
+    reports.clear();
+    work = full_work = 0.0;
+    switched = 0;
+    for (const Query& q : benchutil::Workload()) {
+      auto r = QualitySwitchTopN(db.file(), frag, db.model(), q, 10, opts);
+      TopNResult full = FullSortTopN(db.file(), db.model(), q, 10);
+      auto truth = db.GroundTruth(q, 10);
+      auto scores = db.GroundTruthScores(q);
+      reports.push_back(
+          EvaluateQuality(r.ValueOrDie().items, truth, scores));
+      work += r.ValueOrDie().stats.cost.Scalar();
+      full_work += full.stats.cost.Scalar();
+      switched += r.ValueOrDie().stats.used_large_fragment ? 1 : 0;
+    }
+  }
+  state.counters["overlap_pct"] = 100.0 * MeanOverlap(reports);
+  state.counters["work_ratio_pct"] = 100.0 * work / full_work;
+  state.counters["switch_pct"] =
+      100.0 * switched / static_cast<double>(benchutil::Workload().size());
+}
+// Threshold expressed in percent: 0, 25, 50, 100, 200, 400.
+BENCHMARK(BM_QualitySwitch)
+    ->Arg(0)->Arg(25)->Arg(50)->Arg(100)->Arg(200)->Arg(400)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace moa
+
+BENCHMARK_MAIN();

@@ -1,0 +1,62 @@
+// E4 — "Currently I'm working on recoding the second fragment and plan to
+// introduce a non-dense index in the system to speed up processing the
+// large fragment. This even will allow for extra computations while still
+// decreasing execution time, bringing the answer quality nearer to or even
+// on the same level as in the unfragmented case."
+//
+// Compares, per sparse-index block size and candidate-pool size:
+//   work_ratio_pct — work vs unfragmented full execution (should stay well
+//                    below 100 while doing the "extra computations")
+//   overlap_pct    — quality (should approach 100, far above unsafe E2)
+#include <benchmark/benchmark.h>
+
+#include "bench_util.h"
+#include "ir/metrics.h"
+#include "topn/baselines.h"
+#include "topn/fragment_topn.h"
+
+namespace moa {
+namespace {
+
+void BM_SparseProbe(benchmark::State& state) {
+  const uint32_t block = static_cast<uint32_t>(state.range(0));
+  const size_t pool = static_cast<size_t>(state.range(1));
+  MmDatabase& db = benchutil::Db();
+  const Fragmentation& frag = db.fragmentation();
+  std::unordered_map<TermId, SparseIndex> cache;
+  QualitySwitchOptions opts;
+  opts.mode = LargeFragmentMode::kSparseProbe;
+  opts.sparse_block = block;
+  opts.candidate_pool = pool;
+  opts.sparse_cache = &cache;
+
+  std::vector<QualityReport> reports;
+  double work = 0.0, full_work = 0.0;
+  for (auto _ : state) {
+    reports.clear();
+    work = full_work = 0.0;
+    for (const Query& q : benchutil::Workload()) {
+      auto r = QualitySwitchTopN(db.file(), frag, db.model(), q, 10, opts);
+      TopNResult full = FullSortTopN(db.file(), db.model(), q, 10);
+      auto truth = db.GroundTruth(q, 10);
+      auto scores = db.GroundTruthScores(q);
+      reports.push_back(EvaluateQuality(r.ValueOrDie().items, truth, scores));
+      work += r.ValueOrDie().stats.cost.Scalar();
+      full_work += full.stats.cost.Scalar();
+    }
+  }
+  state.counters["block"] = block;
+  state.counters["pool"] = static_cast<double>(pool);
+  state.counters["work_ratio_pct"] = 100.0 * work / full_work;
+  state.counters["overlap_pct"] = 100.0 * MeanOverlap(reports);
+  state.counters["score_ratio_pct"] = 100.0 * MeanScoreRatio(reports);
+}
+BENCHMARK(BM_SparseProbe)
+    ->Args({16, 40})->Args({64, 40})->Args({256, 40})
+    ->Args({64, 20})->Args({64, 80})->Args({64, 160})
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace moa
+
+BENCHMARK_MAIN();

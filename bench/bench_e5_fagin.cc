@@ -1,0 +1,77 @@
+// E5 — the Fagin-family bound administration the paper builds on (FM,
+// Fag98, Fag99): "one can take advantage of lists being ordered ... ending
+// the processing as soon as it is certain that the required top N answers
+// have been computed."
+//
+// Per (algorithm, N): the depth of sorted access, random accesses, and the
+// fraction of the query's postings volume actually touched. Expected
+// shape: accesses << volume, growing with N; NRA does zero random access;
+// the exhaustive baseline reads 100%.
+#include <benchmark/benchmark.h>
+
+#include "bench_util.h"
+#include "topn/baselines.h"
+#include "topn/fagin.h"
+
+namespace moa {
+namespace {
+
+int64_t WorkloadVolume() {
+  int64_t v = 0;
+  for (const Query& q : benchutil::ZipfWorkload()) {
+    for (TermId t : q.terms) v += benchutil::Db().file().DocFrequency(t);
+  }
+  return v;
+}
+
+template <typename Fn>
+void RunFagin(benchmark::State& state, Fn fn) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  MmDatabase& db = benchutil::Db();
+  int64_t sorted = 0, random = 0;
+  for (auto _ : state) {
+    sorted = random = 0;
+    for (const Query& q : benchutil::ZipfWorkload()) {
+      auto r = fn(db.file(), db.model(), q, n, FaginOptions{});
+      sorted += r.ValueOrDie().stats.sorted_accesses;
+      random += r.ValueOrDie().stats.random_accesses;
+      benchmark::DoNotOptimize(r.ValueOrDie().items.data());
+    }
+  }
+  state.counters["sorted_accesses"] = static_cast<double>(sorted);
+  state.counters["random_accesses"] = static_cast<double>(random);
+  state.counters["volume_touched_pct"] =
+      100.0 * static_cast<double>(sorted) /
+      static_cast<double>(WorkloadVolume());
+}
+
+void BM_FaginFA(benchmark::State& state) { RunFagin(state, FaginFA); }
+void BM_FaginTA(benchmark::State& state) { RunFagin(state, FaginTA); }
+void BM_FaginNRA(benchmark::State& state) { RunFagin(state, FaginNRA); }
+
+BENCHMARK(BM_FaginFA)->Arg(1)->Arg(10)->Arg(100)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_FaginTA)->Arg(1)->Arg(10)->Arg(100)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_FaginNRA)->Arg(1)->Arg(10)->Arg(100)->Unit(benchmark::kMillisecond);
+
+/// Exhaustive baseline: touches 100% of the volume by construction.
+void BM_ExhaustiveBaseline(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  MmDatabase& db = benchutil::Db();
+  int64_t seq = 0;
+  for (auto _ : state) {
+    seq = 0;
+    for (const Query& q : benchutil::ZipfWorkload()) {
+      TopNResult r = HeapTopN(db.file(), db.model(), q, n);
+      seq += r.stats.cost.sequential_reads;
+    }
+  }
+  state.counters["sorted_accesses"] = static_cast<double>(seq);
+  state.counters["volume_touched_pct"] = 100.0;
+}
+BENCHMARK(BM_ExhaustiveBaseline)
+    ->Arg(1)->Arg(10)->Arg(100)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace moa
+
+BENCHMARK_MAIN();

@@ -1,0 +1,71 @@
+// E6 — Carey–Kossmann STOP AFTER placements ("Reducing the Braking
+// Distance of an SQL Query Engine", cited by the paper as the DB-side state
+// of the art).
+//
+// Sweeps the estimate bias of the aggressive placement: with honest
+// estimates the aggressive plan materializes far fewer tuples than the
+// conservative one; with over-confident cutoffs it pays restarts.
+#include <benchmark/benchmark.h>
+
+#include "bench_util.h"
+#include "topn/stop_after.h"
+
+namespace moa {
+namespace {
+
+void BM_StopAfterConservative(benchmark::State& state) {
+  MmDatabase& db = benchutil::Db();
+  StopAfterOptions opts;
+  opts.policy = StopAfterPolicy::kConservative;
+  double work = 0.0;
+  int64_t bytes = 0;
+  for (auto _ : state) {
+    work = 0.0;
+    bytes = 0;
+    for (const Query& q : benchutil::Workload()) {
+      auto r = StopAfterTopN(db.file(), db.model(), q, 10, opts);
+      work += r.ValueOrDie().stats.cost.Scalar();
+      bytes += r.ValueOrDie().stats.cost.bytes_touched;
+    }
+  }
+  state.counters["work"] = work;
+  state.counters["bytes_materialized"] = static_cast<double>(bytes);
+  state.counters["restarts"] = 0;
+}
+BENCHMARK(BM_StopAfterConservative)->Unit(benchmark::kMillisecond);
+
+void BM_StopAfterAggressive(benchmark::State& state) {
+  // bias is percent: 100 = honest estimate, 50 = cautious, 500/2000 =
+  // over-confident cutoffs that trigger the restart protocol.
+  const double bias = static_cast<double>(state.range(0)) / 100.0;
+  MmDatabase& db = benchutil::Db();
+  StopAfterOptions opts;
+  opts.policy = StopAfterPolicy::kAggressive;
+  opts.estimate_bias = bias;
+  double work = 0.0;
+  int64_t bytes = 0;
+  int restarts = 0;
+  for (auto _ : state) {
+    work = 0.0;
+    bytes = 0;
+    restarts = 0;
+    for (const Query& q : benchutil::Workload()) {
+      auto r = StopAfterTopN(db.file(), db.model(), q, 10, opts);
+      work += r.ValueOrDie().stats.cost.Scalar();
+      bytes += r.ValueOrDie().stats.cost.bytes_touched;
+      restarts += r.ValueOrDie().stats.restarts;
+    }
+  }
+  state.counters["bias"] = bias;
+  state.counters["work"] = work;
+  state.counters["bytes_materialized"] = static_cast<double>(bytes);
+  state.counters["restarts"] = restarts;
+}
+BENCHMARK(BM_StopAfterAggressive)
+    ->Arg(50)->Arg(100)->Arg(200)->Arg(500)->Arg(2000)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace moa
+
+BENCHMARK_MAIN();

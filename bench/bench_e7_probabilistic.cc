@@ -1,0 +1,44 @@
+// E7 — Donjerkovic–Ramakrishnan probabilistic top-N (TR-99-1395, cited as
+// DB-side state of the art): the cutoff is chosen from an estimated score
+// distribution at a target confidence. Lower confidence = tighter cutoff =
+// fewer survivors but more restarts.
+#include <benchmark/benchmark.h>
+
+#include "bench_util.h"
+#include "topn/probabilistic.h"
+
+namespace moa {
+namespace {
+
+void BM_Probabilistic(benchmark::State& state) {
+  const double confidence = static_cast<double>(state.range(0)) / 100.0;
+  MmDatabase& db = benchutil::Db();
+  ProbabilisticOptions opts;
+  opts.confidence = confidence;
+  double work = 0.0;
+  int64_t bytes = 0;
+  int restarts = 0;
+  for (auto _ : state) {
+    work = 0.0;
+    bytes = 0;
+    restarts = 0;
+    for (const Query& q : benchutil::Workload()) {
+      auto r = ProbabilisticTopN(db.file(), db.model(), q, 10, opts);
+      work += r.ValueOrDie().stats.cost.Scalar();
+      bytes += r.ValueOrDie().stats.cost.bytes_touched;
+      restarts += r.ValueOrDie().stats.restarts;
+    }
+  }
+  state.counters["confidence_pct"] = 100.0 * confidence;
+  state.counters["work"] = work;
+  state.counters["bytes_materialized"] = static_cast<double>(bytes);
+  state.counters["restarts"] = restarts;
+}
+BENCHMARK(BM_Probabilistic)
+    ->Arg(50)->Arg(80)->Arg(90)->Arg(95)->Arg(99)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace moa
+
+BENCHMARK_MAIN();

@@ -1,0 +1,66 @@
+// Shared benchmark fixtures: one larger collection + workloads, built once
+// per bench binary. All seeds fixed: every run reproduces the same numbers
+// up to machine timing jitter; the CostCounters-based counters are exact.
+#ifndef MOA_BENCH_BENCH_UTIL_H_
+#define MOA_BENCH_BENCH_UTIL_H_
+
+#include <memory>
+#include <vector>
+
+#include "engine/database.h"
+#include "ir/query_gen.h"
+
+namespace moa {
+namespace benchutil {
+
+/// TREC-FT-scale-ish synthetic database (scaled to laptop seconds):
+/// 20k docs, 30k vocabulary, Zipf skew 1.0, BM25, 5% fragmentation.
+inline MmDatabase& Db() {
+  static MmDatabase* db = [] {
+    DatabaseConfig config;
+    config.collection.num_docs = 20000;
+    config.collection.vocabulary = 30000;
+    config.collection.mean_doc_length = 150;
+    config.collection.zipf_skew = 1.0;
+    config.collection.seed = 900913;
+    config.fragmentation.small_volume_fraction = 0.05;
+    config.scoring = ScoringModelKind::kBm25;
+    return MmDatabase::Open(config).ValueOrDie().release();
+  }();
+  return *db;
+}
+
+/// Mixed query workload (the paper's retrieval setting: natural-language
+/// queries hit both frequent and rare terms).
+inline const std::vector<Query>& Workload() {
+  static const std::vector<Query>* queries = [] {
+    QueryWorkloadConfig config;
+    config.num_queries = 30;
+    config.terms_per_query = 4;
+    config.distribution = QueryTermDistribution::kMixed;
+    config.seed = 31;
+    return new std::vector<Query>(
+        GenerateQueries(Db().collection(), config).ValueOrDie());
+  }();
+  return *queries;
+}
+
+/// Zipf (head-heavy) workload, for experiments where query terms follow
+/// natural language frequency.
+inline const std::vector<Query>& ZipfWorkload() {
+  static const std::vector<Query>* queries = [] {
+    QueryWorkloadConfig config;
+    config.num_queries = 30;
+    config.terms_per_query = 4;
+    config.distribution = QueryTermDistribution::kZipf;
+    config.seed = 47;
+    return new std::vector<Query>(
+        GenerateQueries(Db().collection(), config).ValueOrDie());
+  }();
+  return *queries;
+}
+
+}  // namespace benchutil
+}  // namespace moa
+
+#endif  // MOA_BENCH_BENCH_UTIL_H_

@@ -1,0 +1,63 @@
+// Quickstart: open an in-memory MM database, run a top-10 query with the
+// cost-based optimizer, inspect the plan and the statistics.
+//
+//   $ ./examples/quickstart
+#include <cstdio>
+
+#include "engine/database.h"
+
+using namespace moa;
+
+int main() {
+  // 1. Open a database over a synthetic Zipf collection (the library's
+  //    stand-in for TREC-FT; see DESIGN.md §1) with 5% fragmentation.
+  DatabaseConfig config;
+  config.collection.num_docs = 10000;
+  config.collection.vocabulary = 20000;
+  config.collection.mean_doc_length = 150;
+  config.collection.seed = 7;
+  config.fragmentation.small_volume_fraction = 0.05;
+  config.scoring = ScoringModelKind::kBm25;
+
+  auto db_or = MmDatabase::Open(config);
+  if (!db_or.ok()) {
+    std::fprintf(stderr, "open failed: %s\n",
+                 db_or.status().ToString().c_str());
+    return 1;
+  }
+  auto db = std::move(db_or).ValueOrDie();
+  std::printf("collection: %zu docs, %zu terms, %lld postings\n",
+              db->file().num_docs(), db->file().num_terms(),
+              static_cast<long long>(db->file().num_postings()));
+  std::printf("%s\n\n", db->fragmentation().ToString().c_str());
+
+  // 2. Generate a small query workload.
+  QueryWorkloadConfig qconfig;
+  qconfig.num_queries = 3;
+  qconfig.terms_per_query = 4;
+  qconfig.distribution = QueryTermDistribution::kMixed;
+  auto queries = GenerateQueries(db->collection(), qconfig).ValueOrDie();
+
+  // 3. Search with the optimizer (safe strategies only) and show the plan.
+  for (size_t qi = 0; qi < queries.size(); ++qi) {
+    SearchOptions opts;
+    opts.n = 10;
+    std::printf("--- query %zu (terms:", qi);
+    for (TermId t : queries[qi].terms) std::printf(" %u", t);
+    std::printf(")\n");
+
+    std::printf("%s", db->ExplainSearch(queries[qi], opts)
+                          .ValueOrDie()
+                          .c_str());
+    auto result = db->Search(queries[qi], opts).ValueOrDie();
+    std::printf("executed %s in %.2f ms, stats %s\n",
+                StrategyName(result.strategy), result.wall_millis,
+                result.top.stats.ToString().c_str());
+    for (size_t i = 0; i < result.top.items.size(); ++i) {
+      std::printf("  #%zu  doc %-6u score %.4f\n", i + 1,
+                  result.top.items[i].doc, result.top.items[i].score);
+    }
+    std::printf("\n");
+  }
+  return 0;
+}

@@ -1,0 +1,23 @@
+#include "algebra/evaluator.h"
+
+namespace moa {
+
+Result<Value> Evaluate(const ExprPtr& expr, const ExtensionRegistry& registry) {
+  if (!expr) return Status::InvalidArgument("null expression");
+  if (expr->kind() == Expr::Kind::kConst) return expr->constant();
+
+  const OpDef* def = registry.Find(expr->op());
+  if (def == nullptr) {
+    return Status::NotFound("unknown operator: " + expr->op());
+  }
+  std::vector<Value> args;
+  args.reserve(expr->args().size());
+  for (const auto& a : expr->args()) {
+    Result<Value> r = Evaluate(a, registry);
+    if (!r.ok()) return r.status();
+    args.push_back(std::move(r).ValueOrDie());
+  }
+  return def->fn(args);
+}
+
+}  // namespace moa

@@ -1,0 +1,22 @@
+// Tree-walking evaluator for Moa expressions.
+#ifndef MOA_ALGEBRA_EVALUATOR_H_
+#define MOA_ALGEBRA_EVALUATOR_H_
+
+#include "algebra/expr.h"
+#include "algebra/extension.h"
+#include "common/status.h"
+
+namespace moa {
+
+/// \brief Evaluates `expr` bottom-up against `registry`.
+///
+/// Every operator invocation ticks the thread-local CostTicker, so wrapping
+/// a call in CostScope yields the exact work an expression performed —
+/// which is how E8 compares original vs rewritten expressions.
+Result<Value> Evaluate(const ExprPtr& expr,
+                       const ExtensionRegistry& registry =
+                           ExtensionRegistry::Default());
+
+}  // namespace moa
+
+#endif  // MOA_ALGEBRA_EVALUATOR_H_

@@ -1,0 +1,72 @@
+#include "algebra/expr.h"
+
+#include <sstream>
+
+namespace moa {
+
+ExprPtr Expr::Const(Value v) {
+  auto e = std::shared_ptr<Expr>(new Expr());
+  e->kind_ = Kind::kConst;
+  e->constant_ = std::move(v);
+  return e;
+}
+
+ExprPtr Expr::Apply(std::string op, std::vector<ExprPtr> args) {
+  auto e = std::shared_ptr<Expr>(new Expr());
+  e->kind_ = Kind::kApply;
+  e->op_ = std::move(op);
+  e->args_ = std::move(args);
+  return e;
+}
+
+std::string Expr::ExtensionName() const {
+  auto dot = op_.find('.');
+  return dot == std::string::npos ? std::string() : op_.substr(0, dot);
+}
+
+std::string Expr::OpName() const {
+  auto dot = op_.find('.');
+  return dot == std::string::npos ? op_ : op_.substr(dot + 1);
+}
+
+bool Expr::Equal(const ExprPtr& a, const ExprPtr& b) {
+  if (a == b) return true;
+  if (!a || !b) return false;
+  if (a->kind_ != b->kind_) return false;
+  if (a->kind_ == Kind::kConst) return a->constant_ == b->constant_;
+  if (a->op_ != b->op_) return false;
+  if (a->args_.size() != b->args_.size()) return false;
+  for (size_t i = 0; i < a->args_.size(); ++i) {
+    if (!Equal(a->args_[i], b->args_[i])) return false;
+  }
+  return true;
+}
+
+size_t Expr::TreeSize() const {
+  size_t n = 1;
+  for (const auto& a : args_) n += a->TreeSize();
+  return n;
+}
+
+std::string Expr::ToString() const {
+  if (kind_ == Kind::kConst) {
+    // Large collections render as a placeholder to keep Explain readable.
+    if (constant_.is_collection() && constant_.Elements().size() > 16) {
+      std::ostringstream os;
+      os << ValueKindName(constant_.kind()) << "<"
+         << constant_.Elements().size() << " elems>";
+      return os.str();
+    }
+    return constant_.ToString();
+  }
+  std::ostringstream os;
+  os << op_ << "(";
+  for (size_t i = 0; i < args_.size(); ++i) {
+    if (i > 0) os << ", ";
+    os << args_[i]->ToString();
+  }
+  os << ")";
+  return os.str();
+}
+
+}  // namespace moa

@@ -1,0 +1,63 @@
+// Expression AST over the Moa algebra.
+//
+// An expression is either a constant Value or the application of a named
+// operator (qualified by its extension, e.g. "LIST.select") to argument
+// expressions. Expressions are immutable and shared; the optimizer produces
+// new trees instead of mutating.
+#ifndef MOA_ALGEBRA_EXPR_H_
+#define MOA_ALGEBRA_EXPR_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "algebra/value.h"
+
+namespace moa {
+
+class Expr;
+using ExprPtr = std::shared_ptr<const Expr>;
+
+/// \brief One AST node.
+class Expr {
+ public:
+  enum class Kind { kConst, kApply };
+
+  /// Constant leaf.
+  static ExprPtr Const(Value v);
+
+  /// Operator application: `op` must be an extension-qualified name such as
+  /// "LIST.select" or "BAG.projecttolist".
+  static ExprPtr Apply(std::string op, std::vector<ExprPtr> args);
+
+  Kind kind() const { return kind_; }
+  const Value& constant() const { return constant_; }
+  const std::string& op() const { return op_; }
+  const std::vector<ExprPtr>& args() const { return args_; }
+
+  /// Extension prefix of `op` ("LIST" of "LIST.select"); empty for consts.
+  std::string ExtensionName() const;
+  /// Operator suffix ("select" of "LIST.select"); empty for consts.
+  std::string OpName() const;
+
+  /// Structural equality of trees.
+  static bool Equal(const ExprPtr& a, const ExprPtr& b);
+
+  /// Number of nodes in the tree.
+  size_t TreeSize() const;
+
+  /// `LIST.select(projecttobag(...), 2, 4)`-style rendering.
+  std::string ToString() const;
+
+ private:
+  Expr() = default;
+
+  Kind kind_ = Kind::kConst;
+  Value constant_;
+  std::string op_;
+  std::vector<ExprPtr> args_;
+};
+
+}  // namespace moa
+
+#endif  // MOA_ALGEBRA_EXPR_H_

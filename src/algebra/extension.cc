@@ -1,0 +1,48 @@
+#include "algebra/extension.h"
+
+#include <algorithm>
+#include <set>
+
+namespace moa {
+
+const ExtensionRegistry& ExtensionRegistry::Default() {
+  static const ExtensionRegistry* registry = [] {
+    auto* r = new ExtensionRegistry();
+    RegisterListOps(r);
+    RegisterBagOps(r);
+    RegisterSetOps(r);
+    RegisterTupleOps(r);
+    return r;
+  }();
+  return *registry;
+}
+
+void ExtensionRegistry::Register(OpDef def) {
+  ops_[def.name] = std::move(def);
+}
+
+const OpDef* ExtensionRegistry::Find(const std::string& name) const {
+  auto it = ops_.find(name);
+  return it == ops_.end() ? nullptr : &it->second;
+}
+
+std::vector<std::string> ExtensionRegistry::OpsOfExtension(
+    const std::string& ext) const {
+  std::vector<std::string> out;
+  const std::string prefix = ext + ".";
+  for (const auto& [name, def] : ops_) {
+    if (name.rfind(prefix, 0) == 0) out.push_back(name);
+  }
+  return out;
+}
+
+std::vector<std::string> ExtensionRegistry::Extensions() const {
+  std::set<std::string> exts;
+  for (const auto& [name, def] : ops_) {
+    auto dot = name.find('.');
+    if (dot != std::string::npos) exts.insert(name.substr(0, dot));
+  }
+  return {exts.begin(), exts.end()};
+}
+
+}  // namespace moa

@@ -1,0 +1,80 @@
+// Extension (E-ADT) registry: the catalogue of operators per structure.
+//
+// Each extension (LIST, BAG, SET, TUPLE) registers its operators together
+// with the *algebraic properties* the optimizer layers reason over. The
+// properties are deliberately first-class: the paper's central argument is
+// that optimizers which cannot see properties across extension boundaries
+// (PREDATOR's E-ADTs) miss rewrites like select/projecttobag commutation.
+#ifndef MOA_ALGEBRA_EXTENSION_H_
+#define MOA_ALGEBRA_EXTENSION_H_
+
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "algebra/value.h"
+#include "common/status.h"
+
+namespace moa {
+
+/// \brief Algebraic properties of one operator, consumed by the optimizer.
+struct OpProperties {
+  /// Kind of the first (collection) argument; kNull when not applicable.
+  ValueKind input_kind = ValueKind::kNull;
+  /// Kind of the result.
+  ValueKind result_kind = ValueKind::kNull;
+  /// Output element order equals input element order (e.g. LIST.select).
+  bool preserves_order = false;
+  /// Operator is only correct on ascending-sorted input (LIST.select_sorted).
+  bool requires_sorted_input = false;
+  /// Output is ascending-sorted regardless of input (LIST.sort, SET ops).
+  bool produces_sorted_output = false;
+  /// Result is invariant under permutation of input elements (bag
+  /// semantics): true for projecttobag, count, sum, every BAG/SET op.
+  bool order_insensitive = false;
+  /// Filters elements without transforming them (select family); such ops
+  /// commute with order-insensitive structure casts.
+  bool is_filter = false;
+};
+
+/// Implementation: takes evaluated argument values, returns the result.
+using OpFn = std::function<Result<Value>(const std::vector<Value>&)>;
+
+/// \brief One registered operator.
+struct OpDef {
+  std::string name;  ///< extension-qualified, e.g. "LIST.select"
+  OpProperties props;
+  OpFn fn;
+};
+
+/// \brief Registry of all known operators, keyed by qualified name.
+class ExtensionRegistry {
+ public:
+  /// The registry with every built-in extension registered.
+  static const ExtensionRegistry& Default();
+
+  void Register(OpDef def);
+
+  /// Definition of `name`, or nullptr.
+  const OpDef* Find(const std::string& name) const;
+
+  /// All operator names of one extension, sorted.
+  std::vector<std::string> OpsOfExtension(const std::string& ext) const;
+
+  /// All extension names present, sorted.
+  std::vector<std::string> Extensions() const;
+
+ private:
+  std::map<std::string, OpDef> ops_;
+};
+
+/// Registration hooks (called by ExtensionRegistry::Default()).
+void RegisterListOps(ExtensionRegistry* registry);
+void RegisterBagOps(ExtensionRegistry* registry);
+void RegisterSetOps(ExtensionRegistry* registry);
+void RegisterTupleOps(ExtensionRegistry* registry);
+
+}  // namespace moa
+
+#endif  // MOA_ALGEBRA_EXTENSION_H_

@@ -1,0 +1,153 @@
+// BAG extension: unordered collections with duplicates. Order formally does
+// not exist here, which is why a BAG.select can never exploit sortedness —
+// the information was discarded at the extension boundary (paper Example 1).
+#include <algorithm>
+
+#include "algebra/extension.h"
+#include "algebra/ops_common.h"
+#include "common/cost_ticker.h"
+
+namespace moa {
+namespace {
+
+using ops::AllNumeric;
+using ops::ExpectArity;
+using ops::ExpectKind;
+using ops::ExpectNumeric;
+
+/// select(bag, lo, hi): elements with lo <= v <= hi. Always a full scan —
+/// a bag has no order to exploit.
+Result<Value> BagSelect(const std::vector<Value>& args) {
+  MOA_RETURN_NOT_OK(ExpectArity("BAG.select", args, 3));
+  MOA_RETURN_NOT_OK(ExpectKind("BAG.select", args, 0, ValueKind::kBag));
+  MOA_RETURN_NOT_OK(ExpectNumeric("BAG.select", args, 1));
+  MOA_RETURN_NOT_OK(ExpectNumeric("BAG.select", args, 2));
+  const auto& elems = args[0].Elements();
+  if (!AllNumeric(elems)) {
+    return Status::InvalidArgument("BAG.select: non-numeric element");
+  }
+  const double lo = args[1].AsDouble();
+  const double hi = args[2].AsDouble();
+  ValueVec out;
+  for (const auto& e : elems) {
+    CostTicker::TickSeq();
+    CostTicker::TickCompare(2);
+    const double v = e.AsDouble();
+    if (v >= lo && v <= hi) out.push_back(e);
+  }
+  return Value::Bag(std::move(out));
+}
+
+/// projecttolist(bag): expose the physical storage order as a LIST. The
+/// order is deterministic but carries no semantics.
+Result<Value> BagProjectToList(const std::vector<Value>& args) {
+  MOA_RETURN_NOT_OK(ExpectArity("BAG.projecttolist", args, 1));
+  MOA_RETURN_NOT_OK(
+      ExpectKind("BAG.projecttolist", args, 0, ValueKind::kBag));
+  ValueVec out = args[0].Elements();
+  CostTicker::TickSeq(static_cast<int64_t>(out.size()));
+  CostTicker::TickBytes(static_cast<int64_t>(out.size()) * 16);
+  return Value::List(std::move(out));
+}
+
+/// union_all(a, b): bag union keeping duplicates.
+Result<Value> BagUnionAll(const std::vector<Value>& args) {
+  MOA_RETURN_NOT_OK(ExpectArity("BAG.union_all", args, 2));
+  MOA_RETURN_NOT_OK(ExpectKind("BAG.union_all", args, 0, ValueKind::kBag));
+  MOA_RETURN_NOT_OK(ExpectKind("BAG.union_all", args, 1, ValueKind::kBag));
+  ValueVec out = args[0].Elements();
+  const auto& b = args[1].Elements();
+  out.insert(out.end(), b.begin(), b.end());
+  CostTicker::TickSeq(static_cast<int64_t>(out.size()));
+  return Value::Bag(std::move(out));
+}
+
+/// count(bag) -> int.
+Result<Value> BagCount(const std::vector<Value>& args) {
+  MOA_RETURN_NOT_OK(ExpectArity("BAG.count", args, 1));
+  MOA_RETURN_NOT_OK(ExpectKind("BAG.count", args, 0, ValueKind::kBag));
+  return Value::Int(static_cast<int64_t>(args[0].Elements().size()));
+}
+
+/// sum(bag) -> double.
+Result<Value> BagSum(const std::vector<Value>& args) {
+  MOA_RETURN_NOT_OK(ExpectArity("BAG.sum", args, 1));
+  MOA_RETURN_NOT_OK(ExpectKind("BAG.sum", args, 0, ValueKind::kBag));
+  const auto& elems = args[0].Elements();
+  if (!AllNumeric(elems)) {
+    return Status::InvalidArgument("BAG.sum: non-numeric element");
+  }
+  double sum = 0.0;
+  for (const auto& e : elems) {
+    CostTicker::TickSeq();
+    sum += e.AsDouble();
+  }
+  return Value::Double(sum);
+}
+
+/// topn(bag, n) -> LIST of the n largest, descending (ranking entry point).
+Result<Value> BagTopN(const std::vector<Value>& args) {
+  MOA_RETURN_NOT_OK(ExpectArity("BAG.topn", args, 2));
+  MOA_RETURN_NOT_OK(ExpectKind("BAG.topn", args, 0, ValueKind::kBag));
+  MOA_RETURN_NOT_OK(ExpectKind("BAG.topn", args, 1, ValueKind::kInt));
+  const int64_t n = args[1].AsInt();
+  if (n < 0) return Status::InvalidArgument("BAG.topn: n must be >= 0");
+  const auto& elems = args[0].Elements();
+  auto greater = [](const Value& a, const Value& b) {
+    CostTicker::TickCompare();
+    return Value::Compare(a, b) > 0;
+  };
+  ValueVec heap;
+  heap.reserve(static_cast<size_t>(n));
+  for (const auto& e : elems) {
+    CostTicker::TickSeq();
+    if (static_cast<int64_t>(heap.size()) < n) {
+      heap.push_back(e);
+      std::push_heap(heap.begin(), heap.end(), greater);
+    } else if (n > 0 && Value::Compare(e, heap.front()) > 0) {
+      CostTicker::TickCompare();
+      std::pop_heap(heap.begin(), heap.end(), greater);
+      heap.back() = e;
+      std::push_heap(heap.begin(), heap.end(), greater);
+    }
+  }
+  std::sort_heap(heap.begin(), heap.end(), greater);
+  return Value::List(std::move(heap));
+}
+
+}  // namespace
+
+void RegisterBagOps(ExtensionRegistry* registry) {
+  registry->Register({"BAG.select",
+                      {.input_kind = ValueKind::kBag,
+                       .result_kind = ValueKind::kBag,
+                       .order_insensitive = true,
+                       .is_filter = true},
+                      BagSelect});
+  registry->Register({"BAG.projecttolist",
+                      {.input_kind = ValueKind::kBag,
+                       .result_kind = ValueKind::kList},
+                      BagProjectToList});
+  registry->Register({"BAG.union_all",
+                      {.input_kind = ValueKind::kBag,
+                       .result_kind = ValueKind::kBag,
+                       .order_insensitive = true},
+                      BagUnionAll});
+  registry->Register({"BAG.count",
+                      {.input_kind = ValueKind::kBag,
+                       .result_kind = ValueKind::kInt,
+                       .order_insensitive = true},
+                      BagCount});
+  registry->Register({"BAG.sum",
+                      {.input_kind = ValueKind::kBag,
+                       .result_kind = ValueKind::kDouble,
+                       .order_insensitive = true},
+                      BagSum});
+  registry->Register({"BAG.topn",
+                      {.input_kind = ValueKind::kBag,
+                       .result_kind = ValueKind::kList,
+                       .order_insensitive = true},
+                      BagTopN});
+}
+
+}  // namespace moa

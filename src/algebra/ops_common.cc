@@ -1,0 +1,43 @@
+#include "algebra/ops_common.h"
+
+namespace moa {
+namespace ops {
+
+Status ExpectArity(const std::string& op, const std::vector<Value>& args,
+                   size_t arity) {
+  if (args.size() != arity) {
+    return Status::InvalidArgument(op + " expects " + std::to_string(arity) +
+                                   " args, got " +
+                                   std::to_string(args.size()));
+  }
+  return Status::OK();
+}
+
+Status ExpectKind(const std::string& op, const std::vector<Value>& args,
+                  size_t i, ValueKind kind) {
+  if (args[i].kind() != kind) {
+    return Status::InvalidArgument(
+        op + ": arg " + std::to_string(i) + " must be " +
+        ValueKindName(kind) + ", got " + ValueKindName(args[i].kind()));
+  }
+  return Status::OK();
+}
+
+Status ExpectNumeric(const std::string& op, const std::vector<Value>& args,
+                     size_t i) {
+  if (!args[i].is_numeric()) {
+    return Status::InvalidArgument(op + ": arg " + std::to_string(i) +
+                                   " must be numeric");
+  }
+  return Status::OK();
+}
+
+bool AllNumeric(const ValueVec& elems) {
+  for (const auto& e : elems) {
+    if (!e.is_numeric()) return false;
+  }
+  return true;
+}
+
+}  // namespace ops
+}  // namespace moa

@@ -1,0 +1,32 @@
+// Shared argument-validation helpers for extension operator implementations.
+#ifndef MOA_ALGEBRA_OPS_COMMON_H_
+#define MOA_ALGEBRA_OPS_COMMON_H_
+
+#include <string>
+#include <vector>
+
+#include "algebra/value.h"
+#include "common/status.h"
+
+namespace moa {
+namespace ops {
+
+/// Checks exact arity.
+Status ExpectArity(const std::string& op, const std::vector<Value>& args,
+                   size_t arity);
+
+/// Checks args[i] has the given kind.
+Status ExpectKind(const std::string& op, const std::vector<Value>& args,
+                  size_t i, ValueKind kind);
+
+/// Checks args[i] is numeric (int or double).
+Status ExpectNumeric(const std::string& op, const std::vector<Value>& args,
+                     size_t i);
+
+/// True iff every element of `elems` is numeric.
+bool AllNumeric(const ValueVec& elems);
+
+}  // namespace ops
+}  // namespace moa
+
+#endif  // MOA_ALGEBRA_OPS_COMMON_H_

@@ -1,0 +1,261 @@
+// LIST extension: ordered collections. This is the extension where physical
+// order exists and can be exploited (select over a sorted LIST becomes a
+// binary-search range extraction — the punchline of the paper's Example 1).
+#include <algorithm>
+#include <cmath>
+
+#include "algebra/extension.h"
+#include "algebra/ops_common.h"
+#include "common/cost_ticker.h"
+
+namespace moa {
+namespace {
+
+using ops::AllNumeric;
+using ops::ExpectArity;
+using ops::ExpectKind;
+using ops::ExpectNumeric;
+
+/// select(list, lo, hi): elements with lo <= v <= hi, order preserved.
+/// Full scan: O(n) sequential reads.
+Result<Value> ListSelect(const std::vector<Value>& args) {
+  MOA_RETURN_NOT_OK(ExpectArity("LIST.select", args, 3));
+  MOA_RETURN_NOT_OK(ExpectKind("LIST.select", args, 0, ValueKind::kList));
+  MOA_RETURN_NOT_OK(ExpectNumeric("LIST.select", args, 1));
+  MOA_RETURN_NOT_OK(ExpectNumeric("LIST.select", args, 2));
+  const auto& elems = args[0].Elements();
+  if (!AllNumeric(elems)) {
+    return Status::InvalidArgument("LIST.select: non-numeric element");
+  }
+  const double lo = args[1].AsDouble();
+  const double hi = args[2].AsDouble();
+  ValueVec out;
+  for (const auto& e : elems) {
+    CostTicker::TickSeq();
+    CostTicker::TickCompare(2);
+    const double v = e.AsDouble();
+    if (v >= lo && v <= hi) out.push_back(e);
+  }
+  return Value::List(std::move(out));
+}
+
+/// select_sorted(list, lo, hi): same result as select but *requires* the
+/// input ascending-sorted; runs two binary searches + a contiguous copy.
+/// O(log n) random reads + O(k) sequential.
+Result<Value> ListSelectSorted(const std::vector<Value>& args) {
+  MOA_RETURN_NOT_OK(ExpectArity("LIST.select_sorted", args, 3));
+  MOA_RETURN_NOT_OK(
+      ExpectKind("LIST.select_sorted", args, 0, ValueKind::kList));
+  MOA_RETURN_NOT_OK(ExpectNumeric("LIST.select_sorted", args, 1));
+  MOA_RETURN_NOT_OK(ExpectNumeric("LIST.select_sorted", args, 2));
+  const auto& elems = args[0].Elements();
+  if (!AllNumeric(elems)) {
+    return Status::InvalidArgument("LIST.select_sorted: non-numeric element");
+  }
+  const double lo = args[1].AsDouble();
+  const double hi = args[2].AsDouble();
+  auto cmp_lo = [](const Value& e, double bound) {
+    CostTicker::TickCompare();
+    return e.AsDouble() < bound;
+  };
+  auto cmp_hi = [](double bound, const Value& e) {
+    CostTicker::TickCompare();
+    return bound < e.AsDouble();
+  };
+  auto first = std::lower_bound(elems.begin(), elems.end(), lo, cmp_lo);
+  auto last = std::upper_bound(elems.begin(), elems.end(), hi, cmp_hi);
+  const auto n = elems.size();
+  CostTicker::TickRandom(
+      2 * static_cast<int64_t>(std::ceil(std::log2(std::max<size_t>(n, 2)))));
+  if (last < first) last = first;
+  ValueVec out(first, last);
+  CostTicker::TickSeq(static_cast<int64_t>(out.size()));
+  return Value::List(std::move(out));
+}
+
+/// sort(list): ascending, stable; O(n log n) compares.
+Result<Value> ListSort(const std::vector<Value>& args) {
+  MOA_RETURN_NOT_OK(ExpectArity("LIST.sort", args, 1));
+  MOA_RETURN_NOT_OK(ExpectKind("LIST.sort", args, 0, ValueKind::kList));
+  ValueVec out = args[0].Elements();
+  CostTicker::TickSeq(static_cast<int64_t>(out.size()));
+  std::stable_sort(out.begin(), out.end(), [](const Value& a, const Value& b) {
+    CostTicker::TickCompare();
+    return Value::Compare(a, b) < 0;
+  });
+  return Value::List(std::move(out));
+}
+
+/// topn(list, n): the n largest elements, descending. Bounded min-heap:
+/// O(n log N) compares, one pass.
+Result<Value> ListTopN(const std::vector<Value>& args) {
+  MOA_RETURN_NOT_OK(ExpectArity("LIST.topn", args, 2));
+  MOA_RETURN_NOT_OK(ExpectKind("LIST.topn", args, 0, ValueKind::kList));
+  MOA_RETURN_NOT_OK(ExpectKind("LIST.topn", args, 1, ValueKind::kInt));
+  const int64_t n = args[1].AsInt();
+  if (n < 0) return Status::InvalidArgument("LIST.topn: n must be >= 0");
+  const auto& elems = args[0].Elements();
+  auto greater = [](const Value& a, const Value& b) {
+    CostTicker::TickCompare();
+    return Value::Compare(a, b) > 0;
+  };
+  // Min-heap of the current top n (heap top = weakest member).
+  ValueVec heap;
+  heap.reserve(static_cast<size_t>(n));
+  for (const auto& e : elems) {
+    CostTicker::TickSeq();
+    if (static_cast<int64_t>(heap.size()) < n) {
+      heap.push_back(e);
+      std::push_heap(heap.begin(), heap.end(), greater);
+    } else if (n > 0 && Value::Compare(e, heap.front()) > 0) {
+      CostTicker::TickCompare();
+      std::pop_heap(heap.begin(), heap.end(), greater);
+      heap.back() = e;
+      std::push_heap(heap.begin(), heap.end(), greater);
+    }
+  }
+  std::sort_heap(heap.begin(), heap.end(), greater);
+  return Value::List(std::move(heap));
+}
+
+/// projecttobag(list): forget order, keep duplicates. O(n) copy.
+Result<Value> ListProjectToBag(const std::vector<Value>& args) {
+  MOA_RETURN_NOT_OK(ExpectArity("LIST.projecttobag", args, 1));
+  MOA_RETURN_NOT_OK(
+      ExpectKind("LIST.projecttobag", args, 0, ValueKind::kList));
+  ValueVec out = args[0].Elements();
+  CostTicker::TickSeq(static_cast<int64_t>(out.size()));
+  CostTicker::TickBytes(static_cast<int64_t>(out.size()) * 16);
+  return Value::Bag(std::move(out));
+}
+
+/// concat(a, b): list concatenation.
+Result<Value> ListConcat(const std::vector<Value>& args) {
+  MOA_RETURN_NOT_OK(ExpectArity("LIST.concat", args, 2));
+  MOA_RETURN_NOT_OK(ExpectKind("LIST.concat", args, 0, ValueKind::kList));
+  MOA_RETURN_NOT_OK(ExpectKind("LIST.concat", args, 1, ValueKind::kList));
+  ValueVec out = args[0].Elements();
+  const auto& b = args[1].Elements();
+  out.insert(out.end(), b.begin(), b.end());
+  CostTicker::TickSeq(static_cast<int64_t>(out.size()));
+  return Value::List(std::move(out));
+}
+
+/// slice(list, start, len): subrange [start, start+len).
+Result<Value> ListSlice(const std::vector<Value>& args) {
+  MOA_RETURN_NOT_OK(ExpectArity("LIST.slice", args, 3));
+  MOA_RETURN_NOT_OK(ExpectKind("LIST.slice", args, 0, ValueKind::kList));
+  MOA_RETURN_NOT_OK(ExpectKind("LIST.slice", args, 1, ValueKind::kInt));
+  MOA_RETURN_NOT_OK(ExpectKind("LIST.slice", args, 2, ValueKind::kInt));
+  const auto& elems = args[0].Elements();
+  const int64_t start = args[1].AsInt();
+  const int64_t len = args[2].AsInt();
+  if (start < 0 || len < 0) {
+    return Status::OutOfRange("LIST.slice: negative start or len");
+  }
+  const size_t begin = std::min<size_t>(static_cast<size_t>(start), elems.size());
+  const size_t end = std::min<size_t>(begin + static_cast<size_t>(len), elems.size());
+  ValueVec out(elems.begin() + begin, elems.begin() + end);
+  CostTicker::TickSeq(static_cast<int64_t>(out.size()));
+  return Value::List(std::move(out));
+}
+
+/// reverse(list).
+Result<Value> ListReverse(const std::vector<Value>& args) {
+  MOA_RETURN_NOT_OK(ExpectArity("LIST.reverse", args, 1));
+  MOA_RETURN_NOT_OK(ExpectKind("LIST.reverse", args, 0, ValueKind::kList));
+  ValueVec out = args[0].Elements();
+  std::reverse(out.begin(), out.end());
+  CostTicker::TickSeq(static_cast<int64_t>(out.size()));
+  return Value::List(std::move(out));
+}
+
+/// count(list) -> int.
+Result<Value> ListCount(const std::vector<Value>& args) {
+  MOA_RETURN_NOT_OK(ExpectArity("LIST.count", args, 1));
+  MOA_RETURN_NOT_OK(ExpectKind("LIST.count", args, 0, ValueKind::kList));
+  return Value::Int(static_cast<int64_t>(args[0].Elements().size()));
+}
+
+/// sum(list) -> double; numeric elements only.
+Result<Value> ListSum(const std::vector<Value>& args) {
+  MOA_RETURN_NOT_OK(ExpectArity("LIST.sum", args, 1));
+  MOA_RETURN_NOT_OK(ExpectKind("LIST.sum", args, 0, ValueKind::kList));
+  const auto& elems = args[0].Elements();
+  if (!AllNumeric(elems)) {
+    return Status::InvalidArgument("LIST.sum: non-numeric element");
+  }
+  double sum = 0.0;
+  for (const auto& e : elems) {
+    CostTicker::TickSeq();
+    sum += e.AsDouble();
+  }
+  return Value::Double(sum);
+}
+
+}  // namespace
+
+void RegisterListOps(ExtensionRegistry* registry) {
+  registry->Register(
+      {"LIST.select",
+       {.input_kind = ValueKind::kList,
+        .result_kind = ValueKind::kList,
+        .preserves_order = true,
+        .is_filter = true},
+       ListSelect});
+  registry->Register(
+      {"LIST.select_sorted",
+       {.input_kind = ValueKind::kList,
+        .result_kind = ValueKind::kList,
+        .preserves_order = true,
+        .requires_sorted_input = true,
+        .produces_sorted_output = true,
+        .is_filter = true},
+       ListSelectSorted});
+  registry->Register({"LIST.sort",
+                      {.input_kind = ValueKind::kList,
+                       .result_kind = ValueKind::kList,
+                       .produces_sorted_output = true,
+                       .order_insensitive = true},
+                      ListSort});
+  registry->Register({"LIST.topn",
+                      {.input_kind = ValueKind::kList,
+                       .result_kind = ValueKind::kList,
+                       .order_insensitive = true},
+                      ListTopN});
+  // NOTE: projecttobag is *formally* order-insensitive (the bag value is
+  // the same multiset), but its output leaks the physical storage order —
+  // BAG.projecttolist downstream can re-expose it. Marking it order-
+  // insensitive would let the sort-elision rule change observable results
+  // (caught by rewrite_property_test), so it is deliberately not marked.
+  registry->Register({"LIST.projecttobag",
+                      {.input_kind = ValueKind::kList,
+                       .result_kind = ValueKind::kBag},
+                      ListProjectToBag});
+  registry->Register({"LIST.concat",
+                      {.input_kind = ValueKind::kList,
+                       .result_kind = ValueKind::kList,
+                       .preserves_order = true},
+                      ListConcat});
+  registry->Register({"LIST.slice",
+                      {.input_kind = ValueKind::kList,
+                       .result_kind = ValueKind::kList,
+                       .preserves_order = true},
+                      ListSlice});
+  registry->Register({"LIST.reverse",
+                      {.input_kind = ValueKind::kList,
+                       .result_kind = ValueKind::kList},
+                      ListReverse});
+  registry->Register({"LIST.count",
+                      {.input_kind = ValueKind::kList,
+                       .result_kind = ValueKind::kInt,
+                       .order_insensitive = true},
+                      ListCount});
+  registry->Register({"LIST.sum",
+                      {.input_kind = ValueKind::kList,
+                       .result_kind = ValueKind::kDouble,
+                       .order_insensitive = true},
+                      ListSum});
+}
+
+}  // namespace moa

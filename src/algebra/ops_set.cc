@@ -1,0 +1,155 @@
+// SET extension: duplicate-free unordered collections, canonically stored
+// sorted so that union/intersect/difference run as linear merges.
+#include <algorithm>
+
+#include "algebra/extension.h"
+#include "algebra/ops_common.h"
+#include "common/cost_ticker.h"
+
+namespace moa {
+namespace {
+
+using ops::ExpectArity;
+using ops::ExpectKind;
+using ops::ExpectNumeric;
+
+bool ValueLess(const Value& a, const Value& b) {
+  return Value::Compare(a, b) < 0;
+}
+
+/// make(coll): SET from any collection (dedup + canonicalize).
+Result<Value> SetMake(const std::vector<Value>& args) {
+  MOA_RETURN_NOT_OK(ExpectArity("SET.make", args, 1));
+  if (!args[0].is_collection()) {
+    return Status::InvalidArgument("SET.make: argument must be a collection");
+  }
+  ValueVec elems = args[0].Elements();
+  CostTicker::TickSeq(static_cast<int64_t>(elems.size()));
+  return Value::Set(std::move(elems));
+}
+
+/// union(a, b): merge of two canonical sets; O(|a| + |b|).
+Result<Value> SetUnion(const std::vector<Value>& args) {
+  MOA_RETURN_NOT_OK(ExpectArity("SET.union", args, 2));
+  MOA_RETURN_NOT_OK(ExpectKind("SET.union", args, 0, ValueKind::kSet));
+  MOA_RETURN_NOT_OK(ExpectKind("SET.union", args, 1, ValueKind::kSet));
+  const auto& a = args[0].Elements();
+  const auto& b = args[1].Elements();
+  ValueVec out;
+  out.reserve(a.size() + b.size());
+  std::set_union(a.begin(), a.end(), b.begin(), b.end(),
+                 std::back_inserter(out), ValueLess);
+  CostTicker::TickSeq(static_cast<int64_t>(a.size() + b.size()));
+  return Value::Set(std::move(out));
+}
+
+/// intersect(a, b).
+Result<Value> SetIntersect(const std::vector<Value>& args) {
+  MOA_RETURN_NOT_OK(ExpectArity("SET.intersect", args, 2));
+  MOA_RETURN_NOT_OK(ExpectKind("SET.intersect", args, 0, ValueKind::kSet));
+  MOA_RETURN_NOT_OK(ExpectKind("SET.intersect", args, 1, ValueKind::kSet));
+  const auto& a = args[0].Elements();
+  const auto& b = args[1].Elements();
+  ValueVec out;
+  std::set_intersection(a.begin(), a.end(), b.begin(), b.end(),
+                        std::back_inserter(out), ValueLess);
+  CostTicker::TickSeq(static_cast<int64_t>(a.size() + b.size()));
+  return Value::Set(std::move(out));
+}
+
+/// difference(a, b): a \ b.
+Result<Value> SetDifference(const std::vector<Value>& args) {
+  MOA_RETURN_NOT_OK(ExpectArity("SET.difference", args, 2));
+  MOA_RETURN_NOT_OK(ExpectKind("SET.difference", args, 0, ValueKind::kSet));
+  MOA_RETURN_NOT_OK(ExpectKind("SET.difference", args, 1, ValueKind::kSet));
+  const auto& a = args[0].Elements();
+  const auto& b = args[1].Elements();
+  ValueVec out;
+  std::set_difference(a.begin(), a.end(), b.begin(), b.end(),
+                      std::back_inserter(out), ValueLess);
+  CostTicker::TickSeq(static_cast<int64_t>(a.size() + b.size()));
+  return Value::Set(std::move(out));
+}
+
+/// contains(set, v) -> int 0/1; binary search over the canonical order.
+Result<Value> SetContains(const std::vector<Value>& args) {
+  MOA_RETURN_NOT_OK(ExpectArity("SET.contains", args, 2));
+  MOA_RETURN_NOT_OK(ExpectKind("SET.contains", args, 0, ValueKind::kSet));
+  const auto& elems = args[0].Elements();
+  CostTicker::TickRandom();
+  const bool found =
+      std::binary_search(elems.begin(), elems.end(), args[1], ValueLess);
+  return Value::Int(found ? 1 : 0);
+}
+
+/// select(set, lo, hi): canonical order is sorted, so a SET range select is
+/// always the cheap binary-search variant.
+Result<Value> SetSelect(const std::vector<Value>& args) {
+  MOA_RETURN_NOT_OK(ExpectArity("SET.select", args, 3));
+  MOA_RETURN_NOT_OK(ExpectKind("SET.select", args, 0, ValueKind::kSet));
+  MOA_RETURN_NOT_OK(ExpectNumeric("SET.select", args, 1));
+  MOA_RETURN_NOT_OK(ExpectNumeric("SET.select", args, 2));
+  const auto& elems = args[0].Elements();
+  auto first = std::lower_bound(elems.begin(), elems.end(), args[1], ValueLess);
+  auto last = std::upper_bound(elems.begin(), elems.end(), args[2], ValueLess);
+  CostTicker::TickRandom(2);
+  if (last < first) last = first;
+  ValueVec out(first, last);
+  CostTicker::TickSeq(static_cast<int64_t>(out.size()));
+  return Value::Set(std::move(out));
+}
+
+/// count(set) -> int.
+Result<Value> SetCount(const std::vector<Value>& args) {
+  MOA_RETURN_NOT_OK(ExpectArity("SET.count", args, 1));
+  MOA_RETURN_NOT_OK(ExpectKind("SET.count", args, 0, ValueKind::kSet));
+  return Value::Int(static_cast<int64_t>(args[0].Elements().size()));
+}
+
+}  // namespace
+
+void RegisterSetOps(ExtensionRegistry* registry) {
+  registry->Register({"SET.make",
+                      {.input_kind = ValueKind::kNull,
+                       .result_kind = ValueKind::kSet,
+                       .produces_sorted_output = true,
+                       .order_insensitive = true},
+                      SetMake});
+  registry->Register({"SET.union",
+                      {.input_kind = ValueKind::kSet,
+                       .result_kind = ValueKind::kSet,
+                       .produces_sorted_output = true,
+                       .order_insensitive = true},
+                      SetUnion});
+  registry->Register({"SET.intersect",
+                      {.input_kind = ValueKind::kSet,
+                       .result_kind = ValueKind::kSet,
+                       .produces_sorted_output = true,
+                       .order_insensitive = true},
+                      SetIntersect});
+  registry->Register({"SET.difference",
+                      {.input_kind = ValueKind::kSet,
+                       .result_kind = ValueKind::kSet,
+                       .produces_sorted_output = true,
+                       .order_insensitive = true},
+                      SetDifference});
+  registry->Register({"SET.contains",
+                      {.input_kind = ValueKind::kSet,
+                       .result_kind = ValueKind::kInt,
+                       .order_insensitive = true},
+                      SetContains});
+  registry->Register({"SET.select",
+                      {.input_kind = ValueKind::kSet,
+                       .result_kind = ValueKind::kSet,
+                       .produces_sorted_output = true,
+                       .order_insensitive = true,
+                       .is_filter = true},
+                      SetSelect});
+  registry->Register({"SET.count",
+                      {.input_kind = ValueKind::kSet,
+                       .result_kind = ValueKind::kInt,
+                       .order_insensitive = true},
+                      SetCount});
+}
+
+}  // namespace moa

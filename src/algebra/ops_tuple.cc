@@ -1,0 +1,52 @@
+// TUPLE extension: named-field records (used by integrated MM +
+// alphanumeric queries: a ranked document is <doc, score, ...attributes>).
+#include "algebra/extension.h"
+#include "algebra/ops_common.h"
+
+namespace moa {
+namespace {
+
+using ops::ExpectArity;
+using ops::ExpectKind;
+
+/// get(tuple, name) -> field value.
+Result<Value> TupleGet(const std::vector<Value>& args) {
+  MOA_RETURN_NOT_OK(ExpectArity("TUPLE.get", args, 2));
+  MOA_RETURN_NOT_OK(ExpectKind("TUPLE.get", args, 0, ValueKind::kTuple));
+  MOA_RETURN_NOT_OK(ExpectKind("TUPLE.get", args, 1, ValueKind::kString));
+  const auto& fields = args[0].Fields();
+  const auto& name = args[1].AsString();
+  for (const auto& [fname, fvalue] : fields) {
+    if (fname == name) return fvalue;
+  }
+  return Status::NotFound("TUPLE.get: no field named " + name);
+}
+
+/// make2(name1, v1, name2, v2) -> tuple with two fields.
+Result<Value> TupleMake2(const std::vector<Value>& args) {
+  MOA_RETURN_NOT_OK(ExpectArity("TUPLE.make2", args, 4));
+  MOA_RETURN_NOT_OK(ExpectKind("TUPLE.make2", args, 0, ValueKind::kString));
+  MOA_RETURN_NOT_OK(ExpectKind("TUPLE.make2", args, 2, ValueKind::kString));
+  TupleFields fields;
+  fields.emplace_back(args[0].AsString(), args[1]);
+  fields.emplace_back(args[2].AsString(), args[3]);
+  if (fields[0].first == fields[1].first) {
+    return Status::InvalidArgument("TUPLE.make2: duplicate field name");
+  }
+  return Value::Tuple(std::move(fields));
+}
+
+}  // namespace
+
+void RegisterTupleOps(ExtensionRegistry* registry) {
+  registry->Register({"TUPLE.get",
+                      {.input_kind = ValueKind::kTuple,
+                       .result_kind = ValueKind::kNull},
+                      TupleGet});
+  registry->Register({"TUPLE.make2",
+                      {.input_kind = ValueKind::kNull,
+                       .result_kind = ValueKind::kTuple},
+                      TupleMake2});
+}
+
+}  // namespace moa

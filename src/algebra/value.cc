@@ -1,0 +1,226 @@
+#include "algebra/value.h"
+
+#include <algorithm>
+#include <cassert>
+#include <sstream>
+
+namespace moa {
+
+const char* ValueKindName(ValueKind k) {
+  switch (k) {
+    case ValueKind::kNull: return "null";
+    case ValueKind::kInt: return "int";
+    case ValueKind::kDouble: return "double";
+    case ValueKind::kString: return "string";
+    case ValueKind::kList: return "LIST";
+    case ValueKind::kBag: return "BAG";
+    case ValueKind::kSet: return "SET";
+    case ValueKind::kTuple: return "TUPLE";
+  }
+  return "?";
+}
+
+Value Value::Int(int64_t v) {
+  Value x;
+  x.kind_ = ValueKind::kInt;
+  x.payload_ = v;
+  return x;
+}
+
+Value Value::Double(double v) {
+  Value x;
+  x.kind_ = ValueKind::kDouble;
+  x.payload_ = v;
+  return x;
+}
+
+Value Value::Str(std::string v) {
+  Value x;
+  x.kind_ = ValueKind::kString;
+  x.payload_ = std::move(v);
+  return x;
+}
+
+Value Value::List(ValueVec elems) {
+  Value x;
+  x.kind_ = ValueKind::kList;
+  x.payload_ = std::make_shared<const ValueVec>(std::move(elems));
+  return x;
+}
+
+Value Value::Bag(ValueVec elems) {
+  Value x;
+  x.kind_ = ValueKind::kBag;
+  x.payload_ = std::make_shared<const ValueVec>(std::move(elems));
+  return x;
+}
+
+Value Value::Set(ValueVec elems) {
+  std::sort(elems.begin(), elems.end(), [](const Value& a, const Value& b) {
+    return Compare(a, b) < 0;
+  });
+  elems.erase(std::unique(elems.begin(), elems.end(),
+                          [](const Value& a, const Value& b) {
+                            return Compare(a, b) == 0;
+                          }),
+              elems.end());
+  Value x;
+  x.kind_ = ValueKind::kSet;
+  x.payload_ = std::make_shared<const ValueVec>(std::move(elems));
+  return x;
+}
+
+Value Value::Tuple(TupleFields fields) {
+  Value x;
+  x.kind_ = ValueKind::kTuple;
+  x.payload_ = std::make_shared<const TupleFields>(std::move(fields));
+  return x;
+}
+
+int64_t Value::AsInt() const {
+  assert(kind_ == ValueKind::kInt);
+  return std::get<int64_t>(payload_);
+}
+
+double Value::AsDouble() const {
+  if (kind_ == ValueKind::kInt) {
+    return static_cast<double>(std::get<int64_t>(payload_));
+  }
+  assert(kind_ == ValueKind::kDouble);
+  return std::get<double>(payload_);
+}
+
+const std::string& Value::AsString() const {
+  assert(kind_ == ValueKind::kString);
+  return std::get<std::string>(payload_);
+}
+
+const ValueVec& Value::Elements() const {
+  assert(is_collection());
+  return *std::get<std::shared_ptr<const ValueVec>>(payload_);
+}
+
+const TupleFields& Value::Fields() const {
+  assert(kind_ == ValueKind::kTuple);
+  return *std::get<std::shared_ptr<const TupleFields>>(payload_);
+}
+
+int Value::Compare(const Value& a, const Value& b) {
+  // Numeric kinds compare cross-kind by value; otherwise kind first.
+  if (a.is_numeric() && b.is_numeric()) {
+    const double x = a.AsDouble(), y = b.AsDouble();
+    if (x < y) return -1;
+    if (x > y) return 1;
+    return 0;
+  }
+  if (a.kind_ != b.kind_) {
+    return static_cast<int>(a.kind_) < static_cast<int>(b.kind_) ? -1 : 1;
+  }
+  switch (a.kind_) {
+    case ValueKind::kNull:
+      return 0;
+    case ValueKind::kInt:
+    case ValueKind::kDouble:
+      return 0;  // handled above
+    case ValueKind::kString: {
+      const auto& x = a.AsString();
+      const auto& y = b.AsString();
+      if (x < y) return -1;
+      if (x > y) return 1;
+      return 0;
+    }
+    case ValueKind::kList:
+    case ValueKind::kBag:
+    case ValueKind::kSet: {
+      const auto& x = a.Elements();
+      const auto& y = b.Elements();
+      const size_t n = std::min(x.size(), y.size());
+      for (size_t i = 0; i < n; ++i) {
+        int c = Compare(x[i], y[i]);
+        if (c != 0) return c;
+      }
+      if (x.size() < y.size()) return -1;
+      if (x.size() > y.size()) return 1;
+      return 0;
+    }
+    case ValueKind::kTuple: {
+      const auto& x = a.Fields();
+      const auto& y = b.Fields();
+      const size_t n = std::min(x.size(), y.size());
+      for (size_t i = 0; i < n; ++i) {
+        if (x[i].first != y[i].first) {
+          return x[i].first < y[i].first ? -1 : 1;
+        }
+        int c = Compare(x[i].second, y[i].second);
+        if (c != 0) return c;
+      }
+      if (x.size() < y.size()) return -1;
+      if (x.size() > y.size()) return 1;
+      return 0;
+    }
+  }
+  return 0;
+}
+
+bool Value::BagEquals(const Value& a, const Value& b) {
+  if (!a.is_collection() || !b.is_collection()) return a == b;
+  ValueVec x = a.Elements();
+  ValueVec y = b.Elements();
+  if (x.size() != y.size()) return false;
+  auto less = [](const Value& p, const Value& q) { return Compare(p, q) < 0; };
+  std::sort(x.begin(), x.end(), less);
+  std::sort(y.begin(), y.end(), less);
+  for (size_t i = 0; i < x.size(); ++i) {
+    if (Compare(x[i], y[i]) != 0) return false;
+  }
+  return true;
+}
+
+std::string Value::ToString() const {
+  std::ostringstream os;
+  switch (kind_) {
+    case ValueKind::kNull:
+      os << "null";
+      break;
+    case ValueKind::kInt:
+      os << AsInt();
+      break;
+    case ValueKind::kDouble:
+      os << AsDouble();
+      break;
+    case ValueKind::kString:
+      os << '"' << AsString() << '"';
+      break;
+    case ValueKind::kList:
+    case ValueKind::kBag:
+    case ValueKind::kSet: {
+      const char* open = kind_ == ValueKind::kList   ? "["
+                         : kind_ == ValueKind::kBag ? "{|"
+                                                    : "{";
+      const char* close = kind_ == ValueKind::kList   ? "]"
+                          : kind_ == ValueKind::kBag ? "|}"
+                                                     : "}";
+      os << open;
+      const auto& elems = Elements();
+      for (size_t i = 0; i < elems.size(); ++i) {
+        if (i > 0) os << ", ";
+        os << elems[i].ToString();
+      }
+      os << close;
+      break;
+    }
+    case ValueKind::kTuple: {
+      os << "<";
+      const auto& fields = Fields();
+      for (size_t i = 0; i < fields.size(); ++i) {
+        if (i > 0) os << ", ";
+        os << fields[i].first << ": " << fields[i].second.ToString();
+      }
+      os << ">";
+      break;
+    }
+  }
+  return os.str();
+}
+
+}  // namespace moa

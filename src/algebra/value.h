@@ -1,0 +1,104 @@
+// The Moa value model: Atomic values and the structured extensions
+// LIST, BAG, SET and TUPLE (BWK98, VW99).
+//
+// LIST is ordered; BAG is unordered with duplicates (physically stored in
+// some arbitrary but deterministic order); SET is unordered and duplicate-
+// free (canonically stored sorted); TUPLE has named fields. The distinction
+// between what is *formally* defined (bag order is not) and what is
+// *physically* true (the stored order) is exactly the gap the paper's
+// inter-object optimizer exploits.
+#ifndef MOA_ALGEBRA_VALUE_H_
+#define MOA_ALGEBRA_VALUE_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <utility>
+#include <variant>
+#include <vector>
+
+namespace moa {
+
+/// Runtime kind of a Value.
+enum class ValueKind {
+  kNull = 0,
+  kInt,
+  kDouble,
+  kString,
+  kList,
+  kBag,
+  kSet,
+  kTuple,
+};
+
+const char* ValueKindName(ValueKind k);
+
+class Value;
+using ValueVec = std::vector<Value>;
+/// A tuple is a sequence of (field name, value) pairs.
+using TupleFields = std::vector<std::pair<std::string, Value>>;
+
+/// \brief Immutable structured value. Collection payloads are shared, so
+/// copying a Value is O(1).
+class Value {
+ public:
+  Value() : kind_(ValueKind::kNull) {}
+
+  static Value Int(int64_t v);
+  static Value Double(double v);
+  static Value Str(std::string v);
+  /// Ordered list of `elems`.
+  static Value List(ValueVec elems);
+  /// Bag of `elems`; stored order is preserved physically but carries no
+  /// semantics.
+  static Value Bag(ValueVec elems);
+  /// Set of `elems`: duplicates removed, canonical (sorted) storage.
+  static Value Set(ValueVec elems);
+  static Value Tuple(TupleFields fields);
+
+  ValueKind kind() const { return kind_; }
+  bool is_null() const { return kind_ == ValueKind::kNull; }
+  bool is_numeric() const {
+    return kind_ == ValueKind::kInt || kind_ == ValueKind::kDouble;
+  }
+  bool is_collection() const {
+    return kind_ == ValueKind::kList || kind_ == ValueKind::kBag ||
+           kind_ == ValueKind::kSet;
+  }
+
+  int64_t AsInt() const;
+  double AsDouble() const;  ///< numeric kinds only; Int widens.
+  const std::string& AsString() const;
+  /// Collection elements (list/bag/set). Set iterates in canonical order.
+  const ValueVec& Elements() const;
+  const TupleFields& Fields() const;
+
+  /// Total order over values: first by kind, then by content (collections
+  /// lexicographically, tuples field-wise). Gives SET its canonical order.
+  static int Compare(const Value& a, const Value& b);
+
+  /// Structural equality (LIST order-sensitive, SET canonical).
+  friend bool operator==(const Value& a, const Value& b) {
+    return Compare(a, b) == 0;
+  }
+
+  /// Bag-semantics equality: same elements with same multiplicities,
+  /// ignoring order. For LIST/BAG/SET inputs; scalars fall back to ==.
+  static bool BagEquals(const Value& a, const Value& b);
+
+  /// Human-readable rendering, e.g. `[1, 2, 3]`, `{|1, 2|}`, `{1, 2}`.
+  std::string ToString() const;
+
+ private:
+  using Payload =
+      std::variant<std::monostate, int64_t, double, std::string,
+                   std::shared_ptr<const ValueVec>,
+                   std::shared_ptr<const TupleFields>>;
+
+  ValueKind kind_;
+  Payload payload_;
+};
+
+}  // namespace moa
+
+#endif  // MOA_ALGEBRA_VALUE_H_

@@ -1,0 +1,20 @@
+#include "common/cost_ticker.h"
+
+#include <sstream>
+
+namespace moa {
+
+CostCounters& CostTicker::Current() {
+  thread_local CostCounters counters;
+  return counters;
+}
+
+std::string CostCounters::ToString() const {
+  std::ostringstream os;
+  os << "{seq=" << sequential_reads << " rnd=" << random_reads
+     << " score=" << score_evals << " cmp=" << compares
+     << " bytes=" << bytes_touched << " scalar=" << Scalar() << "}";
+  return os.str();
+}
+
+}  // namespace moa

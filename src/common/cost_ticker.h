@@ -1,0 +1,96 @@
+// Deterministic work accounting for operators and the cost model.
+//
+// Wall-clock timings vary with the machine; the paper's claims are about
+// *work avoided* (postings not read, objects not scored). Every physical
+// operator reports its work through CostCounters so that benches can report
+// exact, reproducible work ratios alongside wall-clock, and so that the
+// Step-3 cost model has a ground truth to calibrate against.
+#ifndef MOA_COMMON_COST_TICKER_H_
+#define MOA_COMMON_COST_TICKER_H_
+
+#include <cstdint>
+#include <string>
+
+namespace moa {
+
+/// \brief Counter bundle describing the work one operator (or plan) did.
+///
+/// Semantics:
+///  - `sequential_reads`: postings/tuples consumed via sorted or scan access.
+///  - `random_reads`: point lookups (Fagin random access, sparse-index probe).
+///  - `score_evals`: scoring-function invocations.
+///  - `compares`: comparison operations in sorts/heaps.
+///  - `bytes_touched`: modelled data volume (for fragment-size arguments).
+struct CostCounters {
+  int64_t sequential_reads = 0;
+  int64_t random_reads = 0;
+  int64_t score_evals = 0;
+  int64_t compares = 0;
+  int64_t bytes_touched = 0;
+
+  CostCounters& operator+=(const CostCounters& o) {
+    sequential_reads += o.sequential_reads;
+    random_reads += o.random_reads;
+    score_evals += o.score_evals;
+    compares += o.compares;
+    bytes_touched += o.bytes_touched;
+    return *this;
+  }
+  friend CostCounters operator+(CostCounters a, const CostCounters& b) {
+    a += b;
+    return a;
+  }
+  friend CostCounters operator-(CostCounters a, const CostCounters& b) {
+    a.sequential_reads -= b.sequential_reads;
+    a.random_reads -= b.random_reads;
+    a.score_evals -= b.score_evals;
+    a.compares -= b.compares;
+    a.bytes_touched -= b.bytes_touched;
+    return a;
+  }
+
+  /// Scalar "abstract cost" used when one number is needed: weights chosen to
+  /// reflect a main-memory system where random access costs a few sequential
+  /// accesses (cache misses), and scoring dominates comparison.
+  double Scalar() const {
+    return 1.0 * static_cast<double>(sequential_reads) +
+           4.0 * static_cast<double>(random_reads) +
+           2.0 * static_cast<double>(score_evals) +
+           0.25 * static_cast<double>(compares);
+  }
+
+  std::string ToString() const;
+};
+
+/// \brief Thread-local accumulation point operators tick into.
+///
+/// Scoped usage:
+///   CostScope scope;                 // zeroes a fresh frame
+///   ... run operator ...
+///   CostCounters used = scope.Snapshot();
+class CostTicker {
+ public:
+  static CostCounters& Current();
+
+  static void TickSeq(int64_t n = 1) { Current().sequential_reads += n; }
+  static void TickRandom(int64_t n = 1) { Current().random_reads += n; }
+  static void TickScore(int64_t n = 1) { Current().score_evals += n; }
+  static void TickCompare(int64_t n = 1) { Current().compares += n; }
+  static void TickBytes(int64_t n) { Current().bytes_touched += n; }
+};
+
+/// \brief RAII frame: captures the counters delta produced inside the scope.
+class CostScope {
+ public:
+  CostScope() : base_(CostTicker::Current()) {}
+
+  /// Work performed since construction.
+  CostCounters Snapshot() const { return CostTicker::Current() - base_; }
+
+ private:
+  CostCounters base_;
+};
+
+}  // namespace moa
+
+#endif  // MOA_COMMON_COST_TICKER_H_

@@ -1,0 +1,89 @@
+#include "common/histogram.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <sstream>
+
+namespace moa {
+
+Histogram::Histogram(double min, double max, int num_buckets)
+    : min_(min), max_(max), buckets_(static_cast<size_t>(num_buckets), 0) {
+  assert(num_buckets > 0);
+  if (max_ <= min_) max_ = min_ + 1e-12;
+  width_ = (max_ - min_) / num_buckets;
+}
+
+Histogram Histogram::FromData(const std::vector<double>& values,
+                              int num_buckets) {
+  double lo = 0.0, hi = 1.0;
+  if (!values.empty()) {
+    auto [mn, mx] = std::minmax_element(values.begin(), values.end());
+    lo = *mn;
+    hi = *mx;
+  }
+  Histogram h(lo, hi, num_buckets);
+  for (double v : values) h.Add(v);
+  return h;
+}
+
+int Histogram::BucketIndex(double value) const {
+  if (value <= min_) return 0;
+  if (value >= max_) return num_buckets() - 1;
+  int idx = static_cast<int>((value - min_) / width_);
+  return std::clamp(idx, 0, num_buckets() - 1);
+}
+
+void Histogram::Add(double value) {
+  ++buckets_[BucketIndex(value)];
+  ++total_;
+}
+
+double Histogram::CdfAtValue(double x) const {
+  if (total_ == 0) return 0.0;
+  if (x <= min_) return 0.0;
+  if (x >= max_) return 1.0;
+  const int idx = BucketIndex(x);
+  int64_t below = 0;
+  for (int i = 0; i < idx; ++i) below += buckets_[i];
+  const double bucket_lo = min_ + idx * width_;
+  const double in_bucket_frac = (x - bucket_lo) / width_;
+  const double est = static_cast<double>(below) +
+                     in_bucket_frac * static_cast<double>(buckets_[idx]);
+  return est / static_cast<double>(total_);
+}
+
+double Histogram::ValueWithCountAbove(int64_t count) const {
+  if (total_ == 0) return min_;
+  if (count >= total_) return min_;
+  if (count <= 0) return max_;
+  // Walk buckets from the top until `count` values are accumulated.
+  int64_t above = 0;
+  for (int i = num_buckets() - 1; i >= 0; --i) {
+    if (above + buckets_[i] >= count) {
+      // Interpolate within bucket i: need (count - above) values from the
+      // top of this bucket.
+      const double need = static_cast<double>(count - above);
+      const double frac =
+          buckets_[i] > 0 ? need / static_cast<double>(buckets_[i]) : 0.0;
+      const double bucket_hi = min_ + (i + 1) * width_;
+      return bucket_hi - frac * width_;
+    }
+    above += buckets_[i];
+  }
+  return min_;
+}
+
+double Histogram::EstimateRangeCount(double lo, double hi) const {
+  if (hi < lo) return 0.0;
+  return (CdfAtValue(hi) - CdfAtValue(lo)) * static_cast<double>(total_);
+}
+
+std::string Histogram::ToString() const {
+  std::ostringstream os;
+  os << "Histogram[min=" << min_ << ", max=" << max_ << ", n=" << total_
+     << ", buckets=" << num_buckets() << "]";
+  return os.str();
+}
+
+}  // namespace moa

@@ -1,0 +1,56 @@
+// Equi-width histogram over doubles: selectivity estimation and bench stats.
+#ifndef MOA_COMMON_HISTOGRAM_H_
+#define MOA_COMMON_HISTOGRAM_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace moa {
+
+/// \brief Equi-width histogram built in one pass over known [min, max].
+///
+/// Two uses in the library:
+///  1. The probabilistic top-N operator (Donjerkovic–Ramakrishnan) estimates
+///     the score cutoff for the N-th best object from a score histogram.
+///  2. The cost model estimates range-select selectivity.
+class Histogram {
+ public:
+  /// \param num_buckets resolution; 64–256 is plenty for cutoff estimation.
+  Histogram(double min, double max, int num_buckets);
+
+  /// Builds from a sample in one pass (min/max taken from the data).
+  static Histogram FromData(const std::vector<double>& values,
+                            int num_buckets);
+
+  void Add(double value);
+
+  int64_t total_count() const { return total_; }
+  double min() const { return min_; }
+  double max() const { return max_; }
+  int num_buckets() const { return static_cast<int>(buckets_.size()); }
+  int64_t bucket_count(int i) const { return buckets_[i]; }
+
+  /// Estimated fraction of values <= x (linear interpolation in-bucket).
+  double CdfAtValue(double x) const;
+
+  /// Estimated value v such that approximately `count` values are >= v.
+  /// This is the Donjerkovic–Ramakrishnan cutoff estimator.
+  double ValueWithCountAbove(int64_t count) const;
+
+  /// Estimated number of values in [lo, hi].
+  double EstimateRangeCount(double lo, double hi) const;
+
+  std::string ToString() const;
+
+ private:
+  int BucketIndex(double value) const;
+
+  double min_, max_, width_;
+  std::vector<int64_t> buckets_;
+  int64_t total_ = 0;
+};
+
+}  // namespace moa
+
+#endif  // MOA_COMMON_HISTOGRAM_H_

@@ -1,0 +1,42 @@
+// Minimal leveled logging to stderr; off by default above WARNING.
+#ifndef MOA_COMMON_LOGGING_H_
+#define MOA_COMMON_LOGGING_H_
+
+#include <sstream>
+#include <string>
+
+namespace moa {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3 };
+
+/// Global log threshold; messages below it are discarded.
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+namespace internal {
+
+/// Stream-style message collector; emits on destruction.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+
+  template <typename T>
+  LogMessage& operator<<(const T& v) {
+    stream_ << v;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+}  // namespace internal
+}  // namespace moa
+
+#define MOA_LOG(level)                                              \
+  ::moa::internal::LogMessage(::moa::LogLevel::k##level, __FILE__, \
+                              __LINE__)
+
+#endif  // MOA_COMMON_LOGGING_H_

@@ -1,0 +1,48 @@
+// Deterministic pseudo-random number generation for workloads and samplers.
+//
+// All generators in the library are seeded explicitly so every experiment in
+// bench/ is exactly reproducible run-to-run and machine-to-machine.
+#ifndef MOA_COMMON_RNG_H_
+#define MOA_COMMON_RNG_H_
+
+#include <cstdint>
+
+namespace moa {
+
+/// \brief xoshiro256** 1.0 generator (Blackman & Vigna).
+///
+/// Fast, high-quality, 256-bit state. Not cryptographic. Deterministic for a
+/// given seed, independent of the standard library implementation (unlike
+/// std::mt19937 + std::uniform_int_distribution, whose output is
+/// implementation-defined).
+class Rng {
+ public:
+  /// Seeds the four 64-bit state words from `seed` via SplitMix64.
+  explicit Rng(uint64_t seed = 0x9E3779B97F4A7C15ULL);
+
+  /// Next raw 64-bit output.
+  uint64_t Next();
+
+  /// Uniform integer in [0, bound). `bound` must be > 0. Uses rejection to
+  /// avoid modulo bias.
+  uint64_t Uniform(uint64_t bound);
+
+  /// Uniform integer in [lo, hi] inclusive.
+  int64_t UniformRange(int64_t lo, int64_t hi);
+
+  /// Uniform double in [0, 1).
+  double NextDouble();
+
+  /// Standard normal variate (Box-Muller, no caching).
+  double NextGaussian();
+
+  /// Bernoulli trial with probability p.
+  bool NextBool(double p);
+
+ private:
+  uint64_t s_[4];
+};
+
+}  // namespace moa
+
+#endif  // MOA_COMMON_RNG_H_

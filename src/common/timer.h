@@ -1,0 +1,46 @@
+// Monotonic wall-clock timing helpers for benches and the metrics registry.
+#ifndef MOA_COMMON_TIMER_H_
+#define MOA_COMMON_TIMER_H_
+
+#include <chrono>
+#include <cstdint>
+
+namespace moa {
+
+/// \brief Monotonic stopwatch; `ElapsedMicros()` can be read repeatedly.
+class WallTimer {
+ public:
+  WallTimer() { Restart(); }
+
+  void Restart() { start_ = Clock::now(); }
+
+  int64_t ElapsedNanos() const {
+    return std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() -
+                                                                start_)
+        .count();
+  }
+  double ElapsedMicros() const { return ElapsedNanos() / 1e3; }
+  double ElapsedMillis() const { return ElapsedNanos() / 1e6; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+/// \brief Adds the scope's duration (nanoseconds) to `*sink` on destruction.
+class ScopedTimer {
+ public:
+  explicit ScopedTimer(int64_t* sink) : sink_(sink) {}
+  ~ScopedTimer() { *sink_ += timer_.ElapsedNanos(); }
+
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+
+ private:
+  int64_t* sink_;
+  WallTimer timer_;
+};
+
+}  // namespace moa
+
+#endif  // MOA_COMMON_TIMER_H_

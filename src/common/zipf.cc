@@ -1,0 +1,111 @@
+#include "common/zipf.h"
+
+#include <cassert>
+#include <cmath>
+
+namespace moa {
+
+// ---------------------------------------------------------------------------
+// ZipfSampler: rejection-inversion after Hörmann & Derflinger (1996).
+// ---------------------------------------------------------------------------
+
+namespace {
+
+// Integral of x^{-s}: exact also at s == 1 (log).
+double HIntegral(double x, double s) {
+  if (std::fabs(s - 1.0) < 1e-12) return std::log(x);
+  return (std::pow(x, 1.0 - s) - 1.0) / (1.0 - s);
+}
+
+double HIntegralInverse(double x, double s) {
+  if (std::fabs(s - 1.0) < 1e-12) return std::exp(x);
+  return std::pow(1.0 + x * (1.0 - s), 1.0 / (1.0 - s));
+}
+
+}  // namespace
+
+ZipfSampler::ZipfSampler(uint64_t n, double s) : n_(n), s_(s) {
+  assert(n >= 1);
+  assert(s >= 0.0);
+  h_x1_ = HIntegral(1.5, s_) - 1.0;
+  h_n_ = HIntegral(static_cast<double>(n_) + 0.5, s_);
+  threshold_ = 2.0 - HIntegralInverse(HIntegral(2.5, s_) - std::pow(2.0, -s_), s_);
+}
+
+double ZipfSampler::H(double x) const { return HIntegral(x, s_); }
+double ZipfSampler::HInverse(double x) const { return HIntegralInverse(x, s_); }
+
+uint64_t ZipfSampler::Sample(Rng* rng) const {
+  if (n_ == 1) return 1;
+  for (;;) {
+    const double u = h_n_ + rng->NextDouble() * (h_x1_ - h_n_);
+    const double x = HInverse(u);
+    uint64_t k = static_cast<uint64_t>(x + 0.5);
+    if (k < 1) k = 1;
+    if (k > n_) k = n_;
+    const double kd = static_cast<double>(k);
+    if (kd - x <= threshold_ ||
+        u >= H(kd + 0.5) - std::pow(kd, -s_)) {
+      return k;
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// ZipfAnalytics
+// ---------------------------------------------------------------------------
+
+ZipfAnalytics::ZipfAnalytics(uint64_t n, double s) : n_(n), s_(s) {
+  assert(n >= 1);
+  const uint64_t exact = std::min<uint64_t>(n_, kExactPrefix);
+  prefix_.resize(exact);
+  double sum = 0.0;
+  for (uint64_t r = 1; r <= exact; ++r) {
+    sum += std::pow(static_cast<double>(r), -s_);
+    prefix_[r - 1] = sum;
+  }
+  total_ = PartialHarmonic(n_);
+}
+
+double ZipfAnalytics::PartialHarmonic(uint64_t k) const {
+  if (k == 0) return 0.0;
+  if (k > n_) k = n_;
+  if (k <= prefix_.size()) return prefix_[k - 1];
+  // Exact prefix + Euler-Maclaurin tail approximation for r in (m, k].
+  const double m = static_cast<double>(prefix_.size());
+  const double kd = static_cast<double>(k);
+  double tail;
+  if (std::fabs(s_ - 1.0) < 1e-12) {
+    tail = std::log(kd) - std::log(m);
+  } else {
+    tail = (std::pow(kd, 1.0 - s_) - std::pow(m, 1.0 - s_)) / (1.0 - s_);
+  }
+  // Boundary correction (trapezoid term of Euler–Maclaurin).
+  tail += 0.5 * (std::pow(kd, -s_) - std::pow(m, -s_));
+  return prefix_.back() + tail;
+}
+
+double ZipfAnalytics::VolumeFraction(uint64_t k) const {
+  return PartialHarmonic(k) / total_;
+}
+
+uint64_t ZipfAnalytics::RanksForVolume(double fraction) const {
+  assert(fraction >= 0.0 && fraction <= 1.0);
+  uint64_t lo = 1, hi = n_;
+  while (lo < hi) {
+    uint64_t mid = lo + (hi - lo) / 2;
+    if (VolumeFraction(mid) >= fraction) {
+      hi = mid;
+    } else {
+      lo = mid + 1;
+    }
+  }
+  return lo;
+}
+
+double ZipfAnalytics::Probability(uint64_t r) const {
+  assert(r >= 1 && r <= n_);
+  return std::pow(static_cast<double>(r), -s_) / total_;
+}
+
+}  // namespace moa

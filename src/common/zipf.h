@@ -1,0 +1,81 @@
+// Zipf-distributed sampling and analytic helpers.
+//
+// The paper's Step 1 rests on the observation that natural-language term
+// frequencies follow a Zipf distribution: rank-r frequency proportional to
+// 1/r^s. The sampler here drives the synthetic collection generator; the
+// analytics (harmonic sums, volume-at-rank) drive fragment sizing — e.g.
+// "which prefix of the rank axis carries 95% of the postings volume".
+#ifndef MOA_COMMON_ZIPF_H_
+#define MOA_COMMON_ZIPF_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace moa {
+
+/// \brief Samples ranks in [1, n] with P(rank = r) proportional to 1/r^s.
+///
+/// Uses rejection-inversion (W. Hörmann & G. Derflinger, 1996): O(1) expected
+/// time per sample regardless of n, exact for any skew s >= 0 (s == 0 is the
+/// uniform distribution; s == 1 is classic Zipf).
+class ZipfSampler {
+ public:
+  /// \param n number of distinct items (vocabulary size); must be >= 1.
+  /// \param s skew exponent; must be >= 0.
+  ZipfSampler(uint64_t n, double s);
+
+  /// Draws a rank in [1, n]; rank 1 is the most frequent item.
+  uint64_t Sample(Rng* rng) const;
+
+  uint64_t n() const { return n_; }
+  double s() const { return s_; }
+
+ private:
+  double H(double x) const;
+  double HInverse(double x) const;
+
+  uint64_t n_;
+  double s_;
+  double h_x1_;
+  double h_n_;
+  double threshold_;
+};
+
+/// \brief Analytic properties of a Zipf(n, s) distribution.
+///
+/// Used by the fragmentation planner to size fragments without scanning:
+/// `VolumeFraction(k)` is the fraction of all token occurrences produced by
+/// the k most frequent terms.
+class ZipfAnalytics {
+ public:
+  ZipfAnalytics(uint64_t n, double s);
+
+  /// Generalized harmonic number H_{k,s} = sum_{r=1..k} 1/r^s.
+  double PartialHarmonic(uint64_t k) const;
+
+  /// Fraction of total probability mass held by ranks [1, k].
+  double VolumeFraction(uint64_t k) const;
+
+  /// Smallest k such that ranks [1, k] hold at least `fraction` of the mass.
+  uint64_t RanksForVolume(double fraction) const;
+
+  /// Expected probability of rank r.
+  double Probability(uint64_t r) const;
+
+  uint64_t n() const { return n_; }
+
+ private:
+  uint64_t n_;
+  double s_;
+  // Prefix sums H_{k,s} at geometric checkpoints for O(log) queries; exact
+  // for small k.
+  std::vector<double> prefix_;   // prefix_[i] = H_{i+1, s} for i < kExactPrefix
+  double total_;                 // H_{n, s}
+  static constexpr uint64_t kExactPrefix = 4096;
+};
+
+}  // namespace moa
+
+#endif  // MOA_COMMON_ZIPF_H_

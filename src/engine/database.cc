@@ -1,0 +1,142 @@
+#include "engine/database.h"
+
+#include "common/timer.h"
+#include "topn/baselines.h"
+#include "topn/fagin.h"
+#include "topn/maxscore.h"
+#include "topn/probabilistic.h"
+#include "topn/stop_after.h"
+
+namespace moa {
+
+Result<std::unique_ptr<MmDatabase>> MmDatabase::Open(
+    const DatabaseConfig& config) {
+  auto db = std::unique_ptr<MmDatabase>(new MmDatabase());
+  db->config_ = config;
+
+  Result<Collection> coll = Collection::Generate(config.collection);
+  if (!coll.ok()) return coll.status();
+  db->collection_ = std::make_unique<Collection>(std::move(coll).ValueOrDie());
+
+  InvertedFile& file = db->collection_->mutable_inverted_file();
+  switch (config.scoring) {
+    case ScoringModelKind::kTfIdf:
+      db->model_ = MakeTfIdf(&file);
+      break;
+    case ScoringModelKind::kBm25:
+      db->model_ = MakeBm25(&file);
+      break;
+    case ScoringModelKind::kLanguageModel:
+      db->model_ = MakeLanguageModel(&file);
+      break;
+  }
+  file.BuildImpactOrders([&](TermId t, const Posting& p) {
+    return db->model_->Weight(t, p);
+  });
+  db->fragmentation_ = Fragmentation::Build(file, config.fragmentation);
+  db->estimator_ = std::make_unique<CardinalityEstimator>(
+      &file, &db->fragmentation_);
+  db->cost_model_ = std::make_unique<CostModel>(db->estimator_.get());
+  db->planner_ = std::make_unique<Planner>(db->cost_model_.get());
+  return db;
+}
+
+Result<TopNResult> MmDatabase::Execute(PhysicalStrategy strategy,
+                                       const Query& query, size_t n,
+                                       double switch_threshold) {
+  const InvertedFile& f = file();
+  switch (strategy) {
+    case PhysicalStrategy::kFullSort:
+      return FullSortTopN(f, *model_, query, n);
+    case PhysicalStrategy::kHeap:
+      return HeapTopN(f, *model_, query, n);
+    case PhysicalStrategy::kFaginFA:
+      return FaginFA(f, *model_, query, n);
+    case PhysicalStrategy::kFaginTA:
+      return FaginTA(f, *model_, query, n);
+    case PhysicalStrategy::kFaginNRA:
+      return FaginNRA(f, *model_, query, n);
+    case PhysicalStrategy::kStopAfterConservative: {
+      StopAfterOptions opts;
+      opts.policy = StopAfterPolicy::kConservative;
+      return StopAfterTopN(f, *model_, query, n, opts);
+    }
+    case PhysicalStrategy::kStopAfterAggressive: {
+      StopAfterOptions opts;
+      opts.policy = StopAfterPolicy::kAggressive;
+      return StopAfterTopN(f, *model_, query, n, opts);
+    }
+    case PhysicalStrategy::kProbabilistic: {
+      ProbabilisticOptions opts;
+      return ProbabilisticTopN(f, *model_, query, n, opts);
+    }
+    case PhysicalStrategy::kSmallFragment:
+      return SmallFragmentTopN(f, fragmentation_, *model_, query, n);
+    case PhysicalStrategy::kQualitySwitchFull: {
+      QualitySwitchOptions opts;
+      opts.switch_threshold = switch_threshold;
+      opts.mode = LargeFragmentMode::kFullScan;
+      return QualitySwitchTopN(f, fragmentation_, *model_, query, n, opts);
+    }
+    case PhysicalStrategy::kQualitySwitchSparse: {
+      QualitySwitchOptions opts;
+      opts.switch_threshold = switch_threshold;
+      opts.mode = LargeFragmentMode::kSparseProbe;
+      opts.sparse_cache = &sparse_cache_;
+      return QualitySwitchTopN(f, fragmentation_, *model_, query, n, opts);
+    }
+    case PhysicalStrategy::kMaxScore: {
+      MaxScoreOptions opts;
+      opts.mode = PruneMode::kContinue;
+      return MaxScoreTopN(f, *model_, query, n, opts);
+    }
+    case PhysicalStrategy::kQuitPrune: {
+      MaxScoreOptions opts;
+      opts.mode = PruneMode::kQuit;
+      return MaxScoreTopN(f, *model_, query, n, opts);
+    }
+  }
+  return Status::Internal("unhandled strategy");
+}
+
+Result<SearchResult> MmDatabase::Search(const Query& query,
+                                        const SearchOptions& options) {
+  PlannerOptions popts;
+  popts.safe_only = options.safe_only;
+  popts.force = options.force;
+  Result<RetrievalPlan> plan = planner_->Plan(query, options.n, popts);
+  if (!plan.ok()) return plan.status();
+
+  SearchResult out;
+  out.strategy = plan.ValueOrDie().strategy;
+  out.estimate = plan.ValueOrDie().chosen;
+
+  WallTimer timer;
+  Result<TopNResult> top =
+      Execute(out.strategy, query, options.n, options.switch_threshold);
+  if (!top.ok()) return top.status();
+  out.wall_millis = timer.ElapsedMillis();
+  out.top = std::move(top).ValueOrDie();
+  return out;
+}
+
+std::vector<ScoredDoc> MmDatabase::GroundTruth(const Query& query,
+                                               size_t n) const {
+  return ExactTopN(file(), *model_, query, n);
+}
+
+std::vector<double> MmDatabase::GroundTruthScores(const Query& query) const {
+  return AccumulateScores(file(), *model_, query);
+}
+
+Result<std::string> MmDatabase::ExplainSearch(
+    const Query& query, const SearchOptions& options) const {
+  PlannerOptions popts;
+  popts.safe_only = options.safe_only;
+  popts.force = options.force;
+  Result<RetrievalPlan> plan = planner_->Plan(query, options.n, popts);
+  if (!plan.ok()) return plan.status();
+  return ExplainPlan(plan.ValueOrDie());
+}
+
+}  // namespace moa

@@ -1,0 +1,98 @@
+// MmDatabase: the public facade tying everything together.
+//
+// Owns a (synthetic) collection, its inverted file with impact orders, the
+// Step-1 fragmentation, a scoring model, the Step-3 cost model/planner and
+// a sparse-index cache — and executes top-N retrieval queries with any of
+// the physical strategies, either forced or chosen by the optimizer.
+#ifndef MOA_ENGINE_DATABASE_H_
+#define MOA_ENGINE_DATABASE_H_
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <unordered_map>
+
+#include "ir/collection.h"
+#include "ir/exact_eval.h"
+#include "ir/metrics.h"
+#include "optimizer/planner.h"
+#include "storage/fragmentation.h"
+#include "storage/sparse_index.h"
+#include "topn/fragment_topn.h"
+#include "topn/topn_result.h"
+
+namespace moa {
+
+/// Scoring model choice for MmDatabase::Open.
+enum class ScoringModelKind { kTfIdf, kBm25, kLanguageModel };
+
+/// \brief Everything needed to open a database.
+struct DatabaseConfig {
+  CollectionConfig collection;
+  FragmentationPolicy fragmentation;
+  ScoringModelKind scoring = ScoringModelKind::kBm25;
+};
+
+/// \brief Per-search options.
+struct SearchOptions {
+  size_t n = 10;
+  /// Only exact strategies may be chosen by the planner.
+  bool safe_only = true;
+  /// Force a specific strategy instead of cost-based choice.
+  std::optional<PhysicalStrategy> force;
+  /// Quality-switch threshold used by fragment strategies.
+  double switch_threshold = 0.0;
+};
+
+/// \brief A search answer plus plan/bookkeeping.
+struct SearchResult {
+  TopNResult top;
+  PhysicalStrategy strategy;
+  PlanCostEstimate estimate;
+  double wall_millis = 0.0;
+};
+
+/// \brief The in-memory MM retrieval database.
+class MmDatabase {
+ public:
+  /// Generates the collection, builds impact orders and fragmentation.
+  static Result<std::unique_ptr<MmDatabase>> Open(const DatabaseConfig& config);
+
+  /// Plans (or obeys `force`) and executes the query.
+  Result<SearchResult> Search(const Query& query, const SearchOptions& options);
+
+  /// Executes a specific strategy directly (shared by Search and benches).
+  Result<TopNResult> Execute(PhysicalStrategy strategy, const Query& query,
+                             size_t n, double switch_threshold = 0.0);
+
+  /// Exact ground truth for quality evaluation.
+  std::vector<ScoredDoc> GroundTruth(const Query& query, size_t n) const;
+  /// Dense exact scores for quality evaluation.
+  std::vector<double> GroundTruthScores(const Query& query) const;
+
+  /// Planner Explain without execution.
+  Result<std::string> ExplainSearch(const Query& query,
+                                    const SearchOptions& options) const;
+
+  const InvertedFile& file() const { return collection_->inverted_file(); }
+  const Collection& collection() const { return *collection_; }
+  const Fragmentation& fragmentation() const { return fragmentation_; }
+  const ScoringModel& model() const { return *model_; }
+  const DatabaseConfig& config() const { return config_; }
+
+ private:
+  MmDatabase() = default;
+
+  DatabaseConfig config_;
+  std::unique_ptr<Collection> collection_;
+  Fragmentation fragmentation_;
+  std::unique_ptr<ScoringModel> model_;
+  std::unique_ptr<CardinalityEstimator> estimator_;
+  std::unique_ptr<CostModel> cost_model_;
+  std::unique_ptr<Planner> planner_;
+  std::unordered_map<TermId, SparseIndex> sparse_cache_;
+};
+
+}  // namespace moa
+
+#endif  // MOA_ENGINE_DATABASE_H_

@@ -1,0 +1,102 @@
+#include "engine/query_builder.h"
+
+#include <cassert>
+#include <string>
+
+namespace moa {
+
+QueryBuilder QueryBuilder::List(std::initializer_list<int64_t> values) {
+  ValueVec elems;
+  elems.reserve(values.size());
+  for (int64_t v : values) elems.push_back(Value::Int(v));
+  return QueryBuilder(Expr::Const(Value::List(std::move(elems))),
+                      ValueKind::kList);
+}
+
+QueryBuilder QueryBuilder::ListOf(std::vector<double> values) {
+  ValueVec elems;
+  elems.reserve(values.size());
+  for (double v : values) elems.push_back(Value::Double(v));
+  return QueryBuilder(Expr::Const(Value::List(std::move(elems))),
+                      ValueKind::kList);
+}
+
+QueryBuilder QueryBuilder::From(ExprPtr expr, ValueKind kind) {
+  return QueryBuilder(std::move(expr), kind);
+}
+
+const char* QueryBuilder::Ext() const {
+  switch (kind_) {
+    case ValueKind::kList: return "LIST";
+    case ValueKind::kBag: return "BAG";
+    case ValueKind::kSet: return "SET";
+    default: return "LIST";
+  }
+}
+
+QueryBuilder QueryBuilder::Select(double lo, double hi) && {
+  ExprPtr e = Expr::Apply(std::string(Ext()) + ".select",
+                          {expr_, Expr::Const(Value::Double(lo)),
+                           Expr::Const(Value::Double(hi))});
+  return QueryBuilder(std::move(e), kind_);
+}
+
+QueryBuilder QueryBuilder::SelectSorted(double lo, double hi) && {
+  assert(kind_ == ValueKind::kList);
+  ExprPtr e = Expr::Apply("LIST.select_sorted",
+                          {expr_, Expr::Const(Value::Double(lo)),
+                           Expr::Const(Value::Double(hi))});
+  return QueryBuilder(std::move(e), ValueKind::kList);
+}
+
+QueryBuilder QueryBuilder::Sort() && {
+  assert(kind_ == ValueKind::kList);
+  return QueryBuilder(Expr::Apply("LIST.sort", {expr_}), ValueKind::kList);
+}
+
+QueryBuilder QueryBuilder::TopN(int64_t n) && {
+  ExprPtr e = Expr::Apply(std::string(Ext()) + ".topn",
+                          {expr_, Expr::Const(Value::Int(n))});
+  return QueryBuilder(std::move(e), ValueKind::kList);
+}
+
+QueryBuilder QueryBuilder::ProjectToBag() && {
+  assert(kind_ == ValueKind::kList);
+  return QueryBuilder(Expr::Apply("LIST.projecttobag", {expr_}),
+                      ValueKind::kBag);
+}
+
+QueryBuilder QueryBuilder::ProjectToList() && {
+  assert(kind_ == ValueKind::kBag);
+  return QueryBuilder(Expr::Apply("BAG.projecttolist", {expr_}),
+                      ValueKind::kList);
+}
+
+QueryBuilder QueryBuilder::ToSet() && {
+  return QueryBuilder(Expr::Apply("SET.make", {expr_}), ValueKind::kSet);
+}
+
+QueryBuilder QueryBuilder::Slice(int64_t start, int64_t len) && {
+  assert(kind_ == ValueKind::kList);
+  ExprPtr e = Expr::Apply("LIST.slice",
+                          {expr_, Expr::Const(Value::Int(start)),
+                           Expr::Const(Value::Int(len))});
+  return QueryBuilder(std::move(e), ValueKind::kList);
+}
+
+QueryBuilder QueryBuilder::Reverse() && {
+  assert(kind_ == ValueKind::kList);
+  return QueryBuilder(Expr::Apply("LIST.reverse", {expr_}), ValueKind::kList);
+}
+
+QueryBuilder QueryBuilder::Count() && {
+  ExprPtr e = Expr::Apply(std::string(Ext()) + ".count", {expr_});
+  return QueryBuilder(std::move(e), ValueKind::kInt);
+}
+
+QueryBuilder QueryBuilder::Sum() && {
+  ExprPtr e = Expr::Apply(std::string(Ext()) + ".sum", {expr_});
+  return QueryBuilder(std::move(e), ValueKind::kDouble);
+}
+
+}  // namespace moa

@@ -1,0 +1,62 @@
+// Fluent builder for Moa algebra expressions.
+//
+// Example (the paper's Example 1):
+//   ExprPtr e = QueryBuilder::List({1, 2, 3, 4, 4, 5})
+//                   .ProjectToBag()
+//                   .Select(2, 4)
+//                   .Build();
+#ifndef MOA_ENGINE_QUERY_BUILDER_H_
+#define MOA_ENGINE_QUERY_BUILDER_H_
+
+#include <cstdint>
+#include <initializer_list>
+#include <vector>
+
+#include "algebra/expr.h"
+
+namespace moa {
+
+/// \brief Chainable expression builder. Each call wraps the current
+/// expression in one more operator; the extension is picked from the
+/// (statically tracked) current kind.
+class QueryBuilder {
+ public:
+  /// Starts from an integer list literal.
+  static QueryBuilder List(std::initializer_list<int64_t> values);
+  /// Starts from a double vector.
+  static QueryBuilder ListOf(std::vector<double> values);
+  /// Starts from an arbitrary expression of known kind.
+  static QueryBuilder From(ExprPtr expr, ValueKind kind);
+
+  /// Range select on the current collection (LIST/BAG/SET dispatch).
+  QueryBuilder Select(double lo, double hi) &&;
+  /// LIST only: binary-search range select (caller asserts sortedness).
+  QueryBuilder SelectSorted(double lo, double hi) &&;
+  QueryBuilder Sort() &&;
+  QueryBuilder TopN(int64_t n) &&;
+  QueryBuilder ProjectToBag() &&;
+  QueryBuilder ProjectToList() &&;
+  QueryBuilder ToSet() &&;
+  QueryBuilder Slice(int64_t start, int64_t len) &&;
+  QueryBuilder Reverse() &&;
+  QueryBuilder Count() &&;
+  QueryBuilder Sum() &&;
+
+  ExprPtr Build() && { return expr_; }
+  const ExprPtr& expr() const { return expr_; }
+  ValueKind kind() const { return kind_; }
+
+ private:
+  QueryBuilder(ExprPtr expr, ValueKind kind)
+      : expr_(std::move(expr)), kind_(kind) {}
+
+  /// Prefix ("LIST"/"BAG"/"SET") for the current kind.
+  const char* Ext() const;
+
+  ExprPtr expr_;
+  ValueKind kind_;
+};
+
+}  // namespace moa
+
+#endif  // MOA_ENGINE_QUERY_BUILDER_H_

@@ -1,0 +1,55 @@
+#include "ir/collection.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+
+#include "common/zipf.h"
+
+namespace moa {
+
+Result<Collection> Collection::Generate(const CollectionConfig& config) {
+  if (config.num_docs == 0) {
+    return Status::InvalidArgument("num_docs must be > 0");
+  }
+  if (config.vocabulary == 0) {
+    return Status::InvalidArgument("vocabulary must be > 0");
+  }
+  if (config.mean_doc_length == 0) {
+    return Status::InvalidArgument("mean_doc_length must be > 0");
+  }
+  if (config.zipf_skew < 0.0) {
+    return Status::InvalidArgument("zipf_skew must be >= 0");
+  }
+
+  Rng rng(config.seed);
+  ZipfSampler zipf(config.vocabulary, config.zipf_skew);
+  InvertedFileBuilder builder(config.vocabulary);
+
+  // Log-normal document length with mean ~= mean_doc_length:
+  // E[e^X] = e^{mu + sigma^2/2}  =>  mu = ln(mean) - sigma^2/2.
+  const double sigma = config.doc_length_sigma;
+  const double mu =
+      std::log(static_cast<double>(config.mean_doc_length)) -
+      0.5 * sigma * sigma;
+
+  std::map<TermId, uint32_t> doc_terms;  // ordered: deterministic iteration
+  for (DocId d = 0; d < config.num_docs; ++d) {
+    const double raw = std::exp(mu + sigma * rng.NextGaussian());
+    const uint32_t len = std::max<uint32_t>(
+        1, static_cast<uint32_t>(std::llround(raw)));
+    doc_terms.clear();
+    for (uint32_t k = 0; k < len; ++k) {
+      // Zipf rank 1 (most frequent) maps to term id 0 and so on, so term id
+      // order coincides with descending expected frequency.
+      const TermId t = static_cast<TermId>(zipf.Sample(&rng) - 1);
+      ++doc_terms[t];
+    }
+    std::vector<std::pair<TermId, uint32_t>> pairs(doc_terms.begin(),
+                                                   doc_terms.end());
+    MOA_RETURN_NOT_OK(builder.AddDocument(d, pairs));
+  }
+  return Collection(config, builder.Build());
+}
+
+}  // namespace moa

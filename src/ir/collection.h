@@ -1,0 +1,52 @@
+// Synthetic TREC-FT-like document collection (substitution for the paper's
+// TREC Financial Times collection; see DESIGN.md §1).
+//
+// The generator draws every token's term from Zipf(vocabulary, skew) — the
+// distributional property the paper's Step 1 explicitly relies on — and
+// document lengths from a clamped log-normal, then materializes the
+// inverted file. Everything is seeded and deterministic.
+#ifndef MOA_IR_COLLECTION_H_
+#define MOA_IR_COLLECTION_H_
+
+#include <cstdint>
+
+#include "common/rng.h"
+#include "common/status.h"
+#include "storage/inverted_file.h"
+
+namespace moa {
+
+/// \brief Generation parameters for a synthetic collection.
+struct CollectionConfig {
+  uint32_t num_docs = 10000;        ///< documents in the collection
+  uint32_t vocabulary = 20000;      ///< distinct terms
+  double zipf_skew = 1.0;           ///< term-distribution skew (1.0 = Zipf)
+  uint32_t mean_doc_length = 150;   ///< mean tokens per document
+  double doc_length_sigma = 0.4;    ///< log-normal sigma of doc length
+  uint64_t seed = 42;               ///< RNG seed
+};
+
+/// \brief A generated collection: the inverted file plus its config.
+class Collection {
+ public:
+  /// Generates the collection. O(num_docs * mean_doc_length).
+  static Result<Collection> Generate(const CollectionConfig& config);
+
+  const InvertedFile& inverted_file() const { return file_; }
+  InvertedFile& mutable_inverted_file() { return file_; }
+  const CollectionConfig& config() const { return config_; }
+
+  uint32_t num_docs() const { return config_.num_docs; }
+  uint32_t vocabulary() const { return config_.vocabulary; }
+
+ private:
+  Collection(CollectionConfig config, InvertedFile file)
+      : config_(config), file_(std::move(file)) {}
+
+  CollectionConfig config_;
+  InvertedFile file_;
+};
+
+}  // namespace moa
+
+#endif  // MOA_IR_COLLECTION_H_

@@ -1,0 +1,63 @@
+#include "ir/exact_eval.h"
+
+#include <algorithm>
+
+#include "common/cost_ticker.h"
+
+namespace moa {
+
+std::vector<double> AccumulateScores(const InvertedFile& file,
+                                     const ScoringModel& model,
+                                     const Query& query) {
+  std::vector<double> acc(file.num_docs(), 0.0);
+  for (TermId t : query.terms) {
+    const PostingList& list = file.list(t);
+    for (size_t i = 0; i < list.size(); ++i) {
+      CostTicker::TickSeq();
+      CostTicker::TickScore();
+      acc[list[i].doc] += model.Weight(t, list[i]);
+    }
+  }
+  return acc;
+}
+
+namespace {
+
+std::vector<ScoredDoc> CollectNonZero(const std::vector<double>& acc) {
+  std::vector<ScoredDoc> docs;
+  for (DocId d = 0; d < acc.size(); ++d) {
+    if (acc[d] > 0.0) docs.push_back(ScoredDoc{d, acc[d]});
+  }
+  return docs;
+}
+
+}  // namespace
+
+std::vector<ScoredDoc> ExactRanking(const InvertedFile& file,
+                                    const ScoringModel& model,
+                                    const Query& query) {
+  std::vector<double> acc = AccumulateScores(file, model, query);
+  std::vector<ScoredDoc> docs = CollectNonZero(acc);
+  std::sort(docs.begin(), docs.end(), [](const ScoredDoc& a, const ScoredDoc& b) {
+    CostTicker::TickCompare();
+    return ScoredDocLess(a, b);
+  });
+  return docs;
+}
+
+std::vector<ScoredDoc> ExactTopN(const InvertedFile& file,
+                                 const ScoringModel& model, const Query& query,
+                                 size_t n) {
+  std::vector<double> acc = AccumulateScores(file, model, query);
+  std::vector<ScoredDoc> docs = CollectNonZero(acc);
+  const size_t k = std::min(n, docs.size());
+  std::partial_sort(docs.begin(), docs.begin() + k, docs.end(),
+                    [](const ScoredDoc& a, const ScoredDoc& b) {
+                      CostTicker::TickCompare();
+                      return ScoredDocLess(a, b);
+                    });
+  docs.resize(k);
+  return docs;
+}
+
+}  // namespace moa

@@ -1,0 +1,38 @@
+// Exact (unoptimized) retrieval evaluation: the ground truth and baseline.
+//
+// Scores every candidate document by scanning the full posting list of every
+// query term, then sorts. This is the paper's "unoptimized case" against
+// which all safe techniques must be answer-identical and all techniques are
+// speed-compared.
+#ifndef MOA_IR_EXACT_EVAL_H_
+#define MOA_IR_EXACT_EVAL_H_
+
+#include <vector>
+
+#include "ir/query_gen.h"
+#include "ir/scoring.h"
+
+namespace moa {
+
+/// \brief Full ranking (all matching docs, best first) for `query`.
+///
+/// Cost-ticks one sequential read + one score eval per posting touched and
+/// one compare per sort comparison.
+std::vector<ScoredDoc> ExactRanking(const InvertedFile& file,
+                                    const ScoringModel& model,
+                                    const Query& query);
+
+/// \brief Exact top-`n` prefix of ExactRanking (partial sort; cheaper).
+std::vector<ScoredDoc> ExactTopN(const InvertedFile& file,
+                                 const ScoringModel& model, const Query& query,
+                                 size_t n);
+
+/// \brief Dense score accumulation: score of every document (0 if no query
+/// term matches). Building block shared by several physical operators.
+std::vector<double> AccumulateScores(const InvertedFile& file,
+                                     const ScoringModel& model,
+                                     const Query& query);
+
+}  // namespace moa
+
+#endif  // MOA_IR_EXACT_EVAL_H_

@@ -1,0 +1,102 @@
+#include "ir/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <unordered_map>
+#include <unordered_set>
+
+namespace moa {
+
+QualityReport EvaluateQuality(const std::vector<ScoredDoc>& answer,
+                              const std::vector<ScoredDoc>& truth,
+                              const std::vector<double>& truth_scores) {
+  QualityReport report;
+  if (truth.empty()) {
+    report.overlap_at_n = answer.empty() ? 1.0 : 0.0;
+    report.score_ratio = 1.0;
+    report.kendall_tau = 1.0;
+    report.exact_match = answer.empty();
+    return report;
+  }
+
+  std::unordered_set<DocId> truth_set;
+  double truth_mass = 0.0;
+  for (const auto& sd : truth) {
+    truth_set.insert(sd.doc);
+    truth_mass += truth_scores.empty() ? sd.score : truth_scores[sd.doc];
+  }
+
+  size_t hits = 0;
+  double answer_mass = 0.0;
+  for (const auto& sd : answer) {
+    if (truth_set.count(sd.doc)) ++hits;
+    if (!truth_scores.empty() && sd.doc < truth_scores.size()) {
+      answer_mass += truth_scores[sd.doc];
+    }
+  }
+  report.overlap_at_n =
+      static_cast<double>(hits) / static_cast<double>(truth.size());
+  report.score_ratio = truth_mass > 0.0 ? answer_mass / truth_mass : 1.0;
+
+  // Kendall tau-b over the union, using rank |list| for absent docs
+  // (treating "not returned" as ranked past the end).
+  std::unordered_map<DocId, int> rank_a, rank_b;
+  for (size_t i = 0; i < answer.size(); ++i) rank_a[answer[i].doc] = static_cast<int>(i);
+  for (size_t i = 0; i < truth.size(); ++i) rank_b[truth[i].doc] = static_cast<int>(i);
+  std::vector<DocId> universe;
+  for (const auto& [d, r] : rank_a) universe.push_back(d);
+  for (const auto& [d, r] : rank_b) {
+    if (!rank_a.count(d)) universe.push_back(d);
+  }
+  const int miss_a = static_cast<int>(answer.size());
+  const int miss_b = static_cast<int>(truth.size());
+  auto ra = [&](DocId d) {
+    auto it = rank_a.find(d);
+    return it == rank_a.end() ? miss_a : it->second;
+  };
+  auto rb = [&](DocId d) {
+    auto it = rank_b.find(d);
+    return it == rank_b.end() ? miss_b : it->second;
+  };
+  long long concordant = 0, discordant = 0, ties_a = 0, ties_b = 0;
+  for (size_t i = 0; i < universe.size(); ++i) {
+    for (size_t j = i + 1; j < universe.size(); ++j) {
+      const int da = ra(universe[i]) - ra(universe[j]);
+      const int db = rb(universe[i]) - rb(universe[j]);
+      if (da == 0 && db == 0) continue;
+      if (da == 0) { ++ties_a; continue; }
+      if (db == 0) { ++ties_b; continue; }
+      if ((da > 0) == (db > 0)) ++concordant;
+      else ++discordant;
+    }
+  }
+  const double denom = std::sqrt(static_cast<double>(concordant + discordant + ties_a) *
+                                 static_cast<double>(concordant + discordant + ties_b));
+  report.kendall_tau =
+      denom > 0.0 ? static_cast<double>(concordant - discordant) / denom : 1.0;
+
+  report.exact_match =
+      answer.size() == truth.size() &&
+      std::equal(answer.begin(), answer.end(), truth.begin(),
+                 [](const ScoredDoc& x, const ScoredDoc& y) {
+                   return x.doc == y.doc;
+                 });
+  return report;
+}
+
+double MeanOverlap(const std::vector<QualityReport>& reports) {
+  if (reports.empty()) return 0.0;
+  double sum = 0.0;
+  for (const auto& r : reports) sum += r.overlap_at_n;
+  return sum / static_cast<double>(reports.size());
+}
+
+double MeanScoreRatio(const std::vector<QualityReport>& reports) {
+  if (reports.empty()) return 0.0;
+  double sum = 0.0;
+  for (const auto& r : reports) sum += r.score_ratio;
+  return sum / static_cast<double>(reports.size());
+}
+
+}  // namespace moa

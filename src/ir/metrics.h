@@ -1,0 +1,45 @@
+// Answer-quality metrics: how an optimized (possibly unsafe) top-N result
+// compares to the exact one. These quantify the paper's ">30% quality drop"
+// claim and verify the "safe technique == exact answer" invariant.
+#ifndef MOA_IR_METRICS_H_
+#define MOA_IR_METRICS_H_
+
+#include <vector>
+
+#include "ir/scoring.h"
+
+namespace moa {
+
+/// \brief Quality of `answer` measured against the exact `truth` top-N.
+struct QualityReport {
+  /// |answer ∩ truth| / |truth| — set overlap at N ("precision at N" when
+  /// the exact top-N is taken as the relevant set, the usual measure for
+  /// unsafe top-N techniques).
+  double overlap_at_n = 0.0;
+  /// Sum of true scores of returned docs / sum of true top-N scores. 1.0
+  /// means the answer is as good as exact in score mass even if different
+  /// documents were returned (score-based recall).
+  double score_ratio = 0.0;
+  /// Kendall-tau-b rank correlation over the union of both lists (1.0 =
+  /// identical order, 0 = unrelated, negative = inverted).
+  double kendall_tau = 0.0;
+  /// True iff answer is exactly truth (same docs, same order).
+  bool exact_match = false;
+};
+
+/// Computes all quality measures. `truth_scores` maps every doc to its exact
+/// full score (from AccumulateScores on the unfragmented file); it backs the
+/// score_ratio measure for docs the approximate answer returned that are not
+/// in the exact top-N.
+QualityReport EvaluateQuality(const std::vector<ScoredDoc>& answer,
+                              const std::vector<ScoredDoc>& truth,
+                              const std::vector<double>& truth_scores);
+
+/// Mean of per-query overlap_at_n (macro average).
+double MeanOverlap(const std::vector<QualityReport>& reports);
+/// Mean of per-query score_ratio.
+double MeanScoreRatio(const std::vector<QualityReport>& reports);
+
+}  // namespace moa
+
+#endif  // MOA_IR_METRICS_H_

@@ -1,0 +1,78 @@
+#include "ir/query_gen.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "common/zipf.h"
+
+namespace moa {
+
+Result<std::vector<Query>> GenerateQueries(const Collection& collection,
+                                           const QueryWorkloadConfig& config) {
+  const InvertedFile& file = collection.inverted_file();
+  if (config.terms_per_query == 0) {
+    return Status::InvalidArgument("terms_per_query must be > 0");
+  }
+
+  // Candidate terms: those that actually occur.
+  std::vector<TermId> occurring;
+  for (TermId t = 0; t < file.num_terms(); ++t) {
+    if (file.DocFrequency(t) > 0) occurring.push_back(t);
+  }
+  if (occurring.size() < config.terms_per_query) {
+    return Status::FailedPrecondition("vocabulary too small for query length");
+  }
+
+  Rng rng(config.seed);
+  ZipfSampler zipf(collection.vocabulary(), config.zipf_skew);
+
+  auto draw_zipf = [&]() -> TermId {
+    // Term ids coincide with Zipf rank order (see collection.cc); resample
+    // until the drawn term occurs.
+    for (;;) {
+      TermId t = static_cast<TermId>(zipf.Sample(&rng) - 1);
+      if (file.DocFrequency(t) > 0) return t;
+    }
+  };
+  auto draw_uniform = [&]() -> TermId {
+    return occurring[rng.Uniform(occurring.size())];
+  };
+  auto draw_tail = [&]() -> TermId {
+    // Rare term: uniform over the rarest half of occurring terms (term ids
+    // are frequency-ranked, so the tail is the upper id range).
+    const size_t half = occurring.size() / 2;
+    return occurring[half + rng.Uniform(occurring.size() - half)];
+  };
+
+  std::vector<Query> queries;
+  queries.reserve(config.num_queries);
+  for (uint32_t q = 0; q < config.num_queries; ++q) {
+    std::unordered_set<TermId> seen;
+    Query query;
+    uint32_t draws = 0;
+    while (query.terms.size() < config.terms_per_query) {
+      TermId t = 0;
+      switch (config.distribution) {
+        case QueryTermDistribution::kZipf:
+          t = draw_zipf();
+          break;
+        case QueryTermDistribution::kUniform:
+          t = draw_uniform();
+          break;
+        case QueryTermDistribution::kMixed:
+          t = (draws % 2 == 0) ? draw_zipf() : draw_tail();
+          break;
+      }
+      ++draws;
+      if (seen.insert(t).second) query.terms.push_back(t);
+      if (draws > 10000 * config.terms_per_query) {
+        return Status::Internal("query generation failed to find terms");
+      }
+    }
+    std::sort(query.terms.begin(), query.terms.end());
+    queries.push_back(std::move(query));
+  }
+  return queries;
+}
+
+}  // namespace moa

@@ -1,0 +1,48 @@
+// TREC-style synthetic query workload generator.
+#ifndef MOA_IR_QUERY_GEN_H_
+#define MOA_IR_QUERY_GEN_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/status.h"
+#include "ir/collection.h"
+
+namespace moa {
+
+/// \brief A retrieval query: a set of distinct term ids.
+struct Query {
+  std::vector<TermId> terms;
+};
+
+/// How query terms are drawn from the vocabulary.
+enum class QueryTermDistribution {
+  /// Terms drawn Zipf-like (users type natural language: frequent terms
+  /// frequently). Matches the "half of all documents contain at least one
+  /// query term" observation in the paper's introduction.
+  kZipf,
+  /// Uniform over terms that occur in the collection.
+  kUniform,
+  /// Deliberate mix: half frequent ("head") terms, half rare ("tail")
+  /// content terms — models short web-style queries with one good
+  /// discriminating term.
+  kMixed,
+};
+
+/// \brief Workload parameters.
+struct QueryWorkloadConfig {
+  uint32_t num_queries = 50;
+  uint32_t terms_per_query = 4;
+  QueryTermDistribution distribution = QueryTermDistribution::kZipf;
+  double zipf_skew = 1.0;   ///< skew used by kZipf / head part of kMixed
+  uint64_t seed = 7;
+};
+
+/// Generates a deterministic query workload over `collection`. Every query
+/// has exactly `terms_per_query` distinct terms, all with df > 0.
+Result<std::vector<Query>> GenerateQueries(const Collection& collection,
+                                           const QueryWorkloadConfig& config);
+
+}  // namespace moa
+
+#endif  // MOA_IR_QUERY_GEN_H_

@@ -1,0 +1,64 @@
+// Retrieval scoring models: per-term document weights w(t, d).
+//
+// All models are *monotone aggregations*: score(d) = sum over query terms of
+// w(t, d), with w >= 0. Monotonicity is what makes Fagin-style upper/lower
+// bound administration safe (a document's score can only grow as more terms
+// are seen), which the paper's "State of the Art" section builds on.
+#ifndef MOA_IR_SCORING_H_
+#define MOA_IR_SCORING_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "storage/inverted_file.h"
+
+namespace moa {
+
+/// \brief One entry of a ranked retrieval result.
+struct ScoredDoc {
+  DocId doc;
+  double score;
+
+  friend bool operator==(const ScoredDoc&, const ScoredDoc&) = default;
+};
+
+/// Deterministic ordering for rankings: by descending score, ties by
+/// ascending doc id (keeps every algorithm's output comparable).
+inline bool ScoredDocLess(const ScoredDoc& a, const ScoredDoc& b) {
+  if (a.score != b.score) return a.score > b.score;
+  return a.doc < b.doc;
+}
+
+/// \brief Interface of a scoring model bound to one inverted file.
+class ScoringModel {
+ public:
+  virtual ~ScoringModel() = default;
+
+  /// Weight contribution of term `t` occurring as posting `p`.
+  virtual double Weight(TermId t, const Posting& p) const = 0;
+
+  /// Model name for Explain output.
+  virtual std::string name() const = 0;
+
+  /// The inverted file the model is bound to.
+  virtual const InvertedFile& file() const = 0;
+};
+
+/// Classic TF-IDF with log-saturated tf and document-length dampening.
+///   w = (1 + ln tf) * ln(1 + N/df) / sqrt(dl)
+std::unique_ptr<ScoringModel> MakeTfIdf(const InvertedFile* file);
+
+/// Okapi BM25 (k1, b tunable).
+std::unique_ptr<ScoringModel> MakeBm25(const InvertedFile* file,
+                                       double k1 = 1.2, double b = 0.75);
+
+/// Hiemstra-style language model with linear (Jelinek-Mercer) smoothing —
+/// the model used by the mi*RR*or system at TREC [VH99].
+///   w = ln(1 + lambda/(1-lambda) * (tf/dl) / (cf/C))
+std::unique_ptr<ScoringModel> MakeLanguageModel(const InvertedFile* file,
+                                                double lambda = 0.15);
+
+}  // namespace moa
+
+#endif  // MOA_IR_SCORING_H_

@@ -1,0 +1,51 @@
+#include "optimizer/cardinality.h"
+
+namespace moa {
+
+CardinalityEstimator::CardinalityEstimator(const InvertedFile* file,
+                                           const Fragmentation* frag)
+    : file_(file), frag_(frag) {}
+
+int64_t CardinalityEstimator::QueryVolume(const Query& query) const {
+  int64_t v = 0;
+  for (TermId t : query.terms) v += file_->DocFrequency(t);
+  return v;
+}
+
+int64_t CardinalityEstimator::QueryVolume(const Query& query,
+                                          FragmentId fragment) const {
+  if (frag_ == nullptr) return fragment == FragmentId::kLarge ? 0 : QueryVolume(query);
+  int64_t v = 0;
+  for (TermId t : query.terms) {
+    if (frag_->fragment_of(t) == fragment) v += file_->DocFrequency(t);
+  }
+  return v;
+}
+
+double CardinalityEstimator::ExpectedCandidates(const Query& query) const {
+  const double d = static_cast<double>(file_->num_docs());
+  if (d == 0) return 0.0;
+  double p_none = 1.0;
+  for (TermId t : query.terms) {
+    p_none *= 1.0 - static_cast<double>(file_->DocFrequency(t)) / d;
+  }
+  return d * (1.0 - p_none);
+}
+
+int CardinalityEstimator::ActiveTerms(const Query& query) const {
+  int m = 0;
+  for (TermId t : query.terms) m += file_->DocFrequency(t) > 0 ? 1 : 0;
+  return m;
+}
+
+int CardinalityEstimator::ActiveTerms(const Query& query,
+                                      FragmentId fragment) const {
+  if (frag_ == nullptr) return fragment == FragmentId::kLarge ? 0 : ActiveTerms(query);
+  int m = 0;
+  for (TermId t : query.terms) {
+    if (file_->DocFrequency(t) > 0 && frag_->fragment_of(t) == fragment) ++m;
+  }
+  return m;
+}
+
+}  // namespace moa

@@ -1,0 +1,49 @@
+// Cardinality estimation for retrieval plans.
+#ifndef MOA_OPTIMIZER_CARDINALITY_H_
+#define MOA_OPTIMIZER_CARDINALITY_H_
+
+#include <cstdint>
+
+#include "ir/query_gen.h"
+#include "storage/fragmentation.h"
+#include "storage/inverted_file.h"
+
+namespace moa {
+
+/// \brief Estimates over one inverted file (and optional fragmentation).
+///
+/// All estimates come from exact, cheap statistics (document frequencies),
+/// combined under a term-independence assumption — the centralized "much
+/// simpler cost model" the paper's Step 3 argues Moa affords.
+class CardinalityEstimator {
+ public:
+  explicit CardinalityEstimator(const InvertedFile* file,
+                                const Fragmentation* frag = nullptr);
+
+  /// Total postings volume of the query (sum of document frequencies).
+  int64_t QueryVolume(const Query& query) const;
+
+  /// Postings volume restricted to one fragment's query terms.
+  int64_t QueryVolume(const Query& query, FragmentId fragment) const;
+
+  /// Expected number of distinct candidate documents (>= 1 query term),
+  /// under independence: D * (1 - prod_t (1 - df_t / D)).
+  double ExpectedCandidates(const Query& query) const;
+
+  /// Number of query terms with df > 0.
+  int ActiveTerms(const Query& query) const;
+
+  /// Number of query terms living in the given fragment (df > 0).
+  int ActiveTerms(const Query& query, FragmentId fragment) const;
+
+  const InvertedFile& file() const { return *file_; }
+  const Fragmentation* fragmentation() const { return frag_; }
+
+ private:
+  const InvertedFile* file_;
+  const Fragmentation* frag_;
+};
+
+}  // namespace moa
+
+#endif  // MOA_OPTIMIZER_CARDINALITY_H_

@@ -1,0 +1,72 @@
+// Centralized cost model over all physical top-N strategies (paper Step 3).
+//
+// "Using Moa, we have the means to handle all types of data in one algebra
+//  ... This allows us to keep the cost model much simpler." Every strategy
+// is costed in the same CostCounters currency the operators actually tick,
+// so estimates and measurements are directly comparable (bench E9).
+#ifndef MOA_OPTIMIZER_COST_MODEL_H_
+#define MOA_OPTIMIZER_COST_MODEL_H_
+
+#include <string>
+#include <vector>
+
+#include "common/cost_ticker.h"
+#include "optimizer/cardinality.h"
+
+namespace moa {
+
+/// Physical execution strategies the planner can choose among.
+enum class PhysicalStrategy {
+  kFullSort = 0,
+  kHeap,
+  kFaginFA,
+  kFaginTA,
+  kFaginNRA,
+  kStopAfterConservative,
+  kStopAfterAggressive,
+  kProbabilistic,
+  kSmallFragment,          // unsafe
+  kQualitySwitchFull,      // safe: small pass + checked large full scan
+  kQualitySwitchSparse,    // approximate: large fragment via sparse probes
+  kMaxScore,               // safe: term-at-a-time max-score pruning
+  kQuitPrune,              // unsafe: Moffat-Zobel-style QUIT on the bound
+};
+
+const char* StrategyName(PhysicalStrategy s);
+
+/// All strategies, in enum order.
+std::vector<PhysicalStrategy> AllStrategies();
+
+/// True if the strategy always returns the exact top-N ranking or set.
+bool IsSafeStrategy(PhysicalStrategy s);
+
+/// \brief Predicted work + scalar cost for one (strategy, query, n).
+struct PlanCostEstimate {
+  PhysicalStrategy strategy;
+  CostCounters predicted;
+  double scalar = 0.0;  ///< predicted.Scalar()
+
+  std::string ToString() const;
+};
+
+/// \brief Analytic cost formulas per strategy.
+class CostModel {
+ public:
+  /// \param estimator cardinality source; \param n_docs needed for bounds.
+  explicit CostModel(const CardinalityEstimator* estimator);
+
+  /// Predicts the work of running `strategy` for (query, n).
+  PlanCostEstimate Estimate(PhysicalStrategy strategy, const Query& query,
+                            size_t n) const;
+
+  /// Whether the strategy is executable in the current setup (fragment
+  /// strategies need a fragmentation; Fagin needs >= 1 active term).
+  bool Available(PhysicalStrategy strategy, const Query& query) const;
+
+ private:
+  const CardinalityEstimator* est_;
+};
+
+}  // namespace moa
+
+#endif  // MOA_OPTIMIZER_COST_MODEL_H_

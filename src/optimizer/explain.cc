@@ -1,0 +1,60 @@
+#include "optimizer/explain.h"
+
+#include <sstream>
+
+#include "optimizer/order_property.h"
+
+namespace moa {
+namespace {
+
+void Render(const ExprPtr& expr, const ExtensionRegistry& registry,
+            int depth, std::ostringstream* os) {
+  for (int i = 0; i < depth; ++i) *os << "  ";
+  if (expr->kind() == Expr::Kind::kConst) {
+    const Value& v = expr->constant();
+    if (v.is_collection() && v.Elements().size() > 16) {
+      *os << ValueKindName(v.kind()) << "<" << v.Elements().size()
+          << " elems>";
+    } else {
+      *os << v.ToString();
+    }
+  } else {
+    *os << expr->op();
+  }
+  const OrderInfo order = DeriveOrder(expr, registry);
+  if (order.sorted) {
+    *os << "   [sorted]";
+  } else if (order.physically_sorted) {
+    *os << "   [physically-sorted]";
+  }
+  *os << "\n";
+  if (expr->kind() == Expr::Kind::kApply) {
+    for (const auto& a : expr->args()) {
+      Render(a, registry, depth + 1, os);
+    }
+  }
+}
+
+}  // namespace
+
+std::string ExplainExpr(const ExprPtr& expr,
+                        const ExtensionRegistry& registry) {
+  std::ostringstream os;
+  Render(expr, registry, 0, &os);
+  return os.str();
+}
+
+std::string ExplainTrace(const RewriteTrace& trace) {
+  std::ostringstream os;
+  if (trace.fired.empty()) {
+    os << "(no rules fired)";
+    return os.str();
+  }
+  for (size_t i = 0; i < trace.fired.size(); ++i) {
+    if (i > 0) os << " -> ";
+    os << trace.fired[i];
+  }
+  return os.str();
+}
+
+}  // namespace moa

@@ -1,0 +1,23 @@
+// Pretty-printing of expressions, rewrite traces and plan decisions.
+#ifndef MOA_OPTIMIZER_EXPLAIN_H_
+#define MOA_OPTIMIZER_EXPLAIN_H_
+
+#include <string>
+
+#include "algebra/expr.h"
+#include "optimizer/rule.h"
+
+namespace moa {
+
+/// Indented multi-line rendering of an expression tree with derived order
+/// annotations per node.
+std::string ExplainExpr(const ExprPtr& expr,
+                        const ExtensionRegistry& registry =
+                            ExtensionRegistry::Default());
+
+/// Renders a rewrite trace ("rule1 -> rule2 -> ...").
+std::string ExplainTrace(const RewriteTrace& trace);
+
+}  // namespace moa
+
+#endif  // MOA_OPTIMIZER_EXPLAIN_H_

@@ -1,0 +1,168 @@
+#include "optimizer/interobject_rules.h"
+
+#include "optimizer/logical_rules.h"
+#include "optimizer/order_property.h"
+
+namespace moa {
+namespace {
+
+class SelectProjectCommuteRule final : public RewriteRule {
+ public:
+  std::string name() const override { return "select_project_commute"; }
+
+  ExprPtr Apply(const ExprPtr& expr,
+                const ExtensionRegistry& registry) const override {
+    (void)registry;
+    if (expr->kind() != Expr::Kind::kApply || expr->op() != "BAG.select") {
+      return nullptr;
+    }
+    const auto& args = expr->args();
+    if (args.size() != 3) return nullptr;
+    const ExprPtr& cast = args[0];
+    if (cast->kind() != Expr::Kind::kApply ||
+        cast->op() != "LIST.projecttobag") {
+      return nullptr;
+    }
+    ExprPtr inner_select =
+        Expr::Apply("LIST.select", {cast->args()[0], args[1], args[2]});
+    return Expr::Apply("LIST.projecttobag", {std::move(inner_select)});
+  }
+};
+
+class SelectSortedIntroRule final : public RewriteRule {
+ public:
+  std::string name() const override { return "select_sorted_intro"; }
+
+  ExprPtr Apply(const ExprPtr& expr,
+                const ExtensionRegistry& registry) const override {
+    if (expr->kind() != Expr::Kind::kApply || expr->op() != "LIST.select") {
+      return nullptr;
+    }
+    if (!DeriveOrder(expr->args()[0], registry).sorted) return nullptr;
+    return Expr::Apply("LIST.select_sorted", expr->args());
+  }
+};
+
+class CastRoundTripRule final : public RewriteRule {
+ public:
+  std::string name() const override { return "cast_round_trip"; }
+
+  ExprPtr Apply(const ExprPtr& expr,
+                const ExtensionRegistry& registry) const override {
+    (void)registry;
+    if (expr->kind() != Expr::Kind::kApply ||
+        expr->op() != "BAG.projecttolist") {
+      return nullptr;
+    }
+    const ExprPtr& child = expr->args()[0];
+    if (child->kind() != Expr::Kind::kApply ||
+        child->op() != "LIST.projecttobag") {
+      return nullptr;
+    }
+    return child->args()[0];
+  }
+};
+
+class TopNPushThroughCastRule final : public RewriteRule {
+ public:
+  std::string name() const override { return "topn_push_through_cast"; }
+
+  ExprPtr Apply(const ExprPtr& expr,
+                const ExtensionRegistry& registry) const override {
+    (void)registry;
+    if (expr->kind() != Expr::Kind::kApply || expr->op() != "LIST.topn") {
+      return nullptr;
+    }
+    const auto& args = expr->args();
+    if (args.size() != 2) return nullptr;
+    const ExprPtr& cast = args[0];
+    if (cast->kind() != Expr::Kind::kApply ||
+        cast->op() != "BAG.projecttolist") {
+      return nullptr;
+    }
+    return Expr::Apply("BAG.topn", {cast->args()[0], args[1]});
+  }
+};
+
+class AggregatePushThroughCastRule final : public RewriteRule {
+ public:
+  std::string name() const override { return "aggregate_push_through_cast"; }
+
+  ExprPtr Apply(const ExprPtr& expr,
+                const ExtensionRegistry& registry) const override {
+    (void)registry;
+    if (expr->kind() != Expr::Kind::kApply || expr->args().size() != 1) {
+      return nullptr;
+    }
+    const ExprPtr& child = expr->args()[0];
+    if (child->kind() != Expr::Kind::kApply) return nullptr;
+
+    const std::string& op = expr->op();
+    const std::string& cast = child->op();
+    // (aggregate over cast) -> aggregate on the cast's input extension.
+    if ((op == "BAG.count" || op == "BAG.sum") &&
+        cast == "LIST.projecttobag") {
+      return Expr::Apply(op == "BAG.count" ? "LIST.count" : "LIST.sum",
+                         {child->args()[0]});
+    }
+    if ((op == "LIST.count" || op == "LIST.sum") &&
+        cast == "BAG.projecttolist") {
+      return Expr::Apply(op == "LIST.count" ? "BAG.count" : "BAG.sum",
+                         {child->args()[0]});
+    }
+    return nullptr;
+  }
+};
+
+class SetMakeElidesSortRule final : public RewriteRule {
+ public:
+  std::string name() const override { return "set_make_elides_sort"; }
+
+  ExprPtr Apply(const ExprPtr& expr,
+                const ExtensionRegistry& registry) const override {
+    (void)registry;
+    if (expr->kind() != Expr::Kind::kApply || expr->op() != "SET.make") {
+      return nullptr;
+    }
+    const ExprPtr& child = expr->args()[0];
+    if (child->kind() != Expr::Kind::kApply || child->op() != "LIST.sort") {
+      return nullptr;
+    }
+    return Expr::Apply("SET.make", {child->args()[0]});
+  }
+};
+
+}  // namespace
+
+RulePtr MakeSelectProjectCommuteRule() {
+  return std::make_shared<SelectProjectCommuteRule>();
+}
+RulePtr MakeSelectSortedIntroRule() {
+  return std::make_shared<SelectSortedIntroRule>();
+}
+RulePtr MakeCastRoundTripRule() {
+  return std::make_shared<CastRoundTripRule>();
+}
+RulePtr MakeTopNPushThroughCastRule() {
+  return std::make_shared<TopNPushThroughCastRule>();
+}
+RulePtr MakeAggregatePushThroughCastRule() {
+  return std::make_shared<AggregatePushThroughCastRule>();
+}
+RulePtr MakeSetMakeElidesSortRule() {
+  return std::make_shared<SetMakeElidesSortRule>();
+}
+
+std::vector<RulePtr> InterObjectRules() {
+  return {MakeSelectProjectCommuteRule(), MakeSelectSortedIntroRule(),
+          MakeCastRoundTripRule(),        MakeTopNPushThroughCastRule(),
+          MakeAggregatePushThroughCastRule(), MakeSetMakeElidesSortRule()};
+}
+
+std::vector<RulePtr> FullRuleSet() {
+  std::vector<RulePtr> rules = InterObjectRules();
+  for (auto& r : LogicalRules()) rules.push_back(std::move(r));
+  return rules;
+}
+
+}  // namespace moa

@@ -1,0 +1,55 @@
+// Inter-object optimizer rules: rewrites across extension boundaries.
+//
+// This is the paper's proposed contribution (Step 2): a layer between the
+// general logical optimizer and the per-extension (E-ADT) optimizers that
+// coordinates operators of *distinct* extensions. Example 1 of the paper is
+// the first rule below.
+#ifndef MOA_OPTIMIZER_INTEROBJECT_RULES_H_
+#define MOA_OPTIMIZER_INTEROBJECT_RULES_H_
+
+#include <vector>
+
+#include "optimizer/rule.h"
+
+namespace moa {
+
+/// Paper Example 1:
+///   BAG.select(LIST.projecttobag(e), lo, hi)
+///     -> LIST.projecttobag(LIST.select(e, lo, hi))
+/// The select filters before the (copying) structure cast, so the cast
+/// touches only the survivors.
+RulePtr MakeSelectProjectCommuteRule();
+
+/// LIST.select(e, lo, hi) -> LIST.select_sorted(e, lo, hi) when e is known
+/// sorted — "evaluated even more efficiently when the system is aware of
+/// the ordering of the elements".
+RulePtr MakeSelectSortedIntroRule();
+
+/// BAG.projecttolist(LIST.projecttobag(e)) -> e. Sound here because the
+/// engine's BAG physically preserves storage order; only the inter-object
+/// layer (which owns physical knowledge across extensions) may assume this.
+RulePtr MakeCastRoundTripRule();
+
+/// LIST.topn(BAG.projecttolist(b), n) -> BAG.topn(b, n): rank directly on
+/// the bag, skipping the cast copy.
+RulePtr MakeTopNPushThroughCastRule();
+
+/// Aggregate pushdown through casts:
+///   BAG.count(LIST.projecttobag(e)) -> LIST.count(e)     (and sum;
+///   LIST.count(BAG.projecttolist(b)) -> BAG.count(b)      both ways).
+RulePtr MakeAggregatePushThroughCastRule();
+
+/// SET.make(LIST.sort(e)) -> SET.make(e): sets are order-insensitive.
+/// (Also covered by the logical sort_under_order_insensitive rule; kept to
+/// show the layer boundary in ablations.)
+RulePtr MakeSetMakeElidesSortRule();
+
+/// All inter-object rules in recommended order.
+std::vector<RulePtr> InterObjectRules();
+
+/// Inter-object + logical rules: the full rewriting pipeline.
+std::vector<RulePtr> FullRuleSet();
+
+}  // namespace moa
+
+#endif  // MOA_OPTIMIZER_INTEROBJECT_RULES_H_

@@ -1,0 +1,73 @@
+#include "optimizer/intra_object.h"
+
+#include "optimizer/logical_rules.h"
+
+namespace moa {
+namespace {
+
+/// Wraps a rule so it only fires when the node and its operator children
+/// all belong to `extension` — the E-ADT visibility restriction.
+class ExtensionScopedRule final : public RewriteRule {
+ public:
+  ExtensionScopedRule(std::string extension, RulePtr inner)
+      : extension_(std::move(extension)), inner_(std::move(inner)) {}
+
+  std::string name() const override {
+    return extension_ + ":" + inner_->name();
+  }
+
+  ExprPtr Apply(const ExprPtr& expr,
+                const ExtensionRegistry& registry) const override {
+    if (expr->kind() != Expr::Kind::kApply) return nullptr;
+    if (expr->ExtensionName() != extension_) return nullptr;
+    for (const auto& a : expr->args()) {
+      if (a->kind() == Expr::Kind::kApply &&
+          a->ExtensionName() != extension_) {
+        return nullptr;  // crosses the extension boundary: not visible
+      }
+    }
+    return inner_->Apply(expr, registry);
+  }
+
+ private:
+  std::string extension_;
+  RulePtr inner_;
+};
+
+}  // namespace
+
+IntraObjectOptimizer::IntraObjectOptimizer(std::string extension,
+                                           std::vector<RulePtr> rules)
+    : extension_(std::move(extension)) {
+  rules_.reserve(rules.size());
+  for (auto& r : rules) {
+    rules_.push_back(
+        std::make_shared<ExtensionScopedRule>(extension_, std::move(r)));
+  }
+}
+
+ExprPtr IntraObjectOptimizer::Optimize(const ExprPtr& expr,
+                                       const ExtensionRegistry& registry,
+                                       RewriteTrace* trace) const {
+  return RewriteToFixpoint(expr, rules_, registry, trace);
+}
+
+std::vector<IntraObjectOptimizer> DefaultIntraObjectOptimizers() {
+  std::vector<IntraObjectOptimizer> opts;
+  opts.emplace_back("LIST", LogicalRules());
+  opts.emplace_back("BAG", LogicalRules());
+  opts.emplace_back("SET", LogicalRules());
+  return opts;
+}
+
+ExprPtr IntraObjectOnlyOptimize(const ExprPtr& expr,
+                                const ExtensionRegistry& registry,
+                                RewriteTrace* trace) {
+  ExprPtr current = expr;
+  for (const auto& opt : DefaultIntraObjectOptimizers()) {
+    current = opt.Optimize(current, registry, trace);
+  }
+  return current;
+}
+
+}  // namespace moa

@@ -1,0 +1,50 @@
+// Intra-object (E-ADT) optimizers, after PREDATOR [SP97].
+//
+// Each extension owns a rule engine that may only inspect and rewrite
+// operators of its *own* extension. This reproduces the state of the art
+// the paper criticizes: an E-ADT optimizer "cannot optimize" Example 1
+// because the select and the cast belong to different extensions — the
+// dedicated test suite asserts precisely this inability, and the inter-
+// object layer's ability.
+#ifndef MOA_OPTIMIZER_INTRA_OBJECT_H_
+#define MOA_OPTIMIZER_INTRA_OBJECT_H_
+
+#include <string>
+#include <vector>
+
+#include "optimizer/rule.h"
+
+namespace moa {
+
+/// \brief E-ADT optimizer for one extension: wraps a rule set and refuses
+/// to fire any rule at a node unless the node *and all its direct operator
+/// children* belong to the extension.
+class IntraObjectOptimizer {
+ public:
+  /// \param extension e.g. "LIST"; \param rules the rules it may use.
+  IntraObjectOptimizer(std::string extension, std::vector<RulePtr> rules);
+
+  /// Rewrites `expr` bottom-up to fixpoint under the E-ADT restriction.
+  ExprPtr Optimize(const ExprPtr& expr, const ExtensionRegistry& registry,
+                   RewriteTrace* trace = nullptr) const;
+
+  const std::string& extension() const { return extension_; }
+
+ private:
+  std::string extension_;
+  std::vector<RulePtr> rules_;
+};
+
+/// The default per-extension E-ADT optimizers (LIST, BAG, SET), each with
+/// the logical rules that are expressible inside the extension.
+std::vector<IntraObjectOptimizer> DefaultIntraObjectOptimizers();
+
+/// Convenience: runs every E-ADT optimizer once, in sequence (the best a
+/// PREDATOR-style system can do without an inter-object layer).
+ExprPtr IntraObjectOnlyOptimize(const ExprPtr& expr,
+                                const ExtensionRegistry& registry,
+                                RewriteTrace* trace = nullptr);
+
+}  // namespace moa
+
+#endif  // MOA_OPTIMIZER_INTRA_OBJECT_H_

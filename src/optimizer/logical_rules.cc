@@ -1,0 +1,139 @@
+#include "optimizer/logical_rules.h"
+
+#include <algorithm>
+
+#include "optimizer/order_property.h"
+
+namespace moa {
+namespace {
+
+bool IsSelectOp(const std::string& op) {
+  return op == "LIST.select" || op == "LIST.select_sorted" ||
+         op == "BAG.select" || op == "SET.select";
+}
+
+bool IsNumericConst(const ExprPtr& e) {
+  return e->kind() == Expr::Kind::kConst && e->constant().is_numeric();
+}
+
+class MergeSelectsRule final : public RewriteRule {
+ public:
+  std::string name() const override { return "merge_selects"; }
+
+  ExprPtr Apply(const ExprPtr& expr,
+                const ExtensionRegistry& registry) const override {
+    (void)registry;
+    if (expr->kind() != Expr::Kind::kApply || !IsSelectOp(expr->op())) {
+      return nullptr;
+    }
+    const auto& args = expr->args();
+    if (args.size() != 3) return nullptr;
+    const ExprPtr& child = args[0];
+    if (child->kind() != Expr::Kind::kApply || !IsSelectOp(child->op())) {
+      return nullptr;
+    }
+    // Both selects must come from the same extension to merge blindly
+    // (LIST.select over BAG.select cannot type-check anyway).
+    if (expr->ExtensionName() != child->ExtensionName()) return nullptr;
+    if (child->args().size() != 3) return nullptr;
+    if (!IsNumericConst(args[1]) || !IsNumericConst(args[2]) ||
+        !IsNumericConst(child->args()[1]) ||
+        !IsNumericConst(child->args()[2])) {
+      return nullptr;
+    }
+    const double lo = std::max(args[1]->constant().AsDouble(),
+                               child->args()[1]->constant().AsDouble());
+    const double hi = std::min(args[2]->constant().AsDouble(),
+                               child->args()[2]->constant().AsDouble());
+    // Keep the *inner* op name: if the inner was select_sorted the merged
+    // one still requires (and has) sorted input.
+    return Expr::Apply(child->op(),
+                       {child->args()[0], Expr::Const(Value::Double(lo)),
+                        Expr::Const(Value::Double(hi))});
+  }
+};
+
+class ElideSortRule final : public RewriteRule {
+ public:
+  std::string name() const override { return "elide_sort"; }
+
+  ExprPtr Apply(const ExprPtr& expr,
+                const ExtensionRegistry& registry) const override {
+    if (expr->kind() != Expr::Kind::kApply || expr->op() != "LIST.sort") {
+      return nullptr;
+    }
+    const ExprPtr& child = expr->args()[0];
+    if (DeriveOrder(child, registry).sorted) return child;
+    return nullptr;
+  }
+};
+
+class SortUnderOrderInsensitiveRule final : public RewriteRule {
+ public:
+  std::string name() const override { return "sort_under_order_insensitive"; }
+
+  ExprPtr Apply(const ExprPtr& expr,
+                const ExtensionRegistry& registry) const override {
+    if (expr->kind() != Expr::Kind::kApply || expr->args().empty()) {
+      return nullptr;
+    }
+    const OpDef* def = registry.Find(expr->op());
+    if (def == nullptr || !def->props.order_insensitive) return nullptr;
+    const ExprPtr& child = expr->args()[0];
+    if (child->kind() != Expr::Kind::kApply ||
+        (child->op() != "LIST.sort" && child->op() != "LIST.reverse")) {
+      return nullptr;
+    }
+    std::vector<ExprPtr> new_args = expr->args();
+    new_args[0] = child->args()[0];
+    return Expr::Apply(expr->op(), std::move(new_args));
+  }
+};
+
+class NoopSliceRule final : public RewriteRule {
+ public:
+  std::string name() const override { return "noop_slice"; }
+
+  ExprPtr Apply(const ExprPtr& expr,
+                const ExtensionRegistry& registry) const override {
+    (void)registry;
+    if (expr->kind() != Expr::Kind::kApply || expr->op() != "LIST.slice") {
+      return nullptr;
+    }
+    const auto& args = expr->args();
+    if (args.size() != 3) return nullptr;
+    const ExprPtr& child = args[0];
+    if (child->kind() != Expr::Kind::kConst ||
+        child->constant().kind() != ValueKind::kList) {
+      return nullptr;
+    }
+    if (args[1]->kind() != Expr::Kind::kConst ||
+        args[2]->kind() != Expr::Kind::kConst ||
+        args[1]->constant().kind() != ValueKind::kInt ||
+        args[2]->constant().kind() != ValueKind::kInt) {
+      return nullptr;
+    }
+    const int64_t start = args[1]->constant().AsInt();
+    const int64_t len = args[2]->constant().AsInt();
+    const int64_t size =
+        static_cast<int64_t>(child->constant().Elements().size());
+    if (start == 0 && len >= size) return child;
+    return nullptr;
+  }
+};
+
+}  // namespace
+
+RulePtr MakeMergeSelectsRule() { return std::make_shared<MergeSelectsRule>(); }
+RulePtr MakeElideSortRule() { return std::make_shared<ElideSortRule>(); }
+RulePtr MakeSortUnderOrderInsensitiveRule() {
+  return std::make_shared<SortUnderOrderInsensitiveRule>();
+}
+RulePtr MakeNoopSliceRule() { return std::make_shared<NoopSliceRule>(); }
+
+std::vector<RulePtr> LogicalRules() {
+  return {MakeMergeSelectsRule(), MakeElideSortRule(),
+          MakeSortUnderOrderInsensitiveRule(), MakeNoopSliceRule()};
+}
+
+}  // namespace moa

@@ -1,0 +1,33 @@
+// Logical (high-level algebraic) rules: rewrites that stay within general
+// algebra knowledge — merging selects, eliding redundant sorts — without
+// crossing extension boundaries.
+#ifndef MOA_OPTIMIZER_LOGICAL_RULES_H_
+#define MOA_OPTIMIZER_LOGICAL_RULES_H_
+
+#include <vector>
+
+#include "optimizer/rule.h"
+
+namespace moa {
+
+/// select(select(e, a, b), c, d) -> select(e, max(a,c), min(b,d)); fires for
+/// LIST.select, LIST.select_sorted, BAG.select, SET.select pairs of the
+/// same extension.
+RulePtr MakeMergeSelectsRule();
+
+/// sort(e) -> e when e is already known sorted (formal order).
+RulePtr MakeElideSortRule();
+
+/// parent(sort(e), ...) -> parent(e, ...) when parent is order-insensitive:
+/// the sort's only effect was ordering, which the parent ignores.
+RulePtr MakeSortUnderOrderInsensitiveRule();
+
+/// slice(x, 0, len>=|x|) -> x and similar no-op eliminations on constants.
+RulePtr MakeNoopSliceRule();
+
+/// All logical rules in recommended order.
+std::vector<RulePtr> LogicalRules();
+
+}  // namespace moa
+
+#endif  // MOA_OPTIMIZER_LOGICAL_RULES_H_

@@ -1,0 +1,84 @@
+#include "optimizer/order_property.h"
+
+namespace moa {
+namespace {
+
+bool ElementsSorted(const Value& v) {
+  const auto& elems = v.Elements();
+  for (size_t i = 1; i < elems.size(); ++i) {
+    if (Value::Compare(elems[i - 1], elems[i]) > 0) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+OrderInfo DeriveOrder(const ExprPtr& expr, const ExtensionRegistry& registry) {
+  OrderInfo info;
+  if (!expr) return info;
+
+  if (expr->kind() == Expr::Kind::kConst) {
+    const Value& v = expr->constant();
+    if (v.kind() == ValueKind::kList) {
+      info.sorted = ElementsSorted(v);
+      info.physically_sorted = info.sorted;
+    } else if (v.kind() == ValueKind::kSet) {
+      info.sorted = true;  // canonical storage
+      info.physically_sorted = true;
+    } else if (v.kind() == ValueKind::kBag) {
+      info.physically_sorted = ElementsSorted(v);
+    }
+    return info;
+  }
+
+  const OpDef* def = registry.Find(expr->op());
+  if (def == nullptr) return info;
+
+  if (def->props.produces_sorted_output) {
+    info.sorted = true;
+    info.physically_sorted = true;
+    return info;
+  }
+  if (expr->args().empty()) return info;
+
+  const OrderInfo child = DeriveOrder(expr->args()[0], registry);
+  if (def->props.preserves_order) {
+    // Order flows through; whether it is *formal* depends on the result
+    // kind: a LIST output keeps formal order, a BAG output only physical.
+    if (def->props.result_kind == ValueKind::kBag) {
+      info.physically_sorted = child.sorted || child.physically_sorted;
+    } else {
+      info.sorted = child.sorted;
+      info.physically_sorted = child.physically_sorted || child.sorted;
+    }
+    return info;
+  }
+
+  // Filters on formally-unordered structures (BAG.select) still emit the
+  // survivors in storage order, so the *physical* order survives even
+  // though no formal order exists to preserve.
+  if (def->props.is_filter) {
+    info.physically_sorted = child.sorted || child.physically_sorted;
+    if (def->props.result_kind != ValueKind::kBag) {
+      info.sorted = child.sorted;
+    }
+    return info;
+  }
+
+  // Structure casts preserve the physical element sequence even though they
+  // change the formal type (LIST.projecttobag / BAG.projecttolist copy in
+  // storage order).
+  if (expr->op() == "LIST.projecttobag") {
+    info.physically_sorted = child.sorted || child.physically_sorted;
+    return info;
+  }
+  if (expr->op() == "BAG.projecttolist") {
+    // The list's formal order is whatever the bag's physical order was.
+    info.sorted = child.physically_sorted;
+    info.physically_sorted = child.physically_sorted;
+    return info;
+  }
+  return info;
+}
+
+}  // namespace moa

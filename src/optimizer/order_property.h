@@ -1,0 +1,36 @@
+// Order-property derivation (after Simmen/Shekita/Malkemus, SIGMOD'96).
+//
+// The optimizer tracks, per expression, whether its value is known to be
+// ascending-sorted — either formally (LIST.sort output) or *physically*
+// (a BAG's storage order inherited from a sorted LIST). Order that exists
+// physically but not formally is exactly what the paper's inter-object
+// optimizer is allowed to exploit and an E-ADT optimizer is not.
+#ifndef MOA_OPTIMIZER_ORDER_PROPERTY_H_
+#define MOA_OPTIMIZER_ORDER_PROPERTY_H_
+
+#include "algebra/expr.h"
+#include "algebra/extension.h"
+
+namespace moa {
+
+/// \brief Derived ordering knowledge about one expression.
+struct OrderInfo {
+  /// The value is ascending-sorted and its type makes order meaningful
+  /// (LIST/SET).
+  bool sorted = false;
+  /// The value's *physical storage* is ascending-sorted even though the
+  /// formal type (BAG) has no order. Only the inter-object layer may use
+  /// this.
+  bool physically_sorted = false;
+};
+
+/// Derives ordering bottom-up from operator properties. For constant LIST
+/// leaves the elements are inspected once (O(n)); the result is sound:
+/// `sorted` is only reported when provably true.
+OrderInfo DeriveOrder(const ExprPtr& expr,
+                      const ExtensionRegistry& registry =
+                          ExtensionRegistry::Default());
+
+}  // namespace moa
+
+#endif  // MOA_OPTIMIZER_ORDER_PROPERTY_H_

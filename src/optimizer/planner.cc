@@ -1,0 +1,59 @@
+#include "optimizer/planner.h"
+
+#include <algorithm>
+#include <sstream>
+
+namespace moa {
+
+Planner::Planner(const CostModel* model) : model_(model) {}
+
+Result<RetrievalPlan> Planner::Plan(const Query& query, size_t n,
+                                    const PlannerOptions& options) const {
+  RetrievalPlan plan;
+
+  if (options.force.has_value()) {
+    if (!model_->Available(*options.force, query)) {
+      return Status::FailedPrecondition(
+          std::string("forced strategy unavailable: ") +
+          StrategyName(*options.force));
+    }
+    plan.strategy = *options.force;
+    plan.chosen = model_->Estimate(*options.force, query, n);
+    plan.alternatives = {plan.chosen};
+    return plan;
+  }
+
+  for (PhysicalStrategy s : AllStrategies()) {
+    if (options.safe_only && !IsSafeStrategy(s)) continue;
+    if (std::find(options.exclude.begin(), options.exclude.end(), s) !=
+        options.exclude.end()) {
+      continue;
+    }
+    if (!model_->Available(s, query)) continue;
+    plan.alternatives.push_back(model_->Estimate(s, query, n));
+  }
+  if (plan.alternatives.empty()) {
+    return Status::FailedPrecondition("no available strategy");
+  }
+  std::sort(plan.alternatives.begin(), plan.alternatives.end(),
+            [](const PlanCostEstimate& a, const PlanCostEstimate& b) {
+              if (a.scalar != b.scalar) return a.scalar < b.scalar;
+              return static_cast<int>(a.strategy) <
+                     static_cast<int>(b.strategy);
+            });
+  plan.chosen = plan.alternatives.front();
+  plan.strategy = plan.chosen.strategy;
+  return plan;
+}
+
+std::string ExplainPlan(const RetrievalPlan& plan) {
+  std::ostringstream os;
+  os << "chosen: " << StrategyName(plan.strategy) << "\n";
+  os << "alternatives (cheapest first):\n";
+  for (const auto& alt : plan.alternatives) {
+    os << "  " << alt.ToString() << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace moa

@@ -1,0 +1,49 @@
+// Cost-based strategy choice for retrieval queries.
+#ifndef MOA_OPTIMIZER_PLANNER_H_
+#define MOA_OPTIMIZER_PLANNER_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "optimizer/cost_model.h"
+
+namespace moa {
+
+/// \brief What the caller allows the planner to pick.
+struct PlannerOptions {
+  /// Only strategies that return the exact answer (set) are considered.
+  bool safe_only = true;
+  /// Force one strategy (bypasses costing); must be Available.
+  std::optional<PhysicalStrategy> force;
+  /// Strategies to exclude (e.g. for ablation benches).
+  std::vector<PhysicalStrategy> exclude;
+};
+
+/// \brief The planner's decision and its reasoning.
+struct RetrievalPlan {
+  PhysicalStrategy strategy;
+  PlanCostEstimate chosen;
+  /// Every considered alternative, cheapest first (for Explain).
+  std::vector<PlanCostEstimate> alternatives;
+};
+
+/// \brief Enumerates available strategies, costs them, picks the cheapest.
+class Planner {
+ public:
+  explicit Planner(const CostModel* model);
+
+  Result<RetrievalPlan> Plan(const Query& query, size_t n,
+                             const PlannerOptions& options) const;
+
+ private:
+  const CostModel* model_;
+};
+
+/// Multi-line Explain rendering of a plan decision.
+std::string ExplainPlan(const RetrievalPlan& plan);
+
+}  // namespace moa
+
+#endif  // MOA_OPTIMIZER_PLANNER_H_

@@ -1,0 +1,59 @@
+#include "optimizer/rule.h"
+
+namespace moa {
+namespace {
+
+/// One bottom-up sweep; sets *changed when any rule fired.
+ExprPtr SweepOnce(const ExprPtr& expr, const std::vector<RulePtr>& rules,
+                  const ExtensionRegistry& registry, RewriteTrace* trace,
+                  bool* changed) {
+  if (!expr || expr->kind() == Expr::Kind::kConst) return expr;
+
+  // Rewrite children first.
+  std::vector<ExprPtr> new_args;
+  new_args.reserve(expr->args().size());
+  bool child_changed = false;
+  for (const auto& a : expr->args()) {
+    ExprPtr na = SweepOnce(a, rules, registry, trace, &child_changed);
+    new_args.push_back(std::move(na));
+  }
+  ExprPtr node = child_changed
+                     ? Expr::Apply(expr->op(), std::move(new_args))
+                     : expr;
+  if (child_changed) *changed = true;
+
+  // Then the node itself, to local fixpoint.
+  bool fired = true;
+  while (fired) {
+    fired = false;
+    for (const auto& rule : rules) {
+      ExprPtr replacement = rule->Apply(node, registry);
+      if (replacement != nullptr && !Expr::Equal(replacement, node)) {
+        if (trace != nullptr) trace->fired.push_back(rule->name());
+        node = replacement;
+        *changed = true;
+        fired = true;
+        break;
+      }
+    }
+  }
+  return node;
+}
+
+}  // namespace
+
+ExprPtr RewriteToFixpoint(const ExprPtr& expr,
+                          const std::vector<RulePtr>& rules,
+                          const ExtensionRegistry& registry,
+                          RewriteTrace* trace, int max_iterations) {
+  ExprPtr current = expr;
+  for (int i = 0; i < max_iterations; ++i) {
+    bool changed = false;
+    current = SweepOnce(current, rules, registry, trace, &changed);
+    if (trace != nullptr) ++trace->iterations;
+    if (!changed) break;
+  }
+  return current;
+}
+
+}  // namespace moa

@@ -1,0 +1,49 @@
+// Rewrite-rule framework shared by all three optimizer layers.
+#ifndef MOA_OPTIMIZER_RULE_H_
+#define MOA_OPTIMIZER_RULE_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "algebra/expr.h"
+#include "algebra/extension.h"
+
+namespace moa {
+
+/// \brief One rewrite rule: pattern match + sound replacement at a node.
+class RewriteRule {
+ public:
+  virtual ~RewriteRule() = default;
+
+  /// Rule name for traces and Explain.
+  virtual std::string name() const = 0;
+
+  /// Attempts to rewrite the *root* of `expr`. Returns the replacement, or
+  /// nullptr when the rule does not match. Must be semantics-preserving
+  /// (bag-equal values; list-equal when the expression's formal type is
+  /// ordered).
+  virtual ExprPtr Apply(const ExprPtr& expr,
+                        const ExtensionRegistry& registry) const = 0;
+};
+
+using RulePtr = std::shared_ptr<const RewriteRule>;
+
+/// \brief Record of which rules fired during a rewrite pass.
+struct RewriteTrace {
+  std::vector<std::string> fired;  ///< rule names, in firing order
+  int iterations = 0;              ///< fixpoint sweeps performed
+};
+
+/// Applies `rules` bottom-up over the tree repeatedly until no rule fires
+/// or `max_iterations` sweeps are done. Returns the rewritten tree (input
+/// unchanged — trees are immutable).
+ExprPtr RewriteToFixpoint(const ExprPtr& expr,
+                          const std::vector<RulePtr>& rules,
+                          const ExtensionRegistry& registry,
+                          RewriteTrace* trace = nullptr,
+                          int max_iterations = 16);
+
+}  // namespace moa
+
+#endif  // MOA_OPTIMIZER_RULE_H_

@@ -1,0 +1,166 @@
+#include "storage/column.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "common/cost_ticker.h"
+
+namespace moa {
+
+const char* ColumnTypeName(ColumnType t) {
+  switch (t) {
+    case ColumnType::kInt64: return "int64";
+    case ColumnType::kDouble: return "double";
+    case ColumnType::kString: return "string";
+  }
+  return "?";
+}
+
+Column::Column(ColumnType type) : type_(type) {
+  switch (type) {
+    case ColumnType::kInt64: data_ = std::vector<int64_t>{}; break;
+    case ColumnType::kDouble: data_ = std::vector<double>{}; break;
+    case ColumnType::kString: data_ = std::vector<std::string>{}; break;
+  }
+}
+
+Column Column::FromInt64(std::vector<int64_t> values) {
+  Column c(ColumnType::kInt64);
+  c.data_ = std::move(values);
+  return c;
+}
+Column Column::FromDouble(std::vector<double> values) {
+  Column c(ColumnType::kDouble);
+  c.data_ = std::move(values);
+  return c;
+}
+Column Column::FromString(std::vector<std::string> values) {
+  Column c(ColumnType::kString);
+  c.data_ = std::move(values);
+  return c;
+}
+
+size_t Column::size() const {
+  return std::visit([](const auto& v) { return v.size(); }, data_);
+}
+
+void Column::AppendInt64(int64_t v) {
+  std::get<std::vector<int64_t>>(data_).push_back(v);
+}
+void Column::AppendDouble(double v) {
+  std::get<std::vector<double>>(data_).push_back(v);
+}
+void Column::AppendString(std::string v) {
+  std::get<std::vector<std::string>>(data_).push_back(std::move(v));
+}
+
+int64_t Column::Int64At(size_t i) const {
+  return std::get<std::vector<int64_t>>(data_)[i];
+}
+double Column::DoubleAt(size_t i) const {
+  return std::get<std::vector<double>>(data_)[i];
+}
+const std::string& Column::StringAt(size_t i) const {
+  return std::get<std::vector<std::string>>(data_)[i];
+}
+
+const std::vector<int64_t>& Column::int64_data() const {
+  return std::get<std::vector<int64_t>>(data_);
+}
+const std::vector<double>& Column::double_data() const {
+  return std::get<std::vector<double>>(data_);
+}
+const std::vector<std::string>& Column::string_data() const {
+  return std::get<std::vector<std::string>>(data_);
+}
+
+Result<std::vector<uint32_t>> Column::SelectRange(double lo, double hi) const {
+  std::vector<uint32_t> out;
+  if (type_ == ColumnType::kInt64) {
+    const auto& v = int64_data();
+    for (uint32_t i = 0; i < v.size(); ++i) {
+      CostTicker::TickSeq();
+      const double x = static_cast<double>(v[i]);
+      if (x >= lo && x <= hi) out.push_back(i);
+    }
+    return out;
+  }
+  if (type_ == ColumnType::kDouble) {
+    const auto& v = double_data();
+    for (uint32_t i = 0; i < v.size(); ++i) {
+      CostTicker::TickSeq();
+      if (v[i] >= lo && v[i] <= hi) out.push_back(i);
+    }
+    return out;
+  }
+  return Status::InvalidArgument("SelectRange requires a numeric column");
+}
+
+Column Column::Take(const std::vector<uint32_t>& indices) const {
+  Column out(type_);
+  switch (type_) {
+    case ColumnType::kInt64: {
+      auto& dst = std::get<std::vector<int64_t>>(out.data_);
+      const auto& src = int64_data();
+      dst.reserve(indices.size());
+      for (uint32_t i : indices) dst.push_back(src[i]);
+      break;
+    }
+    case ColumnType::kDouble: {
+      auto& dst = std::get<std::vector<double>>(out.data_);
+      const auto& src = double_data();
+      dst.reserve(indices.size());
+      for (uint32_t i : indices) dst.push_back(src[i]);
+      break;
+    }
+    case ColumnType::kString: {
+      auto& dst = std::get<std::vector<std::string>>(out.data_);
+      const auto& src = string_data();
+      dst.reserve(indices.size());
+      for (uint32_t i : indices) dst.push_back(src[i]);
+      break;
+    }
+  }
+  CostTicker::TickRandom(static_cast<int64_t>(indices.size()));
+  return out;
+}
+
+std::vector<uint32_t> Column::SortPermutation() const {
+  std::vector<uint32_t> perm(size());
+  std::iota(perm.begin(), perm.end(), 0);
+  auto cmp_count = [](auto cmp) {
+    return [cmp](uint32_t a, uint32_t b) {
+      CostTicker::TickCompare();
+      return cmp(a, b);
+    };
+  };
+  switch (type_) {
+    case ColumnType::kInt64: {
+      const auto& v = int64_data();
+      std::stable_sort(perm.begin(), perm.end(),
+                       cmp_count([&](uint32_t a, uint32_t b) {
+                         return v[a] < v[b];
+                       }));
+      break;
+    }
+    case ColumnType::kDouble: {
+      const auto& v = double_data();
+      std::stable_sort(perm.begin(), perm.end(),
+                       cmp_count([&](uint32_t a, uint32_t b) {
+                         return v[a] < v[b];
+                       }));
+      break;
+    }
+    case ColumnType::kString: {
+      const auto& v = string_data();
+      std::stable_sort(perm.begin(), perm.end(),
+                       cmp_count([&](uint32_t a, uint32_t b) {
+                         return v[a] < v[b];
+                       }));
+      break;
+    }
+  }
+  return perm;
+}
+
+}  // namespace moa

@@ -1,0 +1,69 @@
+// Typed in-memory columns: the set-oriented physical layer under the algebra.
+//
+// Moa flattens structured objects onto bulk binary relations (BWK98); the
+// column here plays the role of MonetDB's BAT tail: a contiguous typed
+// vector with bulk operators that tick the cost model.
+#ifndef MOA_STORAGE_COLUMN_H_
+#define MOA_STORAGE_COLUMN_H_
+
+#include <cstdint>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "common/status.h"
+
+namespace moa {
+
+/// Physical type of a column.
+enum class ColumnType { kInt64, kDouble, kString };
+
+const char* ColumnTypeName(ColumnType t);
+
+/// \brief A typed, contiguous vector of values.
+///
+/// The value storage is a variant over the three supported physical types;
+/// all bulk operations are type-checked at the API boundary and then run on
+/// the concrete vector without per-element dispatch.
+class Column {
+ public:
+  explicit Column(ColumnType type);
+
+  static Column FromInt64(std::vector<int64_t> values);
+  static Column FromDouble(std::vector<double> values);
+  static Column FromString(std::vector<std::string> values);
+
+  ColumnType type() const { return type_; }
+  size_t size() const;
+
+  void AppendInt64(int64_t v);
+  void AppendDouble(double v);
+  void AppendString(std::string v);
+
+  int64_t Int64At(size_t i) const;
+  double DoubleAt(size_t i) const;
+  const std::string& StringAt(size_t i) const;
+
+  const std::vector<int64_t>& int64_data() const;
+  const std::vector<double>& double_data() const;
+  const std::vector<std::string>& string_data() const;
+
+  /// Bulk range select: indices i with lo <= value[i] <= hi (numeric only).
+  Result<std::vector<uint32_t>> SelectRange(double lo, double hi) const;
+
+  /// Gather: new column with rows at `indices`.
+  Column Take(const std::vector<uint32_t>& indices) const;
+
+  /// Sort permutation (ascending; stable).
+  std::vector<uint32_t> SortPermutation() const;
+
+ private:
+  ColumnType type_;
+  std::variant<std::vector<int64_t>, std::vector<double>,
+               std::vector<std::string>>
+      data_;
+};
+
+}  // namespace moa
+
+#endif  // MOA_STORAGE_COLUMN_H_

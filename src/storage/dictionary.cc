@@ -1,0 +1,20 @@
+#include "storage/dictionary.h"
+
+namespace moa {
+
+TermId Dictionary::GetOrInsert(std::string_view term) {
+  auto it = index_.find(std::string(term));
+  if (it != index_.end()) return it->second;
+  TermId id = static_cast<TermId>(strings_.size());
+  strings_.emplace_back(term);
+  index_.emplace(strings_.back(), id);
+  return id;
+}
+
+std::optional<TermId> Dictionary::Lookup(std::string_view term) const {
+  auto it = index_.find(std::string(term));
+  if (it == index_.end()) return std::nullopt;
+  return it->second;
+}
+
+}  // namespace moa

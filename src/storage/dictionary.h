@@ -1,0 +1,41 @@
+// String dictionary: bidirectional term <-> dense-id mapping.
+#ifndef MOA_STORAGE_DICTIONARY_H_
+#define MOA_STORAGE_DICTIONARY_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+namespace moa {
+
+/// Dense identifier of a dictionary entry (term id). Ids are assigned
+/// contiguously from 0 in insertion order.
+using TermId = uint32_t;
+
+/// \brief Append-only string dictionary with O(1) id<->string lookup.
+///
+/// All higher layers work on TermId; strings exist only at the API boundary.
+class Dictionary {
+ public:
+  /// Returns the id of `term`, inserting it if absent.
+  TermId GetOrInsert(std::string_view term);
+
+  /// Returns the id of `term` if present.
+  std::optional<TermId> Lookup(std::string_view term) const;
+
+  /// Returns the string for `id`; id must be valid.
+  const std::string& GetString(TermId id) const { return strings_[id]; }
+
+  size_t size() const { return strings_.size(); }
+
+ private:
+  std::unordered_map<std::string, TermId> index_;
+  std::vector<std::string> strings_;
+};
+
+}  // namespace moa
+
+#endif  // MOA_STORAGE_DICTIONARY_H_

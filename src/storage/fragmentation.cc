@@ -1,0 +1,59 @@
+#include "storage/fragmentation.h"
+
+#include <algorithm>
+#include <numeric>
+#include <sstream>
+
+namespace moa {
+
+Fragmentation Fragmentation::Build(const InvertedFile& file,
+                                   const FragmentationPolicy& policy) {
+  Fragmentation frag;
+  frag.policy_ = policy;
+  const size_t num_terms = file.num_terms();
+  frag.assignment_.assign(num_terms, FragmentId::kLarge);
+
+  // Rank terms by ascending document frequency: rarest (most interesting)
+  // first. Ties broken by term id for determinism.
+  std::vector<TermId> by_df(num_terms);
+  std::iota(by_df.begin(), by_df.end(), 0);
+  std::sort(by_df.begin(), by_df.end(), [&](TermId a, TermId b) {
+    const uint32_t da = file.DocFrequency(a);
+    const uint32_t db = file.DocFrequency(b);
+    if (da != db) return da < db;
+    return a < b;
+  });
+
+  const int64_t total = file.num_postings();
+  const int64_t budget = static_cast<int64_t>(
+      policy.small_volume_fraction * static_cast<double>(total));
+
+  int64_t used = 0;
+  for (TermId t : by_df) {
+    const int64_t df = file.DocFrequency(t);
+    const bool over_ceiling =
+        policy.df_ceiling > 0 && df > static_cast<int64_t>(policy.df_ceiling);
+    if (!over_ceiling && used + df <= budget) {
+      frag.assignment_[t] = FragmentId::kSmall;
+      used += df;
+      ++frag.small_terms_;
+      frag.small_postings_ += df;
+    } else {
+      ++frag.large_terms_;
+      frag.large_postings_ += df;
+    }
+  }
+  return frag;
+}
+
+std::string Fragmentation::ToString() const {
+  std::ostringstream os;
+  os << "Fragmentation{small: " << small_terms_ << " terms / "
+     << small_postings_ << " postings (" << small_volume_fraction() * 100.0
+     << "% volume, " << small_term_fraction() * 100.0
+     << "% of terms); large: " << large_terms_ << " terms / "
+     << large_postings_ << " postings}";
+  return os.str();
+}
+
+}  // namespace moa

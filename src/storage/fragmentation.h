@@ -1,0 +1,97 @@
+// Horizontal fragmentation of the inverted file (paper Step 1).
+//
+// Terms in natural language are Zipf distributed: the most frequent terms
+// are the least interesting for ranking but occupy most of the postings
+// volume. The fragmentation assigns every term to one of two fragments:
+//
+//   kSmall  — the rare, "interesting" terms: most of the *distinct* terms
+//             but only a small fraction (typically ~5%) of the postings.
+//   kLarge  — the few frequent terms holding the bulk of the volume.
+//
+// Processing a query against the small fragment alone is the paper's unsafe
+// technique (fast, quality loss); adding a quality check that switches to
+// the large fragment in time is the safe variant (see src/topn).
+#ifndef MOA_STORAGE_FRAGMENTATION_H_
+#define MOA_STORAGE_FRAGMENTATION_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "storage/inverted_file.h"
+
+namespace moa {
+
+/// Fragment identifier.
+enum class FragmentId : uint8_t { kSmall = 0, kLarge = 1 };
+
+/// \brief How to split the term space into fragments.
+struct FragmentationPolicy {
+  /// Maximum fraction of the total postings volume allowed in the small
+  /// fragment. The paper reports ~0.05 (5% of data, 95% of distinct terms).
+  double small_volume_fraction = 0.05;
+
+  /// Terms with document frequency above this are forced into the large
+  /// fragment even if volume would still allow them (guards degenerate
+  /// collections). 0 disables the guard.
+  uint32_t df_ceiling = 0;
+};
+
+/// \brief Assignment of every term to a fragment, plus per-fragment stats.
+///
+/// The fragmentation is a *view* over the inverted file: posting data is not
+/// copied, so the partition invariant (every term in exactly one fragment)
+/// holds by construction.
+class Fragmentation {
+ public:
+  /// Computes the assignment: terms sorted by ascending document frequency
+  /// are assigned to the small fragment until its postings volume would
+  /// exceed `policy.small_volume_fraction` of the total.
+  static Fragmentation Build(const InvertedFile& file,
+                             const FragmentationPolicy& policy);
+
+  FragmentId fragment_of(TermId t) const { return assignment_[t]; }
+  bool in_small(TermId t) const {
+    return assignment_[t] == FragmentId::kSmall;
+  }
+
+  /// Number of terms in fragment f.
+  size_t term_count(FragmentId f) const {
+    return f == FragmentId::kSmall ? small_terms_ : large_terms_;
+  }
+  /// Postings volume (number of postings) in fragment f.
+  int64_t postings_volume(FragmentId f) const {
+    return f == FragmentId::kSmall ? small_postings_ : large_postings_;
+  }
+  /// Fraction of total postings volume held by the small fragment.
+  double small_volume_fraction() const {
+    const int64_t total = small_postings_ + large_postings_;
+    return total == 0 ? 0.0
+                      : static_cast<double>(small_postings_) /
+                            static_cast<double>(total);
+  }
+  /// Fraction of distinct terms held by the small fragment.
+  double small_term_fraction() const {
+    const size_t total = small_terms_ + large_terms_;
+    return total == 0 ? 0.0
+                      : static_cast<double>(small_terms_) /
+                            static_cast<double>(total);
+  }
+
+  const FragmentationPolicy& policy() const { return policy_; }
+
+  std::string ToString() const;
+
+ private:
+  FragmentationPolicy policy_;
+  std::vector<FragmentId> assignment_;
+  size_t small_terms_ = 0;
+  size_t large_terms_ = 0;
+  int64_t small_postings_ = 0;
+  int64_t large_postings_ = 0;
+};
+
+}  // namespace moa
+
+#endif  // MOA_STORAGE_FRAGMENTATION_H_

@@ -1,0 +1,58 @@
+#include "storage/inverted_file.h"
+
+#include <algorithm>
+
+namespace moa {
+
+void InvertedFile::BuildImpactOrders(
+    const std::function<double(TermId, const Posting&)>& weight) {
+  for (TermId t = 0; t < lists_.size(); ++t) {
+    auto& list = lists_[t];
+    std::vector<double> weights;
+    weights.reserve(list.size());
+    for (size_t i = 0; i < list.size(); ++i) {
+      weights.push_back(weight(t, list[i]));
+    }
+    list.BuildImpactOrder(weights);
+  }
+}
+
+InvertedFileBuilder::InvertedFileBuilder(size_t num_terms) {
+  file_.lists_.resize(num_terms);
+}
+
+Status InvertedFileBuilder::AddDocument(
+    DocId doc, const std::vector<std::pair<TermId, uint32_t>>& terms) {
+  if (doc != next_doc_) {
+    return Status::InvalidArgument("documents must be added in DocId order");
+  }
+  // Sort by term id so per-term appends stay doc-ordered and duplicates are
+  // adjacent.
+  std::vector<std::pair<TermId, uint32_t>> sorted = terms;
+  std::sort(sorted.begin(), sorted.end());
+  uint32_t doc_len = 0;
+  for (size_t i = 0; i < sorted.size(); ++i) {
+    if (i > 0 && sorted[i].first == sorted[i - 1].first) {
+      return Status::InvalidArgument("duplicate term in document");
+    }
+    const auto [term, tf] = sorted[i];
+    if (term >= file_.lists_.size()) {
+      return Status::OutOfRange("term id exceeds vocabulary size");
+    }
+    if (tf == 0) return Status::InvalidArgument("zero term frequency");
+    file_.lists_[term].Append(doc, tf);
+    ++file_.num_postings_;
+    doc_len += tf;
+  }
+  file_.doc_lengths_.push_back(doc_len);
+  file_.total_tokens_ += doc_len;
+  ++next_doc_;
+  return Status::OK();
+}
+
+InvertedFile InvertedFileBuilder::Build() {
+  for (auto& list : file_.lists_) list.Seal();
+  return std::move(file_);
+}
+
+}  // namespace moa

@@ -1,0 +1,86 @@
+// In-memory inverted file: the core physical structure for MM/IR retrieval.
+//
+// Maps every term to its posting list and keeps the collection statistics
+// (document frequencies, document lengths) that scoring models need. This is
+// the substrate on which the paper's fragmentation (Step 1) operates.
+#ifndef MOA_STORAGE_INVERTED_FILE_H_
+#define MOA_STORAGE_INVERTED_FILE_H_
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "common/status.h"
+#include "storage/dictionary.h"
+#include "storage/posting.h"
+
+namespace moa {
+
+/// \brief Immutable inverted file over a document collection.
+///
+/// Build with InvertedFileBuilder. Terms and documents use dense ids.
+class InvertedFile {
+ public:
+  size_t num_terms() const { return lists_.size(); }
+  size_t num_docs() const { return doc_lengths_.size(); }
+  int64_t num_postings() const { return num_postings_; }
+
+  const PostingList& list(TermId t) const { return lists_[t]; }
+  PostingList& mutable_list(TermId t) { return lists_[t]; }
+
+  /// Number of documents containing term t.
+  uint32_t DocFrequency(TermId t) const {
+    return static_cast<uint32_t>(lists_[t].size());
+  }
+
+  /// Token count of document d.
+  uint32_t DocLength(DocId d) const { return doc_lengths_[d]; }
+  const std::vector<uint32_t>& doc_lengths() const { return doc_lengths_; }
+
+  /// Mean document length over the collection.
+  double AverageDocLength() const {
+    if (doc_lengths_.empty()) return 0.0;
+    return static_cast<double>(total_tokens_) /
+           static_cast<double>(doc_lengths_.size());
+  }
+  int64_t total_tokens() const { return total_tokens_; }
+
+  /// Materializes impact (descending weight) orderings for all terms.
+  /// \param weight computes w(t, posting); typically a scoring model bound
+  ///        to this file. Weights must be final — rebuilding is allowed.
+  void BuildImpactOrders(
+      const std::function<double(TermId, const Posting&)>& weight);
+
+ private:
+  friend class InvertedFileBuilder;
+
+  std::vector<PostingList> lists_;
+  std::vector<uint32_t> doc_lengths_;
+  int64_t num_postings_ = 0;
+  int64_t total_tokens_ = 0;
+};
+
+/// \brief Accumulates (doc, term, tf) triples and produces an InvertedFile.
+///
+/// Documents must be added in increasing DocId order; term multiplicity
+/// within a document is passed as `tf`.
+class InvertedFileBuilder {
+ public:
+  /// \param num_terms vocabulary size (dense TermIds in [0, num_terms)).
+  explicit InvertedFileBuilder(size_t num_terms);
+
+  /// Adds one document given its bag of (term, tf) pairs. Pairs may be in
+  /// any order; duplicate terms are rejected.
+  Status AddDocument(DocId doc, const std::vector<std::pair<TermId, uint32_t>>& terms);
+
+  /// Finishes the build. The builder must not be reused afterwards.
+  InvertedFile Build();
+
+ private:
+  InvertedFile file_;
+  DocId next_doc_ = 0;
+};
+
+}  // namespace moa
+
+#endif  // MOA_STORAGE_INVERTED_FILE_H_

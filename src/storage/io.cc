@@ -1,0 +1,139 @@
+#include "storage/io.h"
+
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <memory>
+#include <vector>
+
+namespace moa {
+namespace {
+
+constexpr char kMagic[8] = {'M', 'O', 'A', 'I', 'F', '0', '1', '\0'};
+
+struct FileCloser {
+  void operator()(std::FILE* f) const {
+    if (f != nullptr) std::fclose(f);
+  }
+};
+using FileHandle = std::unique_ptr<std::FILE, FileCloser>;
+
+Status WriteBytes(std::FILE* f, const void* data, size_t size) {
+  if (std::fwrite(data, 1, size, f) != size) {
+    return Status::Internal("short write");
+  }
+  return Status::OK();
+}
+
+Status ReadBytes(std::FILE* f, void* data, size_t size) {
+  if (std::fread(data, 1, size, f) != size) {
+    return Status::Internal("short read / truncated file");
+  }
+  return Status::OK();
+}
+
+template <typename T>
+Status WritePod(std::FILE* f, T value) {
+  return WriteBytes(f, &value, sizeof(T));
+}
+
+template <typename T>
+Status ReadPod(std::FILE* f, T* value) {
+  return ReadBytes(f, value, sizeof(T));
+}
+
+}  // namespace
+
+Status WriteInvertedFile(const InvertedFile& file, const std::string& path) {
+  FileHandle f(std::fopen(path.c_str(), "wb"));
+  if (!f) return Status::Internal("cannot open for write: " + path);
+
+  MOA_RETURN_NOT_OK(WriteBytes(f.get(), kMagic, sizeof(kMagic)));
+  MOA_RETURN_NOT_OK(WritePod<uint64_t>(f.get(), file.num_terms()));
+  MOA_RETURN_NOT_OK(WritePod<uint64_t>(f.get(), file.num_docs()));
+  MOA_RETURN_NOT_OK(
+      WritePod<uint64_t>(f.get(), static_cast<uint64_t>(file.total_tokens())));
+  if (!file.doc_lengths().empty()) {
+    MOA_RETURN_NOT_OK(WriteBytes(f.get(), file.doc_lengths().data(),
+                                 file.doc_lengths().size() * sizeof(uint32_t)));
+  }
+  for (TermId t = 0; t < file.num_terms(); ++t) {
+    const PostingList& list = file.list(t);
+    MOA_RETURN_NOT_OK(WritePod<uint64_t>(f.get(), list.size()));
+    for (size_t i = 0; i < list.size(); ++i) {
+      MOA_RETURN_NOT_OK(WritePod<uint32_t>(f.get(), list[i].doc));
+      MOA_RETURN_NOT_OK(WritePod<uint32_t>(f.get(), list[i].tf));
+    }
+  }
+  if (std::fflush(f.get()) != 0) return Status::Internal("flush failed");
+  return Status::OK();
+}
+
+Result<InvertedFile> ReadInvertedFile(const std::string& path) {
+  FileHandle f(std::fopen(path.c_str(), "rb"));
+  if (!f) return Status::NotFound("cannot open: " + path);
+
+  char magic[8];
+  MOA_RETURN_NOT_OK(ReadBytes(f.get(), magic, sizeof(magic)));
+  if (std::memcmp(magic, kMagic, sizeof(kMagic)) != 0) {
+    return Status::InvalidArgument("bad magic: not a moa inverted file");
+  }
+  uint64_t num_terms = 0, num_docs = 0, total_tokens = 0;
+  MOA_RETURN_NOT_OK(ReadPod(f.get(), &num_terms));
+  MOA_RETURN_NOT_OK(ReadPod(f.get(), &num_docs));
+  MOA_RETURN_NOT_OK(ReadPod(f.get(), &total_tokens));
+  if (num_terms > (1ULL << 32) || num_docs > (1ULL << 32)) {
+    return Status::InvalidArgument("implausible header counts");
+  }
+
+  std::vector<uint32_t> doc_lengths(num_docs);
+  if (num_docs > 0) {
+    MOA_RETURN_NOT_OK(ReadBytes(f.get(), doc_lengths.data(),
+                                num_docs * sizeof(uint32_t)));
+  }
+
+  // Rebuild through the builder so every invariant is revalidated: read the
+  // term-major payload into per-doc buckets first.
+  std::vector<std::vector<std::pair<TermId, uint32_t>>> per_doc(num_docs);
+  uint64_t check_tokens = 0;
+  for (TermId t = 0; t < num_terms; ++t) {
+    uint64_t df = 0;
+    MOA_RETURN_NOT_OK(ReadPod(f.get(), &df));
+    if (df > num_docs) {
+      return Status::InvalidArgument("df exceeds document count");
+    }
+    uint32_t prev_doc = 0;
+    bool first = true;
+    for (uint64_t i = 0; i < df; ++i) {
+      uint32_t doc = 0, tf = 0;
+      MOA_RETURN_NOT_OK(ReadPod(f.get(), &doc));
+      MOA_RETURN_NOT_OK(ReadPod(f.get(), &tf));
+      if (doc >= num_docs) return Status::InvalidArgument("doc id out of range");
+      if (!first && doc <= prev_doc) {
+        return Status::InvalidArgument("posting list not doc-sorted");
+      }
+      first = false;
+      prev_doc = doc;
+      per_doc[doc].emplace_back(t, tf);
+      check_tokens += tf;
+    }
+  }
+  if (check_tokens != total_tokens) {
+    return Status::InvalidArgument("token count mismatch (corrupt file)");
+  }
+
+  InvertedFileBuilder builder(num_terms);
+  for (DocId d = 0; d < num_docs; ++d) {
+    MOA_RETURN_NOT_OK(builder.AddDocument(d, per_doc[d]));
+  }
+  InvertedFile rebuilt = builder.Build();
+  // Cross-check doc lengths against the stored section.
+  for (DocId d = 0; d < num_docs; ++d) {
+    if (rebuilt.DocLength(d) != doc_lengths[d]) {
+      return Status::InvalidArgument("doc length mismatch (corrupt file)");
+    }
+  }
+  return rebuilt;
+}
+
+}  // namespace moa

@@ -1,0 +1,32 @@
+// Binary persistence for inverted files: save once, reopen instantly.
+//
+// A downstream user generating a large synthetic collection (or importing
+// a real one) should not pay the generation cost per process. The format
+// is a single little-endian file:
+//
+//   magic "MOAIF01\0" | u64 num_terms | u64 num_docs | u64 total_tokens
+//   | u32 doc_length[num_docs]
+//   | per term: u64 df | (u32 doc, u32 tf)[df]
+//
+// Impact orders are *not* stored; they are cheap to rebuild and depend on
+// the scoring model anyway.
+#ifndef MOA_STORAGE_IO_H_
+#define MOA_STORAGE_IO_H_
+
+#include <string>
+
+#include "common/status.h"
+#include "storage/inverted_file.h"
+
+namespace moa {
+
+/// Writes `file` to `path` (overwrites). Returns an error on I/O failure.
+Status WriteInvertedFile(const InvertedFile& file, const std::string& path);
+
+/// Reads an inverted file written by WriteInvertedFile. Validates the
+/// magic, the section sizes and the doc-order invariant of every list.
+Result<InvertedFile> ReadInvertedFile(const std::string& path);
+
+}  // namespace moa
+
+#endif  // MOA_STORAGE_IO_H_

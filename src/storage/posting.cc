@@ -1,0 +1,39 @@
+#include "storage/posting.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "common/cost_ticker.h"
+
+namespace moa {
+
+void PostingList::Append(DocId doc, uint32_t tf) {
+  assert(postings_.empty() || postings_.back().doc < doc);
+  postings_.push_back(Posting{doc, tf});
+}
+
+std::optional<uint32_t> PostingList::FindTf(DocId doc) const {
+  CostTicker::TickRandom();
+  auto it = std::lower_bound(
+      postings_.begin(), postings_.end(), doc,
+      [](const Posting& p, DocId d) { return p.doc < d; });
+  if (it == postings_.end() || it->doc != doc) return std::nullopt;
+  return it->tf;
+}
+
+void PostingList::BuildImpactOrder(const std::vector<double>& weights) {
+  assert(weights.size() == postings_.size());
+  impact_order_.resize(postings_.size());
+  for (uint32_t i = 0; i < impact_order_.size(); ++i) impact_order_[i] = i;
+  std::sort(impact_order_.begin(), impact_order_.end(),
+            [&](uint32_t a, uint32_t b) {
+              if (weights[a] != weights[b]) return weights[a] > weights[b];
+              return postings_[a].doc < postings_[b].doc;
+            });
+  impact_weights_.resize(postings_.size());
+  for (size_t i = 0; i < impact_order_.size(); ++i) {
+    impact_weights_[i] = weights[impact_order_[i]];
+  }
+}
+
+}  // namespace moa

@@ -1,0 +1,75 @@
+// Posting lists: the physical representation of one term's occurrences.
+//
+// Each list is stored twice-sorted:
+//  - by document id (for merge joins, sparse-index probes, random access)
+//  - by descending impact/weight (for Fagin-style sorted access)
+// The impact ordering is materialized lazily as a permutation so that
+// building a collection stays O(postings log postings) once.
+#ifndef MOA_STORAGE_POSTING_H_
+#define MOA_STORAGE_POSTING_H_
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+namespace moa {
+
+/// Document identifier, dense from 0.
+using DocId = uint32_t;
+
+/// \brief One (document, term-frequency) pair inside a posting list.
+struct Posting {
+  DocId doc;
+  uint32_t tf;
+
+  friend bool operator==(const Posting&, const Posting&) = default;
+};
+
+/// \brief One term's postings, sorted by DocId, with an optional
+/// impact-ordered view for sorted access by descending weight.
+class PostingList {
+ public:
+  PostingList() = default;
+
+  /// Appends a posting; docs must be appended in strictly increasing order.
+  void Append(DocId doc, uint32_t tf);
+
+  /// Finalizes the doc-ordered list (no-op today; kept for future packing).
+  void Seal() {}
+
+  size_t size() const { return postings_.size(); }
+  bool empty() const { return postings_.empty(); }
+
+  const Posting& operator[](size_t i) const { return postings_[i]; }
+  const std::vector<Posting>& postings() const { return postings_; }
+
+  /// Binary search by doc id. Ticks a random read on the cost ticker.
+  std::optional<uint32_t> FindTf(DocId doc) const;
+
+  /// Builds the impact ordering given per-posting weights (same length as the
+  /// list). Ties broken by doc id for determinism.
+  void BuildImpactOrder(const std::vector<double>& weights);
+
+  bool has_impact_order() const { return !impact_order_.empty(); }
+
+  /// i-th posting in descending-weight order; requires BuildImpactOrder.
+  const Posting& ByImpact(size_t i) const {
+    return postings_[impact_order_[i]];
+  }
+  /// Weight of the i-th posting in impact order.
+  double ImpactWeight(size_t i) const { return impact_weights_[i]; }
+
+  /// Maximum weight in the list (0 when empty); requires BuildImpactOrder.
+  double max_weight() const {
+    return impact_weights_.empty() ? 0.0 : impact_weights_.front();
+  }
+
+ private:
+  std::vector<Posting> postings_;          // sorted by doc
+  std::vector<uint32_t> impact_order_;     // permutation: impact rank -> index
+  std::vector<double> impact_weights_;     // weight at impact rank i
+};
+
+}  // namespace moa
+
+#endif  // MOA_STORAGE_POSTING_H_

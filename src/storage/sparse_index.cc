@@ -1,0 +1,40 @@
+#include "storage/sparse_index.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "common/cost_ticker.h"
+
+namespace moa {
+
+SparseIndex::SparseIndex(const PostingList* list, uint32_t block_size)
+    : list_(list), block_size_(block_size) {
+  assert(block_size >= 1);
+  const size_t n = list_->size();
+  block_starts_.reserve((n + block_size - 1) / block_size);
+  for (size_t i = 0; i < n; i += block_size) {
+    block_starts_.push_back((*list_)[i].doc);
+  }
+}
+
+std::optional<uint32_t> SparseIndex::Probe(DocId doc) const {
+  if (list_ == nullptr || block_starts_.empty()) return std::nullopt;
+  // Directory lookup: one random access (the block directory is small and
+  // cache-resident; we charge a single random read for the descent).
+  CostTicker::TickRandom();
+  auto it = std::upper_bound(block_starts_.begin(), block_starts_.end(), doc);
+  if (it == block_starts_.begin()) return std::nullopt;
+  const size_t block = static_cast<size_t>(it - block_starts_.begin()) - 1;
+  const size_t begin = block * block_size_;
+  const size_t end = std::min(begin + block_size_, list_->size());
+  // Bounded in-block scan: sequential accesses.
+  for (size_t i = begin; i < end; ++i) {
+    CostTicker::TickSeq();
+    const Posting& p = (*list_)[i];
+    if (p.doc == doc) return p.tf;
+    if (p.doc > doc) return std::nullopt;
+  }
+  return std::nullopt;
+}
+
+}  // namespace moa

@@ -1,0 +1,51 @@
+// Non-dense (sparse) index over a doc-ordered posting list (paper Step 1).
+//
+// "I plan to introduce a non-dense index in the system to speed up
+//  processing the large fragment." — the index stores every block_size-th
+// document id, so probing for a candidate document costs one random block
+// lookup plus a bounded scan, instead of decompressing/scanning the whole
+// (very long) frequent-term posting list.
+#ifndef MOA_STORAGE_SPARSE_INDEX_H_
+#define MOA_STORAGE_SPARSE_INDEX_H_
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "storage/posting.h"
+
+namespace moa {
+
+/// \brief Sparse (non-dense) index over one PostingList.
+///
+/// Stores the first doc id of every block of `block_size` postings. A probe
+/// binary-searches the block directory (random access), then scans at most
+/// `block_size` postings (sequential access). Cost-ticker accounting makes
+/// the saving measurable: probe cost is O(log(#blocks)) + O(block_size)
+/// versus O(list length) for an unindexed scan.
+class SparseIndex {
+ public:
+  SparseIndex() = default;
+
+  /// Builds the block directory. `block_size` must be >= 1.
+  SparseIndex(const PostingList* list, uint32_t block_size);
+
+  /// Term frequency of `doc`, or nullopt if the document is absent.
+  std::optional<uint32_t> Probe(DocId doc) const;
+
+  uint32_t block_size() const { return block_size_; }
+  size_t num_blocks() const { return block_starts_.size(); }
+
+  /// Directory memory footprint in entries (the "non-dense" saving vs a
+  /// dense per-posting index).
+  size_t directory_entries() const { return block_starts_.size(); }
+
+ private:
+  const PostingList* list_ = nullptr;
+  uint32_t block_size_ = 0;
+  std::vector<DocId> block_starts_;  // first doc id of each block
+};
+
+}  // namespace moa
+
+#endif  // MOA_STORAGE_SPARSE_INDEX_H_

@@ -1,0 +1,39 @@
+#include "storage/table.h"
+
+namespace moa {
+
+Status Table::AddColumn(std::string name, Column column) {
+  if (!columns_.empty() && column.size() != num_rows()) {
+    return Status::InvalidArgument("column length mismatch: " + name);
+  }
+  for (const auto& s : specs_) {
+    if (s.name == name) {
+      return Status::InvalidArgument("duplicate column name: " + name);
+    }
+  }
+  specs_.push_back(ColumnSpec{name, column.type()});
+  columns_.push_back(std::move(column));
+  return Status::OK();
+}
+
+size_t Table::num_rows() const {
+  return columns_.empty() ? 0 : columns_.front().size();
+}
+
+Result<size_t> Table::ColumnIndex(const std::string& name) const {
+  for (size_t i = 0; i < specs_.size(); ++i) {
+    if (specs_[i].name == name) return i;
+  }
+  return Status::NotFound("no column named " + name);
+}
+
+Table Table::Take(const std::vector<uint32_t>& indices) const {
+  Table out;
+  for (size_t i = 0; i < columns_.size(); ++i) {
+    // AddColumn cannot fail here: lengths are uniform by construction.
+    (void)out.AddColumn(specs_[i].name, columns_[i].Take(indices));
+  }
+  return out;
+}
+
+}  // namespace moa

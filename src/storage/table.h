@@ -1,0 +1,50 @@
+// Named collection of equal-length columns with a simple schema.
+#ifndef MOA_STORAGE_TABLE_H_
+#define MOA_STORAGE_TABLE_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "storage/column.h"
+
+namespace moa {
+
+/// \brief Schema entry: column name and physical type.
+struct ColumnSpec {
+  std::string name;
+  ColumnType type;
+};
+
+/// \brief A set-oriented table: equal-length named columns.
+///
+/// Used by the engine for metadata tables and by examples that join ranked
+/// retrieval output with alphanumeric attributes (the paper's "integrated
+/// top N queries on several content and alpha numerical types").
+class Table {
+ public:
+  Table() = default;
+
+  /// Adds a column; its length must match existing columns.
+  Status AddColumn(std::string name, Column column);
+
+  size_t num_rows() const;
+  size_t num_columns() const { return columns_.size(); }
+
+  /// Index of the named column, or error.
+  Result<size_t> ColumnIndex(const std::string& name) const;
+
+  const Column& column(size_t i) const { return columns_[i]; }
+  const ColumnSpec& spec(size_t i) const { return specs_[i]; }
+
+  /// Row subset (gather on every column).
+  Table Take(const std::vector<uint32_t>& indices) const;
+
+ private:
+  std::vector<ColumnSpec> specs_;
+  std::vector<Column> columns_;
+};
+
+}  // namespace moa
+
+#endif  // MOA_STORAGE_TABLE_H_

@@ -1,0 +1,329 @@
+#include "topn/fagin.h"
+
+#include <algorithm>
+#include <cassert>
+#include <unordered_map>
+#include <unordered_set>
+
+namespace moa {
+namespace {
+
+/// Per-query-term cursor over one impact-ordered posting list.
+struct ListCursor {
+  TermId term;
+  const PostingList* list;
+  size_t pos = 0;
+
+  bool exhausted() const { return pos >= list->size(); }
+  /// Sorted-access threshold: weight at the cursor (0 once exhausted).
+  double threshold() const {
+    return exhausted() ? 0.0 : list->ImpactWeight(pos);
+  }
+};
+
+/// Builds cursors for all query terms with non-empty lists; fails if any
+/// list lacks an impact order.
+Result<std::vector<ListCursor>> MakeCursors(const InvertedFile& file,
+                                            const Query& query) {
+  std::vector<ListCursor> cursors;
+  for (TermId t : query.terms) {
+    const PostingList& list = file.list(t);
+    if (list.empty()) continue;
+    if (!list.has_impact_order()) {
+      return Status::FailedPrecondition(
+          "Fagin algorithms require impact orders; call "
+          "InvertedFile::BuildImpactOrders first");
+    }
+    cursors.push_back(ListCursor{t, &list, 0});
+  }
+  return cursors;
+}
+
+/// Random access: weight of `doc` in `cursor`'s list (0 if absent).
+double RandomAccessWeight(const ScoringModel& model, const ListCursor& cursor,
+                          DocId doc, TopNStats* stats) {
+  ++stats->random_accesses;
+  auto tf = cursor.list->FindTf(doc);  // ticks one random read
+  if (!tf.has_value()) return 0.0;
+  CostTicker::TickScore();
+  return model.Weight(cursor.term, Posting{doc, *tf});
+}
+
+/// Bounded best-n tracker (min-heap on ScoredDocLess; front = weakest).
+class BestN {
+ public:
+  explicit BestN(size_t n) : n_(n) {}
+
+  void Offer(const ScoredDoc& sd) {
+    if (n_ == 0) return;
+    if (heap_.size() < n_) {
+      heap_.push_back(sd);
+      std::push_heap(heap_.begin(), heap_.end(), WeakestFirst);
+    } else if (ScoredDocLess(sd, heap_.front())) {
+      CostTicker::TickCompare();
+      std::pop_heap(heap_.begin(), heap_.end(), WeakestFirst);
+      heap_.back() = sd;
+      std::push_heap(heap_.begin(), heap_.end(), WeakestFirst);
+    }
+  }
+
+  bool full() const { return heap_.size() >= n_; }
+  /// Score of the weakest member (the "n-th best so far").
+  double nth_score() const { return heap_.front().score; }
+
+  std::vector<ScoredDoc> TakeSortedDesc() {
+    std::sort(heap_.begin(), heap_.end(), ScoredDocLess);
+    return std::move(heap_);
+  }
+
+ private:
+  static bool WeakestFirst(const ScoredDoc& a, const ScoredDoc& b) {
+    CostTicker::TickCompare();
+    return ScoredDocLess(a, b);
+  }
+
+  size_t n_;
+  std::vector<ScoredDoc> heap_;
+};
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// TA
+// ---------------------------------------------------------------------------
+
+Result<TopNResult> FaginTA(const InvertedFile& file, const ScoringModel& model,
+                           const Query& query, size_t n,
+                           const FaginOptions& options) {
+  (void)options;
+  TopNResult result;
+  CostScope scope;
+  Result<std::vector<ListCursor>> cursors_or = MakeCursors(file, query);
+  if (!cursors_or.ok()) return cursors_or.status();
+  std::vector<ListCursor> cursors = std::move(cursors_or).ValueOrDie();
+
+  BestN best(n);
+  std::unordered_set<DocId> resolved;
+  bool done = cursors.empty() || n == 0;
+  while (!done) {
+    bool any_advanced = false;
+    for (size_t i = 0; i < cursors.size(); ++i) {
+      ListCursor& cur = cursors[i];
+      if (cur.exhausted()) continue;
+      any_advanced = true;
+      const Posting& p = cur.list->ByImpact(cur.pos);
+      const double w = cur.list->ImpactWeight(cur.pos);
+      ++cur.pos;
+      ++result.stats.sorted_accesses;
+      CostTicker::TickSeq();
+
+      if (resolved.insert(p.doc).second) {
+        ++result.stats.candidates;
+        // Complete the score via random access to every other list.
+        double score = w;
+        for (size_t j = 0; j < cursors.size(); ++j) {
+          if (j == i) continue;
+          score += RandomAccessWeight(model, cursors[j], p.doc, &result.stats);
+        }
+        best.Offer(ScoredDoc{p.doc, score});
+      }
+    }
+    // Threshold: best possible score of any unseen document.
+    double tau = 0.0;
+    for (const auto& cur : cursors) tau += cur.threshold();
+    if (best.full() && best.nth_score() >= tau) {
+      result.stats.stopped_early = any_advanced;
+      done = true;
+    } else if (!any_advanced) {
+      done = true;  // every list exhausted
+    }
+  }
+  result.items = best.TakeSortedDesc();
+  result.stats.cost = scope.Snapshot();
+  return result;
+}
+
+// ---------------------------------------------------------------------------
+// FA
+// ---------------------------------------------------------------------------
+
+Result<TopNResult> FaginFA(const InvertedFile& file, const ScoringModel& model,
+                           const Query& query, size_t n,
+                           const FaginOptions& options) {
+  (void)options;
+  TopNResult result;
+  CostScope scope;
+  Result<std::vector<ListCursor>> cursors_or = MakeCursors(file, query);
+  if (!cursors_or.ok()) return cursors_or.status();
+  std::vector<ListCursor> cursors = std::move(cursors_or).ValueOrDie();
+  const size_t m = cursors.size();
+
+  if (m == 0 || n == 0) {
+    result.stats.cost = scope.Snapshot();
+    return result;
+  }
+  if (m > 64) {
+    return Status::InvalidArgument("FA supports at most 64 query terms");
+  }
+
+  // Phase 1: round-robin sorted access until n documents have been "fully
+  // seen". Sparse-list adaptation: a document counts as seen in list i if
+  // it appeared there under sorted access OR list i is exhausted (absence
+  // means weight 0, and 0 >= the exhausted list's threshold of 0, so the
+  // classical FA dominance argument still holds).
+  const uint64_t all_mask = (m == 64) ? ~0ULL : ((1ULL << m) - 1);
+  std::unordered_map<DocId, uint64_t> seen_mask;  // doc -> lists seen via SA
+  uint64_t exhausted_mask = 0;
+  size_t fully_seen = 0;
+  int round = 0;
+  for (;;) {
+    bool advanced = false;
+    for (size_t i = 0; i < m; ++i) {
+      ListCursor& cur = cursors[i];
+      if (cur.exhausted()) {
+        exhausted_mask |= (1ULL << i);
+        continue;
+      }
+      advanced = true;
+      const Posting& p = cur.list->ByImpact(cur.pos);
+      ++cur.pos;
+      ++result.stats.sorted_accesses;
+      CostTicker::TickSeq();
+      seen_mask[p.doc] |= (1ULL << i);
+      if (cur.exhausted()) exhausted_mask |= (1ULL << i);
+    }
+    if (!advanced) break;  // every list exhausted: everything is seen
+    // Recount fully-seen docs periodically (counting is O(candidates); the
+    // stop may fire a few rounds late, which is safe, never wrong).
+    if (++round % 8 == 0 || (exhausted_mask != 0)) {
+      fully_seen = 0;
+      for (const auto& [doc, mask] : seen_mask) {
+        CostTicker::TickCompare();
+        if ((mask | exhausted_mask) == all_mask) ++fully_seen;
+      }
+      if (fully_seen >= n) break;
+    }
+  }
+  result.stats.stopped_early =
+      std::any_of(cursors.begin(), cursors.end(),
+                  [](const ListCursor& c) { return !c.exhausted(); });
+
+  // Phase 2: random-access completion of every seen document (each doc's
+  // full score is recomputed via random access; the true top-n is a subset
+  // of the seen set by the dominance argument above).
+  BestN best(n);
+  result.stats.candidates = static_cast<int64_t>(seen_mask.size());
+  for (const auto& [doc, mask] : seen_mask) {
+    double score = 0.0;
+    for (const auto& cur : cursors) {
+      score += RandomAccessWeight(model, cur, doc, &result.stats);
+    }
+    best.Offer(ScoredDoc{doc, score});
+  }
+  result.items = best.TakeSortedDesc();
+  result.stats.cost = scope.Snapshot();
+  return result;
+}
+
+// ---------------------------------------------------------------------------
+// NRA
+// ---------------------------------------------------------------------------
+
+Result<TopNResult> FaginNRA(const InvertedFile& file,
+                            const ScoringModel& model, const Query& query,
+                            size_t n, const FaginOptions& options) {
+  (void)model;
+  TopNResult result;
+  CostScope scope;
+  Result<std::vector<ListCursor>> cursors_or = MakeCursors(file, query);
+  if (!cursors_or.ok()) return cursors_or.status();
+  std::vector<ListCursor> cursors = std::move(cursors_or).ValueOrDie();
+  const size_t m = cursors.size();
+
+  if (m == 0 || n == 0) {
+    result.stats.cost = scope.Snapshot();
+    return result;
+  }
+  if (m > 64) {
+    return Status::InvalidArgument("NRA supports at most 64 query terms");
+  }
+
+  struct Candidate {
+    double lower = 0.0;
+    uint64_t seen_mask = 0;
+  };
+  std::unordered_map<DocId, Candidate> cand;
+
+  int64_t accesses_since_check = 0;
+  bool done = false;
+  while (!done) {
+    bool advanced = false;
+    for (size_t i = 0; i < m; ++i) {
+      ListCursor& cur = cursors[i];
+      if (cur.exhausted()) continue;
+      advanced = true;
+      const Posting& p = cur.list->ByImpact(cur.pos);
+      const double w = cur.list->ImpactWeight(cur.pos);
+      ++cur.pos;
+      ++result.stats.sorted_accesses;
+      ++accesses_since_check;
+      CostTicker::TickSeq();
+      Candidate& c = cand[p.doc];
+      c.lower += w;
+      c.seen_mask |= (1ULL << i);
+    }
+    if (!advanced) {
+      done = true;  // all exhausted: lower bounds are exact
+      break;
+    }
+    if (accesses_since_check < options.check_every) continue;
+    accesses_since_check = 0;
+
+    // Stop test. thresholds[i] = weight at cursor i.
+    double thresholds[64];
+    for (size_t i = 0; i < m; ++i) thresholds[i] = cursors[i].threshold();
+
+    // n-th best candidate by (lower bound desc, doc asc) — the tentative
+    // top-n set under the library's deterministic tie order.
+    if (cand.size() < n) continue;
+    std::vector<std::pair<double, DocId>> ranked;  // (-lower, doc): asc order
+    ranked.reserve(cand.size());
+    for (const auto& [doc, c] : cand) ranked.emplace_back(-c.lower, doc);
+    std::nth_element(ranked.begin(), ranked.begin() + (n - 1), ranked.end());
+    const auto kth = ranked[n - 1];
+    const double kth_lower = -kth.first;
+
+    // Upper bound of any completely unseen document.
+    double max_other_upper = 0.0;
+    for (size_t i = 0; i < m; ++i) max_other_upper += thresholds[i];
+    bool ok_to_stop = kth_lower >= max_other_upper;  // unseen docs ruled out
+    if (ok_to_stop) {
+      for (const auto& [doc, c] : cand) {
+        if (std::make_pair(-c.lower, doc) <= kth) continue;  // in the top n
+        double upper = c.lower;
+        for (size_t i = 0; i < m; ++i) {
+          if (!(c.seen_mask & (1ULL << i))) upper += thresholds[i];
+        }
+        CostTicker::TickCompare();
+        if (upper > kth_lower) {
+          ok_to_stop = false;
+          break;
+        }
+      }
+    }
+    if (ok_to_stop) {
+      result.stats.stopped_early = true;
+      done = true;
+    }
+  }
+
+  // Emit the n best by lower bound (exact set per NRA guarantee).
+  BestN best(n);
+  result.stats.candidates = static_cast<int64_t>(cand.size());
+  for (const auto& [doc, c] : cand) best.Offer(ScoredDoc{doc, c.lower});
+  result.items = best.TakeSortedDesc();
+  result.stats.cost = scope.Snapshot();
+  return result;
+}
+
+}  // namespace moa

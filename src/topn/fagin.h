@@ -1,0 +1,57 @@
+// Fagin-family top-N algorithms (FM, Fag98, Fag99): FA, TA and NRA.
+//
+// The query is viewed as m "lists", one per query term, each supporting
+//   sorted access:  postings by descending per-term weight (impact order)
+//   random access:  weight of a given document in the list (0 if absent)
+// Scores aggregate monotonically (sum), so upper/lower bound administration
+// lets processing stop "as soon as it is certain that the required top N
+// answers have been computed" (paper, State of the Art).
+//
+// Adaptation to sparse IR lists (documented in DESIGN.md): a document absent
+// from a list contributes weight 0; a list that is exhausted has sorted-
+// access threshold 0. FA's phase-1 target ("n objects seen in *all* lists")
+// therefore also terminates when any list is exhausted.
+//
+// Safety: FA and TA return the exact top-N ranking. NRA returns the exact
+// top-N *set*; reported scores are lower bounds, so the order within the
+// set may differ from the exact order when bounds tie (classical NRA
+// semantics).
+#ifndef MOA_TOPN_FAGIN_H_
+#define MOA_TOPN_FAGIN_H_
+
+#include "ir/query_gen.h"
+#include "topn/topn_result.h"
+
+namespace moa {
+
+/// \brief Tuning knobs shared by the Fagin family.
+struct FaginOptions {
+  /// NRA evaluates its stop condition every `check_every` sorted accesses
+  /// (checking after every access is quadratic in the candidate count).
+  int64_t check_every = 256;
+};
+
+/// Fagin's original algorithm (FA): sorted phase until n documents have
+/// been seen in every list, then random-access completion of all seen
+/// documents. Requires impact orders on all query-term lists.
+Result<TopNResult> FaginFA(const InvertedFile& file, const ScoringModel& model,
+                           const Query& query, size_t n,
+                           const FaginOptions& options = {});
+
+/// Threshold Algorithm (TA): round-robin sorted access with immediate
+/// random-access completion; stops when the n-th best score reaches the
+/// threshold (sum of the last weights seen per list).
+Result<TopNResult> FaginTA(const InvertedFile& file, const ScoringModel& model,
+                           const Query& query, size_t n,
+                           const FaginOptions& options = {});
+
+/// No-Random-Access algorithm (NRA): sorted access only, with per-document
+/// [lower, upper] score bounds; stops when the n-th best lower bound is at
+/// least every other candidate's upper bound.
+Result<TopNResult> FaginNRA(const InvertedFile& file,
+                            const ScoringModel& model, const Query& query,
+                            size_t n, const FaginOptions& options = {});
+
+}  // namespace moa
+
+#endif  // MOA_TOPN_FAGIN_H_

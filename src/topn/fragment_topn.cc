@@ -1,0 +1,191 @@
+#include "topn/fragment_topn.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+namespace moa {
+namespace {
+
+/// Accumulates postings of `terms` into `acc`, ticking seq + score.
+void AccumulateTerms(const InvertedFile& file, const ScoringModel& model,
+                     const std::vector<TermId>& terms,
+                     std::vector<double>* acc) {
+  for (TermId t : terms) {
+    const PostingList& list = file.list(t);
+    for (size_t i = 0; i < list.size(); ++i) {
+      CostTicker::TickSeq();
+      CostTicker::TickScore();
+      (*acc)[list[i].doc] += model.Weight(t, list[i]);
+    }
+  }
+}
+
+/// Bounded heap selection of the best n from a dense score array.
+std::vector<ScoredDoc> HeapSelect(const std::vector<double>& acc, size_t n) {
+  auto weakest_first = [](const ScoredDoc& a, const ScoredDoc& b) {
+    CostTicker::TickCompare();
+    return ScoredDocLess(a, b);
+  };
+  std::vector<ScoredDoc> heap;
+  heap.reserve(n);
+  for (DocId d = 0; d < acc.size(); ++d) {
+    if (acc[d] <= 0.0) continue;
+    const ScoredDoc sd{d, acc[d]};
+    if (heap.size() < n) {
+      heap.push_back(sd);
+      std::push_heap(heap.begin(), heap.end(), weakest_first);
+    } else if (n > 0 && ScoredDocLess(sd, heap.front())) {
+      std::pop_heap(heap.begin(), heap.end(), weakest_first);
+      heap.back() = sd;
+      std::push_heap(heap.begin(), heap.end(), weakest_first);
+    }
+  }
+  // sort_heap under this comparator leaves the best element first.
+  std::sort_heap(heap.begin(), heap.end(), weakest_first);
+  return heap;
+}
+
+/// Splits query terms by fragment.
+void SplitQuery(const Fragmentation& frag, const Query& query,
+                std::vector<TermId>* small_terms,
+                std::vector<TermId>* large_terms) {
+  for (TermId t : query.terms) {
+    if (frag.in_small(t)) {
+      small_terms->push_back(t);
+    } else {
+      large_terms->push_back(t);
+    }
+  }
+}
+
+int64_t CountCandidates(const std::vector<double>& acc) {
+  int64_t c = 0;
+  for (double s : acc) c += (s > 0.0) ? 1 : 0;
+  return c;
+}
+
+}  // namespace
+
+TopNResult SmallFragmentTopN(const InvertedFile& file,
+                             const Fragmentation& frag,
+                             const ScoringModel& model, const Query& query,
+                             size_t n) {
+  TopNResult result;
+  CostScope scope;
+  std::vector<TermId> small_terms, large_terms;
+  SplitQuery(frag, query, &small_terms, &large_terms);
+
+  std::vector<double> acc(file.num_docs(), 0.0);
+  AccumulateTerms(file, model, small_terms, &acc);
+  result.items = HeapSelect(acc, n);
+  result.stats.candidates = CountCandidates(acc);
+  result.stats.stopped_early = !large_terms.empty();
+  result.stats.cost = scope.Snapshot();
+  return result;
+}
+
+Result<TopNResult> QualitySwitchTopN(const InvertedFile& file,
+                                     const Fragmentation& frag,
+                                     const ScoringModel& model,
+                                     const Query& query, size_t n,
+                                     const QualitySwitchOptions& options) {
+  if (options.switch_threshold < 0.0) {
+    return Status::InvalidArgument("switch_threshold must be >= 0");
+  }
+  TopNResult result;
+  CostScope scope;
+  std::vector<TermId> small_terms, large_terms;
+  SplitQuery(frag, query, &small_terms, &large_terms);
+
+  // Phase 1: cheap small-fragment pass.
+  std::vector<double> acc(file.num_docs(), 0.0);
+  AccumulateTerms(file, model, small_terms, &acc);
+
+  bool process_large = false;
+  if (!large_terms.empty() && options.mode != LargeFragmentMode::kSkip) {
+    // Early quality check: can the large fragment still change the top n?
+    // Upper bound of its contribution to any single document:
+    double potential = 0.0;
+    for (TermId t : large_terms) {
+      const PostingList& list = file.list(t);
+      if (list.empty()) continue;
+      if (!list.has_impact_order()) {
+        return Status::FailedPrecondition(
+            "QualitySwitchTopN requires impact orders for upper bounds");
+      }
+      potential += list.max_weight();
+    }
+    // Current n-th best from the small fragment alone.
+    std::vector<ScoredDoc> tentative = HeapSelect(acc, n);
+    const double nth =
+        tentative.size() >= n && n > 0 ? tentative.back().score : 0.0;
+    process_large = potential > options.switch_threshold * nth;
+  }
+
+  if (process_large) {
+    result.stats.used_large_fragment = true;
+    switch (options.mode) {
+      case LargeFragmentMode::kSkip:
+        break;  // unreachable (guarded above)
+      case LargeFragmentMode::kFullScan:
+        AccumulateTerms(file, model, large_terms, &acc);
+        break;
+      case LargeFragmentMode::kSparseProbe: {
+        // Candidate pool: the best small-fragment accumulations plus, per
+        // large-fragment term, the champions from its impact-order prefix
+        // (so documents carried purely by frequent terms are reachable).
+        const size_t pool_size =
+            options.candidate_pool > 0 ? options.candidate_pool : 4 * n;
+        const size_t champions =
+            options.champions > 0 ? options.champions : 4 * n;
+        std::vector<ScoredDoc> pool = HeapSelect(acc, pool_size);
+        std::unordered_set<DocId> pooled;
+        for (const ScoredDoc& sd : pool) pooled.insert(sd.doc);
+        for (TermId t : large_terms) {
+          const PostingList& list = file.list(t);
+          const size_t k = std::min(champions, list.size());
+          for (size_t i = 0; i < k; ++i) {
+            CostTicker::TickSeq();
+            const DocId d = list.ByImpact(i).doc;
+            if (pooled.insert(d).second) pool.push_back(ScoredDoc{d, acc[d]});
+          }
+        }
+        for (TermId t : large_terms) {
+          const PostingList& list = file.list(t);
+          if (list.empty()) continue;
+          const SparseIndex* index = nullptr;
+          SparseIndex local;
+          if (options.sparse_cache != nullptr) {
+            auto it = options.sparse_cache->find(t);
+            if (it == options.sparse_cache->end()) {
+              it = options.sparse_cache
+                       ->emplace(t, SparseIndex(&list, options.sparse_block))
+                       .first;
+            }
+            index = &it->second;
+          } else {
+            local = SparseIndex(&list, options.sparse_block);
+            index = &local;
+          }
+          for (const ScoredDoc& sd : pool) {
+            ++result.stats.random_accesses;
+            auto tf = index->Probe(sd.doc);
+            if (tf.has_value()) {
+              CostTicker::TickScore();
+              acc[sd.doc] += model.Weight(t, Posting{sd.doc, *tf});
+            }
+          }
+        }
+        break;
+      }
+    }
+  }
+
+  result.items = HeapSelect(acc, n);
+  result.stats.candidates = CountCandidates(acc);
+  result.stats.stopped_early = !large_terms.empty() && !process_large;
+  result.stats.cost = scope.Snapshot();
+  return result;
+}
+
+}  // namespace moa

@@ -1,0 +1,111 @@
+#include "topn/maxscore.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+namespace moa {
+
+Result<TopNResult> MaxScoreTopN(const InvertedFile& file,
+                                const ScoringModel& model, const Query& query,
+                                size_t n, const MaxScoreOptions& options) {
+  TopNResult result;
+  CostScope scope;
+
+  // Order terms by ascending document frequency: the most selective terms
+  // build the accumulator set; the frequent terms mostly update it.
+  std::vector<TermId> terms;
+  for (TermId t : query.terms) {
+    if (file.DocFrequency(t) > 0) {
+      if (!file.list(t).has_impact_order()) {
+        return Status::FailedPrecondition(
+            "MaxScoreTopN requires impact orders for max weights");
+      }
+      terms.push_back(t);
+    }
+  }
+  std::sort(terms.begin(), terms.end(), [&](TermId a, TermId b) {
+    if (file.DocFrequency(a) != file.DocFrequency(b)) {
+      return file.DocFrequency(a) < file.DocFrequency(b);
+    }
+    return a < b;
+  });
+
+  // Suffix sums of max weights: remaining[i] = max score obtainable from
+  // terms[i..] alone.
+  std::vector<double> remaining(terms.size() + 1, 0.0);
+  for (size_t i = terms.size(); i-- > 0;) {
+    remaining[i] = remaining[i + 1] + file.list(terms[i]).max_weight();
+  }
+
+  std::unordered_map<DocId, double> acc;
+  bool inserting = true;
+
+  // Cheap running lower bound for the n-th best score: exact tracking per
+  // posting would need a heap per update; a periodically refreshed bound
+  // is enough because a *lower* bound only delays (never unsoundly
+  // triggers) pruning.
+  double nth_lower = 0.0;
+  auto refresh_nth = [&]() {
+    if (acc.size() < n || n == 0) {
+      nth_lower = 0.0;
+      return;
+    }
+    std::vector<double> scores;
+    scores.reserve(acc.size());
+    for (const auto& [d, s] : acc) scores.push_back(s);
+    std::nth_element(scores.begin(), scores.begin() + (n - 1), scores.end(),
+                     std::greater<double>());
+    nth_lower = scores[n - 1];
+    CostTicker::TickCompare(static_cast<int64_t>(acc.size()));
+  };
+
+  for (size_t i = 0; i < terms.size(); ++i) {
+    refresh_nth();
+    if (n > 0 && acc.size() >= n && nth_lower >= remaining[i]) {
+      // No unseen document can reach the top n anymore.
+      if (options.mode == PruneMode::kQuit) {
+        result.stats.stopped_early = true;
+        break;
+      }
+      inserting = false;
+    }
+    const TermId t = terms[i];
+    const PostingList& list = file.list(t);
+    for (size_t j = 0; j < list.size(); ++j) {
+      CostTicker::TickSeq();
+      const Posting& p = list[j];
+      auto it = acc.find(p.doc);
+      if (it != acc.end()) {
+        CostTicker::TickScore();
+        it->second += model.Weight(t, p);
+      } else if (inserting &&
+                 (options.accumulator_budget == 0 ||
+                  acc.size() < options.accumulator_budget)) {
+        CostTicker::TickScore();
+        acc.emplace(p.doc, model.Weight(t, p));
+      }
+      // else: pruned — the posting is read but not scored.
+    }
+    if (!inserting && options.mode == PruneMode::kContinue) {
+      result.stats.stopped_early = true;  // pruning engaged
+    }
+  }
+
+  // Final selection.
+  result.stats.candidates = static_cast<int64_t>(acc.size());
+  std::vector<ScoredDoc> docs;
+  docs.reserve(acc.size());
+  for (const auto& [d, s] : acc) docs.push_back(ScoredDoc{d, s});
+  const size_t k = std::min(n, docs.size());
+  std::partial_sort(docs.begin(), docs.begin() + k, docs.end(),
+                    [](const ScoredDoc& a, const ScoredDoc& b) {
+                      CostTicker::TickCompare();
+                      return ScoredDocLess(a, b);
+                    });
+  docs.resize(k);
+  result.items = std::move(docs);
+  result.stats.cost = scope.Snapshot();
+  return result;
+}
+
+}  // namespace moa

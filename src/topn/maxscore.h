@@ -1,0 +1,47 @@
+// IR-side pruning strategies of the era the paper builds on (Brown's
+// execution-performance work [Bro95] over INQUERY, and the Moffat–Zobel
+// quit/continue accumulator strategies): term-at-a-time evaluation with
+// max-score upper-bound administration.
+//
+// Terms are processed from most to least selective (ascending document
+// frequency). After the i-th term, `remaining` = sum of the max weights of
+// the unprocessed terms is an upper bound on what any not-yet-seen
+// document can still score. Once the current n-th best lower bound reaches
+// `remaining`:
+//   kContinue — stop *creating* accumulators but keep updating existing
+//               ones (safe: the top-N set is exact up to score ties);
+//   kQuit     — stop processing entirely (unsafe: existing accumulators
+//               keep partial scores; quality degrades gracefully).
+// An optional accumulator budget caps memory like Moffat–Zobel's target
+// accumulator counts (unsafe when it binds).
+#ifndef MOA_TOPN_MAXSCORE_H_
+#define MOA_TOPN_MAXSCORE_H_
+
+#include "ir/query_gen.h"
+#include "topn/topn_result.h"
+
+namespace moa {
+
+/// What happens when the bound says new documents cannot enter the top N.
+enum class PruneMode {
+  kContinue,  ///< safe: no new accumulators, existing ones stay exact
+  kQuit,      ///< unsafe: stop evaluating remaining terms altogether
+};
+
+/// \brief Tuning for MaxScoreTopN.
+struct MaxScoreOptions {
+  PruneMode mode = PruneMode::kContinue;
+  /// Hard cap on live accumulators (0 = unlimited). When it binds the
+  /// result may be approximate even in kContinue mode.
+  size_t accumulator_budget = 0;
+};
+
+/// Term-at-a-time evaluation with max-score pruning. Requires impact
+/// orders (for per-term max weights).
+Result<TopNResult> MaxScoreTopN(const InvertedFile& file,
+                                const ScoringModel& model, const Query& query,
+                                size_t n, const MaxScoreOptions& options = {});
+
+}  // namespace moa
+
+#endif  // MOA_TOPN_MAXSCORE_H_

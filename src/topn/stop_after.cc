@@ -1,0 +1,109 @@
+#include "topn/stop_after.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/histogram.h"
+#include "common/rng.h"
+#include "ir/exact_eval.h"
+
+namespace moa {
+namespace {
+
+/// Bounded sort-stop over an explicit candidate buffer.
+std::vector<ScoredDoc> SortStop(std::vector<ScoredDoc> docs, size_t n) {
+  const size_t k = std::min(n, docs.size());
+  std::partial_sort(docs.begin(), docs.begin() + k, docs.end(),
+                    [](const ScoredDoc& a, const ScoredDoc& b) {
+                      CostTicker::TickCompare();
+                      return ScoredDocLess(a, b);
+                    });
+  docs.resize(k);
+  return docs;
+}
+
+}  // namespace
+
+Result<TopNResult> StopAfterTopN(const InvertedFile& file,
+                                 const ScoringModel& model, const Query& query,
+                                 size_t n, const StopAfterOptions& options) {
+  if (options.safety <= 0.0) {
+    return Status::InvalidArgument("safety must be > 0");
+  }
+  TopNResult result;
+  CostScope scope;
+
+  // Scoring stage (common to both placements): dense accumulation.
+  std::vector<double> acc = AccumulateScores(file, model, query);
+  std::vector<DocId> candidates;
+  for (DocId d = 0; d < acc.size(); ++d) {
+    if (acc[d] > 0.0) candidates.push_back(d);
+  }
+  result.stats.candidates = static_cast<int64_t>(candidates.size());
+
+  if (options.policy == StopAfterPolicy::kConservative) {
+    // Materialize everything, bounded sort-stop above.
+    std::vector<ScoredDoc> buffer;
+    buffer.reserve(candidates.size());
+    for (DocId d : candidates) {
+      CostTicker::TickBytes(16);
+      buffer.push_back(ScoredDoc{d, acc[d]});
+    }
+    result.items = SortStop(std::move(buffer), n);
+    result.stats.cost = scope.Snapshot();
+    return result;
+  }
+
+  // Aggressive: estimate a score cutoff from a sample, push the predicate
+  // below materialization, restart with a relaxed cutoff on underflow.
+  Rng rng(options.seed);
+  const size_t sample_size =
+      std::min(options.sample_size, candidates.size());
+  std::vector<double> sample;
+  sample.reserve(sample_size);
+  for (size_t i = 0; i < sample_size; ++i) {
+    const DocId d = candidates[rng.Uniform(candidates.size())];
+    CostTicker::TickRandom();
+    sample.push_back(acc[d]);
+  }
+
+  double cutoff = 0.0;
+  if (!sample.empty() && !candidates.empty()) {
+    Histogram hist = Histogram::FromData(sample, options.histogram_buckets);
+    // Want ~n * safety survivors out of |candidates|; scale to sample scale.
+    const double frac = static_cast<double>(sample.size()) /
+                        static_cast<double>(candidates.size());
+    const int64_t target = std::max<int64_t>(
+        1, static_cast<int64_t>(std::ceil(static_cast<double>(n) *
+                                          options.safety * frac)));
+    cutoff = hist.ValueWithCountAbove(target) * options.estimate_bias;
+  }
+
+  for (;;) {
+    std::vector<ScoredDoc> survivors;
+    for (DocId d : candidates) {
+      CostTicker::TickCompare();
+      if (acc[d] >= cutoff) {
+        CostTicker::TickBytes(16);
+        survivors.push_back(ScoredDoc{d, acc[d]});
+      }
+    }
+    if (survivors.size() >= std::min(n, candidates.size())) {
+      result.stats.stopped_early = survivors.size() < candidates.size();
+      result.items = SortStop(std::move(survivors), n);
+      break;
+    }
+    // Underflow: braking distance exceeded. Relax and restart.
+    ++result.stats.restarts;
+    if (cutoff <= 0.0) {
+      // Cannot relax further; take what exists.
+      result.items = SortStop(std::move(survivors), n);
+      break;
+    }
+    cutoff = (result.stats.restarts >= 3) ? 0.0 : cutoff * 0.5;
+  }
+  result.stats.cost = scope.Snapshot();
+  return result;
+}
+
+}  // namespace moa

@@ -1,0 +1,17 @@
+#include "topn/topn_result.h"
+
+#include <sstream>
+
+namespace moa {
+
+std::string TopNStats::ToString() const {
+  std::ostringstream os;
+  os << "{cost=" << cost.ToString() << " sorted=" << sorted_accesses
+     << " random=" << random_accesses << " cand=" << candidates
+     << (stopped_early ? " early-stop" : "")
+     << (restarts > 0 ? " restarts=" + std::to_string(restarts) : "")
+     << (used_large_fragment ? " +large-frag" : "") << "}";
+  return os.str();
+}
+
+}  // namespace moa

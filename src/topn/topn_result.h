@@ -1,0 +1,43 @@
+// Common result/statistics types for all physical top-N operators.
+#ifndef MOA_TOPN_TOPN_RESULT_H_
+#define MOA_TOPN_TOPN_RESULT_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/cost_ticker.h"
+#include "ir/scoring.h"
+
+namespace moa {
+
+/// \brief Execution statistics one top-N operator reports.
+struct TopNStats {
+  /// Work counters captured around the operator (CostScope delta).
+  CostCounters cost;
+  /// Sorted (impact-ordered) accesses performed (Fagin family).
+  int64_t sorted_accesses = 0;
+  /// Random accesses performed (Fagin TA, sparse-index probes).
+  int64_t random_accesses = 0;
+  /// Distinct candidate documents considered.
+  int64_t candidates = 0;
+  /// True if the operator stopped before exhausting its input.
+  bool stopped_early = false;
+  /// Restarts performed (aggressive stop-after / probabilistic cutoff).
+  int restarts = 0;
+  /// True if the large fragment was (partially) processed.
+  bool used_large_fragment = false;
+
+  std::string ToString() const;
+};
+
+/// \brief Ranked answer plus how much work it took.
+struct TopNResult {
+  /// Best-first; ties broken by ascending doc id (ScoredDocLess).
+  std::vector<ScoredDoc> items;
+  TopNStats stats;
+};
+
+}  // namespace moa
+
+#endif  // MOA_TOPN_TOPN_RESULT_H_

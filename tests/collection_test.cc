@@ -1,0 +1,95 @@
+#include "ir/collection.h"
+
+#include <gtest/gtest.h>
+
+#include "test_util.h"
+
+namespace moa {
+namespace {
+
+TEST(CollectionTest, GenerateValidatesConfig) {
+  CollectionConfig config;
+  config.num_docs = 0;
+  EXPECT_FALSE(Collection::Generate(config).ok());
+  config = {};
+  config.vocabulary = 0;
+  EXPECT_FALSE(Collection::Generate(config).ok());
+  config = {};
+  config.mean_doc_length = 0;
+  EXPECT_FALSE(Collection::Generate(config).ok());
+  config = {};
+  config.zipf_skew = -0.5;
+  EXPECT_FALSE(Collection::Generate(config).ok());
+}
+
+TEST(CollectionTest, ShapeMatchesConfig) {
+  const Collection& c = testutil::SmallCollection();
+  EXPECT_EQ(c.inverted_file().num_docs(), 2000u);
+  EXPECT_EQ(c.inverted_file().num_terms(), 3000u);
+}
+
+TEST(CollectionTest, MeanDocLengthApproximatelyConfigured) {
+  const Collection& c = testutil::SmallCollection();
+  EXPECT_NEAR(c.inverted_file().AverageDocLength(), 120.0, 12.0);
+}
+
+TEST(CollectionTest, DeterministicForSeed) {
+  CollectionConfig config;
+  config.num_docs = 100;
+  config.vocabulary = 200;
+  config.seed = 5;
+  auto a = Collection::Generate(config);
+  auto b = Collection::Generate(config);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  const InvertedFile& fa = a.ValueOrDie().inverted_file();
+  const InvertedFile& fb = b.ValueOrDie().inverted_file();
+  ASSERT_EQ(fa.num_postings(), fb.num_postings());
+  for (TermId t = 0; t < fa.num_terms(); ++t) {
+    ASSERT_EQ(fa.list(t).postings(), fb.list(t).postings()) << "term " << t;
+  }
+}
+
+TEST(CollectionTest, DifferentSeedsDiffer) {
+  CollectionConfig config;
+  config.num_docs = 100;
+  config.vocabulary = 200;
+  config.seed = 5;
+  auto a = Collection::Generate(config);
+  config.seed = 6;
+  auto b = Collection::Generate(config);
+  EXPECT_NE(a.ValueOrDie().inverted_file().total_tokens(),
+            b.ValueOrDie().inverted_file().total_tokens());
+}
+
+TEST(CollectionTest, TermIdsAreFrequencyRanked) {
+  // Term 0 (Zipf rank 1) should have (much) higher df than term 100.
+  const InvertedFile& f = testutil::SmallCollection().inverted_file();
+  EXPECT_GT(f.DocFrequency(0), f.DocFrequency(100));
+  EXPECT_GT(f.DocFrequency(0), f.DocFrequency(1000));
+}
+
+TEST(CollectionTest, ZipfHeadDominatesVolume) {
+  // The paper's premise: few frequent terms hold most postings volume.
+  const InvertedFile& f = testutil::SmallCollection().inverted_file();
+  int64_t head = 0;
+  const TermId head_terms = static_cast<TermId>(f.num_terms() / 10);  // 10%
+  for (TermId t = 0; t < head_terms; ++t) head += f.DocFrequency(t);
+  EXPECT_GT(static_cast<double>(head) /
+                static_cast<double>(f.num_postings()),
+            0.5);
+}
+
+TEST(CollectionTest, DocLengthsConsistentWithPostings) {
+  const InvertedFile& f = testutil::SmallCollection().inverted_file();
+  // Sum of tf over all lists equals sum of doc lengths.
+  int64_t tf_sum = 0;
+  for (TermId t = 0; t < f.num_terms(); ++t) {
+    const PostingList& list = f.list(t);
+    for (size_t i = 0; i < list.size(); ++i) tf_sum += list[i].tf;
+  }
+  EXPECT_EQ(tf_sum, f.total_tokens());
+}
+
+}  // namespace
+}  // namespace moa

@@ -1,0 +1,76 @@
+#include "storage/column.h"
+
+#include <gtest/gtest.h>
+
+namespace moa {
+namespace {
+
+TEST(ColumnTest, TypedConstructionAndAppend) {
+  Column c(ColumnType::kInt64);
+  c.AppendInt64(3);
+  c.AppendInt64(-7);
+  EXPECT_EQ(c.size(), 2u);
+  EXPECT_EQ(c.Int64At(0), 3);
+  EXPECT_EQ(c.Int64At(1), -7);
+}
+
+TEST(ColumnTest, FromFactories) {
+  Column i = Column::FromInt64({1, 2, 3});
+  Column d = Column::FromDouble({1.5, 2.5});
+  Column s = Column::FromString({"a", "b"});
+  EXPECT_EQ(i.type(), ColumnType::kInt64);
+  EXPECT_EQ(d.type(), ColumnType::kDouble);
+  EXPECT_EQ(s.type(), ColumnType::kString);
+  EXPECT_EQ(s.StringAt(1), "b");
+}
+
+TEST(ColumnTest, SelectRangeInt) {
+  Column c = Column::FromInt64({5, 1, 9, 3, 7});
+  auto r = c.SelectRange(3.0, 7.0);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.ValueOrDie(), (std::vector<uint32_t>{0, 3, 4}));
+}
+
+TEST(ColumnTest, SelectRangeDouble) {
+  Column c = Column::FromDouble({0.1, 0.5, 0.9});
+  auto r = c.SelectRange(0.4, 1.0);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.ValueOrDie(), (std::vector<uint32_t>{1, 2}));
+}
+
+TEST(ColumnTest, SelectRangeOnStringsFails) {
+  Column c = Column::FromString({"a"});
+  auto r = c.SelectRange(0, 1);
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(ColumnTest, TakeGathersRows) {
+  Column c = Column::FromInt64({10, 20, 30, 40});
+  Column taken = c.Take({3, 0, 3});
+  EXPECT_EQ(taken.size(), 3u);
+  EXPECT_EQ(taken.Int64At(0), 40);
+  EXPECT_EQ(taken.Int64At(1), 10);
+  EXPECT_EQ(taken.Int64At(2), 40);
+}
+
+TEST(ColumnTest, SortPermutationAscendingStable) {
+  Column c = Column::FromDouble({3.0, 1.0, 2.0, 1.0});
+  auto perm = c.SortPermutation();
+  EXPECT_EQ(perm, (std::vector<uint32_t>{1, 3, 2, 0}));
+}
+
+TEST(ColumnTest, SortPermutationStrings) {
+  Column c = Column::FromString({"pear", "apple", "mango"});
+  auto perm = c.SortPermutation();
+  EXPECT_EQ(perm, (std::vector<uint32_t>{1, 2, 0}));
+}
+
+TEST(ColumnTest, TypeNames) {
+  EXPECT_STREQ(ColumnTypeName(ColumnType::kInt64), "int64");
+  EXPECT_STREQ(ColumnTypeName(ColumnType::kDouble), "double");
+  EXPECT_STREQ(ColumnTypeName(ColumnType::kString), "string");
+}
+
+}  // namespace
+}  // namespace moa

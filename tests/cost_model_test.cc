@@ -1,0 +1,174 @@
+#include "optimizer/cost_model.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "optimizer/planner.h"
+#include "test_util.h"
+
+namespace moa {
+namespace {
+
+using testutil::SmallCollectionWithImpacts;
+using testutil::SmallFragmentation;
+using testutil::SmallQueries;
+
+class CostModelTest : public ::testing::Test {
+ protected:
+  CostModelTest()
+      : est_(&SmallCollectionWithImpacts().inverted_file(),
+             &SmallFragmentation()),
+        model_(&est_) {}
+
+  CardinalityEstimator est_;
+  CostModel model_;
+};
+
+TEST_F(CostModelTest, CardinalityVolumeSplitsAcrossFragments) {
+  for (const Query& q : SmallQueries()) {
+    EXPECT_EQ(est_.QueryVolume(q),
+              est_.QueryVolume(q, FragmentId::kSmall) +
+                  est_.QueryVolume(q, FragmentId::kLarge));
+  }
+}
+
+TEST_F(CostModelTest, ExpectedCandidatesBounded) {
+  const double d =
+      static_cast<double>(SmallCollectionWithImpacts().inverted_file().num_docs());
+  for (const Query& q : SmallQueries()) {
+    const double c = est_.ExpectedCandidates(q);
+    EXPECT_GE(c, 0.0);
+    EXPECT_LE(c, d);
+    // At least as many as the largest single posting list.
+    uint32_t max_df = 0;
+    for (TermId t : q.terms) {
+      max_df = std::max(
+          max_df, SmallCollectionWithImpacts().inverted_file().DocFrequency(t));
+    }
+    EXPECT_GE(c + 1e-6, static_cast<double>(max_df));
+  }
+}
+
+TEST_F(CostModelTest, ActiveTermsSplitsAcrossFragments) {
+  for (const Query& q : SmallQueries()) {
+    EXPECT_EQ(est_.ActiveTerms(q),
+              est_.ActiveTerms(q, FragmentId::kSmall) +
+                  est_.ActiveTerms(q, FragmentId::kLarge));
+  }
+}
+
+TEST_F(CostModelTest, AllStrategiesProduceFiniteEstimates) {
+  for (PhysicalStrategy s : AllStrategies()) {
+    PlanCostEstimate e = model_.Estimate(s, SmallQueries()[0], 10);
+    EXPECT_GE(e.scalar, 0.0) << StrategyName(s);
+    EXPECT_TRUE(std::isfinite(e.scalar)) << StrategyName(s);
+  }
+}
+
+TEST_F(CostModelTest, SmallFragmentPredictedCheapest) {
+  const PlanCostEstimate small =
+      model_.Estimate(PhysicalStrategy::kSmallFragment, SmallQueries()[0], 10);
+  const PlanCostEstimate full =
+      model_.Estimate(PhysicalStrategy::kFullSort, SmallQueries()[0], 10);
+  EXPECT_LT(small.scalar, full.scalar);
+}
+
+TEST_F(CostModelTest, HeapPredictedCheaperThanFullSort) {
+  for (const Query& q : SmallQueries()) {
+    EXPECT_LE(model_.Estimate(PhysicalStrategy::kHeap, q, 10).scalar,
+              model_.Estimate(PhysicalStrategy::kFullSort, q, 10).scalar);
+  }
+}
+
+TEST_F(CostModelTest, SafetyClassification) {
+  EXPECT_TRUE(IsSafeStrategy(PhysicalStrategy::kFullSort));
+  EXPECT_TRUE(IsSafeStrategy(PhysicalStrategy::kFaginTA));
+  EXPECT_TRUE(IsSafeStrategy(PhysicalStrategy::kQualitySwitchFull));
+  EXPECT_FALSE(IsSafeStrategy(PhysicalStrategy::kSmallFragment));
+  EXPECT_FALSE(IsSafeStrategy(PhysicalStrategy::kQualitySwitchSparse));
+}
+
+TEST_F(CostModelTest, FragmentStrategiesUnavailableWithoutFragmentation) {
+  CardinalityEstimator bare(&SmallCollectionWithImpacts().inverted_file());
+  CostModel model(&bare);
+  EXPECT_FALSE(
+      model.Available(PhysicalStrategy::kSmallFragment, SmallQueries()[0]));
+  EXPECT_FALSE(model.Available(PhysicalStrategy::kQualitySwitchFull,
+                               SmallQueries()[0]));
+  EXPECT_TRUE(model.Available(PhysicalStrategy::kFullSort, SmallQueries()[0]));
+}
+
+TEST_F(CostModelTest, StrategyNamesUniqueAndStable) {
+  std::set<std::string> names;
+  for (PhysicalStrategy s : AllStrategies()) names.insert(StrategyName(s));
+  EXPECT_EQ(names.size(), AllStrategies().size());
+}
+
+// ------------------------------- planner ----------------------------------
+
+TEST_F(CostModelTest, PlannerPicksCheapestSafeStrategy) {
+  Planner planner(&model_);
+  PlannerOptions opts;
+  opts.safe_only = true;
+  auto plan = planner.Plan(SmallQueries()[0], 10, opts);
+  ASSERT_TRUE(plan.ok());
+  const auto& alts = plan.ValueOrDie().alternatives;
+  ASSERT_GE(alts.size(), 2u);
+  for (size_t i = 1; i < alts.size(); ++i) {
+    EXPECT_LE(alts[i - 1].scalar, alts[i].scalar);
+  }
+  EXPECT_TRUE(IsSafeStrategy(plan.ValueOrDie().strategy));
+}
+
+TEST_F(CostModelTest, PlannerUnsafeModeCanPickSmallFragment) {
+  Planner planner(&model_);
+  PlannerOptions opts;
+  opts.safe_only = false;
+  // Find a query with at least one large-fragment term so small-fragment
+  // actually skips work.
+  auto plan = planner.Plan(SmallQueries()[0], 10, opts);
+  ASSERT_TRUE(plan.ok());
+  bool unsafe_considered = false;
+  for (const auto& alt : plan.ValueOrDie().alternatives) {
+    if (!IsSafeStrategy(alt.strategy)) unsafe_considered = true;
+  }
+  EXPECT_TRUE(unsafe_considered);
+}
+
+TEST_F(CostModelTest, PlannerHonorsForce) {
+  Planner planner(&model_);
+  PlannerOptions opts;
+  opts.force = PhysicalStrategy::kFaginTA;
+  auto plan = planner.Plan(SmallQueries()[0], 10, opts);
+  ASSERT_TRUE(plan.ok());
+  EXPECT_EQ(plan.ValueOrDie().strategy, PhysicalStrategy::kFaginTA);
+}
+
+TEST_F(CostModelTest, PlannerHonorsExclude) {
+  Planner planner(&model_);
+  PlannerOptions opts;
+  opts.exclude = {PhysicalStrategy::kFaginTA, PhysicalStrategy::kFaginNRA,
+                  PhysicalStrategy::kFaginFA};
+  auto plan = planner.Plan(SmallQueries()[0], 10, opts);
+  ASSERT_TRUE(plan.ok());
+  for (const auto& alt : plan.ValueOrDie().alternatives) {
+    EXPECT_NE(alt.strategy, PhysicalStrategy::kFaginTA);
+    EXPECT_NE(alt.strategy, PhysicalStrategy::kFaginNRA);
+    EXPECT_NE(alt.strategy, PhysicalStrategy::kFaginFA);
+  }
+}
+
+TEST_F(CostModelTest, ExplainMentionsChosenStrategy) {
+  Planner planner(&model_);
+  auto plan = planner.Plan(SmallQueries()[0], 10, PlannerOptions{});
+  ASSERT_TRUE(plan.ok());
+  const std::string text = ExplainPlan(plan.ValueOrDie());
+  EXPECT_NE(text.find(StrategyName(plan.ValueOrDie().strategy)),
+            std::string::npos);
+  EXPECT_NE(text.find("alternatives"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace moa

@@ -1,0 +1,63 @@
+#include "common/cost_ticker.h"
+
+#include <gtest/gtest.h>
+
+namespace moa {
+namespace {
+
+TEST(CostTickerTest, ScopeCapturesDelta) {
+  CostTicker::TickSeq(5);  // pre-existing noise
+  CostScope scope;
+  CostTicker::TickSeq(3);
+  CostTicker::TickRandom(2);
+  CostTicker::TickScore(7);
+  CostTicker::TickCompare(11);
+  CostTicker::TickBytes(100);
+  CostCounters c = scope.Snapshot();
+  EXPECT_EQ(c.sequential_reads, 3);
+  EXPECT_EQ(c.random_reads, 2);
+  EXPECT_EQ(c.score_evals, 7);
+  EXPECT_EQ(c.compares, 11);
+  EXPECT_EQ(c.bytes_touched, 100);
+}
+
+TEST(CostTickerTest, NestedScopes) {
+  CostScope outer;
+  CostTicker::TickSeq(1);
+  {
+    CostScope inner;
+    CostTicker::TickSeq(10);
+    EXPECT_EQ(inner.Snapshot().sequential_reads, 10);
+  }
+  EXPECT_EQ(outer.Snapshot().sequential_reads, 11);
+}
+
+TEST(CostCountersTest, Arithmetic) {
+  CostCounters a{1, 2, 3, 4, 5};
+  CostCounters b{10, 20, 30, 40, 50};
+  CostCounters sum = a + b;
+  EXPECT_EQ(sum.sequential_reads, 11);
+  EXPECT_EQ(sum.bytes_touched, 55);
+  CostCounters diff = b - a;
+  EXPECT_EQ(diff.random_reads, 18);
+  EXPECT_EQ(diff.compares, 36);
+}
+
+TEST(CostCountersTest, ScalarWeightsRandomAboveSequential) {
+  CostCounters seq{100, 0, 0, 0, 0};
+  CostCounters rnd{0, 100, 0, 0, 0};
+  EXPECT_LT(seq.Scalar(), rnd.Scalar());
+}
+
+TEST(CostCountersTest, ToStringMentionsAllCounters) {
+  CostCounters c{1, 2, 3, 4, 5};
+  const std::string s = c.ToString();
+  EXPECT_NE(s.find("seq=1"), std::string::npos);
+  EXPECT_NE(s.find("rnd=2"), std::string::npos);
+  EXPECT_NE(s.find("score=3"), std::string::npos);
+  EXPECT_NE(s.find("cmp=4"), std::string::npos);
+  EXPECT_NE(s.find("bytes=5"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace moa

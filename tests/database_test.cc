@@ -1,0 +1,130 @@
+#include "engine/database.h"
+
+#include <gtest/gtest.h>
+
+namespace moa {
+namespace {
+
+DatabaseConfig TestConfig() {
+  DatabaseConfig config;
+  config.collection.num_docs = 1500;
+  config.collection.vocabulary = 2500;
+  config.collection.mean_doc_length = 100;
+  config.collection.seed = 31337;
+  config.fragmentation.small_volume_fraction = 0.05;
+  return config;
+}
+
+class MmDatabaseTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    auto db = MmDatabase::Open(TestConfig());
+    ASSERT_TRUE(db.ok()) << db.status().ToString();
+    db_ = std::move(db).ValueOrDie().release();
+    QueryWorkloadConfig qconfig;
+    qconfig.num_queries = 6;
+    qconfig.terms_per_query = 3;
+    qconfig.distribution = QueryTermDistribution::kMixed;
+    queries_ = new std::vector<Query>(
+        GenerateQueries(db_->collection(), qconfig).ValueOrDie());
+  }
+
+  static MmDatabase* db_;
+  static std::vector<Query>* queries_;
+};
+
+MmDatabase* MmDatabaseTest::db_ = nullptr;
+std::vector<Query>* MmDatabaseTest::queries_ = nullptr;
+
+TEST_F(MmDatabaseTest, OpenBuildsAllComponents) {
+  EXPECT_EQ(db_->file().num_docs(), 1500u);
+  EXPECT_GT(db_->fragmentation().term_count(FragmentId::kSmall), 0u);
+  EXPECT_EQ(db_->model().name(), "bm25");
+}
+
+TEST_F(MmDatabaseTest, OpenRejectsBadConfig) {
+  DatabaseConfig bad = TestConfig();
+  bad.collection.num_docs = 0;
+  EXPECT_FALSE(MmDatabase::Open(bad).ok());
+}
+
+TEST_F(MmDatabaseTest, SearchSafeMatchesGroundTruthSet) {
+  for (const Query& q : *queries_) {
+    SearchOptions opts;
+    opts.n = 10;
+    auto r = db_->Search(q, opts);
+    ASSERT_TRUE(r.ok()) << r.status().ToString();
+    auto truth = db_->GroundTruth(q, 10);
+    auto scores = db_->GroundTruthScores(q);
+    ASSERT_EQ(r.ValueOrDie().top.items.size(), truth.size());
+    const double nth = truth.empty() ? 0.0 : truth.back().score;
+    for (const auto& sd : r.ValueOrDie().top.items) {
+      EXPECT_GE(scores[sd.doc] + 1e-9, nth);
+    }
+    EXPECT_TRUE(IsSafeStrategy(r.ValueOrDie().strategy));
+  }
+}
+
+TEST_F(MmDatabaseTest, EveryStrategyExecutes) {
+  const Query& q = (*queries_)[0];
+  for (PhysicalStrategy s : AllStrategies()) {
+    auto r = db_->Execute(s, q, 5);
+    ASSERT_TRUE(r.ok()) << StrategyName(s) << ": " << r.status().ToString();
+    EXPECT_LE(r.ValueOrDie().items.size(), 5u) << StrategyName(s);
+  }
+}
+
+TEST_F(MmDatabaseTest, SafeStrategiesAgreeOnTopSet) {
+  const Query& q = (*queries_)[1];
+  auto truth = db_->GroundTruth(q, 10);
+  auto scores = db_->GroundTruthScores(q);
+  const double nth = truth.empty() ? 0.0 : truth.back().score;
+  for (PhysicalStrategy s : AllStrategies()) {
+    if (!IsSafeStrategy(s)) continue;
+    auto r = db_->Execute(s, q, 10);
+    ASSERT_TRUE(r.ok()) << StrategyName(s);
+    ASSERT_EQ(r.ValueOrDie().items.size(), truth.size()) << StrategyName(s);
+    for (const auto& sd : r.ValueOrDie().items) {
+      EXPECT_GE(scores[sd.doc] + 1e-9, nth)
+          << StrategyName(s) << " returned doc " << sd.doc;
+    }
+  }
+}
+
+TEST_F(MmDatabaseTest, ForcedStrategyIsUsed) {
+  SearchOptions opts;
+  opts.n = 5;
+  opts.force = PhysicalStrategy::kHeap;
+  auto r = db_->Search((*queries_)[2], opts);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.ValueOrDie().strategy, PhysicalStrategy::kHeap);
+}
+
+TEST_F(MmDatabaseTest, UnsafeSearchAllowsFragmentStrategy) {
+  SearchOptions opts;
+  opts.n = 5;
+  opts.safe_only = false;
+  auto r = db_->Search((*queries_)[3], opts);
+  ASSERT_TRUE(r.ok());
+  // Whatever was chosen must have been the cheapest alternative.
+  EXPECT_GT(r.ValueOrDie().estimate.scalar, 0.0);
+}
+
+TEST_F(MmDatabaseTest, ExplainListsAlternatives) {
+  SearchOptions opts;
+  auto text = db_->ExplainSearch((*queries_)[0], opts);
+  ASSERT_TRUE(text.ok());
+  EXPECT_NE(text.ValueOrDie().find("chosen:"), std::string::npos);
+}
+
+TEST_F(MmDatabaseTest, SearchReportsWallTimeAndStats) {
+  SearchOptions opts;
+  opts.n = 10;
+  auto r = db_->Search((*queries_)[4], opts);
+  ASSERT_TRUE(r.ok());
+  EXPECT_GE(r.ValueOrDie().wall_millis, 0.0);
+  EXPECT_GT(r.ValueOrDie().top.stats.cost.Scalar(), 0.0);
+}
+
+}  // namespace
+}  // namespace moa

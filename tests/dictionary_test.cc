@@ -1,0 +1,54 @@
+#include "storage/dictionary.h"
+
+#include <gtest/gtest.h>
+
+namespace moa {
+namespace {
+
+TEST(DictionaryTest, InsertAssignsDenseIds) {
+  Dictionary d;
+  EXPECT_EQ(d.GetOrInsert("apple"), 0u);
+  EXPECT_EQ(d.GetOrInsert("banana"), 1u);
+  EXPECT_EQ(d.GetOrInsert("cherry"), 2u);
+  EXPECT_EQ(d.size(), 3u);
+}
+
+TEST(DictionaryTest, ReinsertReturnsSameId) {
+  Dictionary d;
+  TermId a = d.GetOrInsert("apple");
+  EXPECT_EQ(d.GetOrInsert("apple"), a);
+  EXPECT_EQ(d.size(), 1u);
+}
+
+TEST(DictionaryTest, LookupFindsExisting) {
+  Dictionary d;
+  d.GetOrInsert("x");
+  TermId y = d.GetOrInsert("y");
+  auto found = d.Lookup("y");
+  ASSERT_TRUE(found.has_value());
+  EXPECT_EQ(*found, y);
+}
+
+TEST(DictionaryTest, LookupMissingReturnsNullopt) {
+  Dictionary d;
+  d.GetOrInsert("x");
+  EXPECT_FALSE(d.Lookup("zebra").has_value());
+}
+
+TEST(DictionaryTest, RoundTripStrings) {
+  Dictionary d;
+  TermId a = d.GetOrInsert("retrieval");
+  TermId b = d.GetOrInsert("multimedia");
+  EXPECT_EQ(d.GetString(a), "retrieval");
+  EXPECT_EQ(d.GetString(b), "multimedia");
+}
+
+TEST(DictionaryTest, EmptyStringIsAValidTerm) {
+  Dictionary d;
+  TermId e = d.GetOrInsert("");
+  EXPECT_EQ(d.GetString(e), "");
+  EXPECT_TRUE(d.Lookup("").has_value());
+}
+
+}  // namespace
+}  // namespace moa

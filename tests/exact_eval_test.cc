@@ -1,0 +1,87 @@
+#include "ir/exact_eval.h"
+
+#include <gtest/gtest.h>
+
+#include "common/cost_ticker.h"
+#include "test_util.h"
+
+namespace moa {
+namespace {
+
+using testutil::SmallCollectionWithImpacts;
+using testutil::SmallModel;
+using testutil::SmallQueries;
+
+TEST(ExactEvalTest, AccumulateMatchesManualSum) {
+  const InvertedFile& f = SmallCollectionWithImpacts().inverted_file();
+  const ScoringModel& model = SmallModel();
+  const Query& q = SmallQueries()[0];
+  std::vector<double> acc = AccumulateScores(f, model, q);
+  // Manually recompute for a handful of docs present in the first term.
+  const PostingList& list = f.list(q.terms[0]);
+  ASSERT_FALSE(list.empty());
+  const DocId d = list[0].doc;
+  double expected = 0.0;
+  for (TermId t : q.terms) {
+    auto tf = f.list(t).FindTf(d);
+    if (tf.has_value()) expected += model.Weight(t, Posting{d, *tf});
+  }
+  EXPECT_NEAR(acc[d], expected, 1e-12);
+}
+
+TEST(ExactEvalTest, RankingIsSortedDescending) {
+  const InvertedFile& f = SmallCollectionWithImpacts().inverted_file();
+  auto ranking = ExactRanking(f, SmallModel(), SmallQueries()[1]);
+  for (size_t i = 1; i < ranking.size(); ++i) {
+    EXPECT_TRUE(!ScoredDocLess(ranking[i], ranking[i - 1]))
+        << "position " << i;
+  }
+}
+
+TEST(ExactEvalTest, TopNIsPrefixOfRanking) {
+  const InvertedFile& f = SmallCollectionWithImpacts().inverted_file();
+  const Query& q = SmallQueries()[2];
+  auto full = ExactRanking(f, SmallModel(), q);
+  auto top = ExactTopN(f, SmallModel(), q, 10);
+  ASSERT_LE(top.size(), 10u);
+  for (size_t i = 0; i < top.size(); ++i) {
+    EXPECT_EQ(top[i].doc, full[i].doc);
+    EXPECT_DOUBLE_EQ(top[i].score, full[i].score);
+  }
+}
+
+TEST(ExactEvalTest, NoZeroScoresReturned) {
+  const InvertedFile& f = SmallCollectionWithImpacts().inverted_file();
+  auto ranking = ExactRanking(f, SmallModel(), SmallQueries()[3]);
+  for (const auto& sd : ranking) EXPECT_GT(sd.score, 0.0);
+}
+
+TEST(ExactEvalTest, TopNLargerThanMatchesReturnsAll) {
+  const InvertedFile& f = SmallCollectionWithImpacts().inverted_file();
+  const Query& q = SmallQueries()[4];
+  auto full = ExactRanking(f, SmallModel(), q);
+  auto top = ExactTopN(f, SmallModel(), q, f.num_docs() * 2);
+  EXPECT_EQ(top.size(), full.size());
+}
+
+TEST(ExactEvalTest, CostTicksOnePerPosting) {
+  const InvertedFile& f = SmallCollectionWithImpacts().inverted_file();
+  const Query& q = SmallQueries()[5];
+  int64_t volume = 0;
+  for (TermId t : q.terms) volume += f.DocFrequency(t);
+  CostScope scope;
+  AccumulateScores(f, SmallModel(), q);
+  CostCounters c = scope.Snapshot();
+  EXPECT_EQ(c.sequential_reads, volume);
+  EXPECT_EQ(c.score_evals, volume);
+}
+
+TEST(ExactEvalTest, EmptyQueryYieldsEmptyRanking) {
+  const InvertedFile& f = SmallCollectionWithImpacts().inverted_file();
+  Query empty;
+  EXPECT_TRUE(ExactRanking(f, SmallModel(), empty).empty());
+  EXPECT_TRUE(ExactTopN(f, SmallModel(), empty, 5).empty());
+}
+
+}  // namespace
+}  // namespace moa

@@ -1,0 +1,48 @@
+#include "optimizer/explain.h"
+
+#include <gtest/gtest.h>
+
+#include "engine/query_builder.h"
+
+namespace moa {
+namespace {
+
+TEST(ExplainExprTest, RendersTreeWithIndentation) {
+  ExprPtr e = QueryBuilder::List({1, 2, 3}).Sort().TopN(2).Build();
+  const std::string text = ExplainExpr(e);
+  EXPECT_NE(text.find("LIST.topn"), std::string::npos);
+  EXPECT_NE(text.find("  LIST.sort"), std::string::npos);
+  EXPECT_NE(text.find("    [1, 2, 3]"), std::string::npos);
+}
+
+TEST(ExplainExprTest, AnnotatesSortedness) {
+  ExprPtr sorted = QueryBuilder::List({1, 2, 3}).Build();
+  EXPECT_NE(ExplainExpr(sorted).find("[sorted]"), std::string::npos);
+  ExprPtr unsorted = QueryBuilder::List({3, 1, 2}).Build();
+  EXPECT_EQ(ExplainExpr(unsorted).find("[sorted]"), std::string::npos);
+}
+
+TEST(ExplainExprTest, AnnotatesPhysicalOrderOnBags) {
+  ExprPtr bag = QueryBuilder::List({1, 2, 3}).ProjectToBag().Build();
+  EXPECT_NE(ExplainExpr(bag).find("[physically-sorted]"), std::string::npos);
+}
+
+TEST(ExplainExprTest, AbbreviatesBigLeaves) {
+  std::vector<double> big(100, 1.0);
+  ExprPtr e = QueryBuilder::ListOf(big).Sort().Build();
+  EXPECT_NE(ExplainExpr(e).find("LIST<100 elems>"), std::string::npos);
+}
+
+TEST(ExplainTraceTest, EmptyTrace) {
+  RewriteTrace trace;
+  EXPECT_EQ(ExplainTrace(trace), "(no rules fired)");
+}
+
+TEST(ExplainTraceTest, ChainsRuleNames) {
+  RewriteTrace trace;
+  trace.fired = {"a", "b", "c"};
+  EXPECT_EQ(ExplainTrace(trace), "a -> b -> c");
+}
+
+}  // namespace
+}  // namespace moa

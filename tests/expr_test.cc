@@ -1,0 +1,66 @@
+#include "algebra/expr.h"
+
+#include <gtest/gtest.h>
+
+namespace moa {
+namespace {
+
+TEST(ExprTest, ConstLeaf) {
+  ExprPtr e = Expr::Const(Value::Int(5));
+  EXPECT_EQ(e->kind(), Expr::Kind::kConst);
+  EXPECT_EQ(e->constant().AsInt(), 5);
+  EXPECT_EQ(e->TreeSize(), 1u);
+}
+
+TEST(ExprTest, ApplySplitsExtensionAndOp) {
+  ExprPtr e = Expr::Apply("LIST.select", {Expr::Const(Value::Int(1))});
+  EXPECT_EQ(e->ExtensionName(), "LIST");
+  EXPECT_EQ(e->OpName(), "select");
+  EXPECT_EQ(e->args().size(), 1u);
+}
+
+TEST(ExprTest, TreeSizeCountsAllNodes) {
+  ExprPtr leaf = Expr::Const(Value::Int(1));
+  ExprPtr inner = Expr::Apply("LIST.sort", {leaf});
+  ExprPtr root = Expr::Apply("LIST.topn", {inner, Expr::Const(Value::Int(3))});
+  EXPECT_EQ(root->TreeSize(), 4u);
+}
+
+TEST(ExprTest, EqualityStructural) {
+  auto make = [] {
+    return Expr::Apply("LIST.select",
+                       {Expr::Const(Value::List({Value::Int(1)})),
+                        Expr::Const(Value::Int(0)),
+                        Expr::Const(Value::Int(2))});
+  };
+  EXPECT_TRUE(Expr::Equal(make(), make()));
+  ExprPtr different = Expr::Apply("LIST.select",
+                                  {Expr::Const(Value::List({Value::Int(1)})),
+                                   Expr::Const(Value::Int(0)),
+                                   Expr::Const(Value::Int(3))});
+  EXPECT_FALSE(Expr::Equal(make(), different));
+}
+
+TEST(ExprTest, EqualityDifferentOps) {
+  ExprPtr a = Expr::Apply("LIST.sort", {Expr::Const(Value::Int(1))});
+  ExprPtr b = Expr::Apply("LIST.reverse", {Expr::Const(Value::Int(1))});
+  EXPECT_FALSE(Expr::Equal(a, b));
+}
+
+TEST(ExprTest, ToStringNested) {
+  ExprPtr e = Expr::Apply(
+      "BAG.select", {Expr::Apply("LIST.projecttobag",
+                                 {Expr::Const(Value::List({Value::Int(1)}))}),
+                     Expr::Const(Value::Int(2)), Expr::Const(Value::Int(4))});
+  EXPECT_EQ(e->ToString(), "BAG.select(LIST.projecttobag([1]), 2, 4)");
+}
+
+TEST(ExprTest, ToStringAbbreviatesLargeConstants) {
+  ValueVec big;
+  for (int i = 0; i < 100; ++i) big.push_back(Value::Int(i));
+  ExprPtr e = Expr::Const(Value::List(std::move(big)));
+  EXPECT_EQ(e->ToString(), "LIST<100 elems>");
+}
+
+}  // namespace
+}  // namespace moa

@@ -1,0 +1,123 @@
+#include "storage/fragmentation.h"
+
+#include <gtest/gtest.h>
+
+#include "test_util.h"
+
+namespace moa {
+namespace {
+
+using testutil::SmallCollection;
+
+TEST(FragmentationTest, PartitionCoversEveryTermExactlyOnce) {
+  const InvertedFile& f = SmallCollection().inverted_file();
+  Fragmentation frag = Fragmentation::Build(f, FragmentationPolicy{});
+  size_t small = 0, large = 0;
+  for (TermId t = 0; t < f.num_terms(); ++t) {
+    if (frag.in_small(t)) ++small; else ++large;
+  }
+  EXPECT_EQ(small, frag.term_count(FragmentId::kSmall));
+  EXPECT_EQ(large, frag.term_count(FragmentId::kLarge));
+  EXPECT_EQ(small + large, f.num_terms());
+}
+
+TEST(FragmentationTest, PostingVolumesSumToTotal) {
+  const InvertedFile& f = SmallCollection().inverted_file();
+  Fragmentation frag = Fragmentation::Build(f, FragmentationPolicy{});
+  EXPECT_EQ(frag.postings_volume(FragmentId::kSmall) +
+                frag.postings_volume(FragmentId::kLarge),
+            f.num_postings());
+}
+
+TEST(FragmentationTest, SmallFragmentRespectsVolumeBudget) {
+  const InvertedFile& f = SmallCollection().inverted_file();
+  FragmentationPolicy policy;
+  policy.small_volume_fraction = 0.05;
+  Fragmentation frag = Fragmentation::Build(f, policy);
+  EXPECT_LE(frag.small_volume_fraction(), 0.05 + 1e-9);
+}
+
+TEST(FragmentationTest, ZipfMakesSmallFragmentTermRich) {
+  // The paper's Step 1: ~5% of postings volume should cover the vast
+  // majority of *distinct* terms on Zipf data.
+  const InvertedFile& f = SmallCollection().inverted_file();
+  FragmentationPolicy policy;
+  policy.small_volume_fraction = 0.05;
+  Fragmentation frag = Fragmentation::Build(f, policy);
+  // Term share must dwarf the volume share (5%): the whole point of the
+  // Zipf split. The exact ratio depends on collection size; >4x is robust.
+  EXPECT_GT(frag.small_term_fraction(),
+            4.0 * frag.small_volume_fraction());
+}
+
+TEST(FragmentationTest, SmallFragmentHoldsTheRareTerms) {
+  const InvertedFile& f = SmallCollection().inverted_file();
+  Fragmentation frag = Fragmentation::Build(f, FragmentationPolicy{});
+  // Max df in the small fragment must not exceed min df in the large one
+  // by more than tie effects (equal dfs may split across fragments).
+  uint32_t max_small = 0, min_large = UINT32_MAX;
+  for (TermId t = 0; t < f.num_terms(); ++t) {
+    const uint32_t df = f.DocFrequency(t);
+    if (df == 0) continue;
+    if (frag.in_small(t)) {
+      max_small = std::max(max_small, df);
+    } else {
+      min_large = std::min(min_large, df);
+    }
+  }
+  EXPECT_LE(max_small, min_large + 1);
+}
+
+TEST(FragmentationTest, ZeroBudgetPutsEverythingLarge) {
+  const InvertedFile& f = SmallCollection().inverted_file();
+  FragmentationPolicy policy;
+  policy.small_volume_fraction = 0.0;
+  Fragmentation frag = Fragmentation::Build(f, policy);
+  // Only df=0 terms can fit a zero budget.
+  for (TermId t = 0; t < f.num_terms(); ++t) {
+    if (frag.in_small(t)) EXPECT_EQ(f.DocFrequency(t), 0u);
+  }
+}
+
+TEST(FragmentationTest, FullBudgetPutsEverythingSmall) {
+  const InvertedFile& f = SmallCollection().inverted_file();
+  FragmentationPolicy policy;
+  policy.small_volume_fraction = 1.0;
+  Fragmentation frag = Fragmentation::Build(f, policy);
+  EXPECT_EQ(frag.term_count(FragmentId::kLarge), 0u);
+  EXPECT_NEAR(frag.small_volume_fraction(), 1.0, 1e-9);
+}
+
+TEST(FragmentationTest, DfCeilingForcesFrequentTermsLarge) {
+  const InvertedFile& f = SmallCollection().inverted_file();
+  FragmentationPolicy policy;
+  policy.small_volume_fraction = 1.0;  // budget would admit everything
+  policy.df_ceiling = 10;
+  Fragmentation frag = Fragmentation::Build(f, policy);
+  for (TermId t = 0; t < f.num_terms(); ++t) {
+    if (f.DocFrequency(t) > 10) EXPECT_FALSE(frag.in_small(t));
+  }
+}
+
+TEST(FragmentationTest, VolumeSweepMonotone) {
+  const InvertedFile& f = SmallCollection().inverted_file();
+  double prev_terms = -1.0;
+  for (double cut : {0.01, 0.05, 0.10, 0.20, 0.50}) {
+    FragmentationPolicy policy;
+    policy.small_volume_fraction = cut;
+    Fragmentation frag = Fragmentation::Build(f, policy);
+    EXPECT_GE(frag.small_term_fraction(), prev_terms);
+    prev_terms = frag.small_term_fraction();
+  }
+}
+
+TEST(FragmentationTest, ToStringMentionsBothFragments) {
+  const InvertedFile& f = SmallCollection().inverted_file();
+  Fragmentation frag = Fragmentation::Build(f, FragmentationPolicy{});
+  const std::string s = frag.ToString();
+  EXPECT_NE(s.find("small"), std::string::npos);
+  EXPECT_NE(s.find("large"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace moa

@@ -1,0 +1,87 @@
+#include "common/histogram.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace moa {
+namespace {
+
+TEST(HistogramTest, CountsAll) {
+  Histogram h(0.0, 10.0, 10);
+  for (int i = 0; i < 100; ++i) h.Add(i % 10 + 0.5);
+  EXPECT_EQ(h.total_count(), 100);
+}
+
+TEST(HistogramTest, OutOfRangeClampsToEdgeBuckets) {
+  Histogram h(0.0, 1.0, 4);
+  h.Add(-5.0);
+  h.Add(5.0);
+  EXPECT_EQ(h.bucket_count(0), 1);
+  EXPECT_EQ(h.bucket_count(3), 1);
+}
+
+TEST(HistogramTest, CdfMonotone) {
+  Rng rng(17);
+  std::vector<double> data;
+  for (int i = 0; i < 5000; ++i) data.push_back(rng.NextDouble() * 100.0);
+  Histogram h = Histogram::FromData(data, 64);
+  double prev = -1.0;
+  for (double x = 0.0; x <= 100.0; x += 5.0) {
+    double c = h.CdfAtValue(x);
+    EXPECT_GE(c, prev);
+    prev = c;
+  }
+  EXPECT_NEAR(h.CdfAtValue(100.0), 1.0, 1e-9);
+  EXPECT_NEAR(h.CdfAtValue(0.0), 0.0, 1e-9);
+}
+
+TEST(HistogramTest, CdfUniformApproximatelyLinear) {
+  Rng rng(18);
+  std::vector<double> data;
+  for (int i = 0; i < 50000; ++i) data.push_back(rng.NextDouble());
+  Histogram h = Histogram::FromData(data, 128);
+  EXPECT_NEAR(h.CdfAtValue(0.25), 0.25, 0.02);
+  EXPECT_NEAR(h.CdfAtValue(0.5), 0.5, 0.02);
+  EXPECT_NEAR(h.CdfAtValue(0.75), 0.75, 0.02);
+}
+
+TEST(HistogramTest, ValueWithCountAboveFindsTail) {
+  // 1000 uniform values in [0,1): ~100 values above ~0.9.
+  Rng rng(19);
+  std::vector<double> data;
+  for (int i = 0; i < 10000; ++i) data.push_back(rng.NextDouble());
+  Histogram h = Histogram::FromData(data, 128);
+  const double cutoff = h.ValueWithCountAbove(1000);
+  EXPECT_NEAR(cutoff, 0.9, 0.03);
+  // Verify against the data itself.
+  int above = 0;
+  for (double v : data) above += (v >= cutoff) ? 1 : 0;
+  EXPECT_NEAR(above, 1000, 150);
+}
+
+TEST(HistogramTest, ValueWithCountAboveEdges) {
+  std::vector<double> data = {1.0, 2.0, 3.0, 4.0};
+  Histogram h = Histogram::FromData(data, 4);
+  EXPECT_EQ(h.ValueWithCountAbove(100), h.min());
+  EXPECT_EQ(h.ValueWithCountAbove(0), h.max());
+}
+
+TEST(HistogramTest, EstimateRangeCount) {
+  Rng rng(20);
+  std::vector<double> data;
+  for (int i = 0; i < 20000; ++i) data.push_back(rng.NextDouble() * 10.0);
+  Histogram h = Histogram::FromData(data, 100);
+  EXPECT_NEAR(h.EstimateRangeCount(2.0, 4.0), 4000.0, 300.0);
+  EXPECT_NEAR(h.EstimateRangeCount(4.0, 2.0), 0.0, 1e-9);
+}
+
+TEST(HistogramTest, EmptyHistogram) {
+  Histogram h(0.0, 1.0, 8);
+  EXPECT_EQ(h.total_count(), 0);
+  EXPECT_EQ(h.CdfAtValue(0.5), 0.0);
+  EXPECT_EQ(h.ValueWithCountAbove(5), h.min());
+}
+
+}  // namespace
+}  // namespace moa

@@ -1,0 +1,219 @@
+// Tests for the inter-object optimizer layer — including a faithful
+// mechanization of the paper's Example 1 and the E-ADT inability argument.
+#include "optimizer/interobject_rules.h"
+
+#include <gtest/gtest.h>
+
+#include "algebra/evaluator.h"
+#include "common/cost_ticker.h"
+#include "optimizer/intra_object.h"
+
+namespace moa {
+namespace {
+
+ExprPtr IntList(std::initializer_list<int64_t> xs) {
+  ValueVec v;
+  for (int64_t x : xs) v.push_back(Value::Int(x));
+  return Expr::Const(Value::List(std::move(v)));
+}
+
+/// The paper's Example 1 expression:
+/// select(projecttobag([1,2,3,4,4,5]), 2, 4).
+ExprPtr Example1() {
+  return Expr::Apply(
+      "BAG.select",
+      {Expr::Apply("LIST.projecttobag", {IntList({1, 2, 3, 4, 4, 5})}),
+       Expr::Const(Value::Int(2)), Expr::Const(Value::Int(4))});
+}
+
+void ExpectSameValue(const ExprPtr& a, const ExprPtr& b) {
+  auto ra = Evaluate(a);
+  auto rb = Evaluate(b);
+  ASSERT_TRUE(ra.ok()) << ra.status().ToString();
+  ASSERT_TRUE(rb.ok()) << rb.status().ToString();
+  EXPECT_TRUE(Value::BagEquals(ra.ValueOrDie(), rb.ValueOrDie()));
+}
+
+TEST(Example1Test, IntraObjectOptimizerCannotOptimizeIt) {
+  // "Current optimizer technology, including the E-ADT system of PREDATOR,
+  //  cannot optimize this expression."
+  ExprPtr e = Example1();
+  RewriteTrace trace;
+  ExprPtr out = IntraObjectOnlyOptimize(e, ExtensionRegistry::Default(),
+                                        &trace);
+  EXPECT_TRUE(trace.fired.empty());
+  EXPECT_TRUE(Expr::Equal(out, e));
+}
+
+TEST(Example1Test, InterObjectLayerCommutesSelectWithCast) {
+  ExprPtr e = Example1();
+  RewriteTrace trace;
+  ExprPtr out = RewriteToFixpoint(e, {MakeSelectProjectCommuteRule()},
+                                  ExtensionRegistry::Default(), &trace);
+  ASSERT_EQ(trace.fired.size(), 1u);
+  EXPECT_EQ(out->op(), "LIST.projecttobag");
+  EXPECT_EQ(out->args()[0]->op(), "LIST.select");
+  ExpectSameValue(e, out);
+  // The rewritten expression must produce the bag {2,3,4,4}.
+  Value v = Evaluate(out).ValueOrDie();
+  EXPECT_TRUE(Value::BagEquals(
+      v, Value::Bag({Value::Int(2), Value::Int(3), Value::Int(4),
+                     Value::Int(4)})));
+}
+
+TEST(Example1Test, FullRuleSetAlsoExploitsSortedness) {
+  // "The second expression can be evaluated even more efficiently when the
+  //  system is aware of the ordering of the elements."
+  ExprPtr e = Example1();  // input list is sorted
+  RewriteTrace trace;
+  ExprPtr out = RewriteToFixpoint(e, FullRuleSet(),
+                                  ExtensionRegistry::Default(), &trace);
+  EXPECT_EQ(out->op(), "LIST.projecttobag");
+  EXPECT_EQ(out->args()[0]->op(), "LIST.select_sorted");
+  ExpectSameValue(e, out);
+}
+
+TEST(Example1Test, RewriteReducesMeasuredWork) {
+  // Build a large instance so the work difference is unambiguous.
+  ValueVec big;
+  for (int i = 0; i < 20000; ++i) big.push_back(Value::Int(i));
+  ExprPtr list = Expr::Const(Value::List(std::move(big)));
+  ExprPtr original = Expr::Apply(
+      "BAG.select", {Expr::Apply("LIST.projecttobag", {list}),
+                     Expr::Const(Value::Int(100)),
+                     Expr::Const(Value::Int(200))});
+  ExprPtr rewritten = RewriteToFixpoint(original, FullRuleSet(),
+                                        ExtensionRegistry::Default());
+  ExpectSameValue(original, rewritten);
+
+  CostScope s1;
+  ASSERT_TRUE(Evaluate(original).ok());
+  const double cost_original = s1.Snapshot().Scalar();
+  CostScope s2;
+  ASSERT_TRUE(Evaluate(rewritten).ok());
+  const double cost_rewritten = s2.Snapshot().Scalar();
+  EXPECT_LT(cost_rewritten, cost_original / 10.0)
+      << "select_sorted + filtered cast must be an order of magnitude cheaper";
+}
+
+TEST(SelectSortedIntroTest, OnlyFiresOnProvablySortedInput) {
+  ExprPtr sorted = Expr::Apply("LIST.select",
+                               {IntList({1, 2, 3}), Expr::Const(Value::Int(1)),
+                                Expr::Const(Value::Int(2))});
+  ExprPtr unsorted = Expr::Apply(
+      "LIST.select", {IntList({3, 1, 2}), Expr::Const(Value::Int(1)),
+                      Expr::Const(Value::Int(2))});
+  RewriteTrace t1, t2;
+  ExprPtr out1 = RewriteToFixpoint(sorted, {MakeSelectSortedIntroRule()},
+                                   ExtensionRegistry::Default(), &t1);
+  RewriteToFixpoint(unsorted, {MakeSelectSortedIntroRule()},
+                    ExtensionRegistry::Default(), &t2);
+  EXPECT_EQ(out1->op(), "LIST.select_sorted");
+  EXPECT_TRUE(t2.fired.empty());
+}
+
+TEST(CastRoundTripTest, ElidesBagListRoundTrip) {
+  ExprPtr e = Expr::Apply(
+      "BAG.projecttolist",
+      {Expr::Apply("LIST.projecttobag", {IntList({5, 3, 1})})});
+  RewriteTrace trace;
+  ExprPtr out = RewriteToFixpoint(e, {MakeCastRoundTripRule()},
+                                  ExtensionRegistry::Default(), &trace);
+  EXPECT_EQ(trace.fired.size(), 1u);
+  EXPECT_EQ(out->kind(), Expr::Kind::kConst);
+  // Physical storage order makes this exact list equality, not just bag.
+  EXPECT_EQ(Evaluate(e).ValueOrDie(), Evaluate(out).ValueOrDie());
+}
+
+TEST(TopNPushThroughCastTest, RanksDirectlyOnBag) {
+  ExprPtr bag = Expr::Apply("LIST.projecttobag", {IntList({4, 9, 1, 7})});
+  ExprPtr e = Expr::Apply("LIST.topn",
+                          {Expr::Apply("BAG.projecttolist", {bag}),
+                           Expr::Const(Value::Int(2))});
+  RewriteTrace trace;
+  ExprPtr out = RewriteToFixpoint(e, {MakeTopNPushThroughCastRule()},
+                                  ExtensionRegistry::Default(), &trace);
+  EXPECT_EQ(trace.fired.size(), 1u);
+  EXPECT_EQ(out->op(), "BAG.topn");
+  EXPECT_EQ(Evaluate(e).ValueOrDie(), Evaluate(out).ValueOrDie());
+}
+
+TEST(AggregatePushThroughCastTest, BothDirections) {
+  ExprPtr list = IntList({1, 2, 3});
+  ExprPtr count_over_cast = Expr::Apply(
+      "BAG.count", {Expr::Apply("LIST.projecttobag", {list})});
+  ExprPtr sum_over_cast = Expr::Apply(
+      "LIST.sum", {Expr::Apply("BAG.projecttolist",
+                               {Expr::Apply("LIST.projecttobag", {list})})});
+  RewriteTrace trace;
+  ExprPtr c = RewriteToFixpoint(count_over_cast,
+                                {MakeAggregatePushThroughCastRule()},
+                                ExtensionRegistry::Default(), &trace);
+  EXPECT_EQ(c->op(), "LIST.count");
+  ExprPtr s = RewriteToFixpoint(sum_over_cast,
+                                {MakeAggregatePushThroughCastRule()},
+                                ExtensionRegistry::Default());
+  // Fires twice: LIST.sum(projecttolist(projecttobag(x))) -> BAG.sum(
+  // projecttobag(x)) -> LIST.sum(x), collapsing both casts.
+  EXPECT_EQ(s->op(), "LIST.sum");
+  EXPECT_EQ(s->args()[0]->kind(), Expr::Kind::kConst);
+  EXPECT_EQ(Evaluate(count_over_cast).ValueOrDie(),
+            Evaluate(c).ValueOrDie());
+  EXPECT_EQ(Evaluate(sum_over_cast).ValueOrDie(), Evaluate(s).ValueOrDie());
+}
+
+TEST(SetMakeElidesSortTest, DropsSort) {
+  ExprPtr e = Expr::Apply("SET.make",
+                          {Expr::Apply("LIST.sort", {IntList({3, 1, 2})})});
+  RewriteTrace trace;
+  ExprPtr out = RewriteToFixpoint(e, {MakeSetMakeElidesSortRule()},
+                                  ExtensionRegistry::Default(), &trace);
+  EXPECT_EQ(trace.fired.size(), 1u);
+  EXPECT_EQ(Evaluate(e).ValueOrDie(), Evaluate(out).ValueOrDie());
+}
+
+TEST(FullRuleSetTest, SortUnderCastIsNotElided) {
+  // Regression for a soundness bug found by rewrite_property_test: the
+  // physical order of a BAG is observable through BAG.projecttolist, so a
+  // sort below LIST.projecttobag must never be dropped — eliding it would
+  // change which elements a downstream slice picks.
+  ExprPtr e = Expr::Apply(
+      "LIST.slice",
+      {Expr::Apply("BAG.projecttolist",
+                   {Expr::Apply("LIST.projecttobag",
+                                {Expr::Apply("LIST.sort",
+                                             {IntList({5, 1, 9, 3})})})}),
+       Expr::Const(Value::Int(1)), Expr::Const(Value::Int(2))});
+  const Value before = Evaluate(e).ValueOrDie();
+  ExprPtr out = RewriteToFixpoint(e, FullRuleSet(),
+                                  ExtensionRegistry::Default());
+  EXPECT_EQ(before, Evaluate(out).ValueOrDie());
+  // Expected value: sorted [1,3,5,9] -> slice(1,2) = [3,5].
+  EXPECT_EQ(before, Value::List({Value::Int(3), Value::Int(5)}));
+  // Same through the intra-object path.
+  ExprPtr eadt = IntraObjectOnlyOptimize(e, ExtensionRegistry::Default());
+  EXPECT_EQ(before, Evaluate(eadt).ValueOrDie());
+}
+
+TEST(FullRuleSetTest, ComposedPipelineCollapses) {
+  // topn(projecttolist(select(projecttobag(L), lo, hi)), n): every layer
+  // has something to do.
+  ExprPtr e = Expr::Apply(
+      "LIST.topn",
+      {Expr::Apply("BAG.projecttolist",
+                   {Expr::Apply("BAG.select",
+                                {Expr::Apply("LIST.projecttobag",
+                                             {IntList({1, 2, 3, 4, 4, 5})}),
+                                 Expr::Const(Value::Int(2)),
+                                 Expr::Const(Value::Int(4))})}),
+       Expr::Const(Value::Int(2))});
+  RewriteTrace trace;
+  ExprPtr out =
+      RewriteToFixpoint(e, FullRuleSet(), ExtensionRegistry::Default(), &trace);
+  EXPECT_GE(trace.fired.size(), 2u);
+  EXPECT_LT(out->TreeSize(), e->TreeSize());
+  EXPECT_EQ(Evaluate(e).ValueOrDie(), Evaluate(out).ValueOrDie());
+}
+
+}  // namespace
+}  // namespace moa

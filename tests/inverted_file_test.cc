@@ -1,0 +1,96 @@
+#include "storage/inverted_file.h"
+
+#include <gtest/gtest.h>
+
+namespace moa {
+namespace {
+
+InvertedFile TinyFile() {
+  InvertedFileBuilder builder(4);
+  // doc 0: t0 x2, t1 x1; doc 1: t1 x3; doc 2: t0 x1, t2 x1, t3 x1
+  EXPECT_TRUE(builder.AddDocument(0, {{0, 2}, {1, 1}}).ok());
+  EXPECT_TRUE(builder.AddDocument(1, {{1, 3}}).ok());
+  EXPECT_TRUE(builder.AddDocument(2, {{0, 1}, {2, 1}, {3, 1}}).ok());
+  return builder.Build();
+}
+
+TEST(InvertedFileTest, Counts) {
+  InvertedFile f = TinyFile();
+  EXPECT_EQ(f.num_terms(), 4u);
+  EXPECT_EQ(f.num_docs(), 3u);
+  EXPECT_EQ(f.num_postings(), 6);
+  EXPECT_EQ(f.total_tokens(), 9);
+}
+
+TEST(InvertedFileTest, DocFrequencies) {
+  InvertedFile f = TinyFile();
+  EXPECT_EQ(f.DocFrequency(0), 2u);
+  EXPECT_EQ(f.DocFrequency(1), 2u);
+  EXPECT_EQ(f.DocFrequency(2), 1u);
+  EXPECT_EQ(f.DocFrequency(3), 1u);
+}
+
+TEST(InvertedFileTest, DocLengths) {
+  InvertedFile f = TinyFile();
+  EXPECT_EQ(f.DocLength(0), 3u);
+  EXPECT_EQ(f.DocLength(1), 3u);
+  EXPECT_EQ(f.DocLength(2), 3u);
+  EXPECT_DOUBLE_EQ(f.AverageDocLength(), 3.0);
+}
+
+TEST(InvertedFileTest, PostingsAreDocSorted) {
+  InvertedFile f = TinyFile();
+  const PostingList& t0 = f.list(0);
+  ASSERT_EQ(t0.size(), 2u);
+  EXPECT_EQ(t0[0].doc, 0u);
+  EXPECT_EQ(t0[0].tf, 2u);
+  EXPECT_EQ(t0[1].doc, 2u);
+}
+
+TEST(InvertedFileBuilderTest, RejectsOutOfOrderDocs) {
+  InvertedFileBuilder builder(2);
+  EXPECT_TRUE(builder.AddDocument(0, {{0, 1}}).ok());
+  Status s = builder.AddDocument(2, {{0, 1}});
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+}
+
+TEST(InvertedFileBuilderTest, RejectsDuplicateTerms) {
+  InvertedFileBuilder builder(2);
+  Status s = builder.AddDocument(0, {{1, 1}, {1, 2}});
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+}
+
+TEST(InvertedFileBuilderTest, RejectsUnknownTerm) {
+  InvertedFileBuilder builder(2);
+  Status s = builder.AddDocument(0, {{5, 1}});
+  EXPECT_EQ(s.code(), StatusCode::kOutOfRange);
+}
+
+TEST(InvertedFileBuilderTest, RejectsZeroTf) {
+  InvertedFileBuilder builder(2);
+  Status s = builder.AddDocument(0, {{0, 0}});
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+}
+
+TEST(InvertedFileBuilderTest, EmptyDocumentAllowed) {
+  InvertedFileBuilder builder(2);
+  EXPECT_TRUE(builder.AddDocument(0, {}).ok());
+  InvertedFile f = builder.Build();
+  EXPECT_EQ(f.num_docs(), 1u);
+  EXPECT_EQ(f.DocLength(0), 0u);
+}
+
+TEST(InvertedFileTest, BuildImpactOrdersUsesWeightCallback) {
+  InvertedFile f = TinyFile();
+  // Weight = tf, so impact order = descending tf.
+  f.BuildImpactOrders([](TermId, const Posting& p) {
+    return static_cast<double>(p.tf);
+  });
+  const PostingList& t1 = f.list(1);
+  ASSERT_TRUE(t1.has_impact_order());
+  EXPECT_EQ(t1.ByImpact(0).doc, 1u);  // tf 3
+  EXPECT_EQ(t1.ByImpact(1).doc, 0u);  // tf 1
+}
+
+}  // namespace
+}  // namespace moa

@@ -1,0 +1,116 @@
+#include "storage/io.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+#include "test_util.h"
+
+namespace moa {
+namespace {
+
+std::string TempPath(const char* name) {
+  return std::string(::testing::TempDir()) + "/" + name;
+}
+
+TEST(IoTest, RoundTripSmallCollection) {
+  const InvertedFile& original = testutil::SmallCollection().inverted_file();
+  const std::string path = TempPath("roundtrip.moaif");
+  ASSERT_TRUE(WriteInvertedFile(original, path).ok());
+
+  auto loaded = ReadInvertedFile(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  const InvertedFile& copy = loaded.ValueOrDie();
+
+  ASSERT_EQ(copy.num_terms(), original.num_terms());
+  ASSERT_EQ(copy.num_docs(), original.num_docs());
+  EXPECT_EQ(copy.num_postings(), original.num_postings());
+  EXPECT_EQ(copy.total_tokens(), original.total_tokens());
+  for (DocId d = 0; d < original.num_docs(); ++d) {
+    ASSERT_EQ(copy.DocLength(d), original.DocLength(d)) << "doc " << d;
+  }
+  for (TermId t = 0; t < original.num_terms(); ++t) {
+    ASSERT_EQ(copy.list(t).postings(), original.list(t).postings())
+        << "term " << t;
+  }
+  std::remove(path.c_str());
+}
+
+TEST(IoTest, RoundTripEmptyFile) {
+  InvertedFileBuilder builder(0);
+  InvertedFile empty = builder.Build();
+  const std::string path = TempPath("empty.moaif");
+  ASSERT_TRUE(WriteInvertedFile(empty, path).ok());
+  auto loaded = ReadInvertedFile(path);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded.ValueOrDie().num_terms(), 0u);
+  EXPECT_EQ(loaded.ValueOrDie().num_docs(), 0u);
+  std::remove(path.c_str());
+}
+
+TEST(IoTest, MissingFileIsNotFound) {
+  auto r = ReadInvertedFile(TempPath("does-not-exist.moaif"));
+  EXPECT_EQ(r.status().code(), StatusCode::kNotFound);
+}
+
+TEST(IoTest, RejectsBadMagic) {
+  const std::string path = TempPath("badmagic.moaif");
+  std::ofstream out(path, std::ios::binary);
+  out << "NOT-A-MOA-FILE-AT-ALL";
+  out.close();
+  auto r = ReadInvertedFile(path);
+  EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument);
+  std::remove(path.c_str());
+}
+
+TEST(IoTest, RejectsTruncatedFile) {
+  const InvertedFile& original = testutil::SmallCollection().inverted_file();
+  const std::string path = TempPath("trunc.moaif");
+  ASSERT_TRUE(WriteInvertedFile(original, path).ok());
+  // Truncate to 60% of its size.
+  std::ifstream in(path, std::ios::binary | std::ios::ate);
+  const std::streamoff size = in.tellg();
+  in.seekg(0);
+  std::vector<char> bytes(static_cast<size_t>(size * 6 / 10));
+  in.read(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  in.close();
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  out.close();
+  auto r = ReadInvertedFile(path);
+  EXPECT_FALSE(r.ok());
+  std::remove(path.c_str());
+}
+
+TEST(IoTest, RejectsCorruptTokenCount) {
+  const InvertedFile& original = testutil::SmallCollection().inverted_file();
+  const std::string path = TempPath("corrupt.moaif");
+  ASSERT_TRUE(WriteInvertedFile(original, path).ok());
+  // Flip the total_tokens field (bytes 24..31).
+  std::fstream fs(path, std::ios::binary | std::ios::in | std::ios::out);
+  fs.seekp(24);
+  uint64_t bogus = 123;
+  fs.write(reinterpret_cast<const char*>(&bogus), sizeof(bogus));
+  fs.close();
+  auto r = ReadInvertedFile(path);
+  EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument);
+  std::remove(path.c_str());
+}
+
+TEST(IoTest, LoadedFileSupportsRetrieval) {
+  const InvertedFile& original = testutil::SmallCollection().inverted_file();
+  const std::string path = TempPath("retrieval.moaif");
+  ASSERT_TRUE(WriteInvertedFile(original, path).ok());
+  auto loaded = ReadInvertedFile(path);
+  ASSERT_TRUE(loaded.ok());
+  InvertedFile file = std::move(loaded).ValueOrDie();
+  auto model = MakeBm25(&file);
+  file.BuildImpactOrders(
+      [&](TermId t, const Posting& p) { return model->Weight(t, p); });
+  EXPECT_TRUE(file.list(0).has_impact_order());
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace moa

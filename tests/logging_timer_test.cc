@@ -1,0 +1,65 @@
+#include <gtest/gtest.h>
+
+#include "common/logging.h"
+#include "common/timer.h"
+
+namespace moa {
+namespace {
+
+TEST(LoggingTest, LevelRoundTrip) {
+  const LogLevel before = GetLogLevel();
+  SetLogLevel(LogLevel::kDebug);
+  EXPECT_EQ(GetLogLevel(), LogLevel::kDebug);
+  SetLogLevel(LogLevel::kError);
+  EXPECT_EQ(GetLogLevel(), LogLevel::kError);
+  SetLogLevel(before);
+}
+
+TEST(LoggingTest, MacroCompilesAndStreams) {
+  const LogLevel before = GetLogLevel();
+  SetLogLevel(LogLevel::kError);  // suppress output during tests
+  MOA_LOG(Info) << "value=" << 42 << " str=" << std::string("x");
+  MOA_LOG(Debug) << "below threshold";
+  SetLogLevel(before);
+}
+
+TEST(WallTimerTest, MeasuresElapsedMonotonically) {
+  WallTimer timer;
+  volatile double sink = 0;
+  for (int i = 0; i < 100000; ++i) sink += i * 0.5;
+  const int64_t t1 = timer.ElapsedNanos();
+  for (int i = 0; i < 100000; ++i) sink += i * 0.5;
+  const int64_t t2 = timer.ElapsedNanos();
+  EXPECT_GT(t1, 0);
+  EXPECT_GE(t2, t1);
+}
+
+TEST(WallTimerTest, RestartResets) {
+  WallTimer timer;
+  volatile double sink = 0;
+  for (int i = 0; i < 1000000; ++i) sink += i;
+  const int64_t before = timer.ElapsedNanos();
+  timer.Restart();
+  const int64_t after = timer.ElapsedNanos();
+  EXPECT_LT(after, before);
+}
+
+TEST(ScopedTimerTest, AccumulatesIntoSink) {
+  int64_t total = 0;
+  {
+    ScopedTimer t(&total);
+    volatile double sink = 0;
+    for (int i = 0; i < 100000; ++i) sink += i;
+  }
+  EXPECT_GT(total, 0);
+  const int64_t first = total;
+  {
+    ScopedTimer t(&total);
+    volatile double sink = 0;
+    for (int i = 0; i < 100000; ++i) sink += i;
+  }
+  EXPECT_GT(total, first);
+}
+
+}  // namespace
+}  // namespace moa

@@ -1,0 +1,159 @@
+#include "optimizer/logical_rules.h"
+
+#include <gtest/gtest.h>
+
+#include "algebra/evaluator.h"
+
+namespace moa {
+namespace {
+
+ExprPtr IntList(std::initializer_list<int64_t> xs) {
+  ValueVec v;
+  for (int64_t x : xs) v.push_back(Value::Int(x));
+  return Expr::Const(Value::List(std::move(v)));
+}
+
+ExprPtr Select(ExprPtr in, double lo, double hi,
+               const char* op = "LIST.select") {
+  return Expr::Apply(op, {std::move(in), Expr::Const(Value::Double(lo)),
+                          Expr::Const(Value::Double(hi))});
+}
+
+/// Rewrite must preserve semantics: evaluate both and compare.
+void ExpectSameValue(const ExprPtr& a, const ExprPtr& b) {
+  auto ra = Evaluate(a);
+  auto rb = Evaluate(b);
+  ASSERT_TRUE(ra.ok()) << ra.status().ToString();
+  ASSERT_TRUE(rb.ok()) << rb.status().ToString();
+  EXPECT_TRUE(Value::BagEquals(ra.ValueOrDie(), rb.ValueOrDie()))
+      << ra.ValueOrDie().ToString() << " vs " << rb.ValueOrDie().ToString();
+}
+
+TEST(MergeSelectsTest, MergesNestedRanges) {
+  ExprPtr nested = Select(Select(IntList({1, 2, 3, 4, 5, 6}), 2, 5), 3, 9);
+  RewriteTrace trace;
+  ExprPtr out = RewriteToFixpoint(nested, {MakeMergeSelectsRule()},
+                                  ExtensionRegistry::Default(), &trace);
+  EXPECT_EQ(trace.fired.size(), 1u);
+  EXPECT_EQ(out->op(), "LIST.select");
+  EXPECT_EQ(out->TreeSize(), 4u) << "one select must remain";
+  ExpectSameValue(nested, out);
+}
+
+TEST(MergeSelectsTest, DisjointRangesYieldEmptyButStayCorrect) {
+  ExprPtr nested = Select(Select(IntList({1, 2, 3}), 1, 2), 3, 9);
+  ExprPtr out = RewriteToFixpoint(nested, {MakeMergeSelectsRule()},
+                                  ExtensionRegistry::Default());
+  ExpectSameValue(nested, out);
+}
+
+TEST(MergeSelectsTest, DoesNotMergeAcrossExtensions) {
+  // BAG.select over LIST.select — type-invalid anyway, but the rule must not
+  // touch it (that is the inter-object layer's business).
+  ExprPtr mixed = Expr::Apply(
+      "BAG.select", {Select(IntList({1, 2, 3}), 1, 2),
+                     Expr::Const(Value::Int(0)), Expr::Const(Value::Int(9))});
+  RewriteTrace trace;
+  RewriteToFixpoint(mixed, {MakeMergeSelectsRule()},
+                    ExtensionRegistry::Default(), &trace);
+  EXPECT_TRUE(trace.fired.empty());
+}
+
+TEST(ElideSortTest, RemovesSortOnSortedInput) {
+  ExprPtr e = Expr::Apply("LIST.sort", {IntList({1, 2, 3})});
+  RewriteTrace trace;
+  ExprPtr out = RewriteToFixpoint(e, {MakeElideSortRule()},
+                                  ExtensionRegistry::Default(), &trace);
+  EXPECT_EQ(trace.fired.size(), 1u);
+  EXPECT_EQ(out->kind(), Expr::Kind::kConst);
+  ExpectSameValue(e, out);
+}
+
+TEST(ElideSortTest, KeepsSortOnUnsortedInput) {
+  ExprPtr e = Expr::Apply("LIST.sort", {IntList({3, 1, 2})});
+  RewriteTrace trace;
+  ExprPtr out = RewriteToFixpoint(e, {MakeElideSortRule()},
+                                  ExtensionRegistry::Default(), &trace);
+  EXPECT_TRUE(trace.fired.empty());
+  EXPECT_EQ(out->op(), "LIST.sort");
+}
+
+TEST(ElideSortTest, RemovesDoubleSort) {
+  ExprPtr e = Expr::Apply("LIST.sort",
+                          {Expr::Apply("LIST.sort", {IntList({3, 1, 2})})});
+  ExprPtr out = RewriteToFixpoint(e, {MakeElideSortRule()},
+                                  ExtensionRegistry::Default());
+  // Outer sort sees sorted input -> elided; inner stays.
+  EXPECT_EQ(out->op(), "LIST.sort");
+  EXPECT_EQ(out->TreeSize(), 2u);
+  ExpectSameValue(e, out);
+}
+
+TEST(SortUnderOrderInsensitiveTest, TopnDropsInnerSort) {
+  ExprPtr e = Expr::Apply("LIST.topn",
+                          {Expr::Apply("LIST.sort", {IntList({3, 1, 2})}),
+                           Expr::Const(Value::Int(2))});
+  RewriteTrace trace;
+  ExprPtr out = RewriteToFixpoint(e, {MakeSortUnderOrderInsensitiveRule()},
+                                  ExtensionRegistry::Default(), &trace);
+  EXPECT_EQ(trace.fired.size(), 1u);
+  ASSERT_EQ(out->op(), "LIST.topn");
+  EXPECT_EQ(out->args()[0]->kind(), Expr::Kind::kConst);
+  ExpectSameValue(e, out);
+}
+
+TEST(SortUnderOrderInsensitiveTest, CountDropsInnerReverse) {
+  ExprPtr e = Expr::Apply("LIST.count",
+                          {Expr::Apply("LIST.reverse", {IntList({3, 1})})});
+  ExprPtr out = RewriteToFixpoint(e, {MakeSortUnderOrderInsensitiveRule()},
+                                  ExtensionRegistry::Default());
+  EXPECT_EQ(out->TreeSize(), 2u);
+  ExpectSameValue(e, out);
+}
+
+TEST(SortUnderOrderInsensitiveTest, KeepsSortUnderOrderSensitiveParent) {
+  // slice is order-sensitive: the sort must stay.
+  ExprPtr e = Expr::Apply("LIST.slice",
+                          {Expr::Apply("LIST.sort", {IntList({3, 1, 2})}),
+                           Expr::Const(Value::Int(0)),
+                           Expr::Const(Value::Int(1))});
+  RewriteTrace trace;
+  RewriteToFixpoint(e, {MakeSortUnderOrderInsensitiveRule()},
+                    ExtensionRegistry::Default(), &trace);
+  EXPECT_TRUE(trace.fired.empty());
+}
+
+TEST(NoopSliceTest, RemovesFullSlice) {
+  ExprPtr e = Expr::Apply("LIST.slice",
+                          {IntList({1, 2, 3}), Expr::Const(Value::Int(0)),
+                           Expr::Const(Value::Int(3))});
+  RewriteTrace trace;
+  ExprPtr out = RewriteToFixpoint(e, {MakeNoopSliceRule()},
+                                  ExtensionRegistry::Default(), &trace);
+  EXPECT_EQ(trace.fired.size(), 1u);
+  EXPECT_EQ(out->kind(), Expr::Kind::kConst);
+}
+
+TEST(NoopSliceTest, KeepsProperSlice) {
+  ExprPtr e = Expr::Apply("LIST.slice",
+                          {IntList({1, 2, 3}), Expr::Const(Value::Int(1)),
+                           Expr::Const(Value::Int(1))});
+  RewriteTrace trace;
+  RewriteToFixpoint(e, {MakeNoopSliceRule()}, ExtensionRegistry::Default(),
+                    &trace);
+  EXPECT_TRUE(trace.fired.empty());
+}
+
+TEST(RewriteEngineTest, FixpointTerminatesAndReportsIterations) {
+  ExprPtr e = Select(Select(Select(IntList({1, 2, 3, 4}), 1, 4), 2, 4), 2, 3);
+  RewriteTrace trace;
+  ExprPtr out = RewriteToFixpoint(e, LogicalRules(),
+                                  ExtensionRegistry::Default(), &trace);
+  EXPECT_GE(trace.iterations, 1);
+  EXPECT_EQ(out->op(), "LIST.select");
+  EXPECT_EQ(out->TreeSize(), 4u);
+  ExpectSameValue(e, out);
+}
+
+}  // namespace
+}  // namespace moa

@@ -1,0 +1,88 @@
+#include "ir/metrics.h"
+
+#include <gtest/gtest.h>
+
+namespace moa {
+namespace {
+
+std::vector<ScoredDoc> Docs(std::initializer_list<DocId> ids) {
+  std::vector<ScoredDoc> out;
+  double s = 1.0;
+  for (DocId d : ids) {
+    out.push_back(ScoredDoc{d, s});
+    s *= 0.9;
+  }
+  return out;
+}
+
+TEST(MetricsTest, PerfectAnswer) {
+  auto truth = Docs({1, 2, 3});
+  std::vector<double> scores(10, 0.0);
+  scores[1] = 1.0;
+  scores[2] = 0.9;
+  scores[3] = 0.81;
+  QualityReport r = EvaluateQuality(truth, truth, scores);
+  EXPECT_DOUBLE_EQ(r.overlap_at_n, 1.0);
+  EXPECT_NEAR(r.score_ratio, 1.0, 1e-12);
+  EXPECT_NEAR(r.kendall_tau, 1.0, 1e-12);
+  EXPECT_TRUE(r.exact_match);
+}
+
+TEST(MetricsTest, DisjointAnswer) {
+  auto truth = Docs({1, 2, 3});
+  auto answer = Docs({7, 8, 9});
+  std::vector<double> scores(10, 0.0);
+  scores[1] = 1.0;
+  scores[2] = 0.9;
+  scores[3] = 0.81;
+  QualityReport r = EvaluateQuality(answer, truth, scores);
+  EXPECT_DOUBLE_EQ(r.overlap_at_n, 0.0);
+  EXPECT_DOUBLE_EQ(r.score_ratio, 0.0);
+  EXPECT_FALSE(r.exact_match);
+}
+
+TEST(MetricsTest, PartialOverlap) {
+  auto truth = Docs({1, 2, 3, 4});
+  auto answer = Docs({1, 2, 8, 9});
+  std::vector<double> scores(10, 0.0);
+  scores[1] = 4;
+  scores[2] = 3;
+  scores[3] = 2;
+  scores[4] = 1;
+  QualityReport r = EvaluateQuality(answer, truth, scores);
+  EXPECT_DOUBLE_EQ(r.overlap_at_n, 0.5);
+  EXPECT_NEAR(r.score_ratio, 7.0 / 10.0, 1e-12);
+}
+
+TEST(MetricsTest, ReversedOrderHasNegativeTau) {
+  auto truth = Docs({1, 2, 3, 4, 5});
+  std::vector<ScoredDoc> answer(truth.rbegin(), truth.rend());
+  std::vector<double> scores(10, 0.0);
+  for (const auto& sd : truth) scores[sd.doc] = sd.score;
+  QualityReport r = EvaluateQuality(answer, truth, scores);
+  EXPECT_LT(r.kendall_tau, 0.0);
+  EXPECT_DOUBLE_EQ(r.overlap_at_n, 1.0);  // same set
+  EXPECT_FALSE(r.exact_match);            // different order
+}
+
+TEST(MetricsTest, EmptyTruth) {
+  QualityReport r = EvaluateQuality({}, {}, {});
+  EXPECT_DOUBLE_EQ(r.overlap_at_n, 1.0);
+  EXPECT_TRUE(r.exact_match);
+  QualityReport r2 = EvaluateQuality(Docs({1}), {}, {});
+  EXPECT_DOUBLE_EQ(r2.overlap_at_n, 0.0);
+}
+
+TEST(MetricsTest, MeanHelpers) {
+  std::vector<QualityReport> reports(2);
+  reports[0].overlap_at_n = 1.0;
+  reports[0].score_ratio = 0.8;
+  reports[1].overlap_at_n = 0.5;
+  reports[1].score_ratio = 0.4;
+  EXPECT_DOUBLE_EQ(MeanOverlap(reports), 0.75);
+  EXPECT_DOUBLE_EQ(MeanScoreRatio(reports), 0.6);
+  EXPECT_DOUBLE_EQ(MeanOverlap({}), 0.0);
+}
+
+}  // namespace
+}  // namespace moa

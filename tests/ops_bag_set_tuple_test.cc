@@ -1,0 +1,189 @@
+#include <gtest/gtest.h>
+
+#include "algebra/evaluator.h"
+
+namespace moa {
+namespace {
+
+ExprPtr IntBag(std::initializer_list<int64_t> xs) {
+  ValueVec v;
+  for (int64_t x : xs) v.push_back(Value::Int(x));
+  return Expr::Const(Value::Bag(std::move(v)));
+}
+
+ExprPtr IntSet(std::initializer_list<int64_t> xs) {
+  ValueVec v;
+  for (int64_t x : xs) v.push_back(Value::Int(x));
+  return Expr::Const(Value::Set(std::move(v)));
+}
+
+Value Eval(const ExprPtr& e) {
+  auto r = Evaluate(e);
+  EXPECT_TRUE(r.ok()) << r.status().ToString();
+  return r.ValueOrDie();
+}
+
+// --------------------------------- BAG ------------------------------------
+
+TEST(BagOpsTest, SelectFiltersByValue) {
+  Value v = Eval(Expr::Apply("BAG.select",
+                             {IntBag({1, 2, 3, 4, 4, 5}),
+                              Expr::Const(Value::Int(2)),
+                              Expr::Const(Value::Int(4))}));
+  EXPECT_EQ(v.kind(), ValueKind::kBag);
+  EXPECT_TRUE(Value::BagEquals(
+      v, Value::Bag({Value::Int(2), Value::Int(3), Value::Int(4),
+                     Value::Int(4)})));
+}
+
+TEST(BagOpsTest, ProjectToListExposesStorageOrder) {
+  Value v = Eval(Expr::Apply("BAG.projecttolist", {IntBag({3, 1, 2})}));
+  EXPECT_EQ(v, Value::List({Value::Int(3), Value::Int(1), Value::Int(2)}));
+}
+
+TEST(BagOpsTest, UnionAllKeepsDuplicates) {
+  Value v = Eval(Expr::Apply("BAG.union_all",
+                             {IntBag({1, 2}), IntBag({2, 3})}));
+  EXPECT_TRUE(Value::BagEquals(
+      v, Value::Bag({Value::Int(1), Value::Int(2), Value::Int(2),
+                     Value::Int(3)})));
+}
+
+TEST(BagOpsTest, CountSumTopn) {
+  EXPECT_EQ(Eval(Expr::Apply("BAG.count", {IntBag({1, 1, 1})})).AsInt(), 3);
+  EXPECT_DOUBLE_EQ(
+      Eval(Expr::Apply("BAG.sum", {IntBag({1, 2, 3})})).AsDouble(), 6.0);
+  Value top = Eval(Expr::Apply("BAG.topn",
+                               {IntBag({5, 9, 2}), Expr::Const(Value::Int(2))}));
+  EXPECT_EQ(top, Value::List({Value::Int(9), Value::Int(5)}));
+}
+
+TEST(BagOpsTest, TypeErrors) {
+  ExprPtr list = Expr::Const(Value::List({Value::Int(1)}));
+  EXPECT_FALSE(Evaluate(Expr::Apply("BAG.count", {list})).ok());
+  EXPECT_FALSE(Evaluate(Expr::Apply("BAG.projecttolist", {list})).ok());
+}
+
+// --------------------------------- SET ------------------------------------
+
+TEST(SetOpsTest, MakeFromListDeduplicates) {
+  ExprPtr list = Expr::Const(
+      Value::List({Value::Int(3), Value::Int(1), Value::Int(3)}));
+  Value v = Eval(Expr::Apply("SET.make", {list}));
+  EXPECT_EQ(v, Value::Set({Value::Int(1), Value::Int(3)}));
+}
+
+TEST(SetOpsTest, MakeRejectsScalar) {
+  EXPECT_FALSE(
+      Evaluate(Expr::Apply("SET.make", {Expr::Const(Value::Int(1))})).ok());
+}
+
+TEST(SetOpsTest, UnionIntersectDifference) {
+  ExprPtr a = IntSet({1, 2, 3});
+  ExprPtr b = IntSet({2, 3, 4});
+  EXPECT_EQ(Eval(Expr::Apply("SET.union", {a, b})),
+            Value::Set({Value::Int(1), Value::Int(2), Value::Int(3),
+                        Value::Int(4)}));
+  EXPECT_EQ(Eval(Expr::Apply("SET.intersect", {a, b})),
+            Value::Set({Value::Int(2), Value::Int(3)}));
+  EXPECT_EQ(Eval(Expr::Apply("SET.difference", {a, b})),
+            Value::Set({Value::Int(1)}));
+}
+
+TEST(SetOpsTest, SetAlgebraIdentities) {
+  ExprPtr a = IntSet({1, 5, 7});
+  ExprPtr empty = IntSet({});
+  EXPECT_EQ(Eval(Expr::Apply("SET.union", {a, empty})), Eval(a));
+  EXPECT_EQ(Eval(Expr::Apply("SET.intersect", {a, a})), Eval(a));
+  EXPECT_EQ(Eval(Expr::Apply("SET.difference", {a, a})), Eval(empty));
+}
+
+TEST(SetOpsTest, ContainsBinarySearch) {
+  ExprPtr s = IntSet({10, 20, 30});
+  EXPECT_EQ(Eval(Expr::Apply("SET.contains", {s, Expr::Const(Value::Int(20))}))
+                .AsInt(),
+            1);
+  EXPECT_EQ(Eval(Expr::Apply("SET.contains", {s, Expr::Const(Value::Int(25))}))
+                .AsInt(),
+            0);
+}
+
+TEST(SetOpsTest, SelectUsesCanonicalOrder) {
+  Value v = Eval(Expr::Apply("SET.select",
+                             {IntSet({5, 1, 9, 3}), Expr::Const(Value::Int(2)),
+                              Expr::Const(Value::Int(6))}));
+  EXPECT_EQ(v, Value::Set({Value::Int(3), Value::Int(5)}));
+}
+
+TEST(SetOpsTest, Count) {
+  EXPECT_EQ(Eval(Expr::Apply("SET.count", {IntSet({1, 1, 2})})).AsInt(), 2);
+}
+
+// -------------------------------- TUPLE -----------------------------------
+
+TEST(TupleOpsTest, MakeAndGet) {
+  ExprPtr t = Expr::Apply("TUPLE.make2",
+                          {Expr::Const(Value::Str("doc")),
+                           Expr::Const(Value::Int(12)),
+                           Expr::Const(Value::Str("score")),
+                           Expr::Const(Value::Double(0.8))});
+  Value doc = Eval(Expr::Apply("TUPLE.get", {t, Expr::Const(Value::Str("doc"))}));
+  EXPECT_EQ(doc.AsInt(), 12);
+  Value score =
+      Eval(Expr::Apply("TUPLE.get", {t, Expr::Const(Value::Str("score"))}));
+  EXPECT_DOUBLE_EQ(score.AsDouble(), 0.8);
+}
+
+TEST(TupleOpsTest, GetMissingFieldFails) {
+  ExprPtr t = Expr::Apply("TUPLE.make2",
+                          {Expr::Const(Value::Str("a")),
+                           Expr::Const(Value::Int(1)),
+                           Expr::Const(Value::Str("b")),
+                           Expr::Const(Value::Int(2))});
+  auto r = Evaluate(Expr::Apply("TUPLE.get", {t, Expr::Const(Value::Str("c"))}));
+  EXPECT_EQ(r.status().code(), StatusCode::kNotFound);
+}
+
+TEST(TupleOpsTest, DuplicateFieldRejected) {
+  auto r = Evaluate(Expr::Apply("TUPLE.make2",
+                                {Expr::Const(Value::Str("a")),
+                                 Expr::Const(Value::Int(1)),
+                                 Expr::Const(Value::Str("a")),
+                                 Expr::Const(Value::Int(2))}));
+  EXPECT_FALSE(r.ok());
+}
+
+// ------------------------------ registry ----------------------------------
+
+TEST(RegistryTest, ListsExtensionsAndOps) {
+  const ExtensionRegistry& reg = ExtensionRegistry::Default();
+  auto exts = reg.Extensions();
+  EXPECT_NE(std::find(exts.begin(), exts.end(), "LIST"), exts.end());
+  EXPECT_NE(std::find(exts.begin(), exts.end(), "BAG"), exts.end());
+  EXPECT_NE(std::find(exts.begin(), exts.end(), "SET"), exts.end());
+  EXPECT_NE(std::find(exts.begin(), exts.end(), "TUPLE"), exts.end());
+  EXPECT_GE(reg.OpsOfExtension("LIST").size(), 10u);
+  EXPECT_EQ(reg.Find("LIST.nonexistent"), nullptr);
+  ASSERT_NE(reg.Find("LIST.select"), nullptr);
+  EXPECT_TRUE(reg.Find("LIST.select")->props.preserves_order);
+  EXPECT_TRUE(reg.Find("LIST.select_sorted")->props.requires_sorted_input);
+  EXPECT_TRUE(reg.Find("BAG.select")->props.order_insensitive);
+}
+
+TEST(EvaluatorTest, UnknownOperatorFails) {
+  auto r = Evaluate(Expr::Apply("LIST.bogus", {IntBag({1})}));
+  EXPECT_EQ(r.status().code(), StatusCode::kNotFound);
+}
+
+TEST(EvaluatorTest, NullExpressionFails) {
+  EXPECT_FALSE(Evaluate(nullptr).ok());
+}
+
+TEST(EvaluatorTest, ErrorsPropagateFromChildren) {
+  ExprPtr bad = Expr::Apply("LIST.bogus", {Expr::Const(Value::Int(1))});
+  ExprPtr root = Expr::Apply("LIST.count", {bad});
+  EXPECT_FALSE(Evaluate(root).ok());
+}
+
+}  // namespace
+}  // namespace moa

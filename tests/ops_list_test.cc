@@ -1,0 +1,150 @@
+#include <gtest/gtest.h>
+
+#include "algebra/evaluator.h"
+
+namespace moa {
+namespace {
+
+ExprPtr IntList(std::initializer_list<int64_t> xs) {
+  ValueVec v;
+  for (int64_t x : xs) v.push_back(Value::Int(x));
+  return Expr::Const(Value::List(std::move(v)));
+}
+
+Value Eval(const ExprPtr& e) {
+  auto r = Evaluate(e);
+  EXPECT_TRUE(r.ok()) << r.status().ToString();
+  return r.ValueOrDie();
+}
+
+TEST(ListOpsTest, SelectPaperExample) {
+  // select([1,2,3,4,4,5], 2, 4) == [2,3,4,4]  (paper Example 1)
+  Value v = Eval(Expr::Apply("LIST.select",
+                             {IntList({1, 2, 3, 4, 4, 5}),
+                              Expr::Const(Value::Int(2)),
+                              Expr::Const(Value::Int(4))}));
+  EXPECT_EQ(v, Value::List({Value::Int(2), Value::Int(3), Value::Int(4),
+                            Value::Int(4)}));
+}
+
+TEST(ListOpsTest, SelectPreservesInputOrder) {
+  Value v = Eval(Expr::Apply("LIST.select",
+                             {IntList({5, 1, 4, 2, 3}),
+                              Expr::Const(Value::Int(2)),
+                              Expr::Const(Value::Int(4))}));
+  EXPECT_EQ(v, Value::List({Value::Int(4), Value::Int(2), Value::Int(3)}));
+}
+
+TEST(ListOpsTest, SelectEmptyRange) {
+  Value v = Eval(Expr::Apply("LIST.select",
+                             {IntList({1, 2, 3}), Expr::Const(Value::Int(9)),
+                              Expr::Const(Value::Int(10))}));
+  EXPECT_TRUE(v.Elements().empty());
+}
+
+TEST(ListOpsTest, SelectSortedEqualsSelectOnSortedInput) {
+  ExprPtr sorted = IntList({1, 2, 3, 4, 4, 5, 9});
+  for (auto [lo, hi] : {std::pair{2, 4}, {0, 9}, {5, 5}, {6, 8}}) {
+    Value a = Eval(Expr::Apply("LIST.select",
+                               {sorted, Expr::Const(Value::Int(lo)),
+                                Expr::Const(Value::Int(hi))}));
+    Value b = Eval(Expr::Apply("LIST.select_sorted",
+                               {sorted, Expr::Const(Value::Int(lo)),
+                                Expr::Const(Value::Int(hi))}));
+    EXPECT_EQ(a, b) << "range [" << lo << ", " << hi << "]";
+  }
+}
+
+TEST(ListOpsTest, SortAscendingStable) {
+  Value v = Eval(Expr::Apply("LIST.sort", {IntList({3, 1, 2, 1})}));
+  EXPECT_EQ(v, Value::List({Value::Int(1), Value::Int(1), Value::Int(2),
+                            Value::Int(3)}));
+}
+
+TEST(ListOpsTest, TopNReturnsLargestDescending) {
+  Value v = Eval(Expr::Apply("LIST.topn",
+                             {IntList({4, 9, 1, 7, 3}),
+                              Expr::Const(Value::Int(3))}));
+  EXPECT_EQ(v, Value::List({Value::Int(9), Value::Int(7), Value::Int(4)}));
+}
+
+TEST(ListOpsTest, TopNLargerThanInput) {
+  Value v = Eval(Expr::Apply("LIST.topn",
+                             {IntList({2, 1}), Expr::Const(Value::Int(10))}));
+  EXPECT_EQ(v.Elements().size(), 2u);
+}
+
+TEST(ListOpsTest, TopNZero) {
+  Value v = Eval(Expr::Apply("LIST.topn",
+                             {IntList({2, 1}), Expr::Const(Value::Int(0))}));
+  EXPECT_TRUE(v.Elements().empty());
+}
+
+TEST(ListOpsTest, TopNNegativeFails) {
+  auto r = Evaluate(Expr::Apply(
+      "LIST.topn", {IntList({1}), Expr::Const(Value::Int(-1))}));
+  EXPECT_FALSE(r.ok());
+}
+
+TEST(ListOpsTest, ProjectToBagKeepsElements) {
+  Value v = Eval(Expr::Apply("LIST.projecttobag",
+                             {IntList({1, 2, 3, 4, 4, 5})}));
+  EXPECT_EQ(v.kind(), ValueKind::kBag);
+  EXPECT_TRUE(Value::BagEquals(
+      v, Value::Bag({Value::Int(1), Value::Int(2), Value::Int(3),
+                     Value::Int(4), Value::Int(4), Value::Int(5)})));
+}
+
+TEST(ListOpsTest, ConcatAndSliceAndReverse) {
+  Value cat = Eval(Expr::Apply("LIST.concat",
+                               {IntList({1, 2}), IntList({3})}));
+  EXPECT_EQ(cat, Value::List({Value::Int(1), Value::Int(2), Value::Int(3)}));
+  Value slice = Eval(Expr::Apply("LIST.slice",
+                                 {IntList({1, 2, 3, 4}),
+                                  Expr::Const(Value::Int(1)),
+                                  Expr::Const(Value::Int(2))}));
+  EXPECT_EQ(slice, Value::List({Value::Int(2), Value::Int(3)}));
+  Value rev = Eval(Expr::Apply("LIST.reverse", {IntList({1, 2, 3})}));
+  EXPECT_EQ(rev, Value::List({Value::Int(3), Value::Int(2), Value::Int(1)}));
+}
+
+TEST(ListOpsTest, SliceBeyondEndClamps) {
+  Value v = Eval(Expr::Apply("LIST.slice",
+                             {IntList({1, 2}), Expr::Const(Value::Int(1)),
+                              Expr::Const(Value::Int(99))}));
+  EXPECT_EQ(v, Value::List({Value::Int(2)}));
+}
+
+TEST(ListOpsTest, SliceNegativeFails) {
+  auto r = Evaluate(Expr::Apply("LIST.slice",
+                                {IntList({1, 2}), Expr::Const(Value::Int(-1)),
+                                 Expr::Const(Value::Int(1))}));
+  EXPECT_EQ(r.status().code(), StatusCode::kOutOfRange);
+}
+
+TEST(ListOpsTest, CountAndSum) {
+  EXPECT_EQ(Eval(Expr::Apply("LIST.count", {IntList({1, 2, 3})})).AsInt(), 3);
+  EXPECT_DOUBLE_EQ(
+      Eval(Expr::Apply("LIST.sum", {IntList({1, 2, 3})})).AsDouble(), 6.0);
+}
+
+TEST(ListOpsTest, TypeErrors) {
+  ExprPtr bag = Expr::Const(Value::Bag({Value::Int(1)}));
+  EXPECT_FALSE(Evaluate(Expr::Apply("LIST.sort", {bag})).ok());
+  EXPECT_FALSE(Evaluate(Expr::Apply("LIST.count", {bag})).ok());
+  // Non-numeric select.
+  ExprPtr strings = Expr::Const(Value::List({Value::Str("a")}));
+  EXPECT_FALSE(Evaluate(Expr::Apply("LIST.select",
+                                    {strings, Expr::Const(Value::Int(0)),
+                                     Expr::Const(Value::Int(1))}))
+                   .ok());
+}
+
+TEST(ListOpsTest, ArityErrors) {
+  EXPECT_FALSE(Evaluate(Expr::Apply("LIST.select", {IntList({1})})).ok());
+  EXPECT_FALSE(
+      Evaluate(Expr::Apply("LIST.sort", {IntList({1}), IntList({2})})).ok());
+}
+
+}  // namespace
+}  // namespace moa

@@ -1,0 +1,87 @@
+#include "optimizer/order_property.h"
+
+#include <gtest/gtest.h>
+
+namespace moa {
+namespace {
+
+ExprPtr SortedList() {
+  return Expr::Const(Value::List({Value::Int(1), Value::Int(2),
+                                  Value::Int(3)}));
+}
+ExprPtr UnsortedList() {
+  return Expr::Const(Value::List({Value::Int(3), Value::Int(1),
+                                  Value::Int(2)}));
+}
+
+TEST(OrderPropertyTest, ConstListInspected) {
+  EXPECT_TRUE(DeriveOrder(SortedList()).sorted);
+  EXPECT_FALSE(DeriveOrder(UnsortedList()).sorted);
+}
+
+TEST(OrderPropertyTest, ConstSetAlwaysSorted) {
+  ExprPtr s = Expr::Const(Value::Set({Value::Int(9), Value::Int(1)}));
+  EXPECT_TRUE(DeriveOrder(s).sorted);
+}
+
+TEST(OrderPropertyTest, SortCreatesOrder) {
+  ExprPtr e = Expr::Apply("LIST.sort", {UnsortedList()});
+  EXPECT_TRUE(DeriveOrder(e).sorted);
+}
+
+TEST(OrderPropertyTest, SelectPreservesOrder) {
+  ExprPtr e = Expr::Apply("LIST.select",
+                          {SortedList(), Expr::Const(Value::Int(1)),
+                           Expr::Const(Value::Int(3))});
+  EXPECT_TRUE(DeriveOrder(e).sorted);
+  ExprPtr u = Expr::Apply("LIST.select",
+                          {UnsortedList(), Expr::Const(Value::Int(1)),
+                           Expr::Const(Value::Int(3))});
+  EXPECT_FALSE(DeriveOrder(u).sorted);
+}
+
+TEST(OrderPropertyTest, ReverseDestroysOrder) {
+  ExprPtr e = Expr::Apply("LIST.reverse", {SortedList()});
+  EXPECT_FALSE(DeriveOrder(e).sorted);
+}
+
+TEST(OrderPropertyTest, ProjectToBagKeepsOnlyPhysicalOrder) {
+  ExprPtr bag = Expr::Apply("LIST.projecttobag", {SortedList()});
+  OrderInfo info = DeriveOrder(bag);
+  EXPECT_FALSE(info.sorted) << "a BAG has no formal order";
+  EXPECT_TRUE(info.physically_sorted);
+}
+
+TEST(OrderPropertyTest, RoundTripThroughBagRecoversFormalOrder) {
+  // The paper's point: the physical order survives the cast; only a layer
+  // that reasons across extensions can know it.
+  ExprPtr roundtrip = Expr::Apply(
+      "BAG.projecttolist", {Expr::Apply("LIST.projecttobag", {SortedList()})});
+  EXPECT_TRUE(DeriveOrder(roundtrip).sorted);
+}
+
+TEST(OrderPropertyTest, UnsortedThroughBagStaysUnsorted) {
+  ExprPtr roundtrip = Expr::Apply(
+      "BAG.projecttolist",
+      {Expr::Apply("LIST.projecttobag", {UnsortedList()})});
+  EXPECT_FALSE(DeriveOrder(roundtrip).sorted);
+}
+
+TEST(OrderPropertyTest, SelectOnBagPreservesPhysicalOrder) {
+  ExprPtr e = Expr::Apply("BAG.select",
+                          {Expr::Apply("LIST.projecttobag", {SortedList()}),
+                           Expr::Const(Value::Int(0)),
+                           Expr::Const(Value::Int(9))});
+  OrderInfo info = DeriveOrder(e);
+  EXPECT_FALSE(info.sorted);
+  EXPECT_TRUE(info.physically_sorted);
+}
+
+TEST(OrderPropertyTest, NullAndUnknownAreUnordered) {
+  EXPECT_FALSE(DeriveOrder(nullptr).sorted);
+  ExprPtr unknown = Expr::Apply("LIST.bogus", {SortedList()});
+  EXPECT_FALSE(DeriveOrder(unknown).sorted);
+}
+
+}  // namespace
+}  // namespace moa

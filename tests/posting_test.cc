@@ -1,0 +1,74 @@
+#include "storage/posting.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace moa {
+namespace {
+
+PostingList MakeList(std::initializer_list<Posting> ps) {
+  PostingList list;
+  for (const auto& p : ps) list.Append(p.doc, p.tf);
+  list.Seal();
+  return list;
+}
+
+TEST(PostingListTest, AppendKeepsDocOrder) {
+  PostingList list = MakeList({{1, 2}, {5, 1}, {9, 3}});
+  EXPECT_EQ(list.size(), 3u);
+  EXPECT_EQ(list[0].doc, 1u);
+  EXPECT_EQ(list[2].tf, 3u);
+}
+
+TEST(PostingListTest, FindTfHitsAndMisses) {
+  PostingList list = MakeList({{1, 2}, {5, 1}, {9, 3}});
+  EXPECT_EQ(list.FindTf(5).value(), 1u);
+  EXPECT_EQ(list.FindTf(9).value(), 3u);
+  EXPECT_FALSE(list.FindTf(0).has_value());
+  EXPECT_FALSE(list.FindTf(4).has_value());
+  EXPECT_FALSE(list.FindTf(100).has_value());
+}
+
+TEST(PostingListTest, EmptyList) {
+  PostingList list;
+  EXPECT_TRUE(list.empty());
+  EXPECT_FALSE(list.FindTf(1).has_value());
+  EXPECT_FALSE(list.has_impact_order());
+}
+
+TEST(PostingListTest, ImpactOrderSortsByWeightDesc) {
+  PostingList list = MakeList({{1, 2}, {5, 1}, {9, 3}});
+  list.BuildImpactOrder({0.5, 2.0, 1.0});
+  ASSERT_TRUE(list.has_impact_order());
+  EXPECT_EQ(list.ByImpact(0).doc, 5u);  // weight 2.0
+  EXPECT_EQ(list.ByImpact(1).doc, 9u);  // weight 1.0
+  EXPECT_EQ(list.ByImpact(2).doc, 1u);  // weight 0.5
+  EXPECT_DOUBLE_EQ(list.ImpactWeight(0), 2.0);
+  EXPECT_DOUBLE_EQ(list.max_weight(), 2.0);
+}
+
+TEST(PostingListTest, ImpactOrderTieBrokenByDoc) {
+  PostingList list = MakeList({{1, 1}, {2, 1}, {3, 1}});
+  list.BuildImpactOrder({1.0, 1.0, 1.0});
+  EXPECT_EQ(list.ByImpact(0).doc, 1u);
+  EXPECT_EQ(list.ByImpact(1).doc, 2u);
+  EXPECT_EQ(list.ByImpact(2).doc, 3u);
+}
+
+TEST(PostingListTest, ImpactWeightsNonIncreasing) {
+  PostingList list = MakeList({{0, 1}, {1, 4}, {2, 2}, {3, 9}, {4, 1}});
+  list.BuildImpactOrder({0.1, 0.4, 0.2, 0.9, 0.1});
+  for (size_t i = 1; i < list.size(); ++i) {
+    EXPECT_GE(list.ImpactWeight(i - 1), list.ImpactWeight(i));
+  }
+}
+
+TEST(PostingListTest, MaxWeightZeroWhenEmpty) {
+  PostingList list;
+  list.BuildImpactOrder({});
+  EXPECT_DOUBLE_EQ(list.max_weight(), 0.0);
+}
+
+}  // namespace
+}  // namespace moa

@@ -1,0 +1,69 @@
+#include "engine/query_builder.h"
+
+#include <gtest/gtest.h>
+
+#include "algebra/evaluator.h"
+
+namespace moa {
+namespace {
+
+TEST(QueryBuilderTest, PaperExample1Expression) {
+  ExprPtr e = QueryBuilder::List({1, 2, 3, 4, 4, 5})
+                  .ProjectToBag()
+                  .Select(2, 4)
+                  .Build();
+  EXPECT_EQ(e->op(), "BAG.select");
+  Value v = Evaluate(e).ValueOrDie();
+  EXPECT_TRUE(Value::BagEquals(
+      v, Value::Bag({Value::Int(2), Value::Int(3), Value::Int(4),
+                     Value::Int(4)})));
+}
+
+TEST(QueryBuilderTest, ChainTracksKind) {
+  QueryBuilder b = QueryBuilder::List({3, 1, 2});
+  EXPECT_EQ(b.kind(), ValueKind::kList);
+  QueryBuilder bag = std::move(b).ProjectToBag();
+  EXPECT_EQ(bag.kind(), ValueKind::kBag);
+  QueryBuilder back = std::move(bag).ProjectToList();
+  EXPECT_EQ(back.kind(), ValueKind::kList);
+}
+
+TEST(QueryBuilderTest, SortTopNPipeline) {
+  ExprPtr e = QueryBuilder::List({5, 2, 9, 1}).Sort().TopN(2).Build();
+  Value v = Evaluate(e).ValueOrDie();
+  EXPECT_EQ(v, Value::List({Value::Int(9), Value::Int(5)}));
+}
+
+TEST(QueryBuilderTest, SelectDispatchesOnKind) {
+  ExprPtr list_select = QueryBuilder::List({1, 2, 3}).Select(2, 3).Build();
+  EXPECT_EQ(list_select->op(), "LIST.select");
+  ExprPtr bag_select =
+      QueryBuilder::List({1, 2, 3}).ProjectToBag().Select(2, 3).Build();
+  EXPECT_EQ(bag_select->op(), "BAG.select");
+}
+
+TEST(QueryBuilderTest, ToSetAndCount) {
+  ExprPtr e = QueryBuilder::List({1, 1, 2, 2, 3}).ToSet().Count().Build();
+  EXPECT_EQ(Evaluate(e).ValueOrDie().AsInt(), 3);
+}
+
+TEST(QueryBuilderTest, DoublesAndSum) {
+  ExprPtr e = QueryBuilder::ListOf({0.5, 1.5, 2.0}).Sum().Build();
+  EXPECT_DOUBLE_EQ(Evaluate(e).ValueOrDie().AsDouble(), 4.0);
+}
+
+TEST(QueryBuilderTest, SliceReverse) {
+  ExprPtr e =
+      QueryBuilder::List({1, 2, 3, 4}).Reverse().Slice(1, 2).Build();
+  Value v = Evaluate(e).ValueOrDie();
+  EXPECT_EQ(v, Value::List({Value::Int(3), Value::Int(2)}));
+}
+
+TEST(QueryBuilderTest, SelectSortedOnSortedLiteral) {
+  ExprPtr e = QueryBuilder::List({1, 2, 3, 4, 5}).SelectSorted(2, 4).Build();
+  Value v = Evaluate(e).ValueOrDie();
+  EXPECT_EQ(v, Value::List({Value::Int(2), Value::Int(3), Value::Int(4)}));
+}
+
+}  // namespace
+}  // namespace moa

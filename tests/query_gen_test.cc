@@ -1,0 +1,104 @@
+#include "ir/query_gen.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "test_util.h"
+
+namespace moa {
+namespace {
+
+using testutil::SmallCollection;
+
+TEST(QueryGenTest, ProducesRequestedShape) {
+  QueryWorkloadConfig config;
+  config.num_queries = 10;
+  config.terms_per_query = 3;
+  auto qs = GenerateQueries(SmallCollection(), config);
+  ASSERT_TRUE(qs.ok());
+  EXPECT_EQ(qs.ValueOrDie().size(), 10u);
+  for (const auto& q : qs.ValueOrDie()) {
+    EXPECT_EQ(q.terms.size(), 3u);
+  }
+}
+
+TEST(QueryGenTest, TermsAreDistinctAndOccurring) {
+  QueryWorkloadConfig config;
+  config.num_queries = 20;
+  config.terms_per_query = 5;
+  auto qs = GenerateQueries(SmallCollection(), config);
+  ASSERT_TRUE(qs.ok());
+  const InvertedFile& f = SmallCollection().inverted_file();
+  for (const auto& q : qs.ValueOrDie()) {
+    std::set<TermId> unique(q.terms.begin(), q.terms.end());
+    EXPECT_EQ(unique.size(), q.terms.size());
+    for (TermId t : q.terms) EXPECT_GT(f.DocFrequency(t), 0u);
+  }
+}
+
+TEST(QueryGenTest, DeterministicForSeed) {
+  QueryWorkloadConfig config;
+  config.seed = 123;
+  auto a = GenerateQueries(SmallCollection(), config);
+  auto b = GenerateQueries(SmallCollection(), config);
+  ASSERT_TRUE(a.ok() && b.ok());
+  ASSERT_EQ(a.ValueOrDie().size(), b.ValueOrDie().size());
+  for (size_t i = 0; i < a.ValueOrDie().size(); ++i) {
+    EXPECT_EQ(a.ValueOrDie()[i].terms, b.ValueOrDie()[i].terms);
+  }
+}
+
+TEST(QueryGenTest, RejectsZeroTermQueries) {
+  QueryWorkloadConfig config;
+  config.terms_per_query = 0;
+  EXPECT_FALSE(GenerateQueries(SmallCollection(), config).ok());
+}
+
+TEST(QueryGenTest, ZipfQueriesPreferFrequentTerms) {
+  QueryWorkloadConfig zipf_config;
+  zipf_config.num_queries = 50;
+  zipf_config.terms_per_query = 4;
+  zipf_config.distribution = QueryTermDistribution::kZipf;
+  QueryWorkloadConfig uniform_config = zipf_config;
+  uniform_config.distribution = QueryTermDistribution::kUniform;
+
+  auto mean_df = [&](const std::vector<Query>& qs) {
+    const InvertedFile& f = SmallCollection().inverted_file();
+    double sum = 0;
+    int n = 0;
+    for (const auto& q : qs) {
+      for (TermId t : q.terms) {
+        sum += f.DocFrequency(t);
+        ++n;
+      }
+    }
+    return sum / n;
+  };
+  auto zq = GenerateQueries(SmallCollection(), zipf_config);
+  auto uq = GenerateQueries(SmallCollection(), uniform_config);
+  ASSERT_TRUE(zq.ok() && uq.ok());
+  EXPECT_GT(mean_df(zq.ValueOrDie()), 2.0 * mean_df(uq.ValueOrDie()));
+}
+
+TEST(QueryGenTest, MixedQueriesContainBothHeadAndTailTerms) {
+  QueryWorkloadConfig config;
+  config.num_queries = 30;
+  config.terms_per_query = 4;
+  config.distribution = QueryTermDistribution::kMixed;
+  auto qs = GenerateQueries(SmallCollection(), config);
+  ASSERT_TRUE(qs.ok());
+  const InvertedFile& f = SmallCollection().inverted_file();
+  int head = 0, tail = 0;
+  for (const auto& q : qs.ValueOrDie()) {
+    for (TermId t : q.terms) {
+      if (f.DocFrequency(t) >= 50) ++head;
+      if (f.DocFrequency(t) <= 5) ++tail;
+    }
+  }
+  EXPECT_GT(head, 0);
+  EXPECT_GT(tail, 0);
+}
+
+}  // namespace
+}  // namespace moa

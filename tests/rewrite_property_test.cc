@@ -1,0 +1,164 @@
+// Property suite: optimizer soundness on *randomly generated* expression
+// trees. For hundreds of seeded random expressions the full rule pipeline
+// must (a) terminate, (b) never grow the tree unboundedly, and (c) preserve
+// value semantics — bag equality always, list equality whenever the formal
+// result type is ordered.
+#include <gtest/gtest.h>
+
+#include "algebra/evaluator.h"
+#include "common/rng.h"
+#include "optimizer/interobject_rules.h"
+#include "optimizer/intra_object.h"
+
+namespace moa {
+namespace {
+
+/// Random expression generator over the LIST/BAG/SET fragment that the
+/// rewrite rules target. Returns the expression and its result kind.
+class ExprGen {
+ public:
+  explicit ExprGen(uint64_t seed) : rng_(seed) {}
+
+  std::pair<ExprPtr, ValueKind> Gen(int depth) {
+    if (depth <= 0) return Leaf();
+    switch (rng_.Uniform(10)) {
+      case 0: return Leaf();
+      case 1: {  // select over whatever collection comes back
+        auto [e, k] = Gen(depth - 1);
+        const double lo = static_cast<double>(rng_.UniformRange(-5, 10));
+        const double hi = lo + static_cast<double>(rng_.Uniform(12));
+        const char* op = k == ValueKind::kList   ? "LIST.select"
+                         : k == ValueKind::kBag ? "BAG.select"
+                                                : "SET.select";
+        return {Expr::Apply(op, {e, Expr::Const(Value::Double(lo)),
+                                 Expr::Const(Value::Double(hi))}),
+                k};
+      }
+      case 2: {  // sort (lists only; otherwise recurse)
+        auto [e, k] = Gen(depth - 1);
+        if (k != ValueKind::kList) return {e, k};
+        return {Expr::Apply("LIST.sort", {e}), ValueKind::kList};
+      }
+      case 3: {  // cast list->bag
+        auto [e, k] = Gen(depth - 1);
+        if (k != ValueKind::kList) return {e, k};
+        return {Expr::Apply("LIST.projecttobag", {e}), ValueKind::kBag};
+      }
+      case 4: {  // cast bag->list
+        auto [e, k] = Gen(depth - 1);
+        if (k != ValueKind::kBag) return {e, k};
+        return {Expr::Apply("BAG.projecttolist", {e}), ValueKind::kList};
+      }
+      case 5: {  // topn
+        auto [e, k] = Gen(depth - 1);
+        if (k == ValueKind::kSet) return {e, k};
+        const char* op =
+            k == ValueKind::kList ? "LIST.topn" : "BAG.topn";
+        return {Expr::Apply(
+                    op, {e, Expr::Const(Value::Int(
+                                static_cast<int64_t>(rng_.Uniform(6))))}),
+                ValueKind::kList};
+      }
+      case 6: {  // set.make
+        auto [e, k] = Gen(depth - 1);
+        (void)k;
+        return {Expr::Apply("SET.make", {e}), ValueKind::kSet};
+      }
+      case 7: {  // reverse (lists)
+        auto [e, k] = Gen(depth - 1);
+        if (k != ValueKind::kList) return {e, k};
+        return {Expr::Apply("LIST.reverse", {e}), ValueKind::kList};
+      }
+      case 8: {  // slice (lists)
+        auto [e, k] = Gen(depth - 1);
+        if (k != ValueKind::kList) return {e, k};
+        return {Expr::Apply("LIST.slice",
+                            {e,
+                             Expr::Const(Value::Int(
+                                 static_cast<int64_t>(rng_.Uniform(4)))),
+                             Expr::Const(Value::Int(
+                                 static_cast<int64_t>(rng_.Uniform(8))))}),
+                ValueKind::kList};
+      }
+      default:
+        return Gen(depth - 1);
+    }
+  }
+
+ private:
+  std::pair<ExprPtr, ValueKind> Leaf() {
+    ValueVec v;
+    const size_t n = rng_.Uniform(12);
+    const bool sorted = rng_.NextBool(0.5);
+    int64_t x = rng_.UniformRange(-5, 5);
+    for (size_t i = 0; i < n; ++i) {
+      v.push_back(Value::Int(x));
+      x = sorted ? x + static_cast<int64_t>(rng_.Uniform(3))
+                 : rng_.UniformRange(-5, 10);
+    }
+    return {Expr::Const(Value::List(std::move(v))), ValueKind::kList};
+  }
+
+  Rng rng_;
+};
+
+class RewritePropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(RewritePropertyTest, FullPipelinePreservesSemantics) {
+  ExprGen gen(GetParam());
+  for (int trial = 0; trial < 40; ++trial) {
+    auto [expr, kind] = gen.Gen(5);
+    RewriteTrace trace;
+    ExprPtr rewritten = RewriteToFixpoint(expr, FullRuleSet(),
+                                          ExtensionRegistry::Default(),
+                                          &trace);
+    ASSERT_LE(rewritten->TreeSize(), expr->TreeSize())
+        << "rules must not grow trees: " << expr->ToString();
+    auto before = Evaluate(expr);
+    auto after = Evaluate(rewritten);
+    ASSERT_EQ(before.ok(), after.ok()) << expr->ToString();
+    if (!before.ok()) continue;
+    // Bag semantics always; list semantics when the type is ordered.
+    EXPECT_TRUE(Value::BagEquals(before.ValueOrDie(), after.ValueOrDie()))
+        << expr->ToString() << "\n-> " << rewritten->ToString();
+    if (kind == ValueKind::kList || kind == ValueKind::kSet) {
+      EXPECT_EQ(before.ValueOrDie(), after.ValueOrDie())
+          << expr->ToString() << "\n-> " << rewritten->ToString();
+    }
+  }
+}
+
+TEST_P(RewritePropertyTest, IntraObjectIsAlsoSound) {
+  ExprGen gen(GetParam() ^ 0xABCDEF);
+  for (int trial = 0; trial < 40; ++trial) {
+    auto [expr, kind] = gen.Gen(5);
+    (void)kind;
+    ExprPtr rewritten =
+        IntraObjectOnlyOptimize(expr, ExtensionRegistry::Default());
+    auto before = Evaluate(expr);
+    auto after = Evaluate(rewritten);
+    ASSERT_EQ(before.ok(), after.ok());
+    if (!before.ok()) continue;
+    EXPECT_TRUE(Value::BagEquals(before.ValueOrDie(), after.ValueOrDie()))
+        << expr->ToString();
+  }
+}
+
+TEST_P(RewritePropertyTest, RewriteIsIdempotent) {
+  ExprGen gen(GetParam() ^ 0x5EED);
+  for (int trial = 0; trial < 40; ++trial) {
+    auto [expr, kind] = gen.Gen(4);
+    (void)kind;
+    ExprPtr once = RewriteToFixpoint(expr, FullRuleSet(),
+                                     ExtensionRegistry::Default());
+    ExprPtr twice = RewriteToFixpoint(once, FullRuleSet(),
+                                      ExtensionRegistry::Default());
+    EXPECT_TRUE(Expr::Equal(once, twice)) << expr->ToString();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RewritePropertyTest,
+                         ::testing::Values(1, 2, 3, 5, 8, 13, 21, 34));
+
+}  // namespace
+}  // namespace moa

@@ -1,0 +1,111 @@
+#include "ir/scoring.h"
+
+#include <gtest/gtest.h>
+
+#include "test_util.h"
+
+namespace moa {
+namespace {
+
+using testutil::SmallCollection;
+
+class ScoringModelsTest
+    : public ::testing::TestWithParam<const char*> {
+ protected:
+  std::unique_ptr<ScoringModel> MakeModel() {
+    auto& file = const_cast<Collection&>(SmallCollection())
+                     .mutable_inverted_file();
+    const std::string which = GetParam();
+    if (which == "tfidf") return MakeTfIdf(&file);
+    if (which == "bm25") return MakeBm25(&file);
+    return MakeLanguageModel(&file);
+  }
+};
+
+TEST_P(ScoringModelsTest, WeightsAreNonNegative) {
+  auto model = MakeModel();
+  const InvertedFile& f = model->file();
+  for (TermId t = 0; t < std::min<size_t>(f.num_terms(), 200); ++t) {
+    const PostingList& list = f.list(t);
+    for (size_t i = 0; i < list.size(); ++i) {
+      EXPECT_GE(model->Weight(t, list[i]), 0.0)
+          << "term " << t << " posting " << i;
+    }
+  }
+}
+
+TEST_P(ScoringModelsTest, HigherTfGivesHigherWeight) {
+  auto model = MakeModel();
+  const InvertedFile& f = model->file();
+  // Find a term and compare synthetic postings on the same document.
+  for (TermId t = 0; t < f.num_terms(); ++t) {
+    if (f.DocFrequency(t) == 0) continue;
+    const DocId d = f.list(t)[0].doc;
+    const double w1 = model->Weight(t, Posting{d, 1});
+    const double w3 = model->Weight(t, Posting{d, 3});
+    EXPECT_GT(w3, w1);
+    break;
+  }
+}
+
+TEST_P(ScoringModelsTest, RarerTermsWeighMoreAtEqualTf) {
+  auto model = MakeModel();
+  const InvertedFile& f = model->file();
+  // term 0 is the most frequent; find a rare term and one shared doc length.
+  TermId rare = 0;
+  for (TermId t = f.num_terms(); t-- > 0;) {
+    if (f.DocFrequency(t) >= 1 && f.DocFrequency(t) <= 3) {
+      rare = t;
+      break;
+    }
+  }
+  ASSERT_GT(f.DocFrequency(rare), 0u);
+  const DocId d = f.list(rare)[0].doc;  // same doc => same length norm
+  const double w_frequent = model->Weight(0, Posting{d, 2});
+  const double w_rare = model->Weight(rare, Posting{d, 2});
+  EXPECT_GT(w_rare, w_frequent);
+}
+
+TEST_P(ScoringModelsTest, NameIsStable) {
+  auto model = MakeModel();
+  EXPECT_EQ(model->name(), std::string(GetParam()));
+}
+
+INSTANTIATE_TEST_SUITE_P(AllModels, ScoringModelsTest,
+                         ::testing::Values("tfidf", "bm25", "lm"));
+
+TEST(ScoredDocTest, OrderingIsDescScoreThenAscDoc) {
+  EXPECT_TRUE(ScoredDocLess({1, 2.0}, {2, 1.0}));
+  EXPECT_FALSE(ScoredDocLess({2, 1.0}, {1, 2.0}));
+  EXPECT_TRUE(ScoredDocLess({1, 1.0}, {2, 1.0}));
+  EXPECT_FALSE(ScoredDocLess({2, 1.0}, {1, 1.0}));
+}
+
+TEST(Bm25Test, ParametersChangeWeights) {
+  auto& file = const_cast<Collection&>(SmallCollection())
+                   .mutable_inverted_file();
+  auto default_model = MakeBm25(&file);
+  auto flat_model = MakeBm25(&file, 0.01, 0.0);  // tf saturates immediately
+  TermId t = 0;
+  while (file.DocFrequency(t) == 0) ++t;
+  const DocId d = file.list(t)[0].doc;
+  const double ratio_default = default_model->Weight(t, Posting{d, 10}) /
+                               default_model->Weight(t, Posting{d, 1});
+  const double ratio_flat = flat_model->Weight(t, Posting{d, 10}) /
+                            flat_model->Weight(t, Posting{d, 1});
+  EXPECT_GT(ratio_default, ratio_flat);
+}
+
+TEST(LanguageModelTest, LambdaControlsSmoothing) {
+  auto& file = const_cast<Collection&>(SmallCollection())
+                   .mutable_inverted_file();
+  auto lm_low = MakeLanguageModel(&file, 0.05);
+  auto lm_high = MakeLanguageModel(&file, 0.9);
+  TermId t = 0;
+  while (file.DocFrequency(t) == 0) ++t;
+  const Posting& p = file.list(t)[0];
+  EXPECT_GT(lm_high->Weight(t, p), lm_low->Weight(t, p));
+}
+
+}  // namespace
+}  // namespace moa

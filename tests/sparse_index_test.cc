@@ -1,0 +1,86 @@
+#include "storage/sparse_index.h"
+
+#include <gtest/gtest.h>
+
+#include "common/cost_ticker.h"
+
+namespace moa {
+namespace {
+
+PostingList EveryThirdDoc(int n) {
+  PostingList list;
+  for (int i = 0; i < n; ++i) {
+    list.Append(static_cast<DocId>(3 * i), static_cast<uint32_t>(i % 5 + 1));
+  }
+  return list;
+}
+
+TEST(SparseIndexTest, ProbeFindsEveryPresentDoc) {
+  PostingList list = EveryThirdDoc(100);
+  SparseIndex index(&list, 8);
+  for (int i = 0; i < 100; ++i) {
+    auto tf = index.Probe(static_cast<DocId>(3 * i));
+    ASSERT_TRUE(tf.has_value()) << "doc " << 3 * i;
+    EXPECT_EQ(*tf, static_cast<uint32_t>(i % 5 + 1));
+  }
+}
+
+TEST(SparseIndexTest, ProbeMissesAbsentDocs) {
+  PostingList list = EveryThirdDoc(100);
+  SparseIndex index(&list, 8);
+  EXPECT_FALSE(index.Probe(1).has_value());
+  EXPECT_FALSE(index.Probe(2).has_value());
+  EXPECT_FALSE(index.Probe(298).has_value());
+  EXPECT_FALSE(index.Probe(1000).has_value());
+}
+
+TEST(SparseIndexTest, DirectoryIsNonDense) {
+  PostingList list = EveryThirdDoc(1000);
+  SparseIndex index(&list, 64);
+  EXPECT_EQ(index.num_blocks(), (1000 + 63) / 64);
+  EXPECT_LT(index.directory_entries(), list.size() / 10);
+}
+
+TEST(SparseIndexTest, BlockSizeOneIsDense) {
+  PostingList list = EveryThirdDoc(50);
+  SparseIndex index(&list, 1);
+  EXPECT_EQ(index.num_blocks(), 50u);
+  EXPECT_EQ(index.Probe(3 * 17).value(), static_cast<uint32_t>(17 % 5 + 1));
+}
+
+TEST(SparseIndexTest, EmptyListNeverMatches) {
+  PostingList list;
+  SparseIndex index(&list, 8);
+  EXPECT_FALSE(index.Probe(0).has_value());
+}
+
+TEST(SparseIndexTest, DefaultConstructedIsInert) {
+  SparseIndex index;
+  EXPECT_FALSE(index.Probe(5).has_value());
+}
+
+TEST(SparseIndexTest, ProbeCostBoundedByBlockSize) {
+  PostingList list = EveryThirdDoc(10000);
+  SparseIndex index(&list, 32);
+  CostScope scope;
+  index.Probe(3 * 5000);
+  CostCounters c = scope.Snapshot();
+  EXPECT_LE(c.sequential_reads, 32);
+  EXPECT_GE(c.random_reads, 1);
+}
+
+TEST(SparseIndexTest, SmallerBlocksCostFewerSequentialReads) {
+  PostingList list = EveryThirdDoc(10000);
+  SparseIndex coarse(&list, 256);
+  SparseIndex fine(&list, 8);
+  CostScope s1;
+  coarse.Probe(3 * 9999);
+  const int64_t coarse_seq = s1.Snapshot().sequential_reads;
+  CostScope s2;
+  fine.Probe(3 * 9999);
+  const int64_t fine_seq = s2.Snapshot().sequential_reads;
+  EXPECT_LT(fine_seq, coarse_seq);
+}
+
+}  // namespace
+}  // namespace moa

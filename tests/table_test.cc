@@ -1,0 +1,58 @@
+#include "storage/table.h"
+
+#include <gtest/gtest.h>
+
+namespace moa {
+namespace {
+
+Table DocTable() {
+  Table t;
+  EXPECT_TRUE(t.AddColumn("doc", Column::FromInt64({0, 1, 2})).ok());
+  EXPECT_TRUE(t.AddColumn("score", Column::FromDouble({0.9, 0.5, 0.7})).ok());
+  EXPECT_TRUE(
+      t.AddColumn("title", Column::FromString({"a", "b", "c"})).ok());
+  return t;
+}
+
+TEST(TableTest, Shape) {
+  Table t = DocTable();
+  EXPECT_EQ(t.num_rows(), 3u);
+  EXPECT_EQ(t.num_columns(), 3u);
+  EXPECT_EQ(t.spec(1).name, "score");
+  EXPECT_EQ(t.spec(1).type, ColumnType::kDouble);
+}
+
+TEST(TableTest, ColumnIndexLookup) {
+  Table t = DocTable();
+  EXPECT_EQ(t.ColumnIndex("title").ValueOrDie(), 2u);
+  EXPECT_FALSE(t.ColumnIndex("nope").ok());
+}
+
+TEST(TableTest, RejectsLengthMismatch) {
+  Table t = DocTable();
+  Status s = t.AddColumn("bad", Column::FromInt64({1}));
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+}
+
+TEST(TableTest, RejectsDuplicateName) {
+  Table t = DocTable();
+  Status s = t.AddColumn("doc", Column::FromInt64({7, 8, 9}));
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+}
+
+TEST(TableTest, TakeSelectsRowsAcrossColumns) {
+  Table t = DocTable();
+  Table sub = t.Take({2, 0});
+  EXPECT_EQ(sub.num_rows(), 2u);
+  EXPECT_EQ(sub.column(0).Int64At(0), 2);
+  EXPECT_EQ(sub.column(2).StringAt(1), "a");
+}
+
+TEST(TableTest, EmptyTable) {
+  Table t;
+  EXPECT_EQ(t.num_rows(), 0u);
+  EXPECT_EQ(t.num_columns(), 0u);
+}
+
+}  // namespace
+}  // namespace moa

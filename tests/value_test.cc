@@ -1,0 +1,112 @@
+#include "algebra/value.h"
+
+#include <gtest/gtest.h>
+
+namespace moa {
+namespace {
+
+TEST(ValueTest, ScalarConstruction) {
+  EXPECT_EQ(Value::Int(7).AsInt(), 7);
+  EXPECT_DOUBLE_EQ(Value::Double(2.5).AsDouble(), 2.5);
+  EXPECT_EQ(Value::Str("hi").AsString(), "hi");
+  EXPECT_TRUE(Value().is_null());
+}
+
+TEST(ValueTest, IntWidensToDouble) {
+  EXPECT_DOUBLE_EQ(Value::Int(3).AsDouble(), 3.0);
+}
+
+TEST(ValueTest, ListPreservesOrderAndDuplicates) {
+  Value v = Value::List({Value::Int(3), Value::Int(1), Value::Int(3)});
+  ASSERT_EQ(v.Elements().size(), 3u);
+  EXPECT_EQ(v.Elements()[0].AsInt(), 3);
+  EXPECT_EQ(v.Elements()[2].AsInt(), 3);
+}
+
+TEST(ValueTest, SetDeduplicatesAndSorts) {
+  Value v = Value::Set({Value::Int(3), Value::Int(1), Value::Int(3),
+                        Value::Int(2)});
+  ASSERT_EQ(v.Elements().size(), 3u);
+  EXPECT_EQ(v.Elements()[0].AsInt(), 1);
+  EXPECT_EQ(v.Elements()[1].AsInt(), 2);
+  EXPECT_EQ(v.Elements()[2].AsInt(), 3);
+}
+
+TEST(ValueTest, BagKeepsDuplicatesInStorageOrder) {
+  Value v = Value::Bag({Value::Int(5), Value::Int(5), Value::Int(1)});
+  ASSERT_EQ(v.Elements().size(), 3u);
+  EXPECT_EQ(v.Elements()[0].AsInt(), 5);
+  EXPECT_EQ(v.Elements()[2].AsInt(), 1);
+}
+
+TEST(ValueTest, TupleFieldsAccessible) {
+  Value t = Value::Tuple({{"doc", Value::Int(4)}, {"score", Value::Double(0.5)}});
+  ASSERT_EQ(t.Fields().size(), 2u);
+  EXPECT_EQ(t.Fields()[0].first, "doc");
+  EXPECT_EQ(t.Fields()[1].second.AsDouble(), 0.5);
+}
+
+TEST(ValueTest, CompareNumericCrossKind) {
+  EXPECT_EQ(Value::Compare(Value::Int(2), Value::Double(2.0)), 0);
+  EXPECT_LT(Value::Compare(Value::Int(1), Value::Double(1.5)), 0);
+  EXPECT_GT(Value::Compare(Value::Double(3.0), Value::Int(2)), 0);
+}
+
+TEST(ValueTest, CompareStringsLexicographic) {
+  EXPECT_LT(Value::Compare(Value::Str("apple"), Value::Str("banana")), 0);
+  EXPECT_EQ(Value::Compare(Value::Str("x"), Value::Str("x")), 0);
+}
+
+TEST(ValueTest, CompareListsLexicographicThenLength) {
+  Value a = Value::List({Value::Int(1), Value::Int(2)});
+  Value b = Value::List({Value::Int(1), Value::Int(3)});
+  Value c = Value::List({Value::Int(1), Value::Int(2), Value::Int(0)});
+  EXPECT_LT(Value::Compare(a, b), 0);
+  EXPECT_LT(Value::Compare(a, c), 0);
+  EXPECT_EQ(Value::Compare(a, a), 0);
+}
+
+TEST(ValueTest, EqualityIsStructural) {
+  Value a = Value::List({Value::Int(1), Value::Int(2)});
+  Value b = Value::List({Value::Int(1), Value::Int(2)});
+  Value c = Value::List({Value::Int(2), Value::Int(1)});
+  EXPECT_TRUE(a == b);
+  EXPECT_FALSE(a == c);
+}
+
+TEST(ValueTest, BagEqualsIgnoresOrder) {
+  Value a = Value::Bag({Value::Int(1), Value::Int(2), Value::Int(2)});
+  Value b = Value::Bag({Value::Int(2), Value::Int(1), Value::Int(2)});
+  Value c = Value::Bag({Value::Int(1), Value::Int(2)});
+  Value d = Value::Bag({Value::Int(1), Value::Int(1), Value::Int(2)});
+  EXPECT_TRUE(Value::BagEquals(a, b));
+  EXPECT_FALSE(Value::BagEquals(a, c));  // different size
+  EXPECT_FALSE(Value::BagEquals(a, d));  // different multiplicity
+}
+
+TEST(ValueTest, BagEqualsAcrossKinds) {
+  Value list = Value::List({Value::Int(2), Value::Int(1)});
+  Value bag = Value::Bag({Value::Int(1), Value::Int(2)});
+  EXPECT_TRUE(Value::BagEquals(list, bag));
+}
+
+TEST(ValueTest, ToStringRendersAllKinds) {
+  EXPECT_EQ(Value::Int(1).ToString(), "1");
+  EXPECT_EQ(Value::Str("a").ToString(), "\"a\"");
+  EXPECT_EQ(Value::List({Value::Int(1), Value::Int(2)}).ToString(), "[1, 2]");
+  EXPECT_EQ(Value::Bag({Value::Int(1)}).ToString(), "{|1|}");
+  EXPECT_EQ(Value::Set({Value::Int(2), Value::Int(1)}).ToString(), "{1, 2}");
+  EXPECT_EQ(Value::Tuple({{"a", Value::Int(1)}}).ToString(), "<a: 1>");
+  EXPECT_EQ(Value().ToString(), "null");
+}
+
+TEST(ValueTest, CopyIsCheapAndShared) {
+  ValueVec big;
+  for (int i = 0; i < 1000; ++i) big.push_back(Value::Int(i));
+  Value a = Value::List(std::move(big));
+  Value b = a;  // shares the payload
+  EXPECT_EQ(&a.Elements(), &b.Elements());
+}
+
+}  // namespace
+}  // namespace moa

@@ -1,0 +1,111 @@
+#include "common/zipf.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+namespace moa {
+namespace {
+
+TEST(ZipfSamplerTest, SamplesWithinRange) {
+  Rng rng(1);
+  ZipfSampler zipf(1000, 1.0);
+  for (int i = 0; i < 10000; ++i) {
+    uint64_t r = zipf.Sample(&rng);
+    EXPECT_GE(r, 1u);
+    EXPECT_LE(r, 1000u);
+  }
+}
+
+TEST(ZipfSamplerTest, SingleItemAlwaysRankOne) {
+  Rng rng(2);
+  ZipfSampler zipf(1, 1.2);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(zipf.Sample(&rng), 1u);
+}
+
+TEST(ZipfSamplerTest, EmpiricalFrequenciesMatchTheory) {
+  Rng rng(3);
+  const uint64_t n = 100;
+  const double s = 1.0;
+  ZipfSampler zipf(n, s);
+  ZipfAnalytics analytics(n, s);
+  std::vector<int> counts(n + 1, 0);
+  const int trials = 200000;
+  for (int i = 0; i < trials; ++i) ++counts[zipf.Sample(&rng)];
+  // Check ranks 1, 2, 10 against analytic probabilities (3-sigma-ish).
+  for (uint64_t r : {1ull, 2ull, 10ull}) {
+    const double expected = analytics.Probability(r);
+    const double observed = static_cast<double>(counts[r]) / trials;
+    EXPECT_NEAR(observed, expected, 4.0 * std::sqrt(expected / trials) + 1e-3)
+        << "rank " << r;
+  }
+}
+
+TEST(ZipfSamplerTest, ZeroSkewIsUniform) {
+  Rng rng(4);
+  ZipfSampler zipf(50, 0.0);
+  std::vector<int> counts(51, 0);
+  const int trials = 100000;
+  for (int i = 0; i < trials; ++i) ++counts[zipf.Sample(&rng)];
+  for (uint64_t r = 1; r <= 50; ++r) {
+    EXPECT_NEAR(counts[r] / static_cast<double>(trials), 0.02, 0.005)
+        << "rank " << r;
+  }
+}
+
+TEST(ZipfAnalyticsTest, PartialHarmonicMonotone) {
+  ZipfAnalytics a(10000, 1.0);
+  double prev = 0.0;
+  for (uint64_t k : {1ull, 10ull, 100ull, 1000ull, 10000ull}) {
+    double h = a.PartialHarmonic(k);
+    EXPECT_GT(h, prev);
+    prev = h;
+  }
+}
+
+TEST(ZipfAnalyticsTest, PartialHarmonicMatchesBruteForce) {
+  const uint64_t n = 20000;
+  const double s = 1.0;
+  ZipfAnalytics a(n, s);
+  double exact = 0.0;
+  for (uint64_t r = 1; r <= n; ++r) exact += std::pow(r, -s);
+  EXPECT_NEAR(a.PartialHarmonic(n), exact, exact * 1e-4);
+}
+
+TEST(ZipfAnalyticsTest, VolumeFractionBounds) {
+  ZipfAnalytics a(5000, 1.1);
+  EXPECT_NEAR(a.VolumeFraction(5000), 1.0, 1e-9);
+  EXPECT_GT(a.VolumeFraction(1), 0.0);
+  EXPECT_LT(a.VolumeFraction(1), 1.0);
+}
+
+TEST(ZipfAnalyticsTest, RanksForVolumeInvertsVolumeFraction) {
+  ZipfAnalytics a(5000, 1.0);
+  for (double f : {0.25, 0.5, 0.9, 0.95}) {
+    uint64_t k = a.RanksForVolume(f);
+    EXPECT_GE(a.VolumeFraction(k), f);
+    if (k > 1) EXPECT_LT(a.VolumeFraction(k - 1), f);
+  }
+}
+
+TEST(ZipfAnalyticsTest, HeadHoldsMostVolume) {
+  // The defining Zipf property the paper exploits: a tiny head of ranks
+  // carries a hugely disproportionate share of the token volume. At s=1,
+  // 1% of the ranks carry over half the mass (H_500/H_50000 ~ 0.57).
+  ZipfAnalytics a(50000, 1.0);
+  EXPECT_GT(a.VolumeFraction(500), 0.5);
+  // Conversely, the rare 50% of ranks (the "interesting" tail) carry only
+  // a small volume share — the fragmentation opportunity.
+  EXPECT_LT(1.0 - a.VolumeFraction(25000), 0.10);
+}
+
+TEST(ZipfAnalyticsTest, ProbabilitiesSumToOne) {
+  ZipfAnalytics a(300, 0.8);
+  double sum = 0.0;
+  for (uint64_t r = 1; r <= 300; ++r) sum += a.Probability(r);
+  EXPECT_NEAR(sum, 1.0, 1e-9);
+}
+
+}  // namespace
+}  // namespace moa
