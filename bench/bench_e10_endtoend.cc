@@ -28,11 +28,13 @@ void BM_OptimizerChoice(benchmark::State& state) {
   double worst_fixed_work = 0.0;
   for (auto _ : state) {
     optimizer_work = 0.0;
-    // Fixed safe strategies to ablate against.
+    // Fixed safe strategies to ablate against, selected by registry name.
     const std::vector<PhysicalStrategy> fixed = {
-        PhysicalStrategy::kFullSort,      PhysicalStrategy::kHeap,
-        PhysicalStrategy::kFaginTA,       PhysicalStrategy::kFaginNRA,
-        PhysicalStrategy::kQualitySwitchFull};
+        benchutil::StrategyOrDie("full_sort"),
+        benchutil::StrategyOrDie("heap"),
+        benchutil::StrategyOrDie("fagin_ta"),
+        benchutil::StrategyOrDie("fagin_nra"),
+        benchutil::StrategyOrDie("quality_switch_full")};
     std::vector<double> fixed_work(fixed.size(), 0.0);
     for (const Query& q : MixFor(mix)) {
       SearchOptions opts;

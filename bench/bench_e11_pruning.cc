@@ -12,8 +12,11 @@
 namespace moa {
 namespace {
 
-void RunMaxScore(benchmark::State& state, const MaxScoreOptions& opts) {
+void RunMaxScore(benchmark::State& state, PhysicalStrategy strategy,
+                 const MaxScoreOptions& opts) {
   MmDatabase& db = benchutil::Db();
+  ExecOptions eopts;
+  eopts.strategy_options = opts;
   double work = 0.0;
   int64_t accumulators = 0;
   std::vector<QualityReport> reports;
@@ -22,7 +25,7 @@ void RunMaxScore(benchmark::State& state, const MaxScoreOptions& opts) {
     accumulators = 0;
     reports.clear();
     for (const Query& q : benchutil::Workload()) {
-      auto r = MaxScoreTopN(db.file(), db.model(), q, 10, opts);
+      auto r = db.Execute(strategy, q, 10, eopts);
       work += r.ValueOrDie().stats.cost.Scalar();
       accumulators += r.ValueOrDie().stats.candidates;
       auto truth = db.GroundTruth(q, 10);
@@ -37,23 +40,20 @@ void RunMaxScore(benchmark::State& state, const MaxScoreOptions& opts) {
 }
 
 void BM_MaxScoreContinue(benchmark::State& state) {
-  MaxScoreOptions opts;
-  opts.mode = PruneMode::kContinue;
-  RunMaxScore(state, opts);
+  RunMaxScore(state, benchutil::StrategyOrDie("maxscore"), MaxScoreOptions{});
 }
 BENCHMARK(BM_MaxScoreContinue)->Unit(benchmark::kMillisecond);
 
 void BM_MaxScoreQuit(benchmark::State& state) {
-  MaxScoreOptions opts;
-  opts.mode = PruneMode::kQuit;
-  RunMaxScore(state, opts);
+  RunMaxScore(state, benchutil::StrategyOrDie("quit_prune"),
+              MaxScoreOptions{});
 }
 BENCHMARK(BM_MaxScoreQuit)->Unit(benchmark::kMillisecond);
 
 void BM_AccumulatorBudget(benchmark::State& state) {
   MaxScoreOptions opts;
   opts.accumulator_budget = static_cast<size_t>(state.range(0));
-  RunMaxScore(state, opts);
+  RunMaxScore(state, benchutil::StrategyOrDie("maxscore"), opts);
   state.counters["budget"] = static_cast<double>(state.range(0));
 }
 BENCHMARK(BM_AccumulatorBudget)

@@ -12,8 +12,7 @@
 #include <benchmark/benchmark.h>
 
 #include "bench_util.h"
-#include "topn/baselines.h"
-#include "topn/fragment_topn.h"
+#include "exec/registry.h"
 
 namespace moa {
 namespace {
@@ -25,13 +24,22 @@ void BM_FragmentationSpeedup(benchmark::State& state) {
   policy.small_volume_fraction = cutoff;
   Fragmentation frag = Fragmentation::Build(db.file(), policy);
 
+  // Same registry path as the engine, with this sweep's fragmentation
+  // swapped into the context.
+  const StrategyRegistry& registry = StrategyRegistry::Global();
+  ExecContext ctx = db.exec_context();
+  ctx.fragmentation = &frag;
+
   double small_work = 0.0, full_work = 0.0;
   for (auto _ : state) {
     small_work = full_work = 0.0;
     for (const Query& q : benchutil::Workload()) {
       TopNResult small =
-          SmallFragmentTopN(db.file(), frag, db.model(), q, 10);
-      TopNResult full = FullSortTopN(db.file(), db.model(), q, 10);
+          registry.Execute(PhysicalStrategy::kSmallFragment, ctx, q, 10)
+              .ValueOrDie();
+      TopNResult full =
+          registry.Execute(PhysicalStrategy::kFullSort, ctx, q, 10)
+              .ValueOrDie();
       small_work += small.stats.cost.Scalar();
       full_work += full.stats.cost.Scalar();
       benchmark::DoNotOptimize(small.items.data());
@@ -49,26 +57,28 @@ BENCHMARK(BM_FragmentationSpeedup)
 
 /// Wall-clock companion: latency of small-fragment vs unfragmented
 /// execution at the paper's 5% cutoff.
-void BM_UnfragmentedLatency(benchmark::State& state) {
+/// Micro-latency benches instantiate the executor once outside the timed
+/// loop so they time the operator, not registry dispatch.
+void RunLatency(benchmark::State& state, PhysicalStrategy strategy) {
   MmDatabase& db = benchutil::Db();
+  const ExecContext ctx = db.exec_context();
+  auto exec =
+      StrategyRegistry::Global().Make(strategy, ExecOptions{}).ValueOrDie();
   size_t i = 0;
   for (auto _ : state) {
     const Query& q = benchutil::Workload()[i++ % benchutil::Workload().size()];
-    TopNResult r = FullSortTopN(db.file(), db.model(), q, 10);
+    TopNResult r = exec->Execute(ctx, q, 10).ValueOrDie();
     benchmark::DoNotOptimize(r.items.data());
   }
+}
+
+void BM_UnfragmentedLatency(benchmark::State& state) {
+  RunLatency(state, PhysicalStrategy::kFullSort);
 }
 BENCHMARK(BM_UnfragmentedLatency)->Unit(benchmark::kMicrosecond);
 
 void BM_SmallFragmentLatency(benchmark::State& state) {
-  MmDatabase& db = benchutil::Db();
-  size_t i = 0;
-  for (auto _ : state) {
-    const Query& q = benchutil::Workload()[i++ % benchutil::Workload().size()];
-    TopNResult r =
-        SmallFragmentTopN(db.file(), db.fragmentation(), db.model(), q, 10);
-    benchmark::DoNotOptimize(r.items.data());
-  }
+  RunLatency(state, PhysicalStrategy::kSmallFragment);
 }
 BENCHMARK(BM_SmallFragmentLatency)->Unit(benchmark::kMicrosecond);
 

@@ -9,8 +9,8 @@
 #include <benchmark/benchmark.h>
 
 #include "bench_util.h"
+#include "exec/registry.h"
 #include "ir/metrics.h"
-#include "topn/fragment_topn.h"
 
 namespace moa {
 namespace {
@@ -22,12 +22,17 @@ void BM_UnsafeQuality(benchmark::State& state) {
   policy.small_volume_fraction = cutoff;
   Fragmentation frag = Fragmentation::Build(db.file(), policy);
 
+  const StrategyRegistry& registry = StrategyRegistry::Global();
+  ExecContext ctx = db.exec_context();
+  ctx.fragmentation = &frag;
+
   std::vector<QualityReport> reports;
   for (auto _ : state) {
     reports.clear();
     for (const Query& q : benchutil::Workload()) {
       TopNResult small =
-          SmallFragmentTopN(db.file(), frag, db.model(), q, 10);
+          registry.Execute(PhysicalStrategy::kSmallFragment, ctx, q, 10)
+              .ValueOrDie();
       auto truth = db.GroundTruth(q, 10);
       auto scores = db.GroundTruthScores(q);
       reports.push_back(EvaluateQuality(small.items, truth, scores));

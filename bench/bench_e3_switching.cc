@@ -14,7 +14,6 @@
 
 #include "bench_util.h"
 #include "ir/metrics.h"
-#include "topn/baselines.h"
 #include "topn/fragment_topn.h"
 
 namespace moa {
@@ -23,10 +22,11 @@ namespace {
 void BM_QualitySwitch(benchmark::State& state) {
   const double threshold = static_cast<double>(state.range(0)) / 100.0;
   MmDatabase& db = benchutil::Db();
-  const Fragmentation& frag = db.fragmentation();
   QualitySwitchOptions opts;
   opts.switch_threshold = threshold;
   opts.mode = LargeFragmentMode::kFullScan;
+  ExecOptions eopts;
+  eopts.strategy_options = opts;
 
   std::vector<QualityReport> reports;
   double work = 0.0, full_work = 0.0;
@@ -36,8 +36,9 @@ void BM_QualitySwitch(benchmark::State& state) {
     work = full_work = 0.0;
     switched = 0;
     for (const Query& q : benchutil::Workload()) {
-      auto r = QualitySwitchTopN(db.file(), frag, db.model(), q, 10, opts);
-      TopNResult full = FullSortTopN(db.file(), db.model(), q, 10);
+      auto r = db.Execute(PhysicalStrategy::kQualitySwitchFull, q, 10, eopts);
+      TopNResult full =
+          db.Execute(PhysicalStrategy::kFullSort, q, 10).ValueOrDie();
       auto truth = db.GroundTruth(q, 10);
       auto scores = db.GroundTruthScores(q);
       reports.push_back(

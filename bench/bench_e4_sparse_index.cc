@@ -12,7 +12,6 @@
 
 #include "bench_util.h"
 #include "ir/metrics.h"
-#include "topn/baselines.h"
 #include "topn/fragment_topn.h"
 
 namespace moa {
@@ -22,13 +21,16 @@ void BM_SparseProbe(benchmark::State& state) {
   const uint32_t block = static_cast<uint32_t>(state.range(0));
   const size_t pool = static_cast<size_t>(state.range(1));
   MmDatabase& db = benchutil::Db();
-  const Fragmentation& frag = db.fragmentation();
+  // Per-sweep cache: block size changes between runs, so the database's
+  // shared cache must not be reused here.
   std::unordered_map<TermId, SparseIndex> cache;
   QualitySwitchOptions opts;
   opts.mode = LargeFragmentMode::kSparseProbe;
   opts.sparse_block = block;
   opts.candidate_pool = pool;
   opts.sparse_cache = &cache;
+  ExecOptions eopts;
+  eopts.strategy_options = opts;
 
   std::vector<QualityReport> reports;
   double work = 0.0, full_work = 0.0;
@@ -36,8 +38,10 @@ void BM_SparseProbe(benchmark::State& state) {
     reports.clear();
     work = full_work = 0.0;
     for (const Query& q : benchutil::Workload()) {
-      auto r = QualitySwitchTopN(db.file(), frag, db.model(), q, 10, opts);
-      TopNResult full = FullSortTopN(db.file(), db.model(), q, 10);
+      auto r =
+          db.Execute(PhysicalStrategy::kQualitySwitchSparse, q, 10, eopts);
+      TopNResult full =
+          db.Execute(PhysicalStrategy::kFullSort, q, 10).ValueOrDie();
       auto truth = db.GroundTruth(q, 10);
       auto scores = db.GroundTruthScores(q);
       reports.push_back(EvaluateQuality(r.ValueOrDie().items, truth, scores));

@@ -10,8 +10,6 @@
 #include <benchmark/benchmark.h>
 
 #include "bench_util.h"
-#include "topn/baselines.h"
-#include "topn/fagin.h"
 
 namespace moa {
 namespace {
@@ -24,15 +22,14 @@ int64_t WorkloadVolume() {
   return v;
 }
 
-template <typename Fn>
-void RunFagin(benchmark::State& state, Fn fn) {
+void RunFagin(benchmark::State& state, PhysicalStrategy strategy) {
   const size_t n = static_cast<size_t>(state.range(0));
   MmDatabase& db = benchutil::Db();
   int64_t sorted = 0, random = 0;
   for (auto _ : state) {
     sorted = random = 0;
     for (const Query& q : benchutil::ZipfWorkload()) {
-      auto r = fn(db.file(), db.model(), q, n, FaginOptions{});
+      auto r = db.Execute(strategy, q, n);
       sorted += r.ValueOrDie().stats.sorted_accesses;
       random += r.ValueOrDie().stats.random_accesses;
       benchmark::DoNotOptimize(r.ValueOrDie().items.data());
@@ -45,9 +42,15 @@ void RunFagin(benchmark::State& state, Fn fn) {
       static_cast<double>(WorkloadVolume());
 }
 
-void BM_FaginFA(benchmark::State& state) { RunFagin(state, FaginFA); }
-void BM_FaginTA(benchmark::State& state) { RunFagin(state, FaginTA); }
-void BM_FaginNRA(benchmark::State& state) { RunFagin(state, FaginNRA); }
+void BM_FaginFA(benchmark::State& state) {
+  RunFagin(state, benchutil::StrategyOrDie("fagin_fa"));
+}
+void BM_FaginTA(benchmark::State& state) {
+  RunFagin(state, benchutil::StrategyOrDie("fagin_ta"));
+}
+void BM_FaginNRA(benchmark::State& state) {
+  RunFagin(state, benchutil::StrategyOrDie("fagin_nra"));
+}
 
 BENCHMARK(BM_FaginFA)->Arg(1)->Arg(10)->Arg(100)->Unit(benchmark::kMillisecond);
 BENCHMARK(BM_FaginTA)->Arg(1)->Arg(10)->Arg(100)->Unit(benchmark::kMillisecond);
@@ -61,7 +64,8 @@ void BM_ExhaustiveBaseline(benchmark::State& state) {
   for (auto _ : state) {
     seq = 0;
     for (const Query& q : benchutil::ZipfWorkload()) {
-      TopNResult r = HeapTopN(db.file(), db.model(), q, n);
+      TopNResult r =
+          db.Execute(PhysicalStrategy::kHeap, q, n).ValueOrDie();
       seq += r.stats.cost.sequential_reads;
     }
   }

@@ -15,15 +15,13 @@ namespace {
 
 void BM_StopAfterConservative(benchmark::State& state) {
   MmDatabase& db = benchutil::Db();
-  StopAfterOptions opts;
-  opts.policy = StopAfterPolicy::kConservative;
   double work = 0.0;
   int64_t bytes = 0;
   for (auto _ : state) {
     work = 0.0;
     bytes = 0;
     for (const Query& q : benchutil::Workload()) {
-      auto r = StopAfterTopN(db.file(), db.model(), q, 10, opts);
+      auto r = db.Execute(PhysicalStrategy::kStopAfterConservative, q, 10);
       work += r.ValueOrDie().stats.cost.Scalar();
       bytes += r.ValueOrDie().stats.cost.bytes_touched;
     }
@@ -40,8 +38,9 @@ void BM_StopAfterAggressive(benchmark::State& state) {
   const double bias = static_cast<double>(state.range(0)) / 100.0;
   MmDatabase& db = benchutil::Db();
   StopAfterOptions opts;
-  opts.policy = StopAfterPolicy::kAggressive;
   opts.estimate_bias = bias;
+  ExecOptions eopts;
+  eopts.strategy_options = opts;
   double work = 0.0;
   int64_t bytes = 0;
   int restarts = 0;
@@ -50,7 +49,8 @@ void BM_StopAfterAggressive(benchmark::State& state) {
     bytes = 0;
     restarts = 0;
     for (const Query& q : benchutil::Workload()) {
-      auto r = StopAfterTopN(db.file(), db.model(), q, 10, opts);
+      auto r =
+          db.Execute(PhysicalStrategy::kStopAfterAggressive, q, 10, eopts);
       work += r.ValueOrDie().stats.cost.Scalar();
       bytes += r.ValueOrDie().stats.cost.bytes_touched;
       restarts += r.ValueOrDie().stats.restarts;

@@ -15,6 +15,8 @@ void BM_Probabilistic(benchmark::State& state) {
   MmDatabase& db = benchutil::Db();
   ProbabilisticOptions opts;
   opts.confidence = confidence;
+  ExecOptions eopts;
+  eopts.strategy_options = opts;
   double work = 0.0;
   int64_t bytes = 0;
   int restarts = 0;
@@ -23,7 +25,7 @@ void BM_Probabilistic(benchmark::State& state) {
     bytes = 0;
     restarts = 0;
     for (const Query& q : benchutil::Workload()) {
-      auto r = ProbabilisticTopN(db.file(), db.model(), q, 10, opts);
+      auto r = db.Execute(PhysicalStrategy::kProbabilistic, q, 10, eopts);
       work += r.ValueOrDie().stats.cost.Scalar();
       bytes += r.ValueOrDie().stats.cost.bytes_touched;
       restarts += r.ValueOrDie().stats.restarts;

@@ -34,8 +34,10 @@ void BM_CostModelPerStrategy(benchmark::State& state) {
   state.counters["measured"] = measured;
   state.counters["ratio"] = measured > 0 ? predicted / measured : 0.0;
 }
+// Range bounds come from the exec registry: new registered strategies are
+// swept automatically.
 BENCHMARK(BM_CostModelPerStrategy)
-    ->DenseRange(0, 12, 1)
+    ->DenseRange(0, static_cast<int>(AllStrategies().size()) - 1, 1)
     ->Unit(benchmark::kMillisecond);
 
 /// Rank agreement: Spearman correlation between predicted and measured

@@ -4,14 +4,30 @@
 #ifndef MOA_BENCH_BENCH_UTIL_H_
 #define MOA_BENCH_BENCH_UTIL_H_
 
+#include <cstdio>
+#include <cstdlib>
 #include <memory>
+#include <string_view>
 #include <vector>
 
 #include "engine/database.h"
+#include "exec/registry.h"
 #include "ir/query_gen.h"
 
 namespace moa {
 namespace benchutil {
+
+/// Resolves a registered strategy by name (exec-registry backed); aborts
+/// loudly on unknown names so bench setup errors cannot pass silently.
+inline PhysicalStrategy StrategyOrDie(std::string_view name) {
+  std::optional<PhysicalStrategy> s = StrategyFromName(name);
+  if (!s.has_value()) {
+    std::fprintf(stderr, "unknown strategy name: %.*s\n",
+                 static_cast<int>(name.size()), name.data());
+    std::abort();
+  }
+  return *s;
+}
 
 /// TREC-FT-scale-ish synthetic database (scaled to laptop seconds):
 /// 20k docs, 30k vocabulary, Zipf skew 1.0, BM25, 5% fragmentation.

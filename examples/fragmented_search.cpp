@@ -8,8 +8,6 @@
 
 #include "engine/database.h"
 #include "ir/metrics.h"
-#include "topn/baselines.h"
-#include "topn/fragment_topn.h"
 
 using namespace moa;
 
@@ -30,7 +28,6 @@ int main() {
   qconfig.distribution = QueryTermDistribution::kMixed;
   auto queries = GenerateQueries(db->collection(), qconfig).ValueOrDie();
 
-  std::unordered_map<TermId, SparseIndex> cache;
   std::printf("%-6s %-22s %-12s %-12s\n", "query", "strategy", "work",
               "overlap@10");
   double sums[4] = {0, 0, 0, 0};
@@ -40,19 +37,17 @@ int main() {
     auto truth = db->GroundTruth(q, 10);
     auto scores = db->GroundTruthScores(q);
 
-    TopNResult full = FullSortTopN(db->file(), db->model(), q, 10);
+    // All four run through the exec registry; the sparse probe reuses the
+    // database's shared sparse-index cache.
+    TopNResult full =
+        db->Execute(PhysicalStrategy::kFullSort, q, 10).ValueOrDie();
     TopNResult unsafe_r =
-        SmallFragmentTopN(db->file(), db->fragmentation(), db->model(), q, 10);
-    QualitySwitchOptions switch_opts;  // full scan, threshold 0: safe
-    auto safe_r = QualitySwitchTopN(db->file(), db->fragmentation(),
-                                    db->model(), q, 10, switch_opts)
-                      .ValueOrDie();
-    QualitySwitchOptions sparse_opts;
-    sparse_opts.mode = LargeFragmentMode::kSparseProbe;
-    sparse_opts.sparse_cache = &cache;
-    auto sparse_r = QualitySwitchTopN(db->file(), db->fragmentation(),
-                                      db->model(), q, 10, sparse_opts)
-                        .ValueOrDie();
+        db->Execute(PhysicalStrategy::kSmallFragment, q, 10).ValueOrDie();
+    auto safe_r =  // full scan, threshold 0: safe
+        db->Execute(PhysicalStrategy::kQualitySwitchFull, q, 10).ValueOrDie();
+    auto sparse_r =
+        db->Execute(PhysicalStrategy::kQualitySwitchSparse, q, 10)
+            .ValueOrDie();
 
     const TopNResult* results[4] = {&full, &unsafe_r, &safe_r, &sparse_r};
     const char* names[4] = {"full", "unsafe-small", "safe-switch",

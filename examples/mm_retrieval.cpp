@@ -12,7 +12,6 @@
 #include <cstdio>
 
 #include "engine/database.h"
-#include "topn/fagin.h"
 
 using namespace moa;
 
@@ -39,7 +38,8 @@ int main() {
   // Rank with TA: sorted access walks each modality's impact list; random
   // access completes scores across modalities; processing stops once the
   // top 5 is certain.
-  auto ta = FaginTA(db->file(), db->model(), query, 5).ValueOrDie();
+  auto ta = db->Execute(StrategyFromName("fagin_ta").value(), query, 5)
+                .ValueOrDie();
   std::printf("TA: %s\n", ta.stats.ToString().c_str());
 
   int64_t volume = 0;

@@ -1,14 +1,27 @@
 // Quickstart: open an in-memory MM database, run a top-10 query with the
 // cost-based optimizer, inspect the plan and the statistics.
 //
-//   $ ./examples/quickstart
+//   $ ./example_quickstart             # cost-based strategy choice
+//   $ ./example_quickstart fagin_ta    # force a strategy by name
 #include <cstdio>
 
 #include "engine/database.h"
 
 using namespace moa;
 
-int main() {
+int main(int argc, char** argv) {
+  // Optional argv[1]: force a strategy by its registry name.
+  std::optional<PhysicalStrategy> forced;
+  if (argc > 1) {
+    forced = StrategyFromName(argv[1]);
+    if (!forced.has_value()) {
+      std::fprintf(stderr, "unknown strategy '%s'; registered:\n", argv[1]);
+      for (PhysicalStrategy s : AllStrategies()) {
+        std::fprintf(stderr, "  %s\n", StrategyName(s));
+      }
+      return 1;
+    }
+  }
   // 1. Open a database over a synthetic Zipf collection (the library's
   //    stand-in for TREC-FT; see DESIGN.md §1) with 5% fragmentation.
   DatabaseConfig config;
@@ -42,6 +55,7 @@ int main() {
   for (size_t qi = 0; qi < queries.size(); ++qi) {
     SearchOptions opts;
     opts.n = 10;
+    opts.force = forced;
     std::printf("--- query %zu (terms:", qi);
     for (TermId t : queries[qi].terms) std::printf(" %u", t);
     std::printf(")\n");

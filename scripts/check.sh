@@ -1,0 +1,12 @@
+#!/usr/bin/env bash
+# Tier-1 verify pipeline: configure, build everything, run the test suite.
+#   $ scripts/check.sh [build-dir]
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+BUILD_DIR="${1:-build}"
+
+cmake -B "$BUILD_DIR" -S .
+cmake --build "$BUILD_DIR" -j"$(nproc)"
+cd "$BUILD_DIR"
+ctest --output-on-failure -j"$(nproc)"

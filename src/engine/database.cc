@@ -1,11 +1,8 @@
 #include "engine/database.h"
 
 #include "common/timer.h"
-#include "topn/baselines.h"
-#include "topn/fagin.h"
-#include "topn/maxscore.h"
-#include "topn/probabilistic.h"
-#include "topn/stop_after.h"
+#include "exec/registry.h"
+#include "optimizer/explain.h"
 
 namespace moa {
 
@@ -41,62 +38,28 @@ Result<std::unique_ptr<MmDatabase>> MmDatabase::Open(
   return db;
 }
 
+ExecContext MmDatabase::exec_context() {
+  ExecContext context;
+  context.file = &file();
+  context.model = model_.get();
+  context.fragmentation = &fragmentation_;
+  context.sparse_cache = &sparse_cache_;
+  return context;
+}
+
 Result<TopNResult> MmDatabase::Execute(PhysicalStrategy strategy,
                                        const Query& query, size_t n,
                                        double switch_threshold) {
-  const InvertedFile& f = file();
-  switch (strategy) {
-    case PhysicalStrategy::kFullSort:
-      return FullSortTopN(f, *model_, query, n);
-    case PhysicalStrategy::kHeap:
-      return HeapTopN(f, *model_, query, n);
-    case PhysicalStrategy::kFaginFA:
-      return FaginFA(f, *model_, query, n);
-    case PhysicalStrategy::kFaginTA:
-      return FaginTA(f, *model_, query, n);
-    case PhysicalStrategy::kFaginNRA:
-      return FaginNRA(f, *model_, query, n);
-    case PhysicalStrategy::kStopAfterConservative: {
-      StopAfterOptions opts;
-      opts.policy = StopAfterPolicy::kConservative;
-      return StopAfterTopN(f, *model_, query, n, opts);
-    }
-    case PhysicalStrategy::kStopAfterAggressive: {
-      StopAfterOptions opts;
-      opts.policy = StopAfterPolicy::kAggressive;
-      return StopAfterTopN(f, *model_, query, n, opts);
-    }
-    case PhysicalStrategy::kProbabilistic: {
-      ProbabilisticOptions opts;
-      return ProbabilisticTopN(f, *model_, query, n, opts);
-    }
-    case PhysicalStrategy::kSmallFragment:
-      return SmallFragmentTopN(f, fragmentation_, *model_, query, n);
-    case PhysicalStrategy::kQualitySwitchFull: {
-      QualitySwitchOptions opts;
-      opts.switch_threshold = switch_threshold;
-      opts.mode = LargeFragmentMode::kFullScan;
-      return QualitySwitchTopN(f, fragmentation_, *model_, query, n, opts);
-    }
-    case PhysicalStrategy::kQualitySwitchSparse: {
-      QualitySwitchOptions opts;
-      opts.switch_threshold = switch_threshold;
-      opts.mode = LargeFragmentMode::kSparseProbe;
-      opts.sparse_cache = &sparse_cache_;
-      return QualitySwitchTopN(f, fragmentation_, *model_, query, n, opts);
-    }
-    case PhysicalStrategy::kMaxScore: {
-      MaxScoreOptions opts;
-      opts.mode = PruneMode::kContinue;
-      return MaxScoreTopN(f, *model_, query, n, opts);
-    }
-    case PhysicalStrategy::kQuitPrune: {
-      MaxScoreOptions opts;
-      opts.mode = PruneMode::kQuit;
-      return MaxScoreTopN(f, *model_, query, n, opts);
-    }
-  }
-  return Status::Internal("unhandled strategy");
+  ExecOptions options;
+  options.switch_threshold = switch_threshold;
+  return Execute(strategy, query, n, options);
+}
+
+Result<TopNResult> MmDatabase::Execute(PhysicalStrategy strategy,
+                                       const Query& query, size_t n,
+                                       const ExecOptions& options) {
+  return StrategyRegistry::Global().Execute(strategy, exec_context(), query,
+                                            n, options);
 }
 
 Result<SearchResult> MmDatabase::Search(const Query& query,
@@ -111,9 +74,12 @@ Result<SearchResult> MmDatabase::Search(const Query& query,
   out.strategy = plan.ValueOrDie().strategy;
   out.estimate = plan.ValueOrDie().chosen;
 
+  ExecOptions eopts;
+  eopts.switch_threshold = options.switch_threshold;
+
   WallTimer timer;
   Result<TopNResult> top =
-      Execute(out.strategy, query, options.n, options.switch_threshold);
+      plan.ValueOrDie().Execute(exec_context(), query, options.n, eopts);
   if (!top.ok()) return top.status();
   out.wall_millis = timer.ElapsedMillis();
   out.top = std::move(top).ValueOrDie();

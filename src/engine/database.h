@@ -12,6 +12,7 @@
 #include <string>
 #include <unordered_map>
 
+#include "exec/executor.h"
 #include "ir/collection.h"
 #include "ir/exact_eval.h"
 #include "ir/metrics.h"
@@ -64,6 +65,16 @@ class MmDatabase {
   /// Executes a specific strategy directly (shared by Search and benches).
   Result<TopNResult> Execute(PhysicalStrategy strategy, const Query& query,
                              size_t n, double switch_threshold = 0.0);
+
+  /// Registry execution with full per-strategy options (no default: keeps
+  /// the legacy overload above unambiguous).
+  Result<TopNResult> Execute(PhysicalStrategy strategy, const Query& query,
+                             size_t n, const ExecOptions& options);
+
+  /// Borrowed exec-layer view of this database's state; hand it to
+  /// StrategyRegistry::Global().Execute (benches swap in their own
+  /// fragmentation or sparse cache before doing so).
+  ExecContext exec_context();
 
   /// Exact ground truth for quality evaluation.
   std::vector<ScoredDoc> GroundTruth(const Query& query, size_t n) const;

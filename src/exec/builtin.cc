@@ -1,0 +1,16 @@
+#include "exec/builtin.h"
+
+#include "exec/registry.h"
+
+namespace moa {
+
+void RegisterBuiltinExecutors(StrategyRegistry& registry) {
+  RegisterBaselineExecutors(registry);
+  RegisterFaginExecutors(registry);
+  RegisterStopAfterExecutors(registry);
+  RegisterProbabilisticExecutors(registry);
+  RegisterFragmentExecutors(registry);
+  RegisterMaxScoreExecutors(registry);
+}
+
+}  // namespace moa

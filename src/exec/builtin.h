@@ -1,0 +1,28 @@
+// Registration hooks for the built-in strategy executors.
+//
+// Each executor family lives in one file under exec/executors/ and exposes
+// one hook; RegisterBuiltinExecutors (builtin.cc) is the only list of
+// them. Explicit registration (instead of static registrar objects) keeps
+// the strategies linker-proof inside a static library.
+#ifndef MOA_EXEC_BUILTIN_H_
+#define MOA_EXEC_BUILTIN_H_
+
+namespace moa {
+
+class StrategyRegistry;
+
+/// Registers every built-in executor family; called once by
+/// StrategyRegistry::Global().
+void RegisterBuiltinExecutors(StrategyRegistry& registry);
+
+// Per-family hooks (exec/executors/*.cc).
+void RegisterBaselineExecutors(StrategyRegistry& registry);
+void RegisterFaginExecutors(StrategyRegistry& registry);
+void RegisterStopAfterExecutors(StrategyRegistry& registry);
+void RegisterProbabilisticExecutors(StrategyRegistry& registry);
+void RegisterFragmentExecutors(StrategyRegistry& registry);
+void RegisterMaxScoreExecutors(StrategyRegistry& registry);
+
+}  // namespace moa
+
+#endif  // MOA_EXEC_BUILTIN_H_

@@ -1,0 +1,53 @@
+// ExecContext: everything a physical strategy needs to run.
+//
+// The engine (or a bench with its own fragmentation / sparse cache) fills
+// one of these and hands it to the StrategyRegistry; executors never reach
+// back into MmDatabase. Work accounting flows through the thread-local
+// CostTicker: the registry wraps every execution in a CostScope, so
+// TopNResult.stats.cost is populated even for operators that do not keep
+// their own frame.
+#ifndef MOA_EXEC_EXEC_CONTEXT_H_
+#define MOA_EXEC_EXEC_CONTEXT_H_
+
+#include <unordered_map>
+
+#include "common/cost_ticker.h"
+#include "common/status.h"
+#include "ir/scoring.h"
+#include "storage/fragmentation.h"
+#include "storage/inverted_file.h"
+#include "storage/sparse_index.h"
+
+namespace moa {
+
+/// \brief Borrowed execution state shared by all strategy executors.
+///
+/// All pointers are non-owning; `file` and `model` are required, the rest
+/// are optional capabilities a strategy may demand via Validate().
+struct ExecContext {
+  const InvertedFile* file = nullptr;
+  const ScoringModel* model = nullptr;
+  /// Step-1 fragmentation; required by fragment strategies only.
+  const Fragmentation* fragmentation = nullptr;
+  /// Shared sparse-index cache for kSparseProbe (built on demand when
+  /// absent; nullptr makes the probe build throw-away indexes).
+  std::unordered_map<TermId, SparseIndex>* sparse_cache = nullptr;
+
+  /// OK iff the required pieces are present.
+  Status Validate(bool needs_fragmentation = false) const {
+    if (file == nullptr) {
+      return Status::FailedPrecondition("ExecContext: missing inverted file");
+    }
+    if (model == nullptr) {
+      return Status::FailedPrecondition("ExecContext: missing scoring model");
+    }
+    if (needs_fragmentation && fragmentation == nullptr) {
+      return Status::FailedPrecondition("ExecContext: missing fragmentation");
+    }
+    return Status::OK();
+  }
+};
+
+}  // namespace moa
+
+#endif  // MOA_EXEC_EXEC_CONTEXT_H_

@@ -1,0 +1,61 @@
+// StrategyExecutor: the uniform interface every physical top-N strategy is
+// executed through, plus the unified ExecOptions bundle.
+//
+// The legacy free functions in src/topn/ keep their heterogeneous
+// signatures (they remain the implementation and the source-compatible
+// API); executors adapt them to one shape so the engine, the planner's
+// RetrievalPlan::Execute, Explain and the benches all dispatch identically
+// through the StrategyRegistry.
+#ifndef MOA_EXEC_EXECUTOR_H_
+#define MOA_EXEC_EXECUTOR_H_
+
+#include <variant>
+
+#include "exec/exec_context.h"
+#include "ir/query_gen.h"
+#include "topn/fagin.h"
+#include "topn/fragment_topn.h"
+#include "topn/maxscore.h"
+#include "topn/probabilistic.h"
+#include "topn/stop_after.h"
+#include "topn/topn_result.h"
+
+namespace moa {
+
+/// \brief Per-execution tuning carried to an executor factory.
+///
+/// `strategy_options` carries at most one strategy-specific option struct;
+/// a factory uses it when the alternative matches its strategy family and
+/// falls back to per-strategy defaults (seeded from the common knobs
+/// below) otherwise. This is what lets callers that only know the common
+/// knobs — e.g. MmDatabase::Search with its switch_threshold — dispatch
+/// without per-strategy code.
+struct ExecOptions {
+  /// Quality-switch threshold used by fragment strategies when no explicit
+  /// QualitySwitchOptions is supplied.
+  double switch_threshold = 0.0;
+
+  std::variant<std::monostate, FaginOptions, StopAfterOptions,
+               ProbabilisticOptions, QualitySwitchOptions, MaxScoreOptions>
+      strategy_options;
+
+  /// The strategy-specific options if they are of type T, else nullptr.
+  template <typename T>
+  const T* GetIf() const {
+    return std::get_if<T>(&strategy_options);
+  }
+};
+
+/// \brief Uniform execution interface over all physical strategies.
+class StrategyExecutor {
+ public:
+  virtual ~StrategyExecutor() = default;
+
+  /// Runs the strategy for (query, n) against the borrowed context.
+  virtual Result<TopNResult> Execute(const ExecContext& context,
+                                     const Query& query, size_t n) const = 0;
+};
+
+}  // namespace moa
+
+#endif  // MOA_EXEC_EXECUTOR_H_

@@ -1,0 +1,41 @@
+// Executors for the baseline strategies (topn/baselines.h): the
+// unoptimized full sort and the bounded-heap scan.
+#include "exec/builtin.h"
+#include "exec/registry.h"
+#include "topn/baselines.h"
+
+namespace moa {
+namespace {
+
+class FullSortExecutor : public StrategyExecutor {
+ public:
+  Result<TopNResult> Execute(const ExecContext& context, const Query& query,
+                             size_t n) const override {
+    MOA_RETURN_NOT_OK(context.Validate());
+    return FullSortTopN(*context.file, *context.model, query, n);
+  }
+};
+
+class HeapExecutor : public StrategyExecutor {
+ public:
+  Result<TopNResult> Execute(const ExecContext& context, const Query& query,
+                             size_t n) const override {
+    MOA_RETURN_NOT_OK(context.Validate());
+    return HeapTopN(*context.file, *context.model, query, n);
+  }
+};
+
+}  // namespace
+
+void RegisterBaselineExecutors(StrategyRegistry& registry) {
+  registry.MustRegister(PhysicalStrategy::kFullSort, "full_sort",
+                        /*safe=*/true, [](const ExecOptions&) {
+                          return std::make_unique<FullSortExecutor>();
+                        });
+  registry.MustRegister(PhysicalStrategy::kHeap, "heap", /*safe=*/true,
+                        [](const ExecOptions&) {
+                          return std::make_unique<HeapExecutor>();
+                        });
+}
+
+}  // namespace moa

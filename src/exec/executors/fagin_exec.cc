@@ -1,0 +1,51 @@
+// Executors for the Fagin family (topn/fagin.h): FA, TA and NRA.
+#include "exec/builtin.h"
+#include "exec/registry.h"
+#include "topn/fagin.h"
+
+namespace moa {
+namespace {
+
+FaginOptions OptionsFrom(const ExecOptions& options) {
+  if (const FaginOptions* o = options.GetIf<FaginOptions>()) return *o;
+  return FaginOptions{};
+}
+
+using FaginFn = Result<TopNResult> (*)(const InvertedFile&,
+                                       const ScoringModel&, const Query&,
+                                       size_t, const FaginOptions&);
+
+class FaginExecutor : public StrategyExecutor {
+ public:
+  FaginExecutor(FaginFn fn, FaginOptions options)
+      : fn_(fn), options_(options) {}
+
+  Result<TopNResult> Execute(const ExecContext& context, const Query& query,
+                             size_t n) const override {
+    MOA_RETURN_NOT_OK(context.Validate());
+    return fn_(*context.file, *context.model, query, n, options_);
+  }
+
+ private:
+  FaginFn fn_;
+  FaginOptions options_;
+};
+
+void RegisterOne(StrategyRegistry& registry, PhysicalStrategy strategy,
+                 const char* name, FaginFn fn) {
+  registry.MustRegister(strategy, name, /*safe=*/true,
+                        [fn](const ExecOptions& options) {
+                          return std::make_unique<FaginExecutor>(
+                              fn, OptionsFrom(options));
+                        });
+}
+
+}  // namespace
+
+void RegisterFaginExecutors(StrategyRegistry& registry) {
+  RegisterOne(registry, PhysicalStrategy::kFaginFA, "fagin_fa", &FaginFA);
+  RegisterOne(registry, PhysicalStrategy::kFaginTA, "fagin_ta", &FaginTA);
+  RegisterOne(registry, PhysicalStrategy::kFaginNRA, "fagin_nra", &FaginNRA);
+}
+
+}  // namespace moa

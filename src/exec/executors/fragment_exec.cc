@@ -1,0 +1,71 @@
+// Executors for the paper's Step-1 fragment strategies
+// (topn/fragment_topn.h): small-fragment-only, quality-switch with a full
+// large-fragment scan, and quality-switch with sparse-index probes.
+#include "exec/builtin.h"
+#include "exec/registry.h"
+#include "topn/fragment_topn.h"
+
+namespace moa {
+namespace {
+
+class SmallFragmentExecutor : public StrategyExecutor {
+ public:
+  Result<TopNResult> Execute(const ExecContext& context, const Query& query,
+                             size_t n) const override {
+    MOA_RETURN_NOT_OK(context.Validate(/*needs_fragmentation=*/true));
+    return SmallFragmentTopN(*context.file, *context.fragmentation,
+                             *context.model, query, n);
+  }
+};
+
+class QualitySwitchExecutor : public StrategyExecutor {
+ public:
+  explicit QualitySwitchExecutor(QualitySwitchOptions options)
+      : options_(options) {}
+
+  Result<TopNResult> Execute(const ExecContext& context, const Query& query,
+                             size_t n) const override {
+    MOA_RETURN_NOT_OK(context.Validate(/*needs_fragmentation=*/true));
+    QualitySwitchOptions opts = options_;
+    if (opts.sparse_cache == nullptr) opts.sparse_cache = context.sparse_cache;
+    return QualitySwitchTopN(*context.file, *context.fragmentation,
+                             *context.model, query, n, opts);
+  }
+
+ private:
+  QualitySwitchOptions options_;
+};
+
+void RegisterSwitch(StrategyRegistry& registry, PhysicalStrategy strategy,
+                    const char* name, bool safe, LargeFragmentMode mode) {
+  registry.MustRegister(
+      strategy, name, safe,
+      [mode](const ExecOptions& options) {
+        QualitySwitchOptions opts;
+        if (const QualitySwitchOptions* o =
+                options.GetIf<QualitySwitchOptions>()) {
+          opts = *o;
+        } else {
+          opts.switch_threshold = options.switch_threshold;
+        }
+        opts.mode = mode;
+        return std::make_unique<QualitySwitchExecutor>(opts);
+      });
+}
+
+}  // namespace
+
+void RegisterFragmentExecutors(StrategyRegistry& registry) {
+  registry.MustRegister(PhysicalStrategy::kSmallFragment, "small_fragment",
+                        /*safe=*/false, [](const ExecOptions&) {
+                          return std::make_unique<SmallFragmentExecutor>();
+                        });
+  RegisterSwitch(registry, PhysicalStrategy::kQualitySwitchFull,
+                 "quality_switch_full", /*safe=*/true,
+                 LargeFragmentMode::kFullScan);
+  RegisterSwitch(registry, PhysicalStrategy::kQualitySwitchSparse,
+                 "quality_switch_sparse", /*safe=*/false,
+                 LargeFragmentMode::kSparseProbe);
+}
+
+}  // namespace moa

@@ -1,0 +1,47 @@
+// Executors for term-at-a-time max-score pruning (topn/maxscore.h):
+// the safe `continue` mode and the unsafe Moffat–Zobel-style `quit`.
+#include "exec/builtin.h"
+#include "exec/registry.h"
+#include "topn/maxscore.h"
+
+namespace moa {
+namespace {
+
+class MaxScoreExecutor : public StrategyExecutor {
+ public:
+  explicit MaxScoreExecutor(MaxScoreOptions options) : options_(options) {}
+
+  Result<TopNResult> Execute(const ExecContext& context, const Query& query,
+                             size_t n) const override {
+    MOA_RETURN_NOT_OK(context.Validate());
+    return MaxScoreTopN(*context.file, *context.model, query, n, options_);
+  }
+
+ private:
+  MaxScoreOptions options_;
+};
+
+void RegisterOne(StrategyRegistry& registry, PhysicalStrategy strategy,
+                 const char* name, bool safe, PruneMode mode) {
+  registry.MustRegister(
+      strategy, name, safe,
+      [mode](const ExecOptions& options) {
+        MaxScoreOptions opts;
+        if (const MaxScoreOptions* o = options.GetIf<MaxScoreOptions>()) {
+          opts = *o;
+        }
+        opts.mode = mode;
+        return std::make_unique<MaxScoreExecutor>(opts);
+      });
+}
+
+}  // namespace
+
+void RegisterMaxScoreExecutors(StrategyRegistry& registry) {
+  RegisterOne(registry, PhysicalStrategy::kMaxScore, "maxscore",
+              /*safe=*/true, PruneMode::kContinue);
+  RegisterOne(registry, PhysicalStrategy::kQuitPrune, "quit_prune",
+              /*safe=*/false, PruneMode::kQuit);
+}
+
+}  // namespace moa

@@ -1,0 +1,41 @@
+// Executor for the Donjerkovic–Ramakrishnan probabilistic cutoff
+// (topn/probabilistic.h).
+#include "exec/builtin.h"
+#include "exec/registry.h"
+#include "topn/probabilistic.h"
+
+namespace moa {
+namespace {
+
+class ProbabilisticExecutor : public StrategyExecutor {
+ public:
+  explicit ProbabilisticExecutor(ProbabilisticOptions options)
+      : options_(options) {}
+
+  Result<TopNResult> Execute(const ExecContext& context, const Query& query,
+                             size_t n) const override {
+    MOA_RETURN_NOT_OK(context.Validate());
+    return ProbabilisticTopN(*context.file, *context.model, query, n,
+                             options_);
+  }
+
+ private:
+  ProbabilisticOptions options_;
+};
+
+}  // namespace
+
+void RegisterProbabilisticExecutors(StrategyRegistry& registry) {
+  registry.MustRegister(
+      PhysicalStrategy::kProbabilistic, "probabilistic", /*safe=*/true,
+      [](const ExecOptions& options) {
+        ProbabilisticOptions opts;
+        if (const ProbabilisticOptions* o =
+                options.GetIf<ProbabilisticOptions>()) {
+          opts = *o;
+        }
+        return std::make_unique<ProbabilisticExecutor>(opts);
+      });
+}
+
+}  // namespace moa

@@ -1,0 +1,46 @@
+// Executors for Carey–Kossmann STOP AFTER placements (topn/stop_after.h).
+#include "exec/builtin.h"
+#include "exec/registry.h"
+#include "topn/stop_after.h"
+
+namespace moa {
+namespace {
+
+class StopAfterExecutor : public StrategyExecutor {
+ public:
+  explicit StopAfterExecutor(StopAfterOptions options) : options_(options) {}
+
+  Result<TopNResult> Execute(const ExecContext& context, const Query& query,
+                             size_t n) const override {
+    MOA_RETURN_NOT_OK(context.Validate());
+    return StopAfterTopN(*context.file, *context.model, query, n, options_);
+  }
+
+ private:
+  StopAfterOptions options_;
+};
+
+void RegisterOne(StrategyRegistry& registry, PhysicalStrategy strategy,
+                 const char* name, StopAfterPolicy policy) {
+  registry.MustRegister(
+      strategy, name, /*safe=*/true,
+      [policy](const ExecOptions& options) {
+        StopAfterOptions opts;
+        if (const StopAfterOptions* o = options.GetIf<StopAfterOptions>()) {
+          opts = *o;
+        }
+        opts.policy = policy;
+        return std::make_unique<StopAfterExecutor>(opts);
+      });
+}
+
+}  // namespace
+
+void RegisterStopAfterExecutors(StrategyRegistry& registry) {
+  RegisterOne(registry, PhysicalStrategy::kStopAfterConservative,
+              "stop_after_cons", StopAfterPolicy::kConservative);
+  RegisterOne(registry, PhysicalStrategy::kStopAfterAggressive,
+              "stop_after_aggr", StopAfterPolicy::kAggressive);
+}
+
+}  // namespace moa

@@ -1,0 +1,105 @@
+#include "exec/registry.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "exec/builtin.h"
+
+namespace moa {
+
+StrategyRegistry& StrategyRegistry::Global() {
+  static StrategyRegistry* registry = [] {
+    auto* r = new StrategyRegistry();
+    RegisterBuiltinExecutors(*r);
+    return r;
+  }();
+  return *registry;
+}
+
+Status StrategyRegistry::Register(PhysicalStrategy strategy, std::string name,
+                                  bool safe, Factory factory) {
+  if (!factory) {
+    return Status::InvalidArgument("null factory for strategy " + name);
+  }
+  if (entries_.count(strategy) > 0) {
+    return Status::InvalidArgument("strategy already registered: " + name);
+  }
+  if (FromName(name).has_value()) {
+    return Status::InvalidArgument("strategy name already taken: " + name);
+  }
+  entries_.emplace(strategy,
+                   Entry{std::move(name), safe, std::move(factory)});
+  return Status::OK();
+}
+
+void StrategyRegistry::MustRegister(PhysicalStrategy strategy,
+                                    std::string name, bool safe,
+                                    Factory factory) {
+  const std::string shown = name;
+  Status st = Register(strategy, std::move(name), safe, std::move(factory));
+  if (!st.ok()) {
+    std::fprintf(stderr, "fatal: registering strategy '%s': %s\n",
+                 shown.c_str(), st.ToString().c_str());
+    std::abort();
+  }
+}
+
+bool StrategyRegistry::Has(PhysicalStrategy strategy) const {
+  return entries_.count(strategy) > 0;
+}
+
+const StrategyRegistry::Entry* StrategyRegistry::Find(
+    PhysicalStrategy strategy) const {
+  auto it = entries_.find(strategy);
+  return it == entries_.end() ? nullptr : &it->second;
+}
+
+std::optional<PhysicalStrategy> StrategyRegistry::FromName(
+    std::string_view name) const {
+  for (const auto& [strategy, entry] : entries_) {
+    if (entry.name == name) return strategy;
+  }
+  return std::nullopt;
+}
+
+std::vector<PhysicalStrategy> StrategyRegistry::Registered() const {
+  std::vector<PhysicalStrategy> out;
+  out.reserve(entries_.size());
+  for (const auto& [strategy, entry] : entries_) out.push_back(strategy);
+  return out;
+}
+
+Result<std::unique_ptr<StrategyExecutor>> StrategyRegistry::Make(
+    PhysicalStrategy strategy, const ExecOptions& options) const {
+  const Entry* entry = Find(strategy);
+  if (entry == nullptr) {
+    return Status::NotFound("no executor registered for strategy " +
+                            std::to_string(static_cast<int>(strategy)));
+  }
+  std::unique_ptr<StrategyExecutor> executor = entry->factory(options);
+  if (executor == nullptr) {
+    return Status::Internal("factory returned null for " + entry->name);
+  }
+  return executor;
+}
+
+Result<TopNResult> StrategyRegistry::Execute(PhysicalStrategy strategy,
+                                             const ExecContext& context,
+                                             const Query& query, size_t n,
+                                             const ExecOptions& options) const {
+  Result<std::unique_ptr<StrategyExecutor>> executor = Make(strategy, options);
+  if (!executor.ok()) return executor.status();
+  CostScope scope;
+  Result<TopNResult> out = executor.ValueOrDie()->Execute(context, query, n);
+  if (out.ok()) {
+    // Operators report their own CostScope delta; backfill from the
+    // registry's frame for executors that do not.
+    TopNResult& result = out.ValueOrDie();
+    if (result.stats.cost.Scalar() == 0.0) {
+      result.stats.cost = scope.Snapshot();
+    }
+  }
+  return out;
+}
+
+}  // namespace moa

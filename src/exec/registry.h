@@ -1,0 +1,77 @@
+// StrategyRegistry: the single place where physical strategies are
+// enumerated — maps each PhysicalStrategy to its executor factory plus the
+// name/safety metadata behind StrategyName / IsSafeStrategy /
+// AllStrategies / StrategyFromName.
+//
+// Adding a strategy: add the enum value (exec/strategy.h), write one
+// executor file under exec/executors/ with a RegisterXxxExecutors hook,
+// and call that hook from RegisterBuiltinExecutors (exec/builtin.cc).
+// Engine, planner, Explain, tests and benches pick it up automatically.
+#ifndef MOA_EXEC_REGISTRY_H_
+#define MOA_EXEC_REGISTRY_H_
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "exec/executor.h"
+#include "exec/strategy.h"
+
+namespace moa {
+
+/// \brief Maps every PhysicalStrategy to an executor factory + metadata.
+class StrategyRegistry {
+ public:
+  using Factory =
+      std::function<std::unique_ptr<StrategyExecutor>(const ExecOptions&)>;
+
+  /// \brief One registered strategy.
+  struct Entry {
+    std::string name;   ///< stable string id (StrategyName / FromName)
+    bool safe = true;   ///< returns the exact top-N ranking or set
+    Factory factory;
+  };
+
+  /// The process-wide registry, populated with the built-in executors on
+  /// first use.
+  static StrategyRegistry& Global();
+
+  /// Registers a strategy; rejects duplicate strategies and names.
+  Status Register(PhysicalStrategy strategy, std::string name, bool safe,
+                  Factory factory);
+
+  /// Register that aborts the process on failure — for built-in
+  /// registration, where a duplicate strategy or name is a programming
+  /// error that must not silently drop an executor.
+  void MustRegister(PhysicalStrategy strategy, std::string name, bool safe,
+                    Factory factory);
+
+  bool Has(PhysicalStrategy strategy) const;
+  /// The entry for `strategy`, or nullptr if unregistered.
+  const Entry* Find(PhysicalStrategy strategy) const;
+  /// Resolves a registered name back to its strategy.
+  std::optional<PhysicalStrategy> FromName(std::string_view name) const;
+  /// All registered strategies, ascending enum order.
+  std::vector<PhysicalStrategy> Registered() const;
+
+  /// Instantiates an executor for `strategy` with `options`.
+  Result<std::unique_ptr<StrategyExecutor>> Make(
+      PhysicalStrategy strategy, const ExecOptions& options) const;
+
+  /// One-shot execution: instantiate, run inside a CostScope, and make
+  /// sure the result carries cost counters.
+  Result<TopNResult> Execute(PhysicalStrategy strategy,
+                             const ExecContext& context, const Query& query,
+                             size_t n, const ExecOptions& options = {}) const;
+
+ private:
+  std::map<PhysicalStrategy, Entry> entries_;
+};
+
+}  // namespace moa
+
+#endif  // MOA_EXEC_REGISTRY_H_

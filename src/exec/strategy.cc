@@ -1,0 +1,27 @@
+#include "exec/strategy.h"
+
+#include "exec/registry.h"
+
+namespace moa {
+
+const char* StrategyName(PhysicalStrategy s) {
+  const StrategyRegistry::Entry* entry = StrategyRegistry::Global().Find(s);
+  return entry != nullptr ? entry->name.c_str() : "?";
+}
+
+std::optional<PhysicalStrategy> StrategyFromName(std::string_view name) {
+  return StrategyRegistry::Global().FromName(name);
+}
+
+std::vector<PhysicalStrategy> AllStrategies() {
+  return StrategyRegistry::Global().Registered();
+}
+
+bool IsSafeStrategy(PhysicalStrategy s) {
+  const StrategyRegistry::Entry* entry = StrategyRegistry::Global().Find(s);
+  // Unregistered strategies are treated as unsafe so a safe-only planner
+  // can never pick something it cannot execute exactly.
+  return entry != nullptr && entry->safe;
+}
+
+}  // namespace moa

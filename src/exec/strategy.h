@@ -1,0 +1,48 @@
+// Physical top-N strategy identifiers and name helpers.
+//
+// This is the bottom of the exec layer: the enum every other layer (topn
+// wrappers aside) talks in. The name/safety metadata behind StrategyName,
+// IsSafeStrategy and AllStrategies lives in the StrategyRegistry entries
+// (see exec/registry.h), so adding a strategy means adding an enum value
+// here plus one registry registration — nothing else enumerates strategies.
+#ifndef MOA_EXEC_STRATEGY_H_
+#define MOA_EXEC_STRATEGY_H_
+
+#include <optional>
+#include <string_view>
+#include <vector>
+
+namespace moa {
+
+/// Physical execution strategies the planner can choose among.
+enum class PhysicalStrategy {
+  kFullSort = 0,
+  kHeap,
+  kFaginFA,
+  kFaginTA,
+  kFaginNRA,
+  kStopAfterConservative,
+  kStopAfterAggressive,
+  kProbabilistic,
+  kSmallFragment,          // unsafe
+  kQualitySwitchFull,      // safe: small pass + checked large full scan
+  kQualitySwitchSparse,    // approximate: large fragment via sparse probes
+  kMaxScore,               // safe: term-at-a-time max-score pruning
+  kQuitPrune,              // unsafe: Moffat-Zobel-style QUIT on the bound
+};
+
+/// Registry-backed display name ("?" for unregistered values).
+const char* StrategyName(PhysicalStrategy s);
+
+/// Inverse of StrategyName: resolves a strategy by its registered name.
+std::optional<PhysicalStrategy> StrategyFromName(std::string_view name);
+
+/// All registered strategies, in enum order.
+std::vector<PhysicalStrategy> AllStrategies();
+
+/// True if the strategy always returns the exact top-N ranking or set.
+bool IsSafeStrategy(PhysicalStrategy s);
+
+}  // namespace moa
+
+#endif  // MOA_EXEC_STRATEGY_H_

@@ -6,52 +6,6 @@
 
 namespace moa {
 
-const char* StrategyName(PhysicalStrategy s) {
-  switch (s) {
-    case PhysicalStrategy::kFullSort: return "full_sort";
-    case PhysicalStrategy::kHeap: return "heap";
-    case PhysicalStrategy::kFaginFA: return "fagin_fa";
-    case PhysicalStrategy::kFaginTA: return "fagin_ta";
-    case PhysicalStrategy::kFaginNRA: return "fagin_nra";
-    case PhysicalStrategy::kStopAfterConservative: return "stop_after_cons";
-    case PhysicalStrategy::kStopAfterAggressive: return "stop_after_aggr";
-    case PhysicalStrategy::kProbabilistic: return "probabilistic";
-    case PhysicalStrategy::kSmallFragment: return "small_fragment";
-    case PhysicalStrategy::kQualitySwitchFull: return "quality_switch_full";
-    case PhysicalStrategy::kQualitySwitchSparse: return "quality_switch_sparse";
-    case PhysicalStrategy::kMaxScore: return "maxscore";
-    case PhysicalStrategy::kQuitPrune: return "quit_prune";
-  }
-  return "?";
-}
-
-std::vector<PhysicalStrategy> AllStrategies() {
-  return {PhysicalStrategy::kFullSort,
-          PhysicalStrategy::kHeap,
-          PhysicalStrategy::kFaginFA,
-          PhysicalStrategy::kFaginTA,
-          PhysicalStrategy::kFaginNRA,
-          PhysicalStrategy::kStopAfterConservative,
-          PhysicalStrategy::kStopAfterAggressive,
-          PhysicalStrategy::kProbabilistic,
-          PhysicalStrategy::kSmallFragment,
-          PhysicalStrategy::kQualitySwitchFull,
-          PhysicalStrategy::kQualitySwitchSparse,
-          PhysicalStrategy::kMaxScore,
-          PhysicalStrategy::kQuitPrune};
-}
-
-bool IsSafeStrategy(PhysicalStrategy s) {
-  switch (s) {
-    case PhysicalStrategy::kSmallFragment:
-    case PhysicalStrategy::kQualitySwitchSparse:
-    case PhysicalStrategy::kQuitPrune:
-      return false;
-    default:
-      return true;
-  }
-}
-
 std::string PlanCostEstimate::ToString() const {
   std::ostringstream os;
   os << StrategyName(strategy) << ": scalar=" << scalar << " "

@@ -11,34 +11,12 @@
 #include <vector>
 
 #include "common/cost_ticker.h"
+// PhysicalStrategy and the name/safety helpers live in the exec layer now;
+// re-exported here for source compatibility with pre-exec callers.
+#include "exec/strategy.h"
 #include "optimizer/cardinality.h"
 
 namespace moa {
-
-/// Physical execution strategies the planner can choose among.
-enum class PhysicalStrategy {
-  kFullSort = 0,
-  kHeap,
-  kFaginFA,
-  kFaginTA,
-  kFaginNRA,
-  kStopAfterConservative,
-  kStopAfterAggressive,
-  kProbabilistic,
-  kSmallFragment,          // unsafe
-  kQualitySwitchFull,      // safe: small pass + checked large full scan
-  kQualitySwitchSparse,    // approximate: large fragment via sparse probes
-  kMaxScore,               // safe: term-at-a-time max-score pruning
-  kQuitPrune,              // unsafe: Moffat-Zobel-style QUIT on the bound
-};
-
-const char* StrategyName(PhysicalStrategy s);
-
-/// All strategies, in enum order.
-std::vector<PhysicalStrategy> AllStrategies();
-
-/// True if the strategy always returns the exact top-N ranking or set.
-bool IsSafeStrategy(PhysicalStrategy s);
 
 /// \brief Predicted work + scalar cost for one (strategy, query, n).
 struct PlanCostEstimate {

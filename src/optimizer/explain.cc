@@ -2,7 +2,9 @@
 
 #include <sstream>
 
+#include "exec/registry.h"
 #include "optimizer/order_property.h"
+#include "optimizer/planner.h"
 
 namespace moa {
 namespace {
@@ -53,6 +55,24 @@ std::string ExplainTrace(const RewriteTrace& trace) {
   for (size_t i = 0; i < trace.fired.size(); ++i) {
     if (i > 0) os << " -> ";
     os << trace.fired[i];
+  }
+  return os.str();
+}
+
+std::string ExplainPlan(const RetrievalPlan& plan) {
+  const StrategyRegistry& registry = StrategyRegistry::Global();
+  std::ostringstream os;
+  os << "chosen: " << StrategyName(plan.strategy) << "\n";
+  os << "alternatives (cheapest first):\n";
+  for (const auto& alt : plan.alternatives) {
+    os << "  " << alt.ToString();
+    const StrategyRegistry::Entry* entry = registry.Find(alt.strategy);
+    if (entry == nullptr) {
+      os << " [unregistered]";
+    } else {
+      os << (entry->safe ? " [safe]" : " [unsafe]");
+    }
+    os << "\n";
   }
   return os.str();
 }

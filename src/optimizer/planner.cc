@@ -1,9 +1,17 @@
 #include "optimizer/planner.h"
 
 #include <algorithm>
-#include <sstream>
+
+#include "exec/registry.h"
 
 namespace moa {
+
+Result<TopNResult> RetrievalPlan::Execute(const ExecContext& context,
+                                          const Query& query, size_t n,
+                                          const ExecOptions& options) const {
+  return StrategyRegistry::Global().Execute(strategy, context, query, n,
+                                            options);
+}
 
 Planner::Planner(const CostModel* model) : model_(model) {}
 
@@ -44,16 +52,6 @@ Result<RetrievalPlan> Planner::Plan(const Query& query, size_t n,
   plan.chosen = plan.alternatives.front();
   plan.strategy = plan.chosen.strategy;
   return plan;
-}
-
-std::string ExplainPlan(const RetrievalPlan& plan) {
-  std::ostringstream os;
-  os << "chosen: " << StrategyName(plan.strategy) << "\n";
-  os << "alternatives (cheapest first):\n";
-  for (const auto& alt : plan.alternatives) {
-    os << "  " << alt.ToString() << "\n";
-  }
-  return os.str();
 }
 
 }  // namespace moa

@@ -7,7 +7,9 @@
 #include <vector>
 
 #include "common/status.h"
+#include "exec/executor.h"
 #include "optimizer/cost_model.h"
+#include "topn/topn_result.h"
 
 namespace moa {
 
@@ -21,12 +23,17 @@ struct PlannerOptions {
   std::vector<PhysicalStrategy> exclude;
 };
 
-/// \brief The planner's decision and its reasoning.
+/// \brief The planner's decision and its reasoning — executable via the
+/// exec-layer StrategyRegistry.
 struct RetrievalPlan {
   PhysicalStrategy strategy;
   PlanCostEstimate chosen;
   /// Every considered alternative, cheapest first (for Explain).
   std::vector<PlanCostEstimate> alternatives;
+
+  /// Runs the chosen strategy through the global StrategyRegistry.
+  Result<TopNResult> Execute(const ExecContext& context, const Query& query,
+                             size_t n, const ExecOptions& options = {}) const;
 };
 
 /// \brief Enumerates available strategies, costs them, picks the cheapest.
@@ -40,9 +47,6 @@ class Planner {
  private:
   const CostModel* model_;
 };
-
-/// Multi-line Explain rendering of a plan decision.
-std::string ExplainPlan(const RetrievalPlan& plan);
 
 }  // namespace moa
 

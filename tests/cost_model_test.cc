@@ -5,6 +5,7 @@
 #include <cmath>
 #include <set>
 
+#include "optimizer/explain.h"
 #include "optimizer/planner.h"
 #include "test_util.h"
 
