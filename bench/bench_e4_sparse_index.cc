@@ -21,9 +21,9 @@ void BM_SparseProbe(benchmark::State& state) {
   const uint32_t block = static_cast<uint32_t>(state.range(0));
   const size_t pool = static_cast<size_t>(state.range(1));
   MmDatabase& db = benchutil::Db();
-  // Per-sweep cache: block size changes between runs, so the database's
-  // shared cache must not be reused here.
-  std::unordered_map<TermId, SparseIndex> cache;
+  // Per-sweep cache: keeps each configuration's build cost inside its own
+  // measurement instead of warming the database's shared cache.
+  SparseIndexCache cache;
   QualitySwitchOptions opts;
   opts.mode = LargeFragmentMode::kSparseProbe;
   opts.sparse_block = block;

@@ -1,12 +1,20 @@
 #!/usr/bin/env bash
 # Tier-1 verify pipeline: configure, build everything, run the test suite.
 #   $ scripts/check.sh [build-dir]
+#
+# CI knobs (all optional):
+#   MOA_CMAKE_ARGS  extra -D flags for configure, e.g. "-DMOA_TSAN=ON"
+#   MOA_CTEST_ARGS  extra ctest flags, e.g. "-R 'search_batch|thread_pool'"
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
 BUILD_DIR="${1:-build}"
 
-cmake -B "$BUILD_DIR" -S .
+# shellcheck disable=SC2086  # word splitting of the arg strings is the point
+cmake -B "$BUILD_DIR" -S . ${MOA_CMAKE_ARGS:-}
 cmake --build "$BUILD_DIR" -j"$(nproc)"
 cd "$BUILD_DIR"
-ctest --output-on-failure -j"$(nproc)"
+# --no-tests=error: a filter that matches nothing (or a missing GTest)
+# must fail the gate, not silently pass it.
+# shellcheck disable=SC2086
+ctest --output-on-failure --no-tests=error -j"$(nproc)" ${MOA_CTEST_ARGS:-}

@@ -74,6 +74,14 @@ double Histogram::ValueWithCountAbove(int64_t count) const {
   return min_;
 }
 
+double Histogram::ValueAtQuantile(double q) const {
+  if (total_ == 0) return min_;
+  q = std::clamp(q, 0.0, 1.0);
+  const int64_t above =
+      total_ - static_cast<int64_t>(std::llround(q * static_cast<double>(total_)));
+  return ValueWithCountAbove(std::max<int64_t>(above, 0));
+}
+
 double Histogram::EstimateRangeCount(double lo, double hi) const {
   if (hi < lo) return 0.0;
   return (CdfAtValue(hi) - CdfAtValue(lo)) * static_cast<double>(total_);

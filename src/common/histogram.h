@@ -38,6 +38,10 @@ class Histogram {
   /// This is the Donjerkovic–Ramakrishnan cutoff estimator.
   double ValueWithCountAbove(int64_t count) const;
 
+  /// Estimated q-quantile (q in [0, 1]): the value below which a fraction
+  /// q of the data falls. Used for batch latency percentiles (p50/p95/p99).
+  double ValueAtQuantile(double q) const;
+
   /// Estimated number of values in [lo, hi].
   double EstimateRangeCount(double lo, double hi) const;
 

@@ -1,0 +1,82 @@
+#include "common/thread_pool.h"
+
+#include <algorithm>
+#include <atomic>
+#include <memory>
+
+namespace moa {
+
+ThreadPool::ThreadPool(size_t num_threads) {
+  const size_t n = std::max<size_t>(1, num_threads);
+  workers_.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stopping_ = true;
+  }
+  cv_.notify_all();
+  for (std::thread& worker : workers_) worker.join();
+}
+
+void ThreadPool::Submit(std::function<void()> task) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    tasks_.push_back(std::move(task));
+  }
+  cv_.notify_one();
+}
+
+void ThreadPool::WorkerLoop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      cv_.wait(lock, [this] { return stopping_ || !tasks_.empty(); });
+      if (tasks_.empty()) return;  // stopping_ with a drained queue
+      task = std::move(tasks_.front());
+      tasks_.pop_front();
+    }
+    task();
+  }
+}
+
+void ThreadPool::ParallelFor(size_t count,
+                             const std::function<void(size_t)>& body) {
+  if (count == 0) return;
+  // Shared claim/completion state. Runners claim indexes with one atomic
+  // increment per call; the last runner to finish wakes the caller.
+  struct State {
+    std::atomic<size_t> next{0};
+    std::atomic<size_t> active{0};
+    std::mutex mutex;
+    std::condition_variable done;
+  };
+  auto state = std::make_shared<State>();
+  const size_t runners = std::min(workers_.size(), count);
+  state->active.store(runners);
+  for (size_t r = 0; r < runners; ++r) {
+    // `body` is captured by reference: ParallelFor blocks until every
+    // runner has finished, so the reference cannot dangle.
+    Submit([state, count, &body] {
+      size_t i;
+      while ((i = state->next.fetch_add(1)) < count) body(i);
+      if (state->active.fetch_sub(1) == 1) {
+        std::lock_guard<std::mutex> lock(state->mutex);
+        state->done.notify_all();
+      }
+    });
+  }
+  std::unique_lock<std::mutex> lock(state->mutex);
+  state->done.wait(lock, [&] { return state->active.load() == 0; });
+}
+
+size_t ThreadPool::DefaultParallelism() {
+  return std::max(1u, std::thread::hardware_concurrency());
+}
+
+}  // namespace moa

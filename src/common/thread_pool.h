@@ -1,0 +1,60 @@
+// Fixed-size worker pool for concurrent batch query execution.
+//
+// Deliberately simple — one locked queue, no work stealing: batch top-N
+// fan-out produces coarse, similar-cost tasks (whole queries), so a shared
+// queue is never the bottleneck and the implementation stays auditable
+// under TSan. Tasks must not throw; fallible work reports through Status
+// captured in the task's own state (the library is exception-free across
+// public boundaries, see common/status.h).
+#ifndef MOA_COMMON_THREAD_POOL_H_
+#define MOA_COMMON_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace moa {
+
+/// \brief Fixed-size thread pool with a single FIFO task queue.
+///
+/// Destruction drains the queue: every task submitted before the
+/// destructor runs is executed before the workers join.
+class ThreadPool {
+ public:
+  /// Spawns `num_threads` workers (clamped to at least 1).
+  explicit ThreadPool(size_t num_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  size_t num_threads() const { return workers_.size(); }
+
+  /// Enqueues one task; must not be called during/after destruction.
+  void Submit(std::function<void()> task);
+
+  /// Runs body(0) .. body(count-1) across the pool and blocks until all
+  /// calls return. Indexes are claimed dynamically (one atomic increment
+  /// per call), so uneven per-index cost still balances.
+  void ParallelFor(size_t count, const std::function<void(size_t)>& body);
+
+  /// max(1, hardware_concurrency): the default batch parallelism.
+  static size_t DefaultParallelism();
+
+ private:
+  void WorkerLoop();
+
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  std::deque<std::function<void()>> tasks_;
+  bool stopping_ = false;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace moa
+
+#endif  // MOA_COMMON_THREAD_POOL_H_

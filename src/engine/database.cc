@@ -38,7 +38,7 @@ Result<std::unique_ptr<MmDatabase>> MmDatabase::Open(
   return db;
 }
 
-ExecContext MmDatabase::exec_context() {
+ExecContext MmDatabase::exec_context() const {
   ExecContext context;
   context.file = &file();
   context.model = model_.get();
@@ -49,7 +49,7 @@ ExecContext MmDatabase::exec_context() {
 
 Result<TopNResult> MmDatabase::Execute(PhysicalStrategy strategy,
                                        const Query& query, size_t n,
-                                       double switch_threshold) {
+                                       double switch_threshold) const {
   ExecOptions options;
   options.switch_threshold = switch_threshold;
   return Execute(strategy, query, n, options);
@@ -57,13 +57,13 @@ Result<TopNResult> MmDatabase::Execute(PhysicalStrategy strategy,
 
 Result<TopNResult> MmDatabase::Execute(PhysicalStrategy strategy,
                                        const Query& query, size_t n,
-                                       const ExecOptions& options) {
+                                       const ExecOptions& options) const {
   return StrategyRegistry::Global().Execute(strategy, exec_context(), query,
                                             n, options);
 }
 
 Result<SearchResult> MmDatabase::Search(const Query& query,
-                                        const SearchOptions& options) {
+                                        const SearchOptions& options) const {
   PlannerOptions popts;
   popts.safe_only = options.safe_only;
   popts.force = options.force;

@@ -4,13 +4,19 @@
 // Step-1 fragmentation, a scoring model, the Step-3 cost model/planner and
 // a sparse-index cache — and executes top-N retrieval queries with any of
 // the physical strategies, either forced or chosen by the optimizer.
+//
+// Concurrency: after Open, the database is read-only except for the
+// internally synchronized sparse-index cache, so Search / Execute /
+// SearchBatch are safe to call from many threads over one instance.
+// SearchBatch is the built-in fan-out: it runs a whole workload across a
+// ThreadPool and reports aggregate throughput (QPS, latency percentiles).
 #ifndef MOA_ENGINE_DATABASE_H_
 #define MOA_ENGINE_DATABASE_H_
 
 #include <memory>
 #include <optional>
 #include <string>
-#include <unordered_map>
+#include <vector>
 
 #include "exec/executor.h"
 #include "ir/collection.h"
@@ -18,7 +24,7 @@
 #include "ir/metrics.h"
 #include "optimizer/planner.h"
 #include "storage/fragmentation.h"
-#include "storage/sparse_index.h"
+#include "storage/sparse_index_cache.h"
 #include "topn/fragment_topn.h"
 #include "topn/topn_result.h"
 
@@ -53,28 +59,73 @@ struct SearchResult {
   double wall_millis = 0.0;
 };
 
+/// \brief Aggregate statistics of one SearchBatch call.
+struct BatchStats {
+  size_t num_queries = 0;
+  /// Worker threads actually used (after clamping to the batch size).
+  size_t parallelism = 1;
+  /// End-to-end batch wall time (not the sum of per-query times).
+  double wall_millis = 0.0;
+  /// num_queries / batch seconds.
+  double qps = 0.0;
+  /// Per-query latency percentiles, estimated from an equi-width
+  /// Histogram over the individual wall times.
+  double p50_millis = 0.0;
+  double p95_millis = 0.0;
+  double p99_millis = 0.0;
+  /// Summed deterministic work counters across all queries.
+  CostCounters total_cost;
+};
+
+/// \brief Per-query results plus aggregate stats of one batch.
+struct BatchSearchResult {
+  /// results[i] answers queries[i] (order preserved regardless of the
+  /// execution interleaving).
+  std::vector<SearchResult> results;
+  BatchStats stats;
+};
+
 /// \brief The in-memory MM retrieval database.
 class MmDatabase {
  public:
   /// Generates the collection, builds impact orders and fragmentation.
   static Result<std::unique_ptr<MmDatabase>> Open(const DatabaseConfig& config);
 
-  /// Plans (or obeys `force`) and executes the query.
-  Result<SearchResult> Search(const Query& query, const SearchOptions& options);
+  /// Plans (or obeys `force`) and executes the query. Thread-safe.
+  Result<SearchResult> Search(const Query& query,
+                              const SearchOptions& options) const;
+
+  /// Fans `queries` out across a ThreadPool of `parallelism` workers
+  /// (0 = ThreadPool::DefaultParallelism(), clamped to the batch size;
+  /// 1 runs inline) and executes each with Search(query, options).
+  /// Results keep query order and are bit-identical to sequential
+  /// execution — all shared state is read-only or build-once (the sparse
+  /// cache), and per-query scoring state is thread-private. Returns the
+  /// first per-query error if any query fails.
+  Result<BatchSearchResult> SearchBatch(const std::vector<Query>& queries,
+                                        const SearchOptions& options,
+                                        size_t parallelism = 0) const;
 
   /// Executes a specific strategy directly (shared by Search and benches).
+  /// `switch_threshold` is a common hint consulted by the fragment
+  /// strategies only; every other strategy ignores it by design (typed
+  /// per-strategy options go through the ExecOptions overload, where the
+  /// registry rejects family mismatches). Thread-safe.
   Result<TopNResult> Execute(PhysicalStrategy strategy, const Query& query,
-                             size_t n, double switch_threshold = 0.0);
+                             size_t n, double switch_threshold = 0.0) const;
 
   /// Registry execution with full per-strategy options (no default: keeps
-  /// the legacy overload above unambiguous).
+  /// the legacy overload above unambiguous). Rejects typed options that do
+  /// not belong to `strategy`'s family. Thread-safe.
   Result<TopNResult> Execute(PhysicalStrategy strategy, const Query& query,
-                             size_t n, const ExecOptions& options);
+                             size_t n, const ExecOptions& options) const;
 
   /// Borrowed exec-layer view of this database's state; hand it to
   /// StrategyRegistry::Global().Execute (benches swap in their own
-  /// fragmentation or sparse cache before doing so).
-  ExecContext exec_context();
+  /// fragmentation or sparse cache before doing so). The view is
+  /// read-only apart from the internally synchronized sparse cache, so
+  /// copies of it may execute concurrently.
+  ExecContext exec_context() const;
 
   /// Exact ground truth for quality evaluation.
   std::vector<ScoredDoc> GroundTruth(const Query& query, size_t n) const;
@@ -101,7 +152,10 @@ class MmDatabase {
   std::unique_ptr<CardinalityEstimator> estimator_;
   std::unique_ptr<CostModel> cost_model_;
   std::unique_ptr<Planner> planner_;
-  std::unordered_map<TermId, SparseIndex> sparse_cache_;
+  /// Lazily filled by sparse-probe executions; mutable because filling the
+  /// cache is not an observable mutation of the database (build-once,
+  /// internally locked — the one piece of shared state Search may write).
+  mutable SparseIndexCache sparse_cache_;
 };
 
 }  // namespace moa

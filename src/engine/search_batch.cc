@@ -1,0 +1,78 @@
+// MmDatabase::SearchBatch: concurrent fan-out of a query workload.
+//
+// Each worker runs the ordinary Search path — same planner, same registry
+// dispatch — against the shared read-only ExecContext; the only shared
+// mutable state is the build-once SparseIndexCache. Per-query work
+// accounting stays exact because CostTicker frames are thread-local.
+#include <algorithm>
+#include <optional>
+
+#include "common/histogram.h"
+#include "common/thread_pool.h"
+#include "common/timer.h"
+#include "engine/database.h"
+
+namespace moa {
+
+Result<BatchSearchResult> MmDatabase::SearchBatch(
+    const std::vector<Query>& queries, const SearchOptions& options,
+    size_t parallelism) const {
+  BatchSearchResult out;
+  out.stats.num_queries = queries.size();
+  if (queries.empty()) return out;
+
+  size_t workers =
+      parallelism == 0 ? ThreadPool::DefaultParallelism() : parallelism;
+  workers = std::min(workers, queries.size());
+  out.stats.parallelism = workers;
+
+  // Per-slot results keep query order independent of interleaving; the
+  // pool is joined before any slot is read.
+  std::vector<std::optional<SearchResult>> slots(queries.size());
+  std::vector<Status> statuses(queries.size(), Status::OK());
+  auto run_one = [&](size_t i) {
+    Result<SearchResult> r = Search(queries[i], options);
+    if (r.ok()) {
+      slots[i] = std::move(r).ValueOrDie();
+    } else {
+      statuses[i] = r.status();
+    }
+  };
+
+  // The pool is constructed outside the timed region: thread spawn/join
+  // cost would otherwise bias the QPS comparison against higher
+  // parallelism on small batches.
+  std::optional<ThreadPool> pool;
+  if (workers > 1) pool.emplace(workers);
+
+  WallTimer timer;
+  if (pool.has_value()) {
+    pool->ParallelFor(queries.size(), run_one);
+  } else {
+    for (size_t i = 0; i < queries.size(); ++i) run_one(i);
+  }
+  out.stats.wall_millis = timer.ElapsedMillis();
+
+  for (const Status& st : statuses) {
+    if (!st.ok()) return st;
+  }
+
+  std::vector<double> latencies;
+  latencies.reserve(queries.size());
+  out.results.reserve(queries.size());
+  for (std::optional<SearchResult>& slot : slots) {
+    latencies.push_back(slot->wall_millis);
+    out.stats.total_cost += slot->top.stats.cost;
+    out.results.push_back(std::move(*slot));
+  }
+
+  out.stats.qps = static_cast<double>(queries.size()) /
+                  (std::max(out.stats.wall_millis, 1e-6) / 1000.0);
+  const Histogram latency_hist = Histogram::FromData(latencies, 64);
+  out.stats.p50_millis = latency_hist.ValueAtQuantile(0.50);
+  out.stats.p95_millis = latency_hist.ValueAtQuantile(0.95);
+  out.stats.p99_millis = latency_hist.ValueAtQuantile(0.99);
+  return out;
+}
+
+}  // namespace moa

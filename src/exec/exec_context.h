@@ -6,17 +6,22 @@
 // CostTicker: the registry wraps every execution in a CostScope, so
 // TopNResult.stats.cost is populated even for operators that do not keep
 // their own frame.
+//
+// Concurrency contract: one ExecContext (or copies of it) may be used from
+// many threads at once — this is what MmDatabase::SearchBatch does. The
+// inverted file, scoring model and fragmentation are borrowed *read-only*
+// (const) and must not be mutated while executions are in flight; the
+// sparse cache is the only shared mutable state and synchronizes
+// internally (build-once / read-many, see storage/sparse_index_cache.h).
 #ifndef MOA_EXEC_EXEC_CONTEXT_H_
 #define MOA_EXEC_EXEC_CONTEXT_H_
-
-#include <unordered_map>
 
 #include "common/cost_ticker.h"
 #include "common/status.h"
 #include "ir/scoring.h"
 #include "storage/fragmentation.h"
 #include "storage/inverted_file.h"
-#include "storage/sparse_index.h"
+#include "storage/sparse_index_cache.h"
 
 namespace moa {
 
@@ -29,9 +34,10 @@ struct ExecContext {
   const ScoringModel* model = nullptr;
   /// Step-1 fragmentation; required by fragment strategies only.
   const Fragmentation* fragmentation = nullptr;
-  /// Shared sparse-index cache for kSparseProbe (built on demand when
-  /// absent; nullptr makes the probe build throw-away indexes).
-  std::unordered_map<TermId, SparseIndex>* sparse_cache = nullptr;
+  /// Shared sparse-index cache for kSparseProbe (filled on demand, safe
+  /// for concurrent executions; nullptr makes the probe build throw-away
+  /// indexes).
+  SparseIndexCache* sparse_cache = nullptr;
 
   /// OK iff the required pieces are present.
   Status Validate(bool needs_fragmentation = false) const {

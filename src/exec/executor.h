@@ -9,6 +9,8 @@
 #ifndef MOA_EXEC_EXECUTOR_H_
 #define MOA_EXEC_EXECUTOR_H_
 
+#include <cstddef>
+#include <type_traits>
 #include <variant>
 
 #include "exec/exec_context.h"
@@ -22,22 +24,62 @@
 
 namespace moa {
 
+/// The one-of strategy-specific option payload of ExecOptions. Alternative
+/// 0 (monostate) means "common knobs only".
+using StrategyOptionsVariant =
+    std::variant<std::monostate, FaginOptions, StopAfterOptions,
+                 ProbabilisticOptions, QualitySwitchOptions, MaxScoreOptions>;
+
+namespace exec_detail {
+template <typename T, typename Variant>
+struct VariantIndexOf;
+template <typename T, typename... Ts>
+struct VariantIndexOf<T, std::variant<Ts...>> {
+  static constexpr size_t value = [] {
+    constexpr bool matches[] = {std::is_same_v<T, Ts>...};
+    size_t i = 0;
+    for (bool m : matches) {
+      if (m) break;
+      ++i;
+    }
+    return i;
+  }();
+  static_assert(value < sizeof...(Ts), "T is not an ExecOptions alternative");
+};
+}  // namespace exec_detail
+
+/// Variant index of strategy-option type T — the registry's currency for
+/// "which typed options does this strategy accept" (see
+/// StrategyRegistry::Register).
+template <typename T>
+constexpr size_t ExecOptionsIndexOf() {
+  return exec_detail::VariantIndexOf<T, StrategyOptionsVariant>::value;
+}
+
+/// Registration value for strategies that take no typed options: only the
+/// monostate alternative (and the common knobs) are accepted for them.
+inline constexpr size_t kNoStrategyOptions = 0;
+
 /// \brief Per-execution tuning carried to an executor factory.
 ///
-/// `strategy_options` carries at most one strategy-specific option struct;
-/// a factory uses it when the alternative matches its strategy family and
-/// falls back to per-strategy defaults (seeded from the common knobs
-/// below) otherwise. This is what lets callers that only know the common
-/// knobs — e.g. MmDatabase::Search with its switch_threshold — dispatch
-/// without per-strategy code.
+/// `strategy_options` carries at most one strategy-specific option struct.
+/// The registry rejects an execution whose typed options do not belong to
+/// the target strategy's family (an InvalidArgument instead of a silent
+/// ignore); a factory whose family matches uses them and falls back to
+/// per-strategy defaults (seeded from the common knobs below) otherwise.
+///
+/// The common knobs are *hints*, not typed options: every strategy accepts
+/// them and strategies they do not apply to ignore them by design.
+/// `switch_threshold` is consulted by the fragment strategies only — this
+/// is what lets callers that only know the common knobs, e.g.
+/// MmDatabase::Search, dispatch to any planner-chosen strategy without
+/// per-strategy code.
 struct ExecOptions {
   /// Quality-switch threshold used by fragment strategies when no explicit
-  /// QualitySwitchOptions is supplied.
+  /// QualitySwitchOptions is supplied; ignored by every other strategy.
   double switch_threshold = 0.0;
 
-  std::variant<std::monostate, FaginOptions, StopAfterOptions,
-               ProbabilisticOptions, QualitySwitchOptions, MaxScoreOptions>
-      strategy_options;
+  StrategyOptionsVariant strategy_options;
 
   /// The strategy-specific options if they are of type T, else nullptr.
   template <typename T>

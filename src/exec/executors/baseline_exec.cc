@@ -1,5 +1,7 @@
 // Executors for the baseline strategies (topn/baselines.h): the
-// unoptimized full sort and the bounded-heap scan.
+// unoptimized full sort and the bounded-heap scan. Neither takes typed
+// strategy options, so both register with the default kNoStrategyOptions
+// and the registry rejects any typed payload aimed at them.
 #include "exec/builtin.h"
 #include "exec/registry.h"
 #include "topn/baselines.h"

@@ -37,7 +37,8 @@ void RegisterOne(StrategyRegistry& registry, PhysicalStrategy strategy,
                         [fn](const ExecOptions& options) {
                           return std::make_unique<FaginExecutor>(
                               fn, OptionsFrom(options));
-                        });
+                        },
+                        ExecOptionsIndexOf<FaginOptions>());
 }
 
 }  // namespace

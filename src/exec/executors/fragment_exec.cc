@@ -50,7 +50,8 @@ void RegisterSwitch(StrategyRegistry& registry, PhysicalStrategy strategy,
         }
         opts.mode = mode;
         return std::make_unique<QualitySwitchExecutor>(opts);
-      });
+      },
+      ExecOptionsIndexOf<QualitySwitchOptions>());
 }
 
 }  // namespace

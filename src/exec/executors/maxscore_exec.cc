@@ -32,7 +32,8 @@ void RegisterOne(StrategyRegistry& registry, PhysicalStrategy strategy,
         }
         opts.mode = mode;
         return std::make_unique<MaxScoreExecutor>(opts);
-      });
+      },
+      ExecOptionsIndexOf<MaxScoreOptions>());
 }
 
 }  // namespace

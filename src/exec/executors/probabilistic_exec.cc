@@ -35,7 +35,8 @@ void RegisterProbabilisticExecutors(StrategyRegistry& registry) {
           opts = *o;
         }
         return std::make_unique<ProbabilisticExecutor>(opts);
-      });
+      },
+      ExecOptionsIndexOf<ProbabilisticOptions>());
 }
 
 }  // namespace moa

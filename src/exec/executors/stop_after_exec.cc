@@ -31,7 +31,8 @@ void RegisterOne(StrategyRegistry& registry, PhysicalStrategy strategy,
         }
         opts.policy = policy;
         return std::make_unique<StopAfterExecutor>(opts);
-      });
+      },
+      ExecOptionsIndexOf<StopAfterOptions>());
 }
 
 }  // namespace

@@ -16,8 +16,29 @@ StrategyRegistry& StrategyRegistry::Global() {
   return *registry;
 }
 
+namespace {
+
+/// Display name of a StrategyOptionsVariant alternative (for the
+/// mismatched-options error message).
+const char* OptionsAlternativeName(size_t index) {
+  switch (index) {
+    case kNoStrategyOptions: return "none";
+    case ExecOptionsIndexOf<FaginOptions>(): return "FaginOptions";
+    case ExecOptionsIndexOf<StopAfterOptions>(): return "StopAfterOptions";
+    case ExecOptionsIndexOf<ProbabilisticOptions>():
+      return "ProbabilisticOptions";
+    case ExecOptionsIndexOf<QualitySwitchOptions>():
+      return "QualitySwitchOptions";
+    case ExecOptionsIndexOf<MaxScoreOptions>(): return "MaxScoreOptions";
+  }
+  return "?";
+}
+
+}  // namespace
+
 Status StrategyRegistry::Register(PhysicalStrategy strategy, std::string name,
-                                  bool safe, Factory factory) {
+                                  bool safe, Factory factory,
+                                  size_t accepts_options) {
   if (!factory) {
     return Status::InvalidArgument("null factory for strategy " + name);
   }
@@ -27,16 +48,17 @@ Status StrategyRegistry::Register(PhysicalStrategy strategy, std::string name,
   if (FromName(name).has_value()) {
     return Status::InvalidArgument("strategy name already taken: " + name);
   }
-  entries_.emplace(strategy,
-                   Entry{std::move(name), safe, std::move(factory)});
+  entries_.emplace(strategy, Entry{std::move(name), safe, std::move(factory),
+                                   accepts_options});
   return Status::OK();
 }
 
 void StrategyRegistry::MustRegister(PhysicalStrategy strategy,
                                     std::string name, bool safe,
-                                    Factory factory) {
+                                    Factory factory, size_t accepts_options) {
   const std::string shown = name;
-  Status st = Register(strategy, std::move(name), safe, std::move(factory));
+  Status st = Register(strategy, std::move(name), safe, std::move(factory),
+                       accepts_options);
   if (!st.ok()) {
     std::fprintf(stderr, "fatal: registering strategy '%s': %s\n",
                  shown.c_str(), st.ToString().c_str());
@@ -75,6 +97,16 @@ Result<std::unique_ptr<StrategyExecutor>> StrategyRegistry::Make(
   if (entry == nullptr) {
     return Status::NotFound("no executor registered for strategy " +
                             std::to_string(static_cast<int>(strategy)));
+  }
+  // Typed options of the wrong family would be silently ignored by the
+  // factory — reject them instead (the common knobs in ExecOptions are
+  // hints every strategy accepts; see executor.h).
+  const size_t supplied = options.strategy_options.index();
+  if (supplied != kNoStrategyOptions && supplied != entry->accepts_options) {
+    return Status::InvalidArgument(
+        std::string("strategy '") + entry->name + "' accepts " +
+        OptionsAlternativeName(entry->accepts_options) +
+        " strategy options, got " + OptionsAlternativeName(supplied));
   }
   std::unique_ptr<StrategyExecutor> executor = entry->factory(options);
   if (executor == nullptr) {

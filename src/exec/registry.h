@@ -24,6 +24,12 @@
 namespace moa {
 
 /// \brief Maps every PhysicalStrategy to an executor factory + metadata.
+///
+/// Thread-safety: lookups and Execute are lock-free reads and safe to
+/// call from any number of threads; Register/MustRegister mutate the map
+/// unsynchronized. All registration (built-ins happen inside the Global()
+/// initializer; custom strategies at startup) must complete before the
+/// first concurrent execution.
 class StrategyRegistry {
  public:
   using Factory =
@@ -34,6 +40,10 @@ class StrategyRegistry {
     std::string name;   ///< stable string id (StrategyName / FromName)
     bool safe = true;   ///< returns the exact top-N ranking or set
     Factory factory;
+    /// StrategyOptionsVariant alternative this strategy consumes
+    /// (kNoStrategyOptions = common knobs only). Execute/Make reject typed
+    /// options of any other family instead of silently ignoring them.
+    size_t accepts_options = kNoStrategyOptions;
   };
 
   /// The process-wide registry, populated with the built-in executors on
@@ -41,14 +51,18 @@ class StrategyRegistry {
   static StrategyRegistry& Global();
 
   /// Registers a strategy; rejects duplicate strategies and names.
+  /// `accepts_options` names the ExecOptions alternative the strategy
+  /// consumes (ExecOptionsIndexOf<T>(); default: typed options rejected).
   Status Register(PhysicalStrategy strategy, std::string name, bool safe,
-                  Factory factory);
+                  Factory factory,
+                  size_t accepts_options = kNoStrategyOptions);
 
   /// Register that aborts the process on failure — for built-in
   /// registration, where a duplicate strategy or name is a programming
   /// error that must not silently drop an executor.
   void MustRegister(PhysicalStrategy strategy, std::string name, bool safe,
-                    Factory factory);
+                    Factory factory,
+                    size_t accepts_options = kNoStrategyOptions);
 
   bool Has(PhysicalStrategy strategy) const;
   /// The entry for `strategy`, or nullptr if unregistered.

@@ -1,0 +1,45 @@
+#include "storage/sparse_index_cache.h"
+
+#include <mutex>
+
+namespace moa {
+
+const SparseIndex* SparseIndexCache::GetOrBuild(TermId term,
+                                                const PostingList& list,
+                                                uint32_t block_size) {
+  const uint64_t key = Key(term, block_size);
+  {
+    std::shared_lock<std::shared_mutex> lock(mutex_);
+    auto it = indexes_.find(key);
+    if (it != indexes_.end()) return &it->second;
+  }
+  // Build outside the lock so cold-cache builds of different terms run
+  // concurrently and readers of warm terms are not stalled; the loser of
+  // a rare duplicate build discards its copy at the emplace re-check.
+  SparseIndex built(&list, block_size);
+  std::unique_lock<std::shared_mutex> lock(mutex_);
+  auto it = indexes_.find(key);
+  if (it == indexes_.end()) {
+    it = indexes_.emplace(key, std::move(built)).first;
+  }
+  return &it->second;
+}
+
+const SparseIndex* SparseIndexCache::Find(TermId term,
+                                          uint32_t block_size) const {
+  std::shared_lock<std::shared_mutex> lock(mutex_);
+  auto it = indexes_.find(Key(term, block_size));
+  return it == indexes_.end() ? nullptr : &it->second;
+}
+
+size_t SparseIndexCache::size() const {
+  std::shared_lock<std::shared_mutex> lock(mutex_);
+  return indexes_.size();
+}
+
+void SparseIndexCache::Clear() {
+  std::unique_lock<std::shared_mutex> lock(mutex_);
+  indexes_.clear();
+}
+
+}  // namespace moa

@@ -1,0 +1,67 @@
+// Thread-safe build-once / read-many cache of per-term sparse indexes.
+//
+// The sparse-probe strategy (topn/fragment_topn.h) builds a SparseIndex
+// over each large-fragment posting list it probes. Those indexes only
+// depend on the (immutable) posting list and the block size, so one cache
+// can serve every concurrent query: the first query to touch a
+// (term, block size) pays the build under an exclusive lock, everyone
+// after reads under a shared lock. This is what makes the engine's
+// lazily-filled cache safe to share across SearchBatch worker threads.
+#ifndef MOA_STORAGE_SPARSE_INDEX_CACHE_H_
+#define MOA_STORAGE_SPARSE_INDEX_CACHE_H_
+
+#include <cstdint>
+#include <shared_mutex>
+#include <unordered_map>
+
+#include "storage/dictionary.h"
+#include "storage/posting.h"
+#include "storage/sparse_index.h"
+
+namespace moa {
+
+/// \brief Shared-mutex protected map (TermId, block size) -> SparseIndex.
+///
+/// Locking discipline: lookups take a shared lock; a miss upgrades to an
+/// exclusive lock, re-checks, and builds at most once. Returned pointers
+/// stay valid for the cache's lifetime (node-based map, no erasure except
+/// Clear) — callers must not hold them across Clear().
+///
+/// Keying by (term, block size) keeps executions deterministic regardless
+/// of cache warmth: a probe with a different block size never sees an
+/// index built for another configuration (block-size sweeps and the
+/// engine's shared cache can coexist).
+class SparseIndexCache {
+ public:
+  SparseIndexCache() = default;
+
+  SparseIndexCache(const SparseIndexCache&) = delete;
+  SparseIndexCache& operator=(const SparseIndexCache&) = delete;
+
+  /// The cached index for (term, block_size), building it from `list` on
+  /// first use. Thread-safe.
+  const SparseIndex* GetOrBuild(TermId term, const PostingList& list,
+                                uint32_t block_size);
+
+  /// The cached index for (term, block_size), or nullptr if absent.
+  /// Thread-safe.
+  const SparseIndex* Find(TermId term, uint32_t block_size) const;
+
+  size_t size() const;
+
+  /// Drops every cached index. Not safe to call concurrently with readers
+  /// still holding pointers from GetOrBuild/Find.
+  void Clear();
+
+ private:
+  static uint64_t Key(TermId term, uint32_t block_size) {
+    return (static_cast<uint64_t>(term) << 32) | block_size;
+  }
+
+  mutable std::shared_mutex mutex_;
+  std::unordered_map<uint64_t, SparseIndex> indexes_;
+};
+
+}  // namespace moa
+
+#endif  // MOA_STORAGE_SPARSE_INDEX_CACHE_H_

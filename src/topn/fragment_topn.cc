@@ -156,13 +156,8 @@ Result<TopNResult> QualitySwitchTopN(const InvertedFile& file,
           const SparseIndex* index = nullptr;
           SparseIndex local;
           if (options.sparse_cache != nullptr) {
-            auto it = options.sparse_cache->find(t);
-            if (it == options.sparse_cache->end()) {
-              it = options.sparse_cache
-                       ->emplace(t, SparseIndex(&list, options.sparse_block))
-                       .first;
-            }
-            index = &it->second;
+            index = options.sparse_cache->GetOrBuild(t, list,
+                                                     options.sparse_block);
           } else {
             local = SparseIndex(&list, options.sparse_block);
             index = &local;

@@ -20,11 +20,10 @@
 #ifndef MOA_TOPN_FRAGMENT_TOPN_H_
 #define MOA_TOPN_FRAGMENT_TOPN_H_
 
-#include <unordered_map>
-
 #include "ir/query_gen.h"
 #include "storage/fragmentation.h"
 #include "storage/sparse_index.h"
+#include "storage/sparse_index_cache.h"
 #include "topn/topn_result.h"
 
 namespace moa {
@@ -60,8 +59,9 @@ struct QualitySwitchOptions {
   /// Sparse-index block size for kSparseProbe.
   uint32_t sparse_block = 64;
   /// Optional cache of sparse indexes keyed by term (owned by the caller;
-  /// built on demand when absent). Nullptr builds throw-away indexes.
-  std::unordered_map<TermId, SparseIndex>* sparse_cache = nullptr;
+  /// built on demand when absent). Nullptr builds throw-away indexes. The
+  /// cache is internally synchronized: concurrent queries may share one.
+  SparseIndexCache* sparse_cache = nullptr;
 };
 
 /// Unsafe small-fragment-only evaluation.

@@ -9,9 +9,9 @@
 
 #include <algorithm>
 #include <set>
-#include <unordered_map>
 
 #include "exec/strategy.h"
+#include "storage/sparse_index_cache.h"
 #include "tests/test_util.h"
 #include "topn/baselines.h"
 #include "topn/fagin.h"
@@ -27,9 +27,8 @@ constexpr size_t kN = 10;
 
 /// The legacy per-strategy dispatch (the engine switch this PR deleted),
 /// kept here as the reference the registry must reproduce.
-Result<TopNResult> LegacyExecute(
-    PhysicalStrategy s, const Query& q,
-    std::unordered_map<TermId, SparseIndex>* sparse_cache) {
+Result<TopNResult> LegacyExecute(PhysicalStrategy s, const Query& q,
+                                 SparseIndexCache* sparse_cache) {
   const InvertedFile& f =
       testutil::SmallCollectionWithImpacts().inverted_file();
   const ScoringModel& m = testutil::SmallModel();
@@ -84,7 +83,7 @@ Result<TopNResult> LegacyExecute(
   return Status::Internal("legacy reference missing for strategy");
 }
 
-ExecContext TestContext(std::unordered_map<TermId, SparseIndex>* cache) {
+ExecContext TestContext(SparseIndexCache* cache) {
   ExecContext ctx;
   ctx.file = &testutil::SmallCollectionWithImpacts().inverted_file();
   ctx.model = &testutil::SmallModel();
@@ -107,8 +106,8 @@ TEST_P(RegistryParityTest, ExecutorMatchesLegacyFreeFunction) {
   const StrategyRegistry& registry = StrategyRegistry::Global();
   ASSERT_TRUE(registry.Has(s)) << "no executor registered";
 
-  std::unordered_map<TermId, SparseIndex> legacy_cache;
-  std::unordered_map<TermId, SparseIndex> registry_cache;
+  SparseIndexCache legacy_cache;
+  SparseIndexCache registry_cache;
   const ExecContext ctx = TestContext(&registry_cache);
 
   for (const Query& q : testutil::SmallQueries()) {
@@ -176,6 +175,58 @@ TEST(StrategyRegistryTest, RejectsDuplicateRegistration) {
   EXPECT_FALSE(
       local.Register(PhysicalStrategy::kFullSort, "heap", true, factory)
           .ok());
+}
+
+TEST(StrategyRegistryTest, MismatchedStrategyOptionsAreRejected) {
+  const StrategyRegistry& registry = StrategyRegistry::Global();
+  const Query q = testutil::SmallQueries()[0];
+  SparseIndexCache cache;
+  const ExecContext ctx = TestContext(&cache);
+
+  // Typed options aimed at the wrong family: InvalidArgument, not a
+  // silent ignore.
+  ExecOptions fagin_opts;
+  fagin_opts.strategy_options = FaginOptions{};
+  EXPECT_FALSE(
+      registry.Execute(PhysicalStrategy::kHeap, ctx, q, kN, fagin_opts).ok());
+  EXPECT_FALSE(
+      registry.Execute(PhysicalStrategy::kMaxScore, ctx, q, kN, fagin_opts)
+          .ok());
+  EXPECT_TRUE(
+      registry.Execute(PhysicalStrategy::kFaginTA, ctx, q, kN, fagin_opts)
+          .ok());
+
+  ExecOptions switch_opts;
+  switch_opts.strategy_options = QualitySwitchOptions{};
+  EXPECT_FALSE(registry
+                   .Execute(PhysicalStrategy::kStopAfterConservative, ctx, q,
+                            kN, switch_opts)
+                   .ok());
+  EXPECT_TRUE(registry
+                  .Execute(PhysicalStrategy::kQualitySwitchFull, ctx, q, kN,
+                           switch_opts)
+                  .ok());
+  // Strategies without typed options reject every family.
+  EXPECT_FALSE(
+      registry.Execute(PhysicalStrategy::kSmallFragment, ctx, q, kN,
+                       switch_opts)
+          .ok());
+}
+
+TEST(StrategyRegistryTest, CommonKnobsAreAcceptedEverywhere) {
+  // switch_threshold is a common hint: strategies it does not apply to
+  // ignore it by design instead of erroring (Search forwards it to any
+  // planner-chosen strategy).
+  const StrategyRegistry& registry = StrategyRegistry::Global();
+  const Query q = testutil::SmallQueries()[0];
+  SparseIndexCache cache;
+  const ExecContext ctx = TestContext(&cache);
+  ExecOptions opts;
+  opts.switch_threshold = 0.5;
+  for (PhysicalStrategy s : AllStrategies()) {
+    EXPECT_TRUE(registry.Execute(s, ctx, q, kN, opts).ok())
+        << StrategyName(s);
+  }
 }
 
 TEST(StrategyRegistryTest, MissingContextPiecesAreRejected) {

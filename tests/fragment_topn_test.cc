@@ -128,7 +128,7 @@ TEST(QualitySwitchTest, SparseProbeCheaperThanFullScan) {
   sparse.candidate_pool = 20;
   sparse.champions = 20;
   sparse.sparse_block = 16;
-  std::unordered_map<TermId, SparseIndex> cache;
+  SparseIndexCache cache;
   sparse.sparse_cache = &cache;
   double full_cost = 0.0, sparse_cost = 0.0;
   for (const Query& q : SmallQueries()) {
@@ -146,7 +146,7 @@ TEST(QualitySwitchTest, SparseCacheIsReused) {
   const Fragmentation& frag = SmallFragmentation();
   QualitySwitchOptions opts;
   opts.mode = LargeFragmentMode::kSparseProbe;
-  std::unordered_map<TermId, SparseIndex> cache;
+  SparseIndexCache cache;
   opts.sparse_cache = &cache;
   auto r1 = QualitySwitchTopN(f, frag, SmallModel(), SmallQueries()[0], 10, opts);
   ASSERT_TRUE(r1.ok());

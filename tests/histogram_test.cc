@@ -81,6 +81,22 @@ TEST(HistogramTest, EmptyHistogram) {
   EXPECT_EQ(h.total_count(), 0);
   EXPECT_EQ(h.CdfAtValue(0.5), 0.0);
   EXPECT_EQ(h.ValueWithCountAbove(5), h.min());
+  EXPECT_EQ(h.ValueAtQuantile(0.5), h.min());
+}
+
+TEST(HistogramTest, QuantilesOfUniformData) {
+  Rng rng(7);
+  std::vector<double> data;
+  for (int i = 0; i < 20000; ++i) data.push_back(rng.NextDouble() * 100.0);
+  Histogram h = Histogram::FromData(data, 100);
+  EXPECT_NEAR(h.ValueAtQuantile(0.50), 50.0, 3.0);
+  EXPECT_NEAR(h.ValueAtQuantile(0.95), 95.0, 3.0);
+  EXPECT_NEAR(h.ValueAtQuantile(0.99), 99.0, 3.0);
+  // Quantiles are monotone in q and clamped to [min, max].
+  EXPECT_LE(h.ValueAtQuantile(0.50), h.ValueAtQuantile(0.95));
+  EXPECT_LE(h.ValueAtQuantile(0.95), h.ValueAtQuantile(0.99));
+  EXPECT_EQ(h.ValueAtQuantile(-1.0), h.ValueAtQuantile(0.0));
+  EXPECT_EQ(h.ValueAtQuantile(2.0), h.max());
 }
 
 }  // namespace

@@ -1,0 +1,98 @@
+#include "storage/sparse_index_cache.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include "tests/test_util.h"
+
+namespace moa {
+namespace {
+
+using testutil::SmallCollectionWithImpacts;
+
+TEST(SparseIndexCacheTest, BuildsOnceAndReturnsStablePointer) {
+  const InvertedFile& file = SmallCollectionWithImpacts().inverted_file();
+  SparseIndexCache cache;
+  const TermId t = 0;
+  const PostingList& list = file.list(t);
+  ASSERT_FALSE(list.empty());
+
+  EXPECT_EQ(cache.Find(t, 16), nullptr);
+  const SparseIndex* first = cache.GetOrBuild(t, list, 16);
+  ASSERT_NE(first, nullptr);
+  EXPECT_EQ(cache.size(), 1u);
+  EXPECT_EQ(cache.GetOrBuild(t, list, 16), first);
+  EXPECT_EQ(cache.Find(t, 16), first);
+  EXPECT_EQ(cache.size(), 1u);
+}
+
+TEST(SparseIndexCacheTest, DistinctBlockSizesGetDistinctIndexes) {
+  // Keying by (term, block size) keeps results independent of cache
+  // warmth: a block-16 probe never sees a block-64 index.
+  const InvertedFile& file = SmallCollectionWithImpacts().inverted_file();
+  SparseIndexCache cache;
+  const PostingList& list = file.list(0);
+  const SparseIndex* b16 = cache.GetOrBuild(0, list, 16);
+  const SparseIndex* b64 = cache.GetOrBuild(0, list, 64);
+  EXPECT_NE(b16, b64);
+  EXPECT_EQ(b16->block_size(), 16u);
+  EXPECT_EQ(b64->block_size(), 64u);
+  EXPECT_EQ(cache.size(), 2u);
+}
+
+TEST(SparseIndexCacheTest, CachedProbeMatchesThrowAwayIndex) {
+  const InvertedFile& file = SmallCollectionWithImpacts().inverted_file();
+  SparseIndexCache cache;
+  const TermId t = 1;
+  const PostingList& list = file.list(t);
+  ASSERT_FALSE(list.empty());
+  const SparseIndex* cached = cache.GetOrBuild(t, list, 8);
+  const SparseIndex fresh(&list, 8);
+  for (DocId d = 0; d < file.num_docs(); d += 7) {
+    EXPECT_EQ(cached->Probe(d), fresh.Probe(d)) << "doc " << d;
+  }
+}
+
+TEST(SparseIndexCacheTest, ClearEmptiesTheCache) {
+  const InvertedFile& file = SmallCollectionWithImpacts().inverted_file();
+  SparseIndexCache cache;
+  cache.GetOrBuild(0, file.list(0), 16);
+  cache.GetOrBuild(1, file.list(1), 16);
+  EXPECT_EQ(cache.size(), 2u);
+  cache.Clear();
+  EXPECT_EQ(cache.size(), 0u);
+  EXPECT_EQ(cache.Find(0, 16), nullptr);
+}
+
+TEST(SparseIndexCacheTest, ConcurrentGetOrBuildIsBuildOnce) {
+  const InvertedFile& file = SmallCollectionWithImpacts().inverted_file();
+  SparseIndexCache cache;
+  constexpr int kThreads = 8;
+  constexpr TermId kTerms = 32;
+
+  std::vector<std::thread> threads;
+  std::vector<std::vector<const SparseIndex*>> seen(kThreads);
+  for (int w = 0; w < kThreads; ++w) {
+    threads.emplace_back([&, w] {
+      seen[w].resize(kTerms);
+      for (TermId t = 0; t < kTerms; ++t) {
+        seen[w][t] = cache.GetOrBuild(t, file.list(t), 16);
+      }
+    });
+  }
+  for (std::thread& th : threads) th.join();
+
+  EXPECT_EQ(cache.size(), static_cast<size_t>(kTerms));
+  // Every thread observed the same index object per term.
+  for (TermId t = 0; t < kTerms; ++t) {
+    for (int w = 1; w < kThreads; ++w) {
+      EXPECT_EQ(seen[w][t], seen[0][t]) << "term " << t;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace moa

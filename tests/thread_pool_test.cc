@@ -1,0 +1,65 @@
+#include "common/thread_pool.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <vector>
+
+namespace moa {
+namespace {
+
+TEST(ThreadPoolTest, DefaultParallelismIsAtLeastOne) {
+  EXPECT_GE(ThreadPool::DefaultParallelism(), 1u);
+}
+
+TEST(ThreadPoolTest, ClampsToAtLeastOneWorker) {
+  ThreadPool pool(0);
+  EXPECT_EQ(pool.num_threads(), 1u);
+}
+
+TEST(ThreadPoolTest, SubmittedTasksAllRunBeforeDestruction) {
+  std::atomic<int> count{0};
+  {
+    ThreadPool pool(4);
+    for (int i = 0; i < 100; ++i) {
+      pool.Submit([&count] { count.fetch_add(1); });
+    }
+    // Destructor drains the queue.
+  }
+  EXPECT_EQ(count.load(), 100);
+}
+
+TEST(ThreadPoolTest, ParallelForCoversEveryIndexExactlyOnce) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(257);
+  pool.ParallelFor(hits.size(),
+                   [&hits](size_t i) { hits[i].fetch_add(1); });
+  for (size_t i = 0; i < hits.size(); ++i) {
+    EXPECT_EQ(hits[i].load(), 1) << "index " << i;
+  }
+}
+
+TEST(ThreadPoolTest, ParallelForWithFewerItemsThanWorkers) {
+  ThreadPool pool(8);
+  std::atomic<int> sum{0};
+  pool.ParallelFor(3, [&sum](size_t i) { sum.fetch_add(static_cast<int>(i)); });
+  EXPECT_EQ(sum.load(), 0 + 1 + 2);
+}
+
+TEST(ThreadPoolTest, ParallelForZeroCountReturnsImmediately) {
+  ThreadPool pool(2);
+  pool.ParallelFor(0, [](size_t) { FAIL() << "body must not run"; });
+}
+
+TEST(ThreadPoolTest, PoolIsReusableAcrossParallelForCalls) {
+  ThreadPool pool(3);
+  std::atomic<int> total{0};
+  for (int round = 0; round < 5; ++round) {
+    pool.ParallelFor(50, [&total](size_t) { total.fetch_add(1); });
+  }
+  EXPECT_EQ(total.load(), 250);
+}
+
+}  // namespace
+}  // namespace moa
