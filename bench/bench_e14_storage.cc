@@ -1,0 +1,243 @@
+// E14 — posting storage formats: the raw MOAIF01 dump vs the compressed
+// block-based MOAIF02 segment. Three questions, per the storage redesign:
+//
+//  1. Space: on-disk bytes for the same collection (counter `v1_bytes`,
+//     `v2_bytes`, `v1_over_v2`). The acceptance bar is >= 2x.
+//  2. Cold start: ReadInvertedFile rebuilds the whole in-memory structure
+//     per open; SegmentReader::Open maps the file and validates
+//     directories only — postings decode lazily per block.
+//  3. Hot path: full-list scan and skip-heavy advance_to throughput via
+//     the cursor API over both representations (plus the raw
+//     vector-direct scan as the no-abstraction reference).
+//
+// MOA_BENCH_TINY=1 shrinks the collection so the CI smoke job finishes
+// in seconds.
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "engine/database.h"
+#include "ir/query_gen.h"
+#include "storage/io.h"
+#include "storage/segment/segment_reader.h"
+#include "storage/segment/segment_writer.h"
+
+namespace moa {
+namespace {
+
+bool Tiny() { return std::getenv("MOA_BENCH_TINY") != nullptr; }
+
+/// Separate from benchutil::Db(): the storage sweep wants a CI-shrinkable
+/// collection (same shape as the e13 throughput bench).
+MmDatabase& StorageDb() {
+  static MmDatabase* db = [] {
+    DatabaseConfig config;
+    config.collection.num_docs = Tiny() ? 4000 : 20000;
+    config.collection.vocabulary = Tiny() ? 6000 : 30000;
+    config.collection.mean_doc_length = Tiny() ? 80 : 150;
+    config.collection.zipf_skew = 1.0;
+    config.collection.seed = 900913;
+    config.fragmentation.small_volume_fraction = 0.05;
+    config.scoring = ScoringModelKind::kBm25;
+    return MmDatabase::Open(config).ValueOrDie().release();
+  }();
+  return *db;
+}
+
+std::string PathFor(const char* name) {
+  return (std::filesystem::temp_directory_path() /
+          (std::string("moa_bench_e14_") + name))
+      .string();
+}
+
+/// Writes both formats once and returns their paths + sizes.
+struct StoredFormats {
+  std::string v1_path = PathFor("index.moaif");
+  std::string v2_path = PathFor("index.moaseg");
+  uint64_t v1_bytes = 0;
+  uint64_t v2_bytes = 0;
+
+  StoredFormats() {
+    MmDatabase& db = StorageDb();
+    Status v1 = WriteInvertedFile(db.file(), v1_path);
+    Status v2 = db.SaveSegment(v2_path);
+    if (!v1.ok() || !v2.ok()) {
+      std::fprintf(stderr, "bench_e14: write failed: %s / %s\n",
+                   v1.ToString().c_str(), v2.ToString().c_str());
+      std::abort();
+    }
+    v1_bytes = std::filesystem::file_size(v1_path);
+    v2_bytes = std::filesystem::file_size(v2_path);
+  }
+};
+
+StoredFormats& Formats() {
+  static StoredFormats* formats = new StoredFormats();
+  return *formats;
+}
+
+/// The query-term working set: every term of a mixed workload (frequent
+/// and rare terms, like real retrieval traffic touches).
+const std::vector<TermId>& WorkloadTerms() {
+  static const std::vector<TermId>* terms = [] {
+    QueryWorkloadConfig config;
+    config.num_queries = Tiny() ? 16 : 64;
+    config.terms_per_query = 4;
+    config.distribution = QueryTermDistribution::kMixed;
+    config.seed = 1414;
+    auto queries =
+        GenerateQueries(StorageDb().collection(), config).ValueOrDie();
+    auto* t = new std::vector<TermId>();
+    for (const Query& q : queries) {
+      t->insert(t->end(), q.terms.begin(), q.terms.end());
+    }
+    return t;
+  }();
+  return *terms;
+}
+
+// ---------------------------------------------------------------- space
+
+void BM_OnDiskSize(benchmark::State& state) {
+  // Not a timing benchmark: runs once to surface the size counters.
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(Formats().v2_bytes);
+  }
+  state.counters["v1_bytes"] = static_cast<double>(Formats().v1_bytes);
+  state.counters["v2_bytes"] = static_cast<double>(Formats().v2_bytes);
+  state.counters["v1_over_v2"] = static_cast<double>(Formats().v1_bytes) /
+                                 static_cast<double>(Formats().v2_bytes);
+}
+
+// ----------------------------------------------------------- cold start
+
+void BM_ColdStartRebuildMoaif01(benchmark::State& state) {
+  for (auto _ : state) {
+    auto file = ReadInvertedFile(Formats().v1_path);
+    if (!file.ok()) state.SkipWithError("read failed");
+    benchmark::DoNotOptimize(file.ValueOrDie().num_postings());
+  }
+}
+
+void BM_ColdStartMmapOpenMoaif02(benchmark::State& state) {
+  for (auto _ : state) {
+    auto reader = SegmentReader::Open(Formats().v2_path);
+    if (!reader.ok()) state.SkipWithError("open failed");
+    benchmark::DoNotOptimize(reader.ValueOrDie()->num_terms());
+  }
+}
+
+// ------------------------------------------------------ scan throughput
+
+template <typename SourceFn>
+void ScanBench(benchmark::State& state, SourceFn&& source_fn) {
+  const PostingSource& source = source_fn();
+  int64_t postings = 0;
+  for (auto _ : state) {
+    uint64_t checksum = 0;
+    postings = 0;
+    for (TermId t : WorkloadTerms()) {
+      for (auto cursor = source.OpenCursor(t); !cursor->at_end();
+           cursor->next()) {
+        checksum += cursor->doc() + cursor->tf();
+        ++postings;
+      }
+    }
+    benchmark::DoNotOptimize(checksum);
+  }
+  state.SetItemsProcessed(state.iterations() * postings);
+}
+
+void BM_ScanRawVectors(benchmark::State& state) {
+  // No-abstraction reference: direct vector iteration, what the storage
+  // layer did before the cursor API.
+  const InvertedFile& file = StorageDb().file();
+  int64_t postings = 0;
+  for (auto _ : state) {
+    uint64_t checksum = 0;
+    postings = 0;
+    for (TermId t : WorkloadTerms()) {
+      const PostingList& list = file.list(t);
+      for (size_t i = 0; i < list.size(); ++i) {
+        checksum += list[i].doc + list[i].tf;
+        ++postings;
+      }
+    }
+    benchmark::DoNotOptimize(checksum);
+  }
+  state.SetItemsProcessed(state.iterations() * postings);
+}
+
+void BM_ScanInMemoryCursor(benchmark::State& state) {
+  ScanBench(state, []() -> const PostingSource& {
+    static const InMemoryPostingSource s(&StorageDb().file());
+    return s;
+  });
+}
+
+void BM_ScanSegmentCursor(benchmark::State& state) {
+  ScanBench(state, []() -> const PostingSource& {
+    static const SegmentReader* reader =
+        SegmentReader::Open(Formats().v2_path).ValueOrDie().release();
+    return *reader;
+  });
+}
+
+// --------------------------------------------------- advance throughput
+
+template <typename SourceFn>
+void AdvanceBench(benchmark::State& state, SourceFn&& source_fn) {
+  const PostingSource& source = source_fn();
+  // Skip-heavy access: stride through each list in jumps of ~1/32 of the
+  // doc space, the pattern of merge-joins and sparse probes.
+  const DocId stride =
+      static_cast<DocId>(StorageDb().file().num_docs() / 32 + 1);
+  int64_t probes = 0;
+  for (auto _ : state) {
+    uint64_t checksum = 0;
+    probes = 0;
+    for (TermId t : WorkloadTerms()) {
+      auto cursor = source.OpenCursor(t);
+      for (DocId target = stride; !cursor->at_end(); target += stride) {
+        cursor->advance_to(target);
+        checksum += cursor->doc();
+        ++probes;
+      }
+    }
+    benchmark::DoNotOptimize(checksum);
+  }
+  state.SetItemsProcessed(state.iterations() * probes);
+}
+
+void BM_AdvanceInMemoryCursor(benchmark::State& state) {
+  AdvanceBench(state, []() -> const PostingSource& {
+    static const InMemoryPostingSource s(&StorageDb().file());
+    return s;
+  });
+}
+
+void BM_AdvanceSegmentCursor(benchmark::State& state) {
+  AdvanceBench(state, []() -> const PostingSource& {
+    static const SegmentReader* reader =
+        SegmentReader::Open(Formats().v2_path).ValueOrDie().release();
+    return *reader;
+  });
+}
+
+BENCHMARK(BM_OnDiskSize)->Iterations(1);
+BENCHMARK(BM_ColdStartRebuildMoaif01)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_ColdStartMmapOpenMoaif02)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_ScanRawVectors)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_ScanInMemoryCursor)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_ScanSegmentCursor)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_AdvanceInMemoryCursor)->Unit(benchmark::kMicrosecond);
+BENCHMARK(BM_AdvanceSegmentCursor)->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+}  // namespace moa
+
+BENCHMARK_MAIN();

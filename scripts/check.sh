@@ -3,8 +3,13 @@
 #   $ scripts/check.sh [build-dir]
 #
 # CI knobs (all optional):
-#   MOA_CMAKE_ARGS  extra -D flags for configure, e.g. "-DMOA_TSAN=ON"
-#   MOA_CTEST_ARGS  extra ctest flags, e.g. "-R 'search_batch|thread_pool'"
+#   MOA_CMAKE_ARGS         extra -D flags for configure, e.g. "-DMOA_TSAN=ON"
+#   MOA_CTEST_ARGS         extra ctest flags, e.g. "-R 'search_batch|thread_pool'"
+#   MOA_SEGMENT_ROUNDTRIP  "1" re-runs the MOAIF02 round-trip explicitly:
+#                          build collection -> write segment -> mmap reopen
+#                          -> search-batch parity over the compressed index
+#                          (the ASan job sets this so decode over-reads fail
+#                          loudly even when MOA_CTEST_ARGS filters the suite)
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -18,3 +23,7 @@ cd "$BUILD_DIR"
 # must fail the gate, not silently pass it.
 # shellcheck disable=SC2086
 ctest --output-on-failure --no-tests=error -j"$(nproc)" ${MOA_CTEST_ARGS:-}
+
+if [[ "${MOA_SEGMENT_ROUNDTRIP:-}" == "1" ]]; then
+  ctest --output-on-failure --no-tests=error -R 'segment_parity|segment_test'
+fi

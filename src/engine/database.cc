@@ -3,6 +3,7 @@
 #include "common/timer.h"
 #include "exec/registry.h"
 #include "optimizer/explain.h"
+#include "storage/segment/segment_writer.h"
 
 namespace moa {
 
@@ -44,7 +45,54 @@ ExecContext MmDatabase::exec_context() const {
   context.model = model_.get();
   context.fragmentation = &fragmentation_;
   context.sparse_cache = &sparse_cache_;
+  context.postings = segment_.get();
   return context;
+}
+
+namespace {
+
+/// Header-stamped model identifier: ScoringModel::name() truncated the
+/// same way the writer truncates it, so save/attach agree even for names
+/// longer than the header field.
+std::string SegmentModelId(const ScoringModel& model) {
+  return model.name().substr(0, kImpactModelBytes - 1);
+}
+
+}  // namespace
+
+Status MmDatabase::SaveSegment(const std::string& path,
+                               uint32_t block_size) const {
+  SegmentWriterOptions options;
+  options.block_size = block_size;
+  options.impact_fn = [this](TermId t, const Posting& p) {
+    return model_->Weight(t, p);
+  };
+  options.impact_model = SegmentModelId(*model_);
+  return WriteSegment(file(), path, options);
+}
+
+Status MmDatabase::AttachSegment(const std::string& path) {
+  Result<std::unique_ptr<SegmentReader>> reader = SegmentReader::Open(path);
+  if (!reader.ok()) return reader.status();
+  SegmentReader& segment = *reader.ValueOrDie();
+  if (segment.num_terms() != file().num_terms() ||
+      segment.num_docs() != file().num_docs() ||
+      segment.total_tokens() != static_cast<uint64_t>(file().total_tokens())) {
+    return Status::InvalidArgument(
+        "segment does not match this database's collection: " + path);
+  }
+  // Impact bounds are only upper bounds under the model that computed
+  // them; pruning with another model's bounds silently drops true top-N
+  // documents. The engine therefore only attaches segments whose stamped
+  // model matches its own (SaveSegment always stamps).
+  if (!segment.has_impacts() ||
+      segment.impact_model() != SegmentModelId(*model_)) {
+    return Status::InvalidArgument(
+        "segment impact bounds were not computed with this database's "
+        "scoring model (" + model_->name() + "): " + path);
+  }
+  segment_ = std::move(reader).ValueOrDie();
+  return Status::OK();
 }
 
 Result<TopNResult> MmDatabase::Execute(PhysicalStrategy strategy,

@@ -24,6 +24,7 @@
 #include "ir/metrics.h"
 #include "optimizer/planner.h"
 #include "storage/fragmentation.h"
+#include "storage/segment/segment_reader.h"
 #include "storage/sparse_index_cache.h"
 #include "topn/fragment_topn.h"
 #include "topn/topn_result.h"
@@ -136,6 +137,25 @@ class MmDatabase {
   Result<std::string> ExplainSearch(const Query& query,
                                     const SearchOptions& options) const;
 
+  /// Writes the collection as a compressed MOAIF02 segment (atomic
+  /// overwrite). Per-term/per-block max impacts are computed with this
+  /// database's scoring model, so max-score pruning over the reopened
+  /// segment takes bit-identical decisions to the in-memory path.
+  Status SaveSegment(const std::string& path,
+                     uint32_t block_size = kDefaultSegmentBlockSize) const;
+
+  /// Memory-maps the MOAIF02 segment at `path` and routes the
+  /// cursor-based strategies (baselines, max-score, stop-after) through
+  /// it; everything else keeps reading the in-memory file. The segment
+  /// must describe this database's collection (validated by shape).
+  /// NOT thread-safe against in-flight searches: attach before serving.
+  Status AttachSegment(const std::string& path);
+
+  /// Reverts to pure in-memory execution. Same caveat as AttachSegment.
+  void DetachSegment() { segment_.reset(); }
+  bool has_segment() const { return segment_ != nullptr; }
+  const SegmentReader* segment() const { return segment_.get(); }
+
   const InvertedFile& file() const { return collection_->inverted_file(); }
   const Collection& collection() const { return *collection_; }
   const Fragmentation& fragmentation() const { return fragmentation_; }
@@ -152,6 +172,8 @@ class MmDatabase {
   std::unique_ptr<CardinalityEstimator> estimator_;
   std::unique_ptr<CostModel> cost_model_;
   std::unique_ptr<Planner> planner_;
+  /// Optional mmap-backed posting storage attached by AttachSegment.
+  std::unique_ptr<SegmentReader> segment_;
   /// Lazily filled by sparse-probe executions; mutable because filling the
   /// cache is not an observable mutation of the database (build-once,
   /// internally locked — the one piece of shared state Search may write).

@@ -21,6 +21,7 @@
 #include "ir/scoring.h"
 #include "storage/fragmentation.h"
 #include "storage/inverted_file.h"
+#include "storage/segment/posting_cursor.h"
 #include "storage/sparse_index_cache.h"
 
 namespace moa {
@@ -38,6 +39,14 @@ struct ExecContext {
   /// for concurrent executions; nullptr makes the probe build throw-away
   /// indexes).
   SparseIndexCache* sparse_cache = nullptr;
+  /// Optional representation-agnostic posting storage (e.g. an mmap-backed
+  /// MOAIF02 segment, storage/segment/segment_reader.h). When set, the
+  /// cursor-based executors (baselines, max-score, stop-after) stream
+  /// postings from here instead of `file`; when null they adapt `file`
+  /// through InMemoryPostingSource. `file` stays required either way —
+  /// collection statistics, impact orders and fragmentation are
+  /// in-memory-only. Must describe the same collection as `file`.
+  const PostingSource* postings = nullptr;
 
   /// OK iff the required pieces are present.
   Status Validate(bool needs_fragmentation = false) const {

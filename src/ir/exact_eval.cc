@@ -6,19 +6,26 @@
 
 namespace moa {
 
-std::vector<double> AccumulateScores(const InvertedFile& file,
+std::vector<double> AccumulateScores(const PostingSource& source,
                                      const ScoringModel& model,
                                      const Query& query) {
-  std::vector<double> acc(file.num_docs(), 0.0);
+  std::vector<double> acc(source.num_docs(), 0.0);
   for (TermId t : query.terms) {
-    const PostingList& list = file.list(t);
-    for (size_t i = 0; i < list.size(); ++i) {
+    for (auto cursor = source.OpenCursor(t); !cursor->at_end();
+         cursor->next()) {
       CostTicker::TickSeq();
       CostTicker::TickScore();
-      acc[list[i].doc] += model.Weight(t, list[i]);
+      const Posting p{cursor->doc(), cursor->tf()};
+      acc[p.doc] += model.Weight(t, p);
     }
   }
   return acc;
+}
+
+std::vector<double> AccumulateScores(const InvertedFile& file,
+                                     const ScoringModel& model,
+                                     const Query& query) {
+  return AccumulateScores(InMemoryPostingSource(&file), model, query);
 }
 
 namespace {

@@ -11,6 +11,7 @@
 
 #include "ir/query_gen.h"
 #include "ir/scoring.h"
+#include "storage/segment/posting_cursor.h"
 
 namespace moa {
 
@@ -29,6 +30,15 @@ std::vector<ScoredDoc> ExactTopN(const InvertedFile& file,
 
 /// \brief Dense score accumulation: score of every document (0 if no query
 /// term matches). Building block shared by several physical operators.
+///
+/// The PostingSource overload is the implementation: it streams every
+/// term's postings through a cursor, so it runs identically over the
+/// in-memory file and over a compressed mmap-backed segment. The
+/// InvertedFile overload adapts and delegates — both paths execute the
+/// same float operations in the same order (bit-identical scores).
+std::vector<double> AccumulateScores(const PostingSource& source,
+                                     const ScoringModel& model,
+                                     const Query& query);
 std::vector<double> AccumulateScores(const InvertedFile& file,
                                      const ScoringModel& model,
                                      const Query& query);

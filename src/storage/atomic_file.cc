@@ -1,0 +1,65 @@
+#include "storage/atomic_file.h"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <memory>
+
+namespace moa {
+namespace {
+
+struct FileCloser {
+  void operator()(std::FILE* f) const {
+    if (f != nullptr) std::fclose(f);
+  }
+};
+using FileHandle = std::unique_ptr<std::FILE, FileCloser>;
+
+Status WriteAndSync(const std::string& tmp,
+                    const std::function<Status(std::FILE*)>& body) {
+  FileHandle f(std::fopen(tmp.c_str(), "wb"));
+  if (!f) return Status::Internal("cannot open for write: " + tmp);
+  MOA_RETURN_NOT_OK(body(f.get()));
+  if (std::fflush(f.get()) != 0) return Status::Internal("flush failed");
+  // fflush only reaches the kernel page cache; without fsync a power
+  // failure after the rename could publish a truncated file.
+  if (::fsync(::fileno(f.get())) != 0) {
+    return Status::Internal("fsync failed: " + tmp);
+  }
+  return Status::OK();
+}
+
+void BestEffortSyncParentDir(const std::string& path) {
+  // Persisting the rename itself needs a directory fsync. Best-effort:
+  // some filesystems reject directory fsync, and the data-loss window
+  // without it (rename not yet journaled) still cannot expose a
+  // half-written file — the old content simply survives instead.
+  const size_t slash = path.find_last_of('/');
+  const std::string dir = slash == std::string::npos
+                              ? std::string(".")
+                              : path.substr(0, slash + 1);
+  const int fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
+  if (fd >= 0) {
+    ::fsync(fd);
+    ::close(fd);
+  }
+}
+
+}  // namespace
+
+Status WriteFileAtomically(const std::string& path,
+                           const std::function<Status(std::FILE*)>& body) {
+  const std::string tmp = path + ".tmp";
+  Status status = WriteAndSync(tmp, body);  // closed before rename
+  if (status.ok() && std::rename(tmp.c_str(), path.c_str()) != 0) {
+    status = Status::Internal("rename failed: " + path);
+  }
+  if (!status.ok()) {
+    std::remove(tmp.c_str());
+    return status;
+  }
+  BestEffortSyncParentDir(path);
+  return Status::OK();
+}
+
+}  // namespace moa

@@ -1,0 +1,27 @@
+// Crash-safe file replacement, shared by every on-disk format writer.
+//
+// The bytes are produced into `path + ".tmp"`, flushed and fsync'ed, and
+// renamed into place; the destination therefore either keeps its old
+// content or atomically becomes the complete new file — a crash (process
+// or power) mid-write never leaves a half-written file at `path`. On any
+// error the temp file is removed and the destination is untouched.
+#ifndef MOA_STORAGE_ATOMIC_FILE_H_
+#define MOA_STORAGE_ATOMIC_FILE_H_
+
+#include <cstdio>
+#include <functional>
+#include <string>
+
+#include "common/status.h"
+
+namespace moa {
+
+/// Runs `body` against a fresh temp file and atomically publishes the
+/// result at `path`. `body` must leave all bytes written (no need to
+/// flush); it may return an error to abort, which unlinks the temp file.
+Status WriteFileAtomically(const std::string& path,
+                           const std::function<Status(std::FILE*)>& body);
+
+}  // namespace moa
+
+#endif  // MOA_STORAGE_ATOMIC_FILE_H_

@@ -6,6 +6,8 @@
 #include <memory>
 #include <vector>
 
+#include "storage/atomic_file.h"
+
 namespace moa {
 namespace {
 
@@ -42,38 +44,61 @@ Status ReadPod(std::FILE* f, T* value) {
   return ReadBytes(f, value, sizeof(T));
 }
 
-}  // namespace
-
-Status WriteInvertedFile(const InvertedFile& file, const std::string& path) {
-  FileHandle f(std::fopen(path.c_str(), "wb"));
-  if (!f) return Status::Internal("cannot open for write: " + path);
-
-  MOA_RETURN_NOT_OK(WriteBytes(f.get(), kMagic, sizeof(kMagic)));
-  MOA_RETURN_NOT_OK(WritePod<uint64_t>(f.get(), file.num_terms()));
-  MOA_RETURN_NOT_OK(WritePod<uint64_t>(f.get(), file.num_docs()));
+Status WriteBody(const InvertedFile& file, std::FILE* f) {
+  MOA_RETURN_NOT_OK(WriteBytes(f, kMagic, sizeof(kMagic)));
+  MOA_RETURN_NOT_OK(WritePod<uint64_t>(f, file.num_terms()));
+  MOA_RETURN_NOT_OK(WritePod<uint64_t>(f, file.num_docs()));
   MOA_RETURN_NOT_OK(
-      WritePod<uint64_t>(f.get(), static_cast<uint64_t>(file.total_tokens())));
+      WritePod<uint64_t>(f, static_cast<uint64_t>(file.total_tokens())));
   if (!file.doc_lengths().empty()) {
-    MOA_RETURN_NOT_OK(WriteBytes(f.get(), file.doc_lengths().data(),
+    MOA_RETURN_NOT_OK(WriteBytes(f, file.doc_lengths().data(),
                                  file.doc_lengths().size() * sizeof(uint32_t)));
   }
   for (TermId t = 0; t < file.num_terms(); ++t) {
     const PostingList& list = file.list(t);
-    MOA_RETURN_NOT_OK(WritePod<uint64_t>(f.get(), list.size()));
+    MOA_RETURN_NOT_OK(WritePod<uint64_t>(f, list.size()));
     for (size_t i = 0; i < list.size(); ++i) {
-      MOA_RETURN_NOT_OK(WritePod<uint32_t>(f.get(), list[i].doc));
-      MOA_RETURN_NOT_OK(WritePod<uint32_t>(f.get(), list[i].tf));
+      MOA_RETURN_NOT_OK(WritePod<uint32_t>(f, list[i].doc));
+      MOA_RETURN_NOT_OK(WritePod<uint32_t>(f, list[i].tf));
     }
   }
-  if (std::fflush(f.get()) != 0) return Status::Internal("flush failed");
   return Status::OK();
+}
+
+/// Byte size of the open file via seek-to-end (restores the position).
+Result<uint64_t> FileSize(std::FILE* f) {
+  if (std::fseek(f, 0, SEEK_END) != 0) {
+    return Status::Internal("seek failed");
+  }
+  const long size = std::ftell(f);
+  if (size < 0) return Status::Internal("tell failed");
+  if (std::fseek(f, 0, SEEK_SET) != 0) {
+    return Status::Internal("seek failed");
+  }
+  return static_cast<uint64_t>(size);
+}
+
+}  // namespace
+
+Status WriteInvertedFile(const InvertedFile& file, const std::string& path) {
+  return WriteFileAtomically(
+      path, [&file](std::FILE* f) { return WriteBody(file, f); });
 }
 
 Result<InvertedFile> ReadInvertedFile(const std::string& path) {
   FileHandle f(std::fopen(path.c_str(), "rb"));
   if (!f) return Status::NotFound("cannot open: " + path);
+  Result<uint64_t> size = FileSize(f.get());
+  MOA_RETURN_NOT_OK(size.status());
+  // Bytes of payload left behind the read position. Every section size is
+  // checked against this *before* allocating or reading, so a corrupt
+  // header or df field fails with InvalidArgument instead of bad_alloc.
+  uint64_t remaining = size.ValueOrDie();
 
   char magic[8];
+  if (remaining < sizeof(magic) + 3 * sizeof(uint64_t)) {
+    return Status::InvalidArgument("truncated header");
+  }
   MOA_RETURN_NOT_OK(ReadBytes(f.get(), magic, sizeof(magic)));
   if (std::memcmp(magic, kMagic, sizeof(kMagic)) != 0) {
     return Status::InvalidArgument("bad magic: not a moa inverted file");
@@ -82,14 +107,22 @@ Result<InvertedFile> ReadInvertedFile(const std::string& path) {
   MOA_RETURN_NOT_OK(ReadPod(f.get(), &num_terms));
   MOA_RETURN_NOT_OK(ReadPod(f.get(), &num_docs));
   MOA_RETURN_NOT_OK(ReadPod(f.get(), &total_tokens));
+  remaining -= sizeof(magic) + 3 * sizeof(uint64_t);
   if (num_terms > (1ULL << 32) || num_docs > (1ULL << 32)) {
     return Status::InvalidArgument("implausible header counts");
+  }
+  // The doc-length section plus one df field per term must fit in what is
+  // actually on disk.
+  if (num_docs * sizeof(uint32_t) > remaining ||
+      num_terms * sizeof(uint64_t) > remaining - num_docs * sizeof(uint32_t)) {
+    return Status::InvalidArgument("header counts exceed file size");
   }
 
   std::vector<uint32_t> doc_lengths(num_docs);
   if (num_docs > 0) {
     MOA_RETURN_NOT_OK(ReadBytes(f.get(), doc_lengths.data(),
                                 num_docs * sizeof(uint32_t)));
+    remaining -= num_docs * sizeof(uint32_t);
   }
 
   // Rebuild through the builder so every invariant is revalidated: read the
@@ -98,9 +131,16 @@ Result<InvertedFile> ReadInvertedFile(const std::string& path) {
   uint64_t check_tokens = 0;
   for (TermId t = 0; t < num_terms; ++t) {
     uint64_t df = 0;
+    if (remaining < sizeof(uint64_t)) {
+      return Status::InvalidArgument("truncated term section");
+    }
     MOA_RETURN_NOT_OK(ReadPod(f.get(), &df));
+    remaining -= sizeof(uint64_t);
     if (df > num_docs) {
       return Status::InvalidArgument("df exceeds document count");
+    }
+    if (df * 2 * sizeof(uint32_t) > remaining) {
+      return Status::InvalidArgument("df exceeds file size");
     }
     uint32_t prev_doc = 0;
     bool first = true;
@@ -117,6 +157,7 @@ Result<InvertedFile> ReadInvertedFile(const std::string& path) {
       per_doc[doc].emplace_back(t, tf);
       check_tokens += tf;
     }
+    remaining -= df * 2 * sizeof(uint32_t);
   }
   if (check_tokens != total_tokens) {
     return Status::InvalidArgument("token count mismatch (corrupt file)");

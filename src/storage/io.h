@@ -20,11 +20,16 @@
 
 namespace moa {
 
-/// Writes `file` to `path` (overwrites). Returns an error on I/O failure.
+/// Writes `file` to `path` (overwrites). The bytes go to `path + ".tmp"`
+/// first and are renamed into place atomically, so a crash or I/O error
+/// mid-write never leaves a half-written index at `path`. Returns an
+/// error on I/O failure (and cleans the temp file up).
 Status WriteInvertedFile(const InvertedFile& file, const std::string& path);
 
 /// Reads an inverted file written by WriteInvertedFile. Validates the
-/// magic, the section sizes and the doc-order invariant of every list.
+/// magic, every section size against the actual file length (corrupt
+/// counts fail cleanly instead of triggering huge allocations), and the
+/// doc-order invariant of every list.
 Result<InvertedFile> ReadInvertedFile(const std::string& path);
 
 }  // namespace moa

@@ -1,0 +1,59 @@
+#include "storage/segment/block_codec.h"
+
+#include "storage/segment/posting_cursor.h"
+#include "storage/segment/varbyte.h"
+
+namespace moa {
+
+void EncodePostingBlock(const Posting* postings, size_t count,
+                        std::vector<uint8_t>& out) {
+  DocId prev = 0;
+  for (size_t i = 0; i < count; ++i) {
+    VarbyteAppend(out, i == 0 ? postings[0].doc : postings[i].doc - prev);
+    prev = postings[i].doc;
+  }
+  for (size_t i = 0; i < count; ++i) {
+    VarbyteAppend(out, postings[i].tf);
+  }
+}
+
+Status DecodePostingBlock(const uint8_t* data, size_t bytes, size_t count,
+                          DocId expected_last_doc, DocId* docs,
+                          uint32_t* tfs) {
+  const uint8_t* p = data;
+  const uint8_t* end = data + bytes;
+  DocId prev = 0;
+  for (size_t i = 0; i < count; ++i) {
+    uint32_t v = 0;
+    const size_t used = VarbyteDecode(p, end, &v);
+    if (used == 0) return Status::InvalidArgument("segment block: bad doc");
+    p += used;
+    if (i == 0) {
+      prev = v;
+    } else {
+      // Gaps are >= 1 by construction; 0 would break strict ordering and
+      // an overflow past kEndDoc would wrap.
+      if (v == 0 || v > kEndDoc - prev) {
+        return Status::InvalidArgument("segment block: doc order violated");
+      }
+      prev += v;
+    }
+    docs[i] = prev;
+  }
+  if (count > 0 && prev != expected_last_doc) {
+    return Status::InvalidArgument("segment block: last doc mismatch");
+  }
+  for (size_t i = 0; i < count; ++i) {
+    uint32_t v = 0;
+    const size_t used = VarbyteDecode(p, end, &v);
+    if (used == 0) return Status::InvalidArgument("segment block: bad tf");
+    p += used;
+    tfs[i] = v;
+  }
+  if (p != end) {
+    return Status::InvalidArgument("segment block: trailing bytes");
+  }
+  return Status::OK();
+}
+
+}  // namespace moa

@@ -1,0 +1,33 @@
+// Encode/decode of one MOAIF02 posting block (segment_format.h).
+//
+// Block payload: varbyte(first_doc) then, per remaining posting,
+// varbyte(doc gap >= 1); after all docs, varbyte(tf) per posting in the
+// same order. Grouping the doc stream before the tf stream keeps the
+// doc-id bytes dense for skip-heavy access patterns while staying a
+// strictly sequential decode.
+#ifndef MOA_STORAGE_SEGMENT_BLOCK_CODEC_H_
+#define MOA_STORAGE_SEGMENT_BLOCK_CODEC_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/status.h"
+#include "storage/posting.h"
+
+namespace moa {
+
+/// Appends the encoding of postings[0..count) (doc-sorted) to `out`.
+void EncodePostingBlock(const Posting* postings, size_t count,
+                        std::vector<uint8_t>& out);
+
+/// Decodes exactly `count` postings from [data, data + bytes) into
+/// docs/tfs (each sized >= count by the caller). Validates: bounds, strict
+/// doc ordering, full consumption of the span, and that the final doc id
+/// equals `expected_last_doc` — so a corrupt block fails cleanly instead
+/// of yielding garbage postings.
+Status DecodePostingBlock(const uint8_t* data, size_t bytes, size_t count,
+                          DocId expected_last_doc, DocId* docs, uint32_t* tfs);
+
+}  // namespace moa
+
+#endif  // MOA_STORAGE_SEGMENT_BLOCK_CODEC_H_

@@ -1,0 +1,48 @@
+#include "storage/segment/posting_cursor.h"
+
+#include <algorithm>
+
+namespace moa {
+namespace {
+
+/// Cursor over a doc-sorted std::vector<Posting>. advance_to binary
+/// searches the remaining suffix, matching the O(log n) probe cost of
+/// PostingList::FindTf.
+class InMemoryPostingCursor final : public PostingCursor {
+ public:
+  explicit InMemoryPostingCursor(const PostingList* list) : list_(list) {}
+
+  DocId doc() const override {
+    return pos_ < list_->size() ? (*list_)[pos_].doc : kEndDoc;
+  }
+  uint32_t tf() const override {
+    return pos_ < list_->size() ? (*list_)[pos_].tf : 0;
+  }
+  void next() override {
+    if (pos_ < list_->size()) ++pos_;
+  }
+  void advance_to(DocId target) override {
+    if (doc() >= target) return;
+    const auto& postings = list_->postings();
+    auto it = std::lower_bound(
+        postings.begin() + static_cast<ptrdiff_t>(pos_), postings.end(),
+        target, [](const Posting& p, DocId d) { return p.doc < d; });
+    pos_ = static_cast<size_t>(it - postings.begin());
+  }
+  size_t size() const override { return list_->size(); }
+  double block_max_impact() const override { return max_impact(); }
+  double max_impact() const override { return list_->max_weight(); }
+
+ private:
+  const PostingList* list_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+std::unique_ptr<PostingCursor> InMemoryPostingSource::OpenCursor(
+    TermId t) const {
+  return std::make_unique<InMemoryPostingCursor>(&file_->list(t));
+}
+
+}  // namespace moa

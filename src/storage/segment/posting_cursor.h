@@ -1,0 +1,117 @@
+// PostingCursor / PostingSource: the representation-agnostic read API over
+// posting storage.
+//
+// Executors that only need doc-ordered (doc, tf) streams — the baselines,
+// term-at-a-time max-score and STOP AFTER — talk to this interface instead
+// of touching std::vector<Posting> directly, so the same algorithm runs
+// unchanged over the in-memory InvertedFile and over a compressed
+// mmap-backed MOAIF02 segment (storage/segment/segment_reader.h).
+//
+// Contract (shared by every implementation, enforced by the conformance
+// suite in tests/posting_cursor_test.cc):
+//  - A fresh cursor is positioned on the first posting (or at end when the
+//    list is empty). doc() returns kEndDoc once exhausted; tf() is
+//    meaningless there.
+//  - next() moves forward one posting; calling it at end stays at end.
+//  - advance_to(target) moves to the first posting with doc >= target and
+//    is a no-op when doc() >= target already (cursors never move
+//    backwards). advance_to(kEndDoc) exhausts the cursor unless a posting
+//    for the largest representable doc exists.
+//  - Impact metadata (max_impact / block_max_impact) is an upper bound on
+//    the scoring weight of any posting in the term / in the current block.
+//    It is only meaningful when the source HasImpacts for the term; the
+//    in-memory implementation treats the whole list as one block.
+//
+// Cost accounting stays in the algorithms (CostTicker ticks per posting
+// touched), not in the cursors, so switching representations does not
+// change the deterministic work counters.
+#ifndef MOA_STORAGE_SEGMENT_POSTING_CURSOR_H_
+#define MOA_STORAGE_SEGMENT_POSTING_CURSOR_H_
+
+#include <cstdint>
+#include <limits>
+#include <memory>
+
+#include "storage/inverted_file.h"
+#include "storage/posting.h"
+
+namespace moa {
+
+/// Sentinel returned by PostingCursor::doc() when the cursor is exhausted.
+inline constexpr DocId kEndDoc = std::numeric_limits<DocId>::max();
+
+/// \brief Forward, skippable iterator over one term's doc-ordered postings.
+class PostingCursor {
+ public:
+  virtual ~PostingCursor() = default;
+
+  /// Current document id, kEndDoc when exhausted.
+  virtual DocId doc() const = 0;
+  /// Term frequency of the current posting; undefined at end.
+  virtual uint32_t tf() const = 0;
+  /// Moves to the next posting (stays at end once exhausted).
+  virtual void next() = 0;
+  /// Moves to the first posting with doc >= target; no-op if already there.
+  virtual void advance_to(DocId target) = 0;
+  /// Total number of postings (the term's document frequency).
+  virtual size_t size() const = 0;
+  /// Upper bound on the weight of any posting in the current block.
+  virtual double block_max_impact() const = 0;
+  /// Upper bound on the weight of any posting of the term.
+  virtual double max_impact() const = 0;
+
+  bool at_end() const { return doc() == kEndDoc; }
+};
+
+/// \brief A collection of posting lists addressable by TermId.
+///
+/// Implementations: InMemoryPostingSource (below) over an InvertedFile and
+/// SegmentReader (segment_reader.h) over a compressed mmap-backed segment.
+/// Sources are immutable after construction and safe for concurrent reads;
+/// each OpenCursor call returns an independent cursor.
+class PostingSource {
+ public:
+  virtual ~PostingSource() = default;
+
+  virtual size_t num_terms() const = 0;
+  virtual size_t num_docs() const = 0;
+  /// Number of documents containing term t.
+  virtual uint32_t DocFrequency(TermId t) const = 0;
+  /// True if MaxImpact/impact bounds are available for term t.
+  virtual bool HasImpacts(TermId t) const = 0;
+  /// Upper bound on the weight of any posting of t; requires HasImpacts.
+  virtual double MaxImpact(TermId t) const = 0;
+  /// A fresh cursor positioned on t's first posting.
+  virtual std::unique_ptr<PostingCursor> OpenCursor(TermId t) const = 0;
+};
+
+/// \brief Zero-copy PostingSource view over an in-memory InvertedFile.
+///
+/// Cheap to construct (one pointer), so callers holding only an
+/// InvertedFile can adapt it on the stack. Impact bounds come from the
+/// list's materialized impact order (InvertedFile::BuildImpactOrders); the
+/// whole list counts as a single block.
+class InMemoryPostingSource final : public PostingSource {
+ public:
+  explicit InMemoryPostingSource(const InvertedFile* file) : file_(file) {}
+
+  size_t num_terms() const override { return file_->num_terms(); }
+  size_t num_docs() const override { return file_->num_docs(); }
+  uint32_t DocFrequency(TermId t) const override {
+    return file_->DocFrequency(t);
+  }
+  bool HasImpacts(TermId t) const override {
+    return file_->list(t).has_impact_order();
+  }
+  double MaxImpact(TermId t) const override {
+    return file_->list(t).max_weight();
+  }
+  std::unique_ptr<PostingCursor> OpenCursor(TermId t) const override;
+
+ private:
+  const InvertedFile* file_;
+};
+
+}  // namespace moa
+
+#endif  // MOA_STORAGE_SEGMENT_POSTING_CURSOR_H_

@@ -1,0 +1,94 @@
+// Mmap-backed MOAIF02 segment reader: a PostingSource whose posting lists
+// stay compressed on disk until a cursor touches them.
+//
+// Open() memory-maps the file read-only and fully validates the header
+// and both directories (bounds, monotonicity, block-count arithmetic,
+// doc-length/token-count cross-check) in O(terms + blocks) — without
+// decoding any payload. Cursors then decode one block at a time, lazily,
+// straight out of the mapping: cold-start cost is a page-table setup, not
+// an index rebuild, and queries only ever fault in the blocks they scan
+// or skip to.
+//
+// Thread-safety: the reader is immutable after Open and safe for
+// concurrent OpenCursor calls; each cursor is single-threaded.
+#ifndef MOA_STORAGE_SEGMENT_SEGMENT_READER_H_
+#define MOA_STORAGE_SEGMENT_SEGMENT_READER_H_
+
+#include <cstdint>
+#include <cstring>
+#include <memory>
+#include <string>
+
+#include "common/status.h"
+#include "storage/inverted_file.h"
+#include "storage/segment/posting_cursor.h"
+#include "storage/segment/segment_format.h"
+
+namespace moa {
+
+class SegmentReader final : public PostingSource {
+ public:
+  /// Maps and validates the segment at `path`.
+  static Result<std::unique_ptr<SegmentReader>> Open(const std::string& path);
+
+  ~SegmentReader() override;
+  SegmentReader(const SegmentReader&) = delete;
+  SegmentReader& operator=(const SegmentReader&) = delete;
+
+  // PostingSource:
+  size_t num_terms() const override { return header_.num_terms; }
+  size_t num_docs() const override { return header_.num_docs; }
+  uint32_t DocFrequency(TermId t) const override;
+  bool HasImpacts(TermId /*t*/) const override {
+    // Impact metadata is all-or-nothing per segment.
+    return (header_.flags & kFlagHasImpacts) != 0;
+  }
+  double MaxImpact(TermId t) const override;
+  std::unique_ptr<PostingCursor> OpenCursor(TermId t) const override;
+
+  uint64_t total_tokens() const { return header_.total_tokens; }
+  uint32_t block_size() const { return header_.block_size; }
+  bool has_impacts() const { return (header_.flags & kFlagHasImpacts) != 0; }
+  /// Name of the scoring model the stored impact bounds were computed
+  /// with (empty when the segment carries no impacts). Consumers must
+  /// match this against their serving model before pruning on the
+  /// bounds — they are meaningless under a different model.
+  std::string impact_model() const {
+    const size_t len = ::strnlen(header_.impact_model, kImpactModelBytes);
+    return std::string(header_.impact_model, len);
+  }
+  uint64_t file_size() const { return size_; }
+  /// Token count of document d (served from the mapped section).
+  uint32_t DocLength(DocId d) const;
+
+  /// Decodes every block and re-validates cross-block invariants plus the
+  /// global token count — catches payload corruption that the structural
+  /// checks at Open cannot see (e.g. a flipped tf byte).
+  Status CheckIntegrity() const;
+
+  /// Full decode into an in-memory InvertedFile (re-validated through the
+  /// builder). This is the expensive compatibility path; query execution
+  /// should use cursors instead.
+  Result<InvertedFile> ToInvertedFile() const;
+
+ private:
+  SegmentReader() = default;
+
+  Status Validate() const;
+  TermDirEntry term_entry(TermId t) const;
+  /// Payload bytes owned by term t (derived from the next term's offset).
+  uint64_t term_payload_bytes(const TermDirEntry& entry, TermId t) const;
+
+  const uint8_t* data_ = nullptr;  // whole mapping
+  uint64_t size_ = 0;
+  SegmentHeader header_{};
+  // Section base pointers into the mapping (set after header validation).
+  const uint8_t* doc_lengths_ = nullptr;
+  const uint8_t* term_dir_ = nullptr;
+  const uint8_t* block_dir_ = nullptr;
+  const uint8_t* payload_ = nullptr;
+};
+
+}  // namespace moa
+
+#endif  // MOA_STORAGE_SEGMENT_SEGMENT_READER_H_

@@ -1,0 +1,110 @@
+#include "storage/segment/segment_writer.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <vector>
+
+#include "storage/atomic_file.h"
+#include "storage/segment/block_codec.h"
+
+namespace moa {
+namespace {
+
+Status WriteBytes(std::FILE* f, const void* data, size_t size) {
+  if (size > 0 && std::fwrite(data, 1, size, f) != size) {
+    return Status::Internal("segment: short write");
+  }
+  return Status::OK();
+}
+
+template <typename T>
+Status WritePodVector(std::FILE* f, const std::vector<T>& v) {
+  return WriteBytes(f, v.data(), v.size() * sizeof(T));
+}
+
+Status WriteBody(const InvertedFile& file, const SegmentWriterOptions& options,
+                 std::FILE* out) {
+  const uint32_t block_size = options.block_size;
+
+  // Pass 1: build the directories and the payload in memory. Payload size
+  // is a few bytes per posting — for collections where that does not fit,
+  // this is the place to stream per-term instead.
+  std::vector<TermDirEntry> term_dir(file.num_terms());
+  std::vector<BlockDirEntry> block_dir;
+  std::vector<uint8_t> payload;
+  payload.reserve(static_cast<size_t>(file.num_postings()) * 2);
+
+  for (TermId t = 0; t < file.num_terms(); ++t) {
+    const PostingList& list = file.list(t);
+    TermDirEntry& entry = term_dir[t];
+    entry.block_begin = block_dir.size();
+    entry.payload_offset = payload.size();
+    entry.df = static_cast<uint32_t>(list.size());
+    entry.max_impact = 0.0;
+
+    const std::vector<Posting>& postings = list.postings();
+    for (size_t begin = 0; begin < postings.size(); begin += block_size) {
+      const size_t count =
+          std::min<size_t>(block_size, postings.size() - begin);
+      BlockDirEntry block;
+      block.offset =
+          static_cast<uint32_t>(payload.size() - entry.payload_offset);
+      block.last_doc = postings[begin + count - 1].doc;
+      block.count = static_cast<uint32_t>(count);
+      block.max_tf = 0;
+      block.max_impact = 0.0;
+      for (size_t i = begin; i < begin + count; ++i) {
+        block.max_tf = std::max(block.max_tf, postings[i].tf);
+        if (options.impact_fn) {
+          block.max_impact =
+              std::max(block.max_impact, options.impact_fn(t, postings[i]));
+        }
+      }
+      entry.max_impact = std::max(entry.max_impact, block.max_impact);
+      EncodePostingBlock(postings.data() + begin, count, payload);
+      block_dir.push_back(block);
+    }
+    entry.block_count =
+        static_cast<uint32_t>(block_dir.size() - entry.block_begin);
+  }
+
+  SegmentHeader header{};
+  std::memcpy(header.magic, kSegmentMagic, sizeof(header.magic));
+  header.block_size = block_size;
+  header.flags = options.impact_fn ? kFlagHasImpacts : 0;
+  if (options.impact_fn) {
+    options.impact_model.copy(header.impact_model,
+                              sizeof(header.impact_model) - 1);
+  }
+  header.num_terms = file.num_terms();
+  header.num_docs = file.num_docs();
+  header.total_tokens = static_cast<uint64_t>(file.total_tokens());
+  header.num_blocks = block_dir.size();
+  header.payload_bytes = payload.size();
+
+  MOA_RETURN_NOT_OK(WriteBytes(out, &header, sizeof(header)));
+  MOA_RETURN_NOT_OK(WritePodVector(out, file.doc_lengths()));
+  const uint64_t doc_bytes = file.num_docs() * sizeof(uint32_t);
+  const uint64_t pad = SegmentAlign(doc_bytes) - doc_bytes;
+  const char zeros[8] = {};
+  MOA_RETURN_NOT_OK(WriteBytes(out, zeros, pad));
+  MOA_RETURN_NOT_OK(WritePodVector(out, term_dir));
+  MOA_RETURN_NOT_OK(WritePodVector(out, block_dir));
+  MOA_RETURN_NOT_OK(WritePodVector(out, payload));
+  return Status::OK();
+}
+
+}  // namespace
+
+Status WriteSegment(const InvertedFile& file, const std::string& path,
+                    const SegmentWriterOptions& options) {
+  if (options.block_size == 0) {
+    return Status::InvalidArgument("segment: block_size must be >= 1");
+  }
+  return WriteFileAtomically(path, [&](std::FILE* out) {
+    return WriteBody(file, options, out);
+  });
+}
+
+}  // namespace moa

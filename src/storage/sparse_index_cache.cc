@@ -1,8 +1,21 @@
 #include "storage/sparse_index_cache.h"
 
 #include <mutex>
+#include <utility>
 
 namespace moa {
+
+const SparseIndex* SparseIndexCache::Insert(uint64_t key, Entry entry) {
+  // Build happened outside the lock so cold-cache builds of different
+  // terms run concurrently and readers of warm terms are not stalled; the
+  // loser of a rare duplicate build discards its copy at the re-check.
+  std::unique_lock<std::shared_mutex> lock(mutex_);
+  auto it = indexes_.find(key);
+  if (it == indexes_.end()) {
+    it = indexes_.emplace(key, std::move(entry)).first;
+  }
+  return &it->second.index;
+}
 
 const SparseIndex* SparseIndexCache::GetOrBuild(TermId term,
                                                 const PostingList& list,
@@ -11,25 +24,38 @@ const SparseIndex* SparseIndexCache::GetOrBuild(TermId term,
   {
     std::shared_lock<std::shared_mutex> lock(mutex_);
     auto it = indexes_.find(key);
-    if (it != indexes_.end()) return &it->second;
+    if (it != indexes_.end()) return &it->second.index;
   }
-  // Build outside the lock so cold-cache builds of different terms run
-  // concurrently and readers of warm terms are not stalled; the loser of
-  // a rare duplicate build discards its copy at the emplace re-check.
-  SparseIndex built(&list, block_size);
-  std::unique_lock<std::shared_mutex> lock(mutex_);
-  auto it = indexes_.find(key);
-  if (it == indexes_.end()) {
-    it = indexes_.emplace(key, std::move(built)).first;
+  Entry entry;
+  entry.index = SparseIndex(&list, block_size);
+  return Insert(key, std::move(entry));
+}
+
+const SparseIndex* SparseIndexCache::GetOrBuild(TermId term,
+                                                const PostingSource& source,
+                                                uint32_t block_size) {
+  const uint64_t key = Key(term, block_size);
+  {
+    std::shared_lock<std::shared_mutex> lock(mutex_);
+    auto it = indexes_.find(key);
+    if (it != indexes_.end()) return &it->second.index;
   }
-  return &it->second;
+  Entry entry;
+  entry.owned = std::make_unique<PostingList>();
+  for (auto cursor = source.OpenCursor(term); !cursor->at_end();
+       cursor->next()) {
+    entry.owned->Append(cursor->doc(), cursor->tf());
+  }
+  entry.owned->Seal();
+  entry.index = SparseIndex(entry.owned.get(), block_size);
+  return Insert(key, std::move(entry));
 }
 
 const SparseIndex* SparseIndexCache::Find(TermId term,
                                           uint32_t block_size) const {
   std::shared_lock<std::shared_mutex> lock(mutex_);
   auto it = indexes_.find(Key(term, block_size));
-  return it == indexes_.end() ? nullptr : &it->second;
+  return it == indexes_.end() ? nullptr : &it->second.index;
 }
 
 size_t SparseIndexCache::size() const {

@@ -11,11 +11,13 @@
 #define MOA_STORAGE_SPARSE_INDEX_CACHE_H_
 
 #include <cstdint>
+#include <memory>
 #include <shared_mutex>
 #include <unordered_map>
 
 #include "storage/dictionary.h"
 #include "storage/posting.h"
+#include "storage/segment/posting_cursor.h"
 #include "storage/sparse_index.h"
 
 namespace moa {
@@ -39,8 +41,19 @@ class SparseIndexCache {
   SparseIndexCache& operator=(const SparseIndexCache&) = delete;
 
   /// The cached index for (term, block_size), building it from `list` on
-  /// first use. Thread-safe.
+  /// first use. The index borrows `list`, which must outlive the cache
+  /// entry. Thread-safe.
   const SparseIndex* GetOrBuild(TermId term, const PostingList& list,
+                                uint32_t block_size);
+
+  /// Cursor-backed variant: on first use, materializes the term's
+  /// postings from `source` (one sequential decode for compressed
+  /// storage) into a cache-owned list and indexes that. Later probes are
+  /// pure in-memory — the cache doubles as a decode-once store for the
+  /// probe-heavy terms. Thread-safe; interchangeable with the borrowing
+  /// overload for the same (term, block size) as long as both describe
+  /// the same postings.
+  const SparseIndex* GetOrBuild(TermId term, const PostingSource& source,
                                 uint32_t block_size);
 
   /// The cached index for (term, block_size), or nullptr if absent.
@@ -54,12 +67,23 @@ class SparseIndexCache {
   void Clear();
 
  private:
+  /// One cached index, optionally owning the materialized postings it
+  /// indexes (cursor-built entries; borrowing entries leave `owned`
+  /// null). unique_ptr keeps the list address stable across map growth —
+  /// SparseIndex holds a pointer to it.
+  struct Entry {
+    std::unique_ptr<PostingList> owned;
+    SparseIndex index;
+  };
+
   static uint64_t Key(TermId term, uint32_t block_size) {
     return (static_cast<uint64_t>(term) << 32) | block_size;
   }
 
+  const SparseIndex* Insert(uint64_t key, Entry entry);
+
   mutable std::shared_mutex mutex_;
-  std::unordered_map<uint64_t, SparseIndex> indexes_;
+  std::unordered_map<uint64_t, Entry> indexes_;
 };
 
 }  // namespace moa

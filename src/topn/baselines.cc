@@ -36,11 +36,11 @@ std::vector<ScoredDoc> HeapSelect(const std::vector<double>& acc, size_t n) {
 
 }  // namespace
 
-TopNResult FullSortTopN(const InvertedFile& file, const ScoringModel& model,
+TopNResult FullSortTopN(const PostingSource& source, const ScoringModel& model,
                         const Query& query, size_t n) {
   TopNResult result;
   CostScope scope;
-  std::vector<double> acc = AccumulateScores(file, model, query);
+  std::vector<double> acc = AccumulateScores(source, model, query);
   std::vector<ScoredDoc> docs;
   for (DocId d = 0; d < acc.size(); ++d) {
     if (acc[d] > 0.0) docs.push_back(ScoredDoc{d, acc[d]});
@@ -57,17 +57,27 @@ TopNResult FullSortTopN(const InvertedFile& file, const ScoringModel& model,
   return result;
 }
 
-TopNResult HeapTopN(const InvertedFile& file, const ScoringModel& model,
+TopNResult HeapTopN(const PostingSource& source, const ScoringModel& model,
                     const Query& query, size_t n) {
   TopNResult result;
   CostScope scope;
-  std::vector<double> acc = AccumulateScores(file, model, query);
+  std::vector<double> acc = AccumulateScores(source, model, query);
   result.items = HeapSelect(acc, n);
   int64_t candidates = 0;
   for (double s : acc) candidates += (s > 0.0) ? 1 : 0;
   result.stats.candidates = candidates;
   result.stats.cost = scope.Snapshot();
   return result;
+}
+
+TopNResult FullSortTopN(const InvertedFile& file, const ScoringModel& model,
+                        const Query& query, size_t n) {
+  return FullSortTopN(InMemoryPostingSource(&file), model, query, n);
+}
+
+TopNResult HeapTopN(const InvertedFile& file, const ScoringModel& model,
+                    const Query& query, size_t n) {
+  return HeapTopN(InMemoryPostingSource(&file), model, query, n);
 }
 
 }  // namespace moa

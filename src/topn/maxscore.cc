@@ -5,7 +5,7 @@
 
 namespace moa {
 
-Result<TopNResult> MaxScoreTopN(const InvertedFile& file,
+Result<TopNResult> MaxScoreTopN(const PostingSource& source,
                                 const ScoringModel& model, const Query& query,
                                 size_t n, const MaxScoreOptions& options) {
   TopNResult result;
@@ -15,8 +15,8 @@ Result<TopNResult> MaxScoreTopN(const InvertedFile& file,
   // build the accumulator set; the frequent terms mostly update it.
   std::vector<TermId> terms;
   for (TermId t : query.terms) {
-    if (file.DocFrequency(t) > 0) {
-      if (!file.list(t).has_impact_order()) {
+    if (source.DocFrequency(t) > 0) {
+      if (!source.HasImpacts(t)) {
         return Status::FailedPrecondition(
             "MaxScoreTopN requires impact orders for max weights");
       }
@@ -24,8 +24,8 @@ Result<TopNResult> MaxScoreTopN(const InvertedFile& file,
     }
   }
   std::sort(terms.begin(), terms.end(), [&](TermId a, TermId b) {
-    if (file.DocFrequency(a) != file.DocFrequency(b)) {
-      return file.DocFrequency(a) < file.DocFrequency(b);
+    if (source.DocFrequency(a) != source.DocFrequency(b)) {
+      return source.DocFrequency(a) < source.DocFrequency(b);
     }
     return a < b;
   });
@@ -34,7 +34,7 @@ Result<TopNResult> MaxScoreTopN(const InvertedFile& file,
   // terms[i..] alone.
   std::vector<double> remaining(terms.size() + 1, 0.0);
   for (size_t i = terms.size(); i-- > 0;) {
-    remaining[i] = remaining[i + 1] + file.list(terms[i]).max_weight();
+    remaining[i] = remaining[i + 1] + source.MaxImpact(terms[i]);
   }
 
   std::unordered_map<DocId, double> acc;
@@ -70,10 +70,10 @@ Result<TopNResult> MaxScoreTopN(const InvertedFile& file,
       inserting = false;
     }
     const TermId t = terms[i];
-    const PostingList& list = file.list(t);
-    for (size_t j = 0; j < list.size(); ++j) {
+    for (auto cursor = source.OpenCursor(t); !cursor->at_end();
+         cursor->next()) {
       CostTicker::TickSeq();
-      const Posting& p = list[j];
+      const Posting p{cursor->doc(), cursor->tf()};
       auto it = acc.find(p.doc);
       if (it != acc.end()) {
         CostTicker::TickScore();
@@ -106,6 +106,12 @@ Result<TopNResult> MaxScoreTopN(const InvertedFile& file,
   result.items = std::move(docs);
   result.stats.cost = scope.Snapshot();
   return result;
+}
+
+Result<TopNResult> MaxScoreTopN(const InvertedFile& file,
+                                const ScoringModel& model, const Query& query,
+                                size_t n, const MaxScoreOptions& options) {
+  return MaxScoreTopN(InMemoryPostingSource(&file), model, query, n, options);
 }
 
 }  // namespace moa

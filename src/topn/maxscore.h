@@ -18,6 +18,7 @@
 #define MOA_TOPN_MAXSCORE_H_
 
 #include "ir/query_gen.h"
+#include "storage/segment/posting_cursor.h"
 #include "topn/topn_result.h"
 
 namespace moa {
@@ -37,7 +38,12 @@ struct MaxScoreOptions {
 };
 
 /// Term-at-a-time evaluation with max-score pruning. Requires impact
-/// orders (for per-term max weights).
+/// bounds (PostingSource::HasImpacts: in-memory impact orders, or stored
+/// per-term max impacts of a segment). The PostingSource overload is the
+/// implementation; the InvertedFile overload adapts and delegates.
+Result<TopNResult> MaxScoreTopN(const PostingSource& source,
+                                const ScoringModel& model, const Query& query,
+                                size_t n, const MaxScoreOptions& options = {});
 Result<TopNResult> MaxScoreTopN(const InvertedFile& file,
                                 const ScoringModel& model, const Query& query,
                                 size_t n, const MaxScoreOptions& options = {});

@@ -24,7 +24,7 @@ std::vector<ScoredDoc> SortStop(std::vector<ScoredDoc> docs, size_t n) {
 
 }  // namespace
 
-Result<TopNResult> StopAfterTopN(const InvertedFile& file,
+Result<TopNResult> StopAfterTopN(const PostingSource& source,
                                  const ScoringModel& model, const Query& query,
                                  size_t n, const StopAfterOptions& options) {
   if (options.safety <= 0.0) {
@@ -34,7 +34,7 @@ Result<TopNResult> StopAfterTopN(const InvertedFile& file,
   CostScope scope;
 
   // Scoring stage (common to both placements): dense accumulation.
-  std::vector<double> acc = AccumulateScores(file, model, query);
+  std::vector<double> acc = AccumulateScores(source, model, query);
   std::vector<DocId> candidates;
   for (DocId d = 0; d < acc.size(); ++d) {
     if (acc[d] > 0.0) candidates.push_back(d);
@@ -104,6 +104,12 @@ Result<TopNResult> StopAfterTopN(const InvertedFile& file,
   }
   result.stats.cost = scope.Snapshot();
   return result;
+}
+
+Result<TopNResult> StopAfterTopN(const InvertedFile& file,
+                                 const ScoringModel& model, const Query& query,
+                                 size_t n, const StopAfterOptions& options) {
+  return StopAfterTopN(InMemoryPostingSource(&file), model, query, n, options);
 }
 
 }  // namespace moa

@@ -13,6 +13,7 @@
 #define MOA_TOPN_STOP_AFTER_H_
 
 #include "ir/query_gen.h"
+#include "storage/segment/posting_cursor.h"
 #include "topn/topn_result.h"
 
 namespace moa {
@@ -39,7 +40,12 @@ struct StopAfterOptions {
 };
 
 /// Executes the ranking with a STOP AFTER n operator. Safe: restarts until
-/// n results (or all candidates) are produced.
+/// n results (or all candidates) are produced. The PostingSource overload
+/// is the implementation (cursor-based scoring stage); the InvertedFile
+/// overload adapts and delegates.
+Result<TopNResult> StopAfterTopN(const PostingSource& source,
+                                 const ScoringModel& model, const Query& query,
+                                 size_t n, const StopAfterOptions& options);
 Result<TopNResult> StopAfterTopN(const InvertedFile& file,
                                  const ScoringModel& model, const Query& query,
                                  size_t n, const StopAfterOptions& options);

@@ -3,6 +3,8 @@
 #include <gtest/gtest.h>
 
 #include <cstdio>
+#include <cstring>
+#include <filesystem>
 #include <fstream>
 
 #include "test_util.h"
@@ -96,6 +98,81 @@ TEST(IoTest, RejectsCorruptTokenCount) {
   auto r = ReadInvertedFile(path);
   EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument);
   std::remove(path.c_str());
+}
+
+TEST(IoTest, RejectsBogusDfWithoutAllocating) {
+  // A bit-flipped df must fail with InvalidArgument *before* any
+  // df-sized allocation or read — not with bad_alloc, not by reading
+  // past the end of the file.
+  const InvertedFile& original = testutil::SmallCollection().inverted_file();
+  const std::string path = TempPath("bogusdf.moaif");
+  ASSERT_TRUE(WriteInvertedFile(original, path).ok());
+  // First term's df is right behind header + doc-length section.
+  const std::streamoff df_offset =
+      32 + static_cast<std::streamoff>(original.num_docs()) * 4;
+  std::fstream fs(path, std::ios::binary | std::ios::in | std::ios::out);
+  fs.seekp(df_offset);
+  const uint64_t bogus = 0x7FFFFFFFFFFFFFFFull;
+  fs.write(reinterpret_cast<const char*>(&bogus), sizeof(bogus));
+  fs.close();
+  auto r = ReadInvertedFile(path);
+  EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument);
+  std::remove(path.c_str());
+}
+
+TEST(IoTest, RejectsHeaderCountsBeyondFileSize) {
+  // A tiny file claiming a billion documents must fail on the size check
+  // instead of allocating gigabytes of doc lengths.
+  const std::string path = TempPath("hugedocs.moaif");
+  std::ofstream out(path, std::ios::binary);
+  const char magic[8] = {'M', 'O', 'A', 'I', 'F', '0', '1', '\0'};
+  out.write(magic, sizeof(magic));
+  const uint64_t num_terms = 1, num_docs = 1000000000ull, total_tokens = 0;
+  out.write(reinterpret_cast<const char*>(&num_terms), 8);
+  out.write(reinterpret_cast<const char*>(&num_docs), 8);
+  out.write(reinterpret_cast<const char*>(&total_tokens), 8);
+  out.close();
+  auto r = ReadInvertedFile(path);
+  EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument);
+  std::remove(path.c_str());
+}
+
+TEST(IoTest, TruncationAnywhereFailsCleanly) {
+  const InvertedFile& original = testutil::SmallCollection().inverted_file();
+  const std::string path = TempPath("truncsweep.moaif");
+  ASSERT_TRUE(WriteInvertedFile(original, path).ok());
+  const auto full = std::filesystem::file_size(path);
+  for (const uintmax_t size : {uintmax_t{0}, uintmax_t{7}, uintmax_t{31},
+                               full / 4, full / 2, full - 4, full - 1}) {
+    std::filesystem::resize_file(path, size);
+    auto r = ReadInvertedFile(path);
+    EXPECT_FALSE(r.ok()) << "truncated to " << size << " of " << full;
+  }
+  std::remove(path.c_str());
+}
+
+TEST(IoTest, WriteIsAtomicAndLeavesNoTempFile) {
+  const InvertedFile& original = testutil::SmallCollection().inverted_file();
+  const std::string path = TempPath("atomic.moaif");
+  {
+    std::ofstream out(path, std::ios::binary);
+    out << "stale garbage that must disappear";
+  }
+  ASSERT_TRUE(WriteInvertedFile(original, path).ok());
+  EXPECT_FALSE(std::filesystem::exists(path + ".tmp"));
+  EXPECT_TRUE(ReadInvertedFile(path).ok());
+  std::remove(path.c_str());
+}
+
+TEST(IoTest, FailedWriteCleansUpTempAndCannotCorruptDestination) {
+  // Renaming onto a directory fails after the temp file was fully
+  // written: the error must surface and the temp file must be removed.
+  const InvertedFile& original = testutil::SmallCollection().inverted_file();
+  const std::string dir = TempPath("atomic_dir.moaif");
+  std::filesystem::create_directory(dir);
+  EXPECT_FALSE(WriteInvertedFile(original, dir).ok());
+  EXPECT_FALSE(std::filesystem::exists(dir + ".tmp"));
+  std::filesystem::remove(dir);
 }
 
 TEST(IoTest, LoadedFileSupportsRetrieval) {

@@ -1,0 +1,274 @@
+// Cursor-API conformance suite: the PostingCursor contract
+// (storage/segment/posting_cursor.h) must hold identically for every
+// implementation — the in-memory adapter over an InvertedFile and the
+// lazy block-decoding cursor over a compressed MOAIF02 segment, at a
+// block size small enough that every list spans several blocks (so
+// advance_to crosses block boundaries) and at the production default.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "ir/scoring.h"
+#include "storage/inverted_file.h"
+#include "storage/segment/posting_cursor.h"
+#include "storage/segment/segment_reader.h"
+#include "storage/segment/segment_writer.h"
+
+namespace moa {
+namespace {
+
+// Edge-case lists: empty, singleton, exactly one small block (4), one
+// posting more than a block, multi-byte varbyte gaps/tfs, and a dense run.
+const std::vector<std::vector<Posting>>& TermLists() {
+  static const std::vector<std::vector<Posting>> lists = [] {
+    std::vector<std::vector<Posting>> l(6);
+    // term 0: empty.
+    l[1] = {{5, 3}};
+    l[2] = {{0, 1}, {2, 2}, {4, 1}, {6, 7}};            // == small block size
+    l[3] = {{1, 1}, {3, 1}, {5, 2}, {7, 1}, {9, 4}};    // small block + 1
+    l[4] = {{0, 1}, {200, 130}, {20000, 1}, {120000, 70000}};  // big gaps/tfs
+    for (DocId d = 10; d < 400; d += 3) l[5].push_back({d, 1 + d % 5});
+    return l;
+  }();
+  return lists;
+}
+
+/// Builds an InvertedFile whose per-term lists equal TermLists(), with
+/// BM25 impact orders (so the in-memory source reports impacts too).
+struct Fixture {
+  InvertedFile file;
+  std::unique_ptr<ScoringModel> model;
+  std::string segment4_path;
+  std::string segment128_path;
+  std::unique_ptr<SegmentReader> segment4;
+  std::unique_ptr<SegmentReader> segment128;
+
+  Fixture() {
+    const auto& lists = TermLists();
+    DocId num_docs = 0;
+    for (const auto& list : lists) {
+      if (!list.empty()) num_docs = std::max(num_docs, list.back().doc + 1);
+    }
+    std::vector<std::vector<std::pair<TermId, uint32_t>>> per_doc(num_docs);
+    for (TermId t = 0; t < lists.size(); ++t) {
+      for (const Posting& p : lists[t]) per_doc[p.doc].emplace_back(t, p.tf);
+    }
+    InvertedFileBuilder builder(lists.size());
+    for (DocId d = 0; d < num_docs; ++d) {
+      EXPECT_TRUE(builder.AddDocument(d, per_doc[d]).ok());
+    }
+    file = builder.Build();
+    model = MakeBm25(&file);
+    file.BuildImpactOrders(
+        [&](TermId t, const Posting& p) { return model->Weight(t, p); });
+
+    SegmentWriterOptions options;
+    options.impact_fn = [&](TermId t, const Posting& p) {
+      return model->Weight(t, p);
+    };
+    segment4_path = std::string(::testing::TempDir()) + "/cursor4.moaseg";
+    segment128_path = std::string(::testing::TempDir()) + "/cursor128.moaseg";
+    options.block_size = 4;
+    EXPECT_TRUE(WriteSegment(file, segment4_path, options).ok());
+    options.block_size = 128;
+    EXPECT_TRUE(WriteSegment(file, segment128_path, options).ok());
+    segment4 = std::move(SegmentReader::Open(segment4_path)).ValueOrDie();
+    segment128 = std::move(SegmentReader::Open(segment128_path)).ValueOrDie();
+  }
+
+  ~Fixture() {
+    segment4.reset();
+    segment128.reset();
+    std::remove(segment4_path.c_str());
+    std::remove(segment128_path.c_str());
+  }
+};
+
+Fixture& SharedFixture() {
+  static Fixture* fixture = new Fixture();
+  return *fixture;
+}
+
+enum class SourceKind { kInMemory, kSegmentBlock4, kSegmentBlock128 };
+
+std::string KindName(const ::testing::TestParamInfo<SourceKind>& info) {
+  switch (info.param) {
+    case SourceKind::kInMemory: return "InMemory";
+    case SourceKind::kSegmentBlock4: return "SegmentBlock4";
+    case SourceKind::kSegmentBlock128: return "SegmentBlock128";
+  }
+  return "?";
+}
+
+class CursorConformanceTest : public ::testing::TestWithParam<SourceKind> {
+ protected:
+  const PostingSource& source() const {
+    Fixture& f = SharedFixture();
+    switch (GetParam()) {
+      case SourceKind::kSegmentBlock4: return *f.segment4;
+      case SourceKind::kSegmentBlock128: return *f.segment128;
+      case SourceKind::kInMemory: break;
+    }
+    static InMemoryPostingSource in_memory(&SharedFixture().file);
+    return in_memory;
+  }
+};
+
+TEST_P(CursorConformanceTest, SourceShapeMatchesReference) {
+  const auto& lists = TermLists();
+  EXPECT_EQ(source().num_terms(), lists.size());
+  EXPECT_EQ(source().num_docs(), SharedFixture().file.num_docs());
+  for (TermId t = 0; t < lists.size(); ++t) {
+    EXPECT_EQ(source().DocFrequency(t), lists[t].size()) << "term " << t;
+    // Impact availability only matters for terms that have postings (the
+    // in-memory impact order of an empty list is vacuously absent).
+    if (!lists[t].empty()) {
+      EXPECT_TRUE(source().HasImpacts(t)) << "term " << t;
+    }
+  }
+}
+
+TEST_P(CursorConformanceTest, SequentialScanYieldsExactSequence) {
+  const auto& lists = TermLists();
+  for (TermId t = 0; t < lists.size(); ++t) {
+    auto cursor = source().OpenCursor(t);
+    EXPECT_EQ(cursor->size(), lists[t].size());
+    for (const Posting& expected : lists[t]) {
+      ASSERT_FALSE(cursor->at_end()) << "term " << t;
+      EXPECT_EQ(cursor->doc(), expected.doc) << "term " << t;
+      EXPECT_EQ(cursor->tf(), expected.tf) << "term " << t;
+      cursor->next();
+    }
+    EXPECT_TRUE(cursor->at_end()) << "term " << t;
+    EXPECT_EQ(cursor->doc(), kEndDoc) << "term " << t;
+    cursor->next();  // next at end stays at end
+    EXPECT_TRUE(cursor->at_end()) << "term " << t;
+  }
+}
+
+TEST_P(CursorConformanceTest, AdvanceToEveryPresentDocLandsExactly) {
+  const auto& lists = TermLists();
+  for (TermId t = 0; t < lists.size(); ++t) {
+    for (const Posting& target : lists[t]) {
+      auto cursor = source().OpenCursor(t);
+      cursor->advance_to(target.doc);
+      ASSERT_FALSE(cursor->at_end()) << "term " << t << " doc " << target.doc;
+      EXPECT_EQ(cursor->doc(), target.doc);
+      EXPECT_EQ(cursor->tf(), target.tf);
+    }
+  }
+}
+
+TEST_P(CursorConformanceTest, AdvanceToAbsentDocLandsOnSuccessor) {
+  const auto& lists = TermLists();
+  for (TermId t = 0; t < lists.size(); ++t) {
+    for (size_t i = 0; i + 1 < lists[t].size(); ++i) {
+      const DocId absent = lists[t][i].doc + 1;
+      if (absent == lists[t][i + 1].doc) continue;  // not absent
+      auto cursor = source().OpenCursor(t);
+      cursor->advance_to(absent);
+      ASSERT_FALSE(cursor->at_end());
+      EXPECT_EQ(cursor->doc(), lists[t][i + 1].doc) << "term " << t;
+    }
+  }
+}
+
+TEST_P(CursorConformanceTest, AdvancePastLastDocExhausts) {
+  const auto& lists = TermLists();
+  for (TermId t = 0; t < lists.size(); ++t) {
+    auto cursor = source().OpenCursor(t);
+    const DocId past =
+        lists[t].empty() ? 0 : lists[t].back().doc + 1;
+    cursor->advance_to(past);
+    EXPECT_TRUE(cursor->at_end()) << "term " << t;
+    auto cursor2 = source().OpenCursor(t);
+    cursor2->advance_to(kEndDoc);
+    EXPECT_TRUE(cursor2->at_end()) << "term " << t;
+  }
+}
+
+TEST_P(CursorConformanceTest, AdvanceBackwardsIsANoOp) {
+  // Term 5 is long enough to advance into the middle.
+  const auto& list = TermLists()[5];
+  auto cursor = source().OpenCursor(5);
+  const DocId mid = list[list.size() / 2].doc;
+  cursor->advance_to(mid);
+  ASSERT_EQ(cursor->doc(), mid);
+  cursor->advance_to(list.front().doc);  // target < current: must not move
+  EXPECT_EQ(cursor->doc(), mid);
+  cursor->advance_to(mid);  // target == current: must not move
+  EXPECT_EQ(cursor->doc(), mid);
+}
+
+TEST_P(CursorConformanceTest, AdvanceAcrossBlockBoundaries) {
+  // With block size 4, term 5 (130 postings) spans dozens of blocks; the
+  // semantics must be independent of where blocks fall. Walk the
+  // reference list and advance to every 2nd doc + 1.
+  const auto& list = TermLists()[5];
+  auto cursor = source().OpenCursor(5);
+  for (size_t i = 0; i + 1 < list.size(); i += 2) {
+    cursor->advance_to(list[i].doc + 1);
+    ASSERT_FALSE(cursor->at_end()) << "i=" << i;
+    EXPECT_EQ(cursor->doc(), list[i + 1].doc) << "i=" << i;
+    EXPECT_EQ(cursor->tf(), list[i + 1].tf) << "i=" << i;
+  }
+}
+
+TEST_P(CursorConformanceTest, MixedNextAndAdvanceInterleave) {
+  const auto& list = TermLists()[5];
+  auto cursor = source().OpenCursor(5);
+  size_t i = 0;
+  while (i < list.size()) {
+    ASSERT_EQ(cursor->doc(), list[i].doc) << "i=" << i;
+    if (i % 3 == 0 && i + 4 < list.size()) {
+      i += 4;
+      cursor->advance_to(list[i].doc);
+    } else {
+      ++i;
+      cursor->next();
+    }
+  }
+  EXPECT_TRUE(cursor->at_end());
+}
+
+TEST_P(CursorConformanceTest, EmptyListIsImmediatelyExhausted) {
+  auto cursor = source().OpenCursor(0);
+  EXPECT_TRUE(cursor->at_end());
+  EXPECT_EQ(cursor->doc(), kEndDoc);
+  EXPECT_EQ(cursor->size(), 0u);
+  cursor->next();
+  cursor->advance_to(42);
+  EXPECT_TRUE(cursor->at_end());
+}
+
+TEST_P(CursorConformanceTest, ImpactBoundsDominateEveryPosting) {
+  // max_impact must equal the in-memory max weight bit-for-bit (that is
+  // what makes max-score pruning representation-agnostic), and the block
+  // bound must dominate every posting in the current block.
+  Fixture& f = SharedFixture();
+  const auto& lists = TermLists();
+  for (TermId t = 0; t < lists.size(); ++t) {
+    if (lists[t].empty()) continue;
+    auto cursor = source().OpenCursor(t);
+    EXPECT_EQ(cursor->max_impact(), f.file.list(t).max_weight())
+        << "term " << t;
+    for (; !cursor->at_end(); cursor->next()) {
+      const double w =
+          f.model->Weight(t, Posting{cursor->doc(), cursor->tf()});
+      EXPECT_GE(cursor->block_max_impact(), w) << "term " << t;
+      EXPECT_GE(cursor->max_impact(), w) << "term " << t;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllImplementations, CursorConformanceTest,
+                         ::testing::Values(SourceKind::kInMemory,
+                                           SourceKind::kSegmentBlock4,
+                                           SourceKind::kSegmentBlock128),
+                         KindName);
+
+}  // namespace
+}  // namespace moa

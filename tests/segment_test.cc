@@ -1,0 +1,308 @@
+// MOAIF02 segment format: write → mmap-open → decode round trip,
+// compression vs the raw MOAIF01 dump, atomic-write behavior, and
+// negative tests for truncated / bit-flipped segment files.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "storage/io.h"
+#include "storage/segment/segment_format.h"
+#include "storage/segment/segment_reader.h"
+#include "storage/segment/segment_writer.h"
+#include "test_util.h"
+
+namespace moa {
+namespace {
+
+std::string TempPath(const char* name) {
+  return std::string(::testing::TempDir()) + "/" + name;
+}
+
+SegmentWriterOptions ImpactOptions(uint32_t block_size = 128) {
+  SegmentWriterOptions options;
+  options.block_size = block_size;
+  options.impact_fn = [](TermId t, const Posting& p) {
+    return testutil::SmallModel().Weight(t, p);
+  };
+  return options;
+}
+
+const InvertedFile& TestFile() {
+  return testutil::SmallCollectionWithImpacts().inverted_file();
+}
+
+void ExpectSameFile(const InvertedFile& a, const InvertedFile& b) {
+  ASSERT_EQ(a.num_terms(), b.num_terms());
+  ASSERT_EQ(a.num_docs(), b.num_docs());
+  EXPECT_EQ(a.num_postings(), b.num_postings());
+  EXPECT_EQ(a.total_tokens(), b.total_tokens());
+  for (DocId d = 0; d < a.num_docs(); ++d) {
+    ASSERT_EQ(a.DocLength(d), b.DocLength(d)) << "doc " << d;
+  }
+  for (TermId t = 0; t < a.num_terms(); ++t) {
+    ASSERT_EQ(a.list(t).postings(), b.list(t).postings()) << "term " << t;
+  }
+}
+
+TEST(SegmentTest, RoundTripThroughMmapAndFullDecode) {
+  const std::string path = TempPath("roundtrip.moaseg");
+  ASSERT_TRUE(WriteSegment(TestFile(), path, ImpactOptions()).ok());
+
+  auto reader = SegmentReader::Open(path);
+  ASSERT_TRUE(reader.ok()) << reader.status().ToString();
+  const SegmentReader& segment = *reader.ValueOrDie();
+  EXPECT_EQ(segment.num_terms(), TestFile().num_terms());
+  EXPECT_EQ(segment.num_docs(), TestFile().num_docs());
+  EXPECT_EQ(segment.total_tokens(),
+            static_cast<uint64_t>(TestFile().total_tokens()));
+  EXPECT_EQ(segment.block_size(), 128u);
+  EXPECT_TRUE(segment.has_impacts());
+  for (DocId d = 0; d < TestFile().num_docs(); ++d) {
+    ASSERT_EQ(segment.DocLength(d), TestFile().DocLength(d)) << "doc " << d;
+  }
+  ASSERT_TRUE(segment.CheckIntegrity().ok());
+
+  auto decoded = segment.ToInvertedFile();
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+  ExpectSameFile(decoded.ValueOrDie(), TestFile());
+  std::remove(path.c_str());
+}
+
+TEST(SegmentTest, RoundTripWithoutImpactsAndOddBlockSize) {
+  const std::string path = TempPath("noimpacts.moaseg");
+  SegmentWriterOptions options;
+  options.block_size = 7;  // exercises non-power-of-two remainders
+  ASSERT_TRUE(WriteSegment(TestFile(), path, options).ok());
+  auto reader = SegmentReader::Open(path);
+  ASSERT_TRUE(reader.ok()) << reader.status().ToString();
+  EXPECT_FALSE(reader.ValueOrDie()->has_impacts());
+  EXPECT_FALSE(reader.ValueOrDie()->HasImpacts(0));
+  auto decoded = reader.ValueOrDie()->ToInvertedFile();
+  ASSERT_TRUE(decoded.ok());
+  ExpectSameFile(decoded.ValueOrDie(), TestFile());
+  std::remove(path.c_str());
+}
+
+TEST(SegmentTest, EmptyCollectionRoundTrips) {
+  InvertedFileBuilder builder(0);
+  InvertedFile empty = builder.Build();
+  const std::string path = TempPath("empty.moaseg");
+  ASSERT_TRUE(WriteSegment(empty, path).ok());
+  auto reader = SegmentReader::Open(path);
+  ASSERT_TRUE(reader.ok()) << reader.status().ToString();
+  EXPECT_EQ(reader.ValueOrDie()->num_terms(), 0u);
+  EXPECT_EQ(reader.ValueOrDie()->num_docs(), 0u);
+  EXPECT_TRUE(reader.ValueOrDie()->CheckIntegrity().ok());
+  std::remove(path.c_str());
+}
+
+TEST(SegmentTest, CompressesAtLeastTwoToOneVersusMoaif01) {
+  const std::string v1 = TempPath("size.moaif");
+  const std::string v2 = TempPath("size.moaseg");
+  ASSERT_TRUE(WriteInvertedFile(TestFile(), v1).ok());
+  ASSERT_TRUE(WriteSegment(TestFile(), v2, ImpactOptions()).ok());
+  const auto v1_size = std::filesystem::file_size(v1);
+  const auto v2_size = std::filesystem::file_size(v2);
+  EXPECT_GE(v1_size, 2 * v2_size)
+      << "MOAIF01=" << v1_size << "B MOAIF02=" << v2_size << "B";
+  std::remove(v1.c_str());
+  std::remove(v2.c_str());
+}
+
+TEST(SegmentTest, RejectsZeroBlockSize) {
+  SegmentWriterOptions options;
+  options.block_size = 0;
+  EXPECT_EQ(WriteSegment(TestFile(), TempPath("zero.moaseg"), options).code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(SegmentTest, MissingFileIsNotFound) {
+  auto r = SegmentReader::Open(TempPath("nope.moaseg"));
+  EXPECT_EQ(r.status().code(), StatusCode::kNotFound);
+}
+
+TEST(SegmentTest, RejectsBadMagic) {
+  const std::string path = TempPath("magic.moaseg");
+  ASSERT_TRUE(WriteSegment(TestFile(), path, ImpactOptions()).ok());
+  std::fstream fs(path, std::ios::binary | std::ios::in | std::ios::out);
+  fs.write("MOAIF01", 7);  // v1 magic in a v2 file
+  fs.close();
+  EXPECT_EQ(SegmentReader::Open(path).status().code(),
+            StatusCode::kInvalidArgument);
+  std::remove(path.c_str());
+}
+
+TEST(SegmentTest, RejectsTruncation) {
+  const std::string path = TempPath("trunc.moaseg");
+  ASSERT_TRUE(WriteSegment(TestFile(), path, ImpactOptions()).ok());
+  const auto full = std::filesystem::file_size(path);
+  // Every truncation point must fail cleanly: mid-header, mid-directory,
+  // mid-payload, and one byte short.
+  for (const uintmax_t size :
+       {uintmax_t{0}, uintmax_t{17}, full / 3, full / 2, full - 1}) {
+    std::filesystem::resize_file(path, size);
+    auto r = SegmentReader::Open(path);
+    EXPECT_FALSE(r.ok()) << "truncated to " << size << " of " << full;
+  }
+  std::remove(path.c_str());
+}
+
+TEST(SegmentTest, RejectsTrailingGarbage) {
+  const std::string path = TempPath("trail.moaseg");
+  ASSERT_TRUE(WriteSegment(TestFile(), path, ImpactOptions()).ok());
+  std::ofstream out(path, std::ios::binary | std::ios::app);
+  out << "extra";
+  out.close();
+  EXPECT_FALSE(SegmentReader::Open(path).ok());
+  std::remove(path.c_str());
+}
+
+TEST(SegmentTest, RejectsCorruptDirectory) {
+  const std::string path = TempPath("dir.moaseg");
+  ASSERT_TRUE(WriteSegment(TestFile(), path, ImpactOptions()).ok());
+  // Flip the df of the first term-directory entry (offset: header +
+  // aligned doc-length section + block_begin/payload_offset/block_count).
+  SegmentHeader header{};
+  {
+    std::ifstream in(path, std::ios::binary);
+    in.read(reinterpret_cast<char*>(&header), sizeof(header));
+  }
+  const SegmentLayout layout(header);
+  std::fstream fs(path, std::ios::binary | std::ios::in | std::ios::out);
+  fs.seekp(static_cast<std::streamoff>(layout.term_dir + 8 + 8 + 4));
+  const uint32_t bogus_df = 0x7FFFFFFF;
+  fs.write(reinterpret_cast<const char*>(&bogus_df), sizeof(bogus_df));
+  fs.close();
+  EXPECT_FALSE(SegmentReader::Open(path).ok());
+  std::remove(path.c_str());
+}
+
+TEST(SegmentTest, StampsAndReportsTheImpactModel) {
+  const std::string path = TempPath("model.moaseg");
+  SegmentWriterOptions options = ImpactOptions();
+  options.impact_model = testutil::SmallModel().name();
+  ASSERT_TRUE(WriteSegment(TestFile(), path, options).ok());
+  auto reader = SegmentReader::Open(path);
+  ASSERT_TRUE(reader.ok());
+  EXPECT_EQ(reader.ValueOrDie()->impact_model(),
+            testutil::SmallModel().name().substr(0, kImpactModelBytes - 1));
+  std::remove(path.c_str());
+}
+
+TEST(SegmentTest, RejectsBlockRangeBeyondDirectory) {
+  // Hand-crafted segment whose term directory claims 8 blocks while the
+  // block directory is empty: the claimed range must be rejected before
+  // any block entry is read (it would point past the mapping).
+  SegmentHeader header{};
+  std::memcpy(header.magic, kSegmentMagic, sizeof(header.magic));
+  header.block_size = 1;
+  header.num_terms = 1;
+  header.num_docs = 8;
+  header.num_blocks = 0;  // lies: the term below claims blocks anyway
+  TermDirEntry entry{};
+  entry.block_count = 8;
+  entry.df = 8;
+
+  const std::string path = TempPath("orphan.moaseg");
+  std::ofstream out(path, std::ios::binary);
+  out.write(reinterpret_cast<const char*>(&header), sizeof(header));
+  const uint32_t zero_lengths[8] = {};
+  out.write(reinterpret_cast<const char*>(zero_lengths),
+            sizeof(zero_lengths));
+  out.write(reinterpret_cast<const char*>(&entry), sizeof(entry));
+  out.close();
+
+  auto r = SegmentReader::Open(path);
+  EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument);
+  std::remove(path.c_str());
+}
+
+TEST(SegmentTest, RejectsCorruptImpactBound) {
+  // max_impact metadata drives max-score pruning; an understated bound
+  // would silently drop true top-N documents, so Validate must catch a
+  // flipped bound via the term == max-over-blocks invariant.
+  const std::string path = TempPath("impact.moaseg");
+  ASSERT_TRUE(WriteSegment(TestFile(), path, ImpactOptions()).ok());
+  SegmentHeader header{};
+  {
+    std::ifstream in(path, std::ios::binary);
+    in.read(reinterpret_cast<char*>(&header), sizeof(header));
+  }
+  const SegmentLayout layout(header);
+  // Halve the first term's max_impact (the f64 behind
+  // block_begin/payload_offset u64s and block_count/df u32s): the term
+  // bound then understates the max over its blocks, which Validate
+  // rejects.
+  std::fstream fs(path, std::ios::binary | std::ios::in | std::ios::out);
+  const std::streamoff bound_pos =
+      static_cast<std::streamoff>(layout.term_dir + 24);
+  double bound = 0;
+  fs.seekg(bound_pos);
+  fs.read(reinterpret_cast<char*>(&bound), sizeof(bound));
+  bound *= 0.5;
+  fs.seekp(bound_pos);
+  fs.write(reinterpret_cast<const char*>(&bound), sizeof(bound));
+  fs.close();
+  EXPECT_EQ(SegmentReader::Open(path).status().code(),
+            StatusCode::kInvalidArgument);
+  std::remove(path.c_str());
+}
+
+TEST(SegmentTest, PayloadBitFlipFailsIntegrityCheck) {
+  const std::string path = TempPath("flip.moaseg");
+  ASSERT_TRUE(WriteSegment(TestFile(), path, ImpactOptions()).ok());
+  SegmentHeader header{};
+  {
+    std::ifstream in(path, std::ios::binary);
+    in.read(reinterpret_cast<char*>(&header), sizeof(header));
+  }
+  const SegmentLayout layout(header);
+  // Flip one payload byte. Structural validation at Open cannot see the
+  // payload, but CheckIntegrity must: the flip changes a doc gap, a tf or
+  // a continuation bit, which trips the last-doc / token-sum / span
+  // checks.
+  std::fstream fs(path, std::ios::binary | std::ios::in | std::ios::out);
+  fs.seekg(static_cast<std::streamoff>(layout.payload + 3));
+  char byte = 0;
+  fs.read(&byte, 1);
+  byte = static_cast<char>(byte ^ 0x01);
+  fs.seekp(static_cast<std::streamoff>(layout.payload + 3));
+  fs.write(&byte, 1);
+  fs.close();
+  auto reader = SegmentReader::Open(path);
+  ASSERT_TRUE(reader.ok()) << reader.status().ToString();
+  EXPECT_FALSE(reader.ValueOrDie()->CheckIntegrity().ok());
+  std::remove(path.c_str());
+}
+
+TEST(SegmentTest, WriteIsAtomicAndLeavesNoTempFile) {
+  const std::string path = TempPath("atomic.moaseg");
+  // Pre-existing garbage at the destination must be replaced wholesale.
+  {
+    std::ofstream out(path, std::ios::binary);
+    out << "previous garbage content";
+  }
+  ASSERT_TRUE(WriteSegment(TestFile(), path, ImpactOptions()).ok());
+  EXPECT_FALSE(std::filesystem::exists(path + ".tmp"));
+  auto reader = SegmentReader::Open(path);
+  ASSERT_TRUE(reader.ok()) << reader.status().ToString();
+  EXPECT_TRUE(reader.ValueOrDie()->CheckIntegrity().ok());
+  std::remove(path.c_str());
+}
+
+TEST(SegmentTest, FailedWriteCleansUpTempFile) {
+  // A destination that cannot be renamed onto (a directory) must fail
+  // without leaving the temp file behind.
+  const std::string dir = TempPath("atomic_dir.moaseg");
+  std::filesystem::create_directory(dir);
+  EXPECT_FALSE(WriteSegment(TestFile(), dir, ImpactOptions()).ok());
+  EXPECT_FALSE(std::filesystem::exists(dir + ".tmp"));
+  std::filesystem::remove(dir);
+}
+
+}  // namespace
+}  // namespace moa

@@ -67,6 +67,59 @@ TEST(SparseIndexCacheTest, ClearEmptiesTheCache) {
   EXPECT_EQ(cache.Find(0, 16), nullptr);
 }
 
+TEST(SparseIndexCacheTest, CursorBuiltEntryMatchesBorrowedEntry) {
+  // The PostingSource overload materializes the list from a cursor into a
+  // cache-owned copy; probes must be indistinguishable from an index
+  // borrowing the original in-memory list.
+  const InvertedFile& file = SmallCollectionWithImpacts().inverted_file();
+  const InMemoryPostingSource source(&file);
+  const TermId t = 2;
+  ASSERT_FALSE(file.list(t).empty());
+
+  SparseIndexCache from_cursor;
+  SparseIndexCache from_list;
+  const SparseIndex* cursor_built = from_cursor.GetOrBuild(t, source, 8);
+  const SparseIndex* list_built = from_list.GetOrBuild(t, file.list(t), 8);
+  ASSERT_NE(cursor_built, nullptr);
+  EXPECT_EQ(cursor_built->num_blocks(), list_built->num_blocks());
+  for (DocId d = 0; d < file.num_docs(); d += 3) {
+    EXPECT_EQ(cursor_built->Probe(d), list_built->Probe(d)) << "doc " << d;
+  }
+
+  // Warm hits return the same object without re-materializing.
+  EXPECT_EQ(from_cursor.GetOrBuild(t, source, 8), cursor_built);
+  EXPECT_EQ(from_cursor.size(), 1u);
+}
+
+TEST(SparseIndexCacheTest, ConcurrentCursorGetOrBuildIsBuildOnce) {
+  // TSan target for the decode-once path: racing workers materializing
+  // the same terms through cursors must agree on one entry per term.
+  const InvertedFile& file = SmallCollectionWithImpacts().inverted_file();
+  const InMemoryPostingSource source(&file);
+  SparseIndexCache cache;
+  constexpr int kThreads = 8;
+  constexpr TermId kTerms = 16;
+
+  std::vector<std::thread> threads;
+  std::vector<std::vector<const SparseIndex*>> seen(kThreads);
+  for (int w = 0; w < kThreads; ++w) {
+    threads.emplace_back([&, w] {
+      seen[w].resize(kTerms);
+      for (TermId t = 0; t < kTerms; ++t) {
+        seen[w][t] = cache.GetOrBuild(t, source, 16);
+      }
+    });
+  }
+  for (std::thread& th : threads) th.join();
+
+  EXPECT_EQ(cache.size(), static_cast<size_t>(kTerms));
+  for (TermId t = 0; t < kTerms; ++t) {
+    for (int w = 1; w < kThreads; ++w) {
+      EXPECT_EQ(seen[w][t], seen[0][t]) << "term " << t;
+    }
+  }
+}
+
 TEST(SparseIndexCacheTest, ConcurrentGetOrBuildIsBuildOnce) {
   const InvertedFile& file = SmallCollectionWithImpacts().inverted_file();
   SparseIndexCache cache;
