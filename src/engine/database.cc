@@ -71,7 +71,8 @@ Status MmDatabase::SaveSegment(const std::string& path,
   return WriteSegment(file(), path, options);
 }
 
-Status MmDatabase::AttachSegment(const std::string& path) {
+Status MmDatabase::AttachSegment(const std::string& path,
+                                 const AttachSegmentOptions& options) {
   Result<std::unique_ptr<SegmentReader>> reader = SegmentReader::Open(path);
   if (!reader.ok()) return reader.status();
   SegmentReader& segment = *reader.ValueOrDie();
@@ -90,6 +91,13 @@ Status MmDatabase::AttachSegment(const std::string& path) {
     return Status::InvalidArgument(
         "segment impact bounds were not computed with this database's "
         "scoring model (" + model_->name() + "): " + path);
+  }
+  // Open only validates the directories; a flipped payload byte would
+  // otherwise show up as a silently truncated posting list at query time
+  // (the cursor fails closed on decode errors, it cannot report them).
+  if (options.verify_payload) {
+    Status integrity = segment.CheckIntegrity();
+    if (!integrity.ok()) return integrity;
   }
   segment_ = std::move(reader).ValueOrDie();
   return Status::OK();

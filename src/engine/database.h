@@ -86,6 +86,18 @@ struct BatchSearchResult {
   BatchStats stats;
 };
 
+/// \brief Options for MmDatabase::AttachSegment.
+struct AttachSegmentOptions {
+  /// Decode and verify every payload block (SegmentReader::CheckIntegrity)
+  /// before attaching. Open only validates the header and directories
+  /// structurally; without this pass, payload bit rot would surface as
+  /// silently truncated posting lists — wrong top-N results with no error.
+  /// Skipping the scan restores O(directories) attach cost and is only
+  /// safe for segments with trusted provenance (e.g. written and verified
+  /// by this same process moments earlier).
+  bool verify_payload = true;
+};
+
 /// \brief The in-memory MM retrieval database.
 class MmDatabase {
  public:
@@ -147,9 +159,12 @@ class MmDatabase {
   /// Memory-maps the MOAIF02 segment at `path` and routes the
   /// cursor-based strategies (baselines, max-score, stop-after) through
   /// it; everything else keeps reading the in-memory file. The segment
-  /// must describe this database's collection (validated by shape).
+  /// must describe this database's collection (validated by shape), and
+  /// by default its payload is fully decoded once to rule out bit rot
+  /// (see AttachSegmentOptions::verify_payload).
   /// NOT thread-safe against in-flight searches: attach before serving.
-  Status AttachSegment(const std::string& path);
+  Status AttachSegment(const std::string& path,
+                       const AttachSegmentOptions& options = {});
 
   /// Reverts to pure in-memory execution. Same caveat as AttachSegment.
   void DetachSegment() { segment_.reset(); }

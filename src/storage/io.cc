@@ -66,11 +66,15 @@ Status WriteBody(const InvertedFile& file, std::FILE* f) {
 }
 
 /// Byte size of the open file via seek-to-end (restores the position).
+/// ftello, not std::ftell: ftell returns long, which is 32-bit on LLP64
+/// platforms and would overflow — and so mis-drive the size validation
+/// in ReadInvertedFile — for files >= 2 GiB. The rest of the storage
+/// layer already assumes POSIX (mmap, fsync), so ftello is always there.
 Result<uint64_t> FileSize(std::FILE* f) {
   if (std::fseek(f, 0, SEEK_END) != 0) {
     return Status::Internal("seek failed");
   }
-  const long size = std::ftell(f);
+  const off_t size = ::ftello(f);
   if (size < 0) return Status::Internal("tell failed");
   if (std::fseek(f, 0, SEEK_SET) != 0) {
     return Status::Internal("seek failed");

@@ -101,9 +101,11 @@ class BlockPostingCursor final : public PostingCursor {
         payload_ + current_.offset, end - current_.offset, current_.count,
         current_.last_doc, docs_.data(), tfs_.data());
     if (!decoded.ok()) {
-      // Structurally valid segments only reach this on payload bit rot
-      // (Open validates the directories, CheckIntegrity the payload).
-      // Fail closed: behave as exhausted instead of serving garbage.
+      // Unreachable on verified segments: Open validates the directories
+      // and AttachSegment runs CheckIntegrity over the payload by default,
+      // so only post-attach corruption (or an explicit verify opt-out)
+      // lands here. The cursor API has no error channel; fail closed and
+      // behave as exhausted instead of serving garbage.
       block_idx_ = num_blocks_;
     }
     pos_ = 0;
@@ -180,6 +182,14 @@ Status SegmentReader::Validate() const {
   if (h.num_terms > (1ull << 32) || h.num_docs > (1ull << 32) ||
       h.num_blocks > (1ull << 32)) {
     return Status::InvalidArgument("segment: implausible header counts");
+  }
+  // payload_bytes is the one u64 the count caps above do not bound: a
+  // crafted value can wrap SegmentLayout::file_size around u64 back onto
+  // the real file size, defeating the exact-size check while the section
+  // loops below read far past the mapping. No valid payload can exceed
+  // the file it lives in.
+  if (h.payload_bytes > size_) {
+    return Status::InvalidArgument("segment: payload size exceeds file");
   }
   const SegmentLayout layout(h);
   if (layout.file_size != size_) {

@@ -1,6 +1,7 @@
 #include "storage/segment/segment_writer.h"
 
 #include <algorithm>
+#include <cstdint>
 #include <cstdio>
 #include <cstring>
 #include <vector>
@@ -47,9 +48,16 @@ Status WriteBody(const InvertedFile& file, const SegmentWriterOptions& options,
     for (size_t begin = 0; begin < postings.size(); begin += block_size) {
       const size_t count =
           std::min<size_t>(block_size, postings.size() - begin);
+      // BlockDirEntry::offset is relative to the term's payload and only
+      // 32 bits wide; truncating here would write a segment that passes
+      // WriteSegment but fails (or misreads) at Open.
+      const uint64_t block_offset = payload.size() - entry.payload_offset;
+      if (block_offset > UINT32_MAX) {
+        return Status::InvalidArgument(
+            "segment: term payload exceeds 4 GiB (block offset overflow)");
+      }
       BlockDirEntry block;
-      block.offset =
-          static_cast<uint32_t>(payload.size() - entry.payload_offset);
+      block.offset = static_cast<uint32_t>(block_offset);
       block.last_doc = postings[begin + count - 1].doc;
       block.count = static_cast<uint32_t>(count);
       block.max_tf = 0;

@@ -11,6 +11,8 @@
 #include <gtest/gtest.h>
 
 #include <cstdio>
+#include <filesystem>
+#include <fstream>
 #include <string>
 #include <vector>
 
@@ -190,6 +192,41 @@ TEST_F(SegmentParityTest, AttachRejectsMismatchedSegment) {
   ASSERT_TRUE(db.ok());
   EXPECT_FALSE(db.ValueOrDie()->AttachSegment(*segment_path_).ok());
   EXPECT_FALSE(db.ValueOrDie()->has_segment());
+}
+
+TEST_F(SegmentParityTest, AttachRejectsPayloadBitRot) {
+  // One flipped payload byte is invisible to the structural validation in
+  // SegmentReader::Open; without the attach-time integrity pass it would
+  // silently truncate a posting list and serve wrong top-N results.
+  const std::string path =
+      std::string(::testing::TempDir()) + "/rot.moaseg";
+  std::filesystem::copy_file(
+      *segment_path_, path,
+      std::filesystem::copy_options::overwrite_existing);
+  SegmentHeader header{};
+  std::fstream fs(path, std::ios::binary | std::ios::in | std::ios::out);
+  fs.read(reinterpret_cast<char*>(&header), sizeof(header));
+  const SegmentLayout layout(header);
+  fs.seekg(static_cast<std::streamoff>(layout.payload + 3));
+  char byte = 0;
+  fs.read(&byte, 1);
+  byte = static_cast<char>(byte ^ 0x01);
+  fs.seekp(static_cast<std::streamoff>(layout.payload + 3));
+  fs.write(&byte, 1);
+  fs.close();
+
+  auto db = MmDatabase::Open(TestConfig());
+  ASSERT_TRUE(db.ok());
+  Status attached = db.ValueOrDie()->AttachSegment(path);
+  EXPECT_EQ(attached.code(), StatusCode::kInvalidArgument);
+  EXPECT_FALSE(db.ValueOrDie()->has_segment());
+
+  // Skipping the payload scan is an explicit, documented opt-out for
+  // trusted segments — the corrupt file then attaches structurally.
+  AttachSegmentOptions skip;
+  skip.verify_payload = false;
+  EXPECT_TRUE(db.ValueOrDie()->AttachSegment(path, skip).ok());
+  std::remove(path.c_str());
 }
 
 TEST_F(SegmentParityTest, AttachRejectsDifferentScoringModel) {

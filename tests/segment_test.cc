@@ -161,6 +161,29 @@ TEST(SegmentTest, RejectsTrailingGarbage) {
   std::remove(path.c_str());
 }
 
+TEST(SegmentTest, RejectsPayloadSizeWrappingFileSize) {
+  // A crafted header can pair a huge (but cap-passing) num_docs with a
+  // payload_bytes chosen so SegmentLayout::file_size wraps around u64
+  // back onto the real file size. The exact-size check then passes and
+  // Validate's doc-length loop would read ~16 GiB past the mapping —
+  // payload_bytes must be bounded by the file size first.
+  const std::string path = TempPath("wrap.moaseg");
+  ASSERT_TRUE(WriteSegment(TestFile(), path, ImpactOptions()).ok());
+  const uint64_t real_size = std::filesystem::file_size(path);
+  SegmentHeader header{};
+  std::fstream fs(path, std::ios::binary | std::ios::in | std::ios::out);
+  fs.read(reinterpret_cast<char*>(&header), sizeof(header));
+  header.num_docs = 1ull << 32;  // passes the count cap, inflates layout
+  const SegmentLayout bogus(header);
+  header.payload_bytes = real_size - bogus.payload;  // wraps file_size
+  fs.seekp(0);
+  fs.write(reinterpret_cast<const char*>(&header), sizeof(header));
+  fs.close();
+  EXPECT_EQ(SegmentReader::Open(path).status().code(),
+            StatusCode::kInvalidArgument);
+  std::remove(path.c_str());
+}
+
 TEST(SegmentTest, RejectsCorruptDirectory) {
   const std::string path = TempPath("dir.moaseg");
   ASSERT_TRUE(WriteSegment(TestFile(), path, ImpactOptions()).ok());
