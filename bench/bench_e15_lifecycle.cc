@@ -1,0 +1,257 @@
+// E15 — the index lifecycle (ingest → flush → merge → delete) under the
+// serving-shaped questions:
+//
+//  1. Ingest throughput: documents/second into the catalog, by batch size
+//     (mutations are copy-on-write per call, so batching is the lever).
+//  2. Flush latency: memtable → immutable MOAIF02 segment + sidecar +
+//     manifest publish, as a function of buffered documents.
+//  3. Query latency vs segment count: the same corpus served from 1, 2, 4
+//     and 8 segments through the merged cursor (per-segment cursor setup
+//     and chaining is the fragmentation tax).
+//  4. Merge win: query latency over the fragmented catalog vs after
+//     Merge() compacts it back to one segment (counter `frag_over_merged`
+//     on the merged run).
+//
+// MOA_BENCH_TINY=1 shrinks the corpus so the CI smoke job finishes in
+// seconds.
+#include <benchmark/benchmark.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/timer.h"
+#include "exec/registry.h"
+#include "ir/query_gen.h"
+#include "storage/catalog/index_catalog.h"
+
+namespace moa {
+namespace {
+
+bool Tiny() { return std::getenv("MOA_BENCH_TINY") != nullptr; }
+
+size_t CorpusDocs() { return Tiny() ? 2000 : 20000; }
+size_t Vocab() { return Tiny() ? 3000 : 20000; }
+
+std::string FreshDir(const std::string& name) {
+  const std::string dir =
+      (std::filesystem::temp_directory_path() / ("moa_bench_e15_" + name))
+          .string();
+  std::filesystem::remove_all(dir);
+  return dir;
+}
+
+/// Deterministic synthetic document, Zipf-ish term choice.
+DocTerms SynthDoc(Rng& rng) {
+  std::map<TermId, uint32_t> terms;
+  const size_t want = 20 + rng.Uniform(40);
+  while (terms.size() < want) {
+    // Squared uniform skews toward low ids — frequent head terms.
+    const double u = rng.NextDouble();
+    const TermId t = static_cast<TermId>(u * u * Vocab());
+    terms.emplace(t, 1 + static_cast<uint32_t>(rng.Uniform(3)));
+  }
+  return DocTerms(terms.begin(), terms.end());
+}
+
+const std::vector<DocTerms>& Corpus() {
+  static const std::vector<DocTerms>* corpus = [] {
+    Rng rng(0xE15);
+    auto* docs = new std::vector<DocTerms>();
+    docs->reserve(CorpusDocs());
+    for (size_t i = 0; i < CorpusDocs(); ++i) docs->push_back(SynthDoc(rng));
+    return docs;
+  }();
+  return *corpus;
+}
+
+IndexCatalog::Options CatalogOptions(const std::string& dir) {
+  IndexCatalog::Options options;
+  options.num_terms = Vocab();
+  options.dir = dir;
+  return options;
+}
+
+void MustOk(const Status& status, const char* what) {
+  if (!status.ok()) {
+    std::fprintf(stderr, "bench_e15: %s: %s\n", what,
+                 status.ToString().c_str());
+    std::abort();
+  }
+}
+
+/// Query workload over the synthetic corpus's term space.
+std::vector<Query> Workload(size_t num_queries) {
+  Rng rng(0xBEEF15);
+  std::vector<Query> queries;
+  for (size_t i = 0; i < num_queries; ++i) {
+    Query q;
+    while (q.terms.size() < 4) {
+      const double u = rng.NextDouble();
+      const TermId t = static_cast<TermId>(u * u * Vocab());
+      if (std::find(q.terms.begin(), q.terms.end(), t) == q.terms.end()) {
+        q.terms.push_back(t);
+      }
+    }
+    queries.push_back(std::move(q));
+  }
+  return queries;
+}
+
+// ------------------------------------------------------------- ingest
+
+void BM_IngestThroughput(benchmark::State& state) {
+  const size_t batch = static_cast<size_t>(state.range(0));
+  const std::vector<DocTerms>& corpus = Corpus();
+  int64_t ingested = 0;
+  for (auto _ : state) {
+    state.PauseTiming();
+    auto catalog = IndexCatalog::Create(CatalogOptions("")).ValueOrDie();
+    state.ResumeTiming();
+    size_t i = 0;
+    while (i < corpus.size()) {
+      const size_t n = std::min(batch, corpus.size() - i);
+      std::vector<DocTerms> slice(corpus.begin() + i, corpus.begin() + i + n);
+      auto first = catalog->AddDocuments(slice);
+      if (!first.ok()) state.SkipWithError("ingest failed");
+      i += n;
+    }
+    ingested = static_cast<int64_t>(corpus.size());
+  }
+  state.SetItemsProcessed(state.iterations() * ingested);
+}
+
+// -------------------------------------------------------------- flush
+
+void BM_FlushLatency(benchmark::State& state) {
+  const size_t docs = static_cast<size_t>(state.range(0));
+  const std::vector<DocTerms>& corpus = Corpus();
+  const std::string dir = FreshDir("flush");
+  size_t round = 0;
+  for (auto _ : state) {
+    state.PauseTiming();
+    std::filesystem::remove_all(dir + std::to_string(round));
+    auto catalog =
+        IndexCatalog::Create(CatalogOptions(dir + std::to_string(round)))
+            .ValueOrDie();
+    std::vector<DocTerms> slice(corpus.begin(),
+                                corpus.begin() + std::min(docs, corpus.size()));
+    if (!catalog->AddDocuments(slice).ok()) state.SkipWithError("add");
+    state.ResumeTiming();
+    MustOk(catalog->Flush(), "flush");
+    state.PauseTiming();
+    std::filesystem::remove_all(dir + std::to_string(round));
+    ++round;
+    state.ResumeTiming();
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<int64_t>(docs));
+}
+
+// ------------------------------------- query latency vs segment count
+
+/// The whole corpus flushed as `num_segments` equal segments.
+std::unique_ptr<IndexCatalog> FragmentedCatalog(size_t num_segments,
+                                                const std::string& dir) {
+  auto catalog = IndexCatalog::Create(CatalogOptions(dir)).ValueOrDie();
+  const std::vector<DocTerms>& corpus = Corpus();
+  const size_t per_segment = (corpus.size() + num_segments - 1) / num_segments;
+  size_t i = 0;
+  while (i < corpus.size()) {
+    const size_t n = std::min(per_segment, corpus.size() - i);
+    std::vector<DocTerms> slice(corpus.begin() + i, corpus.begin() + i + n);
+    MustOk(catalog->AddDocuments(slice).status(), "add");
+    MustOk(catalog->Flush(), "flush");
+    i += n;
+  }
+  return catalog;
+}
+
+double RunQueries(const IndexCatalog& catalog,
+                  const std::vector<Query>& queries) {
+  auto view = catalog.OpenReadView();
+  ExecContext context;
+  context.model = view->model();
+  context.postings = view.get();
+  double checksum = 0;
+  for (const Query& q : queries) {
+    auto top = StrategyRegistry::Global().Execute(
+        PhysicalStrategy::kMaxScore, context, q, 10, ExecOptions{});
+    if (!top.ok()) std::abort();
+    for (const ScoredDoc& d : top.ValueOrDie().items) checksum += d.score;
+  }
+  return checksum;
+}
+
+void BM_QueryBySegmentCount(benchmark::State& state) {
+  const size_t num_segments = static_cast<size_t>(state.range(0));
+  const std::string dir =
+      FreshDir("segcount_" + std::to_string(num_segments));
+  auto catalog = FragmentedCatalog(num_segments, dir);
+  const std::vector<Query> queries = Workload(Tiny() ? 16 : 64);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(RunQueries(*catalog, queries));
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(queries.size()));
+  std::filesystem::remove_all(dir);
+}
+
+// ---------------------------------------------------------- merge win
+
+void BM_QueryAfterMerge(benchmark::State& state) {
+  // 8 segments, then one Merge(): the counter reports the fragmented /
+  // merged latency ratio over the same workload.
+  const std::string dir = FreshDir("mergewin");
+  auto catalog = FragmentedCatalog(8, dir);
+  const std::vector<Query> queries = Workload(Tiny() ? 16 : 64);
+
+  // Warm pass first: the snapshot's impact-bound cache builds on first
+  // use and must not be charged to the fragmented side.
+  benchmark::DoNotOptimize(RunQueries(*catalog, queries));
+  WallTimer fragmented_timer;
+  benchmark::DoNotOptimize(RunQueries(*catalog, queries));
+  const double fragmented_millis = fragmented_timer.ElapsedMillis();
+
+  MustOk(catalog->Merge().status(), "merge");
+
+  double merged_millis = 0;
+  for (auto _ : state) {
+    WallTimer timer;
+    benchmark::DoNotOptimize(RunQueries(*catalog, queries));
+    merged_millis = timer.ElapsedMillis();
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(queries.size()));
+  if (merged_millis > 0) {
+    state.counters["frag_over_merged"] = fragmented_millis / merged_millis;
+  }
+  std::filesystem::remove_all(dir);
+}
+
+BENCHMARK(BM_IngestThroughput)
+    ->Arg(16)
+    ->Arg(256)
+    ->Arg(4096)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_FlushLatency)
+    ->Arg(512)
+    ->Arg(2000)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_QueryBySegmentCount)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(8)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_QueryAfterMerge)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace moa
+
+BENCHMARK_MAIN();

@@ -5,9 +5,11 @@
 # CI knobs (all optional):
 #   MOA_CMAKE_ARGS         extra -D flags for configure, e.g. "-DMOA_TSAN=ON"
 #   MOA_CTEST_ARGS         extra ctest flags, e.g. "-R 'search_batch|thread_pool'"
-#   MOA_SEGMENT_ROUNDTRIP  "1" guarantees the MOAIF02 round-trip ran:
-#                          build collection -> write segment -> mmap reopen
-#                          -> search-batch parity over the compressed index.
+#   MOA_SEGMENT_ROUNDTRIP  "1" guarantees the on-disk round-trips ran:
+#                          MOAIF02 write -> mmap reopen -> search-batch
+#                          parity, plus the catalog lifecycle (flush /
+#                          merge / manifest recovery and the
+#                          incremental-vs-fresh parity suite).
 #                          Only triggers an extra ctest pass when
 #                          MOA_CTEST_ARGS filtered the main run; an
 #                          unfiltered run (e.g. the ASan job) already
@@ -29,5 +31,6 @@ ctest --output-on-failure --no-tests=error -j"$(nproc)" ${MOA_CTEST_ARGS:-}
 if [[ "${MOA_SEGMENT_ROUNDTRIP:-}" == "1" && -n "${MOA_CTEST_ARGS:-}" ]]; then
   # Only needed when MOA_CTEST_ARGS filtered the main run above; an
   # unfiltered run already executed these suites once.
-  ctest --output-on-failure --no-tests=error -R 'segment_parity|segment_test'
+  ctest --output-on-failure --no-tests=error \
+    -R 'segment_parity|segment_test|catalog_test|catalog_parity'
 fi

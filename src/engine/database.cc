@@ -1,5 +1,8 @@
 #include "engine/database.h"
 
+#include <filesystem>
+#include <sstream>
+
 #include "common/timer.h"
 #include "exec/registry.h"
 #include "optimizer/explain.h"
@@ -39,13 +42,39 @@ Result<std::unique_ptr<MmDatabase>> MmDatabase::Open(
   return db;
 }
 
+std::shared_ptr<const SegmentReader> MmDatabase::segment_snapshot() const {
+  std::lock_guard<std::mutex> lock(snapshot_mutex_);
+  return segment_;
+}
+
+std::shared_ptr<const CatalogReadView> MmDatabase::catalog_view() const {
+  return catalog_->OpenReadView();
+}
+
+ExecContext MmDatabase::catalog_context(
+    const std::shared_ptr<const CatalogReadView>& view) const {
+  ExecContext context;
+  // No materialized InvertedFile describes the evolving collection:
+  // strategies that need one (Fagin, fragments, probabilistic) report
+  // Unimplemented through ExecContext::ValidateHasFile.
+  context.model = view->model();
+  context.postings = view.get();
+  context.postings_owner = view;
+  return context;
+}
+
 ExecContext MmDatabase::exec_context() const {
+  if (is_dynamic()) {
+    return catalog_context(catalog_view());
+  }
   ExecContext context;
   context.file = &file();
   context.model = model_.get();
   context.fragmentation = &fragmentation_;
   context.sparse_cache = &sparse_cache_;
-  context.postings = segment_.get();
+  std::shared_ptr<const SegmentReader> segment = segment_snapshot();
+  context.postings = segment.get();
+  context.postings_owner = std::move(segment);
   return context;
 }
 
@@ -62,6 +91,11 @@ std::string SegmentModelId(const ScoringModel& model) {
 
 Status MmDatabase::SaveSegment(const std::string& path,
                                uint32_t block_size) const {
+  if (is_dynamic()) {
+    return Status::FailedPrecondition(
+        "SaveSegment serves the static collection; a dynamic database "
+        "persists through Flush()");
+  }
   SegmentWriterOptions options;
   options.block_size = block_size;
   options.impact_fn = [this](TermId t, const Posting& p) {
@@ -73,6 +107,11 @@ Status MmDatabase::SaveSegment(const std::string& path,
 
 Status MmDatabase::AttachSegment(const std::string& path,
                                  const AttachSegmentOptions& options) {
+  if (is_dynamic()) {
+    return Status::FailedPrecondition(
+        "AttachSegment is a static-mode operation; the dynamic catalog "
+        "manages its own segments");
+  }
   Result<std::unique_ptr<SegmentReader>> reader = SegmentReader::Open(path);
   if (!reader.ok()) return reader.status();
   SegmentReader& segment = *reader.ValueOrDie();
@@ -99,9 +138,101 @@ Status MmDatabase::AttachSegment(const std::string& path,
     Status integrity = segment.CheckIntegrity();
     if (!integrity.ok()) return integrity;
   }
-  segment_ = std::move(reader).ValueOrDie();
+  // Publish by pointer swap: in-flight queries keep the storage snapshot
+  // they started with (exec_context copies the shared_ptr).
+  std::lock_guard<std::mutex> lock(snapshot_mutex_);
+  segment_ = std::shared_ptr<const SegmentReader>(
+      std::move(reader).ValueOrDie().release());
+  segment_path_ = path;
   return Status::OK();
 }
+
+void MmDatabase::DetachSegment() {
+  std::lock_guard<std::mutex> lock(snapshot_mutex_);
+  segment_.reset();
+  segment_path_.clear();
+}
+
+// ------------------------------------------------------ index lifecycle
+
+Status MmDatabase::EnsureDynamicLocked() {
+  if (catalog_ != nullptr) return Status::OK();
+
+  IndexCatalog::Options options;
+  options.num_terms = file().num_terms();
+  options.dir = config_.catalog_dir;
+  options.scoring = config_.scoring;
+
+  std::unique_ptr<IndexCatalog> catalog;
+  if (!options.dir.empty() &&
+      std::filesystem::exists(options.dir + "/" + kManifestFileName)) {
+    // The directory already holds a durable catalog (an earlier process's
+    // flushes): recover it. Its surviving documents — not the freshly
+    // generated collection — become the served corpus; re-seeding would
+    // duplicate every previously flushed document.
+    Result<std::unique_ptr<IndexCatalog>> opened = IndexCatalog::Open(options);
+    if (!opened.ok()) return opened.status();
+    catalog = std::move(opened).ValueOrDie();
+  } else {
+    Result<std::unique_ptr<IndexCatalog>> created =
+        IndexCatalog::Create(options);
+    if (!created.ok()) return created.status();
+    catalog = std::move(created).ValueOrDie();
+    // Seed the fresh catalog with the generated collection under the
+    // same doc ids: transpose the inverted file into per-document
+    // compositions and ingest them as one batch.
+    const InvertedFile& f = file();
+    if (f.num_docs() > 0) {
+      std::vector<DocTerms> docs(f.num_docs());
+      for (TermId t = 0; t < f.num_terms(); ++t) {
+        const PostingList& list = f.list(t);
+        for (size_t i = 0; i < list.size(); ++i) {
+          docs[list[i].doc].emplace_back(t, list[i].tf);
+        }
+      }
+      Result<DocId> first = catalog->AddDocuments(docs);
+      if (!first.ok()) return first.status();
+    }
+  }
+
+  catalog_ = std::move(catalog);
+  // Release-publish: readers that observe dynamic_ == true see the fully
+  // seeded catalog.
+  dynamic_.store(true, std::memory_order_release);
+  return Status::OK();
+}
+
+Result<DocId> MmDatabase::AddDocument(const DocTerms& terms) {
+  std::lock_guard<std::mutex> lock(mutation_mutex_);
+  MOA_RETURN_NOT_OK(EnsureDynamicLocked());
+  return catalog_->AddDocument(terms);
+}
+
+Result<DocId> MmDatabase::AddDocuments(const std::vector<DocTerms>& docs) {
+  std::lock_guard<std::mutex> lock(mutation_mutex_);
+  MOA_RETURN_NOT_OK(EnsureDynamicLocked());
+  return catalog_->AddDocuments(docs);
+}
+
+Status MmDatabase::DeleteDocument(DocId doc) {
+  std::lock_guard<std::mutex> lock(mutation_mutex_);
+  MOA_RETURN_NOT_OK(EnsureDynamicLocked());
+  return catalog_->DeleteDocument(doc);
+}
+
+Status MmDatabase::Flush() {
+  std::lock_guard<std::mutex> lock(mutation_mutex_);
+  MOA_RETURN_NOT_OK(EnsureDynamicLocked());
+  return catalog_->Flush();
+}
+
+Result<size_t> MmDatabase::Merge(const MergePolicy& policy) {
+  std::lock_guard<std::mutex> lock(mutation_mutex_);
+  MOA_RETURN_NOT_OK(EnsureDynamicLocked());
+  return catalog_->Merge(policy);
+}
+
+// --------------------------------------------------------------- queries
 
 Result<TopNResult> MmDatabase::Execute(PhysicalStrategy strategy,
                                        const Query& query, size_t n,
@@ -120,6 +251,32 @@ Result<TopNResult> MmDatabase::Execute(PhysicalStrategy strategy,
 
 Result<SearchResult> MmDatabase::Search(const Query& query,
                                         const SearchOptions& options) const {
+  ExecOptions eopts;
+  eopts.switch_threshold = options.switch_threshold;
+
+  // One context per query: plan and execution must see the same storage
+  // snapshot. Branching on the captured context (not a second
+  // is_dynamic() read) keeps a Search that raced the first mutation on
+  // the static side end-to-end instead of planning statically and then
+  // executing against the catalog.
+  const ExecContext context = exec_context();
+
+  if (context.file == nullptr) {
+    // Dynamic serving. No cost model over the evolving catalog yet: obey
+    // `force`, default to safe max-score pruning otherwise.
+    SearchResult out;
+    out.strategy = options.force.value_or(PhysicalStrategy::kMaxScore);
+    out.estimate.strategy = out.strategy;
+
+    WallTimer timer;
+    Result<TopNResult> top = StrategyRegistry::Global().Execute(
+        out.strategy, context, query, options.n, eopts);
+    if (!top.ok()) return top.status();
+    out.wall_millis = timer.ElapsedMillis();
+    out.top = std::move(top).ValueOrDie();
+    return out;
+  }
+
   PlannerOptions popts;
   popts.safe_only = options.safe_only;
   popts.force = options.force;
@@ -130,12 +287,9 @@ Result<SearchResult> MmDatabase::Search(const Query& query,
   out.strategy = plan.ValueOrDie().strategy;
   out.estimate = plan.ValueOrDie().chosen;
 
-  ExecOptions eopts;
-  eopts.switch_threshold = options.switch_threshold;
-
   WallTimer timer;
   Result<TopNResult> top =
-      plan.ValueOrDie().Execute(exec_context(), query, options.n, eopts);
+      plan.ValueOrDie().Execute(context, query, options.n, eopts);
   if (!top.ok()) return top.status();
   out.wall_millis = timer.ElapsedMillis();
   out.top = std::move(top).ValueOrDie();
@@ -144,21 +298,50 @@ Result<SearchResult> MmDatabase::Search(const Query& query,
 
 std::vector<ScoredDoc> MmDatabase::GroundTruth(const Query& query,
                                                size_t n) const {
+  if (is_dynamic()) {
+    const std::shared_ptr<const CatalogReadView> view = catalog_view();
+    return ExactTopN(*view, *view->model(), query, n);
+  }
   return ExactTopN(file(), *model_, query, n);
 }
 
 std::vector<double> MmDatabase::GroundTruthScores(const Query& query) const {
+  if (is_dynamic()) {
+    const std::shared_ptr<const CatalogReadView> view = catalog_view();
+    return AccumulateScores(*view, *view->model(), query);
+  }
   return AccumulateScores(file(), *model_, query);
+}
+
+std::string MmDatabase::DescribeStorage() const {
+  if (is_dynamic()) {
+    return "storage: " + catalog_->Snapshot()->Describe();
+  }
+  std::lock_guard<std::mutex> lock(snapshot_mutex_);
+  if (segment_ != nullptr) {
+    return "storage: in-memory inverted file; cursor strategies read mmap "
+           "segment " + segment_path_;
+  }
+  return "storage: in-memory inverted file";
 }
 
 Result<std::string> MmDatabase::ExplainSearch(
     const Query& query, const SearchOptions& options) const {
+  if (is_dynamic()) {
+    std::ostringstream os;
+    os << "chosen: "
+       << StrategyName(options.force.value_or(PhysicalStrategy::kMaxScore))
+       << " (dynamic catalog serving: forced strategy or max-score "
+          "default; no cost model over the evolving collection)\n"
+       << DescribeStorage() << "\n";
+    return os.str();
+  }
   PlannerOptions popts;
   popts.safe_only = options.safe_only;
   popts.force = options.force;
   Result<RetrievalPlan> plan = planner_->Plan(query, options.n, popts);
   if (!plan.ok()) return plan.status();
-  return ExplainPlan(plan.ValueOrDie());
+  return ExplainPlan(plan.ValueOrDie()) + DescribeStorage() + "\n";
 }
 
 }  // namespace moa

@@ -5,15 +5,28 @@
 // a sparse-index cache — and executes top-N retrieval queries with any of
 // the physical strategies, either forced or chosen by the optimizer.
 //
-// Concurrency: after Open, the database is read-only except for the
-// internally synchronized sparse-index cache, so Search / Execute /
-// SearchBatch are safe to call from many threads over one instance.
-// SearchBatch is the built-in fan-out: it runs a whole workload across a
-// ThreadPool and reports aggregate throughput (QPS, latency percentiles).
+// Storage spine. The database starts *static*: queries read the in-memory
+// InvertedFile (optionally swapped for an attached mmap segment on the
+// cursor strategies). The first mutation (AddDocument / DeleteDocument)
+// seeds an IndexCatalog (storage/catalog/) with the collection and flips
+// the database to *dynamic* serving: queries snapshot the catalog per
+// query, statistics track the live documents exactly, and the index
+// evolves through the memtable → flush → merge lifecycle. In dynamic mode
+// only the cursor-based strategies run (baselines, max-score family, stop
+// after); strategies needing impact-ordered or fragment access report
+// Unimplemented.
+//
+// Concurrency: Search / Execute / SearchBatch are safe from many threads,
+// and remain safe while another thread attaches/detaches a segment or
+// mutates the catalog — every query pins the storage it started with via
+// a shared_ptr snapshot (ExecContext::postings_owner); mutations
+// serialize internally and publish by pointer swap.
 #ifndef MOA_ENGINE_DATABASE_H_
 #define MOA_ENGINE_DATABASE_H_
 
+#include <atomic>
 #include <memory>
+#include <mutex>
 #include <optional>
 #include <string>
 #include <vector>
@@ -23,6 +36,7 @@
 #include "ir/exact_eval.h"
 #include "ir/metrics.h"
 #include "optimizer/planner.h"
+#include "storage/catalog/index_catalog.h"
 #include "storage/fragmentation.h"
 #include "storage/segment/segment_reader.h"
 #include "storage/sparse_index_cache.h"
@@ -31,14 +45,19 @@
 
 namespace moa {
 
-/// Scoring model choice for MmDatabase::Open.
-enum class ScoringModelKind { kTfIdf, kBm25, kLanguageModel };
-
 /// \brief Everything needed to open a database.
 struct DatabaseConfig {
   CollectionConfig collection;
   FragmentationPolicy fragmentation;
   ScoringModelKind scoring = ScoringModelKind::kBm25;
+  /// Directory for the index catalog's segments + manifest, used once the
+  /// database turns dynamic. Empty = memory-only catalog: mutations work,
+  /// Flush/Merge return FailedPrecondition. If the directory already
+  /// holds a catalog (a MANIFEST from an earlier process), the first
+  /// mutation *recovers* it instead of seeding from the generated
+  /// collection — the durable surviving documents become the served
+  /// corpus.
+  std::string catalog_dir;
 };
 
 /// \brief Per-search options.
@@ -98,13 +117,15 @@ struct AttachSegmentOptions {
   bool verify_payload = true;
 };
 
-/// \brief The in-memory MM retrieval database.
+/// \brief The MM retrieval database.
 class MmDatabase {
  public:
   /// Generates the collection, builds impact orders and fragmentation.
   static Result<std::unique_ptr<MmDatabase>> Open(const DatabaseConfig& config);
 
   /// Plans (or obeys `force`) and executes the query. Thread-safe.
+  /// Dynamic mode has no cost model yet: the strategy is `force` if set,
+  /// else max-score (safe, pruning, cursor-based).
   Result<SearchResult> Search(const Query& query,
                               const SearchOptions& options) const;
 
@@ -135,17 +156,53 @@ class MmDatabase {
 
   /// Borrowed exec-layer view of this database's state; hand it to
   /// StrategyRegistry::Global().Execute (benches swap in their own
-  /// fragmentation or sparse cache before doing so). The view is
-  /// read-only apart from the internally synchronized sparse cache, so
-  /// copies of it may execute concurrently.
+  /// fragmentation or sparse cache before doing so). In static mode this
+  /// is the in-memory file (plus the attached segment snapshot, if any);
+  /// in dynamic mode it is the current catalog snapshot. Copies of the
+  /// context may execute concurrently.
   ExecContext exec_context() const;
 
-  /// Exact ground truth for quality evaluation.
+  // ---------------------------------------------------- index lifecycle
+  // The first mutation seeds the catalog from the generated collection
+  // (same doc ids) and flips the database to dynamic serving. Mutations
+  // are thread-safe against each other and against in-flight searches.
+
+  /// Adds a document (any order of (term, tf) pairs; terms must be below
+  /// the collection's vocabulary). Returns its doc id.
+  Result<DocId> AddDocument(const DocTerms& terms);
+  /// Bulk ingest under consecutive ids; one snapshot publication total.
+  Result<DocId> AddDocuments(const std::vector<DocTerms>& docs);
+  /// Tombstones a document: it disappears from results immediately and
+  /// statistics drop its exact composition; storage is reclaimed by
+  /// Merge.
+  Status DeleteDocument(DocId doc);
+  /// Persists the memtable as an immutable segment (requires
+  /// DatabaseConfig::catalog_dir).
+  Status Flush();
+  /// Compacts segments (default: all into one), dropping tombstones and
+  /// compacting doc ids above the merged range. Returns segments merged.
+  Result<size_t> Merge(const MergePolicy& policy = {});
+
+  /// True once a mutation has occurred: queries now serve catalog
+  /// snapshots.
+  bool is_dynamic() const {
+    return dynamic_.load(std::memory_order_acquire);
+  }
+  /// The catalog (nullptr while static).
+  const IndexCatalog* catalog() const {
+    return is_dynamic() ? catalog_.get() : nullptr;
+  }
+
+  /// Exact ground truth for quality evaluation (catalog-aware).
   std::vector<ScoredDoc> GroundTruth(const Query& query, size_t n) const;
-  /// Dense exact scores for quality evaluation.
+  /// Dense exact scores for quality evaluation, indexed by doc id
+  /// (tombstoned slots score 0).
   std::vector<double> GroundTruthScores(const Query& query) const;
 
-  /// Planner Explain without execution.
+  /// Planner Explain without execution. The report ends with a
+  /// `storage:` line naming what the plan will read — the in-memory
+  /// file, an attached segment, or the catalog snapshot composition
+  /// (memtable / segment ids / merged cursor).
   Result<std::string> ExplainSearch(const Query& query,
                                     const SearchOptions& options) const;
 
@@ -153,6 +210,7 @@ class MmDatabase {
   /// overwrite). Per-term/per-block max impacts are computed with this
   /// database's scoring model, so max-score pruning over the reopened
   /// segment takes bit-identical decisions to the in-memory path.
+  /// Static mode only — a dynamic database persists through Flush.
   Status SaveSegment(const std::string& path,
                      uint32_t block_size = kDefaultSegmentBlockSize) const;
 
@@ -161,15 +219,20 @@ class MmDatabase {
   /// it; everything else keeps reading the in-memory file. The segment
   /// must describe this database's collection (validated by shape), and
   /// by default its payload is fully decoded once to rule out bit rot
-  /// (see AttachSegmentOptions::verify_payload).
-  /// NOT thread-safe against in-flight searches: attach before serving.
+  /// (see AttachSegmentOptions::verify_payload). Safe against in-flight
+  /// searches: queries already running keep the storage they started
+  /// with (snapshot-per-query). Static mode only.
   Status AttachSegment(const std::string& path,
                        const AttachSegmentOptions& options = {});
 
-  /// Reverts to pure in-memory execution. Same caveat as AttachSegment.
-  void DetachSegment() { segment_.reset(); }
-  bool has_segment() const { return segment_ != nullptr; }
-  const SegmentReader* segment() const { return segment_.get(); }
+  /// Reverts to pure in-memory execution. Safe against in-flight
+  /// searches (same snapshot mechanism as AttachSegment).
+  void DetachSegment();
+  bool has_segment() const { return segment_snapshot() != nullptr; }
+  /// Shared snapshot of the attached segment (nullptr when none).
+  std::shared_ptr<const SegmentReader> segment() const {
+    return segment_snapshot();
+  }
 
   const InvertedFile& file() const { return collection_->inverted_file(); }
   const Collection& collection() const { return *collection_; }
@@ -180,6 +243,18 @@ class MmDatabase {
  private:
   MmDatabase() = default;
 
+  std::shared_ptr<const SegmentReader> segment_snapshot() const;
+  /// Creates and seeds the catalog on first mutation (caller holds
+  /// mutation_mutex_).
+  Status EnsureDynamicLocked();
+  /// Catalog-backed per-query context; the returned view owns model,
+  /// stats view and state snapshot (also referenced by the context).
+  std::shared_ptr<const CatalogReadView> catalog_view() const;
+  ExecContext catalog_context(
+      const std::shared_ptr<const CatalogReadView>& view) const;
+  /// The `storage:` line for ExplainSearch.
+  std::string DescribeStorage() const;
+
   DatabaseConfig config_;
   std::unique_ptr<Collection> collection_;
   Fragmentation fragmentation_;
@@ -187,8 +262,22 @@ class MmDatabase {
   std::unique_ptr<CardinalityEstimator> estimator_;
   std::unique_ptr<CostModel> cost_model_;
   std::unique_ptr<Planner> planner_;
-  /// Optional mmap-backed posting storage attached by AttachSegment.
-  std::unique_ptr<SegmentReader> segment_;
+
+  /// Optional mmap-backed posting storage attached by AttachSegment
+  /// (static mode). Guarded by snapshot_mutex_ for pointer load/store;
+  /// queries copy the shared_ptr once and keep it for their lifetime.
+  mutable std::mutex snapshot_mutex_;
+  std::shared_ptr<const SegmentReader> segment_;
+  std::string segment_path_;  ///< for Explain output; guarded like segment_
+
+  /// Index lifecycle (dynamic mode). catalog_ is created once under
+  /// mutation_mutex_ and never replaced; dynamic_ flips (release) after
+  /// it is fully seeded, so readers seeing true (acquire) see a complete
+  /// catalog.
+  std::mutex mutation_mutex_;
+  std::unique_ptr<IndexCatalog> catalog_;
+  std::atomic<bool> dynamic_{false};
+
   /// Lazily filled by sparse-probe executions; mutable because filling the
   /// cache is not an observable mutation of the database (build-once,
   /// internally locked — the one piece of shared state Search may write).

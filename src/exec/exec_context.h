@@ -13,8 +13,14 @@
 // (const) and must not be mutated while executions are in flight; the
 // sparse cache is the only shared mutable state and synchronizes
 // internally (build-once / read-many, see storage/sparse_index_cache.h).
+// When the engine serves a mutable index (segment attach/detach, the
+// IndexCatalog), each query's context carries a shared_ptr snapshot of the
+// storage it reads (`postings_owner`), so in-flight executions keep their
+// storage alive across concurrent swaps.
 #ifndef MOA_EXEC_EXEC_CONTEXT_H_
 #define MOA_EXEC_EXEC_CONTEXT_H_
+
+#include <memory>
 
 #include "common/cost_ticker.h"
 #include "common/status.h"
@@ -28,9 +34,15 @@ namespace moa {
 
 /// \brief Borrowed execution state shared by all strategy executors.
 ///
-/// All pointers are non-owning; `file` and `model` are required, the rest
-/// are optional capabilities a strategy may demand via Validate().
+/// All raw pointers are non-owning; `model` plus at least one of
+/// `file`/`postings` are required, the rest are optional capabilities a
+/// strategy may demand via Validate().
 struct ExecContext {
+  /// In-memory inverted file. May be null when `postings` is set: a
+  /// catalog-backed context has no materialized InvertedFile, and the
+  /// strategies that require one (impact-ordered sorted access, Step-1
+  /// fragments, probabilistic cutoff) must then return Unimplemented
+  /// rather than silently reading stale in-memory state.
   const InvertedFile* file = nullptr;
   const ScoringModel* model = nullptr;
   /// Step-1 fragmentation; required by fragment strategies only.
@@ -39,25 +51,47 @@ struct ExecContext {
   /// for concurrent executions; nullptr makes the probe build throw-away
   /// indexes).
   SparseIndexCache* sparse_cache = nullptr;
-  /// Optional representation-agnostic posting storage (e.g. an mmap-backed
-  /// MOAIF02 segment, storage/segment/segment_reader.h). When set, the
+  /// Optional representation-agnostic posting storage (an mmap-backed
+  /// MOAIF02 segment, or a multi-segment catalog snapshot). When set, the
   /// cursor-based executors (baselines, max-score, stop-after) stream
   /// postings from here instead of `file`; when null they adapt `file`
-  /// through InMemoryPostingSource. `file` stays required either way —
-  /// collection statistics, impact orders and fragmentation are
-  /// in-memory-only. Must describe the same collection as `file`.
+  /// through InMemoryPostingSource. When both are set they must describe
+  /// the same collection.
   const PostingSource* postings = nullptr;
+  /// Optional owner of `postings` (and anything it depends on — model,
+  /// statistics view, catalog state). Copying the context copies the
+  /// shared_ptr, so a query holding any copy keeps its storage snapshot
+  /// alive even if the engine swaps segments or mutates the catalog
+  /// mid-flight. Null for purely borrowed static contexts.
+  std::shared_ptr<const void> postings_owner;
 
   /// OK iff the required pieces are present.
   Status Validate(bool needs_fragmentation = false) const {
-    if (file == nullptr) {
-      return Status::FailedPrecondition("ExecContext: missing inverted file");
+    if (file == nullptr && postings == nullptr) {
+      return Status::FailedPrecondition(
+          "ExecContext: missing posting storage (no inverted file and no "
+          "posting source)");
     }
     if (model == nullptr) {
       return Status::FailedPrecondition("ExecContext: missing scoring model");
     }
     if (needs_fragmentation && fragmentation == nullptr) {
       return Status::FailedPrecondition("ExecContext: missing fragmentation");
+    }
+    return Status::OK();
+  }
+
+  /// OK iff an in-memory InvertedFile is present — demanded by strategies
+  /// whose access pattern (impact-ordered sorted access, fragment scans,
+  /// random probes) has no cursor equivalent yet.
+  Status ValidateHasFile(const char* strategy_family) const {
+    MOA_RETURN_NOT_OK(Validate());
+    if (file == nullptr) {
+      return Status::Unimplemented(
+          std::string(strategy_family) +
+          " requires the in-memory inverted file (impact-ordered / "
+          "fragment access); it cannot run over a segment or catalog "
+          "posting source alone");
     }
     return Status::OK();
   }

@@ -1,4 +1,9 @@
 // Executors for the Fagin family (topn/fagin.h): FA, TA and NRA.
+//
+// All three consume *impact-ordered* sorted access, which only the
+// in-memory InvertedFile materializes; over a postings-only context
+// (segment or catalog) they report Unimplemented instead of silently
+// reading an in-memory file that may not describe the served collection.
 #include "exec/builtin.h"
 #include "exec/registry.h"
 #include "topn/fagin.h"
@@ -22,7 +27,7 @@ class FaginExecutor : public StrategyExecutor {
 
   Result<TopNResult> Execute(const ExecContext& context, const Query& query,
                              size_t n) const override {
-    MOA_RETURN_NOT_OK(context.Validate());
+    MOA_RETURN_NOT_OK(context.ValidateHasFile("Fagin sorted access"));
     return fn_(*context.file, *context.model, query, n, options_);
   }
 

@@ -12,7 +12,10 @@ class SmallFragmentExecutor : public StrategyExecutor {
  public:
   Result<TopNResult> Execute(const ExecContext& context, const Query& query,
                              size_t n) const override {
-    MOA_RETURN_NOT_OK(context.Validate(/*needs_fragmentation=*/true));
+    MOA_RETURN_NOT_OK(context.ValidateHasFile("fragment strategies"));
+    if (context.fragmentation == nullptr) {
+      return Status::FailedPrecondition("ExecContext: missing fragmentation");
+    }
     return SmallFragmentTopN(*context.file, *context.fragmentation,
                              *context.model, query, n);
   }
@@ -25,7 +28,10 @@ class QualitySwitchExecutor : public StrategyExecutor {
 
   Result<TopNResult> Execute(const ExecContext& context, const Query& query,
                              size_t n) const override {
-    MOA_RETURN_NOT_OK(context.Validate(/*needs_fragmentation=*/true));
+    MOA_RETURN_NOT_OK(context.ValidateHasFile("fragment strategies"));
+    if (context.fragmentation == nullptr) {
+      return Status::FailedPrecondition("ExecContext: missing fragmentation");
+    }
     QualitySwitchOptions opts = options_;
     if (opts.sparse_cache == nullptr) opts.sparse_cache = context.sparse_cache;
     return QualitySwitchTopN(*context.file, *context.fragmentation,

@@ -14,7 +14,8 @@ class ProbabilisticExecutor : public StrategyExecutor {
 
   Result<TopNResult> Execute(const ExecContext& context, const Query& query,
                              size_t n) const override {
-    MOA_RETURN_NOT_OK(context.Validate());
+    MOA_RETURN_NOT_OK(
+        context.ValidateHasFile("probabilistic cutoff estimation"));
     return ProbabilisticTopN(*context.file, *context.model, query, n,
                              options_);
   }

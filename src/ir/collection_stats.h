@@ -1,0 +1,102 @@
+// CollectionStatsView: the statistics a scoring model reads, decoupled
+// from any particular posting storage.
+//
+// Every retrieval weight in this system is a function of the posting's
+// (tf, doc) plus *collection statistics*: document frequency, live
+// document count, document lengths, average document length, collection
+// frequency and total token count. Historically those came straight off
+// the in-memory InvertedFile, which froze the engine at one static
+// collection. This interface is what lets the same ScoringModel arithmetic
+// run over an InvertedFile *and* over the multi-segment IndexCatalog
+// (storage/catalog/), whose statistics change as documents are added and
+// deleted — scoring stays consistent because the model always reads the
+// current live-document statistics, never stale per-segment ones.
+//
+// Bit-parity contract: two views reporting the same numbers make a model
+// produce bit-identical weights. The catalog maintains its statistics
+// incrementally but exactly (see storage/catalog/catalog_state.h), so a
+// catalog holding the same live documents as a freshly built InvertedFile
+// scores every posting bit-identically.
+#ifndef MOA_IR_COLLECTION_STATS_H_
+#define MOA_IR_COLLECTION_STATS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "storage/inverted_file.h"
+
+namespace moa {
+
+/// \brief Read-only collection statistics used by scoring models.
+///
+/// Implementations must be safe for concurrent reads. `num_docs` counts
+/// *live* documents only (the scoring N); storage layers with tombstoned
+/// documents report the surviving count here even though deleted ids may
+/// still occupy slots in the doc-id space.
+class CollectionStatsView {
+ public:
+  virtual ~CollectionStatsView() = default;
+
+  virtual size_t num_terms() const = 0;
+  /// Live documents (the N of idf formulas).
+  virtual size_t num_docs() const = 0;
+  /// Live documents containing term t.
+  virtual uint32_t DocFrequency(TermId t) const = 0;
+  /// Token count of document d (d must be a valid, live doc id).
+  virtual uint32_t DocLength(DocId d) const = 0;
+  /// Mean token count over live documents.
+  virtual double AverageDocLength() const = 0;
+  /// Total tokens over live documents.
+  virtual int64_t total_tokens() const = 0;
+  /// Sum of tf over live postings of t (language-model smoothing).
+  virtual int64_t CollectionFrequency(TermId t) const = 0;
+};
+
+/// \brief CollectionStatsView over a static in-memory InvertedFile.
+///
+/// Cheap to construct unless `precompute_cf` is set, which materializes
+/// per-term collection frequencies in O(postings) — required before
+/// CollectionFrequency is called on a hot path (the language model), since
+/// the fallback recomputes by scanning the term's list.
+class InvertedFileStatsView final : public CollectionStatsView {
+ public:
+  explicit InvertedFileStatsView(const InvertedFile* file,
+                                 bool precompute_cf = false)
+      : file_(file) {
+    if (precompute_cf) {
+      cf_.resize(file_->num_terms(), 0);
+      for (TermId t = 0; t < file_->num_terms(); ++t) {
+        int64_t sum = 0;
+        const PostingList& list = file_->list(t);
+        for (size_t i = 0; i < list.size(); ++i) sum += list[i].tf;
+        cf_[t] = sum;
+      }
+    }
+  }
+
+  size_t num_terms() const override { return file_->num_terms(); }
+  size_t num_docs() const override { return file_->num_docs(); }
+  uint32_t DocFrequency(TermId t) const override {
+    return file_->DocFrequency(t);
+  }
+  uint32_t DocLength(DocId d) const override { return file_->DocLength(d); }
+  double AverageDocLength() const override {
+    return file_->AverageDocLength();
+  }
+  int64_t total_tokens() const override { return file_->total_tokens(); }
+  int64_t CollectionFrequency(TermId t) const override {
+    if (!cf_.empty()) return cf_[t];
+    int64_t sum = 0;
+    const PostingList& list = file_->list(t);
+    for (size_t i = 0; i < list.size(); ++i) sum += list[i].tf;
+    return sum;
+  }
+
+ private:
+  const InvertedFile* file_;
+  std::vector<int64_t> cf_;  // empty unless precomputed
+};
+
+}  // namespace moa
+
+#endif  // MOA_IR_COLLECTION_STATS_H_

@@ -52,10 +52,10 @@ std::vector<ScoredDoc> ExactRanking(const InvertedFile& file,
   return docs;
 }
 
-std::vector<ScoredDoc> ExactTopN(const InvertedFile& file,
+std::vector<ScoredDoc> ExactTopN(const PostingSource& source,
                                  const ScoringModel& model, const Query& query,
                                  size_t n) {
-  std::vector<double> acc = AccumulateScores(file, model, query);
+  std::vector<double> acc = AccumulateScores(source, model, query);
   std::vector<ScoredDoc> docs = CollectNonZero(acc);
   const size_t k = std::min(n, docs.size());
   std::partial_sort(docs.begin(), docs.begin() + k, docs.end(),
@@ -65,6 +65,12 @@ std::vector<ScoredDoc> ExactTopN(const InvertedFile& file,
                     });
   docs.resize(k);
   return docs;
+}
+
+std::vector<ScoredDoc> ExactTopN(const InvertedFile& file,
+                                 const ScoringModel& model, const Query& query,
+                                 size_t n) {
+  return ExactTopN(InMemoryPostingSource(&file), model, query, n);
 }
 
 }  // namespace moa

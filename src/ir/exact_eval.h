@@ -24,6 +24,13 @@ std::vector<ScoredDoc> ExactRanking(const InvertedFile& file,
                                     const Query& query);
 
 /// \brief Exact top-`n` prefix of ExactRanking (partial sort; cheaper).
+///
+/// The PostingSource overload runs the same float operations in the same
+/// order over any posting storage (in-memory file, mmap segment, or the
+/// multi-segment catalog); the InvertedFile overload adapts and delegates.
+std::vector<ScoredDoc> ExactTopN(const PostingSource& source,
+                                 const ScoringModel& model, const Query& query,
+                                 size_t n);
 std::vector<ScoredDoc> ExactTopN(const InvertedFile& file,
                                  const ScoringModel& model, const Query& query,
                                  size_t n);

@@ -1,91 +1,105 @@
 #include "ir/scoring.h"
 
 #include <cmath>
+#include <utility>
 
 namespace moa {
 namespace {
 
-class TfIdfModel final : public ScoringModel {
+/// Shared base: models either borrow a caller-owned view or own an
+/// InvertedFileStatsView adapter built from the legacy InvertedFile
+/// overloads. Weight arithmetic only ever goes through stats(), so both
+/// binding styles are bit-identical on equal statistics.
+class StatsBoundModel : public ScoringModel {
  public:
-  explicit TfIdfModel(const InvertedFile* file) : file_(file) {}
+  explicit StatsBoundModel(const CollectionStatsView* stats) : stats_(stats) {}
+  StatsBoundModel(const InvertedFile* file, bool precompute_cf)
+      : owned_(std::make_unique<InvertedFileStatsView>(file, precompute_cf)),
+        stats_(owned_.get()) {}
+
+  const CollectionStatsView& stats() const override { return *stats_; }
+
+ private:
+  std::unique_ptr<CollectionStatsView> owned_;
+
+ protected:
+  const CollectionStatsView* stats_;
+};
+
+class TfIdfModel final : public StatsBoundModel {
+ public:
+  using StatsBoundModel::StatsBoundModel;
 
   double Weight(TermId t, const Posting& p) const override {
     const double tf = static_cast<double>(p.tf);
-    const double df = static_cast<double>(file_->DocFrequency(t));
+    const double df = static_cast<double>(stats_->DocFrequency(t));
     if (df == 0) return 0.0;
-    const double n = static_cast<double>(file_->num_docs());
-    const double dl = static_cast<double>(file_->DocLength(p.doc));
+    const double n = static_cast<double>(stats_->num_docs());
+    const double dl = static_cast<double>(stats_->DocLength(p.doc));
     return (1.0 + std::log(tf)) * std::log(1.0 + n / df) / std::sqrt(dl);
   }
 
   std::string name() const override { return "tfidf"; }
-  const InvertedFile& file() const override { return *file_; }
-
- private:
-  const InvertedFile* file_;
 };
 
-class Bm25Model final : public ScoringModel {
+class Bm25Model final : public StatsBoundModel {
  public:
+  Bm25Model(const CollectionStatsView* stats, double k1, double b)
+      : StatsBoundModel(stats), k1_(k1), b_(b),
+        avgdl_(stats_->AverageDocLength()) {}
   Bm25Model(const InvertedFile* file, double k1, double b)
-      : file_(file), k1_(k1), b_(b), avgdl_(file->AverageDocLength()) {}
+      : StatsBoundModel(file, /*precompute_cf=*/false), k1_(k1), b_(b),
+        avgdl_(stats_->AverageDocLength()) {}
 
   double Weight(TermId t, const Posting& p) const override {
     const double tf = static_cast<double>(p.tf);
-    const double df = static_cast<double>(file_->DocFrequency(t));
+    const double df = static_cast<double>(stats_->DocFrequency(t));
     if (df == 0) return 0.0;
-    const double n = static_cast<double>(file_->num_docs());
-    const double dl = static_cast<double>(file_->DocLength(p.doc));
+    const double n = static_cast<double>(stats_->num_docs());
+    const double dl = static_cast<double>(stats_->DocLength(p.doc));
     const double idf = std::log(1.0 + (n - df + 0.5) / (df + 0.5));
     const double denom = tf + k1_ * (1.0 - b_ + b_ * dl / avgdl_);
     return idf * tf * (k1_ + 1.0) / denom;
   }
 
   std::string name() const override { return "bm25"; }
-  const InvertedFile& file() const override { return *file_; }
 
  private:
-  const InvertedFile* file_;
   double k1_, b_, avgdl_;
 };
 
-class LanguageModel final : public ScoringModel {
+class LanguageModel final : public StatsBoundModel {
  public:
+  LanguageModel(const CollectionStatsView* stats, double lambda)
+      : StatsBoundModel(stats), lambda_(lambda) {}
   LanguageModel(const InvertedFile* file, double lambda)
-      : file_(file), lambda_(lambda) {
-    // Precompute per-term collection frequencies (sum of tf).
-    cf_.resize(file->num_terms(), 0);
-    for (TermId t = 0; t < file->num_terms(); ++t) {
-      int64_t sum = 0;
-      const auto& list = file->list(t);
-      for (size_t i = 0; i < list.size(); ++i) sum += list[i].tf;
-      cf_[t] = sum;
-    }
-  }
+      : StatsBoundModel(file, /*precompute_cf=*/true), lambda_(lambda) {}
 
   double Weight(TermId t, const Posting& p) const override {
-    if (cf_[t] == 0) return 0.0;
+    const int64_t cf = stats_->CollectionFrequency(t);
+    if (cf == 0) return 0.0;
     const double tf = static_cast<double>(p.tf);
-    const double dl = static_cast<double>(file_->DocLength(p.doc));
-    const double c = static_cast<double>(file_->total_tokens());
+    const double dl = static_cast<double>(stats_->DocLength(p.doc));
+    const double c = static_cast<double>(stats_->total_tokens());
     const double p_doc = tf / dl;
-    const double p_coll = static_cast<double>(cf_[t]) / c;
+    const double p_coll = static_cast<double>(cf) / c;
     return std::log(1.0 + lambda_ / (1.0 - lambda_) * p_doc / p_coll);
   }
 
   std::string name() const override { return "lm"; }
-  const InvertedFile& file() const override { return *file_; }
 
  private:
-  const InvertedFile* file_;
   double lambda_;
-  std::vector<int64_t> cf_;
 };
 
 }  // namespace
 
 std::unique_ptr<ScoringModel> MakeTfIdf(const InvertedFile* file) {
-  return std::make_unique<TfIdfModel>(file);
+  return std::make_unique<TfIdfModel>(file, /*precompute_cf=*/false);
+}
+
+std::unique_ptr<ScoringModel> MakeTfIdf(const CollectionStatsView* stats) {
+  return std::make_unique<TfIdfModel>(stats);
 }
 
 std::unique_ptr<ScoringModel> MakeBm25(const InvertedFile* file, double k1,
@@ -93,9 +107,32 @@ std::unique_ptr<ScoringModel> MakeBm25(const InvertedFile* file, double k1,
   return std::make_unique<Bm25Model>(file, k1, b);
 }
 
+std::unique_ptr<ScoringModel> MakeBm25(const CollectionStatsView* stats,
+                                       double k1, double b) {
+  return std::make_unique<Bm25Model>(stats, k1, b);
+}
+
 std::unique_ptr<ScoringModel> MakeLanguageModel(const InvertedFile* file,
                                                 double lambda) {
   return std::make_unique<LanguageModel>(file, lambda);
+}
+
+std::unique_ptr<ScoringModel> MakeLanguageModel(
+    const CollectionStatsView* stats, double lambda) {
+  return std::make_unique<LanguageModel>(stats, lambda);
+}
+
+std::unique_ptr<ScoringModel> MakeScoringModel(
+    ScoringModelKind kind, const CollectionStatsView* stats) {
+  switch (kind) {
+    case ScoringModelKind::kTfIdf:
+      return MakeTfIdf(stats);
+    case ScoringModelKind::kBm25:
+      return MakeBm25(stats);
+    case ScoringModelKind::kLanguageModel:
+      return MakeLanguageModel(stats);
+  }
+  return nullptr;
 }
 
 }  // namespace moa

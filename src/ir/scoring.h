@@ -4,6 +4,13 @@
 // w(t, d), with w >= 0. Monotonicity is what makes Fagin-style upper/lower
 // bound administration safe (a document's score can only grow as more terms
 // are seen), which the paper's "State of the Art" section builds on.
+//
+// Models read collection statistics through CollectionStatsView
+// (ir/collection_stats.h), not from a concrete storage structure. Bind a
+// model to an InvertedFile for the classic static path, or to a live view
+// (e.g. the IndexCatalog's) whose statistics evolve with adds and deletes;
+// the weight arithmetic is identical either way, so equal statistics give
+// bit-identical weights.
 #ifndef MOA_IR_SCORING_H_
 #define MOA_IR_SCORING_H_
 
@@ -11,6 +18,7 @@
 #include <string>
 #include <vector>
 
+#include "ir/collection_stats.h"
 #include "storage/inverted_file.h"
 
 namespace moa {
@@ -30,7 +38,10 @@ inline bool ScoredDocLess(const ScoredDoc& a, const ScoredDoc& b) {
   return a.doc < b.doc;
 }
 
-/// \brief Interface of a scoring model bound to one inverted file.
+/// Scoring model choice (engine configuration and catalog serving).
+enum class ScoringModelKind { kTfIdf, kBm25, kLanguageModel };
+
+/// \brief Interface of a scoring model bound to one statistics view.
 class ScoringModel {
  public:
   virtual ~ScoringModel() = default;
@@ -41,23 +52,38 @@ class ScoringModel {
   /// Model name for Explain output.
   virtual std::string name() const = 0;
 
-  /// The inverted file the model is bound to.
-  virtual const InvertedFile& file() const = 0;
+  /// The statistics view the model reads.
+  virtual const CollectionStatsView& stats() const = 0;
 };
 
 /// Classic TF-IDF with log-saturated tf and document-length dampening.
 ///   w = (1 + ln tf) * ln(1 + N/df) / sqrt(dl)
 std::unique_ptr<ScoringModel> MakeTfIdf(const InvertedFile* file);
+std::unique_ptr<ScoringModel> MakeTfIdf(const CollectionStatsView* stats);
 
-/// Okapi BM25 (k1, b tunable).
+/// Okapi BM25 (k1, b tunable). The average document length is sampled from
+/// the view at construction, so construct the model *after* the statistics
+/// it should score under (per query, for a mutable catalog).
 std::unique_ptr<ScoringModel> MakeBm25(const InvertedFile* file,
+                                       double k1 = 1.2, double b = 0.75);
+std::unique_ptr<ScoringModel> MakeBm25(const CollectionStatsView* stats,
                                        double k1 = 1.2, double b = 0.75);
 
 /// Hiemstra-style language model with linear (Jelinek-Mercer) smoothing —
 /// the model used by the mi*RR*or system at TREC [VH99].
 ///   w = ln(1 + lambda/(1-lambda) * (tf/dl) / (cf/C))
+/// The InvertedFile overload precomputes collection frequencies; the view
+/// overload reads CollectionFrequency from the view (which must be O(1),
+/// as the catalog's is).
 std::unique_ptr<ScoringModel> MakeLanguageModel(const InvertedFile* file,
                                                 double lambda = 0.15);
+std::unique_ptr<ScoringModel> MakeLanguageModel(
+    const CollectionStatsView* stats, double lambda = 0.15);
+
+/// Factory over the kind enum with default parameters; `stats` is borrowed
+/// and must outlive the model.
+std::unique_ptr<ScoringModel> MakeScoringModel(ScoringModelKind kind,
+                                               const CollectionStatsView* stats);
 
 }  // namespace moa
 

@@ -1,0 +1,229 @@
+// CatalogState: one immutable snapshot of the multi-segment index, plus
+// the merged posting source that serves queries from it.
+//
+// Global doc-id space. Segments are ordered; segment i owns the global id
+// range [base[i], base[i] + num_docs_i) — including tombstoned documents,
+// which keep their slot (and id) until a merge physically drops them. The
+// memtable sits after the last segment. Because the ranges are disjoint
+// and ascending, the "merged" cursor over a term is a concatenation of
+// per-component cursors with an id offset — no heap, and advance_to stays
+// a binary search over components plus the component's own skip logic.
+//
+// Tombstones are per-component bitmaps over local ids; cursors skip dead
+// postings, so a deleted document is invisible to every strategy the
+// moment the snapshot containing its tombstone is published.
+//
+// Statistics (CatalogStats) are maintained incrementally by the
+// IndexCatalog and describe exactly the *live* documents: df, cf, token
+// count. A scoring model bound to a snapshot's stats view therefore
+// computes bit-identical weights to one bound to a fresh InvertedFile of
+// the surviving documents.
+//
+// Impact bounds: per-segment stored max_impacts go stale the moment the
+// collection statistics move (they were computed under flush-time df/
+// avgdl/N), so the snapshot does not trust them. Instead each state keeps
+// a build-once bound cache: MaxImpact(t) is the exact maximum current
+// weight over the term's live postings, computed on first use under this
+// snapshot's statistics (O(live postings of t)) and shared by later
+// queries. Exact bounds keep max-score pruning decisions bit-identical to
+// a fresh index of the survivors.
+//
+// Thread-safety: a published CatalogState is immutable except for the
+// internally synchronized bound cache (the SparseIndexCache pattern);
+// snapshots are shared by shared_ptr and may serve many queries while the
+// catalog publishes successor states.
+#ifndef MOA_STORAGE_CATALOG_CATALOG_STATE_H_
+#define MOA_STORAGE_CATALOG_CATALOG_STATE_H_
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "ir/collection_stats.h"
+#include "ir/scoring.h"
+#include "storage/catalog/forward_index.h"
+#include "storage/catalog/memtable.h"
+#include "storage/segment/posting_cursor.h"
+#include "storage/segment/segment_reader.h"
+
+namespace moa {
+
+/// \brief Live-document statistics, maintained incrementally and exactly.
+struct CatalogStats {
+  std::vector<uint32_t> df;   ///< live document frequency per term
+  std::vector<int64_t> cf;    ///< live collection frequency per term
+  uint64_t num_live_docs = 0;
+  int64_t total_live_tokens = 0;
+
+  explicit CatalogStats(size_t num_terms) : df(num_terms, 0),
+                                            cf(num_terms, 0) {}
+
+  /// Applies one document's composition (+1 add, -1 delete).
+  void Apply(const DocTerms& terms, int direction);
+};
+
+/// \brief One immutable segment inside the catalog: the mmap-backed
+/// reader, its forward-index sidecar and the tombstone bitmap over local
+/// ids.
+struct CatalogSegment {
+  uint64_t id = 0;            ///< file id (seg_<id>.moa / seg_<id>.fwd)
+  std::string segment_path;
+  std::shared_ptr<const SegmentReader> reader;
+  std::shared_ptr<const ForwardIndex> fwd;
+  std::vector<uint8_t> deleted;  ///< one flag per local doc
+  uint32_t num_deleted = 0;
+
+  uint32_t num_docs() const {
+    return static_cast<uint32_t>(reader->num_docs());
+  }
+};
+
+/// \brief An immutable snapshot of the whole catalog.
+class CatalogState {
+ public:
+  /// Built by IndexCatalog; `memtable` must be non-null (possibly empty)
+  /// and `memtable_deleted` sized to its document count.
+  CatalogState(std::vector<std::shared_ptr<const CatalogSegment>> segments,
+               std::shared_ptr<const Memtable> memtable,
+               std::vector<uint8_t> memtable_deleted, CatalogStats stats,
+               uint64_t version);
+
+  size_t num_terms() const { return stats_.df.size(); }
+  /// Size of the global doc-id space (live + tombstoned slots).
+  uint64_t doc_space() const {
+    return memtable_base() + memtable_->num_docs();
+  }
+  uint64_t memtable_base() const { return base_.back(); }
+  uint64_t version() const { return version_; }
+  const CatalogStats& stats() const { return stats_; }
+  const std::vector<std::shared_ptr<const CatalogSegment>>& segments() const {
+    return segments_;
+  }
+  const Memtable& memtable() const { return *memtable_; }
+  const std::vector<uint8_t>& memtable_deleted() const {
+    return memtable_deleted_;
+  }
+  std::shared_ptr<const Memtable> memtable_ptr() const { return memtable_; }
+
+  /// Token count of the document at global id g (defined for tombstoned
+  /// slots too; they still carry their stored length).
+  uint32_t DocLength(DocId g) const;
+  bool IsDeleted(DocId g) const;
+  /// Composition of the document at global id g (segment sidecar or
+  /// memtable forward index).
+  const DocTerms& TermsOf(DocId g) const;
+  /// Live global ids, ascending — the survivor enumeration used by parity
+  /// checks and merges.
+  std::vector<DocId> LiveDocIds() const;
+
+  /// Doc-ordered cursor over term t's *live* postings, global ids.
+  /// `max_impact` is stamped onto the cursor (callers pass the cached
+  /// bound; internal statistics passes use 0).
+  std::unique_ptr<PostingCursor> OpenMergedCursor(TermId t,
+                                                  double max_impact) const;
+
+  /// Exact max current weight over t's live postings under `model`
+  /// (bound to this snapshot's stats view). Cached build-once per state;
+  /// every caller must use the same model arithmetic — the IndexCatalog
+  /// serves one scoring kind per catalog.
+  double TermBound(const ScoringModel& model, TermId t) const;
+
+  /// Human-readable storage composition, e.g.
+  /// "memtable(3 docs) + segments[seg 1: 100 docs, seg 2: 50 docs (-4)]".
+  std::string Describe() const;
+
+ private:
+  friend class CatalogStatsViewImpl;
+  friend class IndexCatalog;
+
+  /// Locates global id g: component index (segments.size() = memtable)
+  /// and local id.
+  std::pair<size_t, DocId> Locate(DocId g) const;
+
+  std::vector<std::shared_ptr<const CatalogSegment>> segments_;
+  std::shared_ptr<const Memtable> memtable_;
+  std::vector<uint8_t> memtable_deleted_;
+  CatalogStats stats_;
+  uint64_t version_;
+  bool memtable_has_dead_ = false;
+  /// base_[i] = first global id of segment i; base_.back() = memtable.
+  std::vector<uint64_t> base_;
+
+  // Build-once bound cache (see file comment).
+  mutable std::mutex bounds_mutex_;
+  mutable std::vector<double> bound_;
+  mutable std::vector<uint8_t> bound_ready_;
+};
+
+/// \brief CollectionStatsView over one snapshot (live statistics).
+class CatalogStatsViewImpl final : public CollectionStatsView {
+ public:
+  explicit CatalogStatsViewImpl(std::shared_ptr<const CatalogState> state)
+      : state_(std::move(state)) {}
+
+  size_t num_terms() const override { return state_->num_terms(); }
+  size_t num_docs() const override { return state_->stats().num_live_docs; }
+  uint32_t DocFrequency(TermId t) const override {
+    return state_->stats().df[t];
+  }
+  uint32_t DocLength(DocId d) const override { return state_->DocLength(d); }
+  double AverageDocLength() const override {
+    const CatalogStats& s = state_->stats();
+    if (s.num_live_docs == 0) return 0.0;
+    return static_cast<double>(s.total_live_tokens) /
+           static_cast<double>(s.num_live_docs);
+  }
+  int64_t total_tokens() const override {
+    return state_->stats().total_live_tokens;
+  }
+  int64_t CollectionFrequency(TermId t) const override {
+    return state_->stats().cf[t];
+  }
+
+ private:
+  std::shared_ptr<const CatalogState> state_;
+};
+
+/// \brief Per-query read view: PostingSource + stats view + scoring model
+/// over one snapshot, bundled so ExecContext::postings_owner can keep the
+/// whole chain alive for the query's lifetime.
+class CatalogReadView final : public PostingSource {
+ public:
+  CatalogReadView(std::shared_ptr<const CatalogState> state,
+                  ScoringModelKind scoring);
+
+  // PostingSource:
+  size_t num_terms() const override { return state_->num_terms(); }
+  /// Doc-id space bound for accumulator sizing — includes tombstoned
+  /// slots, which simply never surface from any cursor. The *live* count
+  /// lives in stats().num_docs().
+  size_t num_docs() const override {
+    return static_cast<size_t>(state_->doc_space());
+  }
+  uint32_t DocFrequency(TermId t) const override {
+    return state_->stats().df[t];
+  }
+  bool HasImpacts(TermId /*t*/) const override { return true; }
+  double MaxImpact(TermId t) const override {
+    return state_->TermBound(*model_, t);
+  }
+  std::unique_ptr<PostingCursor> OpenCursor(TermId t) const override {
+    return state_->OpenMergedCursor(t, state_->TermBound(*model_, t));
+  }
+
+  const ScoringModel* model() const { return model_.get(); }
+  const CollectionStatsView* stats_view() const { return &stats_view_; }
+  const CatalogState& state() const { return *state_; }
+
+ private:
+  std::shared_ptr<const CatalogState> state_;
+  CatalogStatsViewImpl stats_view_;
+  std::unique_ptr<ScoringModel> model_;
+};
+
+}  // namespace moa
+
+#endif  // MOA_STORAGE_CATALOG_CATALOG_STATE_H_

@@ -1,0 +1,190 @@
+#include "storage/catalog/forward_index.h"
+
+#include <cstdio>
+#include <cstring>
+#include <memory>
+
+#include "storage/atomic_file.h"
+#include "storage/segment/varbyte.h"
+
+namespace moa {
+namespace {
+
+constexpr char kFwdMagic[8] = {'M', 'O', 'A', 'F', 'W', 'D', '0', '1'};
+
+Status WriteBytes(std::FILE* f, const void* data, size_t size) {
+  if (size > 0 && std::fwrite(data, 1, size, f) != size) {
+    return Status::Internal("forward index: short write");
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Status WriteForwardIndex(const ForwardIndex& fwd, const std::string& path) {
+  // Encode payload + offsets in one pass; a forward index is the same
+  // order of magnitude as the postings it transposes.
+  std::vector<uint64_t> offsets;
+  offsets.reserve(fwd.num_docs());
+  std::vector<uint8_t> payload;
+  for (size_t d = 0; d < fwd.num_docs(); ++d) {
+    offsets.push_back(payload.size());
+    const DocTerms& terms = fwd.doc(d);
+    VarbyteAppend(payload, static_cast<uint32_t>(terms.size()));
+    TermId prev = 0;
+    bool first = true;
+    for (const auto& [t, tf] : terms) {
+      VarbyteAppend(payload, first ? t : t - prev);
+      VarbyteAppend(payload, tf);
+      prev = t;
+      first = false;
+    }
+  }
+
+  return WriteFileAtomically(path, [&](std::FILE* out) {
+    MOA_RETURN_NOT_OK(WriteBytes(out, kFwdMagic, sizeof(kFwdMagic)));
+    const uint64_t num_docs = fwd.num_docs();
+    const uint64_t payload_bytes = payload.size();
+    MOA_RETURN_NOT_OK(WriteBytes(out, &num_docs, sizeof(num_docs)));
+    MOA_RETURN_NOT_OK(WriteBytes(out, &payload_bytes, sizeof(payload_bytes)));
+    MOA_RETURN_NOT_OK(
+        WriteBytes(out, offsets.data(), offsets.size() * sizeof(uint64_t)));
+    MOA_RETURN_NOT_OK(WriteBytes(out, payload.data(), payload.size()));
+    return Status::OK();
+  });
+}
+
+Result<ForwardIndex> ReadForwardIndex(const std::string& path,
+                                      uint64_t expected_docs,
+                                      size_t num_terms) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) {
+    return Status::NotFound("forward index: cannot open: " + path);
+  }
+  const std::unique_ptr<std::FILE, int (*)(std::FILE*)> closer(f,
+                                                               &std::fclose);
+  uint64_t file_size = 0;
+  if (std::fseek(f, 0, SEEK_END) == 0) {
+    const auto end = ::ftello(f);  // POSIX: 64-bit offset, unlike ftell
+    if (end > 0) file_size = static_cast<uint64_t>(end);
+  }
+  std::rewind(f);
+
+  char magic[8];
+  uint64_t num_docs = 0;
+  uint64_t payload_bytes = 0;
+  if (std::fread(magic, 1, sizeof(magic), f) != sizeof(magic) ||
+      std::fread(&num_docs, sizeof(num_docs), 1, f) != 1 ||
+      std::fread(&payload_bytes, sizeof(payload_bytes), 1, f) != 1) {
+    return Status::InvalidArgument("forward index: truncated header: " + path);
+  }
+  if (std::memcmp(magic, kFwdMagic, sizeof(magic)) != 0) {
+    return Status::InvalidArgument(
+        "forward index: bad magic (not MOAFWD01): " + path);
+  }
+  if (num_docs != expected_docs) {
+    return Status::InvalidArgument(
+        "forward index: document count disagrees with segment: " + path);
+  }
+  // Every doc needs at least 1 payload byte (its term count), so a
+  // plausible payload bounds num_docs before any allocation.
+  if (payload_bytes > (1ull << 40) || (num_docs > 0 && payload_bytes == 0) ||
+      num_docs > payload_bytes) {
+    return Status::InvalidArgument(
+        "forward index: implausible header sizes: " + path);
+  }
+  // Exact-size check against the real file *before* allocating from the
+  // header counts: a corrupt num_docs/payload_bytes must fail cleanly,
+  // never drive a huge resize (counts above are < 2^40, so the sum
+  // cannot wrap u64).
+  const uint64_t expected_size = sizeof(magic) + sizeof(num_docs) +
+                                 sizeof(payload_bytes) +
+                                 num_docs * sizeof(uint64_t) + payload_bytes;
+  if (expected_size != file_size) {
+    return Status::InvalidArgument(
+        "forward index: file size does not match header (truncated or "
+        "corrupt): " + path);
+  }
+
+  std::vector<uint64_t> offsets(num_docs);
+  if (num_docs > 0 &&
+      std::fread(offsets.data(), sizeof(uint64_t), num_docs, f) != num_docs) {
+    return Status::InvalidArgument(
+        "forward index: truncated offsets: " + path);
+  }
+  std::vector<uint8_t> payload(payload_bytes);
+  if (payload_bytes > 0 &&
+      std::fread(payload.data(), 1, payload_bytes, f) != payload_bytes) {
+    return Status::InvalidArgument(
+        "forward index: truncated payload: " + path);
+  }
+  // Reject trailing garbage: the sections must account for the whole file.
+  uint8_t extra = 0;
+  if (std::fread(&extra, 1, 1, f) == 1) {
+    return Status::InvalidArgument(
+        "forward index: trailing bytes after payload: " + path);
+  }
+
+  if (num_docs > 0 && offsets[0] != 0) {
+    return Status::InvalidArgument(
+        "forward index: leading unaccounted payload: " + path);
+  }
+
+  ForwardIndex fwd;
+  for (uint64_t d = 0; d < num_docs; ++d) {
+    const uint64_t begin = offsets[d];
+    const uint64_t end = (d + 1 < num_docs) ? offsets[d + 1] : payload_bytes;
+    if (begin > end || end > payload_bytes ||
+        (d > 0 && begin < offsets[d - 1])) {
+      return Status::InvalidArgument(
+          "forward index: offsets not monotone: " + path);
+    }
+    const uint8_t* p = payload.data() + begin;
+    const uint8_t* stop = payload.data() + end;
+    uint32_t count = 0;
+    size_t used = VarbyteDecode(p, stop, &count);
+    if (used == 0) {
+      return Status::InvalidArgument(
+          "forward index: corrupt term count: " + path);
+    }
+    p += used;
+    DocTerms terms;
+    terms.reserve(count);
+    TermId prev = 0;
+    for (uint32_t i = 0; i < count; ++i) {
+      uint32_t gap = 0, tf = 0;
+      used = VarbyteDecode(p, stop, &gap);
+      if (used == 0) {
+        return Status::InvalidArgument(
+            "forward index: corrupt term gap: " + path);
+      }
+      p += used;
+      used = VarbyteDecode(p, stop, &tf);
+      if (used == 0 || tf == 0) {
+        return Status::InvalidArgument("forward index: corrupt tf: " + path);
+      }
+      p += used;
+      // First term's gap is absolute; later gaps must move strictly
+      // forward so terms stay sorted and distinct.
+      if (i > 0 && gap == 0) {
+        return Status::InvalidArgument(
+            "forward index: terms not strictly ascending: " + path);
+      }
+      const uint64_t term = static_cast<uint64_t>(i == 0 ? 0 : prev) + gap;
+      if (term >= num_terms) {
+        return Status::InvalidArgument(
+            "forward index: term id out of vocabulary: " + path);
+      }
+      prev = static_cast<TermId>(term);
+      terms.emplace_back(prev, tf);
+    }
+    if (p != stop) {
+      return Status::InvalidArgument(
+          "forward index: document run not fully consumed: " + path);
+    }
+    fwd.Append(std::move(terms));
+  }
+  return fwd;
+}
+
+}  // namespace moa

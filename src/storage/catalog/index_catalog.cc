@@ -1,0 +1,398 @@
+#include "storage/catalog/index_catalog.h"
+
+#include <cstdio>
+#include <filesystem>
+#include <utility>
+
+#include "storage/segment/segment_writer.h"
+
+namespace moa {
+namespace {
+
+/// Opens one durable segment (reader + sidecar) and cross-validates the
+/// two against each other: document counts, per-document lengths, and the
+/// full per-term document frequencies — a sidecar that drifted from its
+/// segment would silently corrupt statistics maintenance.
+Result<std::shared_ptr<const CatalogSegment>> OpenCatalogSegment(
+    const std::string& dir, const ManifestSegment& entry, size_t num_terms,
+    bool verify_payload) {
+  auto seg = std::make_shared<CatalogSegment>();
+  seg->id = entry.id;
+  seg->segment_path = dir + "/" + SegmentFileName(entry.id);
+
+  Result<std::unique_ptr<SegmentReader>> reader =
+      SegmentReader::Open(seg->segment_path);
+  if (!reader.ok()) return reader.status();
+  seg->reader = std::move(reader).ValueOrDie();
+  if (seg->reader->num_terms() != num_terms) {
+    return Status::InvalidArgument(
+        "catalog: segment vocabulary disagrees with catalog: " +
+        seg->segment_path);
+  }
+  if (seg->reader->num_docs() != entry.num_docs) {
+    return Status::InvalidArgument(
+        "catalog: segment document count disagrees with manifest: " +
+        seg->segment_path);
+  }
+  if (verify_payload) {
+    MOA_RETURN_NOT_OK(seg->reader->CheckIntegrity());
+  }
+
+  Result<ForwardIndex> fwd = ReadForwardIndex(
+      dir + "/" + ForwardFileName(entry.id), entry.num_docs, num_terms);
+  if (!fwd.ok()) return fwd.status();
+  seg->fwd = std::make_shared<const ForwardIndex>(std::move(fwd).ValueOrDie());
+
+  // Sidecar/segment cross-validation.
+  std::vector<uint32_t> df(num_terms, 0);
+  for (uint32_t d = 0; d < entry.num_docs; ++d) {
+    const DocTerms& terms = seg->fwd->doc(d);
+    uint32_t length = 0;
+    for (const auto& [t, tf] : terms) {
+      ++df[t];
+      length += tf;
+    }
+    if (length != seg->reader->DocLength(d)) {
+      return Status::InvalidArgument(
+          "catalog: sidecar document length disagrees with segment: " +
+          seg->segment_path);
+    }
+  }
+  for (TermId t = 0; t < num_terms; ++t) {
+    if (df[t] != seg->reader->DocFrequency(t)) {
+      return Status::InvalidArgument(
+          "catalog: sidecar document frequency disagrees with segment: " +
+          seg->segment_path);
+    }
+  }
+
+  seg->deleted.assign(entry.num_docs, 0);
+  for (uint32_t local : entry.deleted) {
+    seg->deleted[local] = 1;
+  }
+  seg->num_deleted = static_cast<uint32_t>(entry.deleted.size());
+  return std::shared_ptr<const CatalogSegment>(std::move(seg));
+}
+
+}  // namespace
+
+Result<std::unique_ptr<IndexCatalog>> IndexCatalog::Create(
+    const Options& options) {
+  if (options.num_terms == 0) {
+    return Status::InvalidArgument("catalog: vocabulary size required");
+  }
+  if (!options.dir.empty()) {
+    std::error_code ec;
+    std::filesystem::create_directories(options.dir, ec);
+    if (ec) {
+      return Status::Internal("catalog: cannot create directory: " +
+                              options.dir + ": " + ec.message());
+    }
+    if (std::filesystem::exists(options.dir + "/" + kManifestFileName)) {
+      return Status::InvalidArgument(
+          "catalog: directory already holds a catalog (use Open): " +
+          options.dir);
+    }
+  }
+  auto catalog = std::unique_ptr<IndexCatalog>(new IndexCatalog(options));
+  catalog->state_ = std::make_shared<const CatalogState>(
+      std::vector<std::shared_ptr<const CatalogSegment>>{},
+      std::make_shared<const Memtable>(options.num_terms),
+      std::vector<uint8_t>{}, CatalogStats(options.num_terms), /*version=*/0);
+  return catalog;
+}
+
+Result<std::unique_ptr<IndexCatalog>> IndexCatalog::Open(
+    const Options& options) {
+  if (options.num_terms == 0) {
+    return Status::InvalidArgument("catalog: vocabulary size required");
+  }
+  if (options.dir.empty()) {
+    return Status::InvalidArgument("catalog: Open requires a directory");
+  }
+  Result<CatalogManifest> manifest = ReadManifest(options.dir);
+  if (!manifest.ok()) return manifest.status();
+
+  std::vector<std::shared_ptr<const CatalogSegment>> segments;
+  CatalogStats stats(options.num_terms);
+  for (const ManifestSegment& entry : manifest.ValueOrDie().segments) {
+    Result<std::shared_ptr<const CatalogSegment>> seg =
+        OpenCatalogSegment(options.dir, entry, options.num_terms,
+                           options.verify_payload_at_open);
+    if (!seg.ok()) return seg.status();
+    // Live statistics: apply every surviving document's composition.
+    const CatalogSegment& s = *seg.ValueOrDie();
+    for (uint32_t d = 0; d < s.num_docs(); ++d) {
+      if (s.deleted[d] == 0) stats.Apply(s.fwd->doc(d), +1);
+    }
+    segments.push_back(std::move(seg).ValueOrDie());
+  }
+
+  auto catalog = std::unique_ptr<IndexCatalog>(new IndexCatalog(options));
+  catalog->next_segment_id_ = manifest.ValueOrDie().next_segment_id;
+  catalog->state_ = std::make_shared<const CatalogState>(
+      std::move(segments), std::make_shared<const Memtable>(options.num_terms),
+      std::vector<uint8_t>{}, std::move(stats), /*version=*/0);
+  return catalog;
+}
+
+std::shared_ptr<const CatalogState> IndexCatalog::Snapshot() const {
+  std::lock_guard<std::mutex> lock(state_mutex_);
+  return state_;
+}
+
+std::shared_ptr<const CatalogReadView> IndexCatalog::OpenReadView() const {
+  return std::make_shared<const CatalogReadView>(Snapshot(),
+                                                 options_.scoring);
+}
+
+void IndexCatalog::Publish(std::shared_ptr<const CatalogState> next) {
+  std::lock_guard<std::mutex> lock(state_mutex_);
+  state_ = std::move(next);
+}
+
+CatalogManifest IndexCatalog::ManifestFor(
+    const std::vector<std::shared_ptr<const CatalogSegment>>& segments,
+    uint64_t next_segment_id) {
+  CatalogManifest manifest;
+  manifest.next_segment_id = next_segment_id;
+  for (const auto& seg : segments) {
+    ManifestSegment entry;
+    entry.id = seg->id;
+    entry.num_docs = seg->num_docs();
+    for (uint32_t d = 0; d < seg->deleted.size(); ++d) {
+      if (seg->deleted[d] != 0) entry.deleted.push_back(d);
+    }
+    manifest.segments.push_back(std::move(entry));
+  }
+  return manifest;
+}
+
+Result<DocId> IndexCatalog::AddDocument(const DocTerms& terms) {
+  return AddDocuments({terms});
+}
+
+Result<DocId> IndexCatalog::AddDocuments(const std::vector<DocTerms>& docs) {
+  if (docs.empty()) {
+    return Status::InvalidArgument("catalog: empty document batch");
+  }
+  std::lock_guard<std::mutex> writer(writer_mutex_);
+  const std::shared_ptr<const CatalogState> cur = Snapshot();
+  // kEndDoc is the cursor sentinel; no document may ever occupy it.
+  if (cur->doc_space() + docs.size() >= kEndDoc) {
+    return Status::OutOfRange("catalog: doc-id space exhausted");
+  }
+
+  // Copy-on-write: mutate private copies, publish on success only.
+  auto memtable = std::make_shared<Memtable>(cur->memtable());
+  CatalogStats stats = cur->stats();
+  const DocId first =
+      static_cast<DocId>(cur->memtable_base() + memtable->num_docs());
+  for (const DocTerms& terms : docs) {
+    Result<DocId> local = memtable->AddDocument(terms);
+    if (!local.ok()) return local.status();
+    stats.Apply(memtable->doc_terms(local.ValueOrDie()), +1);
+  }
+  std::vector<uint8_t> deleted = cur->memtable_deleted();
+  deleted.resize(memtable->num_docs(), 0);
+
+  Publish(std::make_shared<const CatalogState>(
+      cur->segments(), std::move(memtable), std::move(deleted), std::move(stats),
+      cur->version() + 1));
+  return first;
+}
+
+Status IndexCatalog::DeleteDocument(DocId global) {
+  std::lock_guard<std::mutex> writer(writer_mutex_);
+  const std::shared_ptr<const CatalogState> cur = Snapshot();
+  if (global >= cur->doc_space()) {
+    return Status::InvalidArgument("catalog: no such document id");
+  }
+  if (cur->IsDeleted(global)) {
+    return Status::NotFound("catalog: document already deleted");
+  }
+
+  CatalogStats stats = cur->stats();
+  stats.Apply(cur->TermsOf(global), -1);
+
+  const auto [comp, local] = cur->Locate(global);
+  if (comp == cur->segments().size()) {
+    // Memtable document: tombstone in memory (not durable — the memtable
+    // itself is not).
+    std::vector<uint8_t> deleted = cur->memtable_deleted();
+    deleted[local] = 1;
+    Publish(std::make_shared<const CatalogState>(
+        cur->segments(), cur->memtable_ptr(), std::move(deleted),
+        std::move(stats), cur->version() + 1));
+    return Status::OK();
+  }
+
+  // Segment document: copy that segment's record, share everything else.
+  auto patched = std::make_shared<CatalogSegment>(*cur->segments()[comp]);
+  patched->deleted[local] = 1;
+  patched->num_deleted += 1;
+  std::vector<std::shared_ptr<const CatalogSegment>> segments =
+      cur->segments();
+  segments[comp] = patched;
+
+  // The segment is durable, so its tombstone must be too — publish the
+  // manifest before the in-memory state (memory-only catalogs skip this).
+  if (!options_.dir.empty()) {
+    MOA_RETURN_NOT_OK(
+        WriteManifest(options_.dir, ManifestFor(segments, next_segment_id_)));
+  }
+  Publish(std::make_shared<const CatalogState>(
+      std::move(segments), cur->memtable_ptr(), cur->memtable_deleted(),
+      std::move(stats), cur->version() + 1));
+  return Status::OK();
+}
+
+Status IndexCatalog::Flush() {
+  std::lock_guard<std::mutex> writer(writer_mutex_);
+  const std::shared_ptr<const CatalogState> cur = Snapshot();
+  if (cur->memtable().empty()) return Status::OK();
+  if (options_.dir.empty()) {
+    return Status::FailedPrecondition(
+        "catalog: Flush requires a catalog directory (memory-only catalog)");
+  }
+
+  const uint64_t id = next_segment_id_;
+  auto seg = std::make_shared<CatalogSegment>();
+  seg->id = id;
+  seg->segment_path = options_.dir + "/" + SegmentFileName(id);
+
+  // 1. Write the immutable files (atomic each, unreferenced until the
+  //    manifest names them).
+  Result<InvertedFile> file = cur->memtable().ToInvertedFile();
+  if (!file.ok()) return file.status();
+  SegmentWriterOptions wopts;
+  wopts.block_size = options_.segment_block_size;
+  MOA_RETURN_NOT_OK(
+      WriteSegment(file.ValueOrDie(), seg->segment_path, wopts));
+  MOA_RETURN_NOT_OK(WriteForwardIndex(
+      cur->memtable().forward_index(),
+      options_.dir + "/" + ForwardFileName(id)));
+  MOA_RETURN_NOT_OK(Fault("flush:segment-written"));
+
+  // 2. Reopen through the reader (structural validation; the payload was
+  //    produced by this process an instant ago, so the integrity scan is
+  //    skipped — trusted provenance).
+  Result<std::unique_ptr<SegmentReader>> reader =
+      SegmentReader::Open(seg->segment_path);
+  if (!reader.ok()) return reader.status();
+  seg->reader = std::move(reader).ValueOrDie();
+  seg->fwd = std::make_shared<const ForwardIndex>(
+      cur->memtable().forward_index());
+  // Flush is id-stable: tombstoned memtable docs carry their tombstone
+  // into the segment and are reclaimed by a later merge.
+  seg->deleted = cur->memtable_deleted();
+  for (uint8_t d : seg->deleted) seg->num_deleted += (d != 0) ? 1 : 0;
+
+  std::vector<std::shared_ptr<const CatalogSegment>> segments =
+      cur->segments();
+  segments.push_back(std::move(seg));
+
+  // 3. Atomic publication: the manifest switch makes the flush durable.
+  MOA_RETURN_NOT_OK(
+      WriteManifest(options_.dir, ManifestFor(segments, id + 1)));
+  next_segment_id_ = id + 1;
+
+  Publish(std::make_shared<const CatalogState>(
+      std::move(segments),
+      std::make_shared<const Memtable>(options_.num_terms),
+      std::vector<uint8_t>{}, cur->stats(), cur->version() + 1));
+  return Status::OK();
+}
+
+Result<size_t> IndexCatalog::Merge(const MergePolicy& policy) {
+  std::lock_guard<std::mutex> writer(writer_mutex_);
+  const std::shared_ptr<const CatalogState> cur = Snapshot();
+  const size_t num_segments = cur->segments().size();
+  if (policy.first > num_segments) {
+    return Status::InvalidArgument("catalog: merge run out of range");
+  }
+  const size_t count = policy.count == 0 ? num_segments - policy.first
+                                         : policy.count;
+  if (policy.first + count > num_segments) {
+    return Status::InvalidArgument("catalog: merge run out of range");
+  }
+  if (count == 0) return size_t{0};
+  if (options_.dir.empty()) {
+    return Status::FailedPrecondition(
+        "catalog: Merge requires a catalog directory (memory-only catalog)");
+  }
+
+  // Rebuild the run's surviving documents under compacted local ids,
+  // preserving insertion order.
+  InvertedFileBuilder builder(options_.num_terms);
+  ForwardIndex merged_fwd;
+  DocId next_local = 0;
+  for (size_t i = policy.first; i < policy.first + count; ++i) {
+    const CatalogSegment& seg = *cur->segments()[i];
+    for (uint32_t d = 0; d < seg.num_docs(); ++d) {
+      if (seg.deleted[d] != 0) continue;
+      MOA_RETURN_NOT_OK(builder.AddDocument(next_local++, seg.fwd->doc(d)));
+      merged_fwd.Append(seg.fwd->doc(d));
+    }
+  }
+
+  const uint64_t id = next_segment_id_;
+  auto merged = std::make_shared<CatalogSegment>();
+  merged->id = id;
+  merged->segment_path = options_.dir + "/" + SegmentFileName(id);
+
+  SegmentWriterOptions wopts;
+  wopts.block_size = options_.segment_block_size;
+  MOA_RETURN_NOT_OK(
+      WriteSegment(builder.Build(), merged->segment_path, wopts));
+  MOA_RETURN_NOT_OK(WriteForwardIndex(
+      merged_fwd, options_.dir + "/" + ForwardFileName(id)));
+  MOA_RETURN_NOT_OK(Fault("merge:segment-written"));
+
+  Result<std::unique_ptr<SegmentReader>> reader =
+      SegmentReader::Open(merged->segment_path);
+  if (!reader.ok()) return reader.status();
+  merged->reader = std::move(reader).ValueOrDie();
+  merged->deleted.assign(merged->reader->num_docs(), 0);
+  merged->num_deleted = 0;
+  merged->fwd =
+      std::make_shared<const ForwardIndex>(std::move(merged_fwd));
+
+  // Splice: [prefix] + merged + [suffix]. Later segments' global ranges
+  // shift down automatically (bases are computed, not stored).
+  std::vector<std::shared_ptr<const CatalogSegment>> segments(
+      cur->segments().begin(),
+      cur->segments().begin() + static_cast<ptrdiff_t>(policy.first));
+  std::vector<std::string> retired;
+  for (size_t i = policy.first; i < policy.first + count; ++i) {
+    retired.push_back(cur->segments()[i]->segment_path);
+  }
+  segments.push_back(std::move(merged));
+  segments.insert(segments.end(),
+                  cur->segments().begin() +
+                      static_cast<ptrdiff_t>(policy.first + count),
+                  cur->segments().end());
+
+  MOA_RETURN_NOT_OK(
+      WriteManifest(options_.dir, ManifestFor(segments, id + 1)));
+  next_segment_id_ = id + 1;
+
+  // Tombstoned docs are gone from storage; live statistics are unchanged.
+  Publish(std::make_shared<const CatalogState>(
+      std::move(segments), cur->memtable_ptr(), cur->memtable_deleted(),
+      cur->stats(), cur->version() + 1));
+
+  // Best-effort space reclamation: the old files left the manifest, so
+  // failures here only leave ignorable orphans (in-flight snapshots still
+  // hold the old mmaps open; POSIX keeps them readable until unmapped).
+  for (const std::string& path : retired) {
+    std::remove(path.c_str());
+    // seg_X.moa -> seg_X.fwd
+    std::string fwd_path = path;
+    fwd_path.replace(fwd_path.size() - 3, 3, "fwd");
+    std::remove(fwd_path.c_str());
+  }
+  return count;
+}
+
+}  // namespace moa

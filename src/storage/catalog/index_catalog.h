@@ -1,0 +1,155 @@
+// IndexCatalog: the mutable, multi-segment index lifecycle —
+// ingest → flush → merge → delete — behind the PostingCursor API.
+//
+//            AddDocument / DeleteDocument
+//                       │
+//                 ┌─────▼─────┐   Flush()    ┌───────────────┐
+//                 │  memtable │ ───────────▶ │ seg_k.moa/fwd │──┐
+//                 └───────────┘              └───────────────┘  │ Merge()
+//                                            ┌───────────────┐  ▼
+//                                            │ seg_j.moa/fwd │─▶ seg_m
+//                                            └───────────────┘ (tombstones
+//                                                                dropped,
+//                                                                ids compacted)
+//
+// Every mutation builds a *new* immutable CatalogState (copy-on-write with
+// structural sharing: segment readers, sidecars and the memtable are
+// shared by shared_ptr; only what changed is copied) and publishes it by
+// swapping one pointer. Queries take snapshot-per-query: a search holds
+// the shared_ptr it started with, so flush/merge/delete during in-flight
+// execution is safe and every query sees one consistent state.
+//
+// Doc-id contract: ids are assigned densely in insertion order and are
+// *internal*. They are stable across AddDocument, DeleteDocument and
+// Flush; a Merge physically drops tombstoned documents and compacts every
+// id above the merged range downward (the classic LSM text-index
+// behaviour — external keys, if any, live above this layer).
+//
+// Durability: segments and their forward-index sidecars are immutable
+// files; the MANIFEST names the live set and is replaced atomically
+// (storage/catalog/manifest.h), so flush and merge publish all-or-nothing
+// and a crash leaves a readable catalog. The memtable has no WAL —
+// unflushed documents are lost on crash by design.
+//
+// Mutation cost: one state copy per call — batch adds through
+// AddDocuments to amortize (the memtable copy is O(buffered contents)).
+#ifndef MOA_STORAGE_CATALOG_INDEX_CATALOG_H_
+#define MOA_STORAGE_CATALOG_INDEX_CATALOG_H_
+
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "ir/scoring.h"
+#include "storage/catalog/catalog_state.h"
+#include "storage/catalog/manifest.h"
+#include "storage/segment/segment_format.h"
+
+namespace moa {
+
+/// \brief Which adjacent run of segments a Merge compacts.
+struct MergePolicy {
+  /// Index of the first segment of the run (catalog order).
+  size_t first = 0;
+  /// Segments in the run; 0 = through the last segment. Runs must be
+  /// adjacent so the compacted id space stays insertion-ordered.
+  size_t count = 0;
+};
+
+/// \brief The multi-segment index catalog.
+///
+/// Thread-safety: Snapshot()/OpenReadView() may race freely with any
+/// mutation (readers keep serving their snapshot); mutations are
+/// serialized internally.
+class IndexCatalog {
+ public:
+  struct Options {
+    /// Vocabulary size (dense term ids below this). Required.
+    size_t num_terms = 0;
+    /// Catalog directory for segments + MANIFEST. Empty = memory-only:
+    /// adds and deletes work, Flush/Merge return FailedPrecondition.
+    std::string dir;
+    /// Scoring kind served by read views; the snapshot bound cache is
+    /// computed under this model, so one catalog serves one kind.
+    ScoringModelKind scoring = ScoringModelKind::kBm25;
+    uint32_t segment_block_size = kDefaultSegmentBlockSize;
+    /// Decode every payload block of every segment at Open (CheckIntegrity)
+    /// — catches bit rot the structural validation cannot see.
+    bool verify_payload_at_open = true;
+    /// Test-only crash injection: called with a named point ("
+    /// flush:segment-written", "merge:segment-written") after the
+    /// immutable files exist but before the manifest publishes; returning
+    /// an error simulates a crash between the two.
+    std::function<Status(const std::string&)> fault_injector;
+  };
+
+  /// Fresh empty catalog. Creates `dir` if needed; refuses a directory
+  /// that already holds a MANIFEST (use Open to recover one).
+  static Result<std::unique_ptr<IndexCatalog>> Create(const Options& options);
+
+  /// Recovers a catalog from `dir`'s MANIFEST: opens and cross-validates
+  /// every referenced segment + sidecar and rebuilds live statistics from
+  /// the surviving documents. Unreferenced files (a crashed, unpublished
+  /// flush or merge) are ignored.
+  static Result<std::unique_ptr<IndexCatalog>> Open(const Options& options);
+
+  /// Adds one document; returns its global id. O(memtable) per call —
+  /// prefer AddDocuments for bulk ingest.
+  Result<DocId> AddDocument(const DocTerms& terms);
+  /// Adds a batch under consecutive global ids; returns the first. One
+  /// state publication for the whole batch. All-or-nothing on validation
+  /// errors.
+  Result<DocId> AddDocuments(const std::vector<DocTerms>& docs);
+
+  /// Tombstones the document at `global`. Statistics drop its exact
+  /// composition immediately; the posting slots are reclaimed by the next
+  /// Merge covering its segment. Segment-level tombstones are made
+  /// durable in the manifest before the state publishes.
+  Status DeleteDocument(DocId global);
+
+  /// Persists the memtable as a new immutable segment (id-stable:
+  /// tombstoned memtable docs carry their tombstone into the segment).
+  /// No-op on an empty memtable.
+  Status Flush();
+
+  /// Compacts the policy's run of adjacent segments into one, dropping
+  /// tombstoned documents and remapping every id above the run downward.
+  /// Returns the number of segments merged (0 = nothing to do).
+  Result<size_t> Merge(const MergePolicy& policy = {});
+
+  /// The current published state (snapshot-per-query anchor).
+  std::shared_ptr<const CatalogState> Snapshot() const;
+  /// PostingSource + stats view + scoring model over the current state,
+  /// bundled for ExecContext (see CatalogReadView).
+  std::shared_ptr<const CatalogReadView> OpenReadView() const;
+
+  const Options& options() const { return options_; }
+
+ private:
+  explicit IndexCatalog(Options options) : options_(std::move(options)) {}
+
+  Status Fault(const char* point) const {
+    if (options_.fault_injector) return options_.fault_injector(point);
+    return Status::OK();
+  }
+  void Publish(std::shared_ptr<const CatalogState> next);
+  /// Manifest describing `segments` with the given next id.
+  static CatalogManifest ManifestFor(
+      const std::vector<std::shared_ptr<const CatalogSegment>>& segments,
+      uint64_t next_segment_id);
+
+  Options options_;
+
+  mutable std::mutex state_mutex_;  ///< guards the state_ pointer swap
+  std::shared_ptr<const CatalogState> state_;
+
+  std::mutex writer_mutex_;  ///< serializes mutations
+  uint64_t next_segment_id_ = 1;  ///< under writer_mutex_
+};
+
+}  // namespace moa
+
+#endif  // MOA_STORAGE_CATALOG_INDEX_CATALOG_H_

@@ -1,0 +1,149 @@
+#include "storage/catalog/manifest.h"
+
+#include <cstdio>
+#include <cstring>
+#include <memory>
+#include <set>
+
+#include "storage/atomic_file.h"
+
+namespace moa {
+namespace {
+
+constexpr char kManifestMagic[8] = {'M', 'O', 'A', 'C', 'A', 'T', '0', '1'};
+/// Far above any real catalog; bounds allocations on corrupt input.
+constexpr uint32_t kMaxSegments = 1u << 20;
+
+Status WriteBytes(std::FILE* f, const void* data, size_t size) {
+  if (size > 0 && std::fwrite(data, 1, size, f) != size) {
+    return Status::Internal("manifest: short write");
+  }
+  return Status::OK();
+}
+
+template <typename T>
+bool ReadPod(std::FILE* f, T* out) {
+  return std::fread(out, sizeof(T), 1, f) == 1;
+}
+
+}  // namespace
+
+std::string SegmentFileName(uint64_t id) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "seg_%06llu.moa",
+                static_cast<unsigned long long>(id));
+  return buf;
+}
+
+std::string ForwardFileName(uint64_t id) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "seg_%06llu.fwd",
+                static_cast<unsigned long long>(id));
+  return buf;
+}
+
+Status WriteManifest(const std::string& dir,
+                     const CatalogManifest& manifest) {
+  const std::string path = dir + "/" + kManifestFileName;
+  return WriteFileAtomically(path, [&](std::FILE* out) {
+    MOA_RETURN_NOT_OK(WriteBytes(out, kManifestMagic, sizeof(kManifestMagic)));
+    MOA_RETURN_NOT_OK(WriteBytes(out, &manifest.next_segment_id,
+                                 sizeof(manifest.next_segment_id)));
+    const uint32_t num_segments =
+        static_cast<uint32_t>(manifest.segments.size());
+    MOA_RETURN_NOT_OK(WriteBytes(out, &num_segments, sizeof(num_segments)));
+    for (const ManifestSegment& seg : manifest.segments) {
+      MOA_RETURN_NOT_OK(WriteBytes(out, &seg.id, sizeof(seg.id)));
+      MOA_RETURN_NOT_OK(WriteBytes(out, &seg.num_docs, sizeof(seg.num_docs)));
+      const uint32_t num_deleted = static_cast<uint32_t>(seg.deleted.size());
+      MOA_RETURN_NOT_OK(WriteBytes(out, &num_deleted, sizeof(num_deleted)));
+      MOA_RETURN_NOT_OK(WriteBytes(out, seg.deleted.data(),
+                                   seg.deleted.size() * sizeof(uint32_t)));
+    }
+    return Status::OK();
+  });
+}
+
+Result<CatalogManifest> ReadManifest(const std::string& dir) {
+  const std::string path = dir + "/" + kManifestFileName;
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) {
+    return Status::NotFound("manifest: cannot open: " + path);
+  }
+  const std::unique_ptr<std::FILE, int (*)(std::FILE*)> closer(f,
+                                                               &std::fclose);
+  // Actual file size bounds every allocation below: a corrupt count
+  // field must produce InvalidArgument, never a multi-GiB resize.
+  uint64_t file_size = 0;
+  if (std::fseek(f, 0, SEEK_END) == 0) {
+    const auto end = ::ftello(f);  // POSIX: 64-bit offset, unlike ftell
+    if (end > 0) file_size = static_cast<uint64_t>(end);
+  }
+  std::rewind(f);
+
+  char magic[8];
+  if (std::fread(magic, 1, sizeof(magic), f) != sizeof(magic) ||
+      std::memcmp(magic, kManifestMagic, sizeof(magic)) != 0) {
+    return Status::InvalidArgument(
+        "manifest: bad or truncated magic (not MOACAT01): " + path);
+  }
+
+  CatalogManifest manifest;
+  uint32_t num_segments = 0;
+  if (!ReadPod(f, &manifest.next_segment_id) || !ReadPod(f, &num_segments)) {
+    return Status::InvalidArgument("manifest: truncated header: " + path);
+  }
+  if (num_segments > kMaxSegments) {
+    return Status::InvalidArgument(
+        "manifest: implausible segment count: " + path);
+  }
+
+  std::set<uint64_t> seen_ids;
+  manifest.segments.reserve(num_segments);
+  for (uint32_t i = 0; i < num_segments; ++i) {
+    ManifestSegment seg;
+    uint32_t num_deleted = 0;
+    if (!ReadPod(f, &seg.id) || !ReadPod(f, &seg.num_docs) ||
+        !ReadPod(f, &num_deleted)) {
+      return Status::InvalidArgument(
+          "manifest: truncated segment entry: " + path);
+    }
+    if (seg.id == 0 || seg.id >= manifest.next_segment_id ||
+        !seen_ids.insert(seg.id).second) {
+      return Status::InvalidArgument(
+          "manifest: invalid or duplicate segment id: " + path);
+    }
+    if (num_deleted > seg.num_docs) {
+      return Status::InvalidArgument(
+          "manifest: more tombstones than documents: " + path);
+    }
+    if (static_cast<uint64_t>(num_deleted) * sizeof(uint32_t) > file_size) {
+      return Status::InvalidArgument(
+          "manifest: tombstone list exceeds file size: " + path);
+    }
+    seg.deleted.resize(num_deleted);
+    if (num_deleted > 0 &&
+        std::fread(seg.deleted.data(), sizeof(uint32_t), num_deleted, f) !=
+            num_deleted) {
+      return Status::InvalidArgument(
+          "manifest: truncated tombstone list: " + path);
+    }
+    for (uint32_t d = 0; d < num_deleted; ++d) {
+      if (seg.deleted[d] >= seg.num_docs ||
+          (d > 0 && seg.deleted[d] <= seg.deleted[d - 1])) {
+        return Status::InvalidArgument(
+            "manifest: tombstone ids not ascending in range: " + path);
+      }
+    }
+    manifest.segments.push_back(std::move(seg));
+  }
+
+  uint8_t extra = 0;
+  if (std::fread(&extra, 1, 1, f) == 1) {
+    return Status::InvalidArgument(
+        "manifest: trailing bytes after segment list: " + path);
+  }
+  return manifest;
+}
+
+}  // namespace moa

@@ -1,0 +1,63 @@
+// Catalog manifest: the single file that *is* the durable truth of a
+// catalog directory.
+//
+// Segment and forward-index files are immutable once written; lifecycle
+// transitions (flush, merge, segment-level deletes) become durable only
+// when a new MANIFEST naming the current segment list — and each
+// segment's tombstoned local ids — is atomically renamed into place
+// (storage/atomic_file.h). A crash at any point therefore leaves either
+// the old manifest or the new one, never a half-written catalog: orphaned
+// segment files from an unpublished flush/merge are simply not referenced
+// and are ignored (and reclaimable) at the next open.
+//
+// Layout (MOACAT01, little-endian):
+//   magic            "MOACAT01"
+//   u64 next_segment_id
+//   u32 num_segments
+//   per segment:     u64 id, u32 num_docs, u32 num_deleted,
+//                    u32 deleted_local_ids[num_deleted] (ascending)
+//
+// Memtable contents are *not* durable — like any LSM write buffer without
+// a WAL, unflushed documents (and deletes of them) vanish on crash; call
+// Flush to persist.
+#ifndef MOA_STORAGE_CATALOG_MANIFEST_H_
+#define MOA_STORAGE_CATALOG_MANIFEST_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace moa {
+
+inline constexpr char kManifestFileName[] = "MANIFEST";
+
+/// \brief One segment's durable record.
+struct ManifestSegment {
+  uint64_t id = 0;
+  uint32_t num_docs = 0;
+  /// Tombstoned local doc ids, ascending and unique.
+  std::vector<uint32_t> deleted;
+};
+
+/// \brief Parsed manifest contents.
+struct CatalogManifest {
+  uint64_t next_segment_id = 1;
+  std::vector<ManifestSegment> segments;
+};
+
+/// Derived file names, shared by writer and reader.
+std::string SegmentFileName(uint64_t id);
+std::string ForwardFileName(uint64_t id);
+
+/// Atomically (over)writes `dir`/MANIFEST.
+Status WriteManifest(const std::string& dir, const CatalogManifest& manifest);
+
+/// Reads and validates `dir`/MANIFEST (bounds, ascending unique tombstone
+/// ids, distinct segment ids below next_segment_id, no trailing bytes).
+Result<CatalogManifest> ReadManifest(const std::string& dir);
+
+}  // namespace moa
+
+#endif  // MOA_STORAGE_CATALOG_MANIFEST_H_

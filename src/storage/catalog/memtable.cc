@@ -1,0 +1,41 @@
+#include "storage/catalog/memtable.h"
+
+#include <algorithm>
+
+namespace moa {
+
+Result<DocId> Memtable::AddDocument(const DocTerms& terms) {
+  DocTerms sorted = terms;
+  std::sort(sorted.begin(), sorted.end());
+  for (size_t i = 0; i < sorted.size(); ++i) {
+    if (sorted[i].first >= lists_.size()) {
+      return Status::InvalidArgument("memtable: term id out of vocabulary");
+    }
+    if (sorted[i].second == 0) {
+      return Status::InvalidArgument("memtable: zero term frequency");
+    }
+    if (i > 0 && sorted[i].first == sorted[i - 1].first) {
+      return Status::InvalidArgument("memtable: duplicate term in document");
+    }
+  }
+
+  const DocId local = static_cast<DocId>(doc_lengths_.size());
+  uint32_t length = 0;
+  for (const auto& [t, tf] : sorted) {
+    lists_[t].push_back(Posting{local, tf});
+    length += tf;
+  }
+  doc_lengths_.push_back(length);
+  fwd_.Append(std::move(sorted));
+  return local;
+}
+
+Result<InvertedFile> Memtable::ToInvertedFile() const {
+  InvertedFileBuilder builder(lists_.size());
+  for (DocId d = 0; d < num_docs(); ++d) {
+    MOA_RETURN_NOT_OK(builder.AddDocument(d, fwd_.doc(d)));
+  }
+  return builder.Build();
+}
+
+}  // namespace moa

@@ -1,0 +1,64 @@
+// Memtable: the catalog's mutable in-memory write buffer.
+//
+// Documents are appended with dense *local* ids (0..num_docs); the catalog
+// places the memtable after every segment in the global doc-id order, so a
+// memtable document's global id is `memtable_base + local`. Storing local
+// ids keeps the memtable untouched when an earlier merge compacts the id
+// space — only the computed base shifts.
+//
+// The memtable keeps both orientations of the same data:
+//   - per-term posting vectors (doc-ordered, local ids) for query cursors,
+//   - the forward index (doc -> (term, tf)) for flushes, deletes and
+//     statistics maintenance.
+//
+// Concurrency: a Memtable snapshot is immutable once published inside a
+// CatalogState; the IndexCatalog mutates a private copy and swaps
+// (copy-on-write). Deep-copying is O(contents), which is why the batch
+// mutation APIs exist — one copy per batch, not per document.
+#ifndef MOA_STORAGE_CATALOG_MEMTABLE_H_
+#define MOA_STORAGE_CATALOG_MEMTABLE_H_
+
+#include <vector>
+
+#include "common/status.h"
+#include "storage/catalog/forward_index.h"
+#include "storage/inverted_file.h"
+
+namespace moa {
+
+/// \brief Mutable in-memory posting store with dense local doc ids.
+class Memtable {
+ public:
+  /// \param num_terms vocabulary size; term ids must stay below it.
+  explicit Memtable(size_t num_terms) : lists_(num_terms) {}
+
+  size_t num_terms() const { return lists_.size(); }
+  size_t num_docs() const { return doc_lengths_.size(); }
+  bool empty() const { return doc_lengths_.empty(); }
+
+  /// Adds one document under the next local id. `terms` may arrive in any
+  /// order; they are sorted, and duplicates, zero tfs or out-of-vocabulary
+  /// ids are rejected (the document is not added on error). Returns the
+  /// local id.
+  Result<DocId> AddDocument(const DocTerms& terms);
+
+  /// Doc-ordered postings of term t (local doc ids).
+  const std::vector<Posting>& postings(TermId t) const { return lists_[t]; }
+  uint32_t DocLength(DocId local) const { return doc_lengths_[local]; }
+  /// Composition of a document (ascending terms) — the delete/flush view.
+  const DocTerms& doc_terms(DocId local) const { return fwd_.doc(local); }
+  const ForwardIndex& forward_index() const { return fwd_; }
+
+  /// Materializes the buffered documents as an InvertedFile with the same
+  /// local ids (the flush path; re-validated through the builder).
+  Result<InvertedFile> ToInvertedFile() const;
+
+ private:
+  std::vector<std::vector<Posting>> lists_;
+  std::vector<uint32_t> doc_lengths_;
+  ForwardIndex fwd_;
+};
+
+}  // namespace moa
+
+#endif  // MOA_STORAGE_CATALOG_MEMTABLE_H_

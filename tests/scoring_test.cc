@@ -24,7 +24,7 @@ class ScoringModelsTest
 
 TEST_P(ScoringModelsTest, WeightsAreNonNegative) {
   auto model = MakeModel();
-  const InvertedFile& f = model->file();
+  const InvertedFile& f = SmallCollection().inverted_file();
   for (TermId t = 0; t < std::min<size_t>(f.num_terms(), 200); ++t) {
     const PostingList& list = f.list(t);
     for (size_t i = 0; i < list.size(); ++i) {
@@ -36,7 +36,7 @@ TEST_P(ScoringModelsTest, WeightsAreNonNegative) {
 
 TEST_P(ScoringModelsTest, HigherTfGivesHigherWeight) {
   auto model = MakeModel();
-  const InvertedFile& f = model->file();
+  const InvertedFile& f = SmallCollection().inverted_file();
   // Find a term and compare synthetic postings on the same document.
   for (TermId t = 0; t < f.num_terms(); ++t) {
     if (f.DocFrequency(t) == 0) continue;
@@ -50,7 +50,7 @@ TEST_P(ScoringModelsTest, HigherTfGivesHigherWeight) {
 
 TEST_P(ScoringModelsTest, RarerTermsWeighMoreAtEqualTf) {
   auto model = MakeModel();
-  const InvertedFile& f = model->file();
+  const InvertedFile& f = SmallCollection().inverted_file();
   // term 0 is the most frequent; find a rare term and one shared doc length.
   TermId rare = 0;
   for (TermId t = f.num_terms(); t-- > 0;) {
@@ -94,6 +94,37 @@ TEST(Bm25Test, ParametersChangeWeights) {
   const double ratio_flat = flat_model->Weight(t, Posting{d, 10}) /
                             flat_model->Weight(t, Posting{d, 1});
   EXPECT_GT(ratio_default, ratio_flat);
+}
+
+TEST(StatsViewBindingTest, ViewBoundModelsMatchFileBoundModels) {
+  // The two binding styles (legacy InvertedFile overloads vs an explicit
+  // CollectionStatsView) must produce bit-identical weights — this is what
+  // makes catalog scoring comparable to static scoring.
+  const InvertedFile& file = SmallCollection().inverted_file();
+  InvertedFileStatsView view(&file, /*precompute_cf=*/true);
+  const std::pair<ScoringModelKind, const char*> kinds[] = {
+      {ScoringModelKind::kTfIdf, "tfidf"},
+      {ScoringModelKind::kBm25, "bm25"},
+      {ScoringModelKind::kLanguageModel, "lm"},
+  };
+  for (const auto& [kind, name] : kinds) {
+    auto by_view = MakeScoringModel(kind, &view);
+    ASSERT_NE(by_view, nullptr);
+    EXPECT_EQ(by_view->name(), name);
+    std::unique_ptr<ScoringModel> by_file;
+    if (kind == ScoringModelKind::kTfIdf) by_file = MakeTfIdf(&file);
+    if (kind == ScoringModelKind::kBm25) by_file = MakeBm25(&file);
+    if (kind == ScoringModelKind::kLanguageModel) {
+      by_file = MakeLanguageModel(&file);
+    }
+    for (TermId t = 0; t < std::min<size_t>(file.num_terms(), 64); ++t) {
+      const PostingList& list = file.list(t);
+      for (size_t i = 0; i < list.size(); ++i) {
+        EXPECT_EQ(by_view->Weight(t, list[i]), by_file->Weight(t, list[i]))
+            << name << " term " << t;
+      }
+    }
+  }
 }
 
 TEST(LanguageModelTest, LambdaControlsSmoothing) {
