@@ -23,6 +23,7 @@
 #include "engine/database.h"
 #include "ir/query_gen.h"
 #include "storage/io.h"
+#include "storage/segment/fragment_directory.h"
 #include "storage/segment/segment_reader.h"
 #include "storage/segment/segment_writer.h"
 
@@ -228,6 +229,65 @@ void BM_AdvanceSegmentCursor(benchmark::State& state) {
   });
 }
 
+// ------------------------------------------- impact-order prefix access
+
+/// Sorted access the way the Fagin family consumes it: only the top-k
+/// impact-ordered postings of each workload term. The fragment directory
+/// is what makes this lazy over a segment — without the sidecar the whole
+/// list is decoded and sorted before the first posting comes out.
+template <typename SourceFn>
+void ImpactPrefixBench(benchmark::State& state, SourceFn&& source_fn) {
+  const PostingSource& source = source_fn();
+  const ScoringModel& model = StorageDb().model();
+  const size_t prefix = 64;
+  int64_t emitted = 0;
+  for (auto _ : state) {
+    uint64_t checksum = 0;
+    emitted = 0;
+    for (TermId t : WorkloadTerms()) {
+      auto cursor = source.OpenImpactCursor(t, model);
+      for (size_t i = 0; i < prefix && !cursor->at_end();
+           ++i, cursor->next()) {
+        checksum += cursor->doc();
+        ++emitted;
+      }
+    }
+    benchmark::DoNotOptimize(checksum);
+  }
+  state.SetItemsProcessed(state.iterations() * emitted);
+}
+
+void BM_ImpactPrefixInMemory(benchmark::State& state) {
+  ImpactPrefixBench(state, []() -> const PostingSource& {
+    static const InMemoryPostingSource s(&StorageDb().file());
+    return s;
+  });
+}
+
+void BM_ImpactPrefixSegmentFragmentDir(benchmark::State& state) {
+  ImpactPrefixBench(state, []() -> const PostingSource& {
+    static const SegmentReader* reader =
+        SegmentReader::Open(Formats().v2_path).ValueOrDie().release();
+    return *reader;
+  });
+}
+
+void BM_ImpactPrefixSegmentSingleFragment(benchmark::State& state) {
+  // Same segment, sidecar stripped: the single-fragment fallback decodes
+  // every block of the list up front.
+  ImpactPrefixBench(state, []() -> const PostingSource& {
+    static const SegmentReader* reader = [] {
+      const std::string path = PathFor("index_nofrag.moaseg");
+      std::filesystem::copy_file(
+          Formats().v2_path, path,
+          std::filesystem::copy_options::overwrite_existing);
+      std::filesystem::remove(FragmentSidecarPath(path));
+      return SegmentReader::Open(path).ValueOrDie().release();
+    }();
+    return *reader;
+  });
+}
+
 BENCHMARK(BM_OnDiskSize)->Iterations(1);
 BENCHMARK(BM_ColdStartRebuildMoaif01)->Unit(benchmark::kMillisecond);
 BENCHMARK(BM_ColdStartMmapOpenMoaif02)->Unit(benchmark::kMillisecond);
@@ -236,6 +296,10 @@ BENCHMARK(BM_ScanInMemoryCursor)->Unit(benchmark::kMillisecond);
 BENCHMARK(BM_ScanSegmentCursor)->Unit(benchmark::kMillisecond);
 BENCHMARK(BM_AdvanceInMemoryCursor)->Unit(benchmark::kMicrosecond);
 BENCHMARK(BM_AdvanceSegmentCursor)->Unit(benchmark::kMicrosecond);
+BENCHMARK(BM_ImpactPrefixInMemory)->Unit(benchmark::kMicrosecond);
+BENCHMARK(BM_ImpactPrefixSegmentFragmentDir)->Unit(benchmark::kMicrosecond);
+BENCHMARK(BM_ImpactPrefixSegmentSingleFragment)
+    ->Unit(benchmark::kMicrosecond);
 
 }  // namespace
 }  // namespace moa

@@ -5,6 +5,13 @@
 # CI knobs (all optional):
 #   MOA_CMAKE_ARGS         extra -D flags for configure, e.g. "-DMOA_TSAN=ON"
 #   MOA_CTEST_ARGS         extra ctest flags, e.g. "-R 'search_batch|thread_pool'"
+#   MOA_FUZZ_ITERS         iterations for the randomized differential
+#                          lifecycle harness (tests labeled `fuzz`).
+#                          Unset = the fixed-seed CI default. Inherited by
+#                          the main ctest pass, e.g.
+#                          MOA_FUZZ_ITERS=100 scripts/check.sh; when
+#                          MOA_CTEST_ARGS filtered that pass, an explicit
+#                          `ctest -L fuzz` re-drive runs afterwards.
 #   MOA_SEGMENT_ROUNDTRIP  "1" guarantees the on-disk round-trips ran:
 #                          MOAIF02 write -> mmap reopen -> search-batch
 #                          parity, plus the catalog lifecycle (flush /
@@ -33,4 +40,12 @@ if [[ "${MOA_SEGMENT_ROUNDTRIP:-}" == "1" && -n "${MOA_CTEST_ARGS:-}" ]]; then
   # unfiltered run already executed these suites once.
   ctest --output-on-failure --no-tests=error \
     -R 'segment_parity|segment_test|catalog_test|catalog_parity'
+fi
+
+if [[ -n "${MOA_FUZZ_ITERS:-}" && -n "${MOA_CTEST_ARGS:-}" ]]; then
+  # Long-run knob: the env var is inherited by the test processes, so an
+  # unfiltered main pass already ran the fuzz suites at this count; only
+  # re-drive them when MOA_CTEST_ARGS filtered them out above.
+  export MOA_FUZZ_ITERS
+  ctest --output-on-failure --no-tests=error -L fuzz
 fi

@@ -51,22 +51,62 @@ std::shared_ptr<const CatalogReadView> MmDatabase::catalog_view() const {
   return catalog_->OpenReadView();
 }
 
+std::shared_ptr<const Fragmentation> MmDatabase::DynamicFragmentation(
+    const CatalogState& state) const {
+  std::lock_guard<std::mutex> lock(dyn_frag_mutex_);
+  if (dyn_frag_ == nullptr || dyn_frag_version_ != state.version()) {
+    // Live df is all the assignment depends on, so this fragments exactly
+    // like a fresh index of the surviving documents.
+    dyn_frag_ = std::make_shared<const Fragmentation>(
+        Fragmentation::Build(state.stats().df, config_.fragmentation));
+    dyn_frag_version_ = state.version();
+  }
+  return dyn_frag_;
+}
+
+namespace {
+
+/// Everything a catalog-backed query borrows, bundled so one shared_ptr
+/// (ExecContext::postings_owner) keeps the whole chain alive across
+/// concurrent mutations: the read view (state + stats + model) and the
+/// snapshot's fragmentation.
+struct DynamicQueryState {
+  std::shared_ptr<const CatalogReadView> view;
+  std::shared_ptr<const Fragmentation> fragmentation;
+};
+
+/// The strategies that read ExecContext::fragmentation.
+bool NeedsFragmentation(PhysicalStrategy s) {
+  return s == PhysicalStrategy::kSmallFragment ||
+         s == PhysicalStrategy::kQualitySwitchFull ||
+         s == PhysicalStrategy::kQualitySwitchSparse;
+}
+
+}  // namespace
+
 ExecContext MmDatabase::catalog_context(
-    const std::shared_ptr<const CatalogReadView>& view) const {
+    const std::shared_ptr<const CatalogReadView>& view,
+    bool with_fragmentation) const {
+  // No materialized InvertedFile describes the evolving collection; every
+  // strategy streams the snapshot through the cursor API instead. The
+  // fragment strategies additionally get a fragmentation derived from the
+  // snapshot's live statistics and the snapshot-scoped sparse cache.
+  auto bundle = std::make_shared<DynamicQueryState>();
+  bundle->view = view;
+  if (with_fragmentation) {
+    bundle->fragmentation = DynamicFragmentation(view->state());
+  }
+
   ExecContext context;
-  // No materialized InvertedFile describes the evolving collection:
-  // strategies that need one (Fagin, fragments, probabilistic) report
-  // Unimplemented through ExecContext::ValidateHasFile.
   context.model = view->model();
   context.postings = view.get();
-  context.postings_owner = view;
+  context.fragmentation = bundle->fragmentation.get();
+  context.sparse_cache = &view->state().sparse_cache();
+  context.postings_owner = std::move(bundle);
   return context;
 }
 
-ExecContext MmDatabase::exec_context() const {
-  if (is_dynamic()) {
-    return catalog_context(catalog_view());
-  }
+ExecContext MmDatabase::static_context() const {
   ExecContext context;
   context.file = &file();
   context.model = model_.get();
@@ -76,6 +116,15 @@ ExecContext MmDatabase::exec_context() const {
   context.postings = segment.get();
   context.postings_owner = std::move(segment);
   return context;
+}
+
+ExecContext MmDatabase::exec_context() const {
+  if (is_dynamic()) {
+    // Callers of the borrowed view don't name a strategy up front, so
+    // the context carries every capability, fragmentation included.
+    return catalog_context(catalog_view(), /*with_fragmentation=*/true);
+  }
+  return static_context();
 }
 
 namespace {
@@ -245,8 +294,14 @@ Result<TopNResult> MmDatabase::Execute(PhysicalStrategy strategy,
 Result<TopNResult> MmDatabase::Execute(PhysicalStrategy strategy,
                                        const Query& query, size_t n,
                                        const ExecOptions& options) const {
-  return StrategyRegistry::Global().Execute(strategy, exec_context(), query,
-                                            n, options);
+  // The strategy is known here, so dynamic contexts only pay for the
+  // live-statistics fragmentation when a fragment strategy runs.
+  const ExecContext context =
+      is_dynamic()
+          ? catalog_context(catalog_view(), NeedsFragmentation(strategy))
+          : static_context();
+  return StrategyRegistry::Global().Execute(strategy, context, query, n,
+                                            options);
 }
 
 Result<SearchResult> MmDatabase::Search(const Query& query,
@@ -255,18 +310,20 @@ Result<SearchResult> MmDatabase::Search(const Query& query,
   eopts.switch_threshold = options.switch_threshold;
 
   // One context per query: plan and execution must see the same storage
-  // snapshot. Branching on the captured context (not a second
-  // is_dynamic() read) keeps a Search that raced the first mutation on
-  // the static side end-to-end instead of planning statically and then
-  // executing against the catalog.
-  const ExecContext context = exec_context();
-
-  if (context.file == nullptr) {
+  // snapshot. The dynamic/static decision is read once; a Search that
+  // raced the first mutation onto the static side stays static
+  // end-to-end (the generated collection is immutable), instead of
+  // planning statically and then executing against the catalog.
+  if (is_dynamic()) {
     // Dynamic serving. No cost model over the evolving catalog yet: obey
-    // `force`, default to safe max-score pruning otherwise.
+    // `force`, default to safe max-score pruning otherwise. The strategy
+    // is known before the context is built, so only fragment strategies
+    // pay for the live-statistics fragmentation.
     SearchResult out;
     out.strategy = options.force.value_or(PhysicalStrategy::kMaxScore);
     out.estimate.strategy = out.strategy;
+    const ExecContext context =
+        catalog_context(catalog_view(), NeedsFragmentation(out.strategy));
 
     WallTimer timer;
     Result<TopNResult> top = StrategyRegistry::Global().Execute(
@@ -276,6 +333,7 @@ Result<SearchResult> MmDatabase::Search(const Query& query,
     out.top = std::move(top).ValueOrDie();
     return out;
   }
+  const ExecContext context = static_context();
 
   PlannerOptions popts;
   popts.safe_only = options.safe_only;
@@ -319,8 +377,11 @@ std::string MmDatabase::DescribeStorage() const {
   }
   std::lock_guard<std::mutex> lock(snapshot_mutex_);
   if (segment_ != nullptr) {
-    return "storage: in-memory inverted file; cursor strategies read mmap "
-           "segment " + segment_path_;
+    return "storage: in-memory inverted file; all strategies read mmap "
+           "segment " + segment_path_ +
+           (segment_->has_fragment_directory()
+                ? " (impact-ordered fragment directory)"
+                : " (no fragment directory)");
   }
   return "storage: in-memory inverted file";
 }
@@ -328,12 +389,19 @@ std::string MmDatabase::DescribeStorage() const {
 Result<std::string> MmDatabase::ExplainSearch(
     const Query& query, const SearchOptions& options) const {
   if (is_dynamic()) {
+    const PhysicalStrategy chosen =
+        options.force.value_or(PhysicalStrategy::kMaxScore);
     std::ostringstream os;
-    os << "chosen: "
-       << StrategyName(options.force.value_or(PhysicalStrategy::kMaxScore))
+    os << "chosen: " << StrategyName(chosen)
        << " (dynamic catalog serving: forced strategy or max-score "
           "default; no cost model over the evolving collection)\n"
        << DescribeStorage() << "\n";
+    // Fragment strategies run over live-statistics fragmentation; show
+    // the split the forced strategy would use.
+    if (NeedsFragmentation(chosen)) {
+      os << "fragmentation: "
+         << DynamicFragmentation(*catalog_->Snapshot())->ToString() << "\n";
+    }
     return os.str();
   }
   PlannerOptions popts;

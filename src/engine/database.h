@@ -11,10 +11,11 @@
 // seeds an IndexCatalog (storage/catalog/) with the collection and flips
 // the database to *dynamic* serving: queries snapshot the catalog per
 // query, statistics track the live documents exactly, and the index
-// evolves through the memtable → flush → merge lifecycle. In dynamic mode
-// only the cursor-based strategies run (baselines, max-score family, stop
-// after); strategies needing impact-ordered or fragment access report
-// Unimplemented.
+// evolves through the memtable → flush → merge lifecycle. Every
+// registered strategy runs in dynamic mode: all executors are
+// cursor-based, the Step-1 fragmentation is derived from the snapshot's
+// live statistics (cached per snapshot version), and sparse-probe
+// indexes live in a snapshot-scoped cache.
 //
 // Concurrency: Search / Execute / SearchBatch are safe from many threads,
 // and remain safe while another thread attaches/detaches a segment or
@@ -214,9 +215,9 @@ class MmDatabase {
   Status SaveSegment(const std::string& path,
                      uint32_t block_size = kDefaultSegmentBlockSize) const;
 
-  /// Memory-maps the MOAIF02 segment at `path` and routes the
-  /// cursor-based strategies (baselines, max-score, stop-after) through
-  /// it; everything else keeps reading the in-memory file. The segment
+  /// Memory-maps the MOAIF02 segment at `path` and routes every
+  /// registered strategy through it (the Fagin and fragment families use
+  /// its impact-ordered fragment directory when present). The segment
   /// must describe this database's collection (validated by shape), and
   /// by default its payload is fully decoded once to rule out bit rot
   /// (see AttachSegmentOptions::verify_payload). Safe against in-flight
@@ -250,8 +251,21 @@ class MmDatabase {
   /// Catalog-backed per-query context; the returned view owns model,
   /// stats view and state snapshot (also referenced by the context).
   std::shared_ptr<const CatalogReadView> catalog_view() const;
+  /// `with_fragmentation` gates the live-statistics fragmentation (its
+  /// build + single-entry cache lock): only the fragment strategies read
+  /// ExecContext::fragmentation, so the default max-score/cursor path
+  /// skips that work entirely.
   ExecContext catalog_context(
-      const std::shared_ptr<const CatalogReadView>& view) const;
+      const std::shared_ptr<const CatalogReadView>& view,
+      bool with_fragmentation) const;
+  /// The static-mode context (in-memory file + optional attached
+  /// segment); exec_context() dispatches here when not dynamic.
+  ExecContext static_context() const;
+  /// Fragmentation of one catalog snapshot, derived from its live df
+  /// under this database's policy. Cached per snapshot version (a single
+  /// entry — mutations invalidate by bumping the version).
+  std::shared_ptr<const Fragmentation> DynamicFragmentation(
+      const CatalogState& state) const;
   /// The `storage:` line for ExplainSearch.
   std::string DescribeStorage() const;
 
@@ -281,7 +295,17 @@ class MmDatabase {
   /// Lazily filled by sparse-probe executions; mutable because filling the
   /// cache is not an observable mutation of the database (build-once,
   /// internally locked — the one piece of shared state Search may write).
+  /// Static mode only: catalog snapshots carry their own snapshot-scoped
+  /// cache (stale-proof across mutations).
   mutable SparseIndexCache sparse_cache_;
+
+  /// Single-entry cache of DynamicFragmentation, keyed by snapshot
+  /// version. shared_ptr so in-flight queries keep their fragmentation
+  /// alive (bundled into ExecContext::postings_owner) while mutations
+  /// replace the cache entry.
+  mutable std::mutex dyn_frag_mutex_;
+  mutable uint64_t dyn_frag_version_ = 0;
+  mutable std::shared_ptr<const Fragmentation> dyn_frag_;
 };
 
 }  // namespace moa

@@ -39,10 +39,10 @@ namespace moa {
 /// strategy may demand via Validate().
 struct ExecContext {
   /// In-memory inverted file. May be null when `postings` is set: a
-  /// catalog-backed context has no materialized InvertedFile, and the
-  /// strategies that require one (impact-ordered sorted access, Step-1
-  /// fragments, probabilistic cutoff) must then return Unimplemented
-  /// rather than silently reading stale in-memory state.
+  /// catalog-backed context has no materialized InvertedFile; every
+  /// executor then streams from `postings` (all strategies are
+  /// cursor-based since the fragment/Fagin/probabilistic families moved
+  /// onto the PostingSource API).
   const InvertedFile* file = nullptr;
   const ScoringModel* model = nullptr;
   /// Step-1 fragmentation; required by fragment strategies only.
@@ -52,11 +52,10 @@ struct ExecContext {
   /// indexes).
   SparseIndexCache* sparse_cache = nullptr;
   /// Optional representation-agnostic posting storage (an mmap-backed
-  /// MOAIF02 segment, or a multi-segment catalog snapshot). When set, the
-  /// cursor-based executors (baselines, max-score, stop-after) stream
-  /// postings from here instead of `file`; when null they adapt `file`
-  /// through InMemoryPostingSource. When both are set they must describe
-  /// the same collection.
+  /// MOAIF02 segment, or a multi-segment catalog snapshot). When set,
+  /// every executor streams postings from here instead of `file`; when
+  /// null they adapt `file` through InMemoryPostingSource. When both are
+  /// set they must describe the same collection.
   const PostingSource* postings = nullptr;
   /// Optional owner of `postings` (and anything it depends on — model,
   /// statistics view, catalog state). Copying the context copies the
@@ -77,21 +76,6 @@ struct ExecContext {
     }
     if (needs_fragmentation && fragmentation == nullptr) {
       return Status::FailedPrecondition("ExecContext: missing fragmentation");
-    }
-    return Status::OK();
-  }
-
-  /// OK iff an in-memory InvertedFile is present — demanded by strategies
-  /// whose access pattern (impact-ordered sorted access, fragment scans,
-  /// random probes) has no cursor equivalent yet.
-  Status ValidateHasFile(const char* strategy_family) const {
-    MOA_RETURN_NOT_OK(Validate());
-    if (file == nullptr) {
-      return Status::Unimplemented(
-          std::string(strategy_family) +
-          " requires the in-memory inverted file (impact-ordered / "
-          "fragment access); it cannot run over a segment or catalog "
-          "posting source alone");
     }
     return Status::OK();
   }

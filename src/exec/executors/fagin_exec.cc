@@ -1,9 +1,11 @@
 // Executors for the Fagin family (topn/fagin.h): FA, TA and NRA.
 //
-// All three consume *impact-ordered* sorted access, which only the
-// in-memory InvertedFile materializes; over a postings-only context
-// (segment or catalog) they report Unimplemented instead of silently
-// reading an in-memory file that may not describe the served collection.
+// All three are cursor-based: sorted access comes from
+// PostingSource::OpenImpactCursor (materialized order in memory, lazy
+// fragment-directory decode over a segment, live postings over a catalog
+// snapshot) and random access from PostingSource::FindTf, so a context
+// carrying a PostingSource streams from it and an in-memory context
+// adapts the file — same code path, bit-identical results.
 #include "exec/builtin.h"
 #include "exec/registry.h"
 #include "topn/fagin.h"
@@ -16,7 +18,7 @@ FaginOptions OptionsFrom(const ExecOptions& options) {
   return FaginOptions{};
 }
 
-using FaginFn = Result<TopNResult> (*)(const InvertedFile&,
+using FaginFn = Result<TopNResult> (*)(const PostingSource&,
                                        const ScoringModel&, const Query&,
                                        size_t, const FaginOptions&);
 
@@ -27,8 +29,12 @@ class FaginExecutor : public StrategyExecutor {
 
   Result<TopNResult> Execute(const ExecContext& context, const Query& query,
                              size_t n) const override {
-    MOA_RETURN_NOT_OK(context.ValidateHasFile("Fagin sorted access"));
-    return fn_(*context.file, *context.model, query, n, options_);
+    MOA_RETURN_NOT_OK(context.Validate());
+    if (context.postings != nullptr) {
+      return fn_(*context.postings, *context.model, query, n, options_);
+    }
+    return fn_(InMemoryPostingSource(context.file), *context.model, query, n,
+               options_);
   }
 
  private:

@@ -1,6 +1,11 @@
 // Executors for the paper's Step-1 fragment strategies
 // (topn/fragment_topn.h): small-fragment-only, quality-switch with a full
 // large-fragment scan, and quality-switch with sparse-index probes.
+//
+// Cursor-based: a context carrying a PostingSource (segment or catalog
+// snapshot) streams from it; an in-memory context adapts the file. Both
+// still require a Fragmentation — the engine derives one from live
+// statistics for catalog snapshots (see MmDatabase).
 #include "exec/builtin.h"
 #include "exec/registry.h"
 #include "topn/fragment_topn.h"
@@ -12,12 +17,14 @@ class SmallFragmentExecutor : public StrategyExecutor {
  public:
   Result<TopNResult> Execute(const ExecContext& context, const Query& query,
                              size_t n) const override {
-    MOA_RETURN_NOT_OK(context.ValidateHasFile("fragment strategies"));
-    if (context.fragmentation == nullptr) {
-      return Status::FailedPrecondition("ExecContext: missing fragmentation");
+    MOA_RETURN_NOT_OK(context.Validate(/*needs_fragmentation=*/true));
+    if (context.postings != nullptr) {
+      return SmallFragmentTopN(*context.postings, *context.fragmentation,
+                               *context.model, query, n);
     }
-    return SmallFragmentTopN(*context.file, *context.fragmentation,
-                             *context.model, query, n);
+    return SmallFragmentTopN(InMemoryPostingSource(context.file),
+                             *context.fragmentation, *context.model, query,
+                             n);
   }
 };
 
@@ -28,14 +35,16 @@ class QualitySwitchExecutor : public StrategyExecutor {
 
   Result<TopNResult> Execute(const ExecContext& context, const Query& query,
                              size_t n) const override {
-    MOA_RETURN_NOT_OK(context.ValidateHasFile("fragment strategies"));
-    if (context.fragmentation == nullptr) {
-      return Status::FailedPrecondition("ExecContext: missing fragmentation");
-    }
+    MOA_RETURN_NOT_OK(context.Validate(/*needs_fragmentation=*/true));
     QualitySwitchOptions opts = options_;
     if (opts.sparse_cache == nullptr) opts.sparse_cache = context.sparse_cache;
-    return QualitySwitchTopN(*context.file, *context.fragmentation,
-                             *context.model, query, n, opts);
+    if (context.postings != nullptr) {
+      return QualitySwitchTopN(*context.postings, *context.fragmentation,
+                               *context.model, query, n, opts);
+    }
+    return QualitySwitchTopN(InMemoryPostingSource(context.file),
+                             *context.fragmentation, *context.model, query,
+                             n, opts);
   }
 
  private:

@@ -1,5 +1,7 @@
 // Executor for the Donjerkovic–Ramakrishnan probabilistic cutoff
-// (topn/probabilistic.h).
+// (topn/probabilistic.h). Cursor-based: the cutoff estimation only needs
+// the dense score accumulation, which streams through PostingCursors over
+// any storage.
 #include "exec/builtin.h"
 #include "exec/registry.h"
 #include "topn/probabilistic.h"
@@ -14,8 +16,11 @@ class ProbabilisticExecutor : public StrategyExecutor {
 
   Result<TopNResult> Execute(const ExecContext& context, const Query& query,
                              size_t n) const override {
-    MOA_RETURN_NOT_OK(
-        context.ValidateHasFile("probabilistic cutoff estimation"));
+    MOA_RETURN_NOT_OK(context.Validate());
+    if (context.postings != nullptr) {
+      return ProbabilisticTopN(*context.postings, *context.model, query, n,
+                               options_);
+    }
     return ProbabilisticTopN(*context.file, *context.model, query, n,
                              options_);
   }

@@ -16,11 +16,7 @@ StrategyRegistry& StrategyRegistry::Global() {
   return *registry;
 }
 
-namespace {
-
-/// Display name of a StrategyOptionsVariant alternative (for the
-/// mismatched-options error message).
-const char* OptionsAlternativeName(size_t index) {
+const char* ExecOptionsVariantName(size_t index) {
   switch (index) {
     case kNoStrategyOptions: return "none";
     case ExecOptionsIndexOf<FaginOptions>(): return "FaginOptions";
@@ -33,8 +29,6 @@ const char* OptionsAlternativeName(size_t index) {
   }
   return "?";
 }
-
-}  // namespace
 
 Status StrategyRegistry::Register(PhysicalStrategy strategy, std::string name,
                                   bool safe, Factory factory,
@@ -103,10 +97,16 @@ Result<std::unique_ptr<StrategyExecutor>> StrategyRegistry::Make(
   // hints every strategy accepts; see executor.h).
   const size_t supplied = options.strategy_options.index();
   if (supplied != kNoStrategyOptions && supplied != entry->accepts_options) {
+    // Name the variant the strategy *does* accept, not just the mismatch —
+    // the caller's fix is to send that type (or none at all).
+    const std::string accepted =
+        entry->accepts_options == kNoStrategyOptions
+            ? "no typed strategy options (common knobs only)"
+            : std::string(ExecOptionsVariantName(entry->accepts_options)) +
+                  " strategy options";
     return Status::InvalidArgument(
-        std::string("strategy '") + entry->name + "' accepts " +
-        OptionsAlternativeName(entry->accepts_options) +
-        " strategy options, got " + OptionsAlternativeName(supplied));
+        std::string("strategy '") + entry->name + "' accepts " + accepted +
+        "; got " + ExecOptionsVariantName(supplied));
   }
   std::unique_ptr<StrategyExecutor> executor = entry->factory(options);
   if (executor == nullptr) {

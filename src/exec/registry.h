@@ -23,6 +23,12 @@
 
 namespace moa {
 
+/// Display name of a StrategyOptionsVariant alternative by index
+/// (ExecOptionsIndexOf<T>()), e.g. "FaginOptions"; kNoStrategyOptions maps
+/// to "none". Shared by the registry's option-mismatch diagnostics and
+/// Explain's per-strategy annotations.
+const char* ExecOptionsVariantName(size_t index);
+
 /// \brief Maps every PhysicalStrategy to an executor factory + metadata.
 ///
 /// Thread-safety: lookups and Execute are lock-free reads and safe to

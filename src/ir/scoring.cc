@@ -135,4 +135,17 @@ std::unique_ptr<ScoringModel> MakeScoringModel(
   return nullptr;
 }
 
+std::unique_ptr<ScoringModel> MakeScoringModel(ScoringModelKind kind,
+                                               const InvertedFile* file) {
+  switch (kind) {
+    case ScoringModelKind::kTfIdf:
+      return MakeTfIdf(file);
+    case ScoringModelKind::kBm25:
+      return MakeBm25(file);
+    case ScoringModelKind::kLanguageModel:
+      return MakeLanguageModel(file);
+  }
+  return nullptr;
+}
+
 }  // namespace moa

@@ -84,6 +84,9 @@ std::unique_ptr<ScoringModel> MakeLanguageModel(
 /// and must outlive the model.
 std::unique_ptr<ScoringModel> MakeScoringModel(ScoringModelKind kind,
                                                const CollectionStatsView* stats);
+/// InvertedFile-bound factory (same defaults); `file` is borrowed.
+std::unique_ptr<ScoringModel> MakeScoringModel(ScoringModelKind kind,
+                                               const InvertedFile* file);
 
 }  // namespace moa
 

@@ -71,6 +71,10 @@ std::string ExplainPlan(const RetrievalPlan& plan) {
       os << " [unregistered]";
     } else {
       os << (entry->safe ? " [safe]" : " [unsafe]");
+      if (entry->accepts_options != kNoStrategyOptions) {
+        os << " [options: "
+           << ExecOptionsVariantName(entry->accepts_options) << "]";
+      }
     }
     os << "\n";
   }

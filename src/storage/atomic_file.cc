@@ -62,4 +62,12 @@ Status WriteFileAtomically(const std::string& path,
   return Status::OK();
 }
 
+Status WriteAllBytes(std::FILE* f, const void* data, size_t size,
+                     const char* context) {
+  if (size > 0 && std::fwrite(data, 1, size, f) != size) {
+    return Status::Internal(std::string(context) + ": short write");
+  }
+  return Status::OK();
+}
+
 }  // namespace moa

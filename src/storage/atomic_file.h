@@ -22,6 +22,12 @@ namespace moa {
 Status WriteFileAtomically(const std::string& path,
                            const std::function<Status(std::FILE*)>& body);
 
+/// fwrite wrapper shared by the on-disk format writers: writes all
+/// `size` bytes or returns an Internal error tagged with `context`
+/// (e.g. "segment: short write").
+Status WriteAllBytes(std::FILE* f, const void* data, size_t size,
+                     const char* context);
+
 }  // namespace moa
 
 #endif  // MOA_STORAGE_ATOMIC_FILE_H_

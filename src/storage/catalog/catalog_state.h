@@ -48,6 +48,7 @@
 #include "storage/catalog/memtable.h"
 #include "storage/segment/posting_cursor.h"
 #include "storage/segment/segment_reader.h"
+#include "storage/sparse_index_cache.h"
 
 namespace moa {
 
@@ -125,6 +126,13 @@ class CatalogState {
   std::unique_ptr<PostingCursor> OpenMergedCursor(TermId t,
                                                   double max_impact) const;
 
+  /// Random access: tf of term t in the live document at global id g
+  /// (nullopt when absent or tombstoned). Locates the one owning
+  /// component and probes it directly — no merged-cursor construction —
+  /// which is what keeps Fagin-style random access cheap over a
+  /// multi-segment snapshot. Ticks one random read.
+  std::optional<uint32_t> FindTf(TermId t, DocId g) const;
+
   /// Exact max current weight over t's live postings under `model`
   /// (bound to this snapshot's stats view). Cached build-once per state;
   /// every caller must use the same model arithmetic — the IndexCatalog
@@ -134,6 +142,13 @@ class CatalogState {
   /// Human-readable storage composition, e.g.
   /// "memtable(3 docs) + segments[seg 1: 100 docs, seg 2: 50 docs (-4)]".
   std::string Describe() const;
+
+  /// Per-snapshot sparse-index cache for the sparse-probe strategy.
+  /// Snapshot-scoped on purpose: a sparse index materializes the term's
+  /// live postings, which change across snapshots, so a catalog-wide
+  /// cache would serve stale postings after any mutation. Internally
+  /// synchronized (build-once / read-many), like the bound cache.
+  SparseIndexCache& sparse_cache() const { return sparse_cache_; }
 
  private:
   friend class CatalogStatsViewImpl;
@@ -156,6 +171,8 @@ class CatalogState {
   mutable std::mutex bounds_mutex_;
   mutable std::vector<double> bound_;
   mutable std::vector<uint8_t> bound_ready_;
+  // Snapshot-scoped sparse-index cache (see sparse_cache()).
+  mutable SparseIndexCache sparse_cache_;
 };
 
 /// \brief CollectionStatsView over one snapshot (live statistics).
@@ -212,6 +229,9 @@ class CatalogReadView final : public PostingSource {
   }
   std::unique_ptr<PostingCursor> OpenCursor(TermId t) const override {
     return state_->OpenMergedCursor(t, state_->TermBound(*model_, t));
+  }
+  std::optional<uint32_t> FindTf(TermId t, DocId doc) const override {
+    return state_->FindTf(t, doc);
   }
 
   const ScoringModel* model() const { return model_.get(); }

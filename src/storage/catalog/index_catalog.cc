@@ -4,10 +4,31 @@
 #include <filesystem>
 #include <utility>
 
+#include "storage/segment/fragment_directory.h"
 #include "storage/segment/segment_writer.h"
 
 namespace moa {
 namespace {
+
+/// Writer options for a catalog segment: impacts (and the fragment
+/// directory sidecar) are stamped under a model bound to the flushed
+/// file's *own* statistics. Snapshots never prune on these stored bounds
+/// (live statistics move; CatalogState recomputes exact bounds per
+/// snapshot), but a segment served standalone — or a future
+/// bounds-rebasing optimization — gets the full impact metadata for free.
+SegmentWriterOptions CatalogSegmentWriterOptions(
+    const InvertedFile& file, ScoringModelKind scoring, uint32_t block_size,
+    std::unique_ptr<ScoringModel>* model_out) {
+  SegmentWriterOptions options;
+  options.block_size = block_size;
+  *model_out = MakeScoringModel(scoring, &file);
+  ScoringModel* model = model_out->get();
+  options.impact_fn = [model](TermId t, const Posting& p) {
+    return model->Weight(t, p);
+  };
+  options.impact_model = model->name().substr(0, kImpactModelBytes - 1);
+  return options;
+}
 
 /// Opens one durable segment (reader + sidecar) and cross-validates the
 /// two against each other: document counts, per-document lengths, and the
@@ -265,8 +286,10 @@ Status IndexCatalog::Flush() {
   //    manifest names them).
   Result<InvertedFile> file = cur->memtable().ToInvertedFile();
   if (!file.ok()) return file.status();
-  SegmentWriterOptions wopts;
-  wopts.block_size = options_.segment_block_size;
+  std::unique_ptr<ScoringModel> impact_model;
+  const SegmentWriterOptions wopts = CatalogSegmentWriterOptions(
+      file.ValueOrDie(), options_.scoring, options_.segment_block_size,
+      &impact_model);
   MOA_RETURN_NOT_OK(
       WriteSegment(file.ValueOrDie(), seg->segment_path, wopts));
   MOA_RETURN_NOT_OK(WriteForwardIndex(
@@ -341,10 +364,13 @@ Result<size_t> IndexCatalog::Merge(const MergePolicy& policy) {
   merged->id = id;
   merged->segment_path = options_.dir + "/" + SegmentFileName(id);
 
-  SegmentWriterOptions wopts;
-  wopts.block_size = options_.segment_block_size;
+  const InvertedFile merged_file = builder.Build();
+  std::unique_ptr<ScoringModel> impact_model;
+  const SegmentWriterOptions wopts = CatalogSegmentWriterOptions(
+      merged_file, options_.scoring, options_.segment_block_size,
+      &impact_model);
   MOA_RETURN_NOT_OK(
-      WriteSegment(builder.Build(), merged->segment_path, wopts));
+      WriteSegment(merged_file, merged->segment_path, wopts));
   MOA_RETURN_NOT_OK(WriteForwardIndex(
       merged_fwd, options_.dir + "/" + ForwardFileName(id)));
   MOA_RETURN_NOT_OK(Fault("merge:segment-written"));
@@ -387,6 +413,7 @@ Result<size_t> IndexCatalog::Merge(const MergePolicy& policy) {
   // hold the old mmaps open; POSIX keeps them readable until unmapped).
   for (const std::string& path : retired) {
     std::remove(path.c_str());
+    std::remove(FragmentSidecarPath(path).c_str());
     // seg_X.moa -> seg_X.fwd
     std::string fwd_path = path;
     fwd_path.replace(fwd_path.size() - 3, 3, "fwd");

@@ -73,7 +73,10 @@ class IndexCatalog {
     /// adds and deletes work, Flush/Merge return FailedPrecondition.
     std::string dir;
     /// Scoring kind served by read views; the snapshot bound cache is
-    /// computed under this model, so one catalog serves one kind.
+    /// computed under this model, so one catalog serves one kind. Flush
+    /// and merge also stamp segment impact bounds (and the MOAFRG01
+    /// fragment sidecar) under a model of this kind bound to the flushed
+    /// file's own statistics.
     ScoringModelKind scoring = ScoringModelKind::kBm25;
     uint32_t segment_block_size = kDefaultSegmentBlockSize;
     /// Decode every payload block of every segment at Open (CheckIntegrity)

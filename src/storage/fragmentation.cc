@@ -8,9 +8,16 @@ namespace moa {
 
 Fragmentation Fragmentation::Build(const InvertedFile& file,
                                    const FragmentationPolicy& policy) {
+  std::vector<uint32_t> df(file.num_terms());
+  for (TermId t = 0; t < file.num_terms(); ++t) df[t] = file.DocFrequency(t);
+  return Build(df, policy);
+}
+
+Fragmentation Fragmentation::Build(const std::vector<uint32_t>& term_df,
+                                   const FragmentationPolicy& policy) {
   Fragmentation frag;
   frag.policy_ = policy;
-  const size_t num_terms = file.num_terms();
+  const size_t num_terms = term_df.size();
   frag.assignment_.assign(num_terms, FragmentId::kLarge);
 
   // Rank terms by ascending document frequency: rarest (most interesting)
@@ -18,19 +25,18 @@ Fragmentation Fragmentation::Build(const InvertedFile& file,
   std::vector<TermId> by_df(num_terms);
   std::iota(by_df.begin(), by_df.end(), 0);
   std::sort(by_df.begin(), by_df.end(), [&](TermId a, TermId b) {
-    const uint32_t da = file.DocFrequency(a);
-    const uint32_t db = file.DocFrequency(b);
-    if (da != db) return da < db;
+    if (term_df[a] != term_df[b]) return term_df[a] < term_df[b];
     return a < b;
   });
 
-  const int64_t total = file.num_postings();
+  const int64_t total =
+      std::accumulate(term_df.begin(), term_df.end(), int64_t{0});
   const int64_t budget = static_cast<int64_t>(
       policy.small_volume_fraction * static_cast<double>(total));
 
   int64_t used = 0;
   for (TermId t : by_df) {
-    const int64_t df = file.DocFrequency(t);
+    const int64_t df = term_df[t];
     const bool over_ceiling =
         policy.df_ceiling > 0 && df > static_cast<int64_t>(policy.df_ceiling);
     if (!over_ceiling && used + df <= budget) {

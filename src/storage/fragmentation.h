@@ -51,6 +51,14 @@ class Fragmentation {
   static Fragmentation Build(const InvertedFile& file,
                              const FragmentationPolicy& policy);
 
+  /// Statistics-only overload: the assignment depends on nothing but the
+  /// per-term document frequencies (`df`, the per-term postings volume),
+  /// so a catalog snapshot — which has live df but no materialized
+  /// InvertedFile — fragments exactly like a fresh index of the same
+  /// documents. The InvertedFile overload delegates here.
+  static Fragmentation Build(const std::vector<uint32_t>& df,
+                             const FragmentationPolicy& policy);
+
   FragmentId fragment_of(TermId t) const { return assignment_[t]; }
   bool in_small(TermId t) const {
     return assignment_[t] == FragmentId::kSmall;

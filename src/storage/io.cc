@@ -21,10 +21,7 @@ struct FileCloser {
 using FileHandle = std::unique_ptr<std::FILE, FileCloser>;
 
 Status WriteBytes(std::FILE* f, const void* data, size_t size) {
-  if (std::fwrite(data, 1, size, f) != size) {
-    return Status::Internal("short write");
-  }
-  return Status::OK();
+  return WriteAllBytes(f, data, size, "inverted file");
 }
 
 Status ReadBytes(std::FILE* f, void* data, size_t size) {

@@ -1,6 +1,11 @@
 #include "storage/segment/posting_cursor.h"
 
 #include <algorithm>
+#include <queue>
+#include <vector>
+
+#include "common/cost_ticker.h"
+#include "ir/scoring.h"
 
 namespace moa {
 namespace {
@@ -38,11 +43,159 @@ class InMemoryPostingCursor final : public PostingCursor {
   size_t pos_ = 0;
 };
 
+/// Impact cursor over a list's materialized impact order (ByImpact /
+/// ImpactWeight) — zero extra work, exactly the legacy sorted access.
+class MaterializedImpactCursor final : public ImpactCursor {
+ public:
+  explicit MaterializedImpactCursor(const PostingList* list) : list_(list) {}
+
+  DocId doc() const override {
+    return pos_ < list_->size() ? list_->ByImpact(pos_).doc : kEndDoc;
+  }
+  uint32_t tf() const override {
+    return pos_ < list_->size() ? list_->ByImpact(pos_).tf : 0;
+  }
+  double weight() const override {
+    return pos_ < list_->size() ? list_->ImpactWeight(pos_) : 0.0;
+  }
+  void next() override {
+    if (pos_ < list_->size()) ++pos_;
+  }
+  size_t size() const override { return list_->size(); }
+
+ private:
+  const PostingList* list_;
+  size_t pos_ = 0;
+};
+
+/// The maximally coarse fragment directory: the whole list as one
+/// doc-sorted fragment bounded by the term's max impact.
+class SingleFragmentCursor final : public FragmentCursor {
+ public:
+  SingleFragmentCursor(const PostingSource* source, TermId term,
+                       size_t postings, double max_impact)
+      : source_(source),
+        term_(term),
+        postings_(postings),
+        max_impact_(max_impact) {}
+
+  size_t num_fragments() const override { return postings_ > 0 ? 1 : 0; }
+  double max_impact(size_t) const override { return max_impact_; }
+  size_t size(size_t) const override { return postings_; }
+  std::unique_ptr<PostingCursor> OpenFragment(size_t) const override {
+    return source_->OpenCursor(term_);
+  }
+
+ private:
+  const PostingSource* source_;
+  TermId term_;
+  size_t postings_;
+  double max_impact_;
+};
+
+/// Exact impact-ordered access over a fragment directory, decoding
+/// fragments lazily: a posting is only emitted once its weight strictly
+/// exceeds every undecoded fragment's bound (an equal bound forces the
+/// next decode, so equal-weight ties still come out in ascending doc
+/// order — the exact order InvertedFile::BuildImpactOrders produces).
+class LazyFragmentImpactCursor final : public ImpactCursor {
+ public:
+  LazyFragmentImpactCursor(std::unique_ptr<FragmentCursor> fragments,
+                           TermId term, const ScoringModel* model)
+      : fragments_(std::move(fragments)), term_(term), model_(model) {
+    for (size_t f = 0; f < fragments_->num_fragments(); ++f) {
+      size_ += fragments_->size(f);
+    }
+    Refill();
+  }
+
+  DocId doc() const override { return pool_.empty() ? kEndDoc : Top().doc; }
+  uint32_t tf() const override { return pool_.empty() ? 0 : Top().tf; }
+  double weight() const override {
+    return pool_.empty() ? 0.0 : Top().weight;
+  }
+  void next() override {
+    if (pool_.empty()) return;
+    pool_.pop();
+    Refill();
+  }
+  size_t size() const override { return size_; }
+
+ private:
+  struct Pending {
+    double weight;
+    DocId doc;
+    uint32_t tf;
+  };
+  /// Heap ordering: a sorts below b when it is weaker under
+  /// (weight desc, doc asc), leaving the strongest posting on top.
+  struct Weaker {
+    bool operator()(const Pending& a, const Pending& b) const {
+      if (a.weight != b.weight) return a.weight < b.weight;
+      return a.doc > b.doc;
+    }
+  };
+
+  const Pending& Top() const { return pool_.top(); }
+
+  /// Decodes fragments until the best pending posting provably dominates
+  /// everything still encoded (or nothing is left to decode).
+  void Refill() {
+    while (next_fragment_ < fragments_->num_fragments() &&
+           (pool_.empty() ||
+            pool_.top().weight <= fragments_->max_impact(next_fragment_))) {
+      for (auto cursor = fragments_->OpenFragment(next_fragment_);
+           !cursor->at_end(); cursor->next()) {
+        const Posting p{cursor->doc(), cursor->tf()};
+        pool_.push(Pending{model_->Weight(term_, p), p.doc, p.tf});
+      }
+      ++next_fragment_;
+    }
+  }
+
+  std::unique_ptr<FragmentCursor> fragments_;
+  TermId term_;
+  const ScoringModel* model_;
+  size_t size_ = 0;
+  size_t next_fragment_ = 0;
+  std::priority_queue<Pending, std::vector<Pending>, Weaker> pool_;
+};
+
 }  // namespace
+
+std::optional<uint32_t> PostingSource::FindTf(TermId t, DocId doc) const {
+  CostTicker::TickRandom();
+  const std::unique_ptr<PostingCursor> cursor = OpenCursor(t);
+  cursor->advance_to(doc);
+  if (cursor->at_end() || cursor->doc() != doc) return std::nullopt;
+  return cursor->tf();
+}
+
+std::unique_ptr<FragmentCursor> PostingSource::OpenFragmentCursor(
+    TermId t) const {
+  return std::make_unique<SingleFragmentCursor>(
+      this, t, DocFrequency(t), HasImpacts(t) ? MaxImpact(t) : 0.0);
+}
+
+std::unique_ptr<ImpactCursor> PostingSource::OpenImpactCursor(
+    TermId t, const ScoringModel& model) const {
+  return std::make_unique<LazyFragmentImpactCursor>(OpenFragmentCursor(t), t,
+                                                    &model);
+}
 
 std::unique_ptr<PostingCursor> InMemoryPostingSource::OpenCursor(
     TermId t) const {
   return std::make_unique<InMemoryPostingCursor>(&file_->list(t));
+}
+
+std::optional<uint32_t> InMemoryPostingSource::FindTf(TermId t,
+                                                      DocId doc) const {
+  return file_->list(t).FindTf(doc);
+}
+
+std::unique_ptr<ImpactCursor> InMemoryPostingSource::OpenImpactCursor(
+    TermId t, const ScoringModel& /*model*/) const {
+  return std::make_unique<MaterializedImpactCursor>(&file_->list(t));
 }
 
 }  // namespace moa

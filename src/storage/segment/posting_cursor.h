@@ -31,11 +31,14 @@
 #include <cstdint>
 #include <limits>
 #include <memory>
+#include <optional>
 
 #include "storage/inverted_file.h"
 #include "storage/posting.h"
 
 namespace moa {
+
+class ScoringModel;
 
 /// Sentinel returned by PostingCursor::doc() when the cursor is exhausted.
 inline constexpr DocId kEndDoc = std::numeric_limits<DocId>::max();
@@ -63,12 +66,69 @@ class PostingCursor {
   bool at_end() const { return doc() == kEndDoc; }
 };
 
+/// \brief Forward iterator over one term's postings in *descending weight*
+/// order — the sorted access the Fagin family and impact-order champions
+/// consume.
+///
+/// Contract (the exact order InvertedFile::BuildImpactOrders materializes):
+/// postings are emitted by descending weight, ties broken by ascending doc
+/// id. weight() at the current position is also the sorted-access
+/// threshold: no later posting of the term weighs more. doc() returns
+/// kEndDoc once exhausted; weight()/tf() are meaningless there.
+class ImpactCursor {
+ public:
+  virtual ~ImpactCursor() = default;
+
+  /// Current document id, kEndDoc when exhausted.
+  virtual DocId doc() const = 0;
+  /// Term frequency of the current posting; undefined at end.
+  virtual uint32_t tf() const = 0;
+  /// Scoring weight of the current posting; undefined at end.
+  virtual double weight() const = 0;
+  /// Moves to the next posting in impact order (stays at end).
+  virtual void next() = 0;
+  /// Total number of postings (the term's document frequency).
+  virtual size_t size() const = 0;
+
+  bool at_end() const { return doc() == kEndDoc; }
+};
+
+/// \brief One term's postings grouped into impact-ordered *fragments*.
+///
+/// A fragment is a doc-sorted sub-range of the term's postings together
+/// with an upper bound on the weight of any posting inside it. Fragments
+/// are disjoint, cover the whole list, and are enumerated by descending
+/// max impact: max_impact(f) >= max_impact(f + 1). This is the paper's
+/// quality/speed fragmentation applied *within* a posting list — a
+/// consumer that processes fragments in directory order can stop (or
+/// lazily defer decoding) as soon as the remaining fragments' bounds
+/// cannot matter, while each fragment still streams in doc order.
+///
+/// Sources without a materialized fragment directory serve the whole list
+/// as one fragment (still a valid, if maximally coarse, directory).
+class FragmentCursor {
+ public:
+  virtual ~FragmentCursor() = default;
+
+  /// Number of fragments (0 for an empty list).
+  virtual size_t num_fragments() const = 0;
+  /// Upper bound on the weight of any posting in fragment f; descending
+  /// in f. Only meaningful when the source HasImpacts for the term.
+  virtual double max_impact(size_t f) const = 0;
+  /// Number of postings in fragment f (>= 1).
+  virtual size_t size(size_t f) const = 0;
+  /// Fresh doc-ordered cursor over fragment f's postings only.
+  virtual std::unique_ptr<PostingCursor> OpenFragment(size_t f) const = 0;
+};
+
 /// \brief A collection of posting lists addressable by TermId.
 ///
-/// Implementations: InMemoryPostingSource (below) over an InvertedFile and
-/// SegmentReader (segment_reader.h) over a compressed mmap-backed segment.
+/// Implementations: InMemoryPostingSource (below) over an InvertedFile,
+/// SegmentReader (segment_reader.h) over a compressed mmap-backed segment
+/// and CatalogReadView (storage/catalog) over a multi-segment snapshot.
 /// Sources are immutable after construction and safe for concurrent reads;
-/// each OpenCursor call returns an independent cursor.
+/// each OpenCursor/OpenImpactCursor/OpenFragmentCursor call returns an
+/// independent cursor.
 class PostingSource {
  public:
   virtual ~PostingSource() = default;
@@ -83,6 +143,29 @@ class PostingSource {
   virtual double MaxImpact(TermId t) const = 0;
   /// A fresh cursor positioned on t's first posting.
   virtual std::unique_ptr<PostingCursor> OpenCursor(TermId t) const = 0;
+
+  /// Random access: term frequency of `doc` in t's list (nullopt when the
+  /// document does not contain the term). Ticks one random read. The
+  /// default opens a fresh cursor and skips to the target; implementations
+  /// with a cheaper path (in-memory binary search) override.
+  virtual std::optional<uint32_t> FindTf(TermId t, DocId doc) const;
+
+  /// t's impact-ordered fragment directory. The default serves the whole
+  /// list as a single fragment bounded by MaxImpact (0 without impacts);
+  /// SegmentReader overrides with its stored MOAFRG01 directory.
+  virtual std::unique_ptr<FragmentCursor> OpenFragmentCursor(TermId t) const;
+
+  /// Postings of t by descending `model` weight, ties by ascending doc —
+  /// exact sorted access over any storage. Requires HasImpacts(t) and a
+  /// model whose arithmetic matches the source's impact bounds (the same
+  /// precondition impact orders always had). The default decodes
+  /// fragments lazily through OpenFragmentCursor: a fragment is only
+  /// decoded once an undecoded fragment's bound could still beat the best
+  /// pending posting, so fragmented sources pay for the prefix actually
+  /// consumed. InMemoryPostingSource overrides with the materialized
+  /// impact order.
+  virtual std::unique_ptr<ImpactCursor> OpenImpactCursor(
+      TermId t, const ScoringModel& model) const;
 };
 
 /// \brief Zero-copy PostingSource view over an in-memory InvertedFile.
@@ -107,6 +190,19 @@ class InMemoryPostingSource final : public PostingSource {
     return file_->list(t).max_weight();
   }
   std::unique_ptr<PostingCursor> OpenCursor(TermId t) const override;
+  /// Binary search on the doc-ordered list (PostingList::FindTf).
+  std::optional<uint32_t> FindTf(TermId t, DocId doc) const override;
+  /// Serves the list's materialized impact order directly (requires
+  /// InvertedFile::BuildImpactOrders, which must have used arithmetic
+  /// equal to `model` — the long-standing impact-order precondition);
+  /// `model` itself is not consulted.
+  std::unique_ptr<ImpactCursor> OpenImpactCursor(
+      TermId t, const ScoringModel& model) const override;
+
+  /// The adapted file — lets consumers that can exploit in-memory lists
+  /// directly (e.g. zero-copy sparse-index builds) recover them from a
+  /// PostingSource&.
+  const InvertedFile* file() const { return file_; }
 
  private:
   const InvertedFile* file_;

@@ -8,15 +8,13 @@
 
 #include "storage/atomic_file.h"
 #include "storage/segment/block_codec.h"
+#include "storage/segment/fragment_directory.h"
 
 namespace moa {
 namespace {
 
 Status WriteBytes(std::FILE* f, const void* data, size_t size) {
-  if (size > 0 && std::fwrite(data, 1, size, f) != size) {
-    return Status::Internal("segment: short write");
-  }
-  return Status::OK();
+  return WriteAllBytes(f, data, size, "segment");
 }
 
 template <typename T>
@@ -24,16 +22,25 @@ Status WritePodVector(std::FILE* f, const std::vector<T>& v) {
   return WriteBytes(f, v.data(), v.size() * sizeof(T));
 }
 
-Status WriteBody(const InvertedFile& file, const SegmentWriterOptions& options,
-                 std::FILE* out) {
-  const uint32_t block_size = options.block_size;
-
-  // Pass 1: build the directories and the payload in memory. Payload size
-  // is a few bytes per posting — for collections where that does not fit,
-  // this is the place to stream per-term instead.
-  std::vector<TermDirEntry> term_dir(file.num_terms());
+/// Fully built segment sections, shared by the segment body writer and
+/// the fragment-directory sidecar.
+struct SegmentImage {
+  std::vector<TermDirEntry> term_dir;
   std::vector<BlockDirEntry> block_dir;
   std::vector<uint8_t> payload;
+};
+
+Status BuildImage(const InvertedFile& file,
+                  const SegmentWriterOptions& options, SegmentImage* image) {
+  const uint32_t block_size = options.block_size;
+
+  // Build the directories and the payload in memory. Payload size is a
+  // few bytes per posting — for collections where that does not fit,
+  // this is the place to stream per-term instead.
+  std::vector<TermDirEntry>& term_dir = image->term_dir;
+  std::vector<BlockDirEntry>& block_dir = image->block_dir;
+  std::vector<uint8_t>& payload = image->payload;
+  term_dir.resize(file.num_terms());
   payload.reserve(static_cast<size_t>(file.num_postings()) * 2);
 
   for (TermId t = 0; t < file.num_terms(); ++t) {
@@ -76,10 +83,18 @@ Status WriteBody(const InvertedFile& file, const SegmentWriterOptions& options,
     entry.block_count =
         static_cast<uint32_t>(block_dir.size() - entry.block_begin);
   }
+  return Status::OK();
+}
+
+Status WriteBody(const InvertedFile& file, const SegmentWriterOptions& options,
+                 const SegmentImage& image, std::FILE* out) {
+  const std::vector<TermDirEntry>& term_dir = image.term_dir;
+  const std::vector<BlockDirEntry>& block_dir = image.block_dir;
+  const std::vector<uint8_t>& payload = image.payload;
 
   SegmentHeader header{};
   std::memcpy(header.magic, kSegmentMagic, sizeof(header.magic));
-  header.block_size = block_size;
+  header.block_size = options.block_size;
   header.flags = options.impact_fn ? kFlagHasImpacts : 0;
   if (options.impact_fn) {
     options.impact_model.copy(header.impact_model,
@@ -110,9 +125,28 @@ Status WriteSegment(const InvertedFile& file, const std::string& path,
   if (options.block_size == 0) {
     return Status::InvalidArgument("segment: block_size must be >= 1");
   }
-  return WriteFileAtomically(path, [&](std::FILE* out) {
-    return WriteBody(file, options, out);
-  });
+  SegmentImage image;
+  MOA_RETURN_NOT_OK(BuildImage(file, options, &image));
+
+  // A sidecar left over from an earlier write at this path describes the
+  // *old* segment; drop it before the new segment publishes so no crash
+  // point leaves a mismatched pair (segment-without-sidecar is valid and
+  // merely loses laziness).
+  const std::string sidecar = FragmentSidecarPath(path);
+  std::remove(sidecar.c_str());
+
+  MOA_RETURN_NOT_OK(WriteFileAtomically(path, [&](std::FILE* out) {
+    return WriteBody(file, options, image, out);
+  }));
+
+  if (options.impact_fn && options.fragment_blocks > 0) {
+    const FragmentDirectory directory = BuildFragmentDirectory(
+        image.term_dir, image.block_dir, options.fragment_blocks);
+    return WriteFragmentDirectory(
+        sidecar, directory,
+        options.impact_model.substr(0, kImpactModelBytes - 1));
+  }
+  return Status::OK();
 }
 
 }  // namespace moa

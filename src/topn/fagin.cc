@@ -8,45 +8,50 @@
 namespace moa {
 namespace {
 
-/// Per-query-term cursor over one impact-ordered posting list.
-struct ListCursor {
+/// Per-query-term sorted access: an impact cursor over the term's
+/// postings in descending-weight order. Works over any PostingSource —
+/// the in-memory file serves its materialized impact order, a segment
+/// decodes fragments lazily through its MOAFRG01 directory, a catalog
+/// snapshot materializes the live postings' order.
+struct ListAccess {
   TermId term;
-  const PostingList* list;
-  size_t pos = 0;
+  std::unique_ptr<ImpactCursor> cursor;
 
-  bool exhausted() const { return pos >= list->size(); }
+  bool exhausted() const { return cursor->at_end(); }
   /// Sorted-access threshold: weight at the cursor (0 once exhausted).
   double threshold() const {
-    return exhausted() ? 0.0 : list->ImpactWeight(pos);
+    return exhausted() ? 0.0 : cursor->weight();
   }
 };
 
-/// Builds cursors for all query terms with non-empty lists; fails if any
-/// list lacks an impact order.
-Result<std::vector<ListCursor>> MakeCursors(const InvertedFile& file,
-                                            const Query& query) {
-  std::vector<ListCursor> cursors;
+/// Builds sorted accessors for all query terms with non-empty lists;
+/// fails if the source has no impact metadata for one of them.
+Result<std::vector<ListAccess>> MakeAccessors(const PostingSource& source,
+                                              const ScoringModel& model,
+                                              const Query& query) {
+  std::vector<ListAccess> accessors;
   for (TermId t : query.terms) {
-    const PostingList& list = file.list(t);
-    if (list.empty()) continue;
-    if (!list.has_impact_order()) {
+    if (source.DocFrequency(t) == 0) continue;
+    if (!source.HasImpacts(t)) {
       return Status::FailedPrecondition(
           "Fagin algorithms require impact orders; call "
           "InvertedFile::BuildImpactOrders first");
     }
-    cursors.push_back(ListCursor{t, &list, 0});
+    accessors.push_back(ListAccess{t, source.OpenImpactCursor(t, model)});
   }
-  return cursors;
+  return accessors;
 }
 
-/// Random access: weight of `doc` in `cursor`'s list (0 if absent).
-double RandomAccessWeight(const ScoringModel& model, const ListCursor& cursor,
-                          DocId doc, TopNStats* stats) {
+/// Random access: weight of `doc` in `accessor`'s list (0 if absent).
+double RandomAccessWeight(const PostingSource& source,
+                          const ScoringModel& model,
+                          const ListAccess& accessor, DocId doc,
+                          TopNStats* stats) {
   ++stats->random_accesses;
-  auto tf = cursor.list->FindTf(doc);  // ticks one random read
+  auto tf = source.FindTf(accessor.term, doc);  // ticks one random read
   if (!tf.has_value()) return 0.0;
   CostTicker::TickScore();
-  return model.Weight(cursor.term, Posting{doc, *tf});
+  return model.Weight(accessor.term, Posting{doc, *tf});
 }
 
 /// Bounded best-n tracker (min-heap on ScoredDocLess; front = weakest).
@@ -92,45 +97,47 @@ class BestN {
 // TA
 // ---------------------------------------------------------------------------
 
-Result<TopNResult> FaginTA(const InvertedFile& file, const ScoringModel& model,
-                           const Query& query, size_t n,
-                           const FaginOptions& options) {
+Result<TopNResult> FaginTA(const PostingSource& source,
+                           const ScoringModel& model, const Query& query,
+                           size_t n, const FaginOptions& options) {
   (void)options;
   TopNResult result;
   CostScope scope;
-  Result<std::vector<ListCursor>> cursors_or = MakeCursors(file, query);
-  if (!cursors_or.ok()) return cursors_or.status();
-  std::vector<ListCursor> cursors = std::move(cursors_or).ValueOrDie();
+  Result<std::vector<ListAccess>> accessors_or =
+      MakeAccessors(source, model, query);
+  if (!accessors_or.ok()) return accessors_or.status();
+  std::vector<ListAccess> accessors = std::move(accessors_or).ValueOrDie();
 
   BestN best(n);
   std::unordered_set<DocId> resolved;
-  bool done = cursors.empty() || n == 0;
+  bool done = accessors.empty() || n == 0;
   while (!done) {
     bool any_advanced = false;
-    for (size_t i = 0; i < cursors.size(); ++i) {
-      ListCursor& cur = cursors[i];
+    for (size_t i = 0; i < accessors.size(); ++i) {
+      ListAccess& cur = accessors[i];
       if (cur.exhausted()) continue;
       any_advanced = true;
-      const Posting& p = cur.list->ByImpact(cur.pos);
-      const double w = cur.list->ImpactWeight(cur.pos);
-      ++cur.pos;
+      const DocId doc = cur.cursor->doc();
+      const double w = cur.cursor->weight();
+      cur.cursor->next();
       ++result.stats.sorted_accesses;
       CostTicker::TickSeq();
 
-      if (resolved.insert(p.doc).second) {
+      if (resolved.insert(doc).second) {
         ++result.stats.candidates;
         // Complete the score via random access to every other list.
         double score = w;
-        for (size_t j = 0; j < cursors.size(); ++j) {
+        for (size_t j = 0; j < accessors.size(); ++j) {
           if (j == i) continue;
-          score += RandomAccessWeight(model, cursors[j], p.doc, &result.stats);
+          score += RandomAccessWeight(source, model, accessors[j], doc,
+                                      &result.stats);
         }
-        best.Offer(ScoredDoc{p.doc, score});
+        best.Offer(ScoredDoc{doc, score});
       }
     }
     // Threshold: best possible score of any unseen document.
     double tau = 0.0;
-    for (const auto& cur : cursors) tau += cur.threshold();
+    for (const auto& cur : accessors) tau += cur.threshold();
     if (best.full() && best.nth_score() >= tau) {
       result.stats.stopped_early = any_advanced;
       done = true;
@@ -147,16 +154,17 @@ Result<TopNResult> FaginTA(const InvertedFile& file, const ScoringModel& model,
 // FA
 // ---------------------------------------------------------------------------
 
-Result<TopNResult> FaginFA(const InvertedFile& file, const ScoringModel& model,
-                           const Query& query, size_t n,
-                           const FaginOptions& options) {
+Result<TopNResult> FaginFA(const PostingSource& source,
+                           const ScoringModel& model, const Query& query,
+                           size_t n, const FaginOptions& options) {
   (void)options;
   TopNResult result;
   CostScope scope;
-  Result<std::vector<ListCursor>> cursors_or = MakeCursors(file, query);
-  if (!cursors_or.ok()) return cursors_or.status();
-  std::vector<ListCursor> cursors = std::move(cursors_or).ValueOrDie();
-  const size_t m = cursors.size();
+  Result<std::vector<ListAccess>> accessors_or =
+      MakeAccessors(source, model, query);
+  if (!accessors_or.ok()) return accessors_or.status();
+  std::vector<ListAccess> accessors = std::move(accessors_or).ValueOrDie();
+  const size_t m = accessors.size();
 
   if (m == 0 || n == 0) {
     result.stats.cost = scope.Snapshot();
@@ -179,17 +187,17 @@ Result<TopNResult> FaginFA(const InvertedFile& file, const ScoringModel& model,
   for (;;) {
     bool advanced = false;
     for (size_t i = 0; i < m; ++i) {
-      ListCursor& cur = cursors[i];
+      ListAccess& cur = accessors[i];
       if (cur.exhausted()) {
         exhausted_mask |= (1ULL << i);
         continue;
       }
       advanced = true;
-      const Posting& p = cur.list->ByImpact(cur.pos);
-      ++cur.pos;
+      const DocId doc = cur.cursor->doc();
+      cur.cursor->next();
       ++result.stats.sorted_accesses;
       CostTicker::TickSeq();
-      seen_mask[p.doc] |= (1ULL << i);
+      seen_mask[doc] |= (1ULL << i);
       if (cur.exhausted()) exhausted_mask |= (1ULL << i);
     }
     if (!advanced) break;  // every list exhausted: everything is seen
@@ -205,8 +213,8 @@ Result<TopNResult> FaginFA(const InvertedFile& file, const ScoringModel& model,
     }
   }
   result.stats.stopped_early =
-      std::any_of(cursors.begin(), cursors.end(),
-                  [](const ListCursor& c) { return !c.exhausted(); });
+      std::any_of(accessors.begin(), accessors.end(),
+                  [](const ListAccess& c) { return !c.exhausted(); });
 
   // Phase 2: random-access completion of every seen document (each doc's
   // full score is recomputed via random access; the true top-n is a subset
@@ -215,8 +223,8 @@ Result<TopNResult> FaginFA(const InvertedFile& file, const ScoringModel& model,
   result.stats.candidates = static_cast<int64_t>(seen_mask.size());
   for (const auto& [doc, mask] : seen_mask) {
     double score = 0.0;
-    for (const auto& cur : cursors) {
-      score += RandomAccessWeight(model, cur, doc, &result.stats);
+    for (const auto& cur : accessors) {
+      score += RandomAccessWeight(source, model, cur, doc, &result.stats);
     }
     best.Offer(ScoredDoc{doc, score});
   }
@@ -229,16 +237,16 @@ Result<TopNResult> FaginFA(const InvertedFile& file, const ScoringModel& model,
 // NRA
 // ---------------------------------------------------------------------------
 
-Result<TopNResult> FaginNRA(const InvertedFile& file,
+Result<TopNResult> FaginNRA(const PostingSource& source,
                             const ScoringModel& model, const Query& query,
                             size_t n, const FaginOptions& options) {
-  (void)model;
   TopNResult result;
   CostScope scope;
-  Result<std::vector<ListCursor>> cursors_or = MakeCursors(file, query);
-  if (!cursors_or.ok()) return cursors_or.status();
-  std::vector<ListCursor> cursors = std::move(cursors_or).ValueOrDie();
-  const size_t m = cursors.size();
+  Result<std::vector<ListAccess>> accessors_or =
+      MakeAccessors(source, model, query);
+  if (!accessors_or.ok()) return accessors_or.status();
+  std::vector<ListAccess> accessors = std::move(accessors_or).ValueOrDie();
+  const size_t m = accessors.size();
 
   if (m == 0 || n == 0) {
     result.stats.cost = scope.Snapshot();
@@ -259,16 +267,16 @@ Result<TopNResult> FaginNRA(const InvertedFile& file,
   while (!done) {
     bool advanced = false;
     for (size_t i = 0; i < m; ++i) {
-      ListCursor& cur = cursors[i];
+      ListAccess& cur = accessors[i];
       if (cur.exhausted()) continue;
       advanced = true;
-      const Posting& p = cur.list->ByImpact(cur.pos);
-      const double w = cur.list->ImpactWeight(cur.pos);
-      ++cur.pos;
+      const DocId doc = cur.cursor->doc();
+      const double w = cur.cursor->weight();
+      cur.cursor->next();
       ++result.stats.sorted_accesses;
       ++accesses_since_check;
       CostTicker::TickSeq();
-      Candidate& c = cand[p.doc];
+      Candidate& c = cand[doc];
       c.lower += w;
       c.seen_mask |= (1ULL << i);
     }
@@ -281,7 +289,7 @@ Result<TopNResult> FaginNRA(const InvertedFile& file,
 
     // Stop test. thresholds[i] = weight at cursor i.
     double thresholds[64];
-    for (size_t i = 0; i < m; ++i) thresholds[i] = cursors[i].threshold();
+    for (size_t i = 0; i < m; ++i) thresholds[i] = accessors[i].threshold();
 
     // n-th best candidate by (lower bound desc, doc asc) — the tentative
     // top-n set under the library's deterministic tie order.
@@ -324,6 +332,28 @@ Result<TopNResult> FaginNRA(const InvertedFile& file,
   result.items = best.TakeSortedDesc();
   result.stats.cost = scope.Snapshot();
   return result;
+}
+
+// ---------------------------------------------------------------------------
+// InvertedFile adapters
+// ---------------------------------------------------------------------------
+
+Result<TopNResult> FaginTA(const InvertedFile& file, const ScoringModel& model,
+                           const Query& query, size_t n,
+                           const FaginOptions& options) {
+  return FaginTA(InMemoryPostingSource(&file), model, query, n, options);
+}
+
+Result<TopNResult> FaginFA(const InvertedFile& file, const ScoringModel& model,
+                           const Query& query, size_t n,
+                           const FaginOptions& options) {
+  return FaginFA(InMemoryPostingSource(&file), model, query, n, options);
+}
+
+Result<TopNResult> FaginNRA(const InvertedFile& file,
+                            const ScoringModel& model, const Query& query,
+                            size_t n, const FaginOptions& options) {
+  return FaginNRA(InMemoryPostingSource(&file), model, query, n, options);
 }
 
 }  // namespace moa

@@ -20,6 +20,7 @@
 #define MOA_TOPN_FAGIN_H_
 
 #include "ir/query_gen.h"
+#include "storage/segment/posting_cursor.h"
 #include "topn/topn_result.h"
 
 namespace moa {
@@ -31,9 +32,21 @@ struct FaginOptions {
   int64_t check_every = 256;
 };
 
+// All three algorithms consume sorted access through
+// PostingSource::OpenImpactCursor and random access through
+// PostingSource::FindTf, so the same implementation serves the in-memory
+// file (materialized impact order), a compressed mmap segment (lazy
+// fragment-directory decode) and a catalog snapshot (live postings). The
+// PostingSource overload is the implementation; the InvertedFile overload
+// adapts and delegates — bit-identical by construction. All require
+// impact metadata (HasImpacts) on every non-empty query-term list.
+
 /// Fagin's original algorithm (FA): sorted phase until n documents have
 /// been seen in every list, then random-access completion of all seen
-/// documents. Requires impact orders on all query-term lists.
+/// documents.
+Result<TopNResult> FaginFA(const PostingSource& source,
+                           const ScoringModel& model, const Query& query,
+                           size_t n, const FaginOptions& options = {});
 Result<TopNResult> FaginFA(const InvertedFile& file, const ScoringModel& model,
                            const Query& query, size_t n,
                            const FaginOptions& options = {});
@@ -41,6 +54,9 @@ Result<TopNResult> FaginFA(const InvertedFile& file, const ScoringModel& model,
 /// Threshold Algorithm (TA): round-robin sorted access with immediate
 /// random-access completion; stops when the n-th best score reaches the
 /// threshold (sum of the last weights seen per list).
+Result<TopNResult> FaginTA(const PostingSource& source,
+                           const ScoringModel& model, const Query& query,
+                           size_t n, const FaginOptions& options = {});
 Result<TopNResult> FaginTA(const InvertedFile& file, const ScoringModel& model,
                            const Query& query, size_t n,
                            const FaginOptions& options = {});
@@ -48,6 +64,9 @@ Result<TopNResult> FaginTA(const InvertedFile& file, const ScoringModel& model,
 /// No-Random-Access algorithm (NRA): sorted access only, with per-document
 /// [lower, upper] score bounds; stops when the n-th best lower bound is at
 /// least every other candidate's upper bound.
+Result<TopNResult> FaginNRA(const PostingSource& source,
+                            const ScoringModel& model, const Query& query,
+                            size_t n, const FaginOptions& options = {});
 Result<TopNResult> FaginNRA(const InvertedFile& file,
                             const ScoringModel& model, const Query& query,
                             size_t n, const FaginOptions& options = {});

@@ -7,15 +7,18 @@ namespace moa {
 namespace {
 
 /// Accumulates postings of `terms` into `acc`, ticking seq + score.
-void AccumulateTerms(const InvertedFile& file, const ScoringModel& model,
+/// Cursor-based, so the same pass runs over the in-memory file, a mmap
+/// segment or a catalog snapshot (tombstones already filtered).
+void AccumulateTerms(const PostingSource& source, const ScoringModel& model,
                      const std::vector<TermId>& terms,
                      std::vector<double>* acc) {
   for (TermId t : terms) {
-    const PostingList& list = file.list(t);
-    for (size_t i = 0; i < list.size(); ++i) {
+    for (auto cursor = source.OpenCursor(t); !cursor->at_end();
+         cursor->next()) {
       CostTicker::TickSeq();
       CostTicker::TickScore();
-      (*acc)[list[i].doc] += model.Weight(t, list[i]);
+      const Posting p{cursor->doc(), cursor->tf()};
+      (*acc)[p.doc] += model.Weight(t, p);
     }
   }
 }
@@ -66,7 +69,7 @@ int64_t CountCandidates(const std::vector<double>& acc) {
 
 }  // namespace
 
-TopNResult SmallFragmentTopN(const InvertedFile& file,
+TopNResult SmallFragmentTopN(const PostingSource& source,
                              const Fragmentation& frag,
                              const ScoringModel& model, const Query& query,
                              size_t n) {
@@ -75,8 +78,8 @@ TopNResult SmallFragmentTopN(const InvertedFile& file,
   std::vector<TermId> small_terms, large_terms;
   SplitQuery(frag, query, &small_terms, &large_terms);
 
-  std::vector<double> acc(file.num_docs(), 0.0);
-  AccumulateTerms(file, model, small_terms, &acc);
+  std::vector<double> acc(source.num_docs(), 0.0);
+  AccumulateTerms(source, model, small_terms, &acc);
   result.items = HeapSelect(acc, n);
   result.stats.candidates = CountCandidates(acc);
   result.stats.stopped_early = !large_terms.empty();
@@ -84,7 +87,15 @@ TopNResult SmallFragmentTopN(const InvertedFile& file,
   return result;
 }
 
-Result<TopNResult> QualitySwitchTopN(const InvertedFile& file,
+TopNResult SmallFragmentTopN(const InvertedFile& file,
+                             const Fragmentation& frag,
+                             const ScoringModel& model, const Query& query,
+                             size_t n) {
+  return SmallFragmentTopN(InMemoryPostingSource(&file), frag, model, query,
+                           n);
+}
+
+Result<TopNResult> QualitySwitchTopN(const PostingSource& source,
                                      const Fragmentation& frag,
                                      const ScoringModel& model,
                                      const Query& query, size_t n,
@@ -98,8 +109,8 @@ Result<TopNResult> QualitySwitchTopN(const InvertedFile& file,
   SplitQuery(frag, query, &small_terms, &large_terms);
 
   // Phase 1: cheap small-fragment pass.
-  std::vector<double> acc(file.num_docs(), 0.0);
-  AccumulateTerms(file, model, small_terms, &acc);
+  std::vector<double> acc(source.num_docs(), 0.0);
+  AccumulateTerms(source, model, small_terms, &acc);
 
   bool process_large = false;
   if (!large_terms.empty() && options.mode != LargeFragmentMode::kSkip) {
@@ -107,13 +118,12 @@ Result<TopNResult> QualitySwitchTopN(const InvertedFile& file,
     // Upper bound of its contribution to any single document:
     double potential = 0.0;
     for (TermId t : large_terms) {
-      const PostingList& list = file.list(t);
-      if (list.empty()) continue;
-      if (!list.has_impact_order()) {
+      if (source.DocFrequency(t) == 0) continue;
+      if (!source.HasImpacts(t)) {
         return Status::FailedPrecondition(
             "QualitySwitchTopN requires impact orders for upper bounds");
       }
-      potential += list.max_weight();
+      potential += source.MaxImpact(t);
     }
     // Current n-th best from the small fragment alone.
     std::vector<ScoredDoc> tentative = HeapSelect(acc, n);
@@ -128,7 +138,7 @@ Result<TopNResult> QualitySwitchTopN(const InvertedFile& file,
       case LargeFragmentMode::kSkip:
         break;  // unreachable (guarded above)
       case LargeFragmentMode::kFullScan:
-        AccumulateTerms(file, model, large_terms, &acc);
+        AccumulateTerms(source, model, large_terms, &acc);
         break;
       case LargeFragmentMode::kSparseProbe: {
         // Candidate pool: the best small-fragment accumulations plus, per
@@ -142,24 +152,42 @@ Result<TopNResult> QualitySwitchTopN(const InvertedFile& file,
         std::unordered_set<DocId> pooled;
         for (const ScoredDoc& sd : pool) pooled.insert(sd.doc);
         for (TermId t : large_terms) {
-          const PostingList& list = file.list(t);
-          const size_t k = std::min(champions, list.size());
-          for (size_t i = 0; i < k; ++i) {
+          const size_t k =
+              std::min<size_t>(champions, source.DocFrequency(t));
+          auto impact = source.OpenImpactCursor(t, model);
+          for (size_t i = 0; i < k; ++i, impact->next()) {
             CostTicker::TickSeq();
-            const DocId d = list.ByImpact(i).doc;
+            const DocId d = impact->doc();
             if (pooled.insert(d).second) pool.push_back(ScoredDoc{d, acc[d]});
           }
         }
+        // Zero-copy fast path: when the source adapts an in-memory file,
+        // the sparse index borrows the existing list instead of
+        // materializing a per-query copy through the cursor.
+        const auto* in_memory =
+            dynamic_cast<const InMemoryPostingSource*>(&source);
         for (TermId t : large_terms) {
-          const PostingList& list = file.list(t);
-          if (list.empty()) continue;
+          if (source.DocFrequency(t) == 0) continue;
+          const PostingList* borrowed =
+              in_memory != nullptr ? &in_memory->file()->list(t) : nullptr;
           const SparseIndex* index = nullptr;
+          PostingList local_list;
           SparseIndex local;
           if (options.sparse_cache != nullptr) {
-            index = options.sparse_cache->GetOrBuild(t, list,
-                                                     options.sparse_block);
+            index = borrowed != nullptr
+                        ? options.sparse_cache->GetOrBuild(
+                              t, *borrowed, options.sparse_block)
+                        : options.sparse_cache->GetOrBuild(
+                              t, source, options.sparse_block);
+          } else if (borrowed != nullptr) {
+            local = SparseIndex(borrowed, options.sparse_block);
+            index = &local;
           } else {
-            local = SparseIndex(&list, options.sparse_block);
+            for (auto cursor = source.OpenCursor(t); !cursor->at_end();
+                 cursor->next()) {
+              local_list.Append(cursor->doc(), cursor->tf());
+            }
+            local = SparseIndex(&local_list, options.sparse_block);
             index = &local;
           }
           for (const ScoredDoc& sd : pool) {
@@ -181,6 +209,15 @@ Result<TopNResult> QualitySwitchTopN(const InvertedFile& file,
   result.stats.stopped_early = !large_terms.empty() && !process_large;
   result.stats.cost = scope.Snapshot();
   return result;
+}
+
+Result<TopNResult> QualitySwitchTopN(const InvertedFile& file,
+                                     const Fragmentation& frag,
+                                     const ScoringModel& model,
+                                     const Query& query, size_t n,
+                                     const QualitySwitchOptions& options) {
+  return QualitySwitchTopN(InMemoryPostingSource(&file), frag, model, query,
+                           n, options);
 }
 
 }  // namespace moa

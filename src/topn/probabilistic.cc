@@ -46,7 +46,7 @@ double InverseNormalCdf(double p) {
          ((((d[0] * q + d[1]) * q + d[2]) * q + d[3]) * q + 1);
 }
 
-Result<TopNResult> ProbabilisticTopN(const InvertedFile& file,
+Result<TopNResult> ProbabilisticTopN(const PostingSource& source,
                                      const ScoringModel& model,
                                      const Query& query, size_t n,
                                      const ProbabilisticOptions& options) {
@@ -56,7 +56,7 @@ Result<TopNResult> ProbabilisticTopN(const InvertedFile& file,
   TopNResult result;
   CostScope scope;
 
-  std::vector<double> acc = AccumulateScores(file, model, query);
+  std::vector<double> acc = AccumulateScores(source, model, query);
   std::vector<DocId> candidates;
   for (DocId d = 0; d < acc.size(); ++d) {
     if (acc[d] > 0.0) candidates.push_back(d);
@@ -126,6 +126,14 @@ Result<TopNResult> ProbabilisticTopN(const InvertedFile& file,
   }
   result.stats.cost = scope.Snapshot();
   return result;
+}
+
+Result<TopNResult> ProbabilisticTopN(const InvertedFile& file,
+                                     const ScoringModel& model,
+                                     const Query& query, size_t n,
+                                     const ProbabilisticOptions& options) {
+  return ProbabilisticTopN(InMemoryPostingSource(&file), model, query, n,
+                           options);
 }
 
 }  // namespace moa

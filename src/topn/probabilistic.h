@@ -10,6 +10,7 @@
 #define MOA_TOPN_PROBABILISTIC_H_
 
 #include "ir/query_gen.h"
+#include "storage/segment/posting_cursor.h"
 #include "topn/topn_result.h"
 
 namespace moa {
@@ -27,7 +28,14 @@ struct ProbabilisticOptions {
 };
 
 /// Probabilistic cutoff execution; safe via restart (halving the cutoff,
-/// falling back to 0 after 3 restarts).
+/// falling back to 0 after 3 restarts). The PostingSource overload is the
+/// implementation (dense accumulation through cursors, so it runs over
+/// the in-memory file, a mmap segment or a catalog snapshot); the
+/// InvertedFile overload adapts and delegates — bit-identical.
+Result<TopNResult> ProbabilisticTopN(const PostingSource& source,
+                                     const ScoringModel& model,
+                                     const Query& query, size_t n,
+                                     const ProbabilisticOptions& options);
 Result<TopNResult> ProbabilisticTopN(const InvertedFile& file,
                                      const ScoringModel& model,
                                      const Query& query, size_t n,

@@ -12,9 +12,11 @@
 // lifecycle plus a final flush+merge, after which the id spaces coincide
 // and results must match with *no* mapping at all.
 //
-// Also here: the strategy-capability contract (non-cursor strategies
-// report Unimplemented over the catalog instead of silently serving stale
-// data), tombstone visibility through every lifecycle stage, Explain's
+// Since the fragment/Fagin/probabilistic families moved onto the
+// PostingSource API, *every* registered strategy serves the catalog: the
+// parity sweep below runs AllStrategies() (fragment strategies against a
+// live-statistics fragmentation that must equal the fresh index's). Also
+// here: tombstone visibility through every lifecycle stage, Explain's
 // storage line, and the concurrency tests (mutations / attach / detach
 // racing SearchBatch — the TSan targets).
 #include <gtest/gtest.h>
@@ -47,34 +49,6 @@ DatabaseConfig BaseConfig(const std::string& catalog_dir) {
   config.fragmentation.small_volume_fraction = 0.05;
   config.catalog_dir = catalog_dir;
   return config;
-}
-
-/// Strategies that run over any PostingSource (and therefore the catalog).
-const std::vector<PhysicalStrategy>& CursorStrategies() {
-  static const std::vector<PhysicalStrategy> s = {
-      PhysicalStrategy::kFullSort,
-      PhysicalStrategy::kHeap,
-      PhysicalStrategy::kStopAfterConservative,
-      PhysicalStrategy::kStopAfterAggressive,
-      PhysicalStrategy::kMaxScore,
-      PhysicalStrategy::kQuitPrune,
-  };
-  return s;
-}
-
-/// Strategies that need the in-memory file (impact order / fragments /
-/// cutoff estimation) and must cleanly refuse catalog-only contexts.
-const std::vector<PhysicalStrategy>& FileOnlyStrategies() {
-  static const std::vector<PhysicalStrategy> s = {
-      PhysicalStrategy::kFaginFA,
-      PhysicalStrategy::kFaginTA,
-      PhysicalStrategy::kFaginNRA,
-      PhysicalStrategy::kProbabilistic,
-      PhysicalStrategy::kSmallFragment,
-      PhysicalStrategy::kQualitySwitchFull,
-      PhysicalStrategy::kQualitySwitchSparse,
-  };
-  return s;
 }
 
 /// Transposes an inverted file into per-document compositions.
@@ -139,14 +113,21 @@ struct IdSpaceReplay {
 };
 
 /// Fresh single in-memory index of one document list (the reference).
+/// Carries fragmentation + a sparse cache so the fragment strategies run
+/// against it too.
 struct Reference {
   std::unique_ptr<InvertedFile> file;
   std::unique_ptr<ScoringModel> model;
+  Fragmentation fragmentation;
+  std::unique_ptr<SparseIndexCache> sparse_cache =
+      std::make_unique<SparseIndexCache>();
 
   ExecContext context() const {
     ExecContext ctx;
     ctx.file = file.get();
     ctx.model = model.get();
+    ctx.fragmentation = &fragmentation;
+    ctx.sparse_cache = sparse_cache.get();
     return ctx;
   }
 };
@@ -161,6 +142,8 @@ Reference BuildReference(const std::vector<DocTerms>& docs) {
   ref.model = MakeBm25(ref.file.get());
   ref.file->BuildImpactOrders(
       [&](TermId t, const Posting& p) { return ref.model->Weight(t, p); });
+  ref.fragmentation =
+      Fragmentation::Build(*ref.file, BaseConfig("").fragmentation);
   return ref;
 }
 
@@ -316,10 +299,10 @@ void ExpectMappedParity(const TopNResult& expected, const TopNResult& actual,
   }
 }
 
-TEST_F(CatalogParityTest, CursorStrategiesMatchFreshIndexBitForBit) {
+TEST_F(CatalogParityTest, EveryStrategyMatchesFreshIndexBitForBit) {
   const ExecContext ref_ctx = reference_->context();
   const std::vector<DocId> mixed_map = Mapping(*mixed_);
-  for (PhysicalStrategy s : CursorStrategies()) {
+  for (PhysicalStrategy s : AllStrategies()) {
     for (const Query& q : *queries_) {
       auto expected = StrategyRegistry::Global().Execute(s, ref_ctx, q, 10,
                                                          ExecOptions{});
@@ -344,29 +327,34 @@ TEST_F(CatalogParityTest, CursorStrategiesMatchFreshIndexBitForBit) {
   }
 }
 
-TEST_F(CatalogParityTest, EveryStrategyEitherMatchesOrReportsUnimplemented) {
-  // The capability partition above must cover the registry exactly, so no
-  // strategy can silently fall through to stale in-memory state.
-  std::vector<PhysicalStrategy> all = CursorStrategies();
-  all.insert(all.end(), FileOnlyStrategies().begin(),
-             FileOnlyStrategies().end());
-  ASSERT_EQ(all.size(), AllStrategies().size());
+TEST_F(CatalogParityTest, DynamicSearchAcceptsEveryRegisteredStrategy) {
+  // The strategy×storage matrix has no Unimplemented cells left: forcing
+  // any registered strategy through the dynamic Search path must execute
+  // (and agree with the direct registry execution over the same
+  // snapshot).
   for (PhysicalStrategy s : AllStrategies()) {
-    EXPECT_NE(std::find(all.begin(), all.end(), s), all.end())
-        << StrategyName(s);
-  }
-  for (PhysicalStrategy s : FileOnlyStrategies()) {
-    auto r = mixed_->db->Execute(s, (*queries_)[0], 10);
-    ASSERT_FALSE(r.ok()) << StrategyName(s);
-    EXPECT_EQ(r.status().code(), StatusCode::kUnimplemented)
-        << StrategyName(s) << ": " << r.status().ToString();
+    SearchOptions opts;
+    opts.n = 10;
+    opts.safe_only = false;
+    opts.force = s;
+    auto r = mixed_->db->Search((*queries_)[0], opts);
+    ASSERT_TRUE(r.ok()) << StrategyName(s) << ": " << r.status().ToString();
+    EXPECT_EQ(r.ValueOrDie().strategy, s);
+    auto direct = mixed_->db->Execute(s, (*queries_)[0], 10);
+    ASSERT_TRUE(direct.ok()) << StrategyName(s);
+    ASSERT_EQ(r.ValueOrDie().top.items.size(),
+              direct.ValueOrDie().items.size());
+    for (size_t i = 0; i < direct.ValueOrDie().items.size(); ++i) {
+      EXPECT_EQ(r.ValueOrDie().top.items[i], direct.ValueOrDie().items[i])
+          << StrategyName(s) << " rank " << i;
+    }
   }
 }
 
 TEST_F(CatalogParityTest, SearchBatchOverCatalogMatchesSequential) {
   const std::vector<DocId> map = Mapping(*mixed_);
   const ExecContext ref_ctx = reference_->context();
-  for (PhysicalStrategy s : CursorStrategies()) {
+  for (PhysicalStrategy s : AllStrategies()) {
     SearchOptions opts;
     opts.n = 10;
     opts.safe_only = false;

@@ -213,6 +213,43 @@ TEST(StrategyRegistryTest, MismatchedStrategyOptionsAreRejected) {
           .ok());
 }
 
+TEST(StrategyRegistryTest, OptionRejectionNamesTheAcceptedVariant) {
+  // The message must tell the caller what the strategy *does* accept —
+  // the fix is to send that type (or none), not to guess.
+  const StrategyRegistry& registry = StrategyRegistry::Global();
+  const Query q = testutil::SmallQueries()[0];
+  const ExecContext ctx = TestContext(nullptr);
+
+  ExecOptions fagin_opts;
+  fagin_opts.strategy_options = FaginOptions{};
+  auto r = registry.Execute(PhysicalStrategy::kMaxScore, ctx, q, kN,
+                           fagin_opts);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(r.status().message().find("strategy 'maxscore'"),
+            std::string::npos)
+      << r.status().ToString();
+  EXPECT_NE(r.status().message().find("accepts MaxScoreOptions"),
+            std::string::npos)
+      << r.status().ToString();
+  EXPECT_NE(r.status().message().find("got FaginOptions"), std::string::npos)
+      << r.status().ToString();
+
+  // Strategies without typed options say so explicitly.
+  ExecOptions switch_opts;
+  switch_opts.strategy_options = QualitySwitchOptions{};
+  auto heap = registry.Execute(PhysicalStrategy::kHeap, ctx, q, kN,
+                               switch_opts);
+  ASSERT_FALSE(heap.ok());
+  EXPECT_NE(heap.status().message().find(
+                "accepts no typed strategy options (common knobs only)"),
+            std::string::npos)
+      << heap.status().ToString();
+  EXPECT_NE(heap.status().message().find("got QualitySwitchOptions"),
+            std::string::npos)
+      << heap.status().ToString();
+}
+
 TEST(StrategyRegistryTest, CommonKnobsAreAcceptedEverywhere) {
   // switch_threshold is a common hint: strategies it does not apply to
   // ignore it by design instead of erroring (Search forwards it to any

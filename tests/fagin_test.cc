@@ -146,7 +146,12 @@ TEST(FaginTest, RequiresImpactOrders) {
 TEST(FaginTest, EmptyQueryGivesEmptyResult) {
   const InvertedFile& f = SmallCollectionWithImpacts().inverted_file();
   Query empty;
-  for (auto* fn : {&FaginFA, &FaginTA, &FaginNRA}) {
+  using FileFn = Result<TopNResult> (*)(const InvertedFile&,
+                                        const ScoringModel&, const Query&,
+                                        size_t, const FaginOptions&);
+  for (FileFn fn : {static_cast<FileFn>(&FaginFA),
+                    static_cast<FileFn>(&FaginTA),
+                    static_cast<FileFn>(&FaginNRA)}) {
     auto r = (*fn)(f, SmallModel(), empty, 10, FaginOptions{});
     ASSERT_TRUE(r.ok());
     EXPECT_TRUE(r.ValueOrDie().items.empty());

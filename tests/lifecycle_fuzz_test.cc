@@ -1,0 +1,400 @@
+// Differential lifecycle fuzz harness (in the spirit of LSM-store
+// crash/differential testing): seeded random op sequences — AddDocument /
+// AddDocuments / DeleteDocument / Flush / Merge / Attach / Detach /
+// Search / SearchBatch — run against an MmDatabase, periodically checked
+// against a *fresh in-memory oracle* built from an independently replayed
+// shadow of the documented doc-id rules, across every registered
+// strategy:
+//
+//   - safe strategies must be bit-identical to the oracle under the
+//     replayed id mapping (scores EXPECT_EQ, not NEAR);
+//   - unsafe (quality) strategies must earn exactly the same
+//     precision/recall metrics (ir/metrics) against the oracle's exact
+//     ground truth as the oracle's own run of the same strategy;
+//   - no tombstoned document may ever surface, and the catalog's own
+//     LiveDocIds/statistics must agree with the replay before any result
+//     is trusted.
+//
+// CI runs a few fixed-seed iterations (deterministic); set MOA_FUZZ_ITERS
+// for long local runs, e.g.  MOA_FUZZ_ITERS=50 ctest -R lifecycle_fuzz.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <filesystem>
+#include <map>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/rng.h"
+#include "engine/database.h"
+#include "exec/registry.h"
+#include "ir/exact_eval.h"
+#include "ir/metrics.h"
+
+namespace moa {
+namespace {
+
+constexpr uint32_t kVocab = 400;
+constexpr size_t kTopN = 10;
+
+int Iterations() {
+  if (const char* env = std::getenv("MOA_FUZZ_ITERS")) {
+    const int parsed = std::atoi(env);
+    if (parsed > 0) return parsed;
+  }
+  return 3;  // fixed-seed CI default
+}
+
+/// Independent replay of the documented id rules: ids are dense in
+/// insertion order, deletes tombstone in place, flush is id-stable, a
+/// full merge drops dead flushed slots and compacts.
+struct Shadow {
+  struct Slot {
+    DocTerms terms;
+    bool alive = true;
+  };
+  std::vector<Slot> slots;
+  size_t flushed = 0;
+
+  void Add(DocTerms terms) { slots.push_back(Slot{std::move(terms), true}); }
+  void Delete(DocId id) { slots[id].alive = false; }
+  void Flush() { flushed = slots.size(); }
+  void MergeAll() {
+    std::vector<Slot> next;
+    for (size_t i = 0; i < flushed; ++i) {
+      if (slots[i].alive) next.push_back(std::move(slots[i]));
+    }
+    const size_t kept = next.size();
+    for (size_t i = flushed; i < slots.size(); ++i) {
+      next.push_back(std::move(slots[i]));
+    }
+    slots = std::move(next);
+    flushed = kept;
+  }
+
+  std::vector<DocId> LiveIds() const {
+    std::vector<DocId> live;
+    for (size_t i = 0; i < slots.size(); ++i) {
+      if (slots[i].alive) live.push_back(static_cast<DocId>(i));
+    }
+    return live;
+  }
+  size_t LiveCount() const { return LiveIds().size(); }
+};
+
+/// Fresh single-index oracle over the shadow's survivors.
+struct Oracle {
+  std::unique_ptr<InvertedFile> file;
+  std::unique_ptr<ScoringModel> model;
+  Fragmentation fragmentation;
+  std::unique_ptr<SparseIndexCache> sparse_cache =
+      std::make_unique<SparseIndexCache>();
+  std::vector<DocId> to_catalog;                 // oracle id -> catalog id
+  std::unordered_map<DocId, DocId> to_oracle;    // catalog id -> oracle id
+
+  ExecContext context() const {
+    ExecContext ctx;
+    ctx.file = file.get();
+    ctx.model = model.get();
+    ctx.fragmentation = &fragmentation;
+    ctx.sparse_cache = sparse_cache.get();
+    return ctx;
+  }
+};
+
+Oracle BuildOracle(const Shadow& shadow,
+                   const FragmentationPolicy& policy) {
+  Oracle oracle;
+  oracle.to_catalog = shadow.LiveIds();
+  InvertedFileBuilder builder(kVocab);
+  for (size_t k = 0; k < oracle.to_catalog.size(); ++k) {
+    const DocId catalog_id = oracle.to_catalog[k];
+    oracle.to_oracle.emplace(catalog_id, static_cast<DocId>(k));
+    EXPECT_TRUE(
+        builder.AddDocument(static_cast<DocId>(k),
+                            shadow.slots[catalog_id].terms)
+            .ok());
+  }
+  oracle.file = std::make_unique<InvertedFile>(builder.Build());
+  oracle.model = MakeBm25(oracle.file.get());
+  oracle.file->BuildImpactOrders([&](TermId t, const Posting& p) {
+    return oracle.model->Weight(t, p);
+  });
+  oracle.fragmentation = Fragmentation::Build(*oracle.file, policy);
+  return oracle;
+}
+
+DocTerms RandomDoc(Rng& rng) {
+  std::map<TermId, uint32_t> terms;
+  const size_t want = 5 + rng.Uniform(10);
+  while (terms.size() < want) {
+    terms.emplace(static_cast<TermId>(rng.Uniform(kVocab)),
+                  1 + static_cast<uint32_t>(rng.Uniform(4)));
+  }
+  return DocTerms(terms.begin(), terms.end());
+}
+
+std::vector<Query> RandomQueries(Rng& rng, size_t count) {
+  std::vector<Query> queries;
+  for (size_t i = 0; i < count; ++i) {
+    Query q;
+    const size_t terms = 2 + rng.Uniform(4);
+    for (size_t j = 0; j < terms; ++j) {
+      q.terms.push_back(static_cast<TermId>(rng.Uniform(kVocab)));
+    }
+    queries.push_back(std::move(q));
+  }
+  return queries;
+}
+
+/// Differential check of one strategy on one query: exact strategies
+/// bit-identical under the id mapping, quality strategies metric-equal
+/// against the oracle's exact ground truth.
+void CheckStrategy(MmDatabase& db, const Oracle& oracle, PhysicalStrategy s,
+                   const Query& q) {
+  const ExecContext ref_ctx = oracle.context();
+  auto expected =
+      StrategyRegistry::Global().Execute(s, ref_ctx, q, kTopN, ExecOptions{});
+  auto actual = db.Execute(s, q, kTopN);
+  ASSERT_TRUE(expected.ok()) << StrategyName(s) << ": "
+                             << expected.status().ToString();
+  ASSERT_TRUE(actual.ok()) << StrategyName(s) << ": "
+                           << actual.status().ToString();
+  const std::vector<ScoredDoc>& got = actual.ValueOrDie().items;
+
+  // Universal invariant: only live documents, mapped ids in range.
+  std::vector<ScoredDoc> mapped;
+  for (const ScoredDoc& sd : got) {
+    auto it = oracle.to_oracle.find(sd.doc);
+    ASSERT_NE(it, oracle.to_oracle.end())
+        << StrategyName(s) << " returned dead/unknown doc " << sd.doc;
+    mapped.push_back(ScoredDoc{it->second, sd.score});
+  }
+
+  if (IsSafeStrategy(s)) {
+    const std::vector<ScoredDoc>& ref = expected.ValueOrDie().items;
+    ASSERT_EQ(ref.size(), mapped.size()) << StrategyName(s);
+    for (size_t i = 0; i < ref.size(); ++i) {
+      EXPECT_EQ(mapped[i].doc, ref[i].doc)
+          << StrategyName(s) << " rank " << i;
+      EXPECT_EQ(mapped[i].score, ref[i].score)
+          << StrategyName(s) << " rank " << i;
+    }
+    return;
+  }
+
+  // Quality strategies: same precision/recall as the oracle's own run.
+  const std::vector<ScoredDoc> truth =
+      ExactTopN(*oracle.file, *oracle.model, q, kTopN);
+  if (truth.empty()) {
+    EXPECT_TRUE(mapped.empty()) << StrategyName(s);
+    EXPECT_TRUE(expected.ValueOrDie().items.empty()) << StrategyName(s);
+    return;
+  }
+  const std::vector<double> truth_scores =
+      AccumulateScores(*oracle.file, *oracle.model, q);
+  const QualityReport ours =
+      EvaluateQuality(mapped, truth, truth_scores);
+  const QualityReport theirs =
+      EvaluateQuality(expected.ValueOrDie().items, truth, truth_scores);
+  EXPECT_DOUBLE_EQ(ours.overlap_at_n, theirs.overlap_at_n)
+      << StrategyName(s);
+  EXPECT_DOUBLE_EQ(ours.score_ratio, theirs.score_ratio) << StrategyName(s);
+}
+
+/// Cross-checks catalog bookkeeping against the replay before trusting
+/// any differential result.
+void CheckBookkeeping(MmDatabase& db, const Shadow& shadow,
+                      const Oracle& oracle) {
+  ASSERT_TRUE(db.is_dynamic());
+  const auto state = db.catalog()->Snapshot();
+  ASSERT_EQ(state->LiveDocIds(), oracle.to_catalog);
+  ASSERT_EQ(state->stats().num_live_docs, oracle.file->num_docs());
+  ASSERT_EQ(state->stats().total_live_tokens, oracle.file->total_tokens());
+  for (TermId t = 0; t < kVocab; ++t) {
+    ASSERT_EQ(state->stats().df[t], oracle.file->DocFrequency(t))
+        << "term " << t;
+  }
+  (void)shadow;
+}
+
+void RunIteration(uint64_t seed, int iteration) {
+  SCOPED_TRACE("fuzz seed " + std::to_string(seed));
+  Rng rng(seed);
+
+  const std::string dir = std::string(::testing::TempDir()) +
+                          "/lifecycle_fuzz_" + std::to_string(iteration);
+  std::filesystem::remove_all(dir);
+  DatabaseConfig config;
+  config.collection.num_docs = 150;
+  config.collection.vocabulary = kVocab;
+  config.collection.mean_doc_length = 40;
+  config.collection.seed = seed ^ 0x5EED;
+  config.catalog_dir = dir;
+  auto opened = MmDatabase::Open(config);
+  ASSERT_TRUE(opened.ok()) << opened.status().ToString();
+  MmDatabase& db = *opened.ValueOrDie();
+
+  // ---- Static phase: save + attach a segment, spot-check, detach. ----
+  const std::string segment_path = dir + ".moaseg";
+  std::filesystem::create_directories(::testing::TempDir());
+  ASSERT_TRUE(db.SaveSegment(segment_path).ok());
+  ASSERT_TRUE(db.AttachSegment(segment_path).ok());
+  {
+    // Oracle for the static phase: the generated collection itself.
+    Shadow initial;
+    const InvertedFile& f = db.file();
+    std::vector<DocTerms> docs(f.num_docs());
+    for (TermId t = 0; t < f.num_terms(); ++t) {
+      const PostingList& list = f.list(t);
+      for (size_t i = 0; i < list.size(); ++i) {
+        docs[list[i].doc].emplace_back(t, list[i].tf);
+      }
+    }
+    for (DocTerms& d : docs) initial.Add(std::move(d));
+    const Oracle oracle = BuildOracle(initial, config.fragmentation);
+    for (const Query& q : RandomQueries(rng, 3)) {
+      for (PhysicalStrategy s : AllStrategies()) {
+        CheckStrategy(db, oracle, s, q);
+        if (::testing::Test::HasFatalFailure()) return;
+      }
+    }
+  }
+  db.DetachSegment();
+  std::remove(segment_path.c_str());
+  std::remove((segment_path + ".frg").c_str());
+
+  // ---- Dynamic phase: replayed random lifecycle. ----
+  Shadow shadow;
+  {
+    const InvertedFile& f = db.file();
+    std::vector<DocTerms> docs(f.num_docs());
+    for (TermId t = 0; t < f.num_terms(); ++t) {
+      const PostingList& list = f.list(t);
+      for (size_t i = 0; i < list.size(); ++i) {
+        docs[list[i].doc].emplace_back(t, list[i].tf);
+      }
+    }
+    for (DocTerms& d : docs) shadow.Add(std::move(d));
+  }
+
+  const int ops = 36;
+  for (int op = 0; op < ops; ++op) {
+    const uint64_t pick = rng.Uniform(100);
+    if (pick < 30) {  // AddDocument
+      DocTerms doc = RandomDoc(rng);
+      auto id = db.AddDocument(doc);
+      ASSERT_TRUE(id.ok()) << id.status().ToString();
+      ASSERT_EQ(id.ValueOrDie(), shadow.slots.size());
+      shadow.Add(std::move(doc));
+    } else if (pick < 38) {  // AddDocuments batch
+      std::vector<DocTerms> batch;
+      for (size_t i = 0; i < 1 + rng.Uniform(6); ++i) {
+        batch.push_back(RandomDoc(rng));
+      }
+      auto first = db.AddDocuments(batch);
+      ASSERT_TRUE(first.ok());
+      ASSERT_EQ(first.ValueOrDie(), shadow.slots.size());
+      for (DocTerms& d : batch) shadow.Add(std::move(d));
+    } else if (pick < 55) {  // DeleteDocument
+      const std::vector<DocId> live = shadow.LiveIds();
+      if (!live.empty()) {
+        const DocId victim = live[rng.Uniform(live.size())];
+        ASSERT_TRUE(db.DeleteDocument(victim).ok());
+        shadow.Delete(victim);
+      }
+    } else if (pick < 67) {  // Flush
+      ASSERT_TRUE(db.Flush().ok());
+      shadow.Flush();
+    } else if (pick < 75) {  // Merge (full)
+      auto merged = db.Merge();
+      ASSERT_TRUE(merged.ok()) << merged.status().ToString();
+      shadow.MergeAll();
+    } else if (pick < 80) {  // Attach/Detach are static-mode only now
+      if (db.is_dynamic()) {
+        EXPECT_EQ(db.AttachSegment(segment_path).code(),
+                  StatusCode::kFailedPrecondition);
+      }
+    } else if (pick < 92) {  // Search check round
+      if (!db.is_dynamic()) continue;
+      const Oracle oracle = BuildOracle(shadow, config.fragmentation);
+      CheckBookkeeping(db, shadow, oracle);
+      if (::testing::Test::HasFatalFailure()) return;
+      for (const Query& q : RandomQueries(rng, 2)) {
+        for (PhysicalStrategy s : AllStrategies()) {
+          CheckStrategy(db, oracle, s, q);
+          if (::testing::Test::HasFatalFailure()) return;
+        }
+      }
+    } else {  // SearchBatch check round
+      if (!db.is_dynamic()) continue;
+      const Oracle oracle = BuildOracle(shadow, config.fragmentation);
+      const std::vector<Query> queries = RandomQueries(rng, 4);
+      const PhysicalStrategy s =
+          AllStrategies()[rng.Uniform(AllStrategies().size())];
+      SearchOptions opts;
+      opts.n = kTopN;
+      opts.safe_only = false;
+      opts.force = s;
+      auto batch = db.SearchBatch(queries, opts, 4);
+      ASSERT_TRUE(batch.ok()) << StrategyName(s) << ": "
+                              << batch.status().ToString();
+      for (size_t i = 0; i < queries.size(); ++i) {
+        auto sequential = db.Execute(s, queries[i], kTopN);
+        ASSERT_TRUE(sequential.ok());
+        const auto& a = sequential.ValueOrDie().items;
+        const auto& b = batch.ValueOrDie().results[i].top.items;
+        ASSERT_EQ(a.size(), b.size()) << StrategyName(s);
+        for (size_t r = 0; r < a.size(); ++r) {
+          EXPECT_EQ(a[r], b[r]) << StrategyName(s) << " rank " << r;
+        }
+      }
+    }
+  }
+
+  // Final full differential sweep, then once more after compaction.
+  DocTerms final_doc = RandomDoc(rng);
+  ASSERT_TRUE(db.AddDocument(final_doc).ok());
+  shadow.Add(std::move(final_doc));
+  for (const bool compact : {false, true}) {
+    if (compact) {
+      ASSERT_TRUE(db.Flush().ok());
+      shadow.Flush();
+      ASSERT_TRUE(db.Merge().ok());
+      shadow.MergeAll();
+    }
+    const Oracle oracle = BuildOracle(shadow, config.fragmentation);
+    CheckBookkeeping(db, shadow, oracle);
+    if (::testing::Test::HasFatalFailure()) return;
+    for (const Query& q : RandomQueries(rng, 3)) {
+      for (PhysicalStrategy s : AllStrategies()) {
+        CheckStrategy(db, oracle, s, q);
+        if (::testing::Test::HasFatalFailure()) return;
+      }
+    }
+  }
+
+  // Explain still names the storage composition.
+  SearchOptions opts;
+  opts.force = PhysicalStrategy::kQualitySwitchSparse;
+  opts.safe_only = false;
+  auto text = db.ExplainSearch(RandomQueries(rng, 1)[0], opts);
+  ASSERT_TRUE(text.ok());
+  EXPECT_NE(text.ValueOrDie().find("storage: catalog"), std::string::npos);
+  EXPECT_NE(text.ValueOrDie().find("fragmentation:"), std::string::npos);
+
+  std::filesystem::remove_all(dir);
+}
+
+TEST(LifecycleFuzzTest, RandomLifecyclesMatchFreshOracle) {
+  const int iterations = Iterations();
+  for (int i = 0; i < iterations; ++i) {
+    RunIteration(/*seed=*/0xF0A2'0000ull + static_cast<uint64_t>(i), i);
+    if (::testing::Test::HasFatalFailure()) return;
+  }
+}
+
+}  // namespace
+}  // namespace moa

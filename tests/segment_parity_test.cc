@@ -86,6 +86,11 @@ TEST_F(SegmentParityTest, SegmentIsAttached) {
   ASSERT_TRUE(mapped_->has_segment());
   EXPECT_TRUE(mapped_->segment()->has_impacts());
   EXPECT_TRUE(mapped_->segment()->CheckIntegrity().ok());
+  // The strategy sweep below must exercise the *lazy* impact-order path:
+  // SaveSegment writes the MOAFRG01 sidecar, so the Fagin/champion
+  // accesses run over the fragment directory, not the single-fragment
+  // fallback.
+  EXPECT_TRUE(mapped_->segment()->has_fragment_directory());
   EXPECT_FALSE(in_memory_->has_segment());
 }
 
