@@ -1,5 +1,7 @@
 // E14 — posting storage formats: the raw MOAIF01 dump vs the compressed
-// block-based MOAIF02 segment. Three questions, per the storage redesign:
+// block-based segment in both payload codecs (bit-packed MOAIF03, the
+// writer default, and varbyte MOAIF02). Three questions, per the storage
+// redesign:
 //
 //  1. Space: on-disk bytes for the same collection (counter `v1_bytes`,
 //     `v2_bytes`, `v1_over_v2`). The acceptance bar is >= 2x.
@@ -55,24 +57,38 @@ std::string PathFor(const char* name) {
       .string();
 }
 
-/// Writes both formats once and returns their paths + sizes.
+/// Writes all stored formats once and returns their paths + sizes: the
+/// raw MOAIF01 dump, the bit-packed MOAIF03 segment (the writer default)
+/// and a varbyte MOAIF02 segment of the same collection for the codec
+/// head-to-head.
 struct StoredFormats {
   std::string v1_path = PathFor("index.moaif");
   std::string v2_path = PathFor("index.moaseg");
+  std::string vb_path = PathFor("index_vb.moaseg");
   uint64_t v1_bytes = 0;
   uint64_t v2_bytes = 0;
+  uint64_t vb_bytes = 0;
 
   StoredFormats() {
     MmDatabase& db = StorageDb();
     Status v1 = WriteInvertedFile(db.file(), v1_path);
     Status v2 = db.SaveSegment(v2_path);
-    if (!v1.ok() || !v2.ok()) {
-      std::fprintf(stderr, "bench_e14: write failed: %s / %s\n",
-                   v1.ToString().c_str(), v2.ToString().c_str());
+    SegmentWriterOptions vb_options;
+    vb_options.codec = SegmentCodec::kVarbyte;
+    vb_options.impact_model = db.model().name();
+    vb_options.impact_fn = [&db](TermId t, const Posting& p) {
+      return db.model().Weight(t, p);
+    };
+    Status vb = WriteSegment(db.file(), vb_path, vb_options);
+    if (!v1.ok() || !v2.ok() || !vb.ok()) {
+      std::fprintf(stderr, "bench_e14: write failed: %s / %s / %s\n",
+                   v1.ToString().c_str(), v2.ToString().c_str(),
+                   vb.ToString().c_str());
       std::abort();
     }
     v1_bytes = std::filesystem::file_size(v1_path);
     v2_bytes = std::filesystem::file_size(v2_path);
+    vb_bytes = std::filesystem::file_size(vb_path);
   }
 };
 
@@ -110,8 +126,12 @@ void BM_OnDiskSize(benchmark::State& state) {
   }
   state.counters["v1_bytes"] = static_cast<double>(Formats().v1_bytes);
   state.counters["v2_bytes"] = static_cast<double>(Formats().v2_bytes);
+  state.counters["vb_bytes"] = static_cast<double>(Formats().vb_bytes);
   state.counters["v1_over_v2"] = static_cast<double>(Formats().v1_bytes) /
                                  static_cast<double>(Formats().v2_bytes);
+  state.counters["varbyte_over_bitpacked"] =
+      static_cast<double>(Formats().vb_bytes) /
+      static_cast<double>(Formats().v2_bytes);
 }
 
 // ----------------------------------------------------------- cold start
@@ -180,10 +200,68 @@ void BM_ScanInMemoryCursor(benchmark::State& state) {
   });
 }
 
-void BM_ScanSegmentCursor(benchmark::State& state) {
+void BM_ScanSegmentCursorBitPacked(benchmark::State& state) {
   ScanBench(state, []() -> const PostingSource& {
     static const SegmentReader* reader =
         SegmentReader::Open(Formats().v2_path).ValueOrDie().release();
+    return *reader;
+  });
+}
+
+void BM_ScanSegmentCursorVarbyte(benchmark::State& state) {
+  ScanBench(state, []() -> const PostingSource& {
+    static const SegmentReader* reader =
+        SegmentReader::Open(Formats().vb_path).ValueOrDie().release();
+    return *reader;
+  });
+}
+
+/// The block-batch scan idiom (PostingCursor::block_postings): one
+/// virtual call per block instead of four per posting, so throughput is
+/// decode-bound and the codec head-to-head measures the codecs, not the
+/// shared dispatch overhead. This is the hot path BlockMaxAccumulate's
+/// dense phase runs.
+template <typename SourceFn>
+void ScanBlocksBench(benchmark::State& state, SourceFn&& source_fn) {
+  const PostingSource& source = source_fn();
+  int64_t postings = 0;
+  for (auto _ : state) {
+    uint64_t checksum = 0;
+    postings = 0;
+    for (TermId t : WorkloadTerms()) {
+      auto cursor = source.OpenCursor(t);
+      while (!cursor->at_end()) {
+        const DocId* docs;
+        const uint32_t* tfs;
+        const size_t m = cursor->block_postings(&docs, &tfs);
+        if (m == 0) {
+          checksum += cursor->doc() + cursor->tf();
+          ++postings;
+          cursor->next();
+          continue;
+        }
+        for (size_t i = 0; i < m; ++i) checksum += docs[i] + tfs[i];
+        postings += static_cast<int64_t>(m);
+        cursor->shallow_advance(cursor->block_last_doc() + 1);
+      }
+    }
+    benchmark::DoNotOptimize(checksum);
+  }
+  state.SetItemsProcessed(state.iterations() * postings);
+}
+
+void BM_ScanSegmentBlocksBitPacked(benchmark::State& state) {
+  ScanBlocksBench(state, []() -> const PostingSource& {
+    static const SegmentReader* reader =
+        SegmentReader::Open(Formats().v2_path).ValueOrDie().release();
+    return *reader;
+  });
+}
+
+void BM_ScanSegmentBlocksVarbyte(benchmark::State& state) {
+  ScanBlocksBench(state, []() -> const PostingSource& {
+    static const SegmentReader* reader =
+        SegmentReader::Open(Formats().vb_path).ValueOrDie().release();
     return *reader;
   });
 }
@@ -221,10 +299,18 @@ void BM_AdvanceInMemoryCursor(benchmark::State& state) {
   });
 }
 
-void BM_AdvanceSegmentCursor(benchmark::State& state) {
+void BM_AdvanceSegmentCursorBitPacked(benchmark::State& state) {
   AdvanceBench(state, []() -> const PostingSource& {
     static const SegmentReader* reader =
         SegmentReader::Open(Formats().v2_path).ValueOrDie().release();
+    return *reader;
+  });
+}
+
+void BM_AdvanceSegmentCursorVarbyte(benchmark::State& state) {
+  AdvanceBench(state, []() -> const PostingSource& {
+    static const SegmentReader* reader =
+        SegmentReader::Open(Formats().vb_path).ValueOrDie().release();
     return *reader;
   });
 }
@@ -293,9 +379,13 @@ BENCHMARK(BM_ColdStartRebuildMoaif01)->Unit(benchmark::kMillisecond);
 BENCHMARK(BM_ColdStartMmapOpenMoaif02)->Unit(benchmark::kMillisecond);
 BENCHMARK(BM_ScanRawVectors)->Unit(benchmark::kMillisecond);
 BENCHMARK(BM_ScanInMemoryCursor)->Unit(benchmark::kMillisecond);
-BENCHMARK(BM_ScanSegmentCursor)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_ScanSegmentCursorBitPacked)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_ScanSegmentCursorVarbyte)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_ScanSegmentBlocksBitPacked)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_ScanSegmentBlocksVarbyte)->Unit(benchmark::kMillisecond);
 BENCHMARK(BM_AdvanceInMemoryCursor)->Unit(benchmark::kMicrosecond);
-BENCHMARK(BM_AdvanceSegmentCursor)->Unit(benchmark::kMicrosecond);
+BENCHMARK(BM_AdvanceSegmentCursorBitPacked)->Unit(benchmark::kMicrosecond);
+BENCHMARK(BM_AdvanceSegmentCursorVarbyte)->Unit(benchmark::kMicrosecond);
 BENCHMARK(BM_ImpactPrefixInMemory)->Unit(benchmark::kMicrosecond);
 BENCHMARK(BM_ImpactPrefixSegmentFragmentDir)->Unit(benchmark::kMicrosecond);
 BENCHMARK(BM_ImpactPrefixSegmentSingleFragment)

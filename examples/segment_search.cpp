@@ -1,6 +1,7 @@
 // Compressed segment storage end to end: build a collection, persist it
-// as a block-compressed MOAIF02 segment, memory-map it back and serve
-// queries straight out of the compressed blocks.
+// as a block-compressed segment (the writer's default codec — bit-packed
+// MOAIF03), memory-map it back and serve queries straight out of the
+// compressed blocks.
 //
 //   $ ./example_segment_search [segment-path]
 //
@@ -15,6 +16,7 @@
 #include "engine/database.h"
 #include "ir/query_gen.h"
 #include "storage/io.h"
+#include "storage/segment/segment_writer.h"
 
 using namespace moa;
 
@@ -49,8 +51,9 @@ int main(int argc, char** argv) {
   }
   const auto raw_bytes = std::filesystem::file_size(raw_path);
   const auto segment_bytes = std::filesystem::file_size(segment_path);
-  std::printf("on disk:   MOAIF01 %8ju B   MOAIF02 %8ju B   (%.2fx smaller)\n",
-              static_cast<uintmax_t>(raw_bytes),
+  const char* fmt = SegmentFormatName(SegmentWriterOptions().codec);
+  std::printf("on disk:   MOAIF01 %8ju B   %s %8ju B   (%.2fx smaller)\n",
+              static_cast<uintmax_t>(raw_bytes), fmt,
               static_cast<uintmax_t>(segment_bytes),
               static_cast<double>(raw_bytes) /
                   static_cast<double>(segment_bytes));
@@ -70,8 +73,8 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "attach: %s\n", s.ToString().c_str());
     return 1;
   }
-  std::printf("open:      MOAIF01 rebuild %.2f ms   MOAIF02 mmap %.3f ms\n",
-              rebuild_ms, attach_timer.ElapsedMillis());
+  std::printf("open:      MOAIF01 rebuild %.2f ms   %s mmap %.3f ms\n",
+              rebuild_ms, fmt, attach_timer.ElapsedMillis());
 
   // Same queries over the in-memory lists and over the mapped segment.
   QueryWorkloadConfig qconfig;

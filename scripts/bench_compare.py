@@ -1,0 +1,124 @@
+#!/usr/bin/env python3
+"""Distill and compare the persisted benchmark snapshot (BENCH_cursor.json).
+
+Two modes:
+
+  --distill e14.json e13.json
+      Reads the Google Benchmark JSON output of bench_e14_storage and
+      bench_e13_throughput and prints the distilled snapshot schema to
+      stdout (what scripts/bench_snapshot.sh writes to BENCH_cursor.json).
+
+  baseline.json current.json
+      Compares two distilled snapshots and warns (non-fatally: exit code
+      stays 0) when any scan-throughput entry of `current` regresses more
+      than 10% against `baseline`. CI points `baseline` at the committed
+      BENCH_cursor.json and `current` at a fresh bench_snapshot.sh run.
+      Exit code 2 is reserved for malformed input, so a broken snapshot
+      never masquerades as "no regression".
+"""
+
+import json
+import sys
+
+SCHEMA = "moa-bench-cursor-v1"
+REGRESSION_THRESHOLD = 0.10
+
+# e14 benchmark name -> (section, key) in the distilled snapshot.
+E14_RATES = {
+    "BM_ScanRawVectors": ("scan", "raw_vectors"),
+    "BM_ScanInMemoryCursor": ("scan", "inmemory_cursor"),
+    "BM_ScanSegmentCursorVarbyte": ("scan", "segment_cursor_varbyte"),
+    "BM_ScanSegmentCursorBitPacked": ("scan", "segment_cursor_bitpacked"),
+    "BM_ScanSegmentBlocksVarbyte": ("scan", "segment_blocks_varbyte"),
+    "BM_ScanSegmentBlocksBitPacked": ("scan", "segment_blocks_bitpacked"),
+    "BM_AdvanceInMemoryCursor": ("advance", "inmemory_cursor"),
+    "BM_AdvanceSegmentCursorVarbyte": ("advance", "segment_cursor_varbyte"),
+    "BM_AdvanceSegmentCursorBitPacked": ("advance",
+                                         "segment_cursor_bitpacked"),
+}
+
+
+def load(path):
+    with open(path, "r", encoding="utf-8") as f:
+        return json.load(f)
+
+
+def distill(e14_path, e13_path):
+    snapshot = {
+        "schema": SCHEMA,
+        "mode": "tiny",
+        "scan": {},       # postings/second by source + idiom
+        "advance": {},    # advance_to probes/second by source
+        "size": {},       # on-disk bytes + ratios
+        "e13_qps": {},    # end-to-end batch QPS by strategy/threads
+    }
+    for bench in load(e14_path).get("benchmarks", []):
+        name = bench.get("name", "").split("/")[0]
+        if name in E14_RATES and "items_per_second" in bench:
+            section, key = E14_RATES[name]
+            snapshot[section][key] = bench["items_per_second"]
+        if name == "BM_OnDiskSize":
+            for counter in ("v1_bytes", "v2_bytes", "vb_bytes", "v1_over_v2",
+                            "varbyte_over_bitpacked"):
+                if counter in bench:
+                    snapshot["size"][counter] = bench[counter]
+    scan = snapshot["scan"]
+    if "segment_cursor_varbyte" in scan and "segment_blocks_bitpacked" in scan:
+        # The headline number: new bit-packed block-batch hot path vs the
+        # old per-posting varbyte cursor scan.
+        scan["bitpacked_blocks_over_varbyte_cursor"] = (
+            scan["segment_blocks_bitpacked"] / scan["segment_cursor_varbyte"])
+    for bench in load(e13_path).get("benchmarks", []):
+        if "qps" in bench:
+            snapshot["e13_qps"][bench["name"]] = bench["qps"]
+    return snapshot
+
+
+def compare(baseline_path, current_path):
+    baseline = load(baseline_path)
+    current = load(current_path)
+    warnings = 0
+    for section in ("scan", "advance"):
+        base = baseline.get(section, {})
+        cur = current.get(section, {})
+        for key, base_rate in base.items():
+            if key not in cur or not isinstance(base_rate, (int, float)):
+                continue
+            if base_rate <= 0:
+                continue
+            drop = 1.0 - cur[key] / base_rate
+            if drop > REGRESSION_THRESHOLD:
+                warnings += 1
+                print(
+                    f"WARNING: {section}.{key} regressed {drop:.1%} "
+                    f"({base_rate:.3g} -> {cur[key]:.3g} items/s)",
+                    file=sys.stderr)
+    if warnings:
+        print(
+            f"bench_compare: {warnings} entr{'y' if warnings == 1 else 'ies'}"
+            f" regressed >{REGRESSION_THRESHOLD:.0%} vs {baseline_path}"
+            " (non-fatal)",
+            file=sys.stderr)
+    else:
+        print(f"bench_compare: no >{REGRESSION_THRESHOLD:.0%} scan/advance"
+              f" regression vs {baseline_path}")
+    return 0
+
+
+def main(argv):
+    if len(argv) == 4 and argv[1] == "--distill":
+        json.dump(distill(argv[2], argv[3]), sys.stdout, indent=2)
+        sys.stdout.write("\n")
+        return 0
+    if len(argv) == 3:
+        return compare(argv[1], argv[2])
+    print(__doc__.strip(), file=sys.stderr)
+    return 2
+
+
+if __name__ == "__main__":
+    try:
+        sys.exit(main(sys.argv))
+    except (OSError, json.JSONDecodeError, KeyError, TypeError) as err:
+        print(f"bench_compare: malformed input: {err}", file=sys.stderr)
+        sys.exit(2)

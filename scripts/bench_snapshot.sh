@@ -1,0 +1,45 @@
+#!/usr/bin/env bash
+# Persisted benchmark trajectory: runs the storage/cursor hot-path bench
+# (bench_e14_storage) and the end-to-end batch throughput bench
+# (bench_e13_throughput), both in tiny mode so the run finishes in
+# seconds on CI hardware, and distills the tracked numbers into
+# BENCH_cursor.json at the repo root.
+#
+#   $ scripts/bench_snapshot.sh [build-dir] [output.json]
+#
+# Commit the refreshed BENCH_cursor.json together with performance PRs;
+# scripts/bench_compare.py warns when a fresh run regresses scan
+# throughput >10% against the committed snapshot. Tracked numbers:
+#   - cursor scan + advance_to throughput per codec (varbyte baseline vs
+#     bit-packed, per-posting cursor and block-batch idioms)
+#   - on-disk size ratios (MOAIF01 / varbyte / bit-packed)
+#   - batch search QPS per strategy (e13)
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+BUILD_DIR="${1:-build}"
+OUT="${2:-BENCH_cursor.json}"
+TMP_DIR="$(mktemp -d)"
+trap 'rm -rf "$TMP_DIR"' EXIT
+
+for bench in bench_e14_storage bench_e13_throughput; do
+  if [[ ! -x "$BUILD_DIR/$bench" ]]; then
+    echo "bench_snapshot: $BUILD_DIR/$bench not built" \
+         "(configure with MOA_BUILD_BENCHMARKS=ON)" >&2
+    exit 1
+  fi
+done
+
+MOA_BENCH_TINY=1 "$BUILD_DIR/bench_e14_storage" \
+  --benchmark_filter='OnDiskSize|Scan|Advance' \
+  --benchmark_min_time=0.2 \
+  --benchmark_out="$TMP_DIR/e14.json" --benchmark_out_format=json \
+  >/dev/null
+MOA_BENCH_TINY=1 "$BUILD_DIR/bench_e13_throughput" \
+  --benchmark_min_time=0.2 \
+  --benchmark_out="$TMP_DIR/e13.json" --benchmark_out_format=json \
+  >/dev/null
+
+python3 scripts/bench_compare.py \
+  --distill "$TMP_DIR/e14.json" "$TMP_DIR/e13.json" >"$OUT"
+echo "bench_snapshot: wrote $OUT"

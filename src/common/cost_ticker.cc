@@ -13,7 +13,8 @@ std::string CostCounters::ToString() const {
   std::ostringstream os;
   os << "{seq=" << sequential_reads << " rnd=" << random_reads
      << " score=" << score_evals << " cmp=" << compares
-     << " bytes=" << bytes_touched << " scalar=" << Scalar() << "}";
+     << " bytes=" << bytes_touched << " blk_dec=" << blocks_decoded
+     << " blk_skip=" << blocks_skipped << " scalar=" << Scalar() << "}";
   return os.str();
 }
 

@@ -21,12 +21,19 @@ namespace moa {
 ///  - `score_evals`: scoring-function invocations.
 ///  - `compares`: comparison operations in sorts/heaps.
 ///  - `bytes_touched`: modelled data volume (for fragment-size arguments).
+///  - `blocks_decoded` / `blocks_skipped`: compressed posting blocks a
+///    segment cursor materialized vs passed over undecoded (block-dir
+///    skips and block-max pruning). Storage-level observability for
+///    ExplainSearch; deliberately outside Scalar() so pruning changes
+///    never move the planner's abstract-cost comparisons.
 struct CostCounters {
   int64_t sequential_reads = 0;
   int64_t random_reads = 0;
   int64_t score_evals = 0;
   int64_t compares = 0;
   int64_t bytes_touched = 0;
+  int64_t blocks_decoded = 0;
+  int64_t blocks_skipped = 0;
 
   CostCounters& operator+=(const CostCounters& o) {
     sequential_reads += o.sequential_reads;
@@ -34,6 +41,8 @@ struct CostCounters {
     score_evals += o.score_evals;
     compares += o.compares;
     bytes_touched += o.bytes_touched;
+    blocks_decoded += o.blocks_decoded;
+    blocks_skipped += o.blocks_skipped;
     return *this;
   }
   friend CostCounters operator+(CostCounters a, const CostCounters& b) {
@@ -46,6 +55,8 @@ struct CostCounters {
     a.score_evals -= b.score_evals;
     a.compares -= b.compares;
     a.bytes_touched -= b.bytes_touched;
+    a.blocks_decoded -= b.blocks_decoded;
+    a.blocks_skipped -= b.blocks_skipped;
     return a;
   }
 
@@ -77,6 +88,8 @@ class CostTicker {
   static void TickScore(int64_t n = 1) { Current().score_evals += n; }
   static void TickCompare(int64_t n = 1) { Current().compares += n; }
   static void TickBytes(int64_t n) { Current().bytes_touched += n; }
+  static void TickBlockDecoded(int64_t n = 1) { Current().blocks_decoded += n; }
+  static void TickBlockSkipped(int64_t n = 1) { Current().blocks_skipped += n; }
 };
 
 /// \brief RAII frame: captures the counters delta produced inside the scope.

@@ -378,12 +378,31 @@ std::string MmDatabase::DescribeStorage() const {
   std::lock_guard<std::mutex> lock(snapshot_mutex_);
   if (segment_ != nullptr) {
     return "storage: in-memory inverted file; all strategies read mmap "
-           "segment " + segment_path_ +
+           "segment " + segment_path_ + " [" + segment_->format_name() +
+           ", " + SegmentCodecName(segment_->codec()) + " codec]" +
            (segment_->has_fragment_directory()
                 ? " (impact-ordered fragment directory)"
                 : " (no fragment directory)");
   }
   return "storage: in-memory inverted file";
+}
+
+std::string MmDatabase::DescribeBlockUsage(PhysicalStrategy strategy,
+                                           const Query& query,
+                                           size_t n) const {
+  // Best effort: re-run the query and report how the storage layer
+  // behaved. A strategy that cannot execute here (missing impacts,
+  // precondition failures) simply contributes no line — the explain
+  // itself must not fail because of it.
+  const Result<TopNResult> run = Execute(strategy, query, n);
+  if (!run.ok()) return "";
+  const CostCounters& cost = run.ValueOrDie().stats.cost;
+  std::ostringstream os;
+  os << "blocks: decoded " << cost.blocks_decoded << ", skipped "
+     << cost.blocks_skipped
+     << " (block-directory skips + block-max pruning; 0/0 over "
+        "blockless in-memory lists)\n";
+  return os.str();
 }
 
 Result<std::string> MmDatabase::ExplainSearch(
@@ -402,6 +421,7 @@ Result<std::string> MmDatabase::ExplainSearch(
       os << "fragmentation: "
          << DynamicFragmentation(*catalog_->Snapshot())->ToString() << "\n";
     }
+    os << DescribeBlockUsage(chosen, query, options.n);
     return os.str();
   }
   PlannerOptions popts;
@@ -409,7 +429,8 @@ Result<std::string> MmDatabase::ExplainSearch(
   popts.force = options.force;
   Result<RetrievalPlan> plan = planner_->Plan(query, options.n, popts);
   if (!plan.ok()) return plan.status();
-  return ExplainPlan(plan.ValueOrDie()) + DescribeStorage() + "\n";
+  return ExplainPlan(plan.ValueOrDie()) + DescribeStorage() + "\n" +
+         DescribeBlockUsage(plan.ValueOrDie().strategy, query, options.n);
 }
 
 }  // namespace moa

@@ -200,15 +200,19 @@ class MmDatabase {
   /// (tombstoned slots score 0).
   std::vector<double> GroundTruthScores(const Query& query) const;
 
-  /// Planner Explain without execution. The report ends with a
-  /// `storage:` line naming what the plan will read — the in-memory
-  /// file, an attached segment, or the catalog snapshot composition
-  /// (memtable / segment ids / merged cursor).
+  /// Planner Explain. The report carries a `storage:` line naming what
+  /// the plan will read — the in-memory file, an attached segment with
+  /// its format/codec, or the catalog snapshot composition (memtable /
+  /// segment ids / merged cursor) — and, when the chosen strategy can
+  /// execute here, a best-effort `blocks:` line from actually running the
+  /// query: compressed blocks decoded vs skipped undecoded
+  /// (block-directory skips and block-max pruning).
   Result<std::string> ExplainSearch(const Query& query,
                                     const SearchOptions& options) const;
 
-  /// Writes the collection as a compressed MOAIF02 segment (atomic
-  /// overwrite). Per-term/per-block max impacts are computed with this
+  /// Writes the collection as a compressed segment (MOAIF03 bit-packed,
+  /// the writer default; atomic overwrite).
+  /// Per-term/per-block max impacts are computed with this
   /// database's scoring model, so max-score pruning over the reopened
   /// segment takes bit-identical decisions to the in-memory path.
   /// Static mode only — a dynamic database persists through Flush.
@@ -268,6 +272,10 @@ class MmDatabase {
       const CatalogState& state) const;
   /// The `storage:` line for ExplainSearch.
   std::string DescribeStorage() const;
+  /// The `blocks:` line for ExplainSearch: runs the query with `strategy`
+  /// and reports blocks decoded/skipped; empty when execution fails.
+  std::string DescribeBlockUsage(PhysicalStrategy strategy, const Query& query,
+                                 size_t n) const;
 
   DatabaseConfig config_;
   std::unique_ptr<Collection> collection_;

@@ -39,6 +39,12 @@ class VectorPostingCursor final : public PostingCursor {
   // bound itself).
   double block_max_impact() const override { return 0.0; }
   double max_impact() const override { return 0.0; }
+  // One uncompressed block spanning the whole list — the exact skip key
+  // lets the chained cursor's shallow_advance treat the memtable component
+  // like any block-structured one.
+  DocId block_last_doc() const override {
+    return pos_ < postings_->size() ? postings_->back().doc : kEndDoc;
+  }
 
  private:
   const std::vector<Posting>* postings_;
@@ -85,9 +91,13 @@ class ChainedPostingCursor final : public PostingCursor {
     SettleOnLive();
   }
   void advance_to(DocId target) override {
-    if (doc() >= target) return;  // also covers the exhausted state
-    // Skip whole components without opening their cursors (a segment
-    // cursor decodes its first block at construction).
+    // In the shallow state doc() would force a payload decode just to
+    // test the early exit — and the logical position is the start of the
+    // current block anyway, so the inner advance below is the real test.
+    if (!shallow_ && doc() >= target) return;  // also covers exhaustion
+    if (comp_ >= comps_.size()) return;
+    shallow_ = false;
+    // Skip whole components without opening their cursors.
     size_t i = comp_;
     while (i < comps_.size() && target >= comps_[i].end) ++i;
     if (i != comp_) Enter(i);
@@ -97,11 +107,45 @@ class ChainedPostingCursor final : public PostingCursor {
         target > base ? static_cast<DocId>(target - base) : 0);
     SettleOnLive();
   }
+  void shallow_advance(DocId target) override {
+    if (comp_ >= comps_.size()) return;
+    if (shallow_) {
+      if (block_last_doc() >= target) return;  // block already spans it
+    } else {
+      if (doc() >= target) return;  // deep position already past target
+      shallow_ = true;
+    }
+    size_t i = comp_;
+    while (i < comps_.size() && target >= comps_[i].end) ++i;
+    if (i != comp_) Enter(i);
+    // Shallow-advance within the component; a block-exhausted component
+    // (every remaining block ends before the local target) hands over to
+    // the next one, whose first block trivially satisfies a target of 0.
+    while (comp_ < comps_.size()) {
+      const Component& c = comps_[comp_];
+      inner_->shallow_advance(
+          target > c.base ? static_cast<DocId>(target - c.base) : 0);
+      if (inner_->block_last_doc() != kEndDoc) return;
+      Enter(comp_ + 1);
+    }
+  }
   size_t size() const override { return live_df_; }
   /// The snapshot-exact term bound is the only impact metadata the merged
-  /// view serves; it upper-bounds every block trivially.
+  /// view serves; it upper-bounds every block trivially. Stored per-block
+  /// bounds would be tighter but are stale under moved live statistics
+  /// (BM25/LM weights do not factorize), so the merged cursor's win from
+  /// shallow_advance is decode skipping, not tighter bounds.
   double block_max_impact() const override { return max_impact_; }
   double max_impact() const override { return max_impact_; }
+  /// Inner skip key lifted into the global id space. Safe: every inner
+  /// implementation returns a real local doc id (< its component's doc
+  /// count) or kEndDoc, never the blockless kEndDoc - 1 default.
+  DocId block_last_doc() const override {
+    if (comp_ >= comps_.size()) return kEndDoc;
+    const DocId inner_last = inner_->block_last_doc();
+    if (inner_last == kEndDoc) return kEndDoc;
+    return static_cast<DocId>(comps_[comp_].base + inner_last);
+  }
 
  private:
   void Enter(size_t i) {
@@ -140,6 +184,10 @@ class ChainedPostingCursor final : public PostingCursor {
   uint32_t live_df_;
   double max_impact_;
   size_t comp_ = 0;
+  // True after a shallow_advance: the inner cursor is block-positioned but
+  // not settled on a live posting; doc()/next() need a deep advance first
+  // (the PostingCursor contract for the shallow state).
+  bool shallow_ = false;
   std::unique_ptr<PostingCursor> inner_;
 };
 
@@ -305,7 +353,7 @@ std::string CatalogState::Describe() const {
     for (size_t i = 0; i < segments_.size(); ++i) {
       if (i > 0) os << ", ";
       os << "seg " << segments_[i]->id << ": " << segments_[i]->num_docs()
-         << " docs";
+         << " docs " << segments_[i]->reader->format_name();
       if (segments_[i]->num_deleted > 0) {
         os << " (" << segments_[i]->num_deleted << " tombstoned)";
       }

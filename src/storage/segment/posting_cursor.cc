@@ -37,6 +37,13 @@ class InMemoryPostingCursor final : public PostingCursor {
   size_t size() const override { return list_->size(); }
   double block_max_impact() const override { return max_impact(); }
   double max_impact() const override { return list_->max_weight(); }
+  /// One uncompressed block spanning the whole list: its skip key is the
+  /// list's final doc id (exact, unlike the base-class conservative
+  /// default), so a pruning loop that rules out max_impact() skips the
+  /// entire remaining list in one shallow step.
+  DocId block_last_doc() const override {
+    return pos_ < list_->size() ? list_->postings().back().doc : kEndDoc;
+  }
 
  private:
   const PostingList* list_;

@@ -21,10 +21,24 @@
 //    the scoring weight of any posting in the term / in the current block.
 //    It is only meaningful when the source HasImpacts for the term; the
 //    in-memory implementation treats the whole list as one block.
+//  - shallow_advance(target) moves only the *block* position: afterwards
+//    the current block is the first one whose block_last_doc() >= target
+//    (or the cursor is block-exhausted, block_last_doc() == kEndDoc) and
+//    no payload has been decoded. In the shallow state only
+//    block_max_impact(), block_last_doc(), shallow_advance() and
+//    advance_to() are meaningful; doc()/tf()/next() require a deep
+//    advance_to first. Block-max pruning loops live on this: bound-check
+//    a block via block_max_impact(), then either decode it (advance_to)
+//    or skip it wholesale (shallow_advance(block_last_doc() + 1)).
+//    Implementations without block structure default shallow_advance to
+//    advance_to — always correct, just never cheaper.
 //
 // Cost accounting stays in the algorithms (CostTicker ticks per posting
 // touched), not in the cursors, so switching representations does not
-// change the deterministic work counters.
+// change the deterministic work counters. The single exception is the
+// blocks_decoded/blocks_skipped pair: those are ticked by block-structured
+// cursors themselves, because they exist precisely to observe
+// representation-level behaviour (and stay outside CostCounters::Scalar).
 #ifndef MOA_STORAGE_SEGMENT_POSTING_CURSOR_H_
 #define MOA_STORAGE_SEGMENT_POSTING_CURSOR_H_
 
@@ -56,12 +70,41 @@ class PostingCursor {
   virtual void next() = 0;
   /// Moves to the first posting with doc >= target; no-op if already there.
   virtual void advance_to(DocId target) = 0;
+  /// Moves the *block* position to the first block that could contain a
+  /// posting with doc >= target, without decoding any payload (see the
+  /// contract in the file comment). The default deep-advances — correct
+  /// for blockless cursors, which serve the whole list as one block.
+  virtual void shallow_advance(DocId target) { advance_to(target); }
   /// Total number of postings (the term's document frequency).
   virtual size_t size() const = 0;
   /// Upper bound on the weight of any posting in the current block.
   virtual double block_max_impact() const = 0;
   /// Upper bound on the weight of any posting of the term.
   virtual double max_impact() const = 0;
+  /// Largest doc id in the current block — the block's skip key: no
+  /// posting with doc > block_last_doc() exists in the current block, and
+  /// shallow_advance(block_last_doc() + 1) skips it without decoding.
+  /// kEndDoc iff the cursor is exhausted at block level. The conservative
+  /// default (kEndDoc - 1 while postings remain) is correct for blockless
+  /// cursors whose block_max_impact spans the rest of the list.
+  virtual DocId block_last_doc() const {
+    return at_end() ? kEndDoc : kEndDoc - 1;
+  }
+
+  /// Bulk read: exposes the remaining postings of the current block as
+  /// directly addressable arrays (*docs)[0..n) / (*tfs)[0..n), decoding
+  /// the block if necessary. Returns 0 when exhausted or when the
+  /// implementation has no contiguous columnar block representation (the
+  /// default; callers then fall back to doc()/tf()/next()). The pointers
+  /// stay valid until the cursor moves. Consume the batch, then step with
+  /// shallow_advance(block_last_doc() + 1): one virtual call per block
+  /// instead of four per posting — the segment scan hot path.
+  virtual size_t block_postings(const DocId** docs,
+                                const uint32_t** tfs) const {
+    (void)docs;
+    (void)tfs;
+    return 0;
+  }
 
   bool at_end() const { return doc() == kEndDoc; }
 };

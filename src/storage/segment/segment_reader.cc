@@ -11,6 +11,7 @@
 #include <utility>
 #include <vector>
 
+#include "common/cost_ticker.h"
 #include "storage/segment/block_codec.h"
 
 namespace moa {
@@ -26,27 +27,40 @@ T LoadPod(const uint8_t* base, uint64_t index) {
   return value;
 }
 
-/// Cursor over one term's compressed blocks. Decodes lazily, one block at
-/// a time, into small per-cursor buffers; advance_to first tries the
-/// current block, then binary-searches the block directory by last_doc.
+/// Cursor over one term's compressed blocks. The block *position* (which
+/// directory entry is current) and the block *payload* (the decoded
+/// docs/tfs arrays) are tracked separately: moving the position is a
+/// directory read, decoding is deferred until doc()/tf() actually need
+/// postings. That split is what makes shallow_advance free — block-max
+/// pruning moves the position across the directory, inspects
+/// block_max_impact()/block_last_doc(), and only pays DecodePostingBlock
+/// for blocks that survive the bound check. advance_to gallops over the
+/// block directory (exponential probe + binary search), so short hops —
+/// the common case in ordered probing — cost O(1) directory reads while
+/// long skips stay O(log distance).
 class BlockPostingCursor final : public PostingCursor {
  public:
-  BlockPostingCursor(const uint8_t* blocks, uint32_t num_blocks,
-                     const uint8_t* payload, uint64_t payload_bytes,
-                     uint32_t df, double max_impact)
-      : blocks_(blocks),
+  BlockPostingCursor(SegmentCodec codec, const uint8_t* blocks,
+                     uint32_t num_blocks, const uint8_t* payload,
+                     uint64_t payload_bytes, uint32_t df, double max_impact)
+      : codec_(codec),
+        blocks_(blocks),
         num_blocks_(num_blocks),
         payload_(payload),
         payload_bytes_(payload_bytes),
         df_(df),
         max_impact_(max_impact) {
-    if (num_blocks_ > 0) LoadBlock(0);
+    if (num_blocks_ > 0) SetBlock(0);
   }
 
   DocId doc() const override {
+    if (block_idx_ >= num_blocks_) return kEndDoc;
+    EnsureDecoded();
     return block_idx_ < num_blocks_ ? docs_[pos_] : kEndDoc;
   }
   uint32_t tf() const override {
+    if (block_idx_ >= num_blocks_) return 0;
+    EnsureDecoded();
     return block_idx_ < num_blocks_ ? tfs_[pos_] : 0;
   }
   size_t size() const override { return df_; }
@@ -54,35 +68,51 @@ class BlockPostingCursor final : public PostingCursor {
     return block_idx_ < num_blocks_ ? current_.max_impact : 0.0;
   }
   double max_impact() const override { return max_impact_; }
+  DocId block_last_doc() const override {
+    return block_idx_ < num_blocks_ ? current_.last_doc : kEndDoc;
+  }
 
   void next() override {
     if (block_idx_ >= num_blocks_) return;
+    EnsureDecoded();
+    if (block_idx_ >= num_blocks_) return;  // decode failed, now exhausted
     if (++pos_ < current_.count) return;
-    if (++block_idx_ < num_blocks_) LoadBlock(block_idx_);
+    if (block_idx_ + 1 < num_blocks_) {
+      SetBlock(block_idx_ + 1);
+    } else {
+      block_idx_ = num_blocks_;
+    }
   }
 
   void advance_to(DocId target) override {
-    if (doc() >= target) return;  // also covers the exhausted state
-    if (target > current_.last_doc) {
-      // Skip: first block whose last_doc can contain the target.
-      uint32_t lo = block_idx_ + 1, hi = num_blocks_;
-      while (lo < hi) {
-        const uint32_t mid = lo + (hi - lo) / 2;
-        if (Entry(mid).last_doc < target) {
-          lo = mid + 1;
-        } else {
-          hi = mid;
-        }
-      }
-      block_idx_ = lo;
-      if (block_idx_ >= num_blocks_) return;  // past the end
-      LoadBlock(block_idx_);
-    }
+    if (block_idx_ >= num_blocks_) return;
+    // Only consult the decoded position when it exists — checking doc()
+    // here would defeat the lazy decode after a shallow_advance.
+    if (decoded_ && docs_[pos_] >= target) return;
+    if (target > current_.last_doc && !GallopToBlock(target)) return;
+    EnsureDecoded();
+    if (block_idx_ >= num_blocks_) return;  // decode failed, now exhausted
     pos_ = static_cast<uint32_t>(
-        std::lower_bound(docs_.begin(), docs_.begin() + current_.count,
+        std::lower_bound(docs_.begin() + pos_, docs_.begin() + current_.count,
                          target) -
         docs_.begin());
     // target <= current block's last_doc, so pos_ < count here.
+  }
+
+  void shallow_advance(DocId target) override {
+    if (block_idx_ >= num_blocks_) return;
+    if (current_.last_doc >= target) return;  // block already spans target
+    GallopToBlock(target);
+  }
+
+  size_t block_postings(const DocId** docs,
+                        const uint32_t** tfs) const override {
+    if (block_idx_ >= num_blocks_) return 0;
+    EnsureDecoded();
+    if (block_idx_ >= num_blocks_) return 0;  // decode failed
+    *docs = docs_.data() + pos_;
+    *tfs = tfs_.data() + pos_;
+    return current_.count - pos_;
   }
 
  private:
@@ -90,27 +120,78 @@ class BlockPostingCursor final : public PostingCursor {
     return LoadPod<BlockDirEntry>(blocks_, i);
   }
 
-  void LoadBlock(uint32_t i) {
+  /// Moves the block position to directory entry i without decoding.
+  void SetBlock(uint32_t i) {
+    block_idx_ = i;
     current_ = Entry(i);
-    const uint64_t end = (i + 1 < num_blocks_)
-                             ? Entry(i + 1).offset
+    decoded_ = false;
+    pos_ = 0;
+  }
+
+  /// Decodes the current block's payload on first touch. const because
+  /// doc()/tf() trigger it; the decoded arrays are caching state, not
+  /// logical position.
+  void EnsureDecoded() const {
+    if (decoded_ || block_idx_ >= num_blocks_) return;
+    const uint64_t end = (block_idx_ + 1 < num_blocks_)
+                             ? Entry(block_idx_ + 1).offset
                              : payload_bytes_;
     docs_.resize(current_.count);
     tfs_.resize(current_.count);
-    Status decoded = DecodePostingBlock(
-        payload_ + current_.offset, end - current_.offset, current_.count,
-        current_.last_doc, docs_.data(), tfs_.data());
-    if (!decoded.ok()) {
+    Status status = DecodePostingBlock(
+        codec_, payload_ + current_.offset, end - current_.offset,
+        current_.count, current_.last_doc, docs_.data(), tfs_.data());
+    if (!status.ok()) {
       // Unreachable on verified segments: Open validates the directories
       // and AttachSegment runs CheckIntegrity over the payload by default,
       // so only post-attach corruption (or an explicit verify opt-out)
       // lands here. The cursor API has no error channel; fail closed and
       // behave as exhausted instead of serving garbage.
       block_idx_ = num_blocks_;
+      return;
     }
-    pos_ = 0;
+    decoded_ = true;
+    CostTicker::TickBlockDecoded();
   }
 
+  /// Moves the block position to the first block with last_doc >= target
+  /// via galloping search over the directory; requires
+  /// target > current_.last_doc. Returns false (and exhausts the cursor)
+  /// when no such block exists. Ticks one skipped block per block passed
+  /// over undecoded — including the departed block if its payload was
+  /// never materialized.
+  bool GallopToBlock(DocId target) {
+    const uint32_t from = block_idx_;
+    const int64_t undecoded_from = decoded_ ? 0 : 1;
+    // Exponential probe: bracket the answer in (lo - 1, probe].
+    uint32_t lo = from + 1;
+    uint32_t probe = lo;
+    uint64_t step = 1;
+    while (probe < num_blocks_ && Entry(probe).last_doc < target) {
+      lo = probe + 1;
+      const uint64_t next = static_cast<uint64_t>(from) + (step *= 2);
+      probe = next < num_blocks_ ? static_cast<uint32_t>(next) : num_blocks_;
+    }
+    uint32_t hi = probe;
+    while (lo < hi) {
+      const uint32_t mid = lo + (hi - lo) / 2;
+      if (Entry(mid).last_doc < target) {
+        lo = mid + 1;
+      } else {
+        hi = mid;
+      }
+    }
+    if (lo >= num_blocks_) {
+      CostTicker::TickBlockSkipped((num_blocks_ - from - 1) + undecoded_from);
+      block_idx_ = num_blocks_;
+      return false;
+    }
+    CostTicker::TickBlockSkipped((lo - from - 1) + undecoded_from);
+    SetBlock(lo);
+    return true;
+  }
+
+  SegmentCodec codec_;
   const uint8_t* blocks_;
   uint32_t num_blocks_;
   const uint8_t* payload_;
@@ -118,11 +199,14 @@ class BlockPostingCursor final : public PostingCursor {
   uint32_t df_;
   double max_impact_;
 
-  uint32_t block_idx_ = 0;
+  // block_idx_ and the decode cache are mutable: EnsureDecoded runs from
+  // const accessors and must be able to fail closed.
+  mutable uint32_t block_idx_ = 0;
   uint32_t pos_ = 0;
   BlockDirEntry current_{};
-  std::vector<DocId> docs_;
-  std::vector<uint32_t> tfs_;
+  mutable bool decoded_ = false;
+  mutable std::vector<DocId> docs_;
+  mutable std::vector<uint32_t> tfs_;
 };
 
 }  // namespace
@@ -165,6 +249,29 @@ Result<std::unique_ptr<SegmentReader>> SegmentReader::Open(
   reader->term_dir_ = reader->data_ + layout.term_dir;
   reader->block_dir_ = reader->data_ + layout.block_dir;
   reader->payload_ = reader->data_ + layout.payload;
+
+#ifdef MADV_RANDOM
+  // Paging hints, purely advisory and ignored on failure (and compiled out
+  // entirely where madvise is unavailable). The header and directories are
+  // scanned up-front by Validate and re-read by every skip, so ask the
+  // kernel to fault them in eagerly; the payload is touched in
+  // query-driven order — block-max pruning makes it genuinely random — so
+  // turn off readahead there instead of letting sequential heuristics
+  // drag in blocks the pruning loop just decided to skip.
+  {
+    uint8_t* base = const_cast<uint8_t*>(reader->data_);
+    const long page = ::sysconf(_SC_PAGESIZE);
+    if (page > 0 && layout.payload > 0) {
+      ::madvise(base, static_cast<size_t>(layout.payload), MADV_WILLNEED);
+      const uint64_t payload_page =
+          layout.payload & ~(static_cast<uint64_t>(page) - 1);
+      if (payload_page < size) {
+        ::madvise(base + payload_page,
+                  static_cast<size_t>(size - payload_page), MADV_RANDOM);
+      }
+    }
+  }
+#endif
 
   // Optional MOAFRG01 sidecar: absent is fine (no lazy impact order), but
   // a sidecar that exists and disagrees with the segment must fail the
@@ -265,10 +372,18 @@ Status SegmentReader::AttachFragmentDirectory(
   return Status::OK();
 }
 
-Status SegmentReader::Validate() const {
+Status SegmentReader::Validate() {
   const SegmentHeader& h = header_;
-  if (std::memcmp(h.magic, kSegmentMagic, sizeof(h.magic)) != 0) {
-    return Status::InvalidArgument("segment: bad magic (not MOAIF02)");
+  // The magic doubles as the format version: MOAIF02 carries varbyte
+  // payload, MOAIF03 the bit-packed codec. Directories and header layout
+  // are identical, so the codec is the only thing negotiated here.
+  if (std::memcmp(h.magic, kSegmentMagic, sizeof(h.magic)) == 0) {
+    codec_ = SegmentCodec::kVarbyte;
+  } else if (std::memcmp(h.magic, kSegmentMagicV3, sizeof(h.magic)) == 0) {
+    codec_ = SegmentCodec::kBitPacked;
+  } else {
+    return Status::InvalidArgument(
+        "segment: bad magic (not MOAIF02/MOAIF03)");
   }
   if (h.block_size == 0 || h.block_size > (1u << 20)) {
     return Status::InvalidArgument("segment: implausible block size");
@@ -425,7 +540,7 @@ uint32_t SegmentReader::DocLength(DocId d) const {
 std::unique_ptr<PostingCursor> SegmentReader::OpenCursor(TermId t) const {
   const TermDirEntry entry = term_entry(t);
   return std::make_unique<BlockPostingCursor>(
-      block_dir_ + entry.block_begin * sizeof(BlockDirEntry),
+      codec_, block_dir_ + entry.block_begin * sizeof(BlockDirEntry),
       entry.block_count, payload_ + entry.payload_offset,
       term_payload_bytes(entry, t), entry.df, entry.max_impact);
 }
@@ -461,6 +576,7 @@ class SegmentFragmentCursor final : public FragmentCursor {
                                    ? BlockEntry(end_block).offset
                                    : term_payload_bytes_;
     return std::make_unique<BlockPostingCursor>(
+        reader_->codec(),
         reader_->block_dir_ + (term_.block_begin + fr.block_begin) *
                                   sizeof(BlockDirEntry),
         fr.block_count, reader_->payload_ + term_.payload_offset, end_bytes,
@@ -508,7 +624,7 @@ Status SegmentReader::CheckIntegrity() const {
               : payload_bytes;
       docs.resize(be.count);
       tfs.resize(be.count);
-      MOA_RETURN_NOT_OK(DecodePostingBlock(payload + be.offset,
+      MOA_RETURN_NOT_OK(DecodePostingBlock(codec_, payload + be.offset,
                                            end - be.offset, be.count,
                                            be.last_doc, docs.data(),
                                            tfs.data()));

@@ -1,5 +1,6 @@
-// MOAIF02 segment writer: compresses an InvertedFile into the
-// block-structured on-disk format of segment_format.h.
+// Segment writer: compresses an InvertedFile into the block-structured
+// on-disk format of segment_format.h (MOAIF03 bit-packed by default,
+// MOAIF02 varbyte via SegmentWriterOptions::codec).
 //
 // Writes go to `path + ".tmp"` and are atomically renamed into place, so
 // a crash mid-write never leaves a half-written segment at `path`.
@@ -21,6 +22,12 @@ struct SegmentWriterOptions {
   /// Max postings per block. Smaller blocks skip better, larger blocks
   /// compress better; 128 is the production-IR sweet spot.
   uint32_t block_size = kDefaultSegmentBlockSize;
+  /// Payload codec (and thereby the file magic: MOAIF02 for varbyte,
+  /// MOAIF03 for bit-packed). Bit-packed is the default — it decodes a
+  /// whole block in two constant-width loops instead of one varbyte state
+  /// machine per integer; varbyte stays available for compatibility and
+  /// for the codec benchmarks.
+  SegmentCodec codec = SegmentCodec::kBitPacked;
   /// Optional scoring weight w(t, posting). When set, per-term and
   /// per-block max impacts are stored (kFlagHasImpacts) and max-score
   /// pruning works directly over the segment. Must be the same arithmetic

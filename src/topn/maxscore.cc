@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <unordered_map>
 
+#include "topn/block_max.h"
+
 namespace moa {
 
 Result<TopNResult> MaxScoreTopN(const PostingSource& source,
@@ -30,66 +32,18 @@ Result<TopNResult> MaxScoreTopN(const PostingSource& source,
     return a < b;
   });
 
-  // Suffix sums of max weights: remaining[i] = max score obtainable from
-  // terms[i..] alone.
-  std::vector<double> remaining(terms.size() + 1, 0.0);
-  for (size_t i = terms.size(); i-- > 0;) {
-    remaining[i] = remaining[i + 1] + source.MaxImpact(terms[i]);
-  }
-
-  std::unordered_map<DocId, double> acc;
-  bool inserting = true;
-
-  // Cheap running lower bound for the n-th best score: exact tracking per
-  // posting would need a heap per update; a periodically refreshed bound
-  // is enough because a *lower* bound only delays (never unsoundly
-  // triggers) pruning.
-  double nth_lower = 0.0;
-  auto refresh_nth = [&]() {
-    if (acc.size() < n || n == 0) {
-      nth_lower = 0.0;
-      return;
-    }
-    std::vector<double> scores;
-    scores.reserve(acc.size());
-    for (const auto& [d, s] : acc) scores.push_back(s);
-    std::nth_element(scores.begin(), scores.begin() + (n - 1), scores.end(),
-                     std::greater<double>());
-    nth_lower = scores[n - 1];
-    CostTicker::TickCompare(static_cast<int64_t>(acc.size()));
-  };
-
-  for (size_t i = 0; i < terms.size(); ++i) {
-    refresh_nth();
-    if (n > 0 && acc.size() >= n && nth_lower >= remaining[i]) {
-      // No unseen document can reach the top n anymore.
-      if (options.mode == PruneMode::kQuit) {
-        result.stats.stopped_early = true;
-        break;
-      }
-      inserting = false;
-    }
-    const TermId t = terms[i];
-    for (auto cursor = source.OpenCursor(t); !cursor->at_end();
-         cursor->next()) {
-      CostTicker::TickSeq();
-      const Posting p{cursor->doc(), cursor->tf()};
-      auto it = acc.find(p.doc);
-      if (it != acc.end()) {
-        CostTicker::TickScore();
-        it->second += model.Weight(t, p);
-      } else if (inserting &&
-                 (options.accumulator_budget == 0 ||
-                  acc.size() < options.accumulator_budget)) {
-        CostTicker::TickScore();
-        acc.emplace(p.doc, model.Weight(t, p));
-      }
-      // else: pruned — the posting is read but not scored.
-    }
-    if (!inserting && options.mode == PruneMode::kContinue) {
-      result.stats.stopped_early = true;  // pruning engaged
-    }
-  }
+  // Accumulation with the classic non-strict engagement test (the result
+  // is exact up to score ties); once pruning engages, the helper probes
+  // block-max bounds instead of scanning the remaining lists.
+  BlockMaxOptions bm;
+  bm.n = n;
+  bm.mode = options.mode;
+  bm.accumulator_budget = options.accumulator_budget;
+  bm.strict = false;
+  BlockMaxOutcome outcome;
+  std::unordered_map<DocId, double> acc =
+      BlockMaxAccumulate(source, model, terms, bm, &outcome);
+  result.stats.stopped_early = outcome.stopped_early;
 
   // Final selection.
   result.stats.candidates = static_cast<int64_t>(acc.size());

@@ -6,6 +6,7 @@
 #include "common/histogram.h"
 #include "common/rng.h"
 #include "ir/exact_eval.h"
+#include "topn/block_max.h"
 
 namespace moa {
 namespace {
@@ -33,11 +34,46 @@ Result<TopNResult> StopAfterTopN(const PostingSource& source,
   TopNResult result;
   CostScope scope;
 
-  // Scoring stage (common to both placements): dense accumulation.
-  std::vector<double> acc = AccumulateScores(source, model, query);
-  std::vector<DocId> candidates;
-  for (DocId d = 0; d < acc.size(); ++d) {
-    if (acc[d] > 0.0) candidates.push_back(d);
+  // Scoring stage (common to both placements): accumulation over the query
+  // terms in query order. When the source carries impact bounds, the
+  // block-max helper prunes with *strict* engagement — every document it
+  // drops scores strictly below the final n-th score, so the tie-broken
+  // top n (and hence both placements' answers) is bit-identical to the
+  // dense scan; only the sub-n candidate pool shrinks. Without bounds
+  // (or with n == 0) it falls back to the dense scan.
+  std::vector<TermId> terms;
+  bool can_prune = n > 0;
+  for (TermId t : query.terms) {
+    if (source.DocFrequency(t) == 0) continue;
+    if (!source.HasImpacts(t)) {
+      can_prune = false;
+      break;
+    }
+    terms.push_back(t);
+  }
+
+  std::vector<ScoredDoc> candidates;  // positive-score docs, doc ascending
+  if (can_prune) {
+    BlockMaxOptions bm;
+    bm.n = n;
+    bm.mode = PruneMode::kContinue;
+    bm.strict = true;
+    BlockMaxOutcome outcome;
+    const std::unordered_map<DocId, double> acc =
+        BlockMaxAccumulate(source, model, terms, bm, &outcome);
+    candidates.reserve(acc.size());
+    for (const auto& [d, s] : acc) {
+      if (s > 0.0) candidates.push_back(ScoredDoc{d, s});
+    }
+    std::sort(candidates.begin(), candidates.end(),
+              [](const ScoredDoc& a, const ScoredDoc& b) {
+                return a.doc < b.doc;
+              });
+  } else {
+    const std::vector<double> acc = AccumulateScores(source, model, query);
+    for (DocId d = 0; d < acc.size(); ++d) {
+      if (acc[d] > 0.0) candidates.push_back(ScoredDoc{d, acc[d]});
+    }
   }
   result.stats.candidates = static_cast<int64_t>(candidates.size());
 
@@ -45,9 +81,9 @@ Result<TopNResult> StopAfterTopN(const PostingSource& source,
     // Materialize everything, bounded sort-stop above.
     std::vector<ScoredDoc> buffer;
     buffer.reserve(candidates.size());
-    for (DocId d : candidates) {
+    for (const ScoredDoc& c : candidates) {
       CostTicker::TickBytes(16);
-      buffer.push_back(ScoredDoc{d, acc[d]});
+      buffer.push_back(c);
     }
     result.items = SortStop(std::move(buffer), n);
     result.stats.cost = scope.Snapshot();
@@ -62,9 +98,8 @@ Result<TopNResult> StopAfterTopN(const PostingSource& source,
   std::vector<double> sample;
   sample.reserve(sample_size);
   for (size_t i = 0; i < sample_size; ++i) {
-    const DocId d = candidates[rng.Uniform(candidates.size())];
     CostTicker::TickRandom();
-    sample.push_back(acc[d]);
+    sample.push_back(candidates[rng.Uniform(candidates.size())].score);
   }
 
   double cutoff = 0.0;
@@ -81,11 +116,11 @@ Result<TopNResult> StopAfterTopN(const PostingSource& source,
 
   for (;;) {
     std::vector<ScoredDoc> survivors;
-    for (DocId d : candidates) {
+    for (const ScoredDoc& c : candidates) {
       CostTicker::TickCompare();
-      if (acc[d] >= cutoff) {
+      if (c.score >= cutoff) {
         CostTicker::TickBytes(16);
-        survivors.push_back(ScoredDoc{d, acc[d]});
+        survivors.push_back(c);
       }
     }
     if (survivors.size() >= std::min(n, candidates.size())) {

@@ -2,6 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdio>
+#include <string>
+
 namespace moa {
 namespace {
 
@@ -115,6 +118,35 @@ TEST_F(MmDatabaseTest, ExplainListsAlternatives) {
   auto text = db_->ExplainSearch((*queries_)[0], opts);
   ASSERT_TRUE(text.ok());
   EXPECT_NE(text.ValueOrDie().find("chosen:"), std::string::npos);
+}
+
+TEST_F(MmDatabaseTest, ExplainReportsCodecAndSkippedBlocksOverSegment) {
+  // Acceptance: over a block-structured segment, a pruned query's explain
+  // must name the codec and show a nonzero skipped-block count (block-max
+  // pruning at work). Small blocks make skips plentiful.
+  const std::string path =
+      std::string(::testing::TempDir()) + "/db_explain_blocks.moaseg";
+  ASSERT_TRUE(db_->SaveSegment(path, /*block_size=*/8).ok());
+  ASSERT_TRUE(db_->AttachSegment(path).ok());
+  SearchOptions opts;
+  opts.n = 5;
+  opts.force = PhysicalStrategy::kMaxScore;
+  long long max_skipped = 0;
+  for (const Query& q : *queries_) {
+    auto text = db_->ExplainSearch(q, opts);
+    ASSERT_TRUE(text.ok()) << text.status().ToString();
+    const std::string& s = text.ValueOrDie();
+    EXPECT_NE(s.find("bit-packed codec"), std::string::npos) << s;
+    const auto pos = s.find("blocks: decoded ");
+    ASSERT_NE(pos, std::string::npos) << s;
+    const auto skipped_pos = s.find("skipped ", pos);
+    ASSERT_NE(skipped_pos, std::string::npos) << s;
+    max_skipped = std::max(
+        max_skipped, std::atoll(s.c_str() + skipped_pos + 8));
+  }
+  db_->DetachSegment();
+  std::remove(path.c_str());
+  EXPECT_GT(max_skipped, 0) << "no query skipped any block";
 }
 
 TEST_F(MmDatabaseTest, SearchReportsWallTimeAndStats) {

@@ -56,9 +56,11 @@ TEST(MaxScoreTest, ContinueScoresFewerPostingsThanExhaustive) {
     for (TermId t : q.terms) volume += f.DocFrequency(t);
     auto r = MaxScoreTopN(f, SmallModel(), q, 5);
     ASSERT_TRUE(r.ok());
-    // Every posting is still *read* (term-at-a-time), but scoring skips
-    // pruned documents.
-    EXPECT_EQ(r.ValueOrDie().stats.cost.sequential_reads, volume);
+    // Once pruning engages, remaining terms are probed per accumulator
+    // (random reads) instead of scanned, so sequential reads can only
+    // drop below the full posting volume; scoring still skips pruned
+    // documents.
+    EXPECT_LE(r.ValueOrDie().stats.cost.sequential_reads, volume);
     EXPECT_LE(r.ValueOrDie().stats.cost.score_evals, volume);
   }
 }

@@ -1,11 +1,16 @@
 // Cursor-API conformance suite: the PostingCursor contract
 // (storage/segment/posting_cursor.h) must hold identically for every
 // implementation — the in-memory adapter over an InvertedFile, the lazy
-// block-decoding cursor over a compressed MOAIF02 segment (at a block
-// size small enough that every list spans several blocks, so advance_to
-// crosses block boundaries, and at the production default), and the
-// catalog's chained/merged tombstone-filtering cursor over a
+// block-decoding cursor over compressed segments in *both* payload codecs
+// (bit-packed MOAIF03, the writer default, and varbyte MOAIF02; each at a
+// block size small enough that every list spans several blocks, so
+// advance_to crosses block boundaries, and at the production default),
+// and the catalog's chained/merged tombstone-filtering cursor over a
 // segments+memtable snapshot whose live documents equal the reference.
+//
+// Set MOA_CODEC=varbyte or MOA_CODEC=bit-packed to restrict the
+// segment-backed parameterizations to one codec (the in-memory and
+// catalog sources always run).
 //
 // Also here: the FragmentCursor contract (fragments partition each list,
 // descend in max impact, and each fragment's sub-cursor obeys the full
@@ -15,12 +20,15 @@
 #include <gtest/gtest.h>
 
 #include <cstdio>
+#include <cstdlib>
 #include <filesystem>
 #include <map>
 #include <memory>
+#include <optional>
 #include <string>
 #include <vector>
 
+#include "common/cost_ticker.h"
 #include "ir/scoring.h"
 #include "storage/catalog/index_catalog.h"
 #include "storage/inverted_file.h"
@@ -55,8 +63,12 @@ struct Fixture {
   std::unique_ptr<ScoringModel> model;
   std::string segment4_path;
   std::string segment128_path;
+  std::string segment4_vb_path;
+  std::string segment128_vb_path;
   std::unique_ptr<SegmentReader> segment4;
   std::unique_ptr<SegmentReader> segment128;
+  std::unique_ptr<SegmentReader> segment4_vb;
+  std::unique_ptr<SegmentReader> segment128_vb;
   std::unique_ptr<IndexCatalog> catalog;
   std::shared_ptr<const CatalogReadView> catalog_view;
   uint64_t catalog_doc_space = 0;
@@ -86,12 +98,28 @@ struct Fixture {
     };
     segment4_path = std::string(::testing::TempDir()) + "/cursor4.moaseg";
     segment128_path = std::string(::testing::TempDir()) + "/cursor128.moaseg";
+    segment4_vb_path =
+        std::string(::testing::TempDir()) + "/cursor4vb.moaseg";
+    segment128_vb_path =
+        std::string(::testing::TempDir()) + "/cursor128vb.moaseg";
+    options.codec = SegmentCodec::kBitPacked;
     options.block_size = 4;
     EXPECT_TRUE(WriteSegment(file, segment4_path, options).ok());
     options.block_size = 128;
     EXPECT_TRUE(WriteSegment(file, segment128_path, options).ok());
+    options.codec = SegmentCodec::kVarbyte;
+    options.block_size = 4;
+    EXPECT_TRUE(WriteSegment(file, segment4_vb_path, options).ok());
+    options.block_size = 128;
+    EXPECT_TRUE(WriteSegment(file, segment128_vb_path, options).ok());
     segment4 = std::move(SegmentReader::Open(segment4_path)).ValueOrDie();
     segment128 = std::move(SegmentReader::Open(segment128_path)).ValueOrDie();
+    segment4_vb =
+        std::move(SegmentReader::Open(segment4_vb_path)).ValueOrDie();
+    segment128_vb =
+        std::move(SegmentReader::Open(segment128_vb_path)).ValueOrDie();
+    EXPECT_EQ(segment4->codec(), SegmentCodec::kBitPacked);
+    EXPECT_EQ(segment4_vb->codec(), SegmentCodec::kVarbyte);
 
     BuildCatalog(per_doc);
   }
@@ -147,10 +175,13 @@ struct Fixture {
   ~Fixture() {
     segment4.reset();
     segment128.reset();
-    std::remove(segment4_path.c_str());
-    std::remove(FragmentSidecarPath(segment4_path).c_str());
-    std::remove(segment128_path.c_str());
-    std::remove(FragmentSidecarPath(segment128_path).c_str());
+    segment4_vb.reset();
+    segment128_vb.reset();
+    for (const std::string* path : {&segment4_path, &segment128_path,
+                                    &segment4_vb_path, &segment128_vb_path}) {
+      std::remove(path->c_str());
+      std::remove(FragmentSidecarPath(*path).c_str());
+    }
   }
 };
 
@@ -163,26 +194,59 @@ enum class SourceKind {
   kInMemory,
   kSegmentBlock4,
   kSegmentBlock128,
+  kSegmentVarbyte4,
+  kSegmentVarbyte128,
   kCatalog,
 };
 
 std::string KindName(const ::testing::TestParamInfo<SourceKind>& info) {
   switch (info.param) {
     case SourceKind::kInMemory: return "InMemory";
-    case SourceKind::kSegmentBlock4: return "SegmentBlock4";
-    case SourceKind::kSegmentBlock128: return "SegmentBlock128";
+    case SourceKind::kSegmentBlock4: return "SegmentBitPacked4";
+    case SourceKind::kSegmentBlock128: return "SegmentBitPacked128";
+    case SourceKind::kSegmentVarbyte4: return "SegmentVarbyte4";
+    case SourceKind::kSegmentVarbyte128: return "SegmentVarbyte128";
     case SourceKind::kCatalog: return "CatalogMerged";
   }
   return "?";
 }
 
+/// The segment codec behind a parameterization (nullopt for sources that
+/// are not a single mmap segment).
+std::optional<SegmentCodec> KindCodec(SourceKind kind) {
+  switch (kind) {
+    case SourceKind::kSegmentBlock4:
+    case SourceKind::kSegmentBlock128:
+      return SegmentCodec::kBitPacked;
+    case SourceKind::kSegmentVarbyte4:
+    case SourceKind::kSegmentVarbyte128:
+      return SegmentCodec::kVarbyte;
+    default:
+      return std::nullopt;
+  }
+}
+
 class CursorConformanceTest : public ::testing::TestWithParam<SourceKind> {
  protected:
+  void SetUp() override {
+    // MOA_CODEC filters the segment-backed parameterizations (see
+    // scripts/check.sh); other sources always run.
+    const char* filter = std::getenv("MOA_CODEC");
+    const std::optional<SegmentCodec> codec = KindCodec(GetParam());
+    if (filter != nullptr && *filter != '\0' && codec.has_value() &&
+        std::string(filter) != SegmentCodecName(*codec)) {
+      GTEST_SKIP() << "MOA_CODEC=" << filter << " excludes "
+                   << SegmentCodecName(*codec);
+    }
+  }
+
   const PostingSource& source() const {
     Fixture& f = SharedFixture();
     switch (GetParam()) {
       case SourceKind::kSegmentBlock4: return *f.segment4;
       case SourceKind::kSegmentBlock128: return *f.segment128;
+      case SourceKind::kSegmentVarbyte4: return *f.segment4_vb;
+      case SourceKind::kSegmentVarbyte128: return *f.segment128_vb;
       case SourceKind::kCatalog: return *f.catalog_view;
       case SourceKind::kInMemory: break;
     }
@@ -469,10 +533,90 @@ TEST_P(CursorConformanceTest, ImpactCursorReproducesMaterializedOrder) {
   }
 }
 
+TEST_P(CursorConformanceTest, ShallowAdvanceThenDeepAdvanceLandsExactly) {
+  // shallow_advance(d) must leave the cursor on a block whose skip key
+  // spans d without decoding; the following deep advance_to(d) must land
+  // exactly where a direct advance_to(d) would.
+  const auto& lists = TermLists();
+  for (TermId t = 0; t < lists.size(); ++t) {
+    for (const Posting& target : lists[t]) {
+      auto cursor = source().OpenCursor(t);
+      cursor->shallow_advance(target.doc);
+      ASSERT_NE(cursor->block_last_doc(), kEndDoc)
+          << "term " << t << " doc " << target.doc;
+      EXPECT_GE(cursor->block_last_doc(), target.doc) << "term " << t;
+      cursor->advance_to(target.doc);
+      ASSERT_FALSE(cursor->at_end()) << "term " << t;
+      EXPECT_EQ(cursor->doc(), target.doc);
+      EXPECT_EQ(cursor->tf(), target.tf);
+    }
+  }
+}
+
+TEST_P(CursorConformanceTest, ShallowAdvancePastLastDocBlockExhausts) {
+  const auto& lists = TermLists();
+  for (TermId t = 0; t < lists.size(); ++t) {
+    auto cursor = source().OpenCursor(t);
+    const DocId past = lists[t].empty() ? 0 : lists[t].back().doc + 1;
+    cursor->shallow_advance(past);
+    // Either no block spans the target (exhausted), or the landing block
+    // only holds docs the deep cursor filters out (the catalog keeps
+    // tombstoned tail docs in its blocks); its skip key must still span
+    // the target so the bound stays conservative.
+    if (cursor->block_last_doc() != kEndDoc) {
+      EXPECT_GE(cursor->block_last_doc(), past) << "term " << t;
+    }
+    cursor->shallow_advance(kEndDoc);
+    EXPECT_EQ(cursor->block_last_doc(), kEndDoc) << "term " << t;
+    // A block-exhausted cursor stays exhausted under further shallow or
+    // deep movement.
+    cursor->shallow_advance(kEndDoc);
+    EXPECT_EQ(cursor->block_last_doc(), kEndDoc) << "term " << t;
+    cursor->advance_to(0);
+    EXPECT_TRUE(cursor->at_end()) << "term " << t;
+  }
+}
+
+TEST_P(CursorConformanceTest, ShallowAdvanceBackwardsIsANoOp) {
+  const auto& list = TermLists()[5];
+  auto cursor = source().OpenCursor(5);
+  const DocId mid = list[list.size() / 2].doc;
+  cursor->shallow_advance(mid);
+  const DocId landed = cursor->block_last_doc();
+  ASSERT_NE(landed, kEndDoc);
+  cursor->shallow_advance(list.front().doc);  // target before the block
+  EXPECT_EQ(cursor->block_last_doc(), landed);
+  cursor->shallow_advance(mid);  // block already spans the target
+  EXPECT_EQ(cursor->block_last_doc(), landed);
+}
+
+TEST_P(CursorConformanceTest, ShallowBlockWalkDecodesNoPayload) {
+  // Walking a whole list block-by-block through shallow_advance must
+  // never decode a block; over block-structured segments it must tick
+  // skipped blocks (the in-memory list is one block, so nothing to skip).
+  auto cursor = source().OpenCursor(5);
+  CostScope scope;
+  int hops = 0;
+  while (cursor->block_last_doc() != kEndDoc) {
+    ASSERT_LT(hops, 1000);  // malformed skip chain guard
+    ++hops;
+    EXPECT_GE(cursor->block_max_impact(), 0.0);
+    cursor->shallow_advance(cursor->block_last_doc() + 1);
+  }
+  const CostCounters used = scope.Snapshot();
+  EXPECT_EQ(used.blocks_decoded, 0);
+  if (KindCodec(GetParam()).has_value() ||
+      GetParam() == SourceKind::kCatalog) {
+    EXPECT_GT(used.blocks_skipped, 0);
+  }
+}
+
 INSTANTIATE_TEST_SUITE_P(AllImplementations, CursorConformanceTest,
                          ::testing::Values(SourceKind::kInMemory,
                                            SourceKind::kSegmentBlock4,
                                            SourceKind::kSegmentBlock128,
+                                           SourceKind::kSegmentVarbyte4,
+                                           SourceKind::kSegmentVarbyte128,
                                            SourceKind::kCatalog),
                          KindName);
 

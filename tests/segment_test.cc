@@ -1,15 +1,24 @@
-// MOAIF02 segment format: write → mmap-open → decode round trip,
-// compression vs the raw MOAIF01 dump, atomic-write behavior, and
-// negative tests for truncated / bit-flipped segment files.
+// MOAIF02/MOAIF03 segment formats: write → mmap-open → decode round trip
+// in both payload codecs (varbyte and bit-packed), compression vs the raw
+// MOAIF01 dump, atomic-write behavior, a property round-trip of random
+// posting blocks at the codec level, and negative tests for truncated /
+// bit-flipped / width-corrupted segment files.
+//
+// Set MOA_CODEC=varbyte or MOA_CODEC=bit-packed to restrict the
+// codec-parameterized suite to one codec.
 #include <gtest/gtest.h>
 
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
 #include <filesystem>
 #include <fstream>
 #include <string>
 #include <vector>
 
+#include "common/rng.h"
 #include "storage/io.h"
+#include "storage/segment/block_codec.h"
 #include "storage/segment/segment_format.h"
 #include "storage/segment/segment_reader.h"
 #include "storage/segment/segment_writer.h"
@@ -48,13 +57,35 @@ void ExpectSameFile(const InvertedFile& a, const InvertedFile& b) {
   }
 }
 
-TEST(SegmentTest, RoundTripThroughMmapAndFullDecode) {
+/// Runs the write → open → decode round trips and the corruption
+/// negatives once per payload codec; MOA_CODEC restricts to one.
+class SegmentCodecTest : public ::testing::TestWithParam<SegmentCodec> {
+ protected:
+  void SetUp() override {
+    if (const char* only = std::getenv("MOA_CODEC")) {
+      if (*only != '\0' &&
+          std::string(only) != SegmentCodecName(GetParam())) {
+        GTEST_SKIP() << "MOA_CODEC=" << only;
+      }
+    }
+  }
+
+  SegmentWriterOptions Options(uint32_t block_size = 128) {
+    SegmentWriterOptions options = ImpactOptions(block_size);
+    options.codec = GetParam();
+    return options;
+  }
+};
+
+TEST_P(SegmentCodecTest, RoundTripThroughMmapAndFullDecode) {
   const std::string path = TempPath("roundtrip.moaseg");
-  ASSERT_TRUE(WriteSegment(TestFile(), path, ImpactOptions()).ok());
+  ASSERT_TRUE(WriteSegment(TestFile(), path, Options()).ok());
 
   auto reader = SegmentReader::Open(path);
   ASSERT_TRUE(reader.ok()) << reader.status().ToString();
   const SegmentReader& segment = *reader.ValueOrDie();
+  EXPECT_EQ(segment.codec(), GetParam());
+  EXPECT_EQ(segment.format_name(), SegmentFormatName(GetParam()));
   EXPECT_EQ(segment.num_terms(), TestFile().num_terms());
   EXPECT_EQ(segment.num_docs(), TestFile().num_docs());
   EXPECT_EQ(segment.total_tokens(),
@@ -72,10 +103,11 @@ TEST(SegmentTest, RoundTripThroughMmapAndFullDecode) {
   std::remove(path.c_str());
 }
 
-TEST(SegmentTest, RoundTripWithoutImpactsAndOddBlockSize) {
+TEST_P(SegmentCodecTest, RoundTripWithoutImpactsAndOddBlockSize) {
   const std::string path = TempPath("noimpacts.moaseg");
   SegmentWriterOptions options;
   options.block_size = 7;  // exercises non-power-of-two remainders
+  options.codec = GetParam();
   ASSERT_TRUE(WriteSegment(TestFile(), path, options).ok());
   auto reader = SegmentReader::Open(path);
   ASSERT_TRUE(reader.ok()) << reader.status().ToString();
@@ -136,9 +168,9 @@ TEST(SegmentTest, RejectsBadMagic) {
   std::remove(path.c_str());
 }
 
-TEST(SegmentTest, RejectsTruncation) {
+TEST_P(SegmentCodecTest, RejectsTruncation) {
   const std::string path = TempPath("trunc.moaseg");
-  ASSERT_TRUE(WriteSegment(TestFile(), path, ImpactOptions()).ok());
+  ASSERT_TRUE(WriteSegment(TestFile(), path, Options()).ok());
   const auto full = std::filesystem::file_size(path);
   // Every truncation point must fail cleanly: mid-header, mid-directory,
   // mid-payload, and one byte short.
@@ -275,31 +307,158 @@ TEST(SegmentTest, RejectsCorruptImpactBound) {
   std::remove(path.c_str());
 }
 
-TEST(SegmentTest, PayloadBitFlipFailsIntegrityCheck) {
+TEST_P(SegmentCodecTest, PayloadBitFlipSweepFailsIntegrityCheck) {
+  // Single-bit payload corruption anywhere must be caught. Structural
+  // validation at Open cannot see the payload, but CheckIntegrity must:
+  // a flip changes a doc gap, a tf, a varbyte continuation bit, a packed
+  // width/first-doc/reserved header field or a zero padding bit, which
+  // trips the last-doc / token-sum / max-tf / span / minimality /
+  // padding checks. Sweeps a strided sample of every payload bit.
   const std::string path = TempPath("flip.moaseg");
-  ASSERT_TRUE(WriteSegment(TestFile(), path, ImpactOptions()).ok());
+  ASSERT_TRUE(WriteSegment(TestFile(), path, Options(32)).ok());
   SegmentHeader header{};
   {
     std::ifstream in(path, std::ios::binary);
     in.read(reinterpret_cast<char*>(&header), sizeof(header));
   }
   const SegmentLayout layout(header);
-  // Flip one payload byte. Structural validation at Open cannot see the
-  // payload, but CheckIntegrity must: the flip changes a doc gap, a tf or
-  // a continuation bit, which trips the last-doc / token-sum / span
-  // checks.
+  ASSERT_GT(header.payload_bytes, 0u);
+  const uint64_t payload_bits = header.payload_bytes * 8;
+  // ~256 probes, stride co-prime with 8 so the in-byte bit position
+  // varies across probes.
+  uint64_t stride = payload_bits / 256 + 1;
+  if (stride % 2 == 0) ++stride;
   std::fstream fs(path, std::ios::binary | std::ios::in | std::ios::out);
-  fs.seekg(static_cast<std::streamoff>(layout.payload + 3));
-  char byte = 0;
-  fs.read(&byte, 1);
-  byte = static_cast<char>(byte ^ 0x01);
-  fs.seekp(static_cast<std::streamoff>(layout.payload + 3));
-  fs.write(&byte, 1);
+  for (uint64_t bit = 0; bit < payload_bits; bit += stride) {
+    const std::streamoff pos =
+        static_cast<std::streamoff>(layout.payload + bit / 8);
+    char byte = 0;
+    fs.seekg(pos);
+    fs.read(&byte, 1);
+    const char flipped = static_cast<char>(byte ^ (1u << (bit % 8)));
+    fs.seekp(pos);
+    fs.write(&flipped, 1);
+    fs.flush();
+    auto reader = SegmentReader::Open(path);
+    if (reader.ok()) {
+      EXPECT_FALSE(reader.ValueOrDie()->CheckIntegrity().ok())
+          << "undetected flip of payload bit " << bit;
+    }
+    fs.seekp(pos);
+    fs.write(&byte, 1);  // restore
+    fs.flush();
+  }
   fs.close();
-  auto reader = SegmentReader::Open(path);
-  ASSERT_TRUE(reader.ok()) << reader.status().ToString();
-  EXPECT_FALSE(reader.ValueOrDie()->CheckIntegrity().ok());
   std::remove(path.c_str());
+}
+
+INSTANTIATE_TEST_SUITE_P(Codecs, SegmentCodecTest,
+                         ::testing::Values(SegmentCodec::kVarbyte,
+                                           SegmentCodec::kBitPacked),
+                         [](const auto& info) {
+                           return info.param == SegmentCodec::kBitPacked
+                                      ? "BitPacked"
+                                      : "Varbyte";
+                         });
+
+TEST(SegmentTest, BitPackedIsNoLargerThanVarbyteOnTestFile) {
+  const std::string vb = TempPath("size_vb.moaseg");
+  const std::string bp = TempPath("size_bp.moaseg");
+  SegmentWriterOptions options = ImpactOptions();
+  options.codec = SegmentCodec::kVarbyte;
+  ASSERT_TRUE(WriteSegment(TestFile(), vb, options).ok());
+  options.codec = SegmentCodec::kBitPacked;
+  ASSERT_TRUE(WriteSegment(TestFile(), bp, options).ok());
+  EXPECT_LE(std::filesystem::file_size(bp), std::filesystem::file_size(vb))
+      << "varbyte=" << std::filesystem::file_size(vb)
+      << "B bit-packed=" << std::filesystem::file_size(bp) << "B";
+  std::remove(vb.c_str());
+  std::remove(bp.c_str());
+}
+
+TEST(BlockCodecTest, RandomBlocksRoundTripBitExactInBothCodecs) {
+  // Property test: any doc-sorted block — dense runs, huge gaps, huge
+  // tfs, constant values (zero-width packed sections), block sizes from
+  // singleton past the production default — must round-trip bit-exactly
+  // through either codec.
+  Rng rng(20260808);
+  for (int iter = 0; iter < 400; ++iter) {
+    const size_t count = 1 + rng.Uniform(260);
+    const uint32_t gap_mag = 1u << rng.Uniform(19);  // 1 => all gaps == 1
+    const uint32_t tf_mag = 1u << rng.Uniform(19);   // 1 => all tfs == 1
+    std::vector<Posting> postings(count);
+    DocId doc = static_cast<DocId>(rng.Uniform(1u << 20));
+    for (size_t i = 0; i < count; ++i) {
+      if (i > 0) doc += 1 + static_cast<DocId>(rng.Uniform(gap_mag));
+      postings[i] = {doc, 1 + static_cast<uint32_t>(rng.Uniform(tf_mag))};
+    }
+    for (SegmentCodec codec :
+         {SegmentCodec::kVarbyte, SegmentCodec::kBitPacked}) {
+      std::vector<uint8_t> bytes;
+      EncodePostingBlock(codec, postings.data(), count, bytes);
+      std::vector<DocId> docs(count);
+      std::vector<uint32_t> tfs(count);
+      auto s = DecodePostingBlock(codec, bytes.data(), bytes.size(), count,
+                                  postings.back().doc, docs.data(),
+                                  tfs.data());
+      ASSERT_TRUE(s.ok()) << SegmentCodecName(codec) << " iter " << iter
+                          << ": " << s.ToString();
+      for (size_t i = 0; i < count; ++i) {
+        ASSERT_EQ(docs[i], postings[i].doc)
+            << SegmentCodecName(codec) << " iter " << iter << " pos " << i;
+        ASSERT_EQ(tfs[i], postings[i].tf)
+            << SegmentCodecName(codec) << " iter " << iter << " pos " << i;
+      }
+    }
+  }
+}
+
+TEST(BlockCodecTest, PackedRejectsBitWidthOutOfRange) {
+  const std::vector<Posting> postings = {{3, 2}, {9, 1}, {10, 5}};
+  std::vector<uint8_t> bytes;
+  EncodePostingBlock(SegmentCodec::kBitPacked, postings.data(),
+                     postings.size(), bytes);
+  std::vector<DocId> docs(postings.size());
+  std::vector<uint32_t> tfs(postings.size());
+  // Packed header layout: u32 first_doc, u8 gap_bits, u8 tf_bits,
+  // u16 reserved.
+  for (const size_t byte : {size_t{4}, size_t{5}}) {
+    std::vector<uint8_t> bad = bytes;
+    bad[byte] = 40;  // width > 32
+    EXPECT_FALSE(DecodePostingBlock(SegmentCodec::kBitPacked, bad.data(),
+                                    bad.size(), postings.size(), 10,
+                                    docs.data(), tfs.data())
+                     .ok())
+        << "corrupt header byte " << byte;
+  }
+  std::vector<uint8_t> bad = bytes;
+  bad[6] = 1;  // reserved bytes must stay zero
+  EXPECT_FALSE(DecodePostingBlock(SegmentCodec::kBitPacked, bad.data(),
+                                  bad.size(), postings.size(), 10,
+                                  docs.data(), tfs.data())
+                   .ok());
+}
+
+TEST(BlockCodecTest, PackedRejectsSetPaddingBits) {
+  // Gaps are all 1 (zero-width gap section) and tfs fit 3 bits, so the tf
+  // word has 23 zero padding bits; setting one cannot change any decoded
+  // value, so only an explicit padding check can catch it.
+  const std::vector<Posting> postings = {{0, 5}, {1, 5}, {2, 6}};
+  std::vector<uint8_t> bytes;
+  EncodePostingBlock(SegmentCodec::kBitPacked, postings.data(),
+                     postings.size(), bytes);
+  ASSERT_EQ(bytes.size(), 12u);  // 8B header + one tf word, no gap words
+  std::vector<DocId> docs(postings.size());
+  std::vector<uint32_t> tfs(postings.size());
+  ASSERT_TRUE(DecodePostingBlock(SegmentCodec::kBitPacked, bytes.data(),
+                                 bytes.size(), postings.size(), 2,
+                                 docs.data(), tfs.data())
+                  .ok());
+  bytes[11] |= 0x80;  // topmost padding bit of the tf word
+  EXPECT_FALSE(DecodePostingBlock(SegmentCodec::kBitPacked, bytes.data(),
+                                  bytes.size(), postings.size(), 2,
+                                  docs.data(), tfs.data())
+                   .ok());
 }
 
 TEST(SegmentTest, WriteIsAtomicAndLeavesNoTempFile) {
