@@ -54,10 +54,36 @@ const std::vector<Query>& ThroughputWorkload() {
   return *queries;
 }
 
-void RunBatch(benchmark::State& state, const char* strategy_name) {
+/// Tail-term (selective) query class: uniform over occurring terms of a
+/// Zipf collection draws mostly rare terms, so per-query volume is small
+/// and sorted/random-access strategies get their best case. This is the
+/// class where the cost-based planner should beat a forced max-score
+/// default, not just match it.
+const std::vector<Query>& SelectiveWorkload() {
+  static const std::vector<Query>* queries = [] {
+    QueryWorkloadConfig config;
+    config.num_queries = Tiny() ? 32 : 128;
+    config.terms_per_query = 4;
+    config.distribution = QueryTermDistribution::kUniform;
+    config.seed = 424242;
+    return new std::vector<Query>(
+        GenerateQueries(ThroughputDb().collection(), config).ValueOrDie());
+  }();
+  return *queries;
+}
+
+void ReportBatch(benchmark::State& state, const BatchStats& last) {
+  state.counters["threads"] = static_cast<double>(last.parallelism);
+  state.counters["qps"] = last.qps;
+  state.counters["p50_ms"] = last.p50_millis;
+  state.counters["p95_ms"] = last.p95_millis;
+  state.counters["p99_ms"] = last.p99_millis;
+}
+
+void RunBatchOver(benchmark::State& state, const std::vector<Query>& queries,
+                  const char* strategy_name) {
   const size_t parallelism = static_cast<size_t>(state.range(0));
   MmDatabase& db = ThroughputDb();
-  const std::vector<Query>& queries = ThroughputWorkload();
 
   SearchOptions opts;
   opts.n = 10;
@@ -74,15 +100,49 @@ void RunBatch(benchmark::State& state, const char* strategy_name) {
     last = r.ValueOrDie().stats;
     benchmark::DoNotOptimize(r.ValueOrDie().results.data());
   }
-  state.counters["threads"] = static_cast<double>(last.parallelism);
-  state.counters["qps"] = last.qps;
-  state.counters["p50_ms"] = last.p50_millis;
-  state.counters["p95_ms"] = last.p95_millis;
-  state.counters["p99_ms"] = last.p99_millis;
+  ReportBatch(state, last);
+}
+
+void RunBatch(benchmark::State& state, const char* strategy_name) {
+  RunBatchOver(state, ThroughputWorkload(), strategy_name);
+}
+
+/// Planner-on: no forced strategy — the cost-based planner chooses per
+/// query under `quality_target`.
+void RunBatchPlanned(benchmark::State& state,
+                     const std::vector<Query>& queries,
+                     double quality_target) {
+  const size_t parallelism = static_cast<size_t>(state.range(0));
+  MmDatabase& db = ThroughputDb();
+
+  std::vector<QueryRequest> requests;
+  requests.reserve(queries.size());
+  for (const Query& q : queries) {
+    QueryRequest request;
+    request.query = q;
+    request.n = 10;
+    request.options.quality_target = quality_target;
+    requests.push_back(request);
+  }
+
+  BatchStats last;
+  for (auto _ : state) {
+    auto r = db.SearchBatch(requests, parallelism);
+    if (!r.ok()) {
+      state.SkipWithError(r.status().ToString().c_str());
+      return;
+    }
+    last = r.ValueOrDie().stats;
+    benchmark::DoNotOptimize(r.ValueOrDie().results.data());
+  }
+  ReportBatch(state, last);
 }
 
 void BM_BatchHeap(benchmark::State& state) { RunBatch(state, "heap"); }
 void BM_BatchFaginTA(benchmark::State& state) { RunBatch(state, "fagin_ta"); }
+void BM_BatchFaginNRA(benchmark::State& state) {
+  RunBatch(state, "fagin_nra");
+}
 void BM_BatchMaxScore(benchmark::State& state) {
   RunBatch(state, "maxscore");
 }
@@ -91,6 +151,18 @@ void BM_BatchQualitySwitchFull(benchmark::State& state) {
 }
 void BM_BatchQualitySwitchSparse(benchmark::State& state) {
   RunBatch(state, "quality_switch_sparse");
+}
+void BM_BatchPlanned(benchmark::State& state) {
+  RunBatchPlanned(state, ThroughputWorkload(), 1.0);
+}
+void BM_BatchPlannedQuality90(benchmark::State& state) {
+  RunBatchPlanned(state, ThroughputWorkload(), 0.9);
+}
+void BM_BatchSelectiveMaxScore(benchmark::State& state) {
+  RunBatchOver(state, SelectiveWorkload(), "maxscore");
+}
+void BM_BatchSelectivePlanned(benchmark::State& state) {
+  RunBatchPlanned(state, SelectiveWorkload(), 1.0);
 }
 
 void ParallelismSweep(benchmark::internal::Benchmark* b) {
@@ -106,9 +178,14 @@ void ParallelismSweep(benchmark::internal::Benchmark* b) {
 
 BENCHMARK(BM_BatchHeap)->Apply(ParallelismSweep);
 BENCHMARK(BM_BatchFaginTA)->Apply(ParallelismSweep);
+BENCHMARK(BM_BatchFaginNRA)->Apply(ParallelismSweep);
 BENCHMARK(BM_BatchMaxScore)->Apply(ParallelismSweep);
 BENCHMARK(BM_BatchQualitySwitchFull)->Apply(ParallelismSweep);
 BENCHMARK(BM_BatchQualitySwitchSparse)->Apply(ParallelismSweep);
+BENCHMARK(BM_BatchPlanned)->Apply(ParallelismSweep);
+BENCHMARK(BM_BatchPlannedQuality90)->Apply(ParallelismSweep);
+BENCHMARK(BM_BatchSelectiveMaxScore)->Apply(ParallelismSweep);
+BENCHMARK(BM_BatchSelectivePlanned)->Apply(ParallelismSweep);
 
 }  // namespace
 }  // namespace moa

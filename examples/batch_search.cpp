@@ -39,15 +39,21 @@ int main() {
     return 1;
   }
 
-  SearchOptions opts;
-  opts.n = 10;
+  // One QueryRequest per query; no forced strategy, so every query is
+  // routed through the planner independently.
+  std::vector<QueryRequest> requests;
+  for (const Query& q : queries.ValueOrDie()) {
+    QueryRequest request;
+    request.query = q;
+    request.n = 10;
+    requests.push_back(std::move(request));
+  }
 
   // At least 2 workers for the second run so the pool path is exercised
   // even on single-core machines.
   const size_t hw = std::max<size_t>(ThreadPool::DefaultParallelism(), 2);
   for (size_t parallelism : {size_t{1}, hw}) {
-    auto batch = db.ValueOrDie()->SearchBatch(queries.ValueOrDie(), opts,
-                                              parallelism);
+    auto batch = db.ValueOrDie()->SearchBatch(requests, parallelism);
     if (!batch.ok()) {
       std::fprintf(stderr, "batch: %s\n", batch.status().ToString().c_str());
       return 1;
@@ -61,7 +67,7 @@ int main() {
     if (parallelism == 1) continue;
 
     // The fan-out is invisible in the answers: same top doc either way.
-    auto seq = db.ValueOrDie()->Search(queries.ValueOrDie()[0], opts);
+    auto seq = db.ValueOrDie()->Search(requests[0]);
     const auto& par_top = batch.ValueOrDie().results[0].top.items;
     const auto& seq_top = seq.ValueOrDie().top.items;
     if (!par_top.empty() && !seq_top.empty()) {

@@ -37,17 +37,21 @@ int main() {
     auto truth = db->GroundTruth(q, 10);
     auto scores = db->GroundTruthScores(q);
 
-    // All four run through the exec registry; the sparse probe reuses the
-    // database's shared sparse-index cache.
-    TopNResult full =
-        db->Execute(PhysicalStrategy::kFullSort, q, 10).ValueOrDie();
-    TopNResult unsafe_r =
-        db->Execute(PhysicalStrategy::kSmallFragment, q, 10).ValueOrDie();
-    auto safe_r =  // full scan, threshold 0: safe
-        db->Execute(PhysicalStrategy::kQualitySwitchFull, q, 10).ValueOrDie();
-    auto sparse_r =
-        db->Execute(PhysicalStrategy::kQualitySwitchSparse, q, 10)
-            .ValueOrDie();
+    // All four run as forced QueryRequests through the same entry point
+    // the planner uses; the sparse probe reuses the database's shared
+    // sparse-index cache.
+    QueryRequest request;
+    request.query = q;
+    request.n = 10;
+    auto forced = [&](PhysicalStrategy s) {
+      request.options.strategy = s;
+      return db->Search(request).ValueOrDie().top;
+    };
+    TopNResult full = forced(PhysicalStrategy::kFullSort);
+    TopNResult unsafe_r = forced(PhysicalStrategy::kSmallFragment);
+    // full scan, threshold 0: safe
+    TopNResult safe_r = forced(PhysicalStrategy::kQualitySwitchFull);
+    TopNResult sparse_r = forced(PhysicalStrategy::kQualitySwitchSparse);
 
     const TopNResult* results[4] = {&full, &unsafe_r, &safe_r, &sparse_r};
     const char* names[4] = {"full", "unsafe-small", "safe-switch",

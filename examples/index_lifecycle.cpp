@@ -33,12 +33,15 @@ DocTerms SynthDoc(Rng& rng, uint32_t vocab) {
 }
 
 void ShowStorage(MmDatabase& db, const Query& q, const char* stage) {
-  auto text = db.ExplainSearch(q, SearchOptions{});
-  if (text.ok()) {
-    const std::string& s = text.ValueOrDie();
-    const size_t at = s.find("storage:");
-    std::printf("[%s]\n  %s", stage,
-                at == std::string::npos ? s.c_str() : s.c_str() + at);
+  // The structured report carries the storage description (and the
+  // planner's choice over it) as fields — no text scraping needed.
+  QueryRequest request;
+  request.query = q;
+  auto report = db.ExplainSearch(request);
+  if (report.ok()) {
+    std::printf("[%s]\n  storage: %s\n  planned: %s\n", stage,
+                report.ValueOrDie().storage.c_str(),
+                StrategyName(report.ValueOrDie().decision.strategy));
   }
 }
 
@@ -92,14 +95,14 @@ int main(int argc, char** argv) {
   ShowStorage(db, query, "after flush");
 
   // 3. Delete: the top document of our query vanishes immediately.
-  auto before = db.Search(query, SearchOptions{});
+  auto before = db.Search(QueryRequest{query});
   if (before.ok() && !before.ValueOrDie().top.items.empty()) {
     const DocId victim = before.ValueOrDie().top.items[0].doc;
     if (Status s = db.DeleteDocument(victim); !s.ok()) {
       std::fprintf(stderr, "delete: %s\n", s.ToString().c_str());
       return 1;
     }
-    auto after = db.Search(query, SearchOptions{});
+    auto after = db.Search(QueryRequest{query});
     std::printf("deleted doc %u; it %s the top-10 now\n", victim,
                 after.ok() && !after.ValueOrDie().top.items.empty() &&
                         after.ValueOrDie().top.items[0].doc == victim
@@ -123,7 +126,7 @@ int main(int argc, char** argv) {
   std::printf("merged %zu segments into one\n", merged.ValueOrDie());
   ShowStorage(db, query, "after merge");
 
-  auto final_result = db.Search(query, SearchOptions{});
+  auto final_result = db.Search(QueryRequest{query});
   if (final_result.ok()) {
     std::printf("final top-3 (strategy %s):\n",
                 StrategyName(final_result.ValueOrDie().strategy));

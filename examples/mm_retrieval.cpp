@@ -38,8 +38,11 @@ int main() {
   // Rank with TA: sorted access walks each modality's impact list; random
   // access completes scores across modalities; processing stops once the
   // top 5 is certain.
-  auto ta = db->Execute(StrategyFromName("fagin_ta").value(), query, 5)
-                .ValueOrDie();
+  QueryRequest request;
+  request.query = query;
+  request.n = 5;
+  request.options.strategy = StrategyFromName("fagin_ta");
+  auto ta = db->Search(request).ValueOrDie().top;
   std::printf("TA: %s\n", ta.stats.ToString().c_str());
 
   int64_t volume = 0;

@@ -88,15 +88,24 @@ int main() {
   qconfig.distribution = QueryTermDistribution::kMixed;
   Query q = GenerateQueries(db->collection(), qconfig).ValueOrDie()[0];
 
-  SearchOptions safe_opts;
-  safe_opts.n = 10;
-  std::printf("safe-only plan:\n%s\n",
-              db->ExplainSearch(q, safe_opts).ValueOrDie().c_str());
+  QueryRequest request;
+  request.query = q;
+  request.n = 10;  // default quality target 1.0: exact strategies only
+  const ExplainReport exact = db->ExplainSearch(request).ValueOrDie();
+  std::printf("exact plan (quality target 1.0):\n%s\n",
+              exact.ToString().c_str());
 
-  SearchOptions unsafe_opts;
-  unsafe_opts.n = 10;
-  unsafe_opts.safe_only = false;
+  request.options.quality_target = 0.0;  // admit the quality strategies
+  const ExplainReport lax = db->ExplainSearch(request).ValueOrDie();
   std::printf("plan with unsafe strategies allowed:\n%s\n",
-              db->ExplainSearch(q, unsafe_opts).ValueOrDie().c_str());
+              lax.ToString().c_str());
+
+  // The report is data, not text: walk the candidate table directly.
+  std::printf("candidates (cheapest first):\n");
+  for (const PlanCandidate& c : lax.decision.candidates) {
+    std::printf("  %-22s scalar %12.1f  quality %.3f  [%s]\n",
+                StrategyName(c.strategy), c.scalar, c.predicted_quality,
+                PlanRejectName(c.reject));
+  }
   return 0;
 }

@@ -51,21 +51,23 @@ int main(int argc, char** argv) {
   qconfig.distribution = QueryTermDistribution::kMixed;
   auto queries = GenerateQueries(db->collection(), qconfig).ValueOrDie();
 
-  // 3. Search with the optimizer (safe strategies only) and show the plan.
+  // 3. Search through the planner (or the forced strategy) and show the
+  //    plan: the ExplainReport lists every candidate's predicted cost.
   for (size_t qi = 0; qi < queries.size(); ++qi) {
-    SearchOptions opts;
-    opts.n = 10;
-    opts.force = forced;
+    QueryRequest request;
+    request.query = queries[qi];
+    request.n = 10;
+    request.options.strategy = forced;
     std::printf("--- query %zu (terms:", qi);
     for (TermId t : queries[qi].terms) std::printf(" %u", t);
     std::printf(")\n");
 
-    std::printf("%s", db->ExplainSearch(queries[qi], opts)
-                          .ValueOrDie()
-                          .c_str());
-    auto result = db->Search(queries[qi], opts).ValueOrDie();
-    std::printf("executed %s in %.2f ms, stats %s\n",
-                StrategyName(result.strategy), result.wall_millis,
+    std::printf("%s",
+                db->ExplainSearch(request).ValueOrDie().ToString().c_str());
+    auto result = db->Search(request).ValueOrDie();
+    std::printf("executed %s (%s) in %.2f ms, stats %s\n",
+                StrategyName(result.strategy),
+                result.planned ? "planned" : "forced", result.wall_millis,
                 result.top.stats.ToString().c_str());
     for (size_t i = 0; i < result.top.items.size(); ++i) {
       std::printf("  #%zu  doc %-6u score %.4f\n", i + 1,

@@ -85,19 +85,20 @@ int main(int argc, char** argv) {
   auto queries = GenerateQueries(database.collection(), qconfig);
   if (!queries.ok()) return 1;
 
-  SearchOptions opts;
-  opts.n = 5;
-  opts.force = PhysicalStrategy::kMaxScore;
+  QueryRequest request;
+  request.n = 5;
+  request.options.strategy = PhysicalStrategy::kMaxScore;
   size_t identical = 0;
   for (const Query& q : queries.ValueOrDie()) {
-    auto mapped = database.Search(q, opts);
+    request.query = q;
+    auto mapped = database.Search(request);
     if (!mapped.ok()) {
       std::fprintf(stderr, "search: %s\n",
                    mapped.status().ToString().c_str());
       return 1;
     }
     database.DetachSegment();
-    auto in_memory = database.Search(q, opts);
+    auto in_memory = database.Search(request);
     // Reattaching the segment we already attached above: skip the
     // per-query payload rescan.
     if (Status s = database.AttachSegment(segment_path, trusted); !s.ok()) {
@@ -111,11 +112,11 @@ int main(int argc, char** argv) {
   std::printf("maxscore over mmap vs in-memory: %zu/%zu rankings identical\n",
               identical, queries.ValueOrDie().size());
 
-  const Query& q = queries.ValueOrDie().front();
-  auto result = database.Search(q, opts);
+  request.query = queries.ValueOrDie().front();
+  auto result = database.Search(request);
   if (!result.ok()) return 1;
   std::printf("top-%zu for query 0 (served from the compressed segment):\n",
-              opts.n);
+              request.n);
   for (const ScoredDoc& d : result.ValueOrDie().top.items) {
     std::printf("  doc %6u  score %.4f\n", d.doc, d.score);
   }

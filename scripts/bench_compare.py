@@ -1,27 +1,44 @@
 #!/usr/bin/env python3
-"""Distill and compare the persisted benchmark snapshot (BENCH_cursor.json).
+"""Distill and compare the persisted benchmark snapshots
+(BENCH_cursor.json, BENCH_planner.json).
 
-Two modes:
+Three modes:
 
   --distill e14.json e13.json
       Reads the Google Benchmark JSON output of bench_e14_storage and
       bench_e13_throughput and prints the distilled snapshot schema to
       stdout (what scripts/bench_snapshot.sh writes to BENCH_cursor.json).
 
+  --distill-planner e13.json
+      Reads the bench_e13_throughput output and prints the planner
+      snapshot (BENCH_planner.json): batch QPS of the planner-routed
+      searches next to their forced-maxscore baselines per query class,
+      plus the planned/forced ratios the acceptance criterion tracks.
+
   baseline.json current.json
-      Compares two distilled snapshots and warns (non-fatally: exit code
-      stays 0) when any scan-throughput entry of `current` regresses more
-      than 10% against `baseline`. CI points `baseline` at the committed
-      BENCH_cursor.json and `current` at a fresh bench_snapshot.sh run.
-      Exit code 2 is reserved for malformed input, so a broken snapshot
-      never masquerades as "no regression".
+      Compares two distilled snapshots of the same schema and warns
+      (non-fatally: exit code stays 0) when any tracked throughput entry
+      of `current` regresses more than 10% against `baseline` — and, for
+      planner snapshots, when a planned/forced-maxscore ratio falls
+      materially below parity. CI points `baseline` at the committed
+      snapshot and `current` at a fresh bench_snapshot.sh run. Exit code
+      2 is reserved for malformed input, so a broken snapshot never
+      masquerades as "no regression".
 """
 
 import json
 import sys
 
 SCHEMA = "moa-bench-cursor-v1"
+PLANNER_SCHEMA = "moa-bench-planner-v1"
 REGRESSION_THRESHOLD = 0.10
+
+# Planner-routed bench -> its forced-maxscore baseline on the same query
+# class (bench_e13_throughput names, without the /threads/real_time tail).
+PLANNER_PAIRS = {
+    "BM_BatchPlanned": "BM_BatchMaxScore",
+    "BM_BatchSelectivePlanned": "BM_BatchSelectiveMaxScore",
+}
 
 # e14 benchmark name -> (section, key) in the distilled snapshot.
 E14_RATES = {
@@ -74,10 +91,86 @@ def distill(e14_path, e13_path):
     return snapshot
 
 
+def distill_planner(e13_path):
+    snapshot = {
+        "schema": PLANNER_SCHEMA,
+        "mode": "tiny",
+        # Planner-on and forced-maxscore batch QPS by bench/threads, the
+        # quality-target sweep included.
+        "qps": {},
+        # planned / forced-maxscore per query class, single-threaded: the
+        # planner must hold >= ~parity here (it may beat it outright).
+        "planned_over_maxscore": {},
+    }
+    for bench in load(e13_path).get("benchmarks", []):
+        name = bench.get("name", "")
+        base = name.split("/")[0]
+        if "qps" not in bench:
+            continue
+        if "Planned" in base or base in PLANNER_PAIRS.values():
+            snapshot["qps"][name] = bench["qps"]
+    qps = snapshot["qps"]
+    for planned, forced in PLANNER_PAIRS.items():
+        planned_key = f"{planned}/1/real_time"
+        forced_key = f"{forced}/1/real_time"
+        if qps.get(forced_key):
+            label = "mixed" if planned == "BM_BatchPlanned" else "selective"
+            snapshot["planned_over_maxscore"][label] = (
+                qps.get(planned_key, 0.0) / qps[forced_key])
+    return snapshot
+
+
+def compare_planner(baseline, current):
+    """Planner snapshots: QPS entries under the usual 10% rule, plus a
+    parity floor on the planned/forced ratios of the *current* run."""
+    warnings = 0
+    base_qps = baseline.get("qps", {})
+    cur_qps = current.get("qps", {})
+    for key, base_rate in base_qps.items():
+        if key not in cur_qps or not isinstance(base_rate, (int, float)):
+            continue
+        if base_rate <= 0:
+            continue
+        drop = 1.0 - cur_qps[key] / base_rate
+        if drop > REGRESSION_THRESHOLD:
+            warnings += 1
+            print(
+                f"WARNING: qps.{key} regressed {drop:.1%} "
+                f"({base_rate:.3g} -> {cur_qps[key]:.3g} qps)",
+                file=sys.stderr)
+    for label, ratio in current.get("planned_over_maxscore", {}).items():
+        if not isinstance(ratio, (int, float)):
+            continue
+        if ratio < 1.0 - REGRESSION_THRESHOLD:
+            warnings += 1
+            print(
+                f"WARNING: planner loses to forced maxscore on the {label} "
+                f"class (planned/forced = {ratio:.2f})",
+                file=sys.stderr)
+    return warnings
+
+
 def compare(baseline_path, current_path):
     baseline = load(baseline_path)
     current = load(current_path)
+    if baseline.get("schema") != current.get("schema"):
+        print(
+            f"bench_compare: schema mismatch ({baseline.get('schema')} vs "
+            f"{current.get('schema')})", file=sys.stderr)
+        return 2
     warnings = 0
+    if baseline.get("schema") == PLANNER_SCHEMA:
+        warnings = compare_planner(baseline, current)
+        if warnings:
+            print(
+                f"bench_compare: {warnings} planner "
+                f"entr{'y' if warnings == 1 else 'ies'} regressed vs "
+                f"{baseline_path} (non-fatal)", file=sys.stderr)
+        else:
+            print("bench_compare: planner holds >= ~parity with forced "
+                  f"maxscore, no >{REGRESSION_THRESHOLD:.0%} QPS regression "
+                  f"vs {baseline_path}")
+        return 0
     for section in ("scan", "advance"):
         base = baseline.get(section, {})
         cur = current.get(section, {})
@@ -108,6 +201,10 @@ def compare(baseline_path, current_path):
 def main(argv):
     if len(argv) == 4 and argv[1] == "--distill":
         json.dump(distill(argv[2], argv[3]), sys.stdout, indent=2)
+        sys.stdout.write("\n")
+        return 0
+    if len(argv) == 3 and argv[1] == "--distill-planner":
+        json.dump(distill_planner(argv[2]), sys.stdout, indent=2)
         sys.stdout.write("\n")
         return 0
     if len(argv) == 3:

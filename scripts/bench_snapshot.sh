@@ -3,22 +3,26 @@
 # (bench_e14_storage) and the end-to-end batch throughput bench
 # (bench_e13_throughput), both in tiny mode so the run finishes in
 # seconds on CI hardware, and distills the tracked numbers into
-# BENCH_cursor.json at the repo root.
+# BENCH_cursor.json and BENCH_planner.json at the repo root.
 #
-#   $ scripts/bench_snapshot.sh [build-dir] [output.json]
+#   $ scripts/bench_snapshot.sh [build-dir] [output.json] [planner.json]
 #
-# Commit the refreshed BENCH_cursor.json together with performance PRs;
+# Commit the refreshed snapshots together with performance PRs;
 # scripts/bench_compare.py warns when a fresh run regresses scan
 # throughput >10% against the committed snapshot. Tracked numbers:
 #   - cursor scan + advance_to throughput per codec (varbyte baseline vs
 #     bit-packed, per-posting cursor and block-batch idioms)
 #   - on-disk size ratios (MOAIF01 / varbyte / bit-packed)
 #   - batch search QPS per strategy (e13)
+#   - planner-on vs forced-maxscore QPS per query class (e13; this is
+#     also the measurement behind the planner cost constants in
+#     src/optimizer/strategy_planner.cc — see CONTRIBUTING.md)
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
 BUILD_DIR="${1:-build}"
 OUT="${2:-BENCH_cursor.json}"
+PLANNER_OUT="${3:-BENCH_planner.json}"
 TMP_DIR="$(mktemp -d)"
 trap 'rm -rf "$TMP_DIR"' EXIT
 
@@ -43,3 +47,6 @@ MOA_BENCH_TINY=1 "$BUILD_DIR/bench_e13_throughput" \
 python3 scripts/bench_compare.py \
   --distill "$TMP_DIR/e14.json" "$TMP_DIR/e13.json" >"$OUT"
 echo "bench_snapshot: wrote $OUT"
+python3 scripts/bench_compare.py \
+  --distill-planner "$TMP_DIR/e13.json" >"$PLANNER_OUT"
+echo "bench_snapshot: wrote $PLANNER_OUT"

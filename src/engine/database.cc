@@ -37,8 +37,6 @@ Result<std::unique_ptr<MmDatabase>> MmDatabase::Open(
   db->fragmentation_ = Fragmentation::Build(file, config.fragmentation);
   db->estimator_ = std::make_unique<CardinalityEstimator>(
       &file, &db->fragmentation_);
-  db->cost_model_ = std::make_unique<CostModel>(db->estimator_.get());
-  db->planner_ = std::make_unique<Planner>(db->cost_model_.get());
   return db;
 }
 
@@ -75,27 +73,26 @@ struct DynamicQueryState {
   std::shared_ptr<const Fragmentation> fragmentation;
 };
 
-/// The strategies that read ExecContext::fragmentation.
+/// The strategies that read ExecContext::fragmentation — registry
+/// metadata (PlannerHooks::needs_fragmentation), not a hard-coded list,
+/// so custom registrations participate.
 bool NeedsFragmentation(PhysicalStrategy s) {
-  return s == PhysicalStrategy::kSmallFragment ||
-         s == PhysicalStrategy::kQualitySwitchFull ||
-         s == PhysicalStrategy::kQualitySwitchSparse;
+  const StrategyRegistry::Entry* entry = StrategyRegistry::Global().Find(s);
+  return entry != nullptr && entry->planner.needs_fragmentation;
 }
 
 }  // namespace
 
 ExecContext MmDatabase::catalog_context(
     const std::shared_ptr<const CatalogReadView>& view,
-    bool with_fragmentation) const {
+    std::shared_ptr<const Fragmentation> fragmentation) const {
   // No materialized InvertedFile describes the evolving collection; every
   // strategy streams the snapshot through the cursor API instead. The
   // fragment strategies additionally get a fragmentation derived from the
   // snapshot's live statistics and the snapshot-scoped sparse cache.
   auto bundle = std::make_shared<DynamicQueryState>();
   bundle->view = view;
-  if (with_fragmentation) {
-    bundle->fragmentation = DynamicFragmentation(view->state());
-  }
+  bundle->fragmentation = std::move(fragmentation);
 
   ExecContext context;
   context.model = view->model();
@@ -122,7 +119,8 @@ ExecContext MmDatabase::exec_context() const {
   if (is_dynamic()) {
     // Callers of the borrowed view don't name a strategy up front, so
     // the context carries every capability, fragmentation included.
-    return catalog_context(catalog_view(), /*with_fragmentation=*/true);
+    const std::shared_ptr<const CatalogReadView> view = catalog_view();
+    return catalog_context(view, DynamicFragmentation(view->state()));
   }
   return static_context();
 }
@@ -294,64 +292,159 @@ Result<TopNResult> MmDatabase::Execute(PhysicalStrategy strategy,
 Result<TopNResult> MmDatabase::Execute(PhysicalStrategy strategy,
                                        const Query& query, size_t n,
                                        const ExecOptions& options) const {
-  // The strategy is known here, so dynamic contexts only pay for the
-  // live-statistics fragmentation when a fragment strategy runs.
-  const ExecContext context =
-      is_dynamic()
-          ? catalog_context(catalog_view(), NeedsFragmentation(strategy))
-          : static_context();
+  // Direct registry execution, no planner in the loop: benches and
+  // harnesses use this to drive any strategy over any backend with no
+  // validation beyond the registry's own. The strategy is known here, so
+  // dynamic contexts only pay for the live-statistics fragmentation when
+  // a fragment strategy runs.
+  ExecContext context;
+  if (is_dynamic()) {
+    const std::shared_ptr<const CatalogReadView> view = catalog_view();
+    context = catalog_context(view, NeedsFragmentation(strategy)
+                                        ? DynamicFragmentation(view->state())
+                                        : nullptr);
+  } else {
+    context = static_context();
+  }
   return StrategyRegistry::Global().Execute(strategy, context, query, n,
                                             options);
 }
 
-Result<SearchResult> MmDatabase::Search(const Query& query,
-                                        const SearchOptions& options) const {
-  ExecOptions eopts;
-  eopts.switch_threshold = options.switch_threshold;
-
-  // One context per query: plan and execution must see the same storage
-  // snapshot. The dynamic/static decision is read once; a Search that
-  // raced the first mutation onto the static side stays static
-  // end-to-end (the generated collection is immutable), instead of
-  // planning statically and then executing against the catalog.
-  if (is_dynamic()) {
-    // Dynamic serving. No cost model over the evolving catalog yet: obey
-    // `force`, default to safe max-score pruning otherwise. The strategy
-    // is known before the context is built, so only fragment strategies
-    // pay for the live-statistics fragmentation.
-    SearchResult out;
-    out.strategy = options.force.value_or(PhysicalStrategy::kMaxScore);
-    out.estimate.strategy = out.strategy;
-    const ExecContext context =
-        catalog_context(catalog_view(), NeedsFragmentation(out.strategy));
-
-    WallTimer timer;
-    Result<TopNResult> top = StrategyRegistry::Global().Execute(
-        out.strategy, context, query, options.n, eopts);
-    if (!top.ok()) return top.status();
-    out.wall_millis = timer.ElapsedMillis();
-    out.top = std::move(top).ValueOrDie();
-    return out;
+StrategyCostInputs MmDatabase::DynamicStorageInputs(
+    const CatalogState& state) const {
+  // Composition() walks every component, so the digest is cached per
+  // snapshot version (single entry — mutations invalidate by bumping the
+  // version, exactly like the fragmentation cache).
+  std::lock_guard<std::mutex> lock(dyn_storage_mutex_);
+  if (!dyn_storage_valid_ || dyn_storage_version_ != state.version()) {
+    dyn_storage_ = StorageInputsFor(state.Composition());
+    dyn_storage_version_ = state.version();
+    dyn_storage_valid_ = true;
   }
-  const ExecContext context = static_context();
+  return dyn_storage_;
+}
 
-  PlannerOptions popts;
-  popts.safe_only = options.safe_only;
-  popts.force = options.force;
-  Result<RetrievalPlan> plan = planner_->Plan(query, options.n, popts);
-  if (!plan.ok()) return plan.status();
+StrategyCostInputs MmDatabase::StaticStorageInputs(
+    const SegmentReader* segment) const {
+  if (segment == nullptr) return StrategyCostInputs{};  // neutral in-memory
+  return StorageInputsForSegment(segment->codec(),
+                                 segment->has_fragment_directory());
+}
+
+namespace {
+
+/// The shared tail of RunQuery once storage has been snapshotted into a
+/// planner + context: plan (PlanForced fast path unless `explain` wants
+/// the full candidate table), fill the result's plan fields, execute.
+Result<SearchResult> PlanAndRun(const StrategyPlanner& planner,
+                                const ExecContext& context,
+                                const QueryRequest& request, bool explain,
+                                PlanDecision* decision_out) {
+  PlanRequest preq;
+  preq.n = request.n;
+  preq.quality_target = request.options.quality_target;
+  preq.force = request.options.strategy;
 
   SearchResult out;
-  out.strategy = plan.ValueOrDie().strategy;
-  out.estimate = plan.ValueOrDie().chosen;
+  PlanCandidate chosen;
+  if (!explain && !preq.force.has_value()) {
+    // Unforced hot path: same choice as Plan(), no candidate table.
+    Result<PlanCandidate> choice = planner.PlanChoice(request.query, preq);
+    if (!choice.ok()) return choice.status();
+    chosen = std::move(choice).ValueOrDie();
+    out.planned = true;
+  } else {
+    Result<PlanDecision> plan = (preq.force.has_value() && !explain)
+                                    ? planner.PlanForced(request.query, preq)
+                                    : planner.Plan(request.query, preq);
+    if (!plan.ok()) return plan.status();
+    PlanDecision decision = std::move(plan).ValueOrDie();
+    chosen = decision.chosen;
+    out.planned = !decision.forced;
+    if (decision_out != nullptr) *decision_out = std::move(decision);
+  }
 
+  out.strategy = chosen.strategy;
+  out.estimate.strategy = chosen.strategy;
+  out.estimate.predicted = chosen.predicted;
+  out.estimate.scalar = chosen.scalar;
+  out.predicted_quality = chosen.predicted_quality;
+  if (explain) return out;
+
+  ExecOptions eopts;
+  eopts.switch_threshold = request.options.switch_threshold;
   WallTimer timer;
-  Result<TopNResult> top =
-      plan.ValueOrDie().Execute(context, query, options.n, eopts);
+  Result<TopNResult> top = StrategyRegistry::Global().Execute(
+      out.strategy, context, request.query, request.n, eopts);
   if (!top.ok()) return top.status();
   out.wall_millis = timer.ElapsedMillis();
   out.top = std::move(top).ValueOrDie();
   return out;
+}
+
+}  // namespace
+
+Result<SearchResult> MmDatabase::RunQuery(const QueryRequest& request,
+                                          bool explain,
+                                          PlanDecision* decision_out) const {
+  // One storage snapshot per query: plan and execution must see the same
+  // state. The dynamic/static decision is read once; a query that raced
+  // the first mutation onto the static side stays static end-to-end (the
+  // generated collection is immutable), instead of planning statically
+  // and then executing against the catalog.
+  if (is_dynamic()) {
+    const std::shared_ptr<const CatalogReadView> view = catalog_view();
+    const CatalogState& state = view->state();
+
+    // The live-statistics fragmentation is only built when a fragment
+    // strategy could actually run: a forced fragment strategy, or planner
+    // choice with a quality target that admits unsafe strategies. At
+    // target 1.0 no fragment strategy can win — the safe one
+    // (quality_switch_full) predicts exactly heap's cost and loses the
+    // deterministic tie — so the default cursor path skips the build and
+    // its cache lock entirely. Explain always builds it: the candidate
+    // table should show the fragment strategies' predictions.
+    const bool want_frag =
+        explain || (request.options.strategy.has_value()
+                        ? NeedsFragmentation(*request.options.strategy)
+                        : request.options.quality_target < 1.0);
+    const std::shared_ptr<const Fragmentation> frag =
+        want_frag ? DynamicFragmentation(state) : nullptr;
+
+    // Statistics are borrowed straight from the snapshot (pinned by the
+    // read view for the query's lifetime) — planning copies nothing.
+    const CardinalityEstimator estimator(
+        &state.stats().df, static_cast<int64_t>(state.stats().num_live_docs),
+        frag.get());
+    const StrategyPlanner planner(&estimator, DynamicStorageInputs(state));
+    return PlanAndRun(planner, catalog_context(view, frag), request, explain,
+                      decision_out);
+  }
+
+  const ExecContext context = static_context();
+  const SegmentReader* segment =
+      static_cast<const SegmentReader*>(context.postings);
+  const StrategyPlanner planner(estimator_.get(), StaticStorageInputs(segment));
+  return PlanAndRun(planner, context, request, explain, decision_out);
+}
+
+Result<SearchResult> MmDatabase::Search(const QueryRequest& request) const {
+  return RunQuery(request, /*explain=*/false, nullptr);
+}
+
+Result<TopNResult> MmDatabase::Execute(const QueryRequest& request) const {
+  Result<SearchResult> result = RunQuery(request, /*explain=*/false, nullptr);
+  if (!result.ok()) return result.status();
+  return std::move(result).ValueOrDie().top;
+}
+
+Result<SearchResult> MmDatabase::Search(const Query& query,
+                                        const SearchOptions& options) const {
+  QueryRequest request;
+  request.query = query;
+  request.n = options.n;
+  request.options = options.ToQueryOptions();
+  return Search(request);
 }
 
 std::vector<ScoredDoc> MmDatabase::GroundTruth(const Query& query,
@@ -372,65 +465,67 @@ std::vector<double> MmDatabase::GroundTruthScores(const Query& query) const {
 }
 
 std::string MmDatabase::DescribeStorage() const {
+  // Payload only — ExplainReport::ToString prepends the "storage: " key.
   if (is_dynamic()) {
-    return "storage: " + catalog_->Snapshot()->Describe();
+    return catalog_->Snapshot()->Describe();
   }
   std::lock_guard<std::mutex> lock(snapshot_mutex_);
   if (segment_ != nullptr) {
-    return "storage: in-memory inverted file; all strategies read mmap "
-           "segment " + segment_path_ + " [" + segment_->format_name() +
-           ", " + SegmentCodecName(segment_->codec()) + " codec]" +
+    return "in-memory inverted file; all strategies read mmap segment " +
+           segment_path_ + " [" + segment_->format_name() + ", " +
+           SegmentCodecName(segment_->codec()) + " codec]" +
            (segment_->has_fragment_directory()
                 ? " (impact-ordered fragment directory)"
                 : " (no fragment directory)");
   }
-  return "storage: in-memory inverted file";
+  return "in-memory inverted file";
 }
 
-std::string MmDatabase::DescribeBlockUsage(PhysicalStrategy strategy,
-                                           const Query& query,
-                                           size_t n) const {
+bool MmDatabase::BlockUsage(PhysicalStrategy strategy, const Query& query,
+                            size_t n, int64_t* decoded,
+                            int64_t* skipped) const {
   // Best effort: re-run the query and report how the storage layer
   // behaved. A strategy that cannot execute here (missing impacts,
-  // precondition failures) simply contributes no line — the explain
+  // precondition failures) simply contributes no counters — the explain
   // itself must not fail because of it.
   const Result<TopNResult> run = Execute(strategy, query, n);
-  if (!run.ok()) return "";
+  if (!run.ok()) return false;
   const CostCounters& cost = run.ValueOrDie().stats.cost;
-  std::ostringstream os;
-  os << "blocks: decoded " << cost.blocks_decoded << ", skipped "
-     << cost.blocks_skipped
-     << " (block-directory skips + block-max pruning; 0/0 over "
-        "blockless in-memory lists)\n";
-  return os.str();
+  *decoded = cost.blocks_decoded;
+  *skipped = cost.blocks_skipped;
+  return true;
+}
+
+Result<ExplainReport> MmDatabase::ExplainSearch(
+    const QueryRequest& request) const {
+  ExplainReport report;
+  Result<SearchResult> planned =
+      RunQuery(request, /*explain=*/true, &report.decision);
+  if (!planned.ok()) return planned.status();
+  report.storage = DescribeStorage();
+  // Fragment strategies run over a fragmentation; show the split the
+  // chosen strategy would use.
+  if (NeedsFragmentation(report.decision.strategy)) {
+    report.fragmentation =
+        is_dynamic()
+            ? DynamicFragmentation(*catalog_->Snapshot())->ToString()
+            : fragmentation_.ToString();
+  }
+  report.has_blocks =
+      BlockUsage(report.decision.strategy, request.query, request.n,
+                 &report.blocks_decoded, &report.blocks_skipped);
+  return report;
 }
 
 Result<std::string> MmDatabase::ExplainSearch(
     const Query& query, const SearchOptions& options) const {
-  if (is_dynamic()) {
-    const PhysicalStrategy chosen =
-        options.force.value_or(PhysicalStrategy::kMaxScore);
-    std::ostringstream os;
-    os << "chosen: " << StrategyName(chosen)
-       << " (dynamic catalog serving: forced strategy or max-score "
-          "default; no cost model over the evolving collection)\n"
-       << DescribeStorage() << "\n";
-    // Fragment strategies run over live-statistics fragmentation; show
-    // the split the forced strategy would use.
-    if (NeedsFragmentation(chosen)) {
-      os << "fragmentation: "
-         << DynamicFragmentation(*catalog_->Snapshot())->ToString() << "\n";
-    }
-    os << DescribeBlockUsage(chosen, query, options.n);
-    return os.str();
-  }
-  PlannerOptions popts;
-  popts.safe_only = options.safe_only;
-  popts.force = options.force;
-  Result<RetrievalPlan> plan = planner_->Plan(query, options.n, popts);
-  if (!plan.ok()) return plan.status();
-  return ExplainPlan(plan.ValueOrDie()) + DescribeStorage() + "\n" +
-         DescribeBlockUsage(plan.ValueOrDie().strategy, query, options.n);
+  QueryRequest request;
+  request.query = query;
+  request.n = options.n;
+  request.options = options.ToQueryOptions();
+  Result<ExplainReport> report = ExplainSearch(request);
+  if (!report.ok()) return report.status();
+  return report.ValueOrDie().ToString();
 }
 
 }  // namespace moa

@@ -1,9 +1,13 @@
 // MmDatabase: the public facade tying everything together.
 //
 // Owns a (synthetic) collection, its inverted file with impact orders, the
-// Step-1 fragmentation, a scoring model, the Step-3 cost model/planner and
-// a sparse-index cache — and executes top-N retrieval queries with any of
-// the physical strategies, either forced or chosen by the optimizer.
+// Step-1 fragmentation, a scoring model and a sparse-index cache — and
+// executes top-N retrieval queries with any of the physical strategies.
+// Every query enters as a QueryRequest: when it names a strategy, that
+// strategy is forced; otherwise the Step-3 cost-based StrategyPlanner
+// chooses per query, in static *and* dynamic mode, from live statistics
+// and storage signals (codec, tombstone density, component count,
+// fragment-directory presence).
 //
 // Storage spine. The database starts *static*: queries read the in-memory
 // InvertedFile (optionally swapped for an attached mmap segment on the
@@ -36,7 +40,9 @@
 #include "ir/collection.h"
 #include "ir/exact_eval.h"
 #include "ir/metrics.h"
+#include "optimizer/explain.h"
 #include "optimizer/planner.h"
+#include "optimizer/strategy_planner.h"
 #include "storage/catalog/index_catalog.h"
 #include "storage/fragmentation.h"
 #include "storage/segment/segment_reader.h"
@@ -61,7 +67,34 @@ struct DatabaseConfig {
   std::string catalog_dir;
 };
 
-/// \brief Per-search options.
+/// \brief Per-query knobs of a QueryRequest.
+struct QueryOptions {
+  /// Forced strategy. Absent = the cost-based StrategyPlanner decides
+  /// from live statistics and storage signals.
+  std::optional<PhysicalStrategy> strategy;
+  /// Minimum predicted overlap@n for planner-chosen strategies: 1.0
+  /// (default) admits only exact (safe) strategies; lower values let the
+  /// planner pick cheap unsafe ones whose predicted quality still meets
+  /// the target. Ignored when `strategy` is set.
+  double quality_target = 1.0;
+  /// Quality-switch threshold used by fragment strategies.
+  double switch_threshold = 0.0;
+  /// Reserved: per-query deadline in milliseconds (0 = none). Not yet
+  /// enforced; carried so the wire format is stable.
+  double deadline_millis = 0.0;
+};
+
+/// \brief One retrieval query: the single entry point Search /
+/// SearchBatch / Execute / ExplainSearch all consume.
+struct QueryRequest {
+  Query query;
+  size_t n = 10;
+  QueryOptions options;
+};
+
+/// \brief Per-search options (legacy surface).
+/// \deprecated Use QueryRequest/QueryOptions; this maps onto them
+/// (`force` -> `strategy`, `safe_only` -> quality_target 1.0 / 0.0).
 struct SearchOptions {
   size_t n = 10;
   /// Only exact strategies may be chosen by the planner.
@@ -70,6 +103,15 @@ struct SearchOptions {
   std::optional<PhysicalStrategy> force;
   /// Quality-switch threshold used by fragment strategies.
   double switch_threshold = 0.0;
+
+  /// The QueryOptions this legacy bundle means.
+  QueryOptions ToQueryOptions() const {
+    QueryOptions q;
+    q.strategy = force;
+    q.quality_target = safe_only ? 1.0 : 0.0;
+    q.switch_threshold = switch_threshold;
+    return q;
+  }
 };
 
 /// \brief A search answer plus plan/bookkeeping.
@@ -77,6 +119,12 @@ struct SearchResult {
   TopNResult top;
   PhysicalStrategy strategy;
   PlanCostEstimate estimate;
+  /// True when the strategy was chosen by the cost-based planner (false
+  /// = forced by the request).
+  bool planned = false;
+  /// The planner's predicted overlap@n for the chosen strategy (1.0 for
+  /// safe strategies).
+  double predicted_quality = 1.0;
   double wall_millis = 0.0;
 };
 
@@ -124,28 +172,48 @@ class MmDatabase {
   /// Generates the collection, builds impact orders and fragmentation.
   static Result<std::unique_ptr<MmDatabase>> Open(const DatabaseConfig& config);
 
-  /// Plans (or obeys `force`) and executes the query. Thread-safe.
-  /// Dynamic mode has no cost model yet: the strategy is `force` if set,
-  /// else max-score (safe, pruning, cursor-based).
+  /// The single query entry point: plans (or obeys request.options.
+  /// strategy) and executes. With no forced strategy the cost-based
+  /// StrategyPlanner chooses — in static *and* dynamic mode — the
+  /// cheapest registered strategy whose predicted quality meets
+  /// request.options.quality_target, from live statistics and storage
+  /// signals (codec, tombstones, component count, fragment directory).
+  /// Thread-safe.
+  Result<SearchResult> Search(const QueryRequest& request) const;
+
+  /// Fans `requests` out across a ThreadPool of `parallelism` workers
+  /// (0 = ThreadPool::DefaultParallelism(), clamped to the batch size;
+  /// 1 runs inline) and executes each with Search(request). Results keep
+  /// request order and are bit-identical to sequential execution — all
+  /// shared state is read-only or build-once (the sparse cache), and
+  /// per-query scoring state is thread-private. Returns the first
+  /// per-query error if any request fails.
+  Result<BatchSearchResult> SearchBatch(
+      const std::vector<QueryRequest>& requests, size_t parallelism = 0) const;
+
+  /// Execute over the unified request: same planning as Search (forced
+  /// when request.options.strategy is set, cost-based otherwise), but
+  /// returns just the TopNResult. Thread-safe.
+  Result<TopNResult> Execute(const QueryRequest& request) const;
+
+  /// \deprecated Legacy shim over Search(QueryRequest); see
+  /// SearchOptions::ToQueryOptions for the mapping.
   Result<SearchResult> Search(const Query& query,
                               const SearchOptions& options) const;
 
-  /// Fans `queries` out across a ThreadPool of `parallelism` workers
-  /// (0 = ThreadPool::DefaultParallelism(), clamped to the batch size;
-  /// 1 runs inline) and executes each with Search(query, options).
-  /// Results keep query order and are bit-identical to sequential
-  /// execution — all shared state is read-only or build-once (the sparse
-  /// cache), and per-query scoring state is thread-private. Returns the
-  /// first per-query error if any query fails.
+  /// \deprecated Legacy shim over SearchBatch(std::vector<QueryRequest>):
+  /// every query gets the same options.
   Result<BatchSearchResult> SearchBatch(const std::vector<Query>& queries,
                                         const SearchOptions& options,
                                         size_t parallelism = 0) const;
 
-  /// Executes a specific strategy directly (shared by Search and benches).
-  /// `switch_threshold` is a common hint consulted by the fragment
-  /// strategies only; every other strategy ignores it by design (typed
-  /// per-strategy options go through the ExecOptions overload, where the
-  /// registry rejects family mismatches). Thread-safe.
+  /// Executes a specific strategy directly, bypassing the planner (bench
+  /// / harness path: no validation beyond the registry's own, so it can
+  /// drive any strategy over any backend). `switch_threshold` is a common
+  /// hint consulted by the fragment strategies only; every other strategy
+  /// ignores it by design (typed per-strategy options go through the
+  /// ExecOptions overload, where the registry rejects family mismatches).
+  /// Thread-safe.
   Result<TopNResult> Execute(PhysicalStrategy strategy, const Query& query,
                              size_t n, double switch_threshold = 0.0) const;
 
@@ -200,13 +268,18 @@ class MmDatabase {
   /// (tombstoned slots score 0).
   std::vector<double> GroundTruthScores(const Query& query) const;
 
-  /// Planner Explain. The report carries a `storage:` line naming what
-  /// the plan will read — the in-memory file, an attached segment with
-  /// its format/codec, or the catalog snapshot composition (memtable /
-  /// segment ids / merged cursor) — and, when the chosen strategy can
-  /// execute here, a best-effort `blocks:` line from actually running the
-  /// query: compressed blocks decoded vs skipped undecoded
-  /// (block-directory skips and block-max pruning).
+  /// Planner Explain, structured. The report carries the full planning
+  /// decision — every candidate with predicted cost, predicted quality
+  /// and a reject reason — plus what storage the plan reads (the
+  /// in-memory file, an attached segment with its format/codec, or the
+  /// catalog snapshot composition), the fragmentation a fragment strategy
+  /// would use, and, when the chosen strategy can execute here,
+  /// best-effort block counters from actually running the query
+  /// (compressed blocks decoded vs skipped undecoded). Explain always
+  /// runs the full candidate enumeration, forced strategies included.
+  Result<ExplainReport> ExplainSearch(const QueryRequest& request) const;
+
+  /// \deprecated Legacy shim: ExplainSearch(QueryRequest).ToString().
   Result<std::string> ExplainSearch(const Query& query,
                                     const SearchOptions& options) const;
 
@@ -255,13 +328,12 @@ class MmDatabase {
   /// Catalog-backed per-query context; the returned view owns model,
   /// stats view and state snapshot (also referenced by the context).
   std::shared_ptr<const CatalogReadView> catalog_view() const;
-  /// `with_fragmentation` gates the live-statistics fragmentation (its
-  /// build + single-entry cache lock): only the fragment strategies read
-  /// ExecContext::fragmentation, so the default max-score/cursor path
-  /// skips that work entirely.
+  /// `fragmentation` may be null: only the fragment strategies read
+  /// ExecContext::fragmentation, so the default cursor path passes
+  /// nullptr and skips the build + single-entry cache lock entirely.
   ExecContext catalog_context(
       const std::shared_ptr<const CatalogReadView>& view,
-      bool with_fragmentation) const;
+      std::shared_ptr<const Fragmentation> fragmentation) const;
   /// The static-mode context (in-memory file + optional attached
   /// segment); exec_context() dispatches here when not dynamic.
   ExecContext static_context() const;
@@ -270,20 +342,33 @@ class MmDatabase {
   /// entry — mutations invalidate by bumping the version).
   std::shared_ptr<const Fragmentation> DynamicFragmentation(
       const CatalogState& state) const;
-  /// The `storage:` line for ExplainSearch.
+  /// Storage signals of one catalog snapshot for the planner, digested
+  /// from its composition. Cached per snapshot version (single entry,
+  /// like DynamicFragmentation — Composition() walks all components).
+  StrategyCostInputs DynamicStorageInputs(const CatalogState& state) const;
+  /// Storage signals for static serving: neutral in-memory defaults, or
+  /// the attached segment's codec / fragment-directory signals.
+  StrategyCostInputs StaticStorageInputs(const SegmentReader* segment) const;
+  /// The one implementation behind Search / SearchBatch / Execute /
+  /// ExplainSearch: snapshots storage once, plans, and executes. A forced
+  /// strategy takes the PlanForced fast path (no enumeration). With
+  /// `explain` true the planner always enumerates the full candidate
+  /// table into *decision_out (forced requests included) and execution is
+  /// skipped — ExplainSearch reports block usage separately, best effort.
+  Result<SearchResult> RunQuery(const QueryRequest& request, bool explain,
+                                PlanDecision* decision_out) const;
+  /// Payload of the ExplainReport `storage:` field (what the plan reads).
   std::string DescribeStorage() const;
-  /// The `blocks:` line for ExplainSearch: runs the query with `strategy`
-  /// and reports blocks decoded/skipped; empty when execution fails.
-  std::string DescribeBlockUsage(PhysicalStrategy strategy, const Query& query,
-                                 size_t n) const;
+  /// Fills the ExplainReport block counters by running the query with
+  /// `strategy` (best effort; returns false when execution fails).
+  bool BlockUsage(PhysicalStrategy strategy, const Query& query, size_t n,
+                  int64_t* decoded, int64_t* skipped) const;
 
   DatabaseConfig config_;
   std::unique_ptr<Collection> collection_;
   Fragmentation fragmentation_;
   std::unique_ptr<ScoringModel> model_;
   std::unique_ptr<CardinalityEstimator> estimator_;
-  std::unique_ptr<CostModel> cost_model_;
-  std::unique_ptr<Planner> planner_;
 
   /// Optional mmap-backed posting storage attached by AttachSegment
   /// (static mode). Guarded by snapshot_mutex_ for pointer load/store;
@@ -314,6 +399,14 @@ class MmDatabase {
   mutable std::mutex dyn_frag_mutex_;
   mutable uint64_t dyn_frag_version_ = 0;
   mutable std::shared_ptr<const Fragmentation> dyn_frag_;
+
+  /// Single-entry cache of DynamicStorageInputs, keyed by snapshot
+  /// version (value type: storage signals are a handful of doubles,
+  /// copied out under the lock).
+  mutable std::mutex dyn_storage_mutex_;
+  mutable uint64_t dyn_storage_version_ = 0;
+  mutable bool dyn_storage_valid_ = false;
+  mutable StrategyCostInputs dyn_storage_;
 };
 
 }  // namespace moa

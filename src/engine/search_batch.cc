@@ -2,8 +2,9 @@
 //
 // Each worker runs the ordinary Search path — same planner, same registry
 // dispatch — against the shared read-only ExecContext; the only shared
-// mutable state is the build-once SparseIndexCache. Per-query work
-// accounting stays exact because CostTicker frames are thread-local.
+// mutable state is the build-once SparseIndexCache (and the per-snapshot
+// planner caches, internally locked). Per-query work accounting stays
+// exact because CostTicker frames are thread-local.
 #include <algorithm>
 #include <optional>
 
@@ -15,23 +16,22 @@
 namespace moa {
 
 Result<BatchSearchResult> MmDatabase::SearchBatch(
-    const std::vector<Query>& queries, const SearchOptions& options,
-    size_t parallelism) const {
+    const std::vector<QueryRequest>& requests, size_t parallelism) const {
   BatchSearchResult out;
-  out.stats.num_queries = queries.size();
-  if (queries.empty()) return out;
+  out.stats.num_queries = requests.size();
+  if (requests.empty()) return out;
 
   size_t workers =
       parallelism == 0 ? ThreadPool::DefaultParallelism() : parallelism;
-  workers = std::min(workers, queries.size());
+  workers = std::min(workers, requests.size());
   out.stats.parallelism = workers;
 
-  // Per-slot results keep query order independent of interleaving; the
+  // Per-slot results keep request order independent of interleaving; the
   // pool is joined before any slot is read.
-  std::vector<std::optional<SearchResult>> slots(queries.size());
-  std::vector<Status> statuses(queries.size(), Status::OK());
+  std::vector<std::optional<SearchResult>> slots(requests.size());
+  std::vector<Status> statuses(requests.size(), Status::OK());
   auto run_one = [&](size_t i) {
-    Result<SearchResult> r = Search(queries[i], options);
+    Result<SearchResult> r = Search(requests[i]);
     if (r.ok()) {
       slots[i] = std::move(r).ValueOrDie();
     } else {
@@ -47,9 +47,9 @@ Result<BatchSearchResult> MmDatabase::SearchBatch(
 
   WallTimer timer;
   if (pool.has_value()) {
-    pool->ParallelFor(queries.size(), run_one);
+    pool->ParallelFor(requests.size(), run_one);
   } else {
-    for (size_t i = 0; i < queries.size(); ++i) run_one(i);
+    for (size_t i = 0; i < requests.size(); ++i) run_one(i);
   }
   out.stats.wall_millis = timer.ElapsedMillis();
 
@@ -58,21 +58,38 @@ Result<BatchSearchResult> MmDatabase::SearchBatch(
   }
 
   std::vector<double> latencies;
-  latencies.reserve(queries.size());
-  out.results.reserve(queries.size());
+  latencies.reserve(requests.size());
+  out.results.reserve(requests.size());
   for (std::optional<SearchResult>& slot : slots) {
     latencies.push_back(slot->wall_millis);
     out.stats.total_cost += slot->top.stats.cost;
     out.results.push_back(std::move(*slot));
   }
 
-  out.stats.qps = static_cast<double>(queries.size()) /
+  out.stats.qps = static_cast<double>(requests.size()) /
                   (std::max(out.stats.wall_millis, 1e-6) / 1000.0);
   const Histogram latency_hist = Histogram::FromData(latencies, 64);
   out.stats.p50_millis = latency_hist.ValueAtQuantile(0.50);
   out.stats.p95_millis = latency_hist.ValueAtQuantile(0.95);
   out.stats.p99_millis = latency_hist.ValueAtQuantile(0.99);
   return out;
+}
+
+Result<BatchSearchResult> MmDatabase::SearchBatch(
+    const std::vector<Query>& queries, const SearchOptions& options,
+    size_t parallelism) const {
+  // Legacy shim: every query gets the same options.
+  std::vector<QueryRequest> requests;
+  requests.reserve(queries.size());
+  const QueryOptions qopts = options.ToQueryOptions();
+  for (const Query& query : queries) {
+    QueryRequest request;
+    request.query = query;
+    request.n = options.n;
+    request.options = qopts;
+    requests.push_back(std::move(request));
+  }
+  return SearchBatch(requests, parallelism);
 }
 
 }  // namespace moa

@@ -37,17 +37,33 @@ class HeapExecutor : public StrategyExecutor {
   }
 };
 
+CostCounters FullSortCost(const StrategyCostInputs& in) {
+  return MakeCostEstimate(in.Seq(in.volume), 0, in.volume,
+                          in.candidates * in.log2_candidates(), 0);
+}
+
+// One heap-offer per candidate; offers past the n-th cost ~log n but most
+// candidates fail the cheap threshold compare.
+CostCounters HeapCost(const StrategyCostInputs& in) {
+  return MakeCostEstimate(
+      in.Seq(in.volume), 0, in.volume,
+      in.candidates + in.n * in.log2_n() * in.log2_candidates(), 0);
+}
+
 }  // namespace
 
 void RegisterBaselineExecutors(StrategyRegistry& registry) {
   registry.MustRegister(PhysicalStrategy::kFullSort, "full_sort",
-                        /*safe=*/true, [](const ExecOptions&) {
+                        /*safe=*/true,
+                        [](const ExecOptions&) {
                           return std::make_unique<FullSortExecutor>();
-                        });
+                        },
+                        kNoStrategyOptions, PlannerHooks{&FullSortCost});
   registry.MustRegister(PhysicalStrategy::kHeap, "heap", /*safe=*/true,
                         [](const ExecOptions&) {
                           return std::make_unique<HeapExecutor>();
-                        });
+                        },
+                        kNoStrategyOptions, PlannerHooks{&HeapCost});
 }
 
 }  // namespace moa

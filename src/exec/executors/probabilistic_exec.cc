@@ -2,6 +2,9 @@
 // (topn/probabilistic.h). Cursor-based: the cutoff estimation only needs
 // the dense score accumulation, which streams through PostingCursors over
 // any storage.
+#include <algorithm>
+#include <cmath>
+
 #include "exec/builtin.h"
 #include "exec/registry.h"
 #include "topn/probabilistic.h"
@@ -29,6 +32,14 @@ class ProbabilisticExecutor : public StrategyExecutor {
   ProbabilisticOptions options_;
 };
 
+CostCounters ProbabilisticCost(const StrategyCostInputs& in) {
+  const double survivors =
+      std::min(in.candidates, in.n + 2.0 * std::sqrt(in.n));
+  return MakeCostEstimate(in.Seq(in.volume), in.Random(512), in.volume,
+                          in.candidates + survivors * in.log2_n(),
+                          16.0 * survivors);
+}
+
 }  // namespace
 
 void RegisterProbabilisticExecutors(StrategyRegistry& registry) {
@@ -42,7 +53,8 @@ void RegisterProbabilisticExecutors(StrategyRegistry& registry) {
         }
         return std::make_unique<ProbabilisticExecutor>(opts);
       },
-      ExecOptionsIndexOf<ProbabilisticOptions>());
+      ExecOptionsIndexOf<ProbabilisticOptions>(),
+      PlannerHooks{&ProbabilisticCost});
 }
 
 }  // namespace moa

@@ -32,7 +32,8 @@ const char* ExecOptionsVariantName(size_t index) {
 
 Status StrategyRegistry::Register(PhysicalStrategy strategy, std::string name,
                                   bool safe, Factory factory,
-                                  size_t accepts_options) {
+                                  size_t accepts_options,
+                                  PlannerHooks planner) {
   if (!factory) {
     return Status::InvalidArgument("null factory for strategy " + name);
   }
@@ -43,16 +44,17 @@ Status StrategyRegistry::Register(PhysicalStrategy strategy, std::string name,
     return Status::InvalidArgument("strategy name already taken: " + name);
   }
   entries_.emplace(strategy, Entry{std::move(name), safe, std::move(factory),
-                                   accepts_options});
+                                   accepts_options, planner});
   return Status::OK();
 }
 
 void StrategyRegistry::MustRegister(PhysicalStrategy strategy,
                                     std::string name, bool safe,
-                                    Factory factory, size_t accepts_options) {
+                                    Factory factory, size_t accepts_options,
+                                    PlannerHooks planner) {
   const std::string shown = name;
   Status st = Register(strategy, std::move(name), safe, std::move(factory),
-                       accepts_options);
+                       accepts_options, planner);
   if (!st.ok()) {
     std::fprintf(stderr, "fatal: registering strategy '%s': %s\n",
                  shown.c_str(), st.ToString().c_str());

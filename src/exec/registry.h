@@ -19,6 +19,7 @@
 #include <vector>
 
 #include "exec/executor.h"
+#include "exec/plan_hooks.h"
 #include "exec/strategy.h"
 
 namespace moa {
@@ -50,6 +51,11 @@ class StrategyRegistry {
     /// (kNoStrategyOptions = common knobs only). Execute/Make reject typed
     /// options of any other family instead of silently ignoring them.
     size_t accepts_options = kNoStrategyOptions;
+    /// Cost/quality formulas + availability metadata the cost model and
+    /// the per-query StrategyPlanner read (see exec/plan_hooks.h). A
+    /// default-constructed value (null cost hook) keeps the strategy
+    /// executable but invisible to cost-based choice.
+    PlannerHooks planner;
   };
 
   /// The process-wide registry, populated with the built-in executors on
@@ -59,16 +65,20 @@ class StrategyRegistry {
   /// Registers a strategy; rejects duplicate strategies and names.
   /// `accepts_options` names the ExecOptions alternative the strategy
   /// consumes (ExecOptionsIndexOf<T>(); default: typed options rejected).
+  /// `planner` carries the cost/quality hooks cost-based choice reads; the
+  /// default (null cost hook) makes the strategy forced-only.
   Status Register(PhysicalStrategy strategy, std::string name, bool safe,
                   Factory factory,
-                  size_t accepts_options = kNoStrategyOptions);
+                  size_t accepts_options = kNoStrategyOptions,
+                  PlannerHooks planner = {});
 
   /// Register that aborts the process on failure — for built-in
   /// registration, where a duplicate strategy or name is a programming
   /// error that must not silently drop an executor.
   void MustRegister(PhysicalStrategy strategy, std::string name, bool safe,
                     Factory factory,
-                    size_t accepts_options = kNoStrategyOptions);
+                    size_t accepts_options = kNoStrategyOptions,
+                    PlannerHooks planner = {});
 
   bool Has(PhysicalStrategy strategy) const;
   /// The entry for `strategy`, or nullptr if unregistered.

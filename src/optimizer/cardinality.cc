@@ -6,9 +6,24 @@ CardinalityEstimator::CardinalityEstimator(const InvertedFile* file,
                                            const Fragmentation* frag)
     : file_(file), frag_(frag) {}
 
+CardinalityEstimator::CardinalityEstimator(
+    const std::vector<uint32_t>* df_by_term, int64_t num_docs,
+    const Fragmentation* frag)
+    : file_(nullptr), frag_(frag), df_(df_by_term), num_docs_(num_docs) {}
+
+uint32_t CardinalityEstimator::df(TermId t) const {
+  if (file_ != nullptr) return file_->DocFrequency(t);
+  return t < df_->size() ? (*df_)[t] : 0;
+}
+
+int64_t CardinalityEstimator::num_docs() const {
+  return file_ != nullptr ? static_cast<int64_t>(file_->num_docs())
+                          : num_docs_;
+}
+
 int64_t CardinalityEstimator::QueryVolume(const Query& query) const {
   int64_t v = 0;
-  for (TermId t : query.terms) v += file_->DocFrequency(t);
+  for (TermId t : query.terms) v += df(t);
   return v;
 }
 
@@ -17,24 +32,24 @@ int64_t CardinalityEstimator::QueryVolume(const Query& query,
   if (frag_ == nullptr) return fragment == FragmentId::kLarge ? 0 : QueryVolume(query);
   int64_t v = 0;
   for (TermId t : query.terms) {
-    if (frag_->fragment_of(t) == fragment) v += file_->DocFrequency(t);
+    if (frag_->fragment_of(t) == fragment) v += df(t);
   }
   return v;
 }
 
 double CardinalityEstimator::ExpectedCandidates(const Query& query) const {
-  const double d = static_cast<double>(file_->num_docs());
+  const double d = static_cast<double>(num_docs());
   if (d == 0) return 0.0;
   double p_none = 1.0;
   for (TermId t : query.terms) {
-    p_none *= 1.0 - static_cast<double>(file_->DocFrequency(t)) / d;
+    p_none *= 1.0 - static_cast<double>(df(t)) / d;
   }
   return d * (1.0 - p_none);
 }
 
 int CardinalityEstimator::ActiveTerms(const Query& query) const {
   int m = 0;
-  for (TermId t : query.terms) m += file_->DocFrequency(t) > 0 ? 1 : 0;
+  for (TermId t : query.terms) m += df(t) > 0 ? 1 : 0;
   return m;
 }
 
@@ -43,7 +58,7 @@ int CardinalityEstimator::ActiveTerms(const Query& query,
   if (frag_ == nullptr) return fragment == FragmentId::kLarge ? 0 : ActiveTerms(query);
   int m = 0;
   for (TermId t : query.terms) {
-    if (file_->DocFrequency(t) > 0 && frag_->fragment_of(t) == fragment) ++m;
+    if (df(t) > 0 && frag_->fragment_of(t) == fragment) ++m;
   }
   return m;
 }

@@ -3,6 +3,7 @@
 #define MOA_OPTIMIZER_CARDINALITY_H_
 
 #include <cstdint>
+#include <vector>
 
 #include "ir/query_gen.h"
 #include "storage/fragmentation.h"
@@ -10,15 +11,28 @@
 
 namespace moa {
 
-/// \brief Estimates over one inverted file (and optional fragmentation).
+/// \brief Estimates over one statistics source (and optional
+/// fragmentation).
 ///
 /// All estimates come from exact, cheap statistics (document frequencies),
 /// combined under a term-independence assumption — the centralized "much
-/// simpler cost model" the paper's Step 3 argues Moa affords.
+/// simpler cost model" the paper's Step 3 argues Moa affords. The
+/// statistics come either from a static InvertedFile or from a plain df
+/// vector (e.g. a catalog snapshot's live per-term df), so the same
+/// estimator serves static and dynamic serving modes.
 class CardinalityEstimator {
  public:
   explicit CardinalityEstimator(const InvertedFile* file,
                                 const Fragmentation* frag = nullptr);
+
+  /// Estimator over live statistics: per-term df (indexed by TermId,
+  /// out-of-range terms have df 0) and the live document count. Borrows
+  /// `df_by_term` — the caller keeps it alive (a catalog snapshot's
+  /// stats vector, pinned by the query's read view) so per-query
+  /// planning never copies statistics.
+  CardinalityEstimator(const std::vector<uint32_t>* df_by_term,
+                       int64_t num_docs,
+                       const Fragmentation* frag = nullptr);
 
   /// Total postings volume of the query (sum of document frequencies).
   int64_t QueryVolume(const Query& query) const;
@@ -36,12 +50,20 @@ class CardinalityEstimator {
   /// Number of query terms living in the given fragment (df > 0).
   int ActiveTerms(const Query& query, FragmentId fragment) const;
 
+  /// Document frequency of one term under this estimator's statistics.
+  uint32_t df(TermId t) const;
+  /// Live document count under this estimator's statistics.
+  int64_t num_docs() const;
+
+  /// Only valid for file-backed estimators (static serving mode).
   const InvertedFile& file() const { return *file_; }
   const Fragmentation* fragmentation() const { return frag_; }
 
  private:
   const InvertedFile* file_;
   const Fragmentation* frag_;
+  const std::vector<uint32_t>* df_ = nullptr;  ///< used when file_ == nullptr
+  int64_t num_docs_ = 0;                       ///< used when file_ == nullptr
 };
 
 }  // namespace moa

@@ -1,8 +1,9 @@
 #include "optimizer/cost_model.h"
 
 #include <algorithm>
-#include <cmath>
 #include <sstream>
+
+#include "exec/registry.h"
 
 namespace moa {
 
@@ -13,143 +14,59 @@ std::string PlanCostEstimate::ToString() const {
   return os.str();
 }
 
+StrategyCostInputs BuildCostInputs(const CardinalityEstimator& est,
+                                   const Query& query, size_t n,
+                                   const StrategyCostInputs& storage) {
+  StrategyCostInputs in = storage;
+  in.volume = static_cast<double>(est.QueryVolume(query));
+  in.candidates = std::max(1.0, est.ExpectedCandidates(query));
+  in.n = std::max<double>(1.0, static_cast<double>(n));
+  in.active_terms = static_cast<double>(std::max(1, est.ActiveTerms(query)));
+  in.has_fragmentation = est.fragmentation() != nullptr;
+  if (in.has_fragmentation) {
+    in.small_volume =
+        static_cast<double>(est.QueryVolume(query, FragmentId::kSmall));
+    in.large_volume =
+        static_cast<double>(est.QueryVolume(query, FragmentId::kLarge));
+    in.large_active_terms =
+        static_cast<double>(est.ActiveTerms(query, FragmentId::kLarge));
+  }
+  return in;
+}
+
 CostModel::CostModel(const CardinalityEstimator* estimator)
     : est_(estimator) {}
 
 bool CostModel::Available(PhysicalStrategy strategy, const Query& query) const {
-  switch (strategy) {
-    case PhysicalStrategy::kSmallFragment:
-    case PhysicalStrategy::kQualitySwitchFull:
-    case PhysicalStrategy::kQualitySwitchSparse:
-      return est_->fragmentation() != nullptr;
-    case PhysicalStrategy::kFaginFA:
-    case PhysicalStrategy::kFaginTA:
-    case PhysicalStrategy::kFaginNRA:
-    case PhysicalStrategy::kMaxScore:
-    case PhysicalStrategy::kQuitPrune:
-      return est_->ActiveTerms(query) >= 1;
-    default:
-      return true;
+  const StrategyRegistry::Entry* entry =
+      StrategyRegistry::Global().Find(strategy);
+  if (entry == nullptr) return false;
+  const PlannerHooks& hooks = entry->planner;
+  if (hooks.cost == nullptr) return false;  // no model -> forced-only
+  if (hooks.needs_fragmentation && est_->fragmentation() == nullptr) {
+    return false;
   }
+  if (hooks.needs_active_terms && est_->ActiveTerms(query) < 1) return false;
+  return true;
 }
 
 PlanCostEstimate CostModel::Estimate(PhysicalStrategy strategy,
                                      const Query& query, size_t n) const {
   PlanCostEstimate out;
   out.strategy = strategy;
-  CostCounters& c = out.predicted;
-
-  const double v = static_cast<double>(est_->QueryVolume(query));
-  const double cand = std::max(1.0, est_->ExpectedCandidates(query));
-  const double nn = std::max<double>(1.0, static_cast<double>(n));
-  const double m = std::max(1, est_->ActiveTerms(query));
-  const double log2c = std::log2(cand + 2.0);
-  const double log2n = std::log2(nn + 2.0);
-
-  auto set = [&](double seq, double rnd, double score, double cmp,
-                 double bytes) {
-    c.sequential_reads = static_cast<int64_t>(seq);
-    c.random_reads = static_cast<int64_t>(rnd);
-    c.score_evals = static_cast<int64_t>(score);
-    c.compares = static_cast<int64_t>(cmp);
-    c.bytes_touched = static_cast<int64_t>(bytes);
-  };
-
-  switch (strategy) {
-    case PhysicalStrategy::kFullSort:
-      set(v, 0, v, cand * log2c, 0);
-      break;
-    case PhysicalStrategy::kHeap:
-      // One heap-offer per candidate; offers past the n-th cost ~log n but
-      // most candidates fail the cheap threshold compare.
-      set(v, 0, v, cand + nn * log2n * log2c, 0);
-      break;
-    case PhysicalStrategy::kFaginTA: {
-      // On impact-ordered Zipf-weighted lists the threshold collapses far
-      // faster than the classical independence bound suggests; calibrated
-      // against bench_e5: per-list depth ~ n + sqrt(cand).
-      const double depth = nn + std::sqrt(cand);
-      const double sorted = std::min(v, m * depth);
-      const double random = sorted * (m - 1.0);
-      set(sorted, random, random + sorted, sorted * log2n, 0);
-      break;
-    }
-    case PhysicalStrategy::kFaginFA: {
-      // FA's sorted phase runs ~4-6x deeper than TA's (it cannot stop on
-      // the threshold), and phase 2 random-accesses every seen document in
-      // every list.
-      const double depth = 5.0 * (nn + std::sqrt(cand));
-      const double sorted = std::min(v, m * depth);
-      const double seen = std::min(cand, 2.0 * sorted);
-      set(sorted, seen * m, seen * m, seen * log2n, 0);
-      break;
-    }
-    case PhysicalStrategy::kFaginNRA: {
-      // Without random access NRA must drain most of the volume before the
-      // per-candidate upper bounds drop below the n-th lower bound
-      // (bench_e5: 40-85% of the volume); bound maintenance adds compares.
-      const double sorted = 0.6 * v;
-      set(sorted, 0, 0, 4.0 * sorted, 0);
-      break;
-    }
-    case PhysicalStrategy::kStopAfterConservative:
-      set(v, 0, v, cand + nn * log2c, 16.0 * cand);
-      break;
-    case PhysicalStrategy::kStopAfterAggressive: {
-      const double survivors = std::min(cand, 1.5 * nn);
-      set(v, 512, v, cand + survivors * log2n, 16.0 * survivors);
-      break;
-    }
-    case PhysicalStrategy::kProbabilistic: {
-      const double survivors = std::min(cand, nn + 2.0 * std::sqrt(nn));
-      set(v, 512, v, cand + survivors * log2n, 16.0 * survivors);
-      break;
-    }
-    case PhysicalStrategy::kSmallFragment: {
-      const double vs = static_cast<double>(
-          est_->QueryVolume(query, FragmentId::kSmall));
-      set(vs, 0, vs, vs + nn * log2n, 0);
-      break;
-    }
-    case PhysicalStrategy::kQualitySwitchFull: {
-      const double vs = static_cast<double>(
-          est_->QueryVolume(query, FragmentId::kSmall));
-      const double vl = static_cast<double>(
-          est_->QueryVolume(query, FragmentId::kLarge));
-      // Assume the check fires (frequent terms almost always can shift the
-      // top n); cost = both passes + final selection.
-      set(vs + vl, 0, vs + vl, cand + nn * log2n * log2c, 0);
-      break;
-    }
-    case PhysicalStrategy::kQualitySwitchSparse: {
-      const double vs = static_cast<double>(
-          est_->QueryVolume(query, FragmentId::kSmall));
-      const double ml = est_->ActiveTerms(query, FragmentId::kLarge);
-      const double pool = 4.0 * nn;
-      const double block = 64.0;
-      // Per probe: one directory descent + half a block scan.
-      set(vs + ml * pool * block / 2.0, ml * pool, vs + ml * pool,
-          cand + nn * log2n, 0);
-      break;
-    }
-    case PhysicalStrategy::kMaxScore: {
-      // All postings are read; scoring stops for non-accumulated docs once
-      // the bound binds. Rare terms insert ~their volume; the frequent
-      // tail mostly updates. Model: full seq, ~60% scored, nth-refresh
-      // compares per term.
-      set(v, 0, 0.6 * v, cand + m * cand * 0.1 + nn * log2n, 0);
-      break;
-    }
-    case PhysicalStrategy::kQuitPrune: {
-      // QUIT stops after the selective (rare) terms have filled the top n:
-      // work tracks the TA-like depth, not the volume (bench_e11: the
-      // frequent tail is never touched).
-      const double touched = std::min(v, 2.0 * m * (nn + std::sqrt(cand)));
-      set(touched, 0, touched, touched + nn * log2n, 0);
-      break;
-    }
+  const StrategyRegistry::Entry* entry =
+      StrategyRegistry::Global().Find(strategy);
+  if (entry == nullptr || entry->planner.cost == nullptr) {
+    // Unregistered or model-less strategy: nothing to predict (scalar 0,
+    // and Available() already excludes it from cost-based choice).
+    return out;
   }
-  out.scalar = c.Scalar();
+  // Neutral storage signals: the historical cost model assumed the static
+  // in-memory inverted file, so CostModel stays bit-identical to it (the
+  // storage-aware inputs are the StrategyPlanner's job).
+  const StrategyCostInputs in = BuildCostInputs(*est_, query, n);
+  out.predicted = entry->planner.cost(in);
+  out.scalar = out.predicted.Scalar();
   return out;
 }
 

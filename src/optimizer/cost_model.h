@@ -11,12 +11,22 @@
 #include <vector>
 
 #include "common/cost_ticker.h"
+#include "exec/plan_hooks.h"
 // PhysicalStrategy and the name/safety helpers live in the exec layer now;
 // re-exported here for source compatibility with pre-exec callers.
 #include "exec/strategy.h"
 #include "optimizer/cardinality.h"
 
 namespace moa {
+
+/// Digests (query, n) into the inputs a strategy's registered cost hook
+/// consumes: cardinalities from `est`, fragment split when `est` carries a
+/// fragmentation, storage signals copied from `storage` (defaults =
+/// neutral static in-memory configuration). Shared by CostModel (neutral)
+/// and StrategyPlanner (snapshot-derived signals).
+StrategyCostInputs BuildCostInputs(const CardinalityEstimator& est,
+                                   const Query& query, size_t n,
+                                   const StrategyCostInputs& storage = {});
 
 /// \brief Predicted work + scalar cost for one (strategy, query, n).
 struct PlanCostEstimate {

@@ -59,6 +59,50 @@ std::string ExplainTrace(const RewriteTrace& trace) {
   return os.str();
 }
 
+std::string ExplainReport::ToString() const {
+  const StrategyRegistry& registry = StrategyRegistry::Global();
+  std::ostringstream os;
+  os << "chosen: " << StrategyName(decision.strategy);
+  if (decision.forced) {
+    os << " (forced)";
+  } else {
+    os << " (planned: quality_target=" << decision.quality_target
+       << ", predicted_quality=" << decision.chosen.predicted_quality << ")";
+  }
+  os << "\n";
+  os << "alternatives (cheapest first):\n";
+  for (const PlanCandidate& cand : decision.candidates) {
+    os << "  " << StrategyName(cand.strategy) << ": ";
+    if (cand.costed) {
+      os << "scalar=" << cand.scalar << " " << cand.predicted.ToString();
+      if (cand.predicted_quality < 1.0) {
+        os << " quality=" << cand.predicted_quality;
+      }
+    } else {
+      os << "(uncosted)";
+    }
+    os << (cand.safe ? " [safe]" : " [unsafe]");
+    const StrategyRegistry::Entry* entry = registry.Find(cand.strategy);
+    if (entry != nullptr && entry->accepts_options != kNoStrategyOptions) {
+      os << " [options: " << ExecOptionsVariantName(entry->accepts_options)
+         << "]";
+    }
+    if (cand.reject != PlanReject::kNone) {
+      os << " — " << PlanRejectName(cand.reject);
+    }
+    os << "\n";
+  }
+  os << "storage: " << storage << "\n";
+  if (!fragmentation.empty()) os << "fragmentation: " << fragmentation << "\n";
+  if (has_blocks) {
+    os << "blocks: decoded " << blocks_decoded << ", skipped "
+       << blocks_skipped
+       << " (block-directory skips + block-max pruning; 0/0 over "
+          "blockless in-memory lists)\n";
+  }
+  return os.str();
+}
+
 std::string ExplainPlan(const RetrievalPlan& plan) {
   const StrategyRegistry& registry = StrategyRegistry::Global();
   std::ostringstream os;

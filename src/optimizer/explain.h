@@ -2,10 +2,12 @@
 #ifndef MOA_OPTIMIZER_EXPLAIN_H_
 #define MOA_OPTIMIZER_EXPLAIN_H_
 
+#include <cstdint>
 #include <string>
 
 #include "algebra/expr.h"
 #include "optimizer/rule.h"
+#include "optimizer/strategy_planner.h"
 
 namespace moa {
 
@@ -24,6 +26,31 @@ struct RetrievalPlan;
 /// annotated with its exec-registry metadata ([safe] / [unsafe] /
 /// [unregistered]) — no per-strategy knowledge lives here.
 std::string ExplainPlan(const RetrievalPlan& plan);
+
+/// \brief Structured result of MmDatabase::ExplainSearch.
+///
+/// Everything the old text output said, as data: the full planning
+/// decision (every candidate with predicted cost, predicted quality and
+/// reject reason), what storage the plan reads, the fragmentation the
+/// fragment strategies would use, and the block-level behavior of a
+/// best-effort execution. ToString() renders the classic multi-line text
+/// ("chosen: ...", "alternatives (cheapest first): ...", "storage: ...",
+/// "blocks: ...").
+struct ExplainReport {
+  PlanDecision decision;
+  /// Payload of the `storage:` line (what the plan will read).
+  std::string storage;
+  /// Payload of the `fragmentation:` line; empty = line omitted (no
+  /// fragment strategy involved).
+  std::string fragmentation;
+  /// Block-level counters from actually running the chosen strategy;
+  /// has_blocks = false when that execution was not possible.
+  bool has_blocks = false;
+  int64_t blocks_decoded = 0;
+  int64_t blocks_skipped = 0;
+
+  std::string ToString() const;
+};
 
 }  // namespace moa
 

@@ -1,0 +1,301 @@
+#include "optimizer/strategy_planner.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "exec/registry.h"
+
+namespace moa {
+namespace {
+
+// ---- storage-signal calibration ------------------------------------------
+//
+// Measured against the cursor benches (bench_e13 batch throughput,
+// bench_e14 storage comparison, bench_e15 lifecycle): scan rate over
+// mmap-compressed blocks vs the in-memory file, and FindTf over a
+// multi-component snapshot vs a single segment. Recalibrate with
+// scripts/bench_snapshot.sh (see CONTRIBUTING.md).
+
+/// Bit-packed (MOAIF03) blocks bulk-decode close to memory speed.
+constexpr double kBitPackedDecodeFactor = 1.15;
+/// Varbyte (MOAIF02) decodes byte-at-a-time, noticeably slower per
+/// posting (bench_e14: ~1.3-1.6x the bit-packed scan time).
+constexpr double kVarbyteDecodeFactor = 1.4;
+/// Each extra snapshot component adds a binary-search step to every
+/// random probe (CatalogState::Locate) plus a per-component seek.
+constexpr double kComponentProbeFactor = 0.5;
+/// Sorted (impact-order) access over a segment *with* a fragment
+/// directory decodes lazily but still touches directory blocks.
+constexpr double kDirectorySortedFactor = 1.1;
+/// Without a directory, impact order means decode-and-sort whole lists.
+constexpr double kNoDirectorySortedFactor = 3.0;
+
+/// Quality comparisons tolerate FP noise from the hook arithmetic.
+constexpr double kQualityEps = 1e-9;
+
+double Share(uint64_t part, uint64_t whole) {
+  return whole == 0 ? 0.0
+                    : static_cast<double>(part) / static_cast<double>(whole);
+}
+
+/// One candidate's evaluation — shared verbatim by Plan() (which collects
+/// all of them) and PlanChoice() (which only tracks the running minimum),
+/// so the two paths cannot disagree on eligibility or cost.
+PlanCandidate Evaluate(const StrategyRegistry::Entry& entry,
+                       PhysicalStrategy s, const StrategyCostInputs& inputs,
+                       int active_terms, const PlanRequest& request) {
+  const PlannerHooks& hooks = entry.planner;
+
+  PlanCandidate cand;
+  cand.strategy = s;
+  cand.safe = entry.safe;
+
+  const bool excluded =
+      std::find(request.exclude.begin(), request.exclude.end(), s) !=
+      request.exclude.end();
+  const bool missing_frag =
+      hooks.needs_fragmentation && !inputs.has_fragmentation;
+  const bool missing_terms = hooks.needs_active_terms && active_terms < 1;
+
+  // Cost whatever we can, rejected candidates included: the Explain
+  // report shows every alternative's prediction. Only a missing
+  // fragmentation makes the fragment-split inputs meaningless.
+  if (hooks.cost != nullptr && !missing_frag) {
+    cand.costed = true;
+    cand.predicted = hooks.cost(inputs);
+    cand.scalar = cand.predicted.Scalar();
+    cand.predicted_quality =
+        hooks.quality != nullptr ? hooks.quality(inputs) : 1.0;
+  }
+
+  if (hooks.cost == nullptr) {
+    cand.reject = PlanReject::kNoCostModel;
+  } else if (missing_frag) {
+    cand.reject = PlanReject::kNeedsFragmentation;
+  } else if (missing_terms) {
+    cand.reject = PlanReject::kNoActiveTerms;
+  } else if (excluded) {
+    cand.reject = PlanReject::kExcluded;
+  } else if (cand.predicted_quality + kQualityEps < request.quality_target) {
+    cand.reject = PlanReject::kBelowQualityTarget;
+  }
+  return cand;
+}
+
+Status NoEligibleCandidate() {
+  return Status::FailedPrecondition(
+      "no strategy meets the request (quality target too high for the "
+      "eligible candidates?)");
+}
+
+}  // namespace
+
+const char* PlanRejectName(PlanReject reject) {
+  switch (reject) {
+    case PlanReject::kNone: return "chosen";
+    case PlanReject::kNoCostModel: return "no-cost-model";
+    case PlanReject::kNeedsFragmentation: return "needs-fragmentation";
+    case PlanReject::kNoActiveTerms: return "no-active-terms";
+    case PlanReject::kExcluded: return "excluded";
+    case PlanReject::kBelowQualityTarget: return "below-quality-target";
+    case PlanReject::kCostlier: return "costlier";
+    case PlanReject::kForcedOther: return "forced-other";
+  }
+  return "?";
+}
+
+StrategyCostInputs StorageInputsFor(const CatalogComposition& c) {
+  StrategyCostInputs in;
+  const uint64_t total = c.total_slots();
+  if (total == 0) return in;
+
+  // Decode cost: weighted by where the postings actually live. The
+  // memtable streams raw arrays (factor 1).
+  in.decode_factor =
+      1.0 +
+      (kBitPackedDecodeFactor - 1.0) * Share(c.bitpacked_slots, total) +
+      (kVarbyteDecodeFactor - 1.0) * Share(c.varbyte_slots, total);
+
+  // Tombstoned slots keep their postings until a merge: cursors stream
+  // and skip them, so per live posting the scan pays ~dead/live extra.
+  const uint64_t live = total - std::min(total, c.dead_slots);
+  in.tombstone_overhead =
+      live == 0 ? 0.0
+                : static_cast<double>(c.dead_slots) / static_cast<double>(live);
+
+  // Random access: FindTf locates the owning component first.
+  const size_t components = c.num_segments + (c.memtable_slots > 0 ? 1 : 0);
+  in.random_access_factor =
+      1.0 + kComponentProbeFactor *
+                std::log2(static_cast<double>(std::max<size_t>(1, components)));
+
+  // Sorted access: memtable impact orders are native; segments depend on
+  // the fragment directory.
+  in.sorted_access_factor =
+      Share(c.memtable_slots, total) +
+      kDirectorySortedFactor * Share(c.directory_slots, total) +
+      kNoDirectorySortedFactor *
+          Share(c.segment_slots - std::min(c.segment_slots, c.directory_slots),
+                total);
+  return in;
+}
+
+StrategyCostInputs StorageInputsForSegment(SegmentCodec codec,
+                                           bool has_fragment_directory) {
+  StrategyCostInputs in;
+  in.decode_factor = codec == SegmentCodec::kBitPacked
+                         ? kBitPackedDecodeFactor
+                         : kVarbyteDecodeFactor;
+  in.sorted_access_factor = has_fragment_directory ? kDirectorySortedFactor
+                                                   : kNoDirectorySortedFactor;
+  return in;
+}
+
+StrategyPlanner::StrategyPlanner(const CardinalityEstimator* estimator,
+                                 const StrategyCostInputs& storage)
+    : est_(estimator), storage_(storage) {}
+
+Result<PlanDecision> StrategyPlanner::Plan(const Query& query,
+                                           const PlanRequest& request) const {
+  const StrategyRegistry& registry = StrategyRegistry::Global();
+  const StrategyCostInputs inputs =
+      BuildCostInputs(*est_, query, request.n, storage_);
+  const int active_terms = est_->ActiveTerms(query);
+
+  PlanDecision decision;
+  decision.quality_target = request.quality_target;
+  decision.candidates.reserve(AllStrategies().size());
+
+  for (PhysicalStrategy s : AllStrategies()) {
+    const StrategyRegistry::Entry* entry = registry.Find(s);
+    if (entry == nullptr) continue;  // not executable at all
+    decision.candidates.push_back(
+        Evaluate(*entry, s, inputs, active_terms, request));
+  }
+
+  // Costed candidates cheapest-first, uncostable ones after; enum order
+  // breaks ties, so the decision is deterministic.
+  std::sort(decision.candidates.begin(), decision.candidates.end(),
+            [](const PlanCandidate& a, const PlanCandidate& b) {
+              if (a.costed != b.costed) return a.costed;
+              if (a.costed && a.scalar != b.scalar) return a.scalar < b.scalar;
+              return static_cast<int>(a.strategy) <
+                     static_cast<int>(b.strategy);
+            });
+
+  if (request.force.has_value()) {
+    PlanCandidate* forced = nullptr;
+    for (PlanCandidate& c : decision.candidates) {
+      if (c.strategy == *request.force) forced = &c;
+    }
+    if (forced == nullptr) {
+      return Status::FailedPrecondition(
+          std::string("forced strategy unregistered: ") +
+          StrategyName(*request.force));
+    }
+    if (forced->reject == PlanReject::kNeedsFragmentation ||
+        forced->reject == PlanReject::kNoActiveTerms) {
+      return Status::FailedPrecondition(
+          std::string("forced strategy unavailable: ") +
+          StrategyName(*request.force));
+    }
+    // Forcing overrides cost- and quality-based rejection by design.
+    forced->reject = PlanReject::kNone;
+    decision.forced = true;
+    decision.strategy = *request.force;
+    decision.chosen = *forced;
+    for (PlanCandidate& c : decision.candidates) {
+      if (c.strategy != *request.force && c.reject == PlanReject::kNone) {
+        c.reject = PlanReject::kForcedOther;
+      }
+    }
+    return decision;
+  }
+
+  return Choose(std::move(decision));
+}
+
+Result<PlanCandidate> StrategyPlanner::PlanChoice(
+    const Query& query, const PlanRequest& request) const {
+  const StrategyRegistry& registry = StrategyRegistry::Global();
+  const StrategyCostInputs inputs =
+      BuildCostInputs(*est_, query, request.n, storage_);
+  const int active_terms = est_->ActiveTerms(query);
+
+  PlanCandidate best;
+  bool have = false;
+  for (PhysicalStrategy s : AllStrategies()) {
+    const StrategyRegistry::Entry* entry = registry.Find(s);
+    if (entry == nullptr) continue;
+    const PlanCandidate cand =
+        Evaluate(*entry, s, inputs, active_terms, request);
+    if (cand.reject != PlanReject::kNone) continue;  // eligible == costed
+    // Strict < keeps the earlier (lower-enum) strategy on scalar ties —
+    // AllStrategies iterates in enum order, so this reproduces Plan()'s
+    // deterministic sort exactly.
+    if (!have || cand.scalar < best.scalar) {
+      best = cand;
+      have = true;
+    }
+  }
+  if (!have) return NoEligibleCandidate();
+  return best;
+}
+
+Result<PlanDecision> StrategyPlanner::PlanForced(
+    const Query& query, const PlanRequest& request) const {
+  const StrategyRegistry& registry = StrategyRegistry::Global();
+  const PhysicalStrategy s = *request.force;
+  const StrategyRegistry::Entry* entry = registry.Find(s);
+  if (entry == nullptr) {
+    return Status::FailedPrecondition(
+        std::string("forced strategy unregistered: ") + StrategyName(s));
+  }
+  const PlannerHooks& hooks = entry->planner;
+  const StrategyCostInputs inputs =
+      BuildCostInputs(*est_, query, request.n, storage_);
+  if (hooks.needs_fragmentation && !inputs.has_fragmentation) {
+    return Status::FailedPrecondition(
+        std::string("forced strategy unavailable: ") + StrategyName(s));
+  }
+  if (hooks.needs_active_terms && est_->ActiveTerms(query) < 1) {
+    return Status::FailedPrecondition(
+        std::string("forced strategy unavailable: ") + StrategyName(s));
+  }
+  PlanDecision decision;
+  decision.forced = true;
+  decision.strategy = s;
+  decision.quality_target = request.quality_target;
+  decision.chosen.strategy = s;
+  decision.chosen.safe = entry->safe;
+  if (hooks.cost != nullptr) {
+    decision.chosen.costed = true;
+    decision.chosen.predicted = hooks.cost(inputs);
+    decision.chosen.scalar = decision.chosen.predicted.Scalar();
+    decision.chosen.predicted_quality =
+        hooks.quality != nullptr ? hooks.quality(inputs) : 1.0;
+  }
+  decision.candidates.push_back(decision.chosen);
+  return decision;
+}
+
+Result<PlanDecision> StrategyPlanner::Choose(PlanDecision decision) {
+  PlanCandidate* best = nullptr;
+  for (PlanCandidate& c : decision.candidates) {
+    if (c.reject != PlanReject::kNone) continue;
+    best = &c;  // candidates are sorted cheapest-first
+    break;
+  }
+  if (best == nullptr) return NoEligibleCandidate();
+  decision.strategy = best->strategy;
+  decision.chosen = *best;
+
+  for (PlanCandidate& c : decision.candidates) {
+    if (c.reject == PlanReject::kNone && c.strategy != best->strategy) {
+      c.reject = PlanReject::kCostlier;
+    }
+  }
+  return decision;
+}
+
+}  // namespace moa

@@ -366,6 +366,25 @@ std::string CatalogState::Describe() const {
   return os.str();
 }
 
+CatalogComposition CatalogState::Composition() const {
+  CatalogComposition c;
+  c.num_segments = segments_.size();
+  c.memtable_slots = memtable_->num_docs();
+  for (const auto& seg : segments_) {
+    const uint64_t slots = seg->num_docs();
+    c.segment_slots += slots;
+    c.dead_slots += seg->num_deleted;
+    if (seg->reader->codec() == SegmentCodec::kBitPacked) {
+      c.bitpacked_slots += slots;
+    } else {
+      c.varbyte_slots += slots;
+    }
+    if (seg->reader->has_fragment_directory()) c.directory_slots += slots;
+  }
+  for (uint8_t d : memtable_deleted_) c.dead_slots += (d != 0) ? 1 : 0;
+  return c;
+}
+
 CatalogReadView::CatalogReadView(std::shared_ptr<const CatalogState> state,
                                  ScoringModelKind scoring)
     : state_(std::move(state)),

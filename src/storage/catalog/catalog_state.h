@@ -82,6 +82,24 @@ struct CatalogSegment {
   }
 };
 
+/// \brief Raw storage composition of one snapshot.
+///
+/// The counts the cost-based planner digests into storage signals (decode
+/// cost, tombstone overhead, access-path factors). "Slots" are doc-id
+/// slots including tombstoned ones — tombstones keep their slot (and its
+/// postings, streamed-and-skipped by cursors) until a merge drops them.
+struct CatalogComposition {
+  size_t num_segments = 0;
+  uint64_t segment_slots = 0;    ///< slots across all segments
+  uint64_t memtable_slots = 0;
+  uint64_t dead_slots = 0;       ///< tombstoned slots, all components
+  uint64_t bitpacked_slots = 0;  ///< in MOAIF03 (bit-packed) segments
+  uint64_t varbyte_slots = 0;    ///< in MOAIF02 (varbyte) segments
+  uint64_t directory_slots = 0;  ///< in segments with a fragment directory
+
+  uint64_t total_slots() const { return segment_slots + memtable_slots; }
+};
+
 /// \brief An immutable snapshot of the whole catalog.
 class CatalogState {
  public:
@@ -142,6 +160,10 @@ class CatalogState {
   /// Human-readable storage composition, e.g.
   /// "memtable(3 docs) + segments[seg 1: 100 docs, seg 2: 50 docs (-4)]".
   std::string Describe() const;
+
+  /// Raw composition counts for cost-based planning. O(segments +
+  /// memtable docs); no posting access.
+  CatalogComposition Composition() const;
 
   /// Per-snapshot sparse-index cache for the sparse-probe strategy.
   /// Snapshot-scoped on purpose: a sparse index materializes the term's

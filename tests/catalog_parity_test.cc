@@ -378,14 +378,21 @@ TEST_F(CatalogParityTest, DefaultSearchAndGroundTruthServeTheCatalog) {
   const std::vector<DocId> map = Mapping(*mixed_);
   const ExecContext ref_ctx = reference_->context();
   for (const Query& q : *queries_) {
-    // Unforced dynamic Search defaults to safe max-score pruning.
+    // Unforced dynamic Search routes through the cost-based planner: a
+    // safe strategy (default quality target 1.0), chosen per query from
+    // the snapshot's live statistics — no hard-coded default.
     SearchOptions opts;
     opts.n = 10;
     auto r = mixed_->db->Search(q, opts);
     ASSERT_TRUE(r.ok()) << r.status().ToString();
-    EXPECT_EQ(r.ValueOrDie().strategy, PhysicalStrategy::kMaxScore);
+    EXPECT_TRUE(r.ValueOrDie().planned);
+    EXPECT_TRUE(IsSafeStrategy(r.ValueOrDie().strategy))
+        << StrategyName(r.ValueOrDie().strategy);
+    EXPECT_EQ(r.ValueOrDie().predicted_quality, 1.0);
+    // Whatever the planner chose executes over the catalog bit-identical
+    // to the same strategy over a fresh index of the survivors.
     auto expected = StrategyRegistry::Global().Execute(
-        PhysicalStrategy::kMaxScore, ref_ctx, q, 10, ExecOptions{});
+        r.ValueOrDie().strategy, ref_ctx, q, 10, ExecOptions{});
     ASSERT_TRUE(expected.ok());
     ExpectMappedParity(expected.ValueOrDie(), r.ValueOrDie().top, map,
                        "default search");

@@ -113,11 +113,69 @@ TEST_F(MmDatabaseTest, UnsafeSearchAllowsFragmentStrategy) {
   EXPECT_GT(r.ValueOrDie().estimate.scalar, 0.0);
 }
 
-TEST_F(MmDatabaseTest, ExplainListsAlternatives) {
-  SearchOptions opts;
-  auto text = db_->ExplainSearch((*queries_)[0], opts);
-  ASSERT_TRUE(text.ok());
-  EXPECT_NE(text.ValueOrDie().find("chosen:"), std::string::npos);
+TEST_F(MmDatabaseTest, ExplainListsEveryCandidateWithCostAndReject) {
+  QueryRequest request;
+  request.query = (*queries_)[0];
+  auto report = db_->ExplainSearch(request);
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  const ExplainReport& r = report.ValueOrDie();
+
+  // Structured decision: every registered strategy appears exactly once,
+  // the chosen one carries reject kNone, and in static mode (full file +
+  // fragmentation installed) every candidate is costed.
+  EXPECT_FALSE(r.decision.forced);
+  EXPECT_EQ(r.decision.chosen.reject, PlanReject::kNone);
+  EXPECT_EQ(r.decision.chosen.strategy, r.decision.strategy);
+  ASSERT_EQ(r.decision.candidates.size(), AllStrategies().size());
+  size_t none_count = 0;
+  double prev_scalar = -1.0;
+  for (const PlanCandidate& c : r.decision.candidates) {
+    if (c.reject == PlanReject::kNone) ++none_count;
+    ASSERT_TRUE(c.costed) << StrategyName(c.strategy);
+    EXPECT_GT(c.scalar, 0.0) << StrategyName(c.strategy);
+    EXPECT_GE(c.scalar, prev_scalar) << "not cheapest-first";
+    prev_scalar = c.scalar;
+  }
+  EXPECT_EQ(none_count, 1u);
+  EXPECT_FALSE(r.storage.empty());
+
+  // The rendered text still carries the classic markers.
+  const std::string text = r.ToString();
+  EXPECT_NE(text.find("chosen:"), std::string::npos);
+  EXPECT_NE(text.find("alternatives"), std::string::npos);
+  EXPECT_NE(text.find("storage:"), std::string::npos);
+}
+
+TEST_F(MmDatabaseTest, PlannerChoiceIsReportedInExplain) {
+  // Regression for the removed hard-coded default: an unforced request
+  // must be *planned* (not defaulted), and Explain must report the same
+  // choice with the losing candidates' predictions visible.
+  QueryRequest request;
+  request.query = (*queries_)[1];
+  auto search = db_->Search(request);
+  ASSERT_TRUE(search.ok()) << search.status().ToString();
+  EXPECT_TRUE(search.ValueOrDie().planned);
+  EXPECT_TRUE(IsSafeStrategy(search.ValueOrDie().strategy));
+  EXPECT_DOUBLE_EQ(search.ValueOrDie().predicted_quality, 1.0);
+
+  auto report = db_->ExplainSearch(request);
+  ASSERT_TRUE(report.ok());
+  EXPECT_EQ(report.ValueOrDie().decision.strategy,
+            search.ValueOrDie().strategy);
+  EXPECT_FALSE(report.ValueOrDie().decision.forced);
+
+  // A forced request reports forced=true and marks an eligible loser.
+  request.options.strategy = PhysicalStrategy::kFullSort;
+  auto forced = db_->ExplainSearch(request);
+  ASSERT_TRUE(forced.ok());
+  EXPECT_TRUE(forced.ValueOrDie().decision.forced);
+  EXPECT_EQ(forced.ValueOrDie().decision.strategy,
+            PhysicalStrategy::kFullSort);
+  bool saw_forced_other = false;
+  for (const PlanCandidate& c : forced.ValueOrDie().decision.candidates) {
+    saw_forced_other |= c.reject == PlanReject::kForcedOther;
+  }
+  EXPECT_TRUE(saw_forced_other);
 }
 
 TEST_F(MmDatabaseTest, ExplainReportsCodecAndSkippedBlocksOverSegment) {
@@ -128,21 +186,22 @@ TEST_F(MmDatabaseTest, ExplainReportsCodecAndSkippedBlocksOverSegment) {
       std::string(::testing::TempDir()) + "/db_explain_blocks.moaseg";
   ASSERT_TRUE(db_->SaveSegment(path, /*block_size=*/8).ok());
   ASSERT_TRUE(db_->AttachSegment(path).ok());
-  SearchOptions opts;
-  opts.n = 5;
-  opts.force = PhysicalStrategy::kMaxScore;
-  long long max_skipped = 0;
+  QueryRequest request;
+  request.n = 5;
+  request.options.strategy = PhysicalStrategy::kMaxScore;
+  int64_t max_skipped = 0;
   for (const Query& q : *queries_) {
-    auto text = db_->ExplainSearch(q, opts);
-    ASSERT_TRUE(text.ok()) << text.status().ToString();
-    const std::string& s = text.ValueOrDie();
-    EXPECT_NE(s.find("bit-packed codec"), std::string::npos) << s;
-    const auto pos = s.find("blocks: decoded ");
-    ASSERT_NE(pos, std::string::npos) << s;
-    const auto skipped_pos = s.find("skipped ", pos);
-    ASSERT_NE(skipped_pos, std::string::npos) << s;
-    max_skipped = std::max(
-        max_skipped, std::atoll(s.c_str() + skipped_pos + 8));
+    request.query = q;
+    auto report = db_->ExplainSearch(request);
+    ASSERT_TRUE(report.ok()) << report.status().ToString();
+    const ExplainReport& r = report.ValueOrDie();
+    EXPECT_NE(r.storage.find("bit-packed codec"), std::string::npos)
+        << r.storage;
+    ASSERT_TRUE(r.has_blocks) << r.ToString();
+    EXPECT_GT(r.blocks_decoded, 0);
+    max_skipped = std::max(max_skipped, r.blocks_skipped);
+    // The text rendering keeps the historical block line.
+    EXPECT_NE(r.ToString().find("blocks: decoded "), std::string::npos);
   }
   db_->DetachSegment();
   std::remove(path.c_str());

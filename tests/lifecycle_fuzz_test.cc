@@ -204,6 +204,65 @@ void CheckStrategy(MmDatabase& db, const Oracle& oracle, PhysicalStrategy s,
   EXPECT_DOUBLE_EQ(ours.score_ratio, theirs.score_ratio) << StrategyName(s);
 }
 
+/// Planner-mode round: an unforced QueryRequest must route through the
+/// planner, pick a safe strategy at the default (exact) quality target,
+/// match the oracle's run of that same strategy bit-for-bit, and re-plan
+/// identically for the same snapshot + query. A lax-target request may
+/// pick an unsafe strategy instead; its result must equal this database's
+/// own forced run of the chosen strategy, which CheckStrategy separately
+/// holds to the oracle's quality metrics.
+void CheckPlanned(MmDatabase& db, const Oracle& oracle, const Query& q) {
+  QueryRequest request;
+  request.query = q;
+  request.n = kTopN;
+  auto first = db.Search(request);
+  ASSERT_TRUE(first.ok()) << first.status().ToString();
+  const SearchResult& r = first.ValueOrDie();
+  ASSERT_TRUE(r.planned);
+  ASSERT_TRUE(IsSafeStrategy(r.strategy)) << StrategyName(r.strategy);
+
+  auto expected = StrategyRegistry::Global().Execute(
+      r.strategy, oracle.context(), q, kTopN, ExecOptions{});
+  ASSERT_TRUE(expected.ok()) << expected.status().ToString();
+  const std::vector<ScoredDoc>& ref = expected.ValueOrDie().items;
+  ASSERT_EQ(ref.size(), r.top.items.size()) << StrategyName(r.strategy);
+  for (size_t i = 0; i < ref.size(); ++i) {
+    auto it = oracle.to_oracle.find(r.top.items[i].doc);
+    ASSERT_NE(it, oracle.to_oracle.end())
+        << "planned run surfaced dead/unknown doc " << r.top.items[i].doc;
+    EXPECT_EQ(it->second, ref[i].doc)
+        << StrategyName(r.strategy) << " rank " << i;
+    EXPECT_EQ(r.top.items[i].score, ref[i].score)
+        << StrategyName(r.strategy) << " rank " << i;
+  }
+
+  // Determinism: same snapshot, same query => same plan, Explain agrees.
+  auto second = db.Search(request);
+  ASSERT_TRUE(second.ok());
+  EXPECT_EQ(second.ValueOrDie().strategy, r.strategy);
+  auto report = db.ExplainSearch(request);
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  EXPECT_EQ(report.ValueOrDie().decision.strategy, r.strategy);
+  EXPECT_FALSE(report.ValueOrDie().decision.forced);
+
+  // Lax target: whatever (possibly unsafe) strategy wins, the planned
+  // run must reproduce the forced run of that strategy exactly.
+  request.options.quality_target = 0.0;
+  auto lax = db.Search(request);
+  ASSERT_TRUE(lax.ok()) << lax.status().ToString();
+  const PhysicalStrategy chosen = lax.ValueOrDie().strategy;
+  CheckStrategy(db, oracle, chosen, q);
+  if (::testing::Test::HasFatalFailure()) return;
+  auto forced_run = db.Execute(chosen, q, kTopN);
+  ASSERT_TRUE(forced_run.ok());
+  const std::vector<ScoredDoc>& a = forced_run.ValueOrDie().items;
+  const std::vector<ScoredDoc>& b = lax.ValueOrDie().top.items;
+  ASSERT_EQ(a.size(), b.size()) << StrategyName(chosen);
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i], b[i]) << StrategyName(chosen) << " rank " << i;
+  }
+}
+
 /// Cross-checks catalog bookkeeping against the replay before trusting
 /// any differential result.
 void CheckBookkeeping(MmDatabase& db, const Shadow& shadow,
@@ -327,6 +386,8 @@ void RunIteration(uint64_t seed, int iteration) {
           CheckStrategy(db, oracle, s, q);
           if (::testing::Test::HasFatalFailure()) return;
         }
+        CheckPlanned(db, oracle, q);
+        if (::testing::Test::HasFatalFailure()) return;
       }
     } else {  // SearchBatch check round
       if (!db.is_dynamic()) continue;
@@ -373,6 +434,8 @@ void RunIteration(uint64_t seed, int iteration) {
         CheckStrategy(db, oracle, s, q);
         if (::testing::Test::HasFatalFailure()) return;
       }
+      CheckPlanned(db, oracle, q);
+      if (::testing::Test::HasFatalFailure()) return;
     }
   }
 
