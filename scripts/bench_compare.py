@@ -2,7 +2,7 @@
 """Distill and compare the persisted benchmark snapshots
 (BENCH_cursor.json, BENCH_planner.json).
 
-Three modes:
+Four modes:
 
   --distill e14.json e13.json
       Reads the Google Benchmark JSON output of bench_e14_storage and
@@ -14,6 +14,15 @@ Three modes:
       snapshot (BENCH_planner.json): batch QPS of the planner-routed
       searches next to their forced-maxscore baselines per query class,
       plus the planned/forced ratios the acceptance criterion tracks.
+
+  --calibration metrics.json
+      Reads a metrics-registry JSON dump (example_metrics_dump --json)
+      and distills the planner's predicted-vs-observed cost ratio from
+      moa_plan_observed_scalar_total / moa_plan_predicted_scalar_total.
+      Warns (non-fatally: exit code stays 0) when the drift exceeds 25%
+      in either direction — the signal that the cost model's constants
+      need re-fitting. Exit code 2 for malformed input or a dump with no
+      planner traffic.
 
   baseline.json current.json
       Compares two distilled snapshots of the same schema and warns
@@ -32,6 +41,7 @@ import sys
 SCHEMA = "moa-bench-cursor-v1"
 PLANNER_SCHEMA = "moa-bench-planner-v1"
 REGRESSION_THRESHOLD = 0.10
+CALIBRATION_DRIFT_THRESHOLD = 0.25
 
 # Planner-routed bench -> its forced-maxscore baseline on the same query
 # class (bench_e13_throughput names, without the /threads/real_time tail).
@@ -150,6 +160,39 @@ def compare_planner(baseline, current):
     return warnings
 
 
+def calibration(metrics_path):
+    """Predicted-vs-observed planner calibration from a registry dump."""
+    dump = load(metrics_path)
+    totals = {}
+    for counter in dump.get("counters", []):
+        name = counter.get("name")
+        if name in ("moa_plan_predicted_scalar_total",
+                    "moa_plan_observed_scalar_total"):
+            totals[name] = totals.get(name, 0.0) + float(counter["value"])
+    predicted = totals.get("moa_plan_predicted_scalar_total", 0.0)
+    observed = totals.get("moa_plan_observed_scalar_total", 0.0)
+    if predicted <= 0.0 or observed <= 0.0:
+        print(
+            "bench_compare: no planner traffic in metrics dump "
+            f"(predicted={predicted}, observed={observed})", file=sys.stderr)
+        return 2
+    ratio = observed / predicted
+    drift = abs(ratio - 1.0)
+    if drift > CALIBRATION_DRIFT_THRESHOLD:
+        print(
+            f"WARNING: planner cost model drift {drift:.1%} "
+            f"(observed/predicted = {ratio:.3f}; predicted "
+            f"{predicted:.4g}, observed {observed:.4g}) — the scalar "
+            "cost constants likely need re-fitting (non-fatal)",
+            file=sys.stderr)
+    else:
+        print(
+            f"bench_compare: planner calibrated within "
+            f"{CALIBRATION_DRIFT_THRESHOLD:.0%} "
+            f"(observed/predicted = {ratio:.3f})")
+    return 0
+
+
 def compare(baseline_path, current_path):
     baseline = load(baseline_path)
     current = load(current_path)
@@ -207,6 +250,8 @@ def main(argv):
         json.dump(distill_planner(argv[2]), sys.stdout, indent=2)
         sys.stdout.write("\n")
         return 0
+    if len(argv) == 3 and argv[1] == "--calibration":
+        return calibration(argv[2])
     if len(argv) == 3:
         return compare(argv[1], argv[2])
     print(__doc__.strip(), file=sys.stderr)

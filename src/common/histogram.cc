@@ -8,10 +8,13 @@
 namespace moa {
 
 Histogram::Histogram(double min, double max, int num_buckets)
-    : min_(min), max_(max), buckets_(static_cast<size_t>(num_buckets), 0) {
-  assert(num_buckets > 0);
+    : min_(min),
+      max_(max),
+      buckets_(static_cast<size_t>(std::max(num_buckets, 1)), 0) {
+  // A degenerate num_buckets collapses to one bucket spanning [min, max]
+  // instead of dividing by zero.
   if (max_ <= min_) max_ = min_ + 1e-12;
-  width_ = (max_ - min_) / num_buckets;
+  width_ = (max_ - min_) / static_cast<double>(buckets_.size());
 }
 
 Histogram Histogram::FromData(const std::vector<double>& values,

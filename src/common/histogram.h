@@ -17,6 +17,7 @@ namespace moa {
 class Histogram {
  public:
   /// \param num_buckets resolution; 64–256 is plenty for cutoff estimation.
+  /// Values < 1 are clamped to 1 (never divides by zero).
   Histogram(double min, double max, int num_buckets);
 
   /// Builds from a sample in one pass (min/max taken from the data).
@@ -40,6 +41,8 @@ class Histogram {
 
   /// Estimated q-quantile (q in [0, 1]): the value below which a fraction
   /// q of the data falls. Used for batch latency percentiles (p50/p95/p99).
+  /// An empty histogram returns min() for every q — the contract lazily
+  /// populated latency metrics rely on; no division by zero, ever.
   double ValueAtQuantile(double q) const;
 
   /// Estimated number of values in [lo, hi].

@@ -1,12 +1,21 @@
 #include "common/logging.h"
 
 #include <atomic>
+#include <chrono>
 #include <cstdio>
+#include <ctime>
+#include <memory>
+#include <mutex>
 
 namespace moa {
 
 namespace {
 std::atomic<int> g_level{static_cast<int>(LogLevel::kWarning)};
+
+// The sink is swapped under a mutex but invoked through a shared_ptr
+// snapshot, so a concurrent SetLogSink never destroys a sink mid-call.
+std::mutex g_sink_mutex;
+std::shared_ptr<const LogSink> g_sink;  // null -> stderr
 
 const char* LevelName(LogLevel level) {
   switch (level) {
@@ -17,21 +26,65 @@ const char* LevelName(LogLevel level) {
   }
   return "?";
 }
+
+/// Small process-local thread ordinal: stable per thread, assigned on
+/// first log. Friendlier in diffs than the platform's opaque ids.
+int ThreadOrdinal() {
+  static std::atomic<int> next{0};
+  thread_local const int ordinal = next.fetch_add(1);
+  return ordinal;
+}
+
+/// UTC HH:MM:SS.mmm of now.
+std::string Timestamp() {
+  const auto now = std::chrono::system_clock::now();
+  const std::time_t secs = std::chrono::system_clock::to_time_t(now);
+  const auto millis = std::chrono::duration_cast<std::chrono::milliseconds>(
+                          now.time_since_epoch())
+                          .count() %
+                      1000;
+  std::tm tm_utc{};
+  gmtime_r(&secs, &tm_utc);
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%02d:%02d:%02d.%03d", tm_utc.tm_hour,
+                tm_utc.tm_min, tm_utc.tm_sec, static_cast<int>(millis));
+  return buf;
+}
+
 }  // namespace
 
 void SetLogLevel(LogLevel level) { g_level.store(static_cast<int>(level)); }
 LogLevel GetLogLevel() { return static_cast<LogLevel>(g_level.load()); }
 
+void SetLogSink(LogSink sink) {
+  std::lock_guard<std::mutex> lock(g_sink_mutex);
+  if (sink) {
+    g_sink = std::make_shared<const LogSink>(std::move(sink));
+  } else {
+    g_sink.reset();
+  }
+}
+
 namespace internal {
 
 LogMessage::LogMessage(LogLevel level, const char* file, int line)
     : level_(level) {
-  stream_ << "[" << LevelName(level) << " " << file << ":" << line << "] ";
+  stream_ << "[" << LevelName(level) << " " << Timestamp()
+          << " tid=" << ThreadOrdinal() << " " << file << ":" << line << "] ";
 }
 
 LogMessage::~LogMessage() {
-  if (static_cast<int>(level_) >= g_level.load()) {
-    std::fprintf(stderr, "%s\n", stream_.str().c_str());
+  if (static_cast<int>(level_) < g_level.load()) return;
+  std::shared_ptr<const LogSink> sink;
+  {
+    std::lock_guard<std::mutex> lock(g_sink_mutex);
+    sink = g_sink;
+  }
+  const std::string message = stream_.str();
+  if (sink) {
+    (*sink)(level_, message);
+  } else {
+    std::fprintf(stderr, "%s\n", message.c_str());
   }
 }
 

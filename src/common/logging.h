@@ -1,7 +1,14 @@
 // Minimal leveled logging to stderr; off by default above WARNING.
+//
+// Each emitted line is prefixed `[LEVEL ts tid=N file:line]` where `ts`
+// is UTC wall-clock (HH:MM:SS.mmm) and `tid` a small process-local
+// thread ordinal (stable per thread, assigned on first log). A custom
+// sink can be installed with SetLogSink so the observability layer and
+// tests capture log output instead of scraping stderr.
 #ifndef MOA_COMMON_LOGGING_H_
 #define MOA_COMMON_LOGGING_H_
 
+#include <functional>
 #include <sstream>
 #include <string>
 
@@ -12,6 +19,15 @@ enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3 };
 /// Global log threshold; messages below it are discarded.
 void SetLogLevel(LogLevel level);
 LogLevel GetLogLevel();
+
+/// Receives each emitted message (prefix included, no trailing newline).
+/// Must be callable from any thread; invoked only for messages that pass
+/// the level threshold.
+using LogSink = std::function<void(LogLevel, const std::string&)>;
+
+/// Replaces the stderr writer with `sink`; pass nullptr to restore
+/// stderr. Returns nothing; the previous sink is dropped.
+void SetLogSink(LogSink sink);
 
 namespace internal {
 

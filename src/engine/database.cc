@@ -1,10 +1,12 @@
 #include "engine/database.h"
 
 #include <filesystem>
+#include <optional>
 #include <sstream>
 
 #include "common/timer.h"
 #include "exec/registry.h"
+#include "obs/metrics.h"
 #include "optimizer/explain.h"
 #include "storage/segment/segment_writer.h"
 
@@ -336,10 +338,28 @@ namespace {
 /// The shared tail of RunQuery once storage has been snapshotted into a
 /// planner + context: plan (PlanForced fast path unless `explain` wants
 /// the full candidate table), fill the result's plan fields, execute.
+/// Per-thread sampling decision for stage tracing. A plain thread_local
+/// round-robin — no atomics, and SearchBatch workers each sample their
+/// own every-Nth query independently.
+bool SampleTrace(size_t every) {
+  if (!obs::kEnabled || every == 0) return false;
+  if (every == 1) return true;
+  thread_local uint64_t counter = 0;
+  return (counter++ % every) == 0;
+}
+
 Result<SearchResult> PlanAndRun(const StrategyPlanner& planner,
                                 const ExecContext& context,
                                 const QueryRequest& request, bool explain,
-                                PlanDecision* decision_out) {
+                                bool trace, PlanDecision* decision_out) {
+  // When sampled, activates per-query tracing for this thread: the plan
+  // span below and the stage spans the executors open all attach here
+  // (spans against no current trace are no-ops). Stage CostCounters are
+  // ticker deltas at span boundaries — the per-posting loop never sees
+  // the trace. Compiles to nothing under MOA_OBS=OFF.
+  std::optional<obs::QueryTrace> qtrace;
+  if (trace) qtrace.emplace();
+
   PlanRequest preq;
   preq.n = request.n;
   preq.quality_target = request.options.quality_target;
@@ -347,21 +367,24 @@ Result<SearchResult> PlanAndRun(const StrategyPlanner& planner,
 
   SearchResult out;
   PlanCandidate chosen;
-  if (!explain && !preq.force.has_value()) {
-    // Unforced hot path: same choice as Plan(), no candidate table.
-    Result<PlanCandidate> choice = planner.PlanChoice(request.query, preq);
-    if (!choice.ok()) return choice.status();
-    chosen = std::move(choice).ValueOrDie();
-    out.planned = true;
-  } else {
-    Result<PlanDecision> plan = (preq.force.has_value() && !explain)
-                                    ? planner.PlanForced(request.query, preq)
-                                    : planner.Plan(request.query, preq);
-    if (!plan.ok()) return plan.status();
-    PlanDecision decision = std::move(plan).ValueOrDie();
-    chosen = decision.chosen;
-    out.planned = !decision.forced;
-    if (decision_out != nullptr) *decision_out = std::move(decision);
+  {
+    obs::TraceSpan span(obs::kStagePlan);
+    if (!explain && !preq.force.has_value()) {
+      // Unforced hot path: same choice as Plan(), no candidate table.
+      Result<PlanCandidate> choice = planner.PlanChoice(request.query, preq);
+      if (!choice.ok()) return choice.status();
+      chosen = std::move(choice).ValueOrDie();
+      out.planned = true;
+    } else {
+      Result<PlanDecision> plan = (preq.force.has_value() && !explain)
+                                      ? planner.PlanForced(request.query, preq)
+                                      : planner.Plan(request.query, preq);
+      if (!plan.ok()) return plan.status();
+      PlanDecision decision = std::move(plan).ValueOrDie();
+      chosen = decision.chosen;
+      out.planned = !decision.forced;
+      if (decision_out != nullptr) *decision_out = std::move(decision);
+    }
   }
 
   out.strategy = chosen.strategy;
@@ -379,6 +402,15 @@ Result<SearchResult> PlanAndRun(const StrategyPlanner& planner,
   if (!top.ok()) return top.status();
   out.wall_millis = timer.ElapsedMillis();
   out.top = std::move(top).ValueOrDie();
+
+  if (qtrace.has_value()) {
+    out.trace = qtrace->Finish();
+    out.trace.strategy = StrategyName(out.strategy);
+    out.trace.planned = out.planned;
+    out.trace.predicted_scalar = chosen.scalar;
+    out.trace.predicted_quality = chosen.predicted_quality;
+    out.traced = true;
+  }
   return out;
 }
 
@@ -392,6 +424,7 @@ Result<SearchResult> MmDatabase::RunQuery(const QueryRequest& request,
   // the first mutation onto the static side stays static end-to-end (the
   // generated collection is immutable), instead of planning statically
   // and then executing against the catalog.
+  const bool trace = !explain && SampleTrace(config_.trace_every);
   if (is_dynamic()) {
     const std::shared_ptr<const CatalogReadView> view = catalog_view();
     const CatalogState& state = view->state();
@@ -417,15 +450,88 @@ Result<SearchResult> MmDatabase::RunQuery(const QueryRequest& request,
         &state.stats().df, static_cast<int64_t>(state.stats().num_live_docs),
         frag.get());
     const StrategyPlanner planner(&estimator, DynamicStorageInputs(state));
-    return PlanAndRun(planner, catalog_context(view, frag), request, explain,
-                      decision_out);
+    return FinishQuery(PlanAndRun(planner, catalog_context(view, frag),
+                                  request, explain, trace, decision_out),
+                       explain);
   }
 
   const ExecContext context = static_context();
   const SegmentReader* segment =
       static_cast<const SegmentReader*>(context.postings);
   const StrategyPlanner planner(estimator_.get(), StaticStorageInputs(segment));
-  return PlanAndRun(planner, context, request, explain, decision_out);
+  return FinishQuery(PlanAndRun(planner, context, request, explain, trace,
+                                decision_out),
+                     explain);
+}
+
+namespace {
+
+/// Per-query metric handles. Registry handles are process-stable
+/// (metrics are never erased; ResetForTest zeroes values in place), so
+/// they are resolved once — the per-query cost is a handful of relaxed
+/// sharded adds, never a string-keyed map probe.
+struct QueryMetrics {
+  obs::Counter* query_total[16];  // indexed by PhysicalStrategy
+  obs::HistogramMetric* latency_ms;
+  obs::Counter* plan_planned;
+  obs::Counter* plan_forced;
+  obs::Counter* predicted_scalar;
+  obs::Counter* observed_scalar;
+
+  static const QueryMetrics& Get() {
+    static const QueryMetrics metrics = [] {
+      obs::MetricsRegistry& registry = obs::MetricsRegistry::Global();
+      QueryMetrics m{};  // unregistered slots stay null
+      for (PhysicalStrategy strategy : AllStrategies()) {
+        const auto i = static_cast<size_t>(strategy);
+        if (i < std::size(m.query_total)) {
+          m.query_total[i] = registry.GetCounter(
+              "moa_query_total",
+              "strategy=" + std::string(StrategyName(strategy)));
+        }
+      }
+      m.latency_ms = registry.GetHistogram("moa_query_latency_ms");
+      m.plan_planned = registry.GetCounter("moa_plan_total", "mode=planned");
+      m.plan_forced = registry.GetCounter("moa_plan_total", "mode=forced");
+      m.predicted_scalar =
+          registry.GetCounter("moa_plan_predicted_scalar_total");
+      m.observed_scalar = registry.GetCounter("moa_plan_observed_scalar_total");
+      return m;
+    }();
+    return metrics;
+  }
+};
+
+}  // namespace
+
+Result<SearchResult> MmDatabase::FinishQuery(Result<SearchResult> result,
+                                             bool explain) const {
+  if (!obs::kEnabled || explain || !result.ok()) return result;
+  const SearchResult& r = result.ValueOrDie();
+  const QueryMetrics& metrics = QueryMetrics::Get();
+  const auto strategy_index = static_cast<size_t>(r.strategy);
+  if (strategy_index < std::size(metrics.query_total) &&
+      metrics.query_total[strategy_index] != nullptr) {
+    metrics.query_total[strategy_index]->Add();
+  } else {
+    // A strategy registered after the handle table was built (tests
+    // with custom registrations): slow path, still correct.
+    obs::MetricsRegistry::Global()
+        .GetCounter("moa_query_total",
+                    "strategy=" + std::string(StrategyName(r.strategy)))
+        ->Add();
+  }
+  metrics.latency_ms->Observe(r.wall_millis);
+  (r.planned ? metrics.plan_planned : metrics.plan_forced)->Add();
+  // The raw predicted-vs-observed feed for the calibration loop: the
+  // ratio of these two running sums is the planner's global cost-model
+  // drift (bench_compare.py --calibration distills it from the JSON
+  // dump). Driven off the result's own plan estimate and CostScope
+  // counters, so it stays exact for untraced (unsampled) queries.
+  metrics.predicted_scalar->Add(r.estimate.scalar);
+  metrics.observed_scalar->Add(r.top.stats.cost.Scalar());
+  if (r.traced) trace_ring_.Push(r.trace);
+  return result;
 }
 
 Result<SearchResult> MmDatabase::Search(const QueryRequest& request) const {
@@ -481,18 +587,23 @@ std::string MmDatabase::DescribeStorage() const {
   return "in-memory inverted file";
 }
 
-bool MmDatabase::BlockUsage(PhysicalStrategy strategy, const Query& query,
-                            size_t n, int64_t* decoded,
-                            int64_t* skipped) const {
+bool MmDatabase::TracedExecution(PhysicalStrategy strategy, const Query& query,
+                                 size_t n, double switch_threshold,
+                                 obs::QueryTraceData* trace, int64_t* decoded,
+                                 int64_t* skipped) const {
   // Best effort: re-run the query and report how the storage layer
-  // behaved. A strategy that cannot execute here (missing impacts,
-  // precondition failures) simply contributes no counters — the explain
-  // itself must not fail because of it.
-  const Result<TopNResult> run = Execute(strategy, query, n);
+  // behaved, with per-query tracing active so the report also carries
+  // stage spans and observed CostCounters. A strategy that cannot execute
+  // here (missing impacts, precondition failures) simply contributes no
+  // counters — the explain itself must not fail because of it.
+  obs::QueryTrace qtrace;
+  const Result<TopNResult> run = Execute(strategy, query, n, switch_threshold);
+  obs::QueryTraceData data = qtrace.Finish();
   if (!run.ok()) return false;
   const CostCounters& cost = run.ValueOrDie().stats.cost;
   *decoded = cost.blocks_decoded;
   *skipped = cost.blocks_skipped;
+  *trace = std::move(data);
   return true;
 }
 
@@ -511,9 +622,17 @@ Result<ExplainReport> MmDatabase::ExplainSearch(
             ? DynamicFragmentation(*catalog_->Snapshot())->ToString()
             : fragmentation_.ToString();
   }
-  report.has_blocks =
-      BlockUsage(report.decision.strategy, request.query, request.n,
-                 &report.blocks_decoded, &report.blocks_skipped);
+  report.has_blocks = TracedExecution(
+      report.decision.strategy, request.query, request.n,
+      request.options.switch_threshold, &report.trace, &report.blocks_decoded,
+      &report.blocks_skipped);
+  if (report.has_blocks && obs::kEnabled) {
+    report.has_trace = true;
+    report.trace.strategy = StrategyName(report.decision.strategy);
+    report.trace.planned = !report.decision.forced;
+    report.trace.predicted_scalar = report.decision.chosen.scalar;
+    report.trace.predicted_quality = report.decision.chosen.predicted_quality;
+  }
   return report;
 }
 

@@ -40,6 +40,7 @@
 #include "ir/collection.h"
 #include "ir/exact_eval.h"
 #include "ir/metrics.h"
+#include "obs/query_trace.h"
 #include "optimizer/explain.h"
 #include "optimizer/planner.h"
 #include "optimizer/strategy_planner.h"
@@ -65,6 +66,15 @@ struct DatabaseConfig {
   /// collection — the durable surviving documents become the served
   /// corpus.
   std::string catalog_dir;
+  /// Stage-span trace sampling period: one in every `trace_every`
+  /// queries per worker thread records a full per-stage QueryTrace and
+  /// retires it to the engine's trace ring. 1 traces every query, 0
+  /// disables sampling entirely (ExplainSearch always traces). Aggregate
+  /// metrics — per-strategy query counts, latency histograms, the
+  /// predicted-vs-observed scalar feed — are exact and unsampled
+  /// regardless; sampling only bounds the cost of span collection, which
+  /// would otherwise dominate on microsecond-scale queries.
+  size_t trace_every = 16;
 };
 
 /// \brief Per-query knobs of a QueryRequest.
@@ -126,6 +136,14 @@ struct SearchResult {
   /// safe strategies).
   double predicted_quality = 1.0;
   double wall_millis = 0.0;
+  /// True when this query was sampled for stage tracing (see
+  /// DatabaseConfig::trace_every); `trace` below is populated only then.
+  bool traced = false;
+  /// Per-stage trace of this execution (plan / cursor-open / accumulate /
+  /// heap-merge spans, wall time + CostCounters deltas). Empty when the
+  /// query was not sampled or the observability layer is compiled out
+  /// (MOA_OBS=OFF).
+  obs::QueryTraceData trace;
 };
 
 /// \brief Aggregate statistics of one SearchBatch call.
@@ -262,6 +280,12 @@ class MmDatabase {
     return is_dynamic() ? catalog_.get() : nullptr;
   }
 
+  /// The last completed query traces (oldest first; capacity 64). Empty
+  /// when the observability layer is compiled out. Thread-safe.
+  std::vector<obs::QueryTraceData> RecentTraces() const {
+    return trace_ring_.Snapshot();
+  }
+
   /// Exact ground truth for quality evaluation (catalog-aware).
   std::vector<ScoredDoc> GroundTruth(const Query& query, size_t n) const;
   /// Dense exact scores for quality evaluation, indexed by doc id
@@ -359,10 +383,16 @@ class MmDatabase {
                                 PlanDecision* decision_out) const;
   /// Payload of the ExplainReport `storage:` field (what the plan reads).
   std::string DescribeStorage() const;
-  /// Fills the ExplainReport block counters by running the query with
-  /// `strategy` (best effort; returns false when execution fails).
-  bool BlockUsage(PhysicalStrategy strategy, const Query& query, size_t n,
-                  int64_t* decoded, int64_t* skipped) const;
+  /// Records per-query metrics and pushes the trace into the ring.
+  /// Pass-through for errors and explain-only runs.
+  Result<SearchResult> FinishQuery(Result<SearchResult> result,
+                                   bool explain) const;
+  /// Fills the ExplainReport block counters and stage trace by running the
+  /// query with `strategy` (best effort; returns false when execution
+  /// fails).
+  bool TracedExecution(PhysicalStrategy strategy, const Query& query, size_t n,
+                       double switch_threshold, obs::QueryTraceData* trace,
+                       int64_t* decoded, int64_t* skipped) const;
 
   DatabaseConfig config_;
   std::unique_ptr<Collection> collection_;
@@ -407,6 +437,11 @@ class MmDatabase {
   mutable uint64_t dyn_storage_version_ = 0;
   mutable bool dyn_storage_valid_ = false;
   mutable StrategyCostInputs dyn_storage_;
+
+  /// Last K completed query traces (mutable: Search is const; the ring is
+  /// engine bookkeeping, not database state). Never written when the
+  /// observability layer is compiled out.
+  mutable obs::TraceRing trace_ring_{64};
 };
 
 }  // namespace moa

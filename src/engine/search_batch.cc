@@ -12,6 +12,7 @@
 #include "common/thread_pool.h"
 #include "common/timer.h"
 #include "engine/database.h"
+#include "obs/metrics.h"
 
 namespace moa {
 
@@ -72,6 +73,13 @@ Result<BatchSearchResult> MmDatabase::SearchBatch(
   out.stats.p50_millis = latency_hist.ValueAtQuantile(0.50);
   out.stats.p95_millis = latency_hist.ValueAtQuantile(0.95);
   out.stats.p99_millis = latency_hist.ValueAtQuantile(0.99);
+  if (obs::kEnabled) {
+    obs::MetricsRegistry& registry = obs::MetricsRegistry::Global();
+    registry.GetCounter("moa_batch_total")->Add();
+    registry.GetCounter("moa_batch_queries_total")
+        ->Add(static_cast<double>(requests.size()));
+    registry.GetHistogram("moa_batch_wall_ms")->Observe(out.stats.wall_millis);
+  }
   return out;
 }
 

@@ -100,6 +100,15 @@ std::string ExplainReport::ToString() const {
        << " (block-directory skips + block-max pruning; 0/0 over "
           "blockless in-memory lists)\n";
   }
+  if (has_trace) {
+    os << "trace: predicted_scalar=" << trace.predicted_scalar
+       << " observed_scalar=" << trace.observed_scalar()
+       << " wall=" << trace.wall_millis << "ms\n";
+    for (const obs::TraceSpanData& span : trace.spans) {
+      os << "  stage " << span.stage << ": wall=" << span.wall_millis
+         << "ms scalar=" << span.cost.Scalar() << "\n";
+    }
+  }
   return os.str();
 }
 

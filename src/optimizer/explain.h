@@ -6,6 +6,7 @@
 #include <string>
 
 #include "algebra/expr.h"
+#include "obs/query_trace.h"
 #include "optimizer/rule.h"
 #include "optimizer/strategy_planner.h"
 
@@ -48,6 +49,12 @@ struct ExplainReport {
   bool has_blocks = false;
   int64_t blocks_decoded = 0;
   int64_t blocks_skipped = 0;
+  /// Stage trace of the same best-effort execution: per-stage wall time and
+  /// CostCounters deltas plus the planner's predicted scalar for comparison
+  /// against trace.observed_scalar(). has_trace = false when the execution
+  /// failed or when observability is compiled out (MOA_OBS=OFF).
+  bool has_trace = false;
+  obs::QueryTraceData trace;
 
   std::string ToString() const;
 };

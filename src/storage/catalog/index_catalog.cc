@@ -4,11 +4,21 @@
 #include <filesystem>
 #include <utility>
 
+#include "common/timer.h"
+#include "obs/metrics.h"
 #include "storage/segment/fragment_directory.h"
 #include "storage/segment/segment_writer.h"
 
 namespace moa {
 namespace {
+
+/// Size of a just-written file, for the bytes-written counter. Best
+/// effort: a stat failure contributes 0 rather than failing the flush.
+double FileSizeOrZero(const std::string& path) {
+  std::error_code ec;
+  const auto size = std::filesystem::file_size(path, ec);
+  return ec ? 0.0 : static_cast<double>(size);
+}
 
 /// Writer options for a catalog segment: impacts (and the fragment
 /// directory sidecar) are stamped under a model bound to the flushed
@@ -168,6 +178,18 @@ std::shared_ptr<const CatalogReadView> IndexCatalog::OpenReadView() const {
 }
 
 void IndexCatalog::Publish(std::shared_ptr<const CatalogState> next) {
+  if (obs::kEnabled) {
+    // Gauges track the published state; every mutation funnels through
+    // here, so the scrape always sees the latest catalog shape.
+    obs::MetricsRegistry& registry = obs::MetricsRegistry::Global();
+    registry.GetGauge("moa_catalog_segments")
+        ->Set(static_cast<double>(next->segments().size()));
+    const double live = static_cast<double>(next->stats().num_live_docs);
+    const double space = static_cast<double>(next->doc_space());
+    registry.GetGauge("moa_catalog_live_docs")->Set(live);
+    registry.GetGauge("moa_catalog_tombstone_density")
+        ->Set(space == 0.0 ? 0.0 : 1.0 - live / space);
+  }
   std::lock_guard<std::mutex> lock(state_mutex_);
   state_ = std::move(next);
 }
@@ -277,10 +299,13 @@ Status IndexCatalog::Flush() {
         "catalog: Flush requires a catalog directory (memory-only catalog)");
   }
 
+  WallTimer flush_timer;
   const uint64_t id = next_segment_id_;
   auto seg = std::make_shared<CatalogSegment>();
   seg->id = id;
   seg->segment_path = options_.dir + "/" + SegmentFileName(id);
+  const std::string segment_path = seg->segment_path;
+  const std::string forward_path = options_.dir + "/" + ForwardFileName(id);
 
   // 1. Write the immutable files (atomic each, unreferenced until the
   //    manifest names them).
@@ -292,9 +317,8 @@ Status IndexCatalog::Flush() {
       &impact_model);
   MOA_RETURN_NOT_OK(
       WriteSegment(file.ValueOrDie(), seg->segment_path, wopts));
-  MOA_RETURN_NOT_OK(WriteForwardIndex(
-      cur->memtable().forward_index(),
-      options_.dir + "/" + ForwardFileName(id)));
+  MOA_RETURN_NOT_OK(
+      WriteForwardIndex(cur->memtable().forward_index(), forward_path));
   MOA_RETURN_NOT_OK(Fault("flush:segment-written"));
 
   // 2. Reopen through the reader (structural validation; the payload was
@@ -324,6 +348,14 @@ Status IndexCatalog::Flush() {
       std::move(segments),
       std::make_shared<const Memtable>(options_.num_terms),
       std::vector<uint8_t>{}, cur->stats(), cur->version() + 1));
+  if (obs::kEnabled) {
+    obs::MetricsRegistry& registry = obs::MetricsRegistry::Global();
+    registry.GetCounter("moa_catalog_flush_total")->Add();
+    registry.GetHistogram("moa_catalog_flush_ms")
+        ->Observe(flush_timer.ElapsedMillis());
+    registry.GetCounter("moa_catalog_bytes_written_total")
+        ->Add(FileSizeOrZero(segment_path) + FileSizeOrZero(forward_path));
+  }
   return Status::OK();
 }
 
@@ -347,6 +379,7 @@ Result<size_t> IndexCatalog::Merge(const MergePolicy& policy) {
 
   // Rebuild the run's surviving documents under compacted local ids,
   // preserving insertion order.
+  WallTimer merge_timer;
   InvertedFileBuilder builder(options_.num_terms);
   ForwardIndex merged_fwd;
   DocId next_local = 0;
@@ -363,6 +396,8 @@ Result<size_t> IndexCatalog::Merge(const MergePolicy& policy) {
   auto merged = std::make_shared<CatalogSegment>();
   merged->id = id;
   merged->segment_path = options_.dir + "/" + SegmentFileName(id);
+  const std::string segment_path = merged->segment_path;
+  const std::string forward_path = options_.dir + "/" + ForwardFileName(id);
 
   const InvertedFile merged_file = builder.Build();
   std::unique_ptr<ScoringModel> impact_model;
@@ -371,8 +406,7 @@ Result<size_t> IndexCatalog::Merge(const MergePolicy& policy) {
       &impact_model);
   MOA_RETURN_NOT_OK(
       WriteSegment(merged_file, merged->segment_path, wopts));
-  MOA_RETURN_NOT_OK(WriteForwardIndex(
-      merged_fwd, options_.dir + "/" + ForwardFileName(id)));
+  MOA_RETURN_NOT_OK(WriteForwardIndex(merged_fwd, forward_path));
   MOA_RETURN_NOT_OK(Fault("merge:segment-written"));
 
   Result<std::unique_ptr<SegmentReader>> reader =
@@ -418,6 +452,16 @@ Result<size_t> IndexCatalog::Merge(const MergePolicy& policy) {
     std::string fwd_path = path;
     fwd_path.replace(fwd_path.size() - 3, 3, "fwd");
     std::remove(fwd_path.c_str());
+  }
+  if (obs::kEnabled) {
+    obs::MetricsRegistry& registry = obs::MetricsRegistry::Global();
+    registry.GetCounter("moa_catalog_merge_total")->Add();
+    registry.GetHistogram("moa_catalog_merge_ms")
+        ->Observe(merge_timer.ElapsedMillis());
+    registry.GetCounter("moa_catalog_merge_segments_total")
+        ->Add(static_cast<double>(count));
+    registry.GetCounter("moa_catalog_bytes_written_total")
+        ->Add(FileSizeOrZero(segment_path) + FileSizeOrZero(forward_path));
   }
   return count;
 }

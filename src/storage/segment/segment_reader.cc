@@ -12,6 +12,8 @@
 #include <vector>
 
 #include "common/cost_ticker.h"
+#include "common/timer.h"
+#include "obs/metrics.h"
 #include "storage/segment/block_codec.h"
 
 namespace moa {
@@ -218,6 +220,22 @@ SegmentReader::~SegmentReader() {
 }
 
 Result<std::unique_ptr<SegmentReader>> SegmentReader::Open(
+    const std::string& path) {
+  WallTimer timer;
+  Result<std::unique_ptr<SegmentReader>> result = OpenInternal(path);
+  if (obs::kEnabled) {
+    obs::MetricsRegistry& registry = obs::MetricsRegistry::Global();
+    registry.GetCounter("moa_segment_open_total")->Add();
+    registry.GetHistogram("moa_segment_open_ms")
+        ->Observe(timer.ElapsedMillis());
+    if (!result.ok()) {
+      registry.GetCounter("moa_segment_open_failures_total")->Add();
+    }
+  }
+  return result;
+}
+
+Result<std::unique_ptr<SegmentReader>> SegmentReader::OpenInternal(
     const std::string& path) {
   const int fd = ::open(path.c_str(), O_RDONLY);
   if (fd < 0) return Status::NotFound("segment: cannot open: " + path);

@@ -36,6 +36,10 @@ class SegmentReader final : public PostingSource {
   /// cross-validated against the segment (model stamp, block ranges,
   /// impact-order and bound invariants); a sidecar that disagrees fails
   /// the Open, a missing sidecar merely disables lazy impact order.
+  ///
+  /// Records moa_segment_open_total / moa_segment_open_ms /
+  /// moa_segment_open_failures_total (the wrapper is the only metrics
+  /// touchpoint; validation itself stays metrics-free).
   static Result<std::unique_ptr<SegmentReader>> Open(const std::string& path);
 
   ~SegmentReader() override;
@@ -98,6 +102,10 @@ class SegmentReader final : public PostingSource {
   friend class SegmentFragmentCursor;
 
   SegmentReader() = default;
+
+  /// The actual map-and-validate; Open is a thin metrics wrapper.
+  static Result<std::unique_ptr<SegmentReader>> OpenInternal(
+      const std::string& path);
 
   /// Also negotiates `codec_` from the file magic.
   Status Validate();

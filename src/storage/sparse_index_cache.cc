@@ -3,7 +3,40 @@
 #include <mutex>
 #include <utility>
 
+#include "common/timer.h"
+#include "obs/metrics.h"
+
 namespace moa {
+namespace {
+
+// Per-term-per-query events (never per posting): one registry probe plus a
+// sharded counter add on the hit path, a wall-clock observation per build.
+// Registry handles are process-stable, so they are resolved once — a
+// warm-cache probe (the per-query hot case) costs one sharded add, not
+// a string-keyed map lookup.
+void RecordHit() {
+  if (obs::kEnabled) {
+    static obs::Counter* const hits =
+        obs::MetricsRegistry::Global().GetCounter(
+            "moa_sparse_cache_hits_total");
+    hits->Add();
+  }
+}
+
+void RecordBuild(double build_millis) {
+  if (obs::kEnabled) {
+    static obs::Counter* const misses =
+        obs::MetricsRegistry::Global().GetCounter(
+            "moa_sparse_cache_misses_total");
+    static obs::HistogramMetric* const build_ms =
+        obs::MetricsRegistry::Global().GetHistogram(
+            "moa_sparse_cache_build_ms");
+    misses->Add();
+    build_ms->Observe(build_millis);
+  }
+}
+
+}  // namespace
 
 const SparseIndex* SparseIndexCache::Insert(uint64_t key, Entry entry) {
   // Build happened outside the lock so cold-cache builds of different
@@ -24,10 +57,15 @@ const SparseIndex* SparseIndexCache::GetOrBuild(TermId term,
   {
     std::shared_lock<std::shared_mutex> lock(mutex_);
     auto it = indexes_.find(key);
-    if (it != indexes_.end()) return &it->second.index;
+    if (it != indexes_.end()) {
+      RecordHit();
+      return &it->second.index;
+    }
   }
+  WallTimer build_timer;
   Entry entry;
   entry.index = SparseIndex(&list, block_size);
+  RecordBuild(build_timer.ElapsedMillis());
   return Insert(key, std::move(entry));
 }
 
@@ -38,8 +76,12 @@ const SparseIndex* SparseIndexCache::GetOrBuild(TermId term,
   {
     std::shared_lock<std::shared_mutex> lock(mutex_);
     auto it = indexes_.find(key);
-    if (it != indexes_.end()) return &it->second.index;
+    if (it != indexes_.end()) {
+      RecordHit();
+      return &it->second.index;
+    }
   }
+  WallTimer build_timer;
   Entry entry;
   entry.owned = std::make_unique<PostingList>();
   for (auto cursor = source.OpenCursor(term); !cursor->at_end();
@@ -48,6 +90,7 @@ const SparseIndex* SparseIndexCache::GetOrBuild(TermId term,
   }
   entry.owned->Seal();
   entry.index = SparseIndex(entry.owned.get(), block_size);
+  RecordBuild(build_timer.ElapsedMillis());
   return Insert(key, std::move(entry));
 }
 

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "ir/exact_eval.h"
+#include "obs/query_trace.h"
 
 namespace moa {
 namespace {
@@ -40,17 +41,24 @@ TopNResult FullSortTopN(const PostingSource& source, const ScoringModel& model,
                         const Query& query, size_t n) {
   TopNResult result;
   CostScope scope;
-  std::vector<double> acc = AccumulateScores(source, model, query);
+  std::vector<double> acc;
+  {
+    obs::TraceSpan span(obs::kStageAccumulate);
+    acc = AccumulateScores(source, model, query);
+  }
   std::vector<ScoredDoc> docs;
   for (DocId d = 0; d < acc.size(); ++d) {
     if (acc[d] > 0.0) docs.push_back(ScoredDoc{d, acc[d]});
   }
   result.stats.candidates = static_cast<int64_t>(docs.size());
-  std::sort(docs.begin(), docs.end(),
-            [](const ScoredDoc& a, const ScoredDoc& b) {
-              CostTicker::TickCompare();
-              return ScoredDocLess(a, b);
-            });
+  {
+    obs::TraceSpan span(obs::kStageHeapMerge);
+    std::sort(docs.begin(), docs.end(),
+              [](const ScoredDoc& a, const ScoredDoc& b) {
+                CostTicker::TickCompare();
+                return ScoredDocLess(a, b);
+              });
+  }
   if (docs.size() > n) docs.resize(n);
   result.items = std::move(docs);
   result.stats.cost = scope.Snapshot();
@@ -61,8 +69,15 @@ TopNResult HeapTopN(const PostingSource& source, const ScoringModel& model,
                     const Query& query, size_t n) {
   TopNResult result;
   CostScope scope;
-  std::vector<double> acc = AccumulateScores(source, model, query);
-  result.items = HeapSelect(acc, n);
+  std::vector<double> acc;
+  {
+    obs::TraceSpan span(obs::kStageAccumulate);
+    acc = AccumulateScores(source, model, query);
+  }
+  {
+    obs::TraceSpan span(obs::kStageHeapMerge);
+    result.items = HeapSelect(acc, n);
+  }
   int64_t candidates = 0;
   for (double s : acc) candidates += (s > 0.0) ? 1 : 0;
   result.stats.candidates = candidates;

@@ -2,8 +2,11 @@
 
 #include <algorithm>
 #include <cassert>
+#include <optional>
 #include <unordered_map>
 #include <unordered_set>
+
+#include "obs/query_trace.h"
 
 namespace moa {
 namespace {
@@ -103,49 +106,59 @@ Result<TopNResult> FaginTA(const PostingSource& source,
   (void)options;
   TopNResult result;
   CostScope scope;
-  Result<std::vector<ListAccess>> accessors_or =
-      MakeAccessors(source, model, query);
-  if (!accessors_or.ok()) return accessors_or.status();
-  std::vector<ListAccess> accessors = std::move(accessors_or).ValueOrDie();
+  std::vector<ListAccess> accessors;
+  {
+    obs::TraceSpan span(obs::kStageCursorOpen);
+    Result<std::vector<ListAccess>> accessors_or =
+        MakeAccessors(source, model, query);
+    if (!accessors_or.ok()) return accessors_or.status();
+    accessors = std::move(accessors_or).ValueOrDie();
+  }
 
   BestN best(n);
   std::unordered_set<DocId> resolved;
-  bool done = accessors.empty() || n == 0;
-  while (!done) {
-    bool any_advanced = false;
-    for (size_t i = 0; i < accessors.size(); ++i) {
-      ListAccess& cur = accessors[i];
-      if (cur.exhausted()) continue;
-      any_advanced = true;
-      const DocId doc = cur.cursor->doc();
-      const double w = cur.cursor->weight();
-      cur.cursor->next();
-      ++result.stats.sorted_accesses;
-      CostTicker::TickSeq();
+  {
+    obs::TraceSpan span(obs::kStageAccumulate);
+    bool done = accessors.empty() || n == 0;
+    while (!done) {
+      bool any_advanced = false;
+      for (size_t i = 0; i < accessors.size(); ++i) {
+        ListAccess& cur = accessors[i];
+        if (cur.exhausted()) continue;
+        any_advanced = true;
+        const DocId doc = cur.cursor->doc();
+        const double w = cur.cursor->weight();
+        cur.cursor->next();
+        ++result.stats.sorted_accesses;
+        CostTicker::TickSeq();
 
-      if (resolved.insert(doc).second) {
-        ++result.stats.candidates;
-        // Complete the score via random access to every other list.
-        double score = w;
-        for (size_t j = 0; j < accessors.size(); ++j) {
-          if (j == i) continue;
-          score += RandomAccessWeight(source, model, accessors[j], doc,
-                                      &result.stats);
+        if (resolved.insert(doc).second) {
+          ++result.stats.candidates;
+          // Complete the score via random access to every other list.
+          double score = w;
+          for (size_t j = 0; j < accessors.size(); ++j) {
+            if (j == i) continue;
+            score += RandomAccessWeight(source, model, accessors[j], doc,
+                                        &result.stats);
+          }
+          best.Offer(ScoredDoc{doc, score});
         }
-        best.Offer(ScoredDoc{doc, score});
+      }
+      // Threshold: best possible score of any unseen document.
+      double tau = 0.0;
+      for (const auto& cur : accessors) tau += cur.threshold();
+      if (best.full() && best.nth_score() >= tau) {
+        result.stats.stopped_early = any_advanced;
+        done = true;
+      } else if (!any_advanced) {
+        done = true;  // every list exhausted
       }
     }
-    // Threshold: best possible score of any unseen document.
-    double tau = 0.0;
-    for (const auto& cur : accessors) tau += cur.threshold();
-    if (best.full() && best.nth_score() >= tau) {
-      result.stats.stopped_early = any_advanced;
-      done = true;
-    } else if (!any_advanced) {
-      done = true;  // every list exhausted
-    }
   }
-  result.items = best.TakeSortedDesc();
+  {
+    obs::TraceSpan span(obs::kStageHeapMerge);
+    result.items = best.TakeSortedDesc();
+  }
   result.stats.cost = scope.Snapshot();
   return result;
 }
@@ -160,10 +173,14 @@ Result<TopNResult> FaginFA(const PostingSource& source,
   (void)options;
   TopNResult result;
   CostScope scope;
-  Result<std::vector<ListAccess>> accessors_or =
-      MakeAccessors(source, model, query);
-  if (!accessors_or.ok()) return accessors_or.status();
-  std::vector<ListAccess> accessors = std::move(accessors_or).ValueOrDie();
+  std::vector<ListAccess> accessors;
+  {
+    obs::TraceSpan span(obs::kStageCursorOpen);
+    Result<std::vector<ListAccess>> accessors_or =
+        MakeAccessors(source, model, query);
+    if (!accessors_or.ok()) return accessors_or.status();
+    accessors = std::move(accessors_or).ValueOrDie();
+  }
   const size_t m = accessors.size();
 
   if (m == 0 || n == 0) {
@@ -181,35 +198,38 @@ Result<TopNResult> FaginFA(const PostingSource& source,
   // classical FA dominance argument still holds).
   const uint64_t all_mask = (m == 64) ? ~0ULL : ((1ULL << m) - 1);
   std::unordered_map<DocId, uint64_t> seen_mask;  // doc -> lists seen via SA
-  uint64_t exhausted_mask = 0;
-  size_t fully_seen = 0;
-  int round = 0;
-  for (;;) {
-    bool advanced = false;
-    for (size_t i = 0; i < m; ++i) {
-      ListAccess& cur = accessors[i];
-      if (cur.exhausted()) {
-        exhausted_mask |= (1ULL << i);
-        continue;
+  {
+    obs::TraceSpan span(obs::kStageAccumulate);
+    uint64_t exhausted_mask = 0;
+    size_t fully_seen = 0;
+    int round = 0;
+    for (;;) {
+      bool advanced = false;
+      for (size_t i = 0; i < m; ++i) {
+        ListAccess& cur = accessors[i];
+        if (cur.exhausted()) {
+          exhausted_mask |= (1ULL << i);
+          continue;
+        }
+        advanced = true;
+        const DocId doc = cur.cursor->doc();
+        cur.cursor->next();
+        ++result.stats.sorted_accesses;
+        CostTicker::TickSeq();
+        seen_mask[doc] |= (1ULL << i);
+        if (cur.exhausted()) exhausted_mask |= (1ULL << i);
       }
-      advanced = true;
-      const DocId doc = cur.cursor->doc();
-      cur.cursor->next();
-      ++result.stats.sorted_accesses;
-      CostTicker::TickSeq();
-      seen_mask[doc] |= (1ULL << i);
-      if (cur.exhausted()) exhausted_mask |= (1ULL << i);
-    }
-    if (!advanced) break;  // every list exhausted: everything is seen
-    // Recount fully-seen docs periodically (counting is O(candidates); the
-    // stop may fire a few rounds late, which is safe, never wrong).
-    if (++round % 8 == 0 || (exhausted_mask != 0)) {
-      fully_seen = 0;
-      for (const auto& [doc, mask] : seen_mask) {
-        CostTicker::TickCompare();
-        if ((mask | exhausted_mask) == all_mask) ++fully_seen;
+      if (!advanced) break;  // every list exhausted: everything is seen
+      // Recount fully-seen docs periodically (counting is O(candidates); the
+      // stop may fire a few rounds late, which is safe, never wrong).
+      if (++round % 8 == 0 || (exhausted_mask != 0)) {
+        fully_seen = 0;
+        for (const auto& [doc, mask] : seen_mask) {
+          CostTicker::TickCompare();
+          if ((mask | exhausted_mask) == all_mask) ++fully_seen;
+        }
+        if (fully_seen >= n) break;
       }
-      if (fully_seen >= n) break;
     }
   }
   result.stats.stopped_early =
@@ -221,14 +241,17 @@ Result<TopNResult> FaginFA(const PostingSource& source,
   // of the seen set by the dominance argument above).
   BestN best(n);
   result.stats.candidates = static_cast<int64_t>(seen_mask.size());
-  for (const auto& [doc, mask] : seen_mask) {
-    double score = 0.0;
-    for (const auto& cur : accessors) {
-      score += RandomAccessWeight(source, model, cur, doc, &result.stats);
+  {
+    obs::TraceSpan span(obs::kStageHeapMerge);
+    for (const auto& [doc, mask] : seen_mask) {
+      double score = 0.0;
+      for (const auto& cur : accessors) {
+        score += RandomAccessWeight(source, model, cur, doc, &result.stats);
+      }
+      best.Offer(ScoredDoc{doc, score});
     }
-    best.Offer(ScoredDoc{doc, score});
+    result.items = best.TakeSortedDesc();
   }
-  result.items = best.TakeSortedDesc();
   result.stats.cost = scope.Snapshot();
   return result;
 }
@@ -242,10 +265,14 @@ Result<TopNResult> FaginNRA(const PostingSource& source,
                             size_t n, const FaginOptions& options) {
   TopNResult result;
   CostScope scope;
-  Result<std::vector<ListAccess>> accessors_or =
-      MakeAccessors(source, model, query);
-  if (!accessors_or.ok()) return accessors_or.status();
-  std::vector<ListAccess> accessors = std::move(accessors_or).ValueOrDie();
+  std::vector<ListAccess> accessors;
+  {
+    obs::TraceSpan span(obs::kStageCursorOpen);
+    Result<std::vector<ListAccess>> accessors_or =
+        MakeAccessors(source, model, query);
+    if (!accessors_or.ok()) return accessors_or.status();
+    accessors = std::move(accessors_or).ValueOrDie();
+  }
   const size_t m = accessors.size();
 
   if (m == 0 || n == 0) {
@@ -264,6 +291,9 @@ Result<TopNResult> FaginNRA(const PostingSource& source,
 
   int64_t accesses_since_check = 0;
   bool done = false;
+  // Closed explicitly before the final emit (the loop has two exits).
+  std::optional<obs::TraceSpan> accumulate_span(
+      std::in_place, obs::kStageAccumulate);
   while (!done) {
     bool advanced = false;
     for (size_t i = 0; i < m; ++i) {
@@ -325,11 +355,16 @@ Result<TopNResult> FaginNRA(const PostingSource& source,
     }
   }
 
+  accumulate_span.reset();
+
   // Emit the n best by lower bound (exact set per NRA guarantee).
   BestN best(n);
   result.stats.candidates = static_cast<int64_t>(cand.size());
-  for (const auto& [doc, c] : cand) best.Offer(ScoredDoc{doc, c.lower});
-  result.items = best.TakeSortedDesc();
+  {
+    obs::TraceSpan span(obs::kStageHeapMerge);
+    for (const auto& [doc, c] : cand) best.Offer(ScoredDoc{doc, c.lower});
+    result.items = best.TakeSortedDesc();
+  }
   result.stats.cost = scope.Snapshot();
   return result;
 }

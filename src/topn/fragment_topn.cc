@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <unordered_set>
 
+#include "obs/query_trace.h"
+
 namespace moa {
 namespace {
 
@@ -79,8 +81,14 @@ TopNResult SmallFragmentTopN(const PostingSource& source,
   SplitQuery(frag, query, &small_terms, &large_terms);
 
   std::vector<double> acc(source.num_docs(), 0.0);
-  AccumulateTerms(source, model, small_terms, &acc);
-  result.items = HeapSelect(acc, n);
+  {
+    obs::TraceSpan span(obs::kStageAccumulate);
+    AccumulateTerms(source, model, small_terms, &acc);
+  }
+  {
+    obs::TraceSpan span(obs::kStageHeapMerge);
+    result.items = HeapSelect(acc, n);
+  }
   result.stats.candidates = CountCandidates(acc);
   result.stats.stopped_early = !large_terms.empty();
   result.stats.cost = scope.Snapshot();
@@ -108,11 +116,15 @@ Result<TopNResult> QualitySwitchTopN(const PostingSource& source,
   std::vector<TermId> small_terms, large_terms;
   SplitQuery(frag, query, &small_terms, &large_terms);
 
-  // Phase 1: cheap small-fragment pass.
+  // Phase 1: cheap small-fragment pass. The whole small-pass + optional
+  // large-fragment completion is one accumulate span — the quality check
+  // in between is part of deciding how much accumulation to do.
   std::vector<double> acc(source.num_docs(), 0.0);
+  bool process_large = false;
+  {
+  obs::TraceSpan accumulate_span(obs::kStageAccumulate);
   AccumulateTerms(source, model, small_terms, &acc);
 
-  bool process_large = false;
   if (!large_terms.empty() && options.mode != LargeFragmentMode::kSkip) {
     // Early quality check: can the large fragment still change the top n?
     // Upper bound of its contribution to any single document:
@@ -203,8 +215,12 @@ Result<TopNResult> QualitySwitchTopN(const PostingSource& source,
       }
     }
   }
+  }  // accumulate span
 
-  result.items = HeapSelect(acc, n);
+  {
+    obs::TraceSpan span(obs::kStageHeapMerge);
+    result.items = HeapSelect(acc, n);
+  }
   result.stats.candidates = CountCandidates(acc);
   result.stats.stopped_early = !large_terms.empty() && !process_large;
   result.stats.cost = scope.Snapshot();

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <unordered_map>
 
+#include "obs/query_trace.h"
 #include "topn/block_max.h"
 
 namespace moa {
@@ -16,21 +17,24 @@ Result<TopNResult> MaxScoreTopN(const PostingSource& source,
   // Order terms by ascending document frequency: the most selective terms
   // build the accumulator set; the frequent terms mostly update it.
   std::vector<TermId> terms;
-  for (TermId t : query.terms) {
-    if (source.DocFrequency(t) > 0) {
-      if (!source.HasImpacts(t)) {
-        return Status::FailedPrecondition(
-            "MaxScoreTopN requires impact orders for max weights");
+  {
+    obs::TraceSpan span(obs::kStageCursorOpen);
+    for (TermId t : query.terms) {
+      if (source.DocFrequency(t) > 0) {
+        if (!source.HasImpacts(t)) {
+          return Status::FailedPrecondition(
+              "MaxScoreTopN requires impact orders for max weights");
+        }
+        terms.push_back(t);
       }
-      terms.push_back(t);
     }
+    std::sort(terms.begin(), terms.end(), [&](TermId a, TermId b) {
+      if (source.DocFrequency(a) != source.DocFrequency(b)) {
+        return source.DocFrequency(a) < source.DocFrequency(b);
+      }
+      return a < b;
+    });
   }
-  std::sort(terms.begin(), terms.end(), [&](TermId a, TermId b) {
-    if (source.DocFrequency(a) != source.DocFrequency(b)) {
-      return source.DocFrequency(a) < source.DocFrequency(b);
-    }
-    return a < b;
-  });
 
   // Accumulation with the classic non-strict engagement test (the result
   // is exact up to score ties); once pruning engages, the helper probes
@@ -41,8 +45,11 @@ Result<TopNResult> MaxScoreTopN(const PostingSource& source,
   bm.accumulator_budget = options.accumulator_budget;
   bm.strict = false;
   BlockMaxOutcome outcome;
-  std::unordered_map<DocId, double> acc =
-      BlockMaxAccumulate(source, model, terms, bm, &outcome);
+  std::unordered_map<DocId, double> acc;
+  {
+    obs::TraceSpan span(obs::kStageAccumulate);
+    acc = BlockMaxAccumulate(source, model, terms, bm, &outcome);
+  }
   result.stats.stopped_early = outcome.stopped_early;
 
   // Final selection.
@@ -51,11 +58,14 @@ Result<TopNResult> MaxScoreTopN(const PostingSource& source,
   docs.reserve(acc.size());
   for (const auto& [d, s] : acc) docs.push_back(ScoredDoc{d, s});
   const size_t k = std::min(n, docs.size());
-  std::partial_sort(docs.begin(), docs.begin() + k, docs.end(),
-                    [](const ScoredDoc& a, const ScoredDoc& b) {
-                      CostTicker::TickCompare();
-                      return ScoredDocLess(a, b);
-                    });
+  {
+    obs::TraceSpan span(obs::kStageHeapMerge);
+    std::partial_sort(docs.begin(), docs.begin() + k, docs.end(),
+                      [](const ScoredDoc& a, const ScoredDoc& b) {
+                        CostTicker::TickCompare();
+                        return ScoredDocLess(a, b);
+                      });
+  }
   docs.resize(k);
   result.items = std::move(docs);
   result.stats.cost = scope.Snapshot();

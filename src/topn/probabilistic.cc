@@ -6,6 +6,7 @@
 #include "common/histogram.h"
 #include "common/rng.h"
 #include "ir/exact_eval.h"
+#include "obs/query_trace.h"
 
 namespace moa {
 
@@ -56,14 +57,19 @@ Result<TopNResult> ProbabilisticTopN(const PostingSource& source,
   TopNResult result;
   CostScope scope;
 
-  std::vector<double> acc = AccumulateScores(source, model, query);
+  std::vector<double> acc;
+  {
+    obs::TraceSpan span(obs::kStageAccumulate);
+    acc = AccumulateScores(source, model, query);
+  }
   std::vector<DocId> candidates;
   for (DocId d = 0; d < acc.size(); ++d) {
     if (acc[d] > 0.0) candidates.push_back(d);
   }
   result.stats.candidates = static_cast<int64_t>(candidates.size());
 
-  // Sample the score distribution.
+  // Sample + cutoff selection: the rest is one heap_merge span.
+  obs::TraceSpan select_span(obs::kStageHeapMerge);
   Rng rng(options.seed);
   const size_t sample_size = std::min(options.sample_size, candidates.size());
   std::vector<double> sample;

@@ -6,6 +6,7 @@
 #include "common/histogram.h"
 #include "common/rng.h"
 #include "ir/exact_eval.h"
+#include "obs/query_trace.h"
 #include "topn/block_max.h"
 
 namespace moa {
@@ -53,45 +54,54 @@ Result<TopNResult> StopAfterTopN(const PostingSource& source,
   }
 
   std::vector<ScoredDoc> candidates;  // positive-score docs, doc ascending
-  if (can_prune) {
-    BlockMaxOptions bm;
-    bm.n = n;
-    bm.mode = PruneMode::kContinue;
-    bm.strict = true;
-    BlockMaxOutcome outcome;
-    const std::unordered_map<DocId, double> acc =
-        BlockMaxAccumulate(source, model, terms, bm, &outcome);
-    candidates.reserve(acc.size());
-    for (const auto& [d, s] : acc) {
-      if (s > 0.0) candidates.push_back(ScoredDoc{d, s});
-    }
-    std::sort(candidates.begin(), candidates.end(),
-              [](const ScoredDoc& a, const ScoredDoc& b) {
-                return a.doc < b.doc;
-              });
-  } else {
-    const std::vector<double> acc = AccumulateScores(source, model, query);
-    for (DocId d = 0; d < acc.size(); ++d) {
-      if (acc[d] > 0.0) candidates.push_back(ScoredDoc{d, acc[d]});
+  {
+    obs::TraceSpan span(obs::kStageAccumulate);
+    if (can_prune) {
+      BlockMaxOptions bm;
+      bm.n = n;
+      bm.mode = PruneMode::kContinue;
+      bm.strict = true;
+      BlockMaxOutcome outcome;
+      const std::unordered_map<DocId, double> acc =
+          BlockMaxAccumulate(source, model, terms, bm, &outcome);
+      candidates.reserve(acc.size());
+      for (const auto& [d, s] : acc) {
+        if (s > 0.0) candidates.push_back(ScoredDoc{d, s});
+      }
+      std::sort(candidates.begin(), candidates.end(),
+                [](const ScoredDoc& a, const ScoredDoc& b) {
+                  return a.doc < b.doc;
+                });
+    } else {
+      const std::vector<double> acc = AccumulateScores(source, model, query);
+      for (DocId d = 0; d < acc.size(); ++d) {
+        if (acc[d] > 0.0) candidates.push_back(ScoredDoc{d, acc[d]});
+      }
     }
   }
   result.stats.candidates = static_cast<int64_t>(candidates.size());
 
+  // Everything below is stop-after selection work (materialize + sort-stop
+  // or sample + cutoff scan): one heap_merge span per return path.
   if (options.policy == StopAfterPolicy::kConservative) {
     // Materialize everything, bounded sort-stop above.
-    std::vector<ScoredDoc> buffer;
-    buffer.reserve(candidates.size());
-    for (const ScoredDoc& c : candidates) {
-      CostTicker::TickBytes(16);
-      buffer.push_back(c);
+    {
+      obs::TraceSpan span(obs::kStageHeapMerge);
+      std::vector<ScoredDoc> buffer;
+      buffer.reserve(candidates.size());
+      for (const ScoredDoc& c : candidates) {
+        CostTicker::TickBytes(16);
+        buffer.push_back(c);
+      }
+      result.items = SortStop(std::move(buffer), n);
     }
-    result.items = SortStop(std::move(buffer), n);
     result.stats.cost = scope.Snapshot();
     return result;
   }
 
   // Aggressive: estimate a score cutoff from a sample, push the predicate
   // below materialization, restart with a relaxed cutoff on underflow.
+  obs::TraceSpan select_span(obs::kStageHeapMerge);
   Rng rng(options.seed);
   const size_t sample_size =
       std::min(options.sample_size, candidates.size());

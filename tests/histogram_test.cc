@@ -82,6 +82,30 @@ TEST(HistogramTest, EmptyHistogram) {
   EXPECT_EQ(h.CdfAtValue(0.5), 0.0);
   EXPECT_EQ(h.ValueWithCountAbove(5), h.min());
   EXPECT_EQ(h.ValueAtQuantile(0.5), h.min());
+  // Every quantile of an empty histogram is min(), never a division by
+  // zero — and ToString renders without touching the (empty) counts.
+  EXPECT_EQ(h.ValueAtQuantile(0.0), h.min());
+  EXPECT_EQ(h.ValueAtQuantile(1.0), h.min());
+  EXPECT_FALSE(h.ToString().empty());
+}
+
+TEST(HistogramTest, ZeroBucketRequestClampsToOne) {
+  // A degenerate bucket request is clamped instead of asserting; the
+  // single bucket still counts everything.
+  Histogram h(0.0, 1.0, 0);
+  h.Add(0.25);
+  h.Add(0.75);
+  EXPECT_EQ(h.total_count(), 2);
+  EXPECT_EQ(h.bucket_count(0), 2);
+  EXPECT_GE(h.ValueAtQuantile(0.5), h.min());
+  EXPECT_LE(h.ValueAtQuantile(0.5), h.max());
+  EXPECT_FALSE(h.ToString().empty());
+}
+
+TEST(HistogramTest, FromDataEmptyInput) {
+  Histogram h = Histogram::FromData({}, 16);
+  EXPECT_EQ(h.total_count(), 0);
+  EXPECT_EQ(h.ValueAtQuantile(0.95), h.min());
 }
 
 TEST(HistogramTest, QuantilesOfUniformData) {

@@ -1,5 +1,9 @@
 #include <gtest/gtest.h>
 
+#include <string>
+#include <utility>
+#include <vector>
+
 #include "common/logging.h"
 #include "common/timer.h"
 
@@ -21,6 +25,37 @@ TEST(LoggingTest, MacroCompilesAndStreams) {
   MOA_LOG(Info) << "value=" << 42 << " str=" << std::string("x");
   MOA_LOG(Debug) << "below threshold";
   SetLogLevel(before);
+}
+
+TEST(LoggingTest, SinkCapturesMessagesAndPrefix) {
+  const LogLevel before = GetLogLevel();
+  SetLogLevel(LogLevel::kInfo);
+  std::vector<std::pair<LogLevel, std::string>> captured;
+  SetLogSink([&captured](LogLevel level, const std::string& message) {
+    captured.emplace_back(level, message);
+  });
+  MOA_LOG(Info) << "captured " << 7;
+  MOA_LOG(Debug) << "below threshold, never reaches the sink";
+  MOA_LOG(Warning) << "warned";
+  SetLogSink(nullptr);
+  MOA_LOG(Error) << "";  // restored stderr writer; must not hit `captured`
+  SetLogLevel(before);
+
+  ASSERT_EQ(captured.size(), 2u);
+  EXPECT_EQ(captured[0].first, LogLevel::kInfo);
+  EXPECT_EQ(captured[1].first, LogLevel::kWarning);
+  // Prefix format: "[LEVEL HH:MM:SS.mmm tid=N file:line] message".
+  const std::string& line = captured[0].second;
+  EXPECT_EQ(line.rfind("[INFO ", 0), 0u) << line;
+  EXPECT_NE(line.find(" tid="), std::string::npos) << line;
+  EXPECT_NE(line.find("logging_timer_test.cc:"), std::string::npos) << line;
+  EXPECT_NE(line.find("captured 7"), std::string::npos) << line;
+  EXPECT_EQ(captured[1].second.rfind("[WARN ", 0), 0u) << captured[1].second;
+  // Timestamp shape HH:MM:SS.mmm right after the "[INFO " tag.
+  ASSERT_GT(line.size(), 18u);
+  EXPECT_EQ(line[8], ':') << line;
+  EXPECT_EQ(line[11], ':') << line;
+  EXPECT_EQ(line[14], '.') << line;
 }
 
 TEST(WallTimerTest, MeasuresElapsedMonotonically) {
