@@ -135,7 +135,33 @@ int main(int argc, char** argv) {
     }
   }
 
-  // 4. A segment open that must fail: the failure counter registers.
+  // 4. A sharded database: the scatter-gather searches register the
+  //    moa_shard_* counters (shards visited/skipped and the skipped
+  //    shards' posting volume).
+  {
+    DatabaseConfig sharded_config = config;
+    sharded_config.collection.num_docs = 600;
+    sharded_config.catalog_dir = dir + "_sharded";
+    sharded_config.num_shards = 3;
+    std::filesystem::remove_all(sharded_config.catalog_dir);
+    auto sharded = MmDatabase::Open(sharded_config);
+    if (!sharded.ok()) return Fail("sharded open", sharded.status());
+    // First mutation seeds the sharded catalog from the collection and
+    // flips to dynamic serving — only then does Search scatter-gather.
+    if (auto r = sharded.ValueOrDie()->AddDocument(SynthDoc(rng, 6000));
+        !r.ok()) {
+      return Fail("sharded add", r.status());
+    }
+    for (size_t i = 0; i < 4; ++i) {
+      if (auto r = sharded.ValueOrDie()->Search(QueryRequest{queries[i]});
+          !r.ok()) {
+        return Fail("sharded search", r.status());
+      }
+    }
+    std::filesystem::remove_all(sharded_config.catalog_dir);
+  }
+
+  // 5. A segment open that must fail: the failure counter registers.
   {
     auto missing = SegmentReader::Open(dir + "/does_not_exist.moa");
     if (missing.ok()) {

@@ -15,6 +15,16 @@ Four modes:
       searches next to their forced-maxscore baselines per query class,
       plus the planned/forced ratios the acceptance criterion tracks.
 
+  --distill-shard e16.json
+      Reads the bench_e16_sharding output and prints the sharding
+      snapshot (BENCH_shard.json): per shard count and query class the
+      wall QPS, total cost-scalar work, naive (pruning-off) work,
+      critical-path span and shard-skip rate, plus the 4-vs-1 speedup
+      ratios the acceptance criterion tracks. Note the hardware caveat
+      recorded in the snapshot: on a single-CPU runner the wall ratio
+      reflects serialized waves; the span ratio is the intra-query
+      parallel speedup available once cores exist.
+
   --calibration metrics.json
       Reads a metrics-registry JSON dump (example_metrics_dump --json)
       and distills the planner's predicted-vs-observed cost ratio from
@@ -40,8 +50,19 @@ import sys
 
 SCHEMA = "moa-bench-cursor-v1"
 PLANNER_SCHEMA = "moa-bench-planner-v1"
+SHARD_SCHEMA = "moa-bench-shard-v1"
 REGRESSION_THRESHOLD = 0.10
 CALIBRATION_DRIFT_THRESHOLD = 0.25
+# Acceptance floor: span(1 shard) / span(4 shards) on the mixed class.
+SHARD_SPEEDUP_FLOOR = 1.5
+
+# bench_e16_sharding benchmark base name -> query class label.
+SHARD_CLASSES = {
+    "BM_ShardedMixed": "mixed",
+    "BM_ShardedSelective": "selective",
+}
+SHARD_COUNTERS = ("qps", "work_per_query", "naive_work_per_query",
+                  "span_per_query", "skip_rate", "postings_skipped_pq")
 
 # Planner-routed bench -> its forced-maxscore baseline on the same query
 # class (bench_e13_throughput names, without the /threads/real_time tail).
@@ -130,6 +151,95 @@ def distill_planner(e13_path):
     return snapshot
 
 
+def distill_shard(e16_path):
+    snapshot = {
+        "schema": SHARD_SCHEMA,
+        "mode": "tiny",
+        # On a 1-CPU runner shard waves serialize, so wall qps dips with
+        # shard count while `span` (max per-shard work = the parallel
+        # wave's critical path) measures the intra-query speedup
+        # available once cores exist. Both are recorded on purpose.
+        "note": ("wall ratios are from a serialized single-CPU run; "
+                 "span ratios are the multi-core critical-path speedup"),
+        # classes.<class>.<shards> -> {qps, work_per_query, ...}
+        "classes": {},
+        # The acceptance ratios at 4 shards vs 1.
+        "speedup_4_over_1": {},
+        "selective_skip_rate_at_4": 0.0,
+    }
+    classes = snapshot["classes"]
+    for bench in load(e16_path).get("benchmarks", []):
+        name = bench.get("name", "")
+        parts = name.split("/")
+        label = SHARD_CLASSES.get(parts[0])
+        if label is None or len(parts) < 2:
+            continue
+        shards = parts[1]
+        entry = {}
+        for counter in SHARD_COUNTERS:
+            if counter in bench:
+                entry[counter] = bench[counter]
+        classes.setdefault(label, {})[shards] = entry
+
+    def ratio(label, num_key, den_key, num_shards_a="1", num_shards_b="4"):
+        a = classes.get(label, {}).get(num_shards_a, {}).get(num_key)
+        b = classes.get(label, {}).get(num_shards_b, {}).get(den_key)
+        if a and b:
+            return a / b
+        return None
+
+    speedups = snapshot["speedup_4_over_1"]
+    for label in ("mixed", "selective"):
+        span = ratio(label, "span_per_query", "span_per_query")
+        if span is not None:
+            speedups[f"{label}_span"] = span
+        four = classes.get(label, {}).get("4", {})
+        one = classes.get(label, {}).get("1", {})
+        if one.get("qps") and four.get("qps"):
+            speedups[f"{label}_wall"] = four["qps"] / one["qps"]
+        if four.get("work_per_query") and four.get("naive_work_per_query"):
+            speedups[f"{label}_pruned_over_naive_work"] = (
+                four["naive_work_per_query"] / four["work_per_query"])
+    snapshot["selective_skip_rate_at_4"] = (
+        classes.get("selective", {}).get("4", {}).get("skip_rate", 0.0))
+    return snapshot
+
+
+def compare_shard(baseline, current):
+    """Sharding snapshots: QPS entries under the usual 10% rule, plus the
+    acceptance floors on the *current* run — mixed span speedup >= 1.5x
+    at 4 shards and a nonzero selective shard-skip rate."""
+    warnings = 0
+    for label, base_by_shards in baseline.get("classes", {}).items():
+        cur_by_shards = current.get("classes", {}).get(label, {})
+        for shards, base_entry in base_by_shards.items():
+            base_rate = base_entry.get("qps")
+            cur_rate = cur_by_shards.get(shards, {}).get("qps")
+            if not base_rate or not cur_rate:
+                continue
+            drop = 1.0 - cur_rate / base_rate
+            if drop > REGRESSION_THRESHOLD:
+                warnings += 1
+                print(
+                    f"WARNING: {label}/{shards} shards qps regressed "
+                    f"{drop:.1%} ({base_rate:.3g} -> {cur_rate:.3g} qps)",
+                    file=sys.stderr)
+    span = current.get("speedup_4_over_1", {}).get("mixed_span")
+    if not isinstance(span, (int, float)) or span < SHARD_SPEEDUP_FLOOR:
+        warnings += 1
+        print(
+            f"WARNING: mixed-class span speedup at 4 shards is "
+            f"{span if span is not None else 'missing'} "
+            f"(floor {SHARD_SPEEDUP_FLOOR}x)", file=sys.stderr)
+    skip_rate = current.get("selective_skip_rate_at_4", 0.0)
+    if not isinstance(skip_rate, (int, float)) or skip_rate <= 0.0:
+        warnings += 1
+        print(
+            "WARNING: selective-class shard-skip rate at 4 shards is zero "
+            "— bound-aware gather is not pruning", file=sys.stderr)
+    return warnings
+
+
 def compare_planner(baseline, current):
     """Planner snapshots: QPS entries under the usual 10% rule, plus a
     parity floor on the planned/forced ratios of the *current* run."""
@@ -202,6 +312,20 @@ def compare(baseline_path, current_path):
             f"{current.get('schema')})", file=sys.stderr)
         return 2
     warnings = 0
+    if baseline.get("schema") == SHARD_SCHEMA:
+        warnings = compare_shard(baseline, current)
+        if warnings:
+            print(
+                f"bench_compare: {warnings} sharding "
+                f"entr{'y' if warnings == 1 else 'ies'} regressed vs "
+                f"{baseline_path} (non-fatal)", file=sys.stderr)
+        else:
+            print(
+                "bench_compare: sharded span speedup holds >= "
+                f"{SHARD_SPEEDUP_FLOOR}x on mixed, selective skip rate "
+                f"nonzero, no >{REGRESSION_THRESHOLD:.0%} QPS regression vs "
+                f"{baseline_path}")
+        return 0
     if baseline.get("schema") == PLANNER_SCHEMA:
         warnings = compare_planner(baseline, current)
         if warnings:
@@ -248,6 +372,10 @@ def main(argv):
         return 0
     if len(argv) == 3 and argv[1] == "--distill-planner":
         json.dump(distill_planner(argv[2]), sys.stdout, indent=2)
+        sys.stdout.write("\n")
+        return 0
+    if len(argv) == 3 and argv[1] == "--distill-shard":
+        json.dump(distill_shard(argv[2]), sys.stdout, indent=2)
         sys.stdout.write("\n")
         return 0
     if len(argv) == 3 and argv[1] == "--calibration":

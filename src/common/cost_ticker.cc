@@ -14,7 +14,12 @@ std::string CostCounters::ToString() const {
   os << "{seq=" << sequential_reads << " rnd=" << random_reads
      << " score=" << score_evals << " cmp=" << compares
      << " bytes=" << bytes_touched << " blk_dec=" << blocks_decoded
-     << " blk_skip=" << blocks_skipped << " scalar=" << Scalar() << "}";
+     << " blk_skip=" << blocks_skipped;
+  if (shards_visited != 0 || shards_skipped != 0) {
+    os << " shard_vis=" << shards_visited << " shard_skip=" << shards_skipped
+       << " shard_post_skip=" << shard_postings_skipped;
+  }
+  os << " scalar=" << Scalar() << "}";
   return os.str();
 }
 

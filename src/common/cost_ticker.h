@@ -26,6 +26,13 @@ namespace moa {
 ///    skips and block-max pruning). Storage-level observability for
 ///    ExplainSearch; deliberately outside Scalar() so pruning changes
 ///    never move the planner's abstract-cost comparisons.
+///  - `shards_visited` / `shards_skipped`: catalog shards the coordinator
+///    executed vs pruned by their aggregate impact upper bound;
+///    `shard_postings_skipped` is the exact posting volume those pruned
+///    shards held for the query's terms (the paper's "work avoided"
+///    ledger, lifted to the partition level). Like the block counters,
+///    outside Scalar(): shard pruning must not perturb per-shard planner
+///    comparisons.
 struct CostCounters {
   int64_t sequential_reads = 0;
   int64_t random_reads = 0;
@@ -34,6 +41,9 @@ struct CostCounters {
   int64_t bytes_touched = 0;
   int64_t blocks_decoded = 0;
   int64_t blocks_skipped = 0;
+  int64_t shards_visited = 0;
+  int64_t shards_skipped = 0;
+  int64_t shard_postings_skipped = 0;
 
   CostCounters& operator+=(const CostCounters& o) {
     sequential_reads += o.sequential_reads;
@@ -43,6 +53,9 @@ struct CostCounters {
     bytes_touched += o.bytes_touched;
     blocks_decoded += o.blocks_decoded;
     blocks_skipped += o.blocks_skipped;
+    shards_visited += o.shards_visited;
+    shards_skipped += o.shards_skipped;
+    shard_postings_skipped += o.shard_postings_skipped;
     return *this;
   }
   friend CostCounters operator+(CostCounters a, const CostCounters& b) {
@@ -57,6 +70,9 @@ struct CostCounters {
     a.bytes_touched -= b.bytes_touched;
     a.blocks_decoded -= b.blocks_decoded;
     a.blocks_skipped -= b.blocks_skipped;
+    a.shards_visited -= b.shards_visited;
+    a.shards_skipped -= b.shards_skipped;
+    a.shard_postings_skipped -= b.shard_postings_skipped;
     return a;
   }
 
@@ -90,6 +106,11 @@ class CostTicker {
   static void TickBytes(int64_t n) { Current().bytes_touched += n; }
   static void TickBlockDecoded(int64_t n = 1) { Current().blocks_decoded += n; }
   static void TickBlockSkipped(int64_t n = 1) { Current().blocks_skipped += n; }
+  static void TickShardVisited(int64_t n = 1) { Current().shards_visited += n; }
+  static void TickShardSkipped(int64_t n = 1) { Current().shards_skipped += n; }
+  static void TickShardPostingsSkipped(int64_t n) {
+    Current().shard_postings_skipped += n;
+  }
 };
 
 /// \brief RAII frame: captures the counters delta produced inside the scope.

@@ -46,37 +46,69 @@ void ThreadPool::WorkerLoop() {
 }
 
 void ThreadPool::ParallelFor(size_t count,
-                             const std::function<void(size_t)>& body) {
+                             const std::function<void(size_t)>& body,
+                             size_t max_helpers) {
   if (count == 0) return;
-  // Shared claim/completion state. Runners claim indexes with one atomic
-  // increment per call; the last runner to finish wakes the caller.
+  if (count == 1) {
+    body(0);
+    return;
+  }
+  // Shared claim/completion state. The state (body included) lives in a
+  // shared_ptr because helper tasks may still be sitting in the queue
+  // when ParallelFor returns: the join below waits for every *index* to
+  // complete, not for every helper to run, so a late helper must find
+  // valid state, observe next >= count, and no-op.
   struct State {
+    std::function<void(size_t)> body;
+    size_t count;
     std::atomic<size_t> next{0};
-    std::atomic<size_t> active{0};
+    std::atomic<size_t> completed{0};
     std::mutex mutex;
     std::condition_variable done;
   };
   auto state = std::make_shared<State>();
-  const size_t runners = std::min(workers_.size(), count);
-  state->active.store(runners);
-  for (size_t r = 0; r < runners; ++r) {
-    // `body` is captured by reference: ParallelFor blocks until every
-    // runner has finished, so the reference cannot dangle.
-    Submit([state, count, &body] {
-      size_t i;
-      while ((i = state->next.fetch_add(1)) < count) body(i);
-      if (state->active.fetch_sub(1) == 1) {
-        std::lock_guard<std::mutex> lock(state->mutex);
-        state->done.notify_all();
+  state->body = body;
+  state->count = count;
+
+  const auto run = [](State& s) {
+    size_t i;
+    while ((i = s.next.fetch_add(1)) < s.count) {
+      s.body(i);
+      if (s.completed.fetch_add(1) + 1 == s.count) {
+        // Lock pairs with the waiter's predicate check: without it the
+        // notify could fire between the caller's predicate evaluation
+        // and its wait, and the wake would be lost.
+        std::lock_guard<std::mutex> lock(s.mutex);
+        s.done.notify_all();
       }
-    });
+    }
+  };
+
+  // The caller claims indexes too, so at most count-1 helpers are ever
+  // useful — and if none of them is scheduled (every worker busy with an
+  // outer-level ParallelFor), the caller alone still finishes the loop.
+  const size_t helpers =
+      std::min({workers_.size(), count - 1, max_helpers});
+  for (size_t h = 0; h < helpers; ++h) {
+    Submit([state, run] { run(*state); });
   }
+  run(*state);
+
   std::unique_lock<std::mutex> lock(state->mutex);
-  state->done.wait(lock, [&] { return state->active.load() == 0; });
+  state->done.wait(
+      lock, [&] { return state->completed.load() == state->count; });
 }
 
 size_t ThreadPool::DefaultParallelism() {
   return std::max(1u, std::thread::hardware_concurrency());
+}
+
+ThreadPool& ThreadPool::Shared() {
+  // Leaked deliberately: worker threads must outlive every static-storage
+  // engine object that might run a batch during shutdown, and joining
+  // threads from a static destructor is itself undefined-behavior bait.
+  static ThreadPool* pool = new ThreadPool(DefaultParallelism());
+  return *pool;
 }
 
 }  // namespace moa

@@ -1,10 +1,12 @@
 #include "engine/database.h"
 
+#include <algorithm>
 #include <filesystem>
 #include <optional>
 #include <sstream>
 
 #include "common/timer.h"
+#include "engine/shard_coordinator.h"
 #include "exec/registry.h"
 #include "obs/metrics.h"
 #include "optimizer/explain.h"
@@ -53,13 +55,20 @@ std::shared_ptr<const CatalogReadView> MmDatabase::catalog_view() const {
 
 std::shared_ptr<const Fragmentation> MmDatabase::DynamicFragmentation(
     const CatalogState& state) const {
+  return DynamicFragmentation(state.stats().df, state.version());
+}
+
+std::shared_ptr<const Fragmentation> MmDatabase::DynamicFragmentation(
+    const std::vector<uint32_t>& df, uint64_t version) const {
   std::lock_guard<std::mutex> lock(dyn_frag_mutex_);
-  if (dyn_frag_ == nullptr || dyn_frag_version_ != state.version()) {
+  if (dyn_frag_ == nullptr || dyn_frag_version_ != version) {
     // Live df is all the assignment depends on, so this fragments exactly
-    // like a fresh index of the surviving documents.
+    // like a fresh index of the surviving documents. Under sharding the
+    // df is the global aggregate, so the term classification every shard
+    // executes with is identical to a single catalog's.
     dyn_frag_ = std::make_shared<const Fragmentation>(
-        Fragmentation::Build(state.stats().df, config_.fragmentation));
-    dyn_frag_version_ = state.version();
+        Fragmentation::Build(df, config_.fragmentation));
+    dyn_frag_version_ = version;
   }
   return dyn_frag_;
 }
@@ -119,6 +128,19 @@ ExecContext MmDatabase::static_context() const {
 
 ExecContext MmDatabase::exec_context() const {
   if (is_dynamic()) {
+    if (sharded_ != nullptr) {
+      // No single PostingSource spans a sharded collection; the borrowed
+      // context covers shard 0 under the global statistics (see the
+      // header). Whole-collection queries go through Search/Execute.
+      const std::shared_ptr<const ShardedSnapshot> snapshot =
+          sharded_->Snapshot();
+      ExecContext context;
+      context.model = &snapshot->shard_model(0);
+      context.postings = &snapshot->shard_source(0);
+      context.sparse_cache = &snapshot->shard_sparse_cache(0);
+      context.postings_owner = snapshot;
+      return context;
+    }
     // Callers of the borrowed view don't name a strategy up front, so
     // the context carries every capability, fragmentation included.
     const std::shared_ptr<const CatalogReadView> view = catalog_view();
@@ -205,12 +227,54 @@ void MmDatabase::DetachSegment() {
 // ------------------------------------------------------ index lifecycle
 
 Status MmDatabase::EnsureDynamicLocked() {
-  if (catalog_ != nullptr) return Status::OK();
+  if (catalog_ != nullptr || sharded_ != nullptr) return Status::OK();
 
   IndexCatalog::Options options;
   options.num_terms = file().num_terms();
   options.dir = config_.catalog_dir;
   options.scoring = config_.scoring;
+
+  if (config_.num_shards > 1) {
+    ShardedCatalog::Options soptions;
+    soptions.num_shards = config_.num_shards;
+    soptions.shard = options;  // shard.dir is the root; shards nest under it
+
+    std::unique_ptr<ShardedCatalog> sharded;
+    if (!options.dir.empty() &&
+        std::filesystem::exists(options.dir + "/shard_0/" +
+                                kManifestFileName)) {
+      // A durable sharded catalog from an earlier process: recover every
+      // shard instead of re-seeding (same rule as the single catalog).
+      Result<std::unique_ptr<ShardedCatalog>> opened =
+          ShardedCatalog::Open(soptions);
+      if (!opened.ok()) return opened.status();
+      sharded = std::move(opened).ValueOrDie();
+    } else {
+      Result<std::unique_ptr<ShardedCatalog>> created =
+          ShardedCatalog::Create(soptions);
+      if (!created.ok()) return created.status();
+      sharded = std::move(created).ValueOrDie();
+      const InvertedFile& f = file();
+      if (f.num_docs() > 0) {
+        // Same transposed batch seed as below. Round-robin routing from
+        // an empty catalog assigns document k the global id k — the seed
+        // keeps the generated collection's ids under sharding too.
+        std::vector<DocTerms> docs(f.num_docs());
+        for (TermId t = 0; t < f.num_terms(); ++t) {
+          const PostingList& list = f.list(t);
+          for (size_t i = 0; i < list.size(); ++i) {
+            docs[list[i].doc].emplace_back(t, list[i].tf);
+          }
+        }
+        Result<std::vector<DocId>> ids = sharded->AddDocuments(docs);
+        if (!ids.ok()) return ids.status();
+      }
+    }
+
+    sharded_ = std::move(sharded);
+    dynamic_.store(true, std::memory_order_release);
+    return Status::OK();
+  }
 
   std::unique_ptr<IndexCatalog> catalog;
   if (!options.dir.empty() &&
@@ -254,30 +318,50 @@ Status MmDatabase::EnsureDynamicLocked() {
 Result<DocId> MmDatabase::AddDocument(const DocTerms& terms) {
   std::lock_guard<std::mutex> lock(mutation_mutex_);
   MOA_RETURN_NOT_OK(EnsureDynamicLocked());
+  if (sharded_ != nullptr) return sharded_->AddDocument(terms);
   return catalog_->AddDocument(terms);
 }
 
 Result<DocId> MmDatabase::AddDocuments(const std::vector<DocTerms>& docs) {
   std::lock_guard<std::mutex> lock(mutation_mutex_);
   MOA_RETURN_NOT_OK(EnsureDynamicLocked());
+  if (sharded_ != nullptr) {
+    // Sharded routing still returns the first document's global id; ids
+    // are consecutive whenever the shards are balanced (always true for
+    // the pristine seed and pure-append workloads).
+    Result<std::vector<DocId>> ids = sharded_->AddDocuments(docs);
+    if (!ids.ok()) return ids.status();
+    const std::vector<DocId>& v = ids.ValueOrDie();
+    return v.empty() ? DocId{0} : v.front();
+  }
   return catalog_->AddDocuments(docs);
 }
 
 Status MmDatabase::DeleteDocument(DocId doc) {
   std::lock_guard<std::mutex> lock(mutation_mutex_);
   MOA_RETURN_NOT_OK(EnsureDynamicLocked());
+  if (sharded_ != nullptr) return sharded_->DeleteDocument(doc);
   return catalog_->DeleteDocument(doc);
+}
+
+Result<DocId> MmDatabase::UpdateDocument(DocId doc, const DocTerms& terms) {
+  std::lock_guard<std::mutex> lock(mutation_mutex_);
+  MOA_RETURN_NOT_OK(EnsureDynamicLocked());
+  if (sharded_ != nullptr) return sharded_->UpdateDocument(doc, terms);
+  return catalog_->UpdateDocument(doc, terms);
 }
 
 Status MmDatabase::Flush() {
   std::lock_guard<std::mutex> lock(mutation_mutex_);
   MOA_RETURN_NOT_OK(EnsureDynamicLocked());
+  if (sharded_ != nullptr) return sharded_->FlushAll();
   return catalog_->Flush();
 }
 
 Result<size_t> MmDatabase::Merge(const MergePolicy& policy) {
   std::lock_guard<std::mutex> lock(mutation_mutex_);
   MOA_RETURN_NOT_OK(EnsureDynamicLocked());
+  if (sharded_ != nullptr) return sharded_->MergeAll(policy);
   return catalog_->Merge(policy);
 }
 
@@ -299,6 +383,18 @@ Result<TopNResult> MmDatabase::Execute(PhysicalStrategy strategy,
   // validation beyond the registry's own. The strategy is known here, so
   // dynamic contexts only pay for the live-statistics fragmentation when
   // a fragment strategy runs.
+  if (is_dynamic() && sharded_ != nullptr) {
+    const std::shared_ptr<const ShardedSnapshot> snapshot =
+        sharded_->Snapshot();
+    const std::shared_ptr<const Fragmentation> frag =
+        NeedsFragmentation(strategy)
+            ? DynamicFragmentation(snapshot->stats().df, snapshot->version())
+            : nullptr;
+    ShardCoordinator::Options copts;
+    copts.fragmentation = frag.get();
+    return ShardCoordinator::Execute(snapshot, strategy, query, n, options,
+                                     copts);
+  }
   ExecContext context;
   if (is_dynamic()) {
     const std::shared_ptr<const CatalogReadView> view = catalog_view();
@@ -425,6 +521,26 @@ Result<SearchResult> MmDatabase::RunQuery(const QueryRequest& request,
   // generated collection is immutable), instead of planning statically
   // and then executing against the catalog.
   const bool trace = !explain && SampleTrace(config_.trace_every);
+  if (is_dynamic() && sharded_ != nullptr) {
+    // Sharded serving: one consistent multi-shard snapshot, then the
+    // bound-aware scatter-gather coordinator (per-shard planning, bound-
+    // ordered visits with suffix skipping, threshold-seeded max-score).
+    const std::shared_ptr<const ShardedSnapshot> snapshot =
+        sharded_->Snapshot();
+    const bool want_frag =
+        explain || (request.options.strategy.has_value()
+                        ? NeedsFragmentation(*request.options.strategy)
+                        : request.options.quality_target < 1.0);
+    const std::shared_ptr<const Fragmentation> frag =
+        want_frag
+            ? DynamicFragmentation(snapshot->stats().df, snapshot->version())
+            : nullptr;
+    ShardCoordinator::Options copts;
+    copts.fragmentation = frag.get();
+    return FinishQuery(ShardCoordinator::Run(snapshot, request, explain, trace,
+                                             decision_out, copts),
+                       explain);
+  }
   if (is_dynamic()) {
     const std::shared_ptr<const CatalogReadView> view = catalog_view();
     const CatalogState& state = view->state();
@@ -477,6 +593,9 @@ struct QueryMetrics {
   obs::Counter* plan_forced;
   obs::Counter* predicted_scalar;
   obs::Counter* observed_scalar;
+  obs::Counter* shard_visited;
+  obs::Counter* shard_skipped;
+  obs::Counter* shard_postings_skipped;
 
   static const QueryMetrics& Get() {
     static const QueryMetrics metrics = [] {
@@ -496,6 +615,10 @@ struct QueryMetrics {
       m.predicted_scalar =
           registry.GetCounter("moa_plan_predicted_scalar_total");
       m.observed_scalar = registry.GetCounter("moa_plan_observed_scalar_total");
+      m.shard_visited = registry.GetCounter("moa_shard_visited_total");
+      m.shard_skipped = registry.GetCounter("moa_shard_skipped_total");
+      m.shard_postings_skipped =
+          registry.GetCounter("moa_shard_postings_skipped_total");
       return m;
     }();
     return metrics;
@@ -530,6 +653,16 @@ Result<SearchResult> MmDatabase::FinishQuery(Result<SearchResult> result,
   // counters, so it stays exact for untraced (unsampled) queries.
   metrics.predicted_scalar->Add(r.estimate.scalar);
   metrics.observed_scalar->Add(r.top.stats.cost.Scalar());
+  // Shard scatter-gather accounting (zero on unsharded queries, so the
+  // counters move only when the coordinator ran): visited vs bound-pruned
+  // shards and the exact posting volume the pruned shards held.
+  const CostCounters& cost = r.top.stats.cost;
+  if (cost.shards_visited != 0 || cost.shards_skipped != 0) {
+    metrics.shard_visited->Add(static_cast<double>(cost.shards_visited));
+    metrics.shard_skipped->Add(static_cast<double>(cost.shards_skipped));
+    metrics.shard_postings_skipped->Add(
+        static_cast<double>(cost.shard_postings_skipped));
+  }
   if (r.traced) trace_ring_.Push(r.trace);
   return result;
 }
@@ -556,6 +689,27 @@ Result<SearchResult> MmDatabase::Search(const Query& query,
 std::vector<ScoredDoc> MmDatabase::GroundTruth(const Query& query,
                                                size_t n) const {
   if (is_dynamic()) {
+    if (sharded_ != nullptr) {
+      // Exact per-shard top-N under the global statistics, merged under
+      // the global (score desc, doc asc) order — the exact global top-N,
+      // since every document lives in exactly one shard.
+      const std::shared_ptr<const ShardedSnapshot> snapshot =
+          sharded_->Snapshot();
+      std::vector<ScoredDoc> all;
+      for (size_t s = 0; s < snapshot->num_shards(); ++s) {
+        std::vector<ScoredDoc> top =
+            ExactTopN(snapshot->shard_source(s), snapshot->shard_model(s),
+                      query, n);
+        for (ScoredDoc& sd : top) {
+          sd.doc = ShardedCatalog::GlobalOf(sd.doc, s,
+                                            snapshot->num_shards());
+          all.push_back(sd);
+        }
+      }
+      std::sort(all.begin(), all.end(), ScoredDocLess);
+      if (all.size() > n) all.resize(n);
+      return all;
+    }
     const std::shared_ptr<const CatalogReadView> view = catalog_view();
     return ExactTopN(*view, *view->model(), query, n);
   }
@@ -564,6 +718,23 @@ std::vector<ScoredDoc> MmDatabase::GroundTruth(const Query& query,
 
 std::vector<double> MmDatabase::GroundTruthScores(const Query& query) const {
   if (is_dynamic()) {
+    if (sharded_ != nullptr) {
+      // Dense by *global* id: each shard's local score vector scattered
+      // through the interleaved id mapping; unmapped slots stay 0.
+      const std::shared_ptr<const ShardedSnapshot> snapshot =
+          sharded_->Snapshot();
+      std::vector<double> scores(snapshot->doc_space(), 0.0);
+      for (size_t s = 0; s < snapshot->num_shards(); ++s) {
+        const std::vector<double> local = AccumulateScores(
+            snapshot->shard_source(s), snapshot->shard_model(s), query);
+        for (size_t l = 0; l < local.size(); ++l) {
+          const DocId g = ShardedCatalog::GlobalOf(
+              static_cast<DocId>(l), s, snapshot->num_shards());
+          if (static_cast<size_t>(g) < scores.size()) scores[g] = local[l];
+        }
+      }
+      return scores;
+    }
     const std::shared_ptr<const CatalogReadView> view = catalog_view();
     return AccumulateScores(*view, *view->model(), query);
   }
@@ -573,6 +744,7 @@ std::vector<double> MmDatabase::GroundTruthScores(const Query& query) const {
 std::string MmDatabase::DescribeStorage() const {
   // Payload only — ExplainReport::ToString prepends the "storage: " key.
   if (is_dynamic()) {
+    if (sharded_ != nullptr) return sharded_->Snapshot()->Describe();
     return catalog_->Snapshot()->Describe();
   }
   std::lock_guard<std::mutex> lock(snapshot_mutex_);
@@ -589,8 +761,7 @@ std::string MmDatabase::DescribeStorage() const {
 
 bool MmDatabase::TracedExecution(PhysicalStrategy strategy, const Query& query,
                                  size_t n, double switch_threshold,
-                                 obs::QueryTraceData* trace, int64_t* decoded,
-                                 int64_t* skipped) const {
+                                 ExplainReport* report) const {
   // Best effort: re-run the query and report how the storage layer
   // behaved, with per-query tracing active so the report also carries
   // stage spans and observed CostCounters. A strategy that cannot execute
@@ -601,9 +772,12 @@ bool MmDatabase::TracedExecution(PhysicalStrategy strategy, const Query& query,
   obs::QueryTraceData data = qtrace.Finish();
   if (!run.ok()) return false;
   const CostCounters& cost = run.ValueOrDie().stats.cost;
-  *decoded = cost.blocks_decoded;
-  *skipped = cost.blocks_skipped;
-  *trace = std::move(data);
+  report->blocks_decoded = cost.blocks_decoded;
+  report->blocks_skipped = cost.blocks_skipped;
+  report->has_shards = cost.shards_visited != 0 || cost.shards_skipped != 0;
+  report->shards_visited = cost.shards_visited;
+  report->shards_skipped = cost.shards_skipped;
+  report->trace = std::move(data);
   return true;
 }
 
@@ -617,15 +791,23 @@ Result<ExplainReport> MmDatabase::ExplainSearch(
   // Fragment strategies run over a fragmentation; show the split the
   // chosen strategy would use.
   if (NeedsFragmentation(report.decision.strategy)) {
-    report.fragmentation =
-        is_dynamic()
-            ? DynamicFragmentation(*catalog_->Snapshot())->ToString()
-            : fragmentation_.ToString();
+    if (!is_dynamic()) {
+      report.fragmentation = fragmentation_.ToString();
+    } else if (sharded_ != nullptr) {
+      const std::shared_ptr<const ShardedSnapshot> snapshot =
+          sharded_->Snapshot();
+      report.fragmentation =
+          DynamicFragmentation(snapshot->stats().df, snapshot->version())
+              ->ToString();
+    } else {
+      report.fragmentation =
+          DynamicFragmentation(*catalog_->Snapshot())->ToString();
+    }
   }
-  report.has_blocks = TracedExecution(
-      report.decision.strategy, request.query, request.n,
-      request.options.switch_threshold, &report.trace, &report.blocks_decoded,
-      &report.blocks_skipped);
+  report.has_blocks = TracedExecution(report.decision.strategy, request.query,
+                                      request.n,
+                                      request.options.switch_threshold,
+                                      &report);
   if (report.has_blocks && obs::kEnabled) {
     report.has_trace = true;
     report.trace.strategy = StrategyName(report.decision.strategy);

@@ -45,6 +45,7 @@
 #include "optimizer/planner.h"
 #include "optimizer/strategy_planner.h"
 #include "storage/catalog/index_catalog.h"
+#include "storage/catalog/sharded_catalog.h"
 #include "storage/fragmentation.h"
 #include "storage/segment/segment_reader.h"
 #include "storage/sparse_index_cache.h"
@@ -66,6 +67,20 @@ struct DatabaseConfig {
   /// collection — the durable surviving documents become the served
   /// corpus.
   std::string catalog_dir;
+  /// Number of catalog shards once the database turns dynamic. 1 (the
+  /// default) serves the single IndexCatalog exactly as before. Greater
+  /// values partition the document space across that many independent
+  /// shards (storage/catalog/sharded_catalog.h) and route every query
+  /// through the bound-aware scatter-gather ShardCoordinator: shards are
+  /// visited in descending impact-upper-bound order on the shared thread
+  /// pool, shards that cannot beat the running global n-th score are
+  /// skipped entirely (CostCounters::shards_skipped), and later shards'
+  /// max-score executions are seeded with the running threshold. Results
+  /// for safe strategies are bit-identical to num_shards = 1 (global
+  /// statistics view; fagin_nra excepted — set-level only). On disk each
+  /// shard keeps its own catalog under catalog_dir/shard_<s>; reopening
+  /// requires the same shard count.
+  size_t num_shards = 1;
   /// Stage-span trace sampling period: one in every `trace_every`
   /// queries per worker thread records a full per-stage QueryTrace and
   /// retires it to the engine's trace ring. 1 traces every query, 0
@@ -245,8 +260,12 @@ class MmDatabase {
   /// StrategyRegistry::Global().Execute (benches swap in their own
   /// fragmentation or sparse cache before doing so). In static mode this
   /// is the in-memory file (plus the attached segment snapshot, if any);
-  /// in dynamic mode it is the current catalog snapshot. Copies of the
-  /// context may execute concurrently.
+  /// in dynamic mode it is the current catalog snapshot. Under sharding
+  /// no single PostingSource spans the collection, so the borrowed
+  /// context covers shard 0 only (local postings under the global
+  /// statistics) — whole-collection queries go through Search/Execute,
+  /// which scatter-gather across every shard. Copies of the context may
+  /// execute concurrently.
   ExecContext exec_context() const;
 
   // ---------------------------------------------------- index lifecycle
@@ -263,6 +282,11 @@ class MmDatabase {
   /// statistics drop its exact composition; storage is reclaimed by
   /// Merge.
   Status DeleteDocument(DocId doc);
+  /// Upserts a document as delete + add: tombstones `doc` and re-ingests
+  /// `terms` under a fresh id (returned), following the insertion-order
+  /// id contract of AddDocument. Not atomic: a concurrent query may
+  /// observe the document deleted but not yet re-added.
+  Result<DocId> UpdateDocument(DocId doc, const DocTerms& terms);
   /// Persists the memtable as an immutable segment (requires
   /// DatabaseConfig::catalog_dir).
   Status Flush();
@@ -275,9 +299,15 @@ class MmDatabase {
   bool is_dynamic() const {
     return dynamic_.load(std::memory_order_acquire);
   }
-  /// The catalog (nullptr while static).
+  /// The catalog (nullptr while static, or when sharding is configured —
+  /// see sharded_catalog()).
   const IndexCatalog* catalog() const {
     return is_dynamic() ? catalog_.get() : nullptr;
+  }
+  /// The sharded catalog (nullptr while static or when
+  /// DatabaseConfig::num_shards == 1).
+  const ShardedCatalog* sharded_catalog() const {
+    return is_dynamic() ? sharded_.get() : nullptr;
   }
 
   /// The last completed query traces (oldest first; capacity 64). Empty
@@ -366,6 +396,11 @@ class MmDatabase {
   /// entry — mutations invalidate by bumping the version).
   std::shared_ptr<const Fragmentation> DynamicFragmentation(
       const CatalogState& state) const;
+  /// The generalized form both serving modes share: `df` is the
+  /// snapshot's live document frequencies (single-catalog state or
+  /// sharded global aggregate), `version` its cache key.
+  std::shared_ptr<const Fragmentation> DynamicFragmentation(
+      const std::vector<uint32_t>& df, uint64_t version) const;
   /// Storage signals of one catalog snapshot for the planner, digested
   /// from its composition. Cached per snapshot version (single entry,
   /// like DynamicFragmentation — Composition() walks all components).
@@ -387,12 +422,11 @@ class MmDatabase {
   /// Pass-through for errors and explain-only runs.
   Result<SearchResult> FinishQuery(Result<SearchResult> result,
                                    bool explain) const;
-  /// Fills the ExplainReport block counters and stage trace by running the
-  /// query with `strategy` (best effort; returns false when execution
-  /// fails).
+  /// Fills the ExplainReport block/shard counters and stage trace by
+  /// running the query with `strategy` (best effort; returns false when
+  /// execution fails).
   bool TracedExecution(PhysicalStrategy strategy, const Query& query, size_t n,
-                       double switch_threshold, obs::QueryTraceData* trace,
-                       int64_t* decoded, int64_t* skipped) const;
+                       double switch_threshold, ExplainReport* report) const;
 
   DatabaseConfig config_;
   std::unique_ptr<Collection> collection_;
@@ -413,6 +447,10 @@ class MmDatabase {
   /// catalog.
   std::mutex mutation_mutex_;
   std::unique_ptr<IndexCatalog> catalog_;
+  /// The sharded spine when DatabaseConfig::num_shards > 1 (catalog_
+  /// stays null then); created/recovered and published exactly like
+  /// catalog_.
+  std::unique_ptr<ShardedCatalog> sharded_;
   std::atomic<bool> dynamic_{false};
 
   /// Lazily filled by sparse-probe executions; mutable because filling the

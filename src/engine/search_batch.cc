@@ -40,15 +40,15 @@ Result<BatchSearchResult> MmDatabase::SearchBatch(
     }
   };
 
-  // The pool is constructed outside the timed region: thread spawn/join
-  // cost would otherwise bias the QPS comparison against higher
-  // parallelism on small batches.
-  std::optional<ThreadPool> pool;
-  if (workers > 1) pool.emplace(workers);
-
+  // Batch fan-out runs on the process-wide shared pool (no per-call
+  // thread spawn/join inside the timed region, and no second pool racing
+  // the shard-level ParallelFor for cores — see thread_pool.h for the
+  // parallelism budget). The calling thread is one of the `workers`
+  // claimants, so `workers - 1` helpers give the requested concurrency.
   WallTimer timer;
-  if (pool.has_value()) {
-    pool->ParallelFor(requests.size(), run_one);
+  if (workers > 1) {
+    ThreadPool::Shared().ParallelFor(requests.size(), run_one,
+                                     /*max_helpers=*/workers - 1);
   } else {
     for (size_t i = 0; i < requests.size(); ++i) run_one(i);
   }

@@ -37,6 +37,11 @@ inline constexpr char kStagePlan[] = "plan";
 inline constexpr char kStageCursorOpen[] = "cursor_open";
 inline constexpr char kStageAccumulate[] = "accumulate";
 inline constexpr char kStageHeapMerge[] = "heap_merge";
+/// Sharded scatter-gather (engine thread only: per-shard executions on
+/// pool threads have no installed trace, so their stage spans are no-ops;
+/// their work lands in the result's CostCounters instead).
+inline constexpr char kStageShardScatter[] = "shard_scatter";
+inline constexpr char kStageShardGather[] = "shard_gather";
 
 /// \brief One completed stage of a query.
 struct TraceSpanData {

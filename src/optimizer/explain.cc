@@ -100,6 +100,10 @@ std::string ExplainReport::ToString() const {
        << " (block-directory skips + block-max pruning; 0/0 over "
           "blockless in-memory lists)\n";
   }
+  if (has_shards) {
+    os << "shards: visited " << shards_visited << ", skipped "
+       << shards_skipped << " (aggregate impact-bound pruning)\n";
+  }
   if (has_trace) {
     os << "trace: predicted_scalar=" << trace.predicted_scalar
        << " observed_scalar=" << trace.observed_scalar()

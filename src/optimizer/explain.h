@@ -49,6 +49,11 @@ struct ExplainReport {
   bool has_blocks = false;
   int64_t blocks_decoded = 0;
   int64_t blocks_skipped = 0;
+  /// Shard scatter-gather counters of the same best-effort execution;
+  /// has_shards = false over unsharded storage.
+  bool has_shards = false;
+  int64_t shards_visited = 0;
+  int64_t shards_skipped = 0;
   /// Stage trace of the same best-effort execution: per-stage wall time and
   /// CostCounters deltas plus the planner's predicted scalar for comparison
   /// against trace.observed_scalar(). has_trace = false when the execution

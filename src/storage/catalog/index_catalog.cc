@@ -290,6 +290,15 @@ Status IndexCatalog::DeleteDocument(DocId global) {
   return Status::OK();
 }
 
+Result<DocId> IndexCatalog::UpdateDocument(DocId global,
+                                           const DocTerms& terms) {
+  // Delete-then-add, each serialized internally: validation happens in
+  // the delete (a dead or out-of-range id fails before anything
+  // changes), so the add below cannot leave a half-applied update behind.
+  MOA_RETURN_NOT_OK(DeleteDocument(global));
+  return AddDocument(terms);
+}
+
 Status IndexCatalog::Flush() {
   std::lock_guard<std::mutex> writer(writer_mutex_);
   const std::shared_ptr<const CatalogState> cur = Snapshot();

@@ -113,6 +113,14 @@ class IndexCatalog {
   /// durable in the manifest before the state publishes.
   Status DeleteDocument(DocId global);
 
+  /// Upserts a document as delete + add: tombstones `global`, then
+  /// re-ingests `terms` under a fresh insertion-order id (returned). Two
+  /// serialized mutations, two state publications — a concurrent snapshot
+  /// may observe the document deleted but not yet re-added; no snapshot
+  /// ever sees both versions live. Fails without re-adding when `global`
+  /// does not name a live document.
+  Result<DocId> UpdateDocument(DocId global, const DocTerms& terms);
+
   /// Persists the memtable as a new immutable segment (id-stable:
   /// tombstoned memtable docs carry their tombstone into the segment).
   /// No-op on an empty memtable.

@@ -27,10 +27,13 @@ std::unordered_map<DocId, double> BlockMaxAccumulate(
   // posting would need a heap per update; a periodically refreshed bound
   // is enough because a *lower* bound only delays (never unsoundly
   // triggers) pruning or abandonment.
-  double nth_lower = 0.0;
+  // A caller-seeded threshold (distributed max-score) is itself a valid
+  // lower bound before any local accumulator exists, and the local n-th
+  // can only tighten it.
+  double nth_lower = options.initial_threshold;
   auto refresh_nth = [&]() {
     if (acc.size() < n || n == 0) {
-      nth_lower = 0.0;
+      nth_lower = options.initial_threshold;
       return;
     }
     std::vector<double> scores;
@@ -38,7 +41,7 @@ std::unordered_map<DocId, double> BlockMaxAccumulate(
     for (const auto& [d, s] : acc) scores.push_back(s);
     std::nth_element(scores.begin(), scores.begin() + (n - 1), scores.end(),
                      std::greater<double>());
-    nth_lower = scores[n - 1];
+    nth_lower = std::max(scores[n - 1], options.initial_threshold);
     CostTicker::TickCompare(static_cast<int64_t>(acc.size()));
   };
 
@@ -83,7 +86,11 @@ std::unordered_map<DocId, double> BlockMaxAccumulate(
 
   for (size_t i = 0; i < terms.size(); ++i) {
     refresh_nth();
-    if (n > 0 && acc.size() >= n &&
+    // With a seeded threshold the n-accumulator precondition is already
+    // met globally (n documents at or above the threshold exist on the
+    // merged shards), so the bound may engage before — even without —
+    // any local accumulator.
+    if (n > 0 && (acc.size() >= n || options.initial_threshold > 0.0) &&
         (options.strict ? nth_lower > remaining[i]
                         : nth_lower >= remaining[i])) {
       // No unseen document can reach the top n anymore.

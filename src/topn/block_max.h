@@ -52,6 +52,15 @@ struct BlockMaxOptions {
   /// rank-for-rank against the exact baseline) use this; max-score keeps
   /// the classic non-strict test ("exact up to score ties").
   bool strict = false;
+  /// Externally known lower bound on the n-th best score (0 = none): the
+  /// distributed-max-score seed. The shard coordinator passes the running
+  /// global n-th score of the already-merged shards, so this shard prunes
+  /// against it from the first posting instead of waiting for n local
+  /// accumulators. Any caller passing a nonzero threshold MUST also set
+  /// `strict`: with the classic non-strict test an unseen document tying
+  /// the threshold exactly could be dropped even though the global
+  /// (score desc, doc asc) tie-break might admit it.
+  double initial_threshold = 0.0;
 };
 
 /// \brief What the accumulation pass observed (for ExecStats).

@@ -134,12 +134,18 @@ Result<TopNResult> FaginTA(const PostingSource& source,
 
         if (resolved.insert(doc).second) {
           ++result.stats.candidates;
-          // Complete the score via random access to every other list.
-          double score = w;
+          // Complete the score via random access to every other list. The
+          // sorted-access weight `w` is folded in at accessor position i so
+          // the floating-point addition order is always the accessor order,
+          // independent of which list surfaced the document first — that
+          // order depends on the *other* documents in the source, and
+          // keeping it out of the sum makes TA scores bit-identical across
+          // physical partitionings of the document space.
+          double score = 0.0;
           for (size_t j = 0; j < accessors.size(); ++j) {
-            if (j == i) continue;
-            score += RandomAccessWeight(source, model, accessors[j], doc,
-                                        &result.stats);
+            score += (j == i) ? w
+                              : RandomAccessWeight(source, model, accessors[j],
+                                                   doc, &result.stats);
           }
           best.Offer(ScoredDoc{doc, score});
         }

@@ -12,10 +12,14 @@
 // access threshold 0. FA's phase-1 target ("n objects seen in *all* lists")
 // therefore also terminates when any list is exhausted.
 //
-// Safety: FA and TA return the exact top-N ranking. NRA returns the exact
-// top-N *set*; reported scores are lower bounds, so the order within the
-// set may differ from the exact order when bounds tie (classical NRA
-// semantics).
+// Safety: FA and TA return the exact top-N ranking, and both compose each
+// document's score in accessor (query-term) order, so reported scores are
+// a deterministic function of the document alone — bit-identical across
+// physical partitionings of the document space (the sharded parity suites
+// rely on this). NRA returns the exact top-N *set*; reported scores are
+// lower bounds accumulated in drain order, so the order within the set may
+// differ from the exact order when bounds tie (classical NRA semantics)
+// and the reported scores are not partition-independent.
 #ifndef MOA_TOPN_FAGIN_H_
 #define MOA_TOPN_FAGIN_H_
 

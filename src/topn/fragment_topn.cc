@@ -164,10 +164,13 @@ Result<TopNResult> QualitySwitchTopN(const PostingSource& source,
         std::unordered_set<DocId> pooled;
         for (const ScoredDoc& sd : pool) pooled.insert(sd.doc);
         for (TermId t : large_terms) {
+          // DocFrequency may overstate the actual list (a sharded view
+          // reports global df over a shard-local list), so the cursor's
+          // own end is the authoritative stop.
           const size_t k =
               std::min<size_t>(champions, source.DocFrequency(t));
           auto impact = source.OpenImpactCursor(t, model);
-          for (size_t i = 0; i < k; ++i, impact->next()) {
+          for (size_t i = 0; i < k && !impact->at_end(); ++i, impact->next()) {
             CostTicker::TickSeq();
             const DocId d = impact->doc();
             if (pooled.insert(d).second) pool.push_back(ScoredDoc{d, acc[d]});

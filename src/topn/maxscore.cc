@@ -36,14 +36,16 @@ Result<TopNResult> MaxScoreTopN(const PostingSource& source,
     });
   }
 
-  // Accumulation with the classic non-strict engagement test (the result
-  // is exact up to score ties); once pruning engages, the helper probes
-  // block-max bounds instead of scanning the remaining lists.
+  // Accumulation with the classic non-strict engagement test by default
+  // (the result is exact up to score ties; the shard coordinator opts
+  // into strict + a seeded threshold); once pruning engages, the helper
+  // probes block-max bounds instead of scanning the remaining lists.
   BlockMaxOptions bm;
   bm.n = n;
   bm.mode = options.mode;
   bm.accumulator_budget = options.accumulator_budget;
-  bm.strict = false;
+  bm.strict = options.strict;
+  bm.initial_threshold = options.initial_threshold;
   BlockMaxOutcome outcome;
   std::unordered_map<DocId, double> acc;
   {

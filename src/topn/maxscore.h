@@ -35,6 +35,16 @@ struct MaxScoreOptions {
   /// Hard cap on live accumulators (0 = unlimited). When it binds the
   /// result may be approximate even in kContinue mode.
   size_t accumulator_budget = 0;
+  /// Strict bound engagement (see BlockMaxOptions::strict): excluded
+  /// documents score strictly below the final n-th score, preserving the
+  /// exact (score desc, doc asc) ranking. Default keeps the classic
+  /// non-strict test.
+  bool strict = false;
+  /// Externally known lower bound on the n-th best score (0 = none) — the
+  /// distributed-max-score seed from the shard coordinator. Callers
+  /// passing a nonzero threshold must set `strict` (see
+  /// BlockMaxOptions::initial_threshold for why).
+  double initial_threshold = 0.0;
 };
 
 /// Term-at-a-time evaluation with max-score pruning. Requires impact

@@ -553,6 +553,61 @@ TEST_F(CatalogParityTest, MutationsDuringSearchBatchAreSafe) {
   mutator.join();
 }
 
+TEST_F(CatalogParityTest, MutationsDuringShardedSearchBatchAreSafe) {
+  // The sharded variant of the race above: adds/upserts/deletes/flushes/
+  // merges across 3 shards racing a 4-way SearchBatch whose queries fan
+  // out again through the shard coordinator. Every query must catch one
+  // consistent ShardedSnapshot (TSan guards the memory model — including
+  // the snapshot's lazily built per-shard bound caches; the assertions
+  // guard result sanity).
+  const std::string dir =
+      std::string(::testing::TempDir()) + "/catalog_parity_sharded_race";
+  std::filesystem::remove_all(dir);
+  DatabaseConfig config = BaseConfig(dir);
+  config.collection.num_docs = 120;
+  config.num_shards = 3;
+  auto opened = MmDatabase::Open(config);
+  ASSERT_TRUE(opened.ok());
+  MmDatabase& db = *opened.ValueOrDie();
+  ASSERT_TRUE(db.AddDocument({{1, 1}}).ok());  // flip to dynamic serving
+
+  std::thread mutator([&db] {
+    Rng rng(13579);
+    for (int round = 0; round < 6; ++round) {
+      std::vector<DocTerms> batch;
+      for (int i = 0; i < 9; ++i) batch.push_back(SynthDoc(rng));
+      auto first = db.AddDocuments(batch);
+      ASSERT_TRUE(first.ok());
+      ASSERT_TRUE(db.DeleteDocument(first.ValueOrDie()).ok());
+      auto single = db.AddDocument(SynthDoc(rng));
+      ASSERT_TRUE(single.ok());
+      auto updated = db.UpdateDocument(single.ValueOrDie(), SynthDoc(rng));
+      ASSERT_TRUE(updated.ok()) << updated.status().ToString();
+      ASSERT_TRUE(db.Flush().ok());
+      if (round % 2 == 1) {
+        ASSERT_TRUE(db.Merge().ok());
+      }
+    }
+  });
+
+  SearchOptions opts;
+  opts.n = 10;
+  opts.safe_only = false;
+  opts.force = PhysicalStrategy::kMaxScore;
+  for (int round = 0; round < 8; ++round) {
+    auto batch = db.SearchBatch(*queries_, opts, 4);
+    ASSERT_TRUE(batch.ok()) << batch.status().ToString();
+    for (const SearchResult& r : batch.ValueOrDie().results) {
+      for (size_t i = 1; i < r.top.items.size(); ++i) {
+        EXPECT_TRUE(
+            ScoredDocLess(r.top.items[i - 1], r.top.items[i]) ||
+            r.top.items[i - 1].score == r.top.items[i].score);
+      }
+    }
+  }
+  mutator.join();
+}
+
 TEST_F(CatalogParityTest, AttachDetachDuringSearchBatchIsSafe) {
   // Static-mode snapshot safety (the former "NOT thread-safe" caveat):
   // attach/detach flips storage under a running SearchBatch; since the

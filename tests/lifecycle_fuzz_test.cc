@@ -1,10 +1,10 @@
 // Differential lifecycle fuzz harness (in the spirit of LSM-store
 // crash/differential testing): seeded random op sequences — AddDocument /
-// AddDocuments / DeleteDocument / Flush / Merge / Attach / Detach /
-// Search / SearchBatch — run against an MmDatabase, periodically checked
-// against a *fresh in-memory oracle* built from an independently replayed
-// shadow of the documented doc-id rules, across every registered
-// strategy:
+// AddDocuments / DeleteDocument / UpdateDocument / Flush / Merge /
+// Attach / Detach / Search / SearchBatch — run against an MmDatabase,
+// periodically checked against a *fresh in-memory oracle* built from an
+// independently replayed shadow of the documented doc-id rules, across
+// every registered strategy:
 //
 //   - safe strategies must be bit-identical to the oracle under the
 //     replayed id mapping (scores EXPECT_EQ, not NEAR);
@@ -15,10 +15,18 @@
 //     LiveDocIds/statistics must agree with the replay before any result
 //     is trusted.
 //
+// A second harness replays the same kind of op stream through a
+// ShardedCatalog (N in {1, 2, 4}) with per-shard Flush/Merge interleaved,
+// executing queries through the ShardCoordinator and holding safe
+// strategies to the single-index oracle under the interleaved global-id
+// mapping (fagin_nra set-level: its merged partial lower bounds are
+// partition-dependent, so only membership in the exact top-N is stable).
+//
 // CI runs a few fixed-seed iterations (deterministic); set MOA_FUZZ_ITERS
 // for long local runs, e.g.  MOA_FUZZ_ITERS=50 ctest -R lifecycle_fuzz.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cstdlib>
 #include <filesystem>
 #include <map>
@@ -29,9 +37,11 @@
 
 #include "common/rng.h"
 #include "engine/database.h"
+#include "engine/shard_coordinator.h"
 #include "exec/registry.h"
 #include "ir/exact_eval.h"
 #include "ir/metrics.h"
+#include "storage/catalog/sharded_catalog.h"
 
 namespace moa {
 namespace {
@@ -60,6 +70,11 @@ struct Shadow {
 
   void Add(DocTerms terms) { slots.push_back(Slot{std::move(terms), true}); }
   void Delete(DocId id) { slots[id].alive = false; }
+  /// Upsert = delete + add: the replacement takes a fresh tail id.
+  void Update(DocId id, DocTerms terms) {
+    Delete(id);
+    Add(std::move(terms));
+  }
   void Flush() { flushed = slots.size(); }
   void MergeAll() {
     std::vector<Slot> next;
@@ -342,13 +357,13 @@ void RunIteration(uint64_t seed, int iteration) {
   const int ops = 36;
   for (int op = 0; op < ops; ++op) {
     const uint64_t pick = rng.Uniform(100);
-    if (pick < 30) {  // AddDocument
+    if (pick < 26) {  // AddDocument
       DocTerms doc = RandomDoc(rng);
       auto id = db.AddDocument(doc);
       ASSERT_TRUE(id.ok()) << id.status().ToString();
       ASSERT_EQ(id.ValueOrDie(), shadow.slots.size());
       shadow.Add(std::move(doc));
-    } else if (pick < 38) {  // AddDocuments batch
+    } else if (pick < 34) {  // AddDocuments batch
       std::vector<DocTerms> batch;
       for (size_t i = 0; i < 1 + rng.Uniform(6); ++i) {
         batch.push_back(RandomDoc(rng));
@@ -357,12 +372,25 @@ void RunIteration(uint64_t seed, int iteration) {
       ASSERT_TRUE(first.ok());
       ASSERT_EQ(first.ValueOrDie(), shadow.slots.size());
       for (DocTerms& d : batch) shadow.Add(std::move(d));
-    } else if (pick < 55) {  // DeleteDocument
+    } else if (pick < 46) {  // DeleteDocument
       const std::vector<DocId> live = shadow.LiveIds();
       if (!live.empty()) {
         const DocId victim = live[rng.Uniform(live.size())];
         ASSERT_TRUE(db.DeleteDocument(victim).ok());
         shadow.Delete(victim);
+      }
+    } else if (pick < 55) {  // UpdateDocument (upsert = delete + add)
+      const std::vector<DocId> live = shadow.LiveIds();
+      if (!live.empty()) {
+        const DocId victim = live[rng.Uniform(live.size())];
+        DocTerms doc = RandomDoc(rng);
+        auto id = db.UpdateDocument(victim, doc);
+        ASSERT_TRUE(id.ok()) << id.status().ToString();
+        ASSERT_EQ(id.ValueOrDie(), shadow.slots.size());
+        shadow.Update(victim, std::move(doc));
+        // Upserting the now-dead id must fail without re-adding (the id
+        // space stays aligned with the shadow).
+        EXPECT_FALSE(db.UpdateDocument(victim, RandomDoc(rng)).ok());
       }
     } else if (pick < 67) {  // Flush
       ASSERT_TRUE(db.Flush().ok());
@@ -456,6 +484,276 @@ TEST(LifecycleFuzzTest, RandomLifecyclesMatchFreshOracle) {
   for (int i = 0; i < iterations; ++i) {
     RunIteration(/*seed=*/0xF0A2'0000ull + static_cast<uint64_t>(i), i);
     if (::testing::Test::HasFatalFailure()) return;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Sharded lifecycle fuzz: the same differential idea one layer down. A
+// ShardedCatalog absorbs a seeded op stream (adds, deletes, upserts,
+// per-shard and all-shard flush/merge); queries run through the
+// ShardCoordinator's bound-aware scatter-gather and are held to a fresh
+// single-index oracle of the survivors under the interleaved global-id
+// mapping.
+
+/// Per-shard replay of the global id contract: global id g lives in shard
+/// g % N at local id g / N, and each shard follows the single-catalog id
+/// rules (dense insertion order, tombstone in place, merge compacts)
+/// independently.
+struct ShardedShadow {
+  size_t num_shards;
+  std::vector<Shadow> shards;
+
+  explicit ShardedShadow(size_t n) : num_shards(n), shards(n) {}
+
+  void Add(DocId global, DocTerms terms) {
+    const size_t s = ShardedCatalog::ShardOf(global, num_shards);
+    // The catalog must have appended to the owning shard's tail — the
+    // local id is the shard's next dense slot.
+    ASSERT_EQ(ShardedCatalog::LocalOf(global, num_shards),
+              shards[s].slots.size());
+    shards[s].Add(std::move(terms));
+  }
+  void Delete(DocId global) {
+    shards[ShardedCatalog::ShardOf(global, num_shards)].Delete(
+        ShardedCatalog::LocalOf(global, num_shards));
+  }
+  std::vector<DocId> LiveGlobalIds() const {
+    std::vector<DocId> live;
+    for (size_t s = 0; s < num_shards; ++s) {
+      for (DocId local : shards[s].LiveIds()) {
+        live.push_back(ShardedCatalog::GlobalOf(local, s, num_shards));
+      }
+    }
+    std::sort(live.begin(), live.end());
+    return live;
+  }
+  const DocTerms& TermsOf(DocId global) const {
+    return shards[ShardedCatalog::ShardOf(global, num_shards)]
+        .slots[ShardedCatalog::LocalOf(global, num_shards)]
+        .terms;
+  }
+};
+
+/// Single-index oracle over the sharded shadow's survivors, in ascending
+/// global-id order — monotone with the catalog's id order, so the
+/// oracle's (score desc, doc asc) tie-break agrees with the coordinator's.
+Oracle BuildShardedOracle(const ShardedShadow& shadow,
+                          const FragmentationPolicy& policy) {
+  Oracle oracle;
+  oracle.to_catalog = shadow.LiveGlobalIds();
+  InvertedFileBuilder builder(kVocab);
+  for (size_t k = 0; k < oracle.to_catalog.size(); ++k) {
+    const DocId global = oracle.to_catalog[k];
+    oracle.to_oracle.emplace(global, static_cast<DocId>(k));
+    EXPECT_TRUE(builder.AddDocument(static_cast<DocId>(k),
+                                    shadow.TermsOf(global))
+                    .ok());
+  }
+  oracle.file = std::make_unique<InvertedFile>(builder.Build());
+  oracle.model = MakeBm25(oracle.file.get());
+  oracle.file->BuildImpactOrders([&](TermId t, const Posting& p) {
+    return oracle.model->Weight(t, p);
+  });
+  oracle.fragmentation = Fragmentation::Build(*oracle.file, policy);
+  return oracle;
+}
+
+/// Differential check of one strategy through the coordinator.
+///
+/// Safe strategies: the positional score sequence is bit-identical to the
+/// oracle's run. Doc ids match too, except at ranks whose score equals
+/// the returned n-th score — a later shard's threshold-seeded max-score
+/// may strictly prune a candidate that only *ties* the global n-th, so an
+/// equal-scored incumbent legally keeps the slot (ranks scoring above the
+/// n-th can never be pruned: their bound exceeds any seeded threshold).
+///
+/// fagin_nra: its reported scores are drain-order partial lower bounds —
+/// partition-dependent — so only set-level membership in the exact top-N
+/// is checked. Unsafe strategies prune differently per shard by design;
+/// they are held to the universal liveness invariant only.
+void CheckShardedStrategy(const std::shared_ptr<const ShardedSnapshot>& snap,
+                          const Oracle& oracle, PhysicalStrategy s,
+                          const Query& q) {
+  ShardCoordinator::Options copts;
+  copts.fragmentation = &oracle.fragmentation;
+  auto actual =
+      ShardCoordinator::Execute(snap, s, q, kTopN, ExecOptions{}, copts);
+  ASSERT_TRUE(actual.ok()) << StrategyName(s) << ": "
+                           << actual.status().ToString();
+  const std::vector<ScoredDoc>& got = actual.ValueOrDie().items;
+
+  // Universal invariant: only live documents surface.
+  for (const ScoredDoc& sd : got) {
+    ASSERT_NE(oracle.to_oracle.find(sd.doc), oracle.to_oracle.end())
+        << StrategyName(s) << " returned dead/unknown doc " << sd.doc;
+  }
+  if (!IsSafeStrategy(s)) return;
+
+  auto expected = StrategyRegistry::Global().Execute(s, oracle.context(), q,
+                                                     kTopN, ExecOptions{});
+  ASSERT_TRUE(expected.ok()) << StrategyName(s) << ": "
+                             << expected.status().ToString();
+  const std::vector<ScoredDoc>& ref = expected.ValueOrDie().items;
+
+  if (s == PhysicalStrategy::kFaginNRA) {
+    const std::vector<ScoredDoc> truth =
+        ExactTopN(*oracle.file, *oracle.model, q, kTopN);
+    ASSERT_EQ(got.size(), truth.size()) << StrategyName(s);
+    if (truth.empty()) return;
+    const std::vector<double> truth_scores =
+        AccumulateScores(*oracle.file, *oracle.model, q);
+    for (const ScoredDoc& sd : got) {
+      const DocId oid = oracle.to_oracle.at(sd.doc);
+      EXPECT_GE(truth_scores[oid] + 1e-9, truth.back().score)
+          << StrategyName(s) << " doc " << sd.doc
+          << " is outside the exact top-" << kTopN;
+    }
+    return;
+  }
+
+  ASSERT_EQ(ref.size(), got.size()) << StrategyName(s);
+  for (size_t i = 0; i < ref.size(); ++i) {
+    EXPECT_EQ(got[i].score, ref[i].score) << StrategyName(s) << " rank " << i;
+  }
+  const bool full = got.size() == kTopN;
+  for (size_t i = 0; i < ref.size(); ++i) {
+    if (full && ref[i].score == ref.back().score) continue;  // n-th-score tie
+    EXPECT_EQ(oracle.to_oracle.at(got[i].doc), ref[i].doc)
+        << StrategyName(s) << " rank " << i;
+  }
+}
+
+void RunShardedIteration(uint64_t seed, size_t num_shards, int iteration) {
+  SCOPED_TRACE("sharded fuzz seed " + std::to_string(seed) + ", shards " +
+               std::to_string(num_shards));
+  Rng rng(seed);
+
+  const std::string dir = std::string(::testing::TempDir()) +
+                          "/lifecycle_fuzz_sharded_" +
+                          std::to_string(num_shards) + "_" +
+                          std::to_string(iteration);
+  std::filesystem::remove_all(dir);
+  ShardedCatalog::Options options;
+  options.num_shards = num_shards;
+  options.shard.num_terms = kVocab;
+  options.shard.dir = dir;
+  auto created = ShardedCatalog::Create(options);
+  ASSERT_TRUE(created.ok()) << created.status().ToString();
+  std::unique_ptr<ShardedCatalog> catalog = std::move(created).ValueOrDie();
+  ShardedShadow shadow(num_shards);
+  const FragmentationPolicy frag_policy;
+
+  // Seed corpus (routing from empty is round-robin — the shadow asserts
+  // every add lands on the owning shard's dense tail).
+  for (int i = 0; i < 60; ++i) {
+    DocTerms doc = RandomDoc(rng);
+    auto id = catalog->AddDocument(doc);
+    ASSERT_TRUE(id.ok()) << id.status().ToString();
+    shadow.Add(id.ValueOrDie(), std::move(doc));
+    if (::testing::Test::HasFatalFailure()) return;
+  }
+
+  const int ops = 30;
+  for (int op = 0; op < ops; ++op) {
+    const uint64_t pick = rng.Uniform(100);
+    if (pick < 25) {  // AddDocument
+      DocTerms doc = RandomDoc(rng);
+      auto id = catalog->AddDocument(doc);
+      ASSERT_TRUE(id.ok()) << id.status().ToString();
+      shadow.Add(id.ValueOrDie(), std::move(doc));
+    } else if (pick < 40) {  // DeleteDocument
+      const std::vector<DocId> live = shadow.LiveGlobalIds();
+      if (!live.empty()) {
+        const DocId victim = live[rng.Uniform(live.size())];
+        ASSERT_TRUE(catalog->DeleteDocument(victim).ok());
+        shadow.Delete(victim);
+      }
+    } else if (pick < 52) {  // UpdateDocument (upsert)
+      const std::vector<DocId> live = shadow.LiveGlobalIds();
+      if (!live.empty()) {
+        const DocId victim = live[rng.Uniform(live.size())];
+        DocTerms doc = RandomDoc(rng);
+        auto id = catalog->UpdateDocument(victim, doc);
+        ASSERT_TRUE(id.ok()) << id.status().ToString();
+        shadow.Delete(victim);
+        shadow.Add(id.ValueOrDie(), std::move(doc));
+        EXPECT_FALSE(catalog->UpdateDocument(victim, RandomDoc(rng)).ok());
+      }
+    } else if (pick < 64) {  // per-shard Flush
+      const size_t s = rng.Uniform(num_shards);
+      ASSERT_TRUE(catalog->Flush(s).ok());
+      shadow.shards[s].Flush();
+    } else if (pick < 74) {  // per-shard Merge
+      const size_t s = rng.Uniform(num_shards);
+      auto merged = catalog->Merge(s);
+      ASSERT_TRUE(merged.ok()) << merged.status().ToString();
+      shadow.shards[s].MergeAll();
+    } else if (pick < 80) {  // FlushAll
+      ASSERT_TRUE(catalog->FlushAll().ok());
+      for (Shadow& sh : shadow.shards) sh.Flush();
+    } else {  // differential check round
+      const auto snap = catalog->Snapshot();
+      const Oracle oracle = BuildShardedOracle(shadow, frag_policy);
+      ASSERT_EQ(snap->LiveDocIds(), oracle.to_catalog);
+      ASSERT_EQ(snap->stats().num_live_docs, oracle.file->num_docs());
+      ASSERT_EQ(snap->stats().total_live_tokens, oracle.file->total_tokens());
+      for (TermId t = 0; t < kVocab; ++t) {
+        ASSERT_EQ(snap->stats().df[t], oracle.file->DocFrequency(t))
+            << "term " << t;
+      }
+      for (const Query& q : RandomQueries(rng, 2)) {
+        for (PhysicalStrategy s : AllStrategies()) {
+          CheckShardedStrategy(snap, oracle, s, q);
+          if (::testing::Test::HasFatalFailure()) return;
+        }
+      }
+    }
+  }
+
+  // Final sweep before and after an all-shard compaction.
+  for (const bool compact : {false, true}) {
+    if (compact) {
+      ASSERT_TRUE(catalog->FlushAll().ok());
+      for (Shadow& sh : shadow.shards) sh.Flush();
+      auto merged = catalog->MergeAll();
+      ASSERT_TRUE(merged.ok()) << merged.status().ToString();
+      for (Shadow& sh : shadow.shards) sh.MergeAll();
+    }
+    const auto snap = catalog->Snapshot();
+    const Oracle oracle = BuildShardedOracle(shadow, frag_policy);
+    ASSERT_EQ(snap->LiveDocIds(), oracle.to_catalog);
+    for (const Query& q : RandomQueries(rng, 2)) {
+      for (PhysicalStrategy s : AllStrategies()) {
+        CheckShardedStrategy(snap, oracle, s, q);
+        if (::testing::Test::HasFatalFailure()) return;
+      }
+    }
+  }
+
+  // Durability: everything is flushed + merged — a reopened catalog must
+  // serve the same live set and statistics.
+  const std::vector<DocId> live_before = shadow.LiveGlobalIds();
+  const auto stats_before = catalog->Snapshot()->stats();
+  catalog.reset();
+  auto reopened = ShardedCatalog::Open(options);
+  ASSERT_TRUE(reopened.ok()) << reopened.status().ToString();
+  const auto snap = reopened.ValueOrDie()->Snapshot();
+  EXPECT_EQ(snap->LiveDocIds(), live_before);
+  EXPECT_EQ(snap->stats().num_live_docs, stats_before.num_live_docs);
+  EXPECT_EQ(snap->stats().df, stats_before.df);
+
+  std::filesystem::remove_all(dir);
+}
+
+TEST(LifecycleFuzzTest, ShardedLifecyclesMatchSingleIndexOracle) {
+  const int iterations = Iterations();
+  for (int i = 0; i < iterations; ++i) {
+    for (const size_t shards : {size_t{1}, size_t{2}, size_t{4}}) {
+      RunShardedIteration(
+          /*seed=*/0xBEE5'0000ull + static_cast<uint64_t>(i) * 16 + shards,
+          shards, i);
+      if (::testing::Test::HasFatalFailure()) return;
+    }
   }
 }
 
