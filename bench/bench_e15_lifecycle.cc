@@ -11,6 +11,14 @@
 //  4. Merge win: query latency over the fragmented catalog vs after
 //     Merge() compacts it back to one segment (counter `frag_over_merged`
 //     on the merged run).
+//  5. Ingest with automatic maintenance: the same durable ingest (WAL on,
+//     periodic flush every `trigger` documents) with the flushes either
+//     blocking the ingest thread (arg 0, foreground) or running as
+//     background jobs on the shared pool (arg 1, BackgroundMaintenance).
+//     The background/foreground items-per-second ratio is the headline
+//     number BENCH_lifecycle.json tracks; on a single-core runner the
+//     flush cannot overlap ingest and the ratio honestly collapses
+//     toward 1.0 (see the hardware note in the snapshot).
 //
 // MOA_BENCH_TINY=1 shrinks the corpus so the CI smoke job finishes in
 // seconds.
@@ -29,6 +37,7 @@
 #include "common/timer.h"
 #include "exec/registry.h"
 #include "ir/query_gen.h"
+#include "storage/catalog/background_jobs.h"
 #include "storage/catalog/index_catalog.h"
 
 namespace moa {
@@ -153,6 +162,71 @@ void BM_FlushLatency(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * static_cast<int64_t>(docs));
 }
 
+// --------------------------------- ingest with automatic maintenance
+
+/// Durable ingest of the whole corpus with a flush every `trigger`
+/// buffered documents — either synchronously on the ingest thread
+/// (foreground, arg 0) or scheduled by BackgroundMaintenance on the
+/// shared thread pool while ingest keeps going (background, arg 1).
+/// Both modes do identical logical work (same WAL traffic, same number
+/// of segment builds), so items_per_second isolates what moving the
+/// flush off the ingest thread buys.
+void BM_IngestWithMaintenance(benchmark::State& state) {
+  const bool background = state.range(0) != 0;
+  const size_t trigger = Tiny() ? 256 : 1024;
+  const size_t batch = 64;  // WAL group-commit unit
+  const std::vector<DocTerms>& corpus = Corpus();
+  const std::string dir = FreshDir(background ? "auto_bg" : "auto_fg");
+  size_t round = 0;
+  for (auto _ : state) {
+    state.PauseTiming();
+    const std::string d = dir + std::to_string(round++);
+    std::filesystem::remove_all(d);
+    auto catalog = IndexCatalog::Create(CatalogOptions(d)).ValueOrDie();
+    state.ResumeTiming();
+    if (background) {
+      MaintenancePolicy policy;
+      policy.flush_trigger_docs = trigger;
+      policy.merge_trigger_segments = 0;
+      BackgroundMaintenance maintenance(catalog.get(), policy);
+      size_t i = 0;
+      while (i < corpus.size()) {
+        const size_t n = std::min(batch, corpus.size() - i);
+        std::vector<DocTerms> slice(corpus.begin() + i,
+                                    corpus.begin() + i + n);
+        if (!catalog->AddDocuments(slice).ok()) {
+          state.SkipWithError("ingest failed");
+        }
+        i += n;
+      }
+      maintenance.WaitIdle();
+    } else {
+      size_t i = 0;
+      size_t buffered = 0;
+      while (i < corpus.size()) {
+        const size_t n = std::min(batch, corpus.size() - i);
+        std::vector<DocTerms> slice(corpus.begin() + i,
+                                    corpus.begin() + i + n);
+        if (!catalog->AddDocuments(slice).ok()) {
+          state.SkipWithError("ingest failed");
+        }
+        i += n;
+        buffered += n;
+        if (buffered >= trigger) {
+          MustOk(catalog->Flush(), "flush");
+          buffered = 0;
+        }
+      }
+    }
+    MustOk(catalog->Flush(), "final flush");
+    state.PauseTiming();
+    std::filesystem::remove_all(d);
+    state.ResumeTiming();
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(corpus.size()));
+}
+
 // ------------------------------------- query latency vs segment count
 
 /// The whole corpus flushed as `num_segments` equal segments.
@@ -243,6 +317,11 @@ BENCHMARK(BM_FlushLatency)
     ->Arg(512)
     ->Arg(2000)
     ->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_IngestWithMaintenance)
+    ->Arg(0)   // foreground: flush blocks the ingest thread
+    ->Arg(1)   // background: BackgroundMaintenance on the shared pool
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
 BENCHMARK(BM_QueryBySegmentCount)
     ->Arg(1)
     ->Arg(2)

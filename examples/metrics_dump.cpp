@@ -135,6 +135,34 @@ int main(int argc, char** argv) {
     }
   }
 
+  // 3b. Background maintenance: a second database with the maintenance
+  //     loops attached. Ingest past the flush trigger lets the scheduler
+  //     do the flushing/merging on the shared pool — registering the
+  //     moa_bg_* counters — and WaitForMaintenance drains the jobs so
+  //     the dump below is stable.
+  {
+    DatabaseConfig bg_config = config;
+    bg_config.collection.num_docs = 400;
+    bg_config.catalog_dir = dir + "_bg";
+    bg_config.background_maintenance = true;
+    bg_config.flush_trigger_docs = 64;
+    bg_config.merge_trigger_segments = 3;
+    bg_config.merge_fanin = 2;
+    std::filesystem::remove_all(bg_config.catalog_dir);
+    auto bg = MmDatabase::Open(bg_config);
+    if (!bg.ok()) return Fail("bg open", bg.status());
+    for (int i = 0; i < 300; ++i) {
+      if (auto r = bg.ValueOrDie()->AddDocument(SynthDoc(rng, 6000));
+          !r.ok()) {
+        return Fail("bg add", r.status());
+      }
+    }
+    if (Status s = bg.ValueOrDie()->WaitForMaintenance(); !s.ok()) {
+      return Fail("bg maintenance", s);
+    }
+    std::filesystem::remove_all(bg_config.catalog_dir);
+  }
+
   // 4. A sharded database: the scatter-gather searches register the
   //    moa_shard_* counters (shards visited/skipped and the skipped
   //    shards' posting volume).
@@ -169,6 +197,11 @@ int main(int argc, char** argv) {
       return 1;
     }
   }
+
+  // 6. moa_fsync_failure_total registers lazily on the first *failed*
+  //    fsync (storage/atomic_file.cc); touch it explicitly so the
+  //    --names inventory is identical on healthy and unhealthy runs.
+  obs::MetricsRegistry::Global().GetCounter("moa_fsync_failure_total");
 
   const obs::MetricsRegistry& registry = obs::MetricsRegistry::Global();
   switch (output) {

@@ -1,14 +1,15 @@
 #!/usr/bin/env bash
 # Persisted benchmark trajectory: runs the storage/cursor hot-path bench
 # (bench_e14_storage), the end-to-end batch throughput bench
-# (bench_e13_throughput) and the sharded scatter-gather bench
-# (bench_e16_sharding), all in tiny mode so the run finishes in
+# (bench_e13_throughput), the sharded scatter-gather bench
+# (bench_e16_sharding) and the index-lifecycle bench
+# (bench_e15_lifecycle), all in tiny mode so the run finishes in
 # seconds on CI hardware, and distills the tracked numbers into
-# BENCH_cursor.json, BENCH_planner.json and BENCH_shard.json at the
-# repo root.
+# BENCH_cursor.json, BENCH_planner.json, BENCH_shard.json and
+# BENCH_lifecycle.json at the repo root.
 #
 #   $ scripts/bench_snapshot.sh [build-dir] [output.json] [planner.json] \
-#       [shard.json]
+#       [shard.json] [lifecycle.json]
 #
 # Commit the refreshed snapshots together with performance PRs;
 # scripts/bench_compare.py warns when a fresh run regresses scan
@@ -21,6 +22,8 @@
 #     also the measurement behind the planner cost constants in
 #     src/optimizer/strategy_planner.cc — see CONTRIBUTING.md)
 #   - sharded qps/work/span by shard count + shard-skip rate (e16)
+#   - durable ingest docs/s, flush throughput, merge win, and the
+#     foreground-flush vs background-maintenance ingest ratio (e15)
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -28,10 +31,12 @@ BUILD_DIR="${1:-build}"
 OUT="${2:-BENCH_cursor.json}"
 PLANNER_OUT="${3:-BENCH_planner.json}"
 SHARD_OUT="${4:-BENCH_shard.json}"
+LIFECYCLE_OUT="${5:-BENCH_lifecycle.json}"
 TMP_DIR="$(mktemp -d)"
 trap 'rm -rf "$TMP_DIR"' EXIT
 
-for bench in bench_e14_storage bench_e13_throughput bench_e16_sharding; do
+for bench in bench_e14_storage bench_e13_throughput bench_e16_sharding \
+             bench_e15_lifecycle; do
   if [[ ! -x "$BUILD_DIR/$bench" ]]; then
     echo "bench_snapshot: $BUILD_DIR/$bench not built" \
          "(configure with MOA_BUILD_BENCHMARKS=ON)" >&2
@@ -54,6 +59,12 @@ MOA_BENCH_TINY=1 "$BUILD_DIR/bench_e16_sharding" \
   --benchmark_out="$TMP_DIR/e16.json" --benchmark_out_format=json \
   >/dev/null
 
+MOA_BENCH_TINY=1 "$BUILD_DIR/bench_e15_lifecycle" \
+  --benchmark_filter='IngestThroughput|FlushLatency|IngestWithMaintenance|QueryAfterMerge' \
+  --benchmark_min_time=0.2 \
+  --benchmark_out="$TMP_DIR/e15.json" --benchmark_out_format=json \
+  >/dev/null
+
 python3 scripts/bench_compare.py \
   --distill "$TMP_DIR/e14.json" "$TMP_DIR/e13.json" >"$OUT"
 echo "bench_snapshot: wrote $OUT"
@@ -63,3 +74,6 @@ echo "bench_snapshot: wrote $PLANNER_OUT"
 python3 scripts/bench_compare.py \
   --distill-shard "$TMP_DIR/e16.json" >"$SHARD_OUT"
 echo "bench_snapshot: wrote $SHARD_OUT"
+python3 scripts/bench_compare.py \
+  --distill-lifecycle "$TMP_DIR/e15.json" >"$LIFECYCLE_OUT"
+echo "bench_snapshot: wrote $LIFECYCLE_OUT"

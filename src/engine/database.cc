@@ -233,6 +233,24 @@ Status MmDatabase::EnsureDynamicLocked() {
   options.num_terms = file().num_terms();
   options.dir = config_.catalog_dir;
   options.scoring = config_.scoring;
+  options.wal_enabled = config_.wal_enabled;
+  options.wal_fsync_every = config_.wal_fsync_every;
+  if (config_.background_maintenance) {
+    options.backpressure_memtable_docs = config_.backpressure_memtable_docs;
+    options.backpressure_max_segments = config_.backpressure_max_segments;
+    options.backpressure_soft_fail = config_.backpressure_soft_fail;
+  }
+
+  MaintenancePolicy maintenance_policy;
+  maintenance_policy.flush_trigger_docs = config_.flush_trigger_docs;
+  maintenance_policy.merge_trigger_segments = config_.merge_trigger_segments;
+  maintenance_policy.merge_fanin = config_.merge_fanin;
+  maintenance_policy.min_interval_millis =
+      config_.maintenance_min_interval_millis;
+  // Maintenance needs a directory to flush into; memory-only catalogs
+  // would fail every background job.
+  const bool attach_maintenance =
+      config_.background_maintenance && !config_.catalog_dir.empty();
 
   if (config_.num_shards > 1) {
     ShardedCatalog::Options soptions;
@@ -272,6 +290,16 @@ Status MmDatabase::EnsureDynamicLocked() {
     }
 
     sharded_ = std::move(sharded);
+    if (attach_maintenance) {
+      // One loop per shard; every background publish drops the cached
+      // multi-shard snapshot (a merge compacts the shard's local ids).
+      ShardedCatalog* sharded_ptr = sharded_.get();
+      for (size_t s = 0; s < sharded_->num_shards(); ++s) {
+        maintenance_.push_back(std::make_unique<BackgroundMaintenance>(
+            &sharded_->shard(s), maintenance_policy,
+            [sharded_ptr] { sharded_ptr->InvalidateSnapshotCache(); }));
+      }
+    }
     dynamic_.store(true, std::memory_order_release);
     return Status::OK();
   }
@@ -309,10 +337,32 @@ Status MmDatabase::EnsureDynamicLocked() {
   }
 
   catalog_ = std::move(catalog);
+  if (attach_maintenance) {
+    maintenance_.push_back(std::make_unique<BackgroundMaintenance>(
+        catalog_.get(), maintenance_policy));
+  }
   // Release-publish: readers that observe dynamic_ == true see the fully
   // seeded catalog.
   dynamic_.store(true, std::memory_order_release);
   return Status::OK();
+}
+
+Status MmDatabase::WaitForMaintenance() {
+  // maintenance_ is created once under mutation_mutex_ and only destroyed
+  // with the database; snapshotting the loops here (not holding the lock
+  // while waiting) keeps foreground mutations flowing while we drain.
+  std::vector<BackgroundMaintenance*> loops;
+  {
+    std::lock_guard<std::mutex> lock(mutation_mutex_);
+    for (const auto& m : maintenance_) loops.push_back(m.get());
+  }
+  Status first_error;
+  for (BackgroundMaintenance* m : loops) {
+    m->WaitIdle();
+    const Status s = m->TakeLastError();
+    if (!s.ok() && first_error.ok()) first_error = s;
+  }
+  return first_error;
 }
 
 Result<DocId> MmDatabase::AddDocument(const DocTerms& terms) {
@@ -515,6 +565,13 @@ Result<SearchResult> PlanAndRun(const StrategyPlanner& planner,
 Result<SearchResult> MmDatabase::RunQuery(const QueryRequest& request,
                                           bool explain,
                                           PlanDecision* decision_out) const {
+  // deadline_millis is reserved (ROADMAP item 4 will enforce it), but a
+  // negative value is malformed today, not merely unenforced — reject it
+  // instead of silently accepting a request no future version could honor.
+  if (request.options.deadline_millis < 0.0) {
+    return Status::InvalidArgument(
+        "query: deadline_millis must be >= 0 (0 = no deadline)");
+  }
   // One storage snapshot per query: plan and execution must see the same
   // state. The dynamic/static decision is read once; a query that raced
   // the first mutation onto the static side stays static end-to-end (the

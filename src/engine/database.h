@@ -44,6 +44,7 @@
 #include "optimizer/explain.h"
 #include "optimizer/planner.h"
 #include "optimizer/strategy_planner.h"
+#include "storage/catalog/background_jobs.h"
 #include "storage/catalog/index_catalog.h"
 #include "storage/catalog/sharded_catalog.h"
 #include "storage/fragmentation.h"
@@ -81,6 +82,38 @@ struct DatabaseConfig {
   /// shard keeps its own catalog under catalog_dir/shard_<s>; reopening
   /// requires the same shard count.
   size_t num_shards = 1;
+  /// Write-ahead log for the dynamic catalog (directory-backed only; see
+  /// IndexCatalog::Options::wal_enabled): acknowledged mutations are
+  /// fsync'ed before the call returns and replayed on recovery.
+  bool wal_enabled = true;
+  /// Group-commit fsync batching (IndexCatalog::Options::wal_fsync_every):
+  /// 1 = every commit group syncs; larger values trade the tail of
+  /// acknowledged records on power loss for fewer fsyncs.
+  size_t wal_fsync_every = 1;
+  /// Run Flush/Merge as background jobs on the shared thread pool
+  /// (storage/catalog/background_jobs.h), triggered by the knobs below.
+  /// Off by default: the explicit Flush()/Merge() lifecycle stays fully
+  /// caller-driven unless opted in. Under sharding each shard gets its
+  /// own maintenance loop.
+  bool background_maintenance = false;
+  /// Background flush trigger: memtable documents (per shard).
+  size_t flush_trigger_docs = 1024;
+  /// Background merge trigger: segment count (per shard).
+  size_t merge_trigger_segments = 8;
+  /// Segments compacted per background merge (size-tiered pick).
+  size_t merge_fanin = 4;
+  /// Minimum milliseconds between background job starts per catalog
+  /// (0 = unthrottled).
+  uint64_t maintenance_min_interval_millis = 0;
+  /// Write backpressure, enforced only while background maintenance is
+  /// attached: adds/updates block (or soft-fail with ResourceExhausted)
+  /// once the memtable exceeds this many documents (0 = unbounded).
+  size_t backpressure_memtable_docs = 0;
+  /// Same, for un-merged segment debt (0 = unbounded).
+  size_t backpressure_max_segments = 0;
+  /// Over budget: false = block writers until maintenance catches up,
+  /// true = fail fast with ResourceExhausted.
+  bool backpressure_soft_fail = false;
   /// Stage-span trace sampling period: one in every `trace_every`
   /// queries per worker thread records a full per-stage QueryTrace and
   /// retires it to the engine's trace ring. 1 traces every query, 0
@@ -104,8 +137,10 @@ struct QueryOptions {
   double quality_target = 1.0;
   /// Quality-switch threshold used by fragment strategies.
   double switch_threshold = 0.0;
-  /// Reserved: per-query deadline in milliseconds (0 = none). Not yet
-  /// enforced; carried so the wire format is stable.
+  /// Reserved: per-query deadline in milliseconds (0 = none). Validated —
+  /// negative values are rejected with InvalidArgument — but not yet
+  /// enforced (ROADMAP item 4, adaptive re-planning, will consume it);
+  /// carried so the wire format is stable.
   double deadline_millis = 0.0;
 };
 
@@ -294,6 +329,13 @@ class MmDatabase {
   /// compacting doc ids above the merged range. Returns segments merged.
   Result<size_t> Merge(const MergePolicy& policy = {});
 
+  /// Blocks until background maintenance (if configured) has no job in
+  /// flight and no trigger pending, then returns the first sticky
+  /// background-job error (OK when none, or when maintenance is off).
+  /// The "settle" point for tests and orderly shutdown; foreground
+  /// writers may of course re-trigger afterwards.
+  Status WaitForMaintenance();
+
   /// True once a mutation has occurred: queries now serve catalog
   /// snapshots.
   bool is_dynamic() const {
@@ -451,6 +493,11 @@ class MmDatabase {
   /// stays null then); created/recovered and published exactly like
   /// catalog_.
   std::unique_ptr<ShardedCatalog> sharded_;
+  /// One maintenance loop per catalog (one entry single-catalog, one per
+  /// shard under sharding) when DatabaseConfig::background_maintenance is
+  /// on. Declared after catalog_/sharded_ so destruction detaches and
+  /// drains every loop before its catalog dies.
+  std::vector<std::unique_ptr<BackgroundMaintenance>> maintenance_;
   std::atomic<bool> dynamic_{false};
 
   /// Lazily filled by sparse-probe executions; mutable because filling the

@@ -1,9 +1,14 @@
 #include "storage/atomic_file.h"
 
+#include <cerrno>
+#include <cstring>
 #include <fcntl.h>
 #include <unistd.h>
 
 #include <memory>
+
+#include "common/logging.h"
+#include "obs/metrics.h"
 
 namespace moa {
 namespace {
@@ -29,26 +34,46 @@ Status WriteAndSync(const std::string& tmp,
   return Status::OK();
 }
 
-void BestEffortSyncParentDir(const std::string& path) {
-  // Persisting the rename itself needs a directory fsync. Best-effort:
-  // some filesystems reject directory fsync, and the data-loss window
-  // without it (rename not yet journaled) still cannot expose a
-  // half-written file — the old content simply survives instead.
-  const size_t slash = path.find_last_of('/');
-  const std::string dir = slash == std::string::npos
-                              ? std::string(".")
-                              : path.substr(0, slash + 1);
-  const int fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
-  if (fd >= 0) {
-    ::fsync(fd);
-    ::close(fd);
-  }
+void CountFsyncFailure() {
+  static obs::Counter* failures =
+      obs::MetricsRegistry::Global().GetCounter("moa_fsync_failure_total");
+  failures->Add();
 }
 
 }  // namespace
 
+Status SyncDir(const std::string& dir) {
+  const int fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
+  if (fd < 0) {
+    const int err = errno;
+    CountFsyncFailure();
+    MOA_LOG(Warning) << "directory open for fsync failed: " << dir << ": "
+                     << std::strerror(err);
+    return Status::Internal("cannot open directory for fsync: " + dir);
+  }
+  if (::fsync(fd) != 0) {
+    const int err = errno;
+    ::close(fd);
+    CountFsyncFailure();
+    MOA_LOG(Warning) << "directory fsync failed: " << dir << ": "
+                     << std::strerror(err);
+    return Status::Internal("directory fsync failed: " + dir);
+  }
+  ::close(fd);
+  return Status::OK();
+}
+
+Status SyncParentDir(const std::string& path) {
+  const size_t slash = path.find_last_of('/');
+  const std::string dir = slash == std::string::npos
+                              ? std::string(".")
+                              : path.substr(0, slash + 1);
+  return SyncDir(dir);
+}
+
 Status WriteFileAtomically(const std::string& path,
-                           const std::function<Status(std::FILE*)>& body) {
+                           const std::function<Status(std::FILE*)>& body,
+                           bool strict_dir_sync) {
   const std::string tmp = path + ".tmp";
   Status status = WriteAndSync(tmp, body);  // closed before rename
   if (status.ok() && std::rename(tmp.c_str(), path.c_str()) != 0) {
@@ -58,7 +83,12 @@ Status WriteFileAtomically(const std::string& path,
     std::remove(tmp.c_str());
     return status;
   }
-  BestEffortSyncParentDir(path);
+  // The rename itself is journaled only once the parent directory is
+  // fsync'ed.  Some filesystems reject directory fsync; without a
+  // durability contract the old content surviving is acceptable, so the
+  // error is logged + counted inside SyncParentDir and dropped here.
+  Status sync = SyncParentDir(path);
+  if (strict_dir_sync) MOA_RETURN_NOT_OK(sync);
   return Status::OK();
 }
 

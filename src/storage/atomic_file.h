@@ -17,10 +17,29 @@
 namespace moa {
 
 /// Runs `body` against a fresh temp file and atomically publishes the
-/// result at `path`. `body` must leave all bytes written (no need to
+/// result at `path`.  `body` must leave all bytes written (no need to
 /// flush); it may return an error to abort, which unlinks the temp file.
+///
+/// Persisting the *rename* needs a directory fsync.  With
+/// `strict_dir_sync == false` a failed directory sync is logged and
+/// counted (`moa_fsync_failure_total`) but not returned: the data-loss
+/// window (rename not yet journaled) cannot expose a half-written file —
+/// the old content simply survives.  Callers that promise durability to
+/// *their* callers once this function returns (the WAL spine, manifest
+/// publication under WAL) pass `strict_dir_sync == true` and get the
+/// error back.
 Status WriteFileAtomically(const std::string& path,
-                           const std::function<Status(std::FILE*)>& body);
+                           const std::function<Status(std::FILE*)>& body,
+                           bool strict_dir_sync = false);
+
+/// fsyncs the directory `dir` so that entry creations/renames/unlinks
+/// inside it are journaled.  Every failure (open or fsync) is logged via
+/// LogMessage, bumps `moa_fsync_failure_total`, and is returned; callers
+/// without a durability contract may ignore the status.
+Status SyncDir(const std::string& dir);
+
+/// SyncDir on the directory containing `path`.
+Status SyncParentDir(const std::string& path);
 
 /// fwrite wrapper shared by the on-disk format writers: writes all
 /// `size` bytes or returns an Internal error tagged with `context`

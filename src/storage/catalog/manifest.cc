@@ -10,7 +10,8 @@
 namespace moa {
 namespace {
 
-constexpr char kManifestMagic[8] = {'M', 'O', 'A', 'C', 'A', 'T', '0', '1'};
+constexpr char kManifestMagic[8] = {'M', 'O', 'A', 'C', 'A', 'T', '0', '2'};
+constexpr char kManifestMagicV1[8] = {'M', 'O', 'A', 'C', 'A', 'T', '0', '1'};
 /// Far above any real catalog; bounds allocations on corrupt input.
 constexpr uint32_t kMaxSegments = 1u << 20;
 
@@ -42,13 +43,15 @@ std::string ForwardFileName(uint64_t id) {
   return buf;
 }
 
-Status WriteManifest(const std::string& dir,
-                     const CatalogManifest& manifest) {
+Status WriteManifest(const std::string& dir, const CatalogManifest& manifest,
+                     bool strict_dir_sync) {
   const std::string path = dir + "/" + kManifestFileName;
   return WriteFileAtomically(path, [&](std::FILE* out) {
     MOA_RETURN_NOT_OK(WriteBytes(out, kManifestMagic, sizeof(kManifestMagic)));
     MOA_RETURN_NOT_OK(WriteBytes(out, &manifest.next_segment_id,
                                  sizeof(manifest.next_segment_id)));
+    MOA_RETURN_NOT_OK(
+        WriteBytes(out, &manifest.wal_seq, sizeof(manifest.wal_seq)));
     const uint32_t num_segments =
         static_cast<uint32_t>(manifest.segments.size());
     MOA_RETURN_NOT_OK(WriteBytes(out, &num_segments, sizeof(num_segments)));
@@ -61,7 +64,7 @@ Status WriteManifest(const std::string& dir,
                                    seg.deleted.size() * sizeof(uint32_t)));
     }
     return Status::OK();
-  });
+  }, strict_dir_sync);
 }
 
 Result<CatalogManifest> ReadManifest(const std::string& dir) {
@@ -82,15 +85,19 @@ Result<CatalogManifest> ReadManifest(const std::string& dir) {
   std::rewind(f);
 
   char magic[8];
-  if (std::fread(magic, 1, sizeof(magic), f) != sizeof(magic) ||
-      std::memcmp(magic, kManifestMagic, sizeof(magic)) != 0) {
+  if (std::fread(magic, 1, sizeof(magic), f) != sizeof(magic)) {
+    return Status::InvalidArgument("manifest: truncated magic: " + path);
+  }
+  const bool v2 = std::memcmp(magic, kManifestMagic, sizeof(magic)) == 0;
+  if (!v2 && std::memcmp(magic, kManifestMagicV1, sizeof(magic)) != 0) {
     return Status::InvalidArgument(
-        "manifest: bad or truncated magic (not MOACAT01): " + path);
+        "manifest: bad magic (not MOACAT01/MOACAT02): " + path);
   }
 
   CatalogManifest manifest;
   uint32_t num_segments = 0;
-  if (!ReadPod(f, &manifest.next_segment_id) || !ReadPod(f, &num_segments)) {
+  if (!ReadPod(f, &manifest.next_segment_id) ||
+      (v2 && !ReadPod(f, &manifest.wal_seq)) || !ReadPod(f, &num_segments)) {
     return Status::InvalidArgument("manifest: truncated header: " + path);
   }
   if (num_segments > kMaxSegments) {

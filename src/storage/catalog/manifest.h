@@ -10,16 +10,22 @@
 // segment files from an unpublished flush/merge are simply not referenced
 // and are ignored (and reclaimable) at the next open.
 //
-// Layout (MOACAT01, little-endian):
-//   magic            "MOACAT01"
+// Layout (MOACAT02, little-endian):
+//   magic            "MOACAT02"
 //   u64 next_segment_id
+//   u64 wal_seq      live WAL sequence number (0 = no WAL)
 //   u32 num_segments
 //   per segment:     u64 id, u32 num_docs, u32 num_deleted,
 //                    u32 deleted_local_ids[num_deleted] (ascending)
 //
-// Memtable contents are *not* durable — like any LSM write buffer without
-// a WAL, unflushed documents (and deletes of them) vanish on crash; call
-// Flush to persist.
+// The reader still accepts MOACAT01 (the same layout without `wal_seq`)
+// as wal_seq = 0, so catalogs written before the WAL landed open
+// unchanged.
+//
+// When wal_seq is non-zero, memtable contents *are* durable: every
+// acknowledged mutation is in `wal_<seq>.log` (storage/catalog/wal.h)
+// and replayed on Open.  With wal_seq == 0 the pre-WAL contract holds —
+// unflushed documents vanish on crash; call Flush to persist.
 #ifndef MOA_STORAGE_CATALOG_MANIFEST_H_
 #define MOA_STORAGE_CATALOG_MANIFEST_H_
 
@@ -44,6 +50,8 @@ struct ManifestSegment {
 /// \brief Parsed manifest contents.
 struct CatalogManifest {
   uint64_t next_segment_id = 1;
+  /// Live WAL sequence number; 0 means the catalog has no WAL.
+  uint64_t wal_seq = 0;
   std::vector<ManifestSegment> segments;
 };
 
@@ -51,8 +59,11 @@ struct CatalogManifest {
 std::string SegmentFileName(uint64_t id);
 std::string ForwardFileName(uint64_t id);
 
-/// Atomically (over)writes `dir`/MANIFEST.
-Status WriteManifest(const std::string& dir, const CatalogManifest& manifest);
+/// Atomically (over)writes `dir`/MANIFEST.  `strict_dir_sync` makes a
+/// failed parent-directory fsync an error (required when a WAL's
+/// durability contract rides on the manifest's rename being journaled).
+Status WriteManifest(const std::string& dir, const CatalogManifest& manifest,
+                     bool strict_dir_sync = false);
 
 /// Reads and validates `dir`/MANIFEST (bounds, ascending unique tombstone
 /// ids, distinct segment ids below next_segment_id, no trailing bytes).

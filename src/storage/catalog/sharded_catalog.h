@@ -101,6 +101,17 @@ class ShardedCatalog {
   /// mutation on first use).
   std::shared_ptr<const ShardedSnapshot> Snapshot() const;
 
+  /// Drops the cached snapshot so the next Snapshot() rebuilds from the
+  /// shards' current states. Mutations through this class invalidate
+  /// automatically; background maintenance publishing *directly* into a
+  /// shard (via shard(s)) must call this from its on_state_change hook —
+  /// a merge compacts the shard's local ids, so a stale cached snapshot
+  /// would map global ids wrongly.
+  void InvalidateSnapshotCache() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    cached_.reset();
+  }
+
   size_t num_shards() const { return shards_.size(); }
   IndexCatalog& shard(size_t s) { return *shards_[s]; }
   const IndexCatalog& shard(size_t s) const { return *shards_[s]; }

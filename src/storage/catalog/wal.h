@@ -1,0 +1,131 @@
+// Write-ahead log for the catalog memtable: MOAWAL01.
+//
+// The catalog's segments and manifest are published through the
+// crash-safe `atomic_file` rename spine, but the memtable used to live
+// only in memory — a crash lost every unflushed document.  The WAL
+// closes that gap: every acknowledged mutation is appended here and
+// fsync'ed before the caller sees OK, and `IndexCatalog::Open` replays
+// the log on top of the manifest-described state.
+//
+// On-disk layout (all integers little-endian):
+//
+//   header   8 bytes   magic "MOAWAL01"
+//   record   u32 payload_size
+//            u32 crc32(type byte + payload)     IEEE / zlib polynomial
+//            u8  type                           1 = add, 2 = delete
+//            payload_size bytes of payload
+//
+//   add payload:    varbyte num_terms, then per term in ascending term
+//                   order: varbyte term-id gap (first gap = the id
+//                   itself), varbyte term frequency
+//   delete payload: varbyte global doc id
+//
+// An update is logged as a delete record followed by an add record.
+//
+// The WAL is the one append-in-place file in the system, so it cannot
+// ride the rename spine; instead the *manifest* names the live WAL
+// sequence number (MOACAT02 `wal_seq`) and rotation orders
+// write-new-WAL → publish-manifest → unlink-old, which keeps every
+// manifest-referenced WAL fully created (header fsync'ed, directory
+// synced) before anything points at it.
+//
+// Replay walks records until the first short or corrupt one and
+// truncates the file back to the valid prefix (a crash mid-append can
+// only tear the tail).  Everything before the tear is exactly the set
+// of acknowledged-or-in-flight writes; everything after never returned
+// OK to a caller.
+#ifndef MOA_STORAGE_CATALOG_WAL_H_
+#define MOA_STORAGE_CATALOG_WAL_H_
+
+#include <cstdint>
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "storage/catalog/forward_index.h"
+#include "storage/posting.h"
+
+namespace moa {
+
+/// File name of WAL sequence `seq` inside a catalog directory
+/// ("wal_000001.log").  Sequence 0 means "no WAL" and has no file.
+std::string WalFileName(uint64_t seq);
+
+/// One decoded WAL record.
+struct WalRecord {
+  enum Type : uint8_t { kAdd = 1, kDelete = 2 };
+  Type type = kAdd;
+  DocTerms terms;   ///< kAdd: the document's (term, tf) pairs, ascending
+  DocId doc = 0;    ///< kDelete: global doc id
+};
+
+/// \brief Appender for one WAL file.  Not thread-safe: the group-commit
+/// leader in IndexCatalog is the only writer.
+class WalWriter {
+ public:
+  /// Creates (truncating) the WAL at `path`, writes and fsyncs the
+  /// header, and syncs the parent directory — the file is durable
+  /// before Create returns, so a manifest may reference it.
+  static Result<std::unique_ptr<WalWriter>> Create(const std::string& path);
+
+  /// Opens an existing (already replayed + tail-truncated) WAL for
+  /// appending.
+  static Result<std::unique_ptr<WalWriter>> OpenForAppend(
+      const std::string& path);
+
+  ~WalWriter();
+  WalWriter(const WalWriter&) = delete;
+  WalWriter& operator=(const WalWriter&) = delete;
+
+  Status AppendAdd(const DocTerms& terms);
+  Status AppendDelete(DocId global_doc);
+
+  /// fflush + fsync.  A record is durable only after Sync returns OK.
+  Status Sync();
+
+  /// Sync() once at least `fsync_every` records are pending; the
+  /// group-commit fsync-batching knob (1 = sync every group).
+  Status SyncIfPending(size_t fsync_every);
+
+  /// Cuts the file back to `offset` bytes (a prior appended_bytes()
+  /// mark): the group-commit rollback when an append or sync fails —
+  /// bytes that were never acknowledged must not replay.
+  Status TruncateTo(uint64_t offset);
+
+  size_t pending_records() const { return pending_records_; }
+  uint64_t appended_bytes() const { return appended_bytes_; }
+  const std::string& path() const { return path_; }
+
+ private:
+  WalWriter(std::FILE* f, std::string path)
+      : f_(f), path_(std::move(path)) {}
+
+  Status AppendRecord(uint8_t type, const std::vector<uint8_t>& payload);
+
+  std::FILE* f_;
+  std::string path_;
+  size_t pending_records_ = 0;
+  uint64_t appended_bytes_ = 0;
+};
+
+/// Result of replaying a WAL file.
+struct WalReplay {
+  std::vector<WalRecord> records;  ///< the valid prefix, in append order
+  uint64_t valid_bytes = 0;        ///< header + valid records
+  bool truncated = false;          ///< a torn/corrupt tail was cut off
+};
+
+/// Reads and validates the WAL at `path`, truncating the file in place
+/// to the valid prefix if the tail is torn or corrupt.  A missing file
+/// or a corrupt *header* is an error (the manifest ordering guarantees
+/// a referenced WAL exists with a durable header); a torn tail is not.
+Result<WalReplay> ReplayWal(const std::string& path);
+
+/// CRC-32 (IEEE 802.3, zlib polynomial) over `size` bytes.
+uint32_t WalCrc32(const uint8_t* data, size_t size);
+
+}  // namespace moa
+
+#endif  // MOA_STORAGE_CATALOG_WAL_H_

@@ -406,16 +406,18 @@ TEST(IndexCatalogTest, CrashBetweenSegmentWriteAndManifestIsSafe) {
   EXPECT_EQ(state->memtable().num_docs(), 1u);
   EXPECT_EQ(Scan(*state, 1), (std::vector<Posting>{{0, 1}, {2, 5}}));
 
-  // ...and a recovery (the "restarted process") sees exactly the last
-  // published state: one segment, the unflushed document lost with the
-  // memtable, orphan files ignored.
+  // ...and a recovery (the "restarted process") sees the last published
+  // manifest state — one segment, orphaned flush files ignored — plus the
+  // unflushed document, replayed from the WAL the manifest names. Before
+  // the WAL this document was lost with the memtable.
   {
     auto reopened = IndexCatalog::Open(InDir(dir));
     ASSERT_TRUE(reopened.ok()) << reopened.status().ToString();
     auto rstate = reopened.ValueOrDie()->Snapshot();
     EXPECT_EQ(rstate->segments().size(), 1u);
-    EXPECT_EQ(rstate->doc_space(), 2u);
-    EXPECT_EQ(rstate->stats().num_live_docs, 2u);
+    EXPECT_EQ(rstate->doc_space(), 3u);
+    EXPECT_EQ(rstate->stats().num_live_docs, 3u);
+    EXPECT_EQ(Scan(*rstate, 1), (std::vector<Posting>{{0, 1}, {2, 5}}));
   }
 
   // Retrying after the "transient" failure succeeds and reuses the id.

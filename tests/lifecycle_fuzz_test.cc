@@ -29,6 +29,7 @@
 #include <algorithm>
 #include <cstdlib>
 #include <filesystem>
+#include <fstream>
 #include <map>
 #include <memory>
 #include <string>
@@ -41,7 +42,11 @@
 #include "exec/registry.h"
 #include "ir/exact_eval.h"
 #include "ir/metrics.h"
+#include "storage/catalog/background_jobs.h"
+#include "storage/catalog/index_catalog.h"
+#include "storage/catalog/manifest.h"
 #include "storage/catalog/sharded_catalog.h"
+#include "storage/catalog/wal.h"
 
 namespace moa {
 namespace {
@@ -752,6 +757,282 @@ TEST(LifecycleFuzzTest, ShardedLifecyclesMatchSingleIndexOracle) {
       RunShardedIteration(
           /*seed=*/0xBEE5'0000ull + static_cast<uint64_t>(i) * 16 + shards,
           shards, i);
+      if (::testing::Test::HasFatalFailure()) return;
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// WAL kill-point matrix: a seeded op stream against a durable catalog,
+// "crashed" at every distinct point in the write path's commit protocol
+// and reopened. The recovered catalog must hold *exactly* the
+// acknowledged writes — every acknowledged mutation present, no torn or
+// un-acknowledged suffix visible — and must keep absorbing new writes.
+//
+//   kTornRecord      process died mid-append: a half-written record sits
+//                    at the WAL tail (replay truncates it in place).
+//   kRotatedUnlinked died after a flush durably rotated WAL + manifest
+//                    but before the old WAL was unlinked (recovery must
+//                    follow the manifest, not the stray file).
+//   kManifestStale   died after the flushed segment was fsync'd but
+//                    before the manifest switch: orphaned segment files,
+//                    stale manifest, intact WAL.
+//   kCleanStop       orderly close (control row of the matrix).
+
+enum class KillPoint {
+  kTornRecord = 0,
+  kRotatedUnlinked = 1,
+  kManifestStale = 2,
+  kCleanStop = 3,
+};
+
+/// Holds a recovered (or live) catalog to the shadow's acknowledged
+/// writes: identical live-id set, statistics, and per-term document
+/// frequencies (the content check — a lost or resurrected document
+/// shifts some term's df).
+void CheckCatalogMatchesShadow(IndexCatalog& catalog, const Shadow& shadow) {
+  const Oracle oracle = BuildOracle(shadow, FragmentationPolicy{});
+  const auto state = catalog.Snapshot();
+  ASSERT_EQ(state->LiveDocIds(), oracle.to_catalog);
+  ASSERT_EQ(state->stats().num_live_docs, oracle.file->num_docs());
+  ASSERT_EQ(state->stats().total_live_tokens, oracle.file->total_tokens());
+  for (TermId t = 0; t < kVocab; ++t) {
+    ASSERT_EQ(state->stats().df[t], oracle.file->DocFrequency(t))
+        << "term " << t;
+  }
+}
+
+void RunKillPointIteration(uint64_t seed, int iteration) {
+  SCOPED_TRACE("kill-point seed " + std::to_string(seed));
+  Rng rng(seed);
+
+  const std::string dir = std::string(::testing::TempDir()) +
+                          "/lifecycle_fuzz_wal_" + std::to_string(iteration);
+  std::filesystem::remove_all(dir);
+  auto fail_point = std::make_shared<std::string>();
+  IndexCatalog::Options options;
+  options.num_terms = kVocab;
+  options.dir = dir;
+  options.fault_injector = [fail_point](const std::string& point) {
+    if (point == *fail_point) {
+      return Status::Internal("injected crash at " + point);
+    }
+    return Status::OK();
+  };
+  auto created = IndexCatalog::Create(options);
+  ASSERT_TRUE(created.ok()) << created.status().ToString();
+  std::unique_ptr<IndexCatalog> catalog = std::move(created).ValueOrDie();
+  Shadow shadow;
+
+  const int rounds = 6;
+  for (int round = 0; round < rounds; ++round) {
+    // Mutation burst: every *acknowledged* op lands in the shadow; the
+    // shadow never sees an op the catalog rejected.
+    const int burst = 8 + static_cast<int>(rng.Uniform(8));
+    for (int i = 0; i < burst; ++i) {
+      const uint64_t pick = rng.Uniform(100);
+      if (pick < 50) {  // AddDocument
+        DocTerms doc = RandomDoc(rng);
+        auto id = catalog->AddDocument(doc);
+        ASSERT_TRUE(id.ok()) << id.status().ToString();
+        ASSERT_EQ(id.ValueOrDie(), shadow.slots.size());
+        shadow.Add(std::move(doc));
+      } else if (pick < 70) {  // DeleteDocument
+        const std::vector<DocId> live = shadow.LiveIds();
+        if (!live.empty()) {
+          const DocId victim = live[rng.Uniform(live.size())];
+          ASSERT_TRUE(catalog->DeleteDocument(victim).ok());
+          shadow.Delete(victim);
+        }
+      } else if (pick < 88) {  // UpdateDocument (upsert)
+        const std::vector<DocId> live = shadow.LiveIds();
+        if (!live.empty()) {
+          const DocId victim = live[rng.Uniform(live.size())];
+          DocTerms doc = RandomDoc(rng);
+          auto id = catalog->UpdateDocument(victim, doc);
+          ASSERT_TRUE(id.ok()) << id.status().ToString();
+          ASSERT_EQ(id.ValueOrDie(), shadow.slots.size());
+          shadow.Update(victim, std::move(doc));
+        }
+      } else {  // committed Flush (bounds replay for later rounds)
+        ASSERT_TRUE(catalog->Flush().ok());
+      }
+    }
+
+    // Crash at one kill point, then reopen.
+    const KillPoint kill = static_cast<KillPoint>(rng.Uniform(4));
+    switch (kill) {
+      case KillPoint::kTornRecord: {
+        catalog.reset();  // the "crash": all in-memory state gone
+        auto manifest = ReadManifest(dir);
+        ASSERT_TRUE(manifest.ok()) << manifest.status().ToString();
+        ASSERT_GT(manifest.ValueOrDie().wal_seq, 0u);
+        const std::string wal_path =
+            dir + "/" + WalFileName(manifest.ValueOrDie().wal_seq);
+        std::ofstream out(wal_path,
+                          std::ios::binary | std::ios::app);
+        ASSERT_TRUE(out.good());
+        // A record header promising 64 payload bytes, then the torn
+        // prefix the "crash" left behind.
+        const char torn[] = {0x40, 0x00, 0x00, 0x00,
+                             0x13, 0x57, 0x7e, 0x21, 0x01, 'x', 'y'};
+        out.write(torn, sizeof(torn));
+        out.close();
+        break;
+      }
+      case KillPoint::kRotatedUnlinked: {
+        // The rotated WAL and switched manifest are durable, so if the
+        // memtable was non-empty this flush *committed* despite the
+        // in-memory refusal — recovery follows the manifest either way.
+        *fail_point = "flush:wal-rotated";
+        const bool reaches_fault =
+            catalog->Snapshot()->memtable().num_docs() > 0;
+        const Status flush = catalog->Flush();
+        EXPECT_EQ(flush.ok(), !reaches_fault) << flush.ToString();
+        *fail_point = "";
+        catalog.reset();
+        break;
+      }
+      case KillPoint::kManifestStale: {
+        // Segment files fsync'd, manifest never switched: the flush did
+        // NOT commit; recovery must ignore the orphans and replay the
+        // intact WAL.
+        *fail_point = "flush:segment-written";
+        const bool reaches_fault =
+            catalog->Snapshot()->memtable().num_docs() > 0;
+        const Status flush = catalog->Flush();
+        EXPECT_EQ(flush.ok(), !reaches_fault) << flush.ToString();
+        *fail_point = "";
+        catalog.reset();
+        break;
+      }
+      case KillPoint::kCleanStop:
+        catalog.reset();
+        break;
+    }
+
+    auto reopened = IndexCatalog::Open(options);
+    ASSERT_TRUE(reopened.ok()) << "round " << round << ": "
+                               << reopened.status().ToString();
+    catalog = std::move(reopened).ValueOrDie();
+    CheckCatalogMatchesShadow(*catalog, shadow);
+    if (::testing::Test::HasFatalFailure()) return;
+    // The next round's burst doubles as the "recovered catalog keeps
+    // absorbing writes" check.
+  }
+
+  std::filesystem::remove_all(dir);
+}
+
+TEST(LifecycleFuzzTest, WalKillPointMatrixRecoversAcknowledgedWrites) {
+  const int iterations = Iterations();
+  for (int i = 0; i < iterations; ++i) {
+    RunKillPointIteration(/*seed=*/0x3A1'0000ull + static_cast<uint64_t>(i),
+                          i);
+    if (::testing::Test::HasFatalFailure()) return;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Background-maintenance interleaving: the same single-threaded op
+// stream, with background flush/merge jobs firing at arbitrary points
+// between ops, must land on exactly the live set the single-threaded
+// shadow replay predicts — background maintenance is invisible to the
+// logical document space.
+//
+// Two rounds keep the shadow's id mapping sound under nondeterministic
+// job timing: flush is id-stable, so the mixed round (adds + deletes +
+// upserts) runs with merges off; the merge round is append-only, where
+// compaction is the identity mapping because no slot is ever dead.
+
+void RunBackgroundInterleavingRound(uint64_t seed, bool with_merges,
+                                    int iteration) {
+  SCOPED_TRACE("background round seed " + std::to_string(seed) +
+               (with_merges ? " (append-only, merges on)"
+                            : " (mixed ops, flush only)"));
+  Rng rng(seed);
+
+  const std::string dir = std::string(::testing::TempDir()) +
+                          "/lifecycle_fuzz_bg_" +
+                          (with_merges ? "merge_" : "flush_") +
+                          std::to_string(iteration);
+  std::filesystem::remove_all(dir);
+  IndexCatalog::Options options;
+  options.num_terms = kVocab;
+  options.dir = dir;
+  auto created = IndexCatalog::Create(options);
+  ASSERT_TRUE(created.ok()) << created.status().ToString();
+  std::unique_ptr<IndexCatalog> catalog = std::move(created).ValueOrDie();
+  Shadow shadow;
+
+  {
+    MaintenancePolicy policy;
+    policy.flush_trigger_docs = 6;
+    policy.merge_trigger_segments = with_merges ? 3 : 0;
+    policy.merge_fanin = 2;
+    BackgroundMaintenance maintenance(catalog.get(), policy);
+
+    const int ops = 120;
+    for (int op = 0; op < ops; ++op) {
+      const uint64_t pick = rng.Uniform(100);
+      if (with_merges || pick < 60) {  // AddDocument
+        DocTerms doc = RandomDoc(rng);
+        auto id = catalog->AddDocument(doc);
+        ASSERT_TRUE(id.ok()) << id.status().ToString();
+        ASSERT_EQ(id.ValueOrDie(), shadow.slots.size());
+        shadow.Add(std::move(doc));
+      } else if (pick < 80) {  // DeleteDocument
+        const std::vector<DocId> live = shadow.LiveIds();
+        if (!live.empty()) {
+          const DocId victim = live[rng.Uniform(live.size())];
+          ASSERT_TRUE(catalog->DeleteDocument(victim).ok());
+          shadow.Delete(victim);
+        }
+      } else {  // UpdateDocument (upsert)
+        const std::vector<DocId> live = shadow.LiveIds();
+        if (!live.empty()) {
+          const DocId victim = live[rng.Uniform(live.size())];
+          DocTerms doc = RandomDoc(rng);
+          auto id = catalog->UpdateDocument(victim, doc);
+          ASSERT_TRUE(id.ok()) << id.status().ToString();
+          ASSERT_EQ(id.ValueOrDie(), shadow.slots.size());
+          shadow.Update(victim, std::move(doc));
+        }
+      }
+    }
+    maintenance.WaitIdle();
+    EXPECT_TRUE(maintenance.TakeLastError().ok());
+
+    CheckCatalogMatchesShadow(*catalog, shadow);
+    if (::testing::Test::HasFatalFailure()) return;
+    if (with_merges) {
+      // The maintenance loop actually did its job: the segment count
+      // settled below the merge trigger.
+      EXPECT_LT(catalog->Snapshot()->segments().size(),
+                policy.merge_trigger_segments);
+    }
+    // Maintenance detaches (observer cleared, in-flight job drained)
+    // before the catalog closes.
+  }
+
+  // Everything background maintenance published — and everything still
+  // sitting in the memtable — survives a reopen via the WAL.
+  catalog.reset();
+  auto reopened = IndexCatalog::Open(options);
+  ASSERT_TRUE(reopened.ok()) << reopened.status().ToString();
+  catalog = std::move(reopened).ValueOrDie();
+  CheckCatalogMatchesShadow(*catalog, shadow);
+
+  std::filesystem::remove_all(dir);
+}
+
+TEST(LifecycleFuzzTest, BackgroundMaintenanceMatchesSingleThreadedOracle) {
+  const int iterations = Iterations();
+  for (int i = 0; i < iterations; ++i) {
+    for (const bool with_merges : {false, true}) {
+      RunBackgroundInterleavingRound(
+          /*seed=*/0xB6'0000ull + static_cast<uint64_t>(i) * 2 + with_merges,
+          with_merges, i);
       if (::testing::Test::HasFatalFailure()) return;
     }
   }
